@@ -1,0 +1,66 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section VI) on the synthetic stand-in domains.  Two knobs control the cost:
+
+* ``REPRO_BENCH_SCALE`` — multiplier on dataset sizes (default 1.0);
+* ``REPRO_BENCH_FULL`` — set to ``1`` to run every domain and every IR type
+  where the default keeps a representative subset to stay CPU-friendly.
+
+Results are printed in the paper's layout (via ``repro.eval.reporting``) so
+the console output of ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction record consumed by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.data.generators import DOMAIN_NAMES, load_domain
+from repro.eval.harness import HarnessConfig
+
+#: Domains used when the full sweep is disabled (one clean, one asymmetric,
+#: one noisy-text, one noisy-numeric domain — a cross-section of Table II).
+FAST_DOMAINS = ["restaurants", "citations1", "cosmetics", "beer"]
+
+
+def bench_full() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_domains() -> List[str]:
+    return list(DOMAIN_NAMES) if bench_full() else list(FAST_DOMAINS)
+
+
+@pytest.fixture(scope="session")
+def harness_config() -> HarnessConfig:
+    """Reduced model sizes keeping the Table III proportions."""
+    return HarnessConfig(
+        ir_dim=48,
+        hidden_dim=96,
+        latent_dim=32,
+        vae_epochs=10,
+        matcher_epochs=50,
+        al_retrain_epochs=12,
+        top_k=10,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def domains() -> Dict[str, object]:
+    """The benchmark domains, generated once per session."""
+    return {name: load_domain(name, scale=bench_scale()) for name in bench_domains()}
+
+
+@pytest.fixture(scope="session")
+def all_domains() -> Dict[str, object]:
+    """All nine Table II domains (used by the dataset-statistics bench)."""
+    return {name: load_domain(name, scale=bench_scale()) for name in DOMAIN_NAMES}

@@ -1,0 +1,85 @@
+"""Running VAER on your own CSV data.
+
+Shows the path a downstream user takes when their data is not one of the
+bundled benchmark domains:
+
+1. export (or hand-author) two CSV tables with aligned attribute columns and
+   a labeled pair file;
+2. read them back with :mod:`repro.data.io` into an :class:`ERTask`;
+3. run the standard VAER pipeline — representation learning, matching,
+   evaluation — on the custom task.
+
+For the sake of a self-contained example the CSVs are first generated from a
+synthetic domain, but any files with the same layout work.
+
+Run with:  python examples/custom_dataset.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.config import MatcherConfig, VAEConfig, VAERConfig
+from repro.core import VAER
+from repro.data import read_pairs, read_table, write_pairs, write_table
+from repro.data.generators import load_domain
+from repro.data.schema import ERTask
+
+
+def export_demo_csvs(directory: Path) -> None:
+    """Write the CSV files a user would normally bring themselves."""
+    domain = load_domain("beer")
+    write_table(domain.task.left, directory / "left.csv")
+    write_table(domain.task.right, directory / "right.csv")
+    write_pairs(domain.splits.train, directory / "train_pairs.csv")
+    write_pairs(domain.splits.validation, directory / "validation_pairs.csv")
+    write_pairs(domain.splits.test, directory / "test_pairs.csv")
+
+
+def main() -> None:
+    directory = Path(tempfile.mkdtemp())
+    export_demo_csvs(directory)
+    print(f"Input CSVs in {directory}:")
+    for path in sorted(directory.glob("*.csv")):
+        print(f"  {path.name}")
+
+    # ------------------------------------------------------------------
+    # 1. Load the user's tables and labeled pairs.
+    # ------------------------------------------------------------------
+    task = ERTask(
+        name="my_products",
+        left=read_table(directory / "left.csv"),
+        right=read_table(directory / "right.csv"),
+    )
+    train = read_pairs(directory / "train_pairs.csv")
+    validation = read_pairs(directory / "validation_pairs.csv")
+    test = read_pairs(directory / "test_pairs.csv")
+    print(f"\nLoaded task: {task.cardinality[0]} x {task.cardinality[1]} records, "
+          f"{task.arity} attributes, {len(train)} training pairs")
+
+    # ------------------------------------------------------------------
+    # 2. Standard VAER pipeline on the custom task.
+    # ------------------------------------------------------------------
+    config = VAERConfig(
+        vae=VAEConfig(ir_dim=48, hidden_dim=96, latent_dim=32, epochs=10),
+        matcher=MatcherConfig(epochs=50),
+        ir_method="lsa",
+    )
+    model = VAER(config)
+    model.fit_representation(task)
+    model.fit_matcher(train, validation_pairs=validation)
+
+    metrics = model.evaluate(test)
+    print(f"Test-set effectiveness on the custom data: {metrics}")
+
+    # ------------------------------------------------------------------
+    # 3. Score arbitrary candidate pairs (e.g. from the blocking step).
+    # ------------------------------------------------------------------
+    resolution = model.resolve(k=10)
+    print(f"Blocking produced {len(resolution.pairs)} candidates; "
+          f"{len(resolution.matches())} predicted duplicates at threshold {resolution.threshold:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim so that `pip install -e .` works without the wheel package."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""Reproduction of "Cost-effective Variational Active Entity Resolution".
+
+The package is organised as:
+
+- :mod:`repro.autograd`, :mod:`repro.nn` — numpy substitutes for the deep
+  learning substrate (PyTorch in the paper).
+- :mod:`repro.text` — Intermediate Representation (IR) generators: LSA,
+  word2vec, hash/contextual embeddings (BERT substitute) and EmbDI.
+- :mod:`repro.data` — relational schema, labeled pair sets, and the nine
+  synthetic benchmark domains standing in for the DeepMatcher datasets.
+- :mod:`repro.blocking` — Euclidean LSH candidate generation.
+- :mod:`repro.core` — the paper's contribution: VAE representation learning,
+  Siamese matching in the latent space, transferability, and the
+  active-learning scheme, wrapped by the :class:`repro.core.pipeline.VAER`
+  end-to-end API.
+- :mod:`repro.baselines` — DeepER-, DeepMatcher-, DITTO-style matchers.
+- :mod:`repro.eval` — metrics and the experiment harness that regenerates the
+  paper's tables and figures.
+"""
+
+from repro.config import (
+    VAEConfig,
+    MatcherConfig,
+    ActiveLearningConfig,
+    BlockingConfig,
+    VAERConfig,
+    ExperimentConfig,
+)
+from repro.exceptions import (
+    ReproError,
+    ConfigurationError,
+    SchemaError,
+    NotFittedError,
+    ArityMismatchError,
+    ActiveLearningError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VAEConfig",
+    "MatcherConfig",
+    "ActiveLearningConfig",
+    "BlockingConfig",
+    "VAERConfig",
+    "ExperimentConfig",
+    "ReproError",
+    "ConfigurationError",
+    "SchemaError",
+    "NotFittedError",
+    "ArityMismatchError",
+    "ActiveLearningError",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Reverse-mode automatic differentiation engine used by :mod:`repro.nn`.
+
+The engine is a self-contained substitute for the subset of PyTorch that the
+paper's models (VAE representation model, Siamese matcher, deep baselines)
+require.  See :mod:`repro.autograd.tensor` for the graph mechanics and
+:mod:`repro.autograd.gradcheck` for numerical verification utilities.
+"""
+
+from repro.autograd.tensor import Tensor, concatenate, stack, where
+from repro.autograd.gradcheck import numerical_gradient, check_gradient
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "numerical_gradient",
+    "check_gradient",
+]

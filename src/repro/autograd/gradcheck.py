@@ -1,0 +1,85 @@
+"""Numerical gradient checking for the autograd engine.
+
+These helpers back the test suite: every primitive operation in
+:mod:`repro.autograd.tensor` is validated against central finite differences,
+which is what makes the from-scratch substitution for PyTorch trustworthy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    index: int,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Estimate ``d fn / d inputs[index]`` with central finite differences.
+
+    Parameters
+    ----------
+    fn:
+        Function mapping numpy arrays (wrapped internally) to a scalar Tensor.
+    inputs:
+        The raw numpy inputs.
+    index:
+        Which input to differentiate with respect to.
+    epsilon:
+        Finite-difference step size.
+    """
+    base = [np.array(x, dtype=np.float64) for x in inputs]
+    target = base[index]
+    grad = np.zeros_like(target)
+
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = target[idx]
+
+        target[idx] = original + epsilon
+        plus = float(fn(*[Tensor(x) for x in base]).data)
+
+        target[idx] = original - epsilon
+        minus = float(fn(*[Tensor(x) for x in base]).data)
+
+        target[idx] = original
+        grad[idx] = (plus - minus) / (2.0 * epsilon)
+        it.iternext()
+
+    return grad
+
+
+def check_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+    epsilon: float = 1e-6,
+) -> bool:
+    """Compare analytic and numerical gradients for every input of ``fn``.
+
+    Returns ``True`` when all gradients agree within tolerance; raises
+    ``AssertionError`` with a diagnostic message otherwise.
+    """
+    tensors = [Tensor(np.array(x, dtype=np.float64), requires_grad=True) for x in inputs]
+    output = fn(*tensors)
+    if output.size != 1:
+        raise ValueError("check_gradient requires a scalar-valued function")
+    output.backward()
+
+    for i, tensor in enumerate(tensors):
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(fn, [t.data.copy() for t in tensors], i, epsilon=epsilon)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            max_err = float(np.max(np.abs(analytic - numeric)))
+            raise AssertionError(
+                f"Gradient mismatch for input {i}: max abs error {max_err:.3e}\n"
+                f"analytic=\n{analytic}\nnumeric=\n{numeric}"
+            )
+    return True

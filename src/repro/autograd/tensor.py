@@ -1,0 +1,573 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module provides the :class:`Tensor` class used by every neural model in
+the reproduction (the VAE representation model, the Siamese matcher, and the
+baseline matchers).  It implements a small but complete dynamic computation
+graph: each operation records the inputs it consumed and a backward closure
+that propagates gradients to them.  Calling :meth:`Tensor.backward` on a
+scalar output walks the graph in reverse topological order and accumulates
+gradients into every tensor created with ``requires_grad=True``.
+
+The design intentionally mirrors the subset of the PyTorch tensor API that
+the paper's models need (matmul, elementwise arithmetic, exp/log, reductions,
+indexing, concatenation, broadcasting), so the higher-level ``repro.nn``
+package reads like the PyTorch code the original authors would have written.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    """Coerce ``value`` to a float64 numpy array without copying needlessly."""
+    if isinstance(value, np.ndarray):
+        if value.dtype != np.float64:
+            return value.astype(np.float64)
+        return value
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    Numpy broadcasting can expand an operand along new leading axes or along
+    axes of size one.  The gradient flowing back through a broadcast operation
+    must be summed over those expanded axes to recover the operand's shape.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over extra leading dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were broadcast from size one.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A node in the dynamic computation graph.
+
+    Parameters
+    ----------
+    data:
+        The underlying numpy array (any shape, stored as float64).
+    requires_grad:
+        Whether gradients should be accumulated into this tensor during
+        :meth:`backward`.
+    _parents:
+        Tensors this node was computed from (internal).
+    _backward:
+        Closure propagating ``self.grad`` into the parents (internal).
+    name:
+        Optional label used in error messages and graph dumps.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _backward: Optional[Callable[[], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: Tuple[Tensor, ...] = tuple(_parents)
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (a direct reference, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad``, allocating on first use."""
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(_as_array(grad), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            The upstream gradient.  Defaults to ``1.0`` which is only valid
+            when ``self`` is a scalar (the usual loss case).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient is only defined "
+                    f"for scalar tensors, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        self._accumulate(grad)
+
+        order = self._topological_order()
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    def _topological_order(self) -> list:
+        """Return graph nodes reachable from ``self`` in topological order."""
+        order: list = []
+        visited: set = set()
+        stack: list = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out = Tensor(
+            self.data + other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+        )
+
+        def _backward() -> None:
+            self._accumulate(out.grad)
+            other._accumulate(out.grad)
+
+        out._backward = _backward
+        return out
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self + (-self._ensure(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._ensure(other) + (-self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out = Tensor(
+            self.data * other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+        )
+
+        def _backward() -> None:
+            self._accumulate(out.grad * other.data)
+            other._accumulate(out.grad * self.data)
+
+        out._backward = _backward
+        return out
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out = Tensor(
+            self.data / other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+        )
+
+        def _backward() -> None:
+            self._accumulate(out.grad / other.data)
+            other._accumulate(-out.grad * self.data / (other.data ** 2))
+
+        out._backward = _backward
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._ensure(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("Tensor.__pow__ only supports scalar exponents")
+        out = Tensor(
+            self.data ** exponent,
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+        )
+
+        def _backward() -> None:
+            self._accumulate(out.grad * exponent * (self.data ** (exponent - 1)))
+
+        out._backward = _backward
+        return out
+
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        """Matrix product supporting 1-D and 2-D operands."""
+        other = self._ensure(other)
+        out = Tensor(
+            self.data @ other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+        )
+
+        def _backward() -> None:
+            grad = out.grad
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                self._accumulate(grad * b)
+                other._accumulate(grad * a)
+            elif a.ndim == 2 and b.ndim == 2:
+                self._accumulate(grad @ b.T)
+                other._accumulate(a.T @ grad)
+            elif a.ndim == 1 and b.ndim == 2:
+                self._accumulate(grad @ b.T)
+                other._accumulate(np.outer(a, grad))
+            elif a.ndim == 2 and b.ndim == 1:
+                self._accumulate(np.outer(grad, b))
+                other._accumulate(a.T @ grad)
+            else:  # pragma: no cover - guarded by supported model shapes
+                raise NotImplementedError(
+                    f"matmul backward undefined for shapes {a.shape} @ {b.shape}"
+                )
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        value = np.exp(np.clip(self.data, -60.0, 60.0))
+        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward() -> None:
+            self._accumulate(out.grad * value)
+
+        out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        safe = np.maximum(self.data, 1e-12)
+        out = Tensor(np.log(safe), requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward() -> None:
+            self._accumulate(out.grad / safe)
+
+        out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def abs(self) -> "Tensor":
+        out = Tensor(np.abs(self.data), requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward() -> None:
+            self._accumulate(out.grad * np.sign(self.data))
+
+        out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = Tensor(self.data * mask, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward() -> None:
+            self._accumulate(out.grad * mask)
+
+        out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        value = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward() -> None:
+            self._accumulate(out.grad * value * (1.0 - value))
+
+        out._backward = _backward
+        return out
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward() -> None:
+            self._accumulate(out.grad * (1.0 - value ** 2))
+
+        out._backward = _backward
+        return out
+
+    def softplus(self) -> "Tensor":
+        """Numerically stable ``log(1 + exp(x))``."""
+        value = np.logaddexp(0.0, self.data)
+        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+
+        def _backward() -> None:
+            # d/dx softplus(x) = sigmoid(x); clip to keep exp() in range.
+            sigmoid = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+            self._accumulate(out.grad * sigmoid)
+
+        out._backward = _backward
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values; the gradient is passed through inside the bounds."""
+        mask = (self.data >= low) & (self.data <= high)
+        out = Tensor(
+            np.clip(self.data, low, high),
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+        )
+
+        def _backward() -> None:
+            self._accumulate(out.grad * mask)
+
+        out._backward = _backward
+        return out
+
+    def maximum(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        """Elementwise maximum; ties send the full gradient to ``self``."""
+        other = self._ensure(other)
+        take_self = self.data >= other.data
+        out = Tensor(
+            np.maximum(self.data, other.data),
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+        )
+
+        def _backward() -> None:
+            self._accumulate(out.grad * take_self)
+            other._accumulate(out.grad * (~take_self))
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        out = Tensor(
+            self.data.sum(axis=axis, keepdims=keepdims),
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+        )
+
+        def _backward() -> None:
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        out._backward = _backward
+        return out
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        out = Tensor(
+            self.data.reshape(shape),
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+        )
+
+        def _backward() -> None:
+            self._accumulate(out.grad.reshape(original))
+
+        out._backward = _backward
+        return out
+
+    def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
+        out = Tensor(
+            np.transpose(self.data, axes),
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+        )
+
+        def _backward() -> None:
+            if axes is None:
+                self._accumulate(np.transpose(out.grad))
+            else:
+                inverse = np.argsort(axes)
+                self._accumulate(np.transpose(out.grad, inverse))
+
+        out._backward = _backward
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out = Tensor(
+            self.data[index],
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+        )
+
+        def _backward() -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, out.grad)
+            self._accumulate(grad)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape: int, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing back to each."""
+    tensors = [Tensor._ensure(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    out = Tensor(
+        data,
+        requires_grad=any(t.requires_grad for t in tensors),
+        _parents=tuple(tensors),
+    )
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def _backward() -> None:
+        for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * data.ndim
+            slicer[axis] = slice(int(start), int(end))
+            tensor._accumulate(out.grad[tuple(slicer)])
+
+    out._backward = _backward
+    return out
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing back to each."""
+    tensors = [Tensor._ensure(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    out = Tensor(
+        data,
+        requires_grad=any(t.requires_grad for t in tensors),
+        _parents=tuple(tensors),
+    )
+
+    def _backward() -> None:
+        grads = np.split(out.grad, len(tensors), axis=axis)
+        for tensor, grad in zip(tensors, grads):
+            tensor._accumulate(np.squeeze(grad, axis=axis))
+
+    out._backward = _backward
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select between two tensors based on a boolean array."""
+    a = Tensor._ensure(a)
+    b = Tensor._ensure(b)
+    condition = np.asarray(condition, dtype=bool)
+    out = Tensor(
+        np.where(condition, a.data, b.data),
+        requires_grad=a.requires_grad or b.requires_grad,
+        _parents=(a, b),
+    )
+
+    def _backward() -> None:
+        a._accumulate(out.grad * condition)
+        b._accumulate(out.grad * (~condition))
+
+    out._backward = _backward
+    return out

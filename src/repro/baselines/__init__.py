@@ -1,0 +1,28 @@
+"""Baseline matchers the paper compares VAER against (plus a sanity floor)."""
+
+from repro.baselines.base import BaselineMatcher, records_of
+from repro.baselines.threshold import ThresholdMatcher, jaccard, record_similarity
+from repro.baselines.deeper import DeepERMatcher
+from repro.baselines.deepmatcher import DeepMatcherMatcher
+from repro.baselines.ditto import DittoMatcher, serialize_record, serialize_pair
+
+BASELINES = {
+    "deeper": DeepERMatcher,
+    "deepmatcher": DeepMatcherMatcher,
+    "ditto": DittoMatcher,
+    "threshold": ThresholdMatcher,
+}
+
+__all__ = [
+    "BaselineMatcher",
+    "records_of",
+    "ThresholdMatcher",
+    "jaccard",
+    "record_similarity",
+    "DeepERMatcher",
+    "DeepMatcherMatcher",
+    "DittoMatcher",
+    "serialize_record",
+    "serialize_pair",
+    "BASELINES",
+]

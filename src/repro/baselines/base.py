@@ -1,0 +1,75 @@
+"""Shared machinery for the deep-learning baseline matchers.
+
+The paper compares VAER against DeepER, DeepMatcher and DITTO.  Those systems
+cannot be installed offline (and require GPUs plus pre-trained language
+models), so :mod:`repro.baselines` re-implements architecturally faithful
+miniatures on the same numpy substrate.  What they share — and what this
+module provides — is the end-to-end supervised formulation the paper
+contrasts VAER against: feature extraction and similarity learning are
+trained *jointly* per task from labeled pairs, which is why their training
+cost scales with model size and training-set size and why nothing is
+transferable across tasks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.pairs import LabeledPair, PairSet
+from repro.data.schema import ERTask, Record
+from repro.eval.metrics import PRF, best_threshold, precision_recall_f1
+from repro.exceptions import NotFittedError
+from repro.nn import TrainingHistory
+
+
+class BaselineMatcher(ABC):
+    """Common interface of every baseline ER matcher."""
+
+    name: str = "baseline"
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self.threshold = 0.5
+        self.training_history: Optional[TrainingHistory] = None
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def fit(self, task: ERTask, training_pairs: PairSet, validation_pairs: Optional[PairSet] = None) -> "BaselineMatcher":
+        """Train the matcher end to end on labeled pairs."""
+
+    @abstractmethod
+    def predict_proba(self, task: ERTask, pairs: Iterable[LabeledPair]) -> np.ndarray:
+        """Match probability of each pair."""
+
+    # ------------------------------------------------------------------
+    def predict(self, task: ERTask, pairs: Iterable[LabeledPair]) -> np.ndarray:
+        """Binary decisions using the (possibly validation-tuned) threshold."""
+        return (self.predict_proba(task, list(pairs)) > self.threshold).astype(np.int64)
+
+    def evaluate(self, task: ERTask, test_pairs: PairSet) -> PRF:
+        """Precision/recall/F1 on a labeled pair set."""
+        predictions = self.predict(task, test_pairs.pairs())
+        return precision_recall_f1(test_pairs.labels(), predictions)
+
+    def tune_threshold(self, task: ERTask, validation_pairs: Optional[PairSet]) -> None:
+        """Pick the F1-maximising threshold on validation pairs, if provided."""
+        if validation_pairs is None or len(validation_pairs) == 0:
+            return
+        probabilities = self.predict_proba(task, validation_pairs.pairs())
+        self.threshold = best_threshold(validation_pairs.labels(), probabilities)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{self.name} used before fit()")
+
+
+def records_of(task: ERTask, pairs: Iterable[LabeledPair]) -> Tuple[List[Record], List[Record], np.ndarray]:
+    """Resolve pairs into (left records, right records, labels)."""
+    pairs = list(pairs)
+    left = [task.left[p.left_id] for p in pairs]
+    right = [task.right[p.right_id] for p in pairs]
+    labels = np.array([p.label for p in pairs], dtype=np.float64)
+    return left, right, labels

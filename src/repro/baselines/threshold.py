@@ -1,0 +1,52 @@
+"""Non-learned string-similarity baseline.
+
+Not part of the paper's comparison table, but a useful sanity floor: any deep
+matcher should beat a tuned Jaccard-similarity threshold.  Also used by the
+test suite as a quick, deterministic reference point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.baselines.base import BaselineMatcher, records_of
+from repro.data.pairs import LabeledPair, PairSet
+from repro.data.schema import ERTask, Record
+from repro.eval.metrics import best_threshold
+from repro.text.tokenize import tokenize
+
+
+def jaccard(a: str, b: str) -> float:
+    """Token-set Jaccard similarity of two strings."""
+    tokens_a, tokens_b = set(tokenize(a)), set(tokenize(b))
+    if not tokens_a and not tokens_b:
+        return 0.0
+    union = tokens_a | tokens_b
+    return len(tokens_a & tokens_b) / len(union) if union else 0.0
+
+
+def record_similarity(left: Record, right: Record) -> float:
+    """Mean attribute-wise Jaccard similarity of two records."""
+    similarities = [jaccard(a, b) for a, b in zip(left.values, right.values)]
+    return float(np.mean(similarities)) if similarities else 0.0
+
+
+class ThresholdMatcher(BaselineMatcher):
+    """Classify pairs by thresholding mean attribute Jaccard similarity."""
+
+    name = "jaccard-threshold"
+
+    def fit(self, task: ERTask, training_pairs: PairSet, validation_pairs: Optional[PairSet] = None) -> "ThresholdMatcher":
+        left, right, labels = records_of(task, training_pairs.pairs())
+        scores = np.array([record_similarity(l, r) for l, r in zip(left, right)])
+        self.threshold = best_threshold(labels.astype(int), scores, grid=np.linspace(0.05, 0.95, 37))
+        self._fitted = True
+        self.tune_threshold(task, validation_pairs)
+        return self
+
+    def predict_proba(self, task: ERTask, pairs: Iterable[LabeledPair]) -> np.ndarray:
+        self._require_fitted()
+        left, right, _ = records_of(task, pairs)
+        return np.array([record_similarity(l, r) for l, r in zip(left, right)])

@@ -1,0 +1,6 @@
+"""Blocking / candidate-generation substrate built on Euclidean LSH."""
+
+from repro.blocking.lsh import EuclideanLSHIndex
+from repro.blocking.neighbours import NearestNeighbourSearch, NeighbourResult
+
+__all__ = ["EuclideanLSHIndex", "NearestNeighbourSearch", "NeighbourResult"]

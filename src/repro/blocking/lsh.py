@@ -1,0 +1,139 @@
+"""Locality Sensitive Hashing for Euclidean distance (p-stable scheme).
+
+Algorithm 1 of the paper generates the unlabeled candidate pool by LSH
+nearest-neighbour search over entity representations, exploiting the fact
+that the 2-Wasserstein distance between diagonal Gaussians is positively
+correlated with the Euclidean distance between their means.  This module
+implements the classic p-stable LSH of Datar et al. (2004): each hash table
+projects vectors onto random Gaussian directions, shifts and quantises them
+into buckets of width ``w``; near vectors collide in at least one table with
+high probability.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+
+class EuclideanLSHIndex:
+    """Multi-table p-stable LSH index over dense vectors.
+
+    Parameters
+    ----------
+    num_tables:
+        Number of independent hash tables; more tables raise recall.
+    hash_size:
+        Number of random projections concatenated into one bucket key.
+    bucket_width:
+        Quantisation width ``w``; larger widths make collisions more likely.
+    seed:
+        Seed of the random projections.
+    """
+
+    def __init__(
+        self,
+        num_tables: int = 8,
+        hash_size: int = 12,
+        bucket_width: float = 4.0,
+        seed: int = 41,
+    ) -> None:
+        if num_tables <= 0 or hash_size <= 0:
+            raise ValueError("num_tables and hash_size must be positive")
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self.num_tables = num_tables
+        self.hash_size = hash_size
+        self.bucket_width = bucket_width
+        self.seed = seed
+        self._projections: Optional[np.ndarray] = None
+        self._offsets: Optional[np.ndarray] = None
+        self._tables: List[Dict[Tuple[int, ...], List[int]]] = []
+        self._vectors: Optional[np.ndarray] = None
+        self._keys: List[object] = []
+
+    # ------------------------------------------------------------------
+    def build(self, vectors: np.ndarray, keys: Optional[Sequence[object]] = None) -> "EuclideanLSHIndex":
+        """Index ``vectors``; ``keys`` are the identifiers returned by queries."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError(f"expected a 2-d array of vectors, got shape {vectors.shape}")
+        n, dim = vectors.shape
+        rng = np.random.default_rng(self.seed)
+        self._projections = rng.standard_normal((self.num_tables, self.hash_size, dim))
+        self._offsets = rng.uniform(0.0, self.bucket_width, size=(self.num_tables, self.hash_size))
+        self._vectors = vectors
+        self._keys = list(keys) if keys is not None else list(range(n))
+        if len(self._keys) != n:
+            raise ValueError("keys must align with vectors")
+
+        self._tables = [defaultdict(list) for _ in range(self.num_tables)]
+        bucket_ids = self._bucket_ids(vectors)
+        for table_index in range(self.num_tables):
+            table = self._tables[table_index]
+            for row, bucket in enumerate(map(tuple, bucket_ids[table_index])):
+                table[bucket].append(row)
+        return self
+
+    def _bucket_ids(self, vectors: np.ndarray) -> np.ndarray:
+        assert self._projections is not None and self._offsets is not None
+        # shape: (num_tables, n, hash_size)
+        projected = np.einsum("thd,nd->tnh", self._projections, vectors)
+        return np.floor((projected + self._offsets[:, None, :]) / self.bucket_width).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def query(self, vector: np.ndarray, k: int = 10, exclude: Optional[object] = None) -> List[Tuple[object, float]]:
+        """Return up to ``k`` (key, distance) pairs nearest to ``vector``.
+
+        Candidates are gathered from colliding buckets across all tables and
+        re-ranked by exact Euclidean distance.  If the buckets yield fewer
+        than ``k`` candidates, the index transparently falls back to a linear
+        scan so recall never collapses on small datasets.
+        """
+        if self._vectors is None:
+            raise NotFittedError("EuclideanLSHIndex.query called before build")
+        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        buckets = self._bucket_ids(vector)
+        candidates: set = set()
+        for table_index in range(self.num_tables):
+            bucket = tuple(buckets[table_index, 0])
+            candidates.update(self._tables[table_index].get(bucket, ()))
+        if len(candidates) < k:
+            candidates = set(range(len(self._vectors)))
+        candidate_list = sorted(candidates)
+        diffs = self._vectors[candidate_list] - vector
+        distances = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        order = np.argsort(distances)
+        results: List[Tuple[object, float]] = []
+        for position in order:
+            key = self._keys[candidate_list[position]]
+            if exclude is not None and key == exclude:
+                continue
+            results.append((key, float(distances[position])))
+            if len(results) >= k:
+                break
+        return results
+
+    def query_batch(self, vectors: np.ndarray, k: int = 10) -> List[List[Tuple[object, float]]]:
+        """Vectorised convenience wrapper over :meth:`query`."""
+        return [self.query(vector, k=k) for vector in np.asarray(vectors, dtype=np.float64)]
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return 0 if self._vectors is None else len(self._vectors)
+
+    def bucket_statistics(self) -> Dict[str, float]:
+        """Mean and max bucket occupancy across tables (diagnostics)."""
+        if not self._tables:
+            raise NotFittedError("EuclideanLSHIndex.bucket_statistics called before build")
+        sizes = [len(bucket) for table in self._tables for bucket in table.values()]
+        return {
+            "mean_bucket_size": float(np.mean(sizes)),
+            "max_bucket_size": float(np.max(sizes)),
+            "num_buckets": float(len(sizes)),
+        }

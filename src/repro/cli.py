@@ -1,0 +1,153 @@
+"""Command-line interface for running VAER experiments.
+
+Usage (after installing the package)::
+
+    python -m repro list-domains
+    python -m repro supervised --domain restaurants
+    python -m repro active --domain cosmetics --budget 60
+    python -m repro transfer --source citations2 --target beer
+    python -m repro representation --domain beer --ir lsa
+
+Each sub-command drives the same harness functions the benchmark suite uses,
+so the CLI is a convenient way to reproduce a single cell of the paper's
+tables without running the whole pytest-benchmark sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Cost-effective Variational Active Entity Resolution' (ICDE 2021).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-domains", help="List the nine synthetic benchmark domains (Table II).")
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--domain", default="restaurants", help="Benchmark domain name (see list-domains).")
+        sub.add_argument("--ir", default="lsa", choices=["lsa", "w2v", "bert", "embdi"], help="IR type.")
+        sub.add_argument("--scale", type=float, default=1.0, help="Dataset size multiplier.")
+        sub.add_argument("--seed", type=int, default=7, help="Random seed for the harness.")
+
+    supervised = subparsers.add_parser("supervised", help="Representation + supervised matching (Tables V/VI).")
+    add_common(supervised)
+
+    representation = subparsers.add_parser("representation", help="Raw-IR vs VAER nearest-neighbour search (Table IV).")
+    add_common(representation)
+    representation.add_argument("--k", type=int, default=10, help="Top-K for the neighbour search.")
+
+    active = subparsers.add_parser("active", help="Active-learning run (Table VIII / Figure 5).")
+    add_common(active)
+    active.add_argument("--budget", type=int, default=60, help="Oracle labeling budget.")
+    active.add_argument("--iterations", type=int, default=12, help="Maximum AL iterations.")
+    active.add_argument("--strategy", default="vaer", choices=["vaer", "entropy", "random"], help="Sampling strategy.")
+
+    transfer = subparsers.add_parser("transfer", help="Transfer a representation model across domains (Table VII).")
+    transfer.add_argument("--source", default="citations2", help="Source domain for the representation model.")
+    transfer.add_argument("--target", default="beer", help="Target domain to transfer to.")
+    transfer.add_argument("--scale", type=float, default=1.0, help="Dataset size multiplier.")
+
+    return parser
+
+
+def _harness_config(seed: int = 7):
+    from repro.eval.harness import HarnessConfig
+
+    return HarnessConfig(
+        ir_dim=48, hidden_dim=96, latent_dim=32,
+        vae_epochs=10, matcher_epochs=50, al_retrain_epochs=12, seed=seed,
+    )
+
+
+def _cmd_list_domains() -> int:
+    from repro.data.generators import DOMAIN_NAMES, domain_spec
+
+    for name in DOMAIN_NAMES:
+        spec = domain_spec(name)
+        kind = "clean" if spec.clean else "noisy"
+        print(f"{name:12s} arity={spec.arity:2d} {kind:5s}  {spec.description}")
+    return 0
+
+
+def _cmd_supervised(args: argparse.Namespace) -> int:
+    from repro.data.generators import load_domain
+    from repro.eval.harness import run_vaer_matching
+
+    domain = load_domain(args.domain, scale=args.scale)
+    row = run_vaer_matching(domain, _harness_config(args.seed), ir_method=args.ir)
+    print(f"domain={args.domain} ir={args.ir}")
+    print(f"  representation training: {row.representation_seconds:.2f}s")
+    print(f"  matcher training:        {row.matching_seconds:.2f}s")
+    print(f"  test effectiveness:      {row.metrics}")
+    return 0
+
+
+def _cmd_representation(args: argparse.Namespace) -> int:
+    from repro.data.generators import load_domain
+    from repro.eval.harness import representation_experiment
+
+    domain = load_domain(args.domain, scale=args.scale)
+    results = representation_experiment(
+        domain, _harness_config(args.seed), ir_methods=(args.ir,), k=args.k
+    )[args.ir]
+    print(f"domain={args.domain} ir={args.ir} K={args.k}")
+    print(f"  raw IR search : {results['raw']}")
+    print(f"  VAER search   : {results['vaer']}")
+    return 0
+
+
+def _cmd_active(args: argparse.Namespace) -> int:
+    from repro.data.generators import load_domain
+    from repro.eval.harness import active_learning_experiment
+
+    domain = load_domain(args.domain, scale=args.scale)
+    row = active_learning_experiment(
+        domain, _harness_config(args.seed),
+        label_budget=args.budget, iterations=args.iterations,
+        strategy=args.strategy, ir_method=args.ir,
+    )
+    print(f"domain={args.domain} strategy={args.strategy} budget={args.budget}")
+    print(f"  bootstrap matcher: {row.bootstrap}")
+    print(f"  active matcher   : {row.active}  ({row.labels_used} oracle labels)")
+    print(f"  full-data matcher: {row.full}  ({row.full_training_size} given labels)")
+    print("  F1 trace:", ", ".join(f"{labels}:{f1:.2f}" for labels, f1 in row.f1_trace))
+    return 0
+
+
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    from repro.data.generators import load_domain
+    from repro.eval.harness import transfer_experiment
+
+    source = load_domain(args.source, scale=args.scale)
+    target = load_domain(args.target, scale=args.scale)
+    row = transfer_experiment(source, [target], _harness_config())[0]
+    print(f"source={args.source} target={args.target}")
+    print(f"  recall@10 local/transferred: {row.local_recall:.2f} / {row.transferred_recall:.2f} ({row.recall_delta:+.2f})")
+    print(f"  matching F1 local/transferred: {row.local_f1:.2f} / {row.transferred_f1:.2f} ({row.f1_delta:+.2f})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-domains":
+        return _cmd_list_domains()
+    if args.command == "supervised":
+        return _cmd_supervised(args)
+    if args.command == "representation":
+        return _cmd_representation(args)
+    if args.command == "active":
+        return _cmd_active(args)
+    if args.command == "transfer":
+        return _cmd_transfer(args)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

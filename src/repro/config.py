@@ -1,0 +1,134 @@
+"""Configuration objects for the VAER reproduction.
+
+The defaults reproduce Table III of the paper:
+
+===============================  =======
+Parameter                        Value
+===============================  =======
+VAE hidden dimension             200
+VAE latent dimension             100
+Matching margin M                0.5
+AL samples per iteration         10
+AL top neighbours K              10
+Optimizer                        Adam
+Learning rate                    0.001
+===============================  =======
+
+Dataset sizes are scaled down relative to the paper (the evaluation here runs
+on CPU with synthetic data); the scaling factor is configurable per
+experiment through :class:`ExperimentConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class VAEConfig:
+    """Hyper-parameters of the entity representation model (Figure 2)."""
+
+    ir_dim: int = 64
+    hidden_dim: int = 200
+    latent_dim: int = 100
+    epochs: int = 15
+    batch_size: int = 64
+    learning_rate: float = 0.001
+    kl_weight: float = 1.0
+    grad_clip: float = 5.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.ir_dim <= 0 or self.hidden_dim <= 0 or self.latent_dim <= 0:
+            raise ValueError("VAE dimensions must be positive")
+        if self.kl_weight < 0:
+            raise ValueError("kl_weight must be non-negative")
+
+
+@dataclass
+class MatcherConfig:
+    """Hyper-parameters of the Siamese matching model (Figure 3)."""
+
+    margin: float = 0.5
+    mlp_hidden: Tuple[int, ...] = (64, 32)
+    epochs: int = 30
+    batch_size: int = 32
+    learning_rate: float = 0.001
+    contrastive_weight: float = 1.0
+    dropout: float = 0.0
+    grad_clip: float = 5.0
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if self.margin <= 0:
+            raise ValueError("margin must be positive")
+        if not self.mlp_hidden:
+            raise ValueError("matcher MLP needs at least one hidden layer")
+
+
+@dataclass
+class ActiveLearningConfig:
+    """Hyper-parameters of the active-learning scheme (Section V)."""
+
+    samples_per_iteration: int = 10
+    top_neighbours: int = 10
+    iterations: int = 25
+    kde_samples_per_pair: int = 200
+    bootstrap_positives: int = 15
+    bootstrap_negatives: int = 15
+    retrain_epochs: int = 15
+    seed: int = 29
+
+    def __post_init__(self) -> None:
+        if self.samples_per_iteration <= 0:
+            raise ValueError("samples_per_iteration must be positive")
+        if self.top_neighbours <= 0:
+            raise ValueError("top_neighbours must be positive")
+
+
+@dataclass
+class BlockingConfig:
+    """Hyper-parameters of the LSH blocking / candidate-generation substrate."""
+
+    num_tables: int = 8
+    hash_size: int = 12
+    bucket_width: float = 4.0
+    seed: int = 41
+
+
+@dataclass
+class VAERConfig:
+    """Aggregate configuration for the end-to-end VAER pipeline."""
+
+    vae: VAEConfig = field(default_factory=VAEConfig)
+    matcher: MatcherConfig = field(default_factory=MatcherConfig)
+    active_learning: ActiveLearningConfig = field(default_factory=ActiveLearningConfig)
+    blocking: BlockingConfig = field(default_factory=BlockingConfig)
+    ir_method: str = "lsa"
+
+    def to_dict(self) -> Dict:
+        """Flatten the configuration to a plain dictionary (for metadata)."""
+        return asdict(self)
+
+    @staticmethod
+    def paper_defaults() -> "VAERConfig":
+        """Return the configuration matching Table III of the paper."""
+        return VAERConfig()
+
+
+@dataclass
+class ExperimentConfig:
+    """Controls how large the synthetic workloads are when running benches.
+
+    ``scale`` multiplies the per-domain cardinalities; 1.0 corresponds to the
+    reduced sizes used by default in this CPU-only reproduction (roughly one
+    tenth of the paper's Table II sizes).
+    """
+
+    scale: float = 1.0
+    seed: int = 97
+    fast: bool = True
+
+    def scaled(self, value: int, minimum: int = 20) -> int:
+        return max(minimum, int(round(value * self.scale)))

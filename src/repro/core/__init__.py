@@ -1,0 +1,48 @@
+"""The paper's core contribution: VAE representations, Siamese matching,
+transfer learning and latent-space active learning."""
+
+from repro.core.vae import GaussianEncoder, GaussianDecoder, VariationalAutoEncoder
+from repro.core.representation import EntityEncoding, EntityRepresentationModel
+from repro.core.distances import (
+    wasserstein2_vector,
+    wasserstein2_squared,
+    mahalanobis_squared,
+    euclidean,
+    tuple_wasserstein,
+    wasserstein2_vector_t,
+    wasserstein2_squared_t,
+    mahalanobis_vector_t,
+)
+from repro.core.matcher import SiameseMatcher, pair_ir_arrays, train_matcher
+from repro.core.transfer import (
+    TransferReport,
+    transfer_representation,
+    adapt_task_arity,
+    transfer_with_report,
+)
+from repro.core.pipeline import VAER, ResolutionResult
+
+__all__ = [
+    "GaussianEncoder",
+    "GaussianDecoder",
+    "VariationalAutoEncoder",
+    "EntityEncoding",
+    "EntityRepresentationModel",
+    "wasserstein2_vector",
+    "wasserstein2_squared",
+    "mahalanobis_squared",
+    "euclidean",
+    "tuple_wasserstein",
+    "wasserstein2_vector_t",
+    "wasserstein2_squared_t",
+    "mahalanobis_vector_t",
+    "SiameseMatcher",
+    "pair_ir_arrays",
+    "train_matcher",
+    "TransferReport",
+    "transfer_representation",
+    "adapt_task_arity",
+    "transfer_with_report",
+    "VAER",
+    "ResolutionResult",
+]

@@ -1,0 +1,41 @@
+"""Active learning in the latent space (Section V of the paper)."""
+
+from repro.core.active.kde import GaussianKDE
+from repro.core.active.oracle import (
+    LabelingOracle,
+    GroundTruthOracle,
+    NoisyOracle,
+    BudgetedOracle,
+)
+from repro.core.active.bootstrap import BootstrapResult, bootstrap_training_data
+from repro.core.active.sampler import (
+    LatentSpaceSampler,
+    RandomSampler,
+    EntropySampler,
+    SampleSelection,
+    entropy_of,
+    duplicate_distance_samples,
+    pair_latent_distances,
+)
+from repro.core.active.loop import ActiveLearningLoop, ALResult, ALIterationRecord, STRATEGIES
+
+__all__ = [
+    "GaussianKDE",
+    "LabelingOracle",
+    "GroundTruthOracle",
+    "NoisyOracle",
+    "BudgetedOracle",
+    "BootstrapResult",
+    "bootstrap_training_data",
+    "LatentSpaceSampler",
+    "RandomSampler",
+    "EntropySampler",
+    "SampleSelection",
+    "entropy_of",
+    "duplicate_distance_samples",
+    "pair_latent_distances",
+    "ActiveLearningLoop",
+    "ALResult",
+    "ALIterationRecord",
+    "STRATEGIES",
+]

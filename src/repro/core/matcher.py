@@ -1,0 +1,255 @@
+"""Supervised matching in the latent space (Section IV of the paper).
+
+:class:`SiameseMatcher` implements Figure 3: two weight-tied variational
+encoders (initialised from the unsupervised representation model) map the
+per-attribute IRs of both tuples to diagonal Gaussians; a Distance layer
+computes attribute-wise squared 2-Wasserstein vectors; the concatenated
+distance vectors feed a two-layer MLP that predicts match / non-match.
+
+Training optimises Equation 4: binary cross-entropy of the prediction plus a
+contrastive term that pulls duplicate representations together and pushes
+non-duplicates apart up to a margin ``M``, fine-tuning the transferred encoder
+weights in the process.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.config import MatcherConfig, VAEConfig
+from repro.core.distances import mahalanobis_vector_t, wasserstein2_vector_t
+from repro.core.representation import EntityRepresentationModel
+from repro.core.vae import GaussianEncoder
+from repro.data.pairs import LabeledPair, PairSet
+from repro.data.schema import ERTask
+from repro.exceptions import NotFittedError
+from repro.nn import (
+    Adam,
+    EarlyStopping,
+    MLP,
+    Module,
+    Trainer,
+    TrainingHistory,
+    binary_cross_entropy_with_logits,
+    contrastive_loss,
+)
+
+
+class SiameseMatcher(Module):
+    """Siamese matching network over per-attribute Gaussian representations.
+
+    Parameters
+    ----------
+    arity:
+        Number of aligned attributes of the ER task.
+    vae_config:
+        Architecture of the encoder heads (must match the representation
+        model the weights are transferred from).
+    config:
+        Matcher hyper-parameters (margin, MLP sizes, training schedule).
+    distance:
+        ``"wasserstein"`` (default, Equation 3) or ``"mahalanobis"`` for the
+        ablation discussed in Section IV-A.
+    """
+
+    def __init__(
+        self,
+        arity: int,
+        vae_config: Optional[VAEConfig] = None,
+        config: Optional[MatcherConfig] = None,
+        distance: str = "wasserstein",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if arity <= 0:
+            raise ValueError("arity must be positive")
+        if distance not in ("wasserstein", "mahalanobis"):
+            raise ValueError(f"unknown distance {distance!r}")
+        self.arity = arity
+        self.vae_config = vae_config or VAEConfig()
+        self.config = config or MatcherConfig()
+        self.distance = distance
+        rng = rng or np.random.default_rng(self.config.seed)
+        # One encoder instance == weight tying between the two Siamese heads:
+        # both tuples pass through the same module, so gradient updates are
+        # automatically mirrored (Section IV-A).
+        self.encoder = GaussianEncoder(
+            self.vae_config.ir_dim, self.vae_config.hidden_dim, self.vae_config.latent_dim, rng=rng
+        )
+        self.classifier = MLP(
+            in_features=arity * self.vae_config.latent_dim,
+            hidden_sizes=self.config.mlp_hidden,
+            out_features=1,
+            dropout=self.config.dropout,
+            rng=rng,
+        )
+        self._fitted = False
+        self.training_history: Optional[TrainingHistory] = None
+
+    # ------------------------------------------------------------------
+    # Weight transfer
+    # ------------------------------------------------------------------
+    def initialize_from(self, representation: EntityRepresentationModel) -> "SiameseMatcher":
+        """Copy the trained VAE encoder weights into both Siamese heads."""
+        self.encoder.load_state_dict(representation.vae.encoder.state_dict())
+        return self
+
+    # ------------------------------------------------------------------
+    # Forward pass
+    # ------------------------------------------------------------------
+    def _encode_side(self, irs: Tensor) -> Tuple[Tensor, Tensor]:
+        """Encode a (batch, arity, ir_dim) tensor to (mu, sigma) tensors."""
+        batch = irs.shape[0]
+        flat = irs.reshape(batch * self.arity, self.vae_config.ir_dim)
+        mu, log_var = self.encoder(flat)
+        sigma = (log_var * 0.5).exp()
+        latent = self.vae_config.latent_dim
+        return (
+            mu.reshape(batch, self.arity, latent),
+            sigma.reshape(batch, self.arity, latent),
+        )
+
+    def forward(self, left_irs: Tensor, right_irs: Tensor) -> Tuple[Tensor, Tensor]:
+        """Return (logits, per-pair mean attribute distance).
+
+        ``logits`` has shape (batch,); the distance output is the scalar
+        attribute-averaged W2^2 used by the contrastive part of the loss.
+        """
+        mu_left, sigma_left = self._encode_side(left_irs)
+        mu_right, sigma_right = self._encode_side(right_irs)
+        if self.distance == "wasserstein":
+            distance_vectors = wasserstein2_vector_t(mu_left, sigma_left, mu_right, sigma_right)
+        else:
+            distance_vectors = mahalanobis_vector_t(mu_left, sigma_left, mu_right, sigma_right)
+        batch = distance_vectors.shape[0]
+        concatenated = distance_vectors.reshape(batch, self.arity * self.vae_config.latent_dim)
+        logits = self.classifier(concatenated).reshape(batch)
+        # Mean over attributes and latent dimensions: the tuple-level distance.
+        pair_distance = distance_vectors.reshape(batch, -1).mean(axis=-1)
+        return logits, pair_distance
+
+    # ------------------------------------------------------------------
+    # Loss (Equation 4)
+    # ------------------------------------------------------------------
+    def loss(self, left_irs: np.ndarray, right_irs: np.ndarray, labels: np.ndarray) -> Tensor:
+        logits, pair_distance = self.forward(Tensor(left_irs), Tensor(right_irs))
+        labels_t = Tensor(np.asarray(labels, dtype=np.float64))
+        classification = binary_cross_entropy_with_logits(logits, labels_t)
+        contrastive = contrastive_loss(pair_distance, labels_t, margin=self.config.margin)
+        return classification + self.config.contrastive_weight * contrastive
+
+    # ------------------------------------------------------------------
+    # Training / inference
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        left_irs: np.ndarray,
+        right_irs: np.ndarray,
+        labels: np.ndarray,
+        epochs: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Train on aligned IR arrays of shape (n, arity, ir_dim)."""
+        left_irs = np.asarray(left_irs, dtype=np.float64)
+        right_irs = np.asarray(right_irs, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if left_irs.shape != right_irs.shape:
+            raise ValueError("left and right IR arrays must have identical shapes")
+        if left_irs.shape[0] != labels.shape[0]:
+            raise ValueError("labels must align with IR arrays")
+        optimizer = Adam(self.parameters(), lr=self.config.learning_rate)
+        # On small labeled pools (e.g. the AL bootstrap's ~30 pairs) a full-size
+        # batch would give only one gradient step per epoch; cap the batch so
+        # every epoch makes at least ~8 updates.
+        n_pairs = left_irs.shape[0]
+        effective_batch = min(self.config.batch_size, max(4, int(np.ceil(n_pairs / 8))))
+        trainer = Trainer(
+            module=self,
+            optimizer=optimizer,
+            loss_fn=self.loss,
+            batch_size=effective_batch,
+            max_epochs=epochs if epochs is not None else self.config.epochs,
+            grad_clip=self.config.grad_clip,
+            early_stopping=EarlyStopping(patience=6),
+            rng=np.random.default_rng(self.config.seed),
+        )
+        history = trainer.fit(left_irs, right_irs, labels)
+        self._fitted = True
+        self.training_history = history
+        return history
+
+    def predict_proba(self, left_irs: np.ndarray, right_irs: np.ndarray) -> np.ndarray:
+        """Match probabilities for aligned IR arrays."""
+        if not self._fitted:
+            raise NotFittedError("SiameseMatcher.predict_proba called before fit")
+        self.eval()
+        logits, _ = self.forward(Tensor(np.asarray(left_irs, dtype=np.float64)),
+                                 Tensor(np.asarray(right_irs, dtype=np.float64)))
+        return 1.0 / (1.0 + np.exp(-np.clip(logits.data, -60, 60)))
+
+    def predict(self, left_irs: np.ndarray, right_irs: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary match decisions."""
+        return (self.predict_proba(left_irs, right_irs) > threshold).astype(np.int64)
+
+    def pair_distances(self, left_irs: np.ndarray, right_irs: np.ndarray) -> np.ndarray:
+        """Tuple-level W2^2 distances under the (possibly fine-tuned) encoder."""
+        self.eval()
+        _, distances = self.forward(Tensor(np.asarray(left_irs, dtype=np.float64)),
+                                    Tensor(np.asarray(right_irs, dtype=np.float64)))
+        return distances.data
+
+
+# ----------------------------------------------------------------------
+# Pair featurisation helpers
+# ----------------------------------------------------------------------
+def pair_ir_arrays(
+    representation: EntityRepresentationModel,
+    task: ERTask,
+    pairs: Iterable[LabeledPair],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Assemble (left IRs, right IRs, labels) arrays for a set of labeled pairs.
+
+    IRs are computed in one batch per side for efficiency.  Shapes:
+    (n, arity, ir_dim) for the IR arrays and (n,) for the labels.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        arity = task.arity
+        dim = representation.config.ir_dim
+        return np.zeros((0, arity, dim)), np.zeros((0, arity, dim)), np.zeros((0,))
+    left_records = [task.left[p.left_id] for p in pairs]
+    right_records = [task.right[p.right_id] for p in pairs]
+    left_values: List[str] = []
+    right_values: List[str] = []
+    for record in left_records:
+        left_values.extend(record.values)
+    for record in right_records:
+        right_values.extend(record.values)
+    arity = task.arity
+    dim = representation.config.ir_dim
+    left = representation.ir_generator.transform_values(left_values).reshape(len(pairs), arity, dim)
+    right = representation.ir_generator.transform_values(right_values).reshape(len(pairs), arity, dim)
+    labels = np.array([p.label for p in pairs], dtype=np.float64)
+    return left, right, labels
+
+
+def train_matcher(
+    representation: EntityRepresentationModel,
+    task: ERTask,
+    training_pairs: PairSet,
+    config: Optional[MatcherConfig] = None,
+    distance: str = "wasserstein",
+    epochs: Optional[int] = None,
+) -> SiameseMatcher:
+    """Convenience constructor: build, initialise and train a matcher."""
+    matcher = SiameseMatcher(
+        arity=task.arity,
+        vae_config=representation.config,
+        config=config,
+        distance=distance,
+    ).initialize_from(representation)
+    left, right, labels = pair_ir_arrays(representation, task, training_pairs)
+    matcher.fit(left, right, labels, epochs=epochs)
+    return matcher

@@ -1,0 +1,210 @@
+"""End-to-end VAER API (the decoupled process of Figure 1).
+
+:class:`VAER` wires the three stages of the paper together behind one object:
+
+1. ``fit_representation`` — unsupervised representation learning (step 1 of
+   Figure 1), or ``use_representation`` to plug in a transferred model;
+2. ``fit_matcher`` — supervised Siamese matching on labeled pairs (step 2);
+3. ``active_learning`` — the labeling-assist loop (step 3), which trains the
+   matcher with an oracle in the loop instead of a given training set.
+
+The object also exposes blocking-based candidate generation and evaluation
+helpers so the examples and benchmarks read like a user's workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.blocking.neighbours import NearestNeighbourSearch
+from repro.config import VAERConfig
+from repro.core.active.loop import ActiveLearningLoop, ALResult
+from repro.core.active.oracle import LabelingOracle
+from repro.core.matcher import SiameseMatcher, pair_ir_arrays
+from repro.core.representation import EntityRepresentationModel
+from repro.core.transfer import transfer_representation
+from repro.data.pairs import LabeledPair, PairSet, RecordPair
+from repro.data.schema import ERTask
+from repro.eval.metrics import PRF, best_threshold, precision_recall_f1
+from repro.exceptions import NotFittedError
+
+
+@dataclass
+class ResolutionResult:
+    """Output of :meth:`VAER.resolve`: scored candidate pairs."""
+
+    pairs: List[RecordPair]
+    probabilities: np.ndarray
+    threshold: float
+
+    def matches(self) -> List[RecordPair]:
+        """Candidate pairs predicted to be duplicates."""
+        return [pair for pair, p in zip(self.pairs, self.probabilities) if p > self.threshold]
+
+
+class VAER:
+    """Variational Active Entity Resolution, end to end."""
+
+    def __init__(self, config: Optional[VAERConfig] = None) -> None:
+        self.config = config or VAERConfig()
+        self.representation: Optional[EntityRepresentationModel] = None
+        self.matcher: Optional[SiameseMatcher] = None
+        self.task: Optional[ERTask] = None
+        self.threshold: float = 0.5
+
+    # ------------------------------------------------------------------
+    # Step 1: representation learning
+    # ------------------------------------------------------------------
+    def fit_representation(self, task: ERTask, epochs: Optional[int] = None) -> "VAER":
+        """Unsupervised training of the entity representation model."""
+        self.task = task
+        self.representation = EntityRepresentationModel(
+            config=self.config.vae, ir_method=self.config.ir_method
+        ).fit(task, epochs=epochs)
+        return self
+
+    def use_representation(self, representation: EntityRepresentationModel, task: ERTask) -> "VAER":
+        """Adopt an existing (typically transferred) representation model."""
+        self.task = task
+        self.representation = transfer_representation(representation, task)
+        return self
+
+    def _require_representation(self) -> EntityRepresentationModel:
+        if self.representation is None or self.task is None:
+            raise NotFittedError("call fit_representation() or use_representation() first")
+        return self.representation
+
+    # ------------------------------------------------------------------
+    # Step 2: supervised matching
+    # ------------------------------------------------------------------
+    def fit_matcher(
+        self,
+        training_pairs: PairSet,
+        validation_pairs: Optional[PairSet] = None,
+        epochs: Optional[int] = None,
+    ) -> "VAER":
+        """Train the Siamese matcher on labeled pairs.
+
+        When validation pairs are supplied, the decision threshold is tuned on
+        them (F1-maximising), mirroring how the baselines select their
+        operating point.
+        """
+        representation = self._require_representation()
+        assert self.task is not None
+        self.matcher = SiameseMatcher(
+            arity=self.task.arity,
+            vae_config=representation.config,
+            config=self.config.matcher,
+        ).initialize_from(representation)
+        left, right, labels = pair_ir_arrays(representation, self.task, training_pairs)
+        self.matcher.fit(left, right, labels, epochs=epochs)
+        self.threshold = 0.5
+        if validation_pairs is not None and len(validation_pairs) > 0:
+            v_left, v_right, v_labels = pair_ir_arrays(representation, self.task, validation_pairs)
+            probabilities = self.matcher.predict_proba(v_left, v_right)
+            self.threshold = best_threshold(v_labels.astype(int), probabilities)
+        return self
+
+    # ------------------------------------------------------------------
+    # Step 3: active learning
+    # ------------------------------------------------------------------
+    def active_learning(
+        self,
+        oracle: LabelingOracle,
+        iterations: Optional[int] = None,
+        label_budget: Optional[int] = None,
+        strategy: str = "vaer",
+        test_pairs: Optional[PairSet] = None,
+        verify_bootstrap_positives: bool = True,
+    ) -> ALResult:
+        """Train the matcher through the active-learning loop.
+
+        The resulting matcher is adopted by this pipeline (so ``predict`` and
+        ``evaluate`` use it afterwards) and the full AL result is returned for
+        inspection of the labeling-cost trace.
+        """
+        representation = self._require_representation()
+        assert self.task is not None
+        loop = ActiveLearningLoop(
+            task=self.task,
+            representation=representation,
+            oracle=oracle,
+            config=self.config.active_learning,
+            matcher_config=self.config.matcher,
+            blocking=self.config.blocking,
+            strategy=strategy,
+            test_pairs=test_pairs,
+            verify_bootstrap_positives=verify_bootstrap_positives,
+        )
+        result = loop.run(iterations=iterations, label_budget=label_budget)
+        self.matcher = result.matcher
+        self.threshold = 0.5
+        return result
+
+    # ------------------------------------------------------------------
+    # Inference and evaluation
+    # ------------------------------------------------------------------
+    def _require_matcher(self) -> SiameseMatcher:
+        if self.matcher is None:
+            raise NotFittedError("call fit_matcher() or active_learning() first")
+        return self.matcher
+
+    def predict_pairs(self, pairs: PairSet) -> np.ndarray:
+        """Match probabilities for labeled or unlabeled pairs."""
+        representation = self._require_representation()
+        matcher = self._require_matcher()
+        assert self.task is not None
+        left, right, _ = pair_ir_arrays(representation, self.task, pairs)
+        return matcher.predict_proba(left, right)
+
+    def evaluate(self, test_pairs: PairSet) -> PRF:
+        """Precision/recall/F1 on a labeled test pair set."""
+        probabilities = self.predict_pairs(test_pairs)
+        predictions = (probabilities > self.threshold).astype(int)
+        return precision_recall_f1(test_pairs.labels(), predictions)
+
+    # ------------------------------------------------------------------
+    # Blocking + end-to-end resolution
+    # ------------------------------------------------------------------
+    def candidate_pairs(self, k: Optional[int] = None) -> List[RecordPair]:
+        """Blocking step: LSH top-K candidates over entity representations."""
+        representation = self._require_representation()
+        assert self.task is not None
+        k = k or self.config.active_learning.top_neighbours
+        encodings = representation.encode_task(self.task)
+        search = NearestNeighbourSearch(self.config.blocking).build(
+            encodings["right"].flat_mu(), encodings["right"].keys
+        )
+        return search.candidate_pairs(encodings["left"].flat_mu(), encodings["left"].keys, k=k)
+
+    def resolve(self, k: Optional[int] = None) -> ResolutionResult:
+        """Full ER pass: blocking then matching of every candidate pair."""
+        representation = self._require_representation()
+        matcher = self._require_matcher()
+        assert self.task is not None
+        candidates = self.candidate_pairs(k=k)
+        as_labeled = PairSet(LabeledPair(c.left_id, c.right_id, 0) for c in candidates)
+        left, right, _ = pair_ir_arrays(representation, self.task, as_labeled)
+        probabilities = matcher.predict_proba(left, right)
+        return ResolutionResult(pairs=candidates, probabilities=probabilities, threshold=self.threshold)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Human-readable description of the pipeline state."""
+        info: Dict[str, object] = {
+            "ir_method": self.config.ir_method,
+            "task": self.task.name if self.task else None,
+            "representation_fitted": self.representation is not None,
+            "matcher_fitted": self.matcher is not None,
+            "threshold": self.threshold,
+        }
+        if self.representation is not None:
+            info["vae_parameters"] = self.representation.vae.num_parameters()
+        if self.matcher is not None:
+            info["matcher_parameters"] = self.matcher.num_parameters()
+        return info

@@ -1,0 +1,96 @@
+"""Transfer of representation models across ER tasks (Section III-D, VI-D).
+
+Because the VAE operates on numeric IRs with shared parameters across
+attributes, its weights are domain-agnostic: a model trained on one domain
+can encode any other domain's IRs of the same dimensionality.  What must be
+redone per task is only the (cheap, unsupervised) IR fitting.  The matcher,
+however, consumes a concatenation of ``arity x latent_dim`` distance vectors,
+so the paper restricts transferred *matching* to tasks projected to the
+source arity — extra columns are dropped and missing ones padded.  Both rules
+are implemented here.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.representation import EntityRepresentationModel
+from repro.data.schema import ERTask
+from repro.exceptions import ArityMismatchError
+
+
+@dataclass
+class TransferReport:
+    """Book-keeping of one representation-model transfer."""
+
+    source_domain: str
+    target_domain: str
+    source_arity: Optional[int]
+    target_arity: int
+    arity_adapted: bool
+
+
+def transfer_representation(
+    source: EntityRepresentationModel,
+    target_task: ERTask,
+) -> EntityRepresentationModel:
+    """Reuse a trained representation model on a new task.
+
+    The returned model shares the *trained VAE weights* of ``source`` (deep
+    copied so later fine-tuning does not mutate the original) and carries a
+    freshly fitted IR generator for the target task's corpus.  No VAE
+    training happens, which is exactly the training-time saving measured in
+    Section VI-D.
+    """
+    transferred = EntityRepresentationModel(
+        config=copy.deepcopy(source.config),
+        ir_method=source.ir_method,
+    )
+    transferred.vae.load_state_dict(source.vae.state_dict())
+    transferred.refit_ir_only(target_task)
+    return transferred
+
+
+def adapt_task_arity(task: ERTask, target_arity: int) -> ERTask:
+    """Project a task to the arity expected by a transferred matcher.
+
+    Following Section VI-D: when the target task has more attributes than the
+    transferred model expects, only the first ``target_arity`` columns are
+    used; when it has fewer, empty padding columns are appended.
+    """
+    if target_arity <= 0:
+        raise ArityMismatchError("target arity must be positive")
+    if task.arity == target_arity:
+        return task
+    return task.project(target_arity)
+
+
+def transfer_with_report(
+    source: EntityRepresentationModel,
+    source_domain: str,
+    target_task: ERTask,
+    matcher_arity: Optional[int] = None,
+) -> tuple:
+    """Transfer a representation model and, optionally, arity-adapt the task.
+
+    Returns ``(transferred_model, adapted_task, report)``.  ``matcher_arity``
+    is the arity the downstream matcher was (or will be) built for; when
+    omitted, the task is left unchanged.
+    """
+    transferred = transfer_representation(source, target_task)
+    adapted_task = target_task
+    arity_adapted = False
+    if matcher_arity is not None and matcher_arity != target_task.arity:
+        adapted_task = adapt_task_arity(target_task, matcher_arity)
+        transferred.refit_ir_only(adapted_task)
+        arity_adapted = True
+    report = TransferReport(
+        source_domain=source_domain,
+        target_domain=target_task.name,
+        source_arity=matcher_arity,
+        target_arity=target_task.arity,
+        arity_adapted=arity_adapted,
+    )
+    return transferred, adapted_task, report

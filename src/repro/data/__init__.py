@@ -1,0 +1,20 @@
+"""Relational data substrate: schema, labeled pairs, CSV I/O and generators."""
+
+from repro.data.schema import MISSING, Record, Table, ERTask
+from repro.data.pairs import RecordPair, LabeledPair, PairSet, DatasetSplits
+from repro.data.io import read_table, write_table, read_pairs, write_pairs
+
+__all__ = [
+    "MISSING",
+    "Record",
+    "Table",
+    "ERTask",
+    "RecordPair",
+    "LabeledPair",
+    "PairSet",
+    "DatasetSplits",
+    "read_table",
+    "write_table",
+    "read_pairs",
+    "write_pairs",
+]

@@ -1,0 +1,37 @@
+"""Synthetic benchmark dataset generators (stand-ins for Table II datasets)."""
+
+from repro.data.generators.base import (
+    DomainSpec,
+    GeneratedDomain,
+    PaperStats,
+    SyntheticDomainGenerator,
+    compose,
+    pick,
+)
+from repro.data.generators.corruption import CorruptionModel
+from repro.data.generators.registry import (
+    CLEAN_DOMAINS,
+    DOMAIN_NAMES,
+    NOISY_DOMAINS,
+    available_domains,
+    domain_spec,
+    load_all_domains,
+    load_domain,
+)
+
+__all__ = [
+    "DomainSpec",
+    "GeneratedDomain",
+    "PaperStats",
+    "SyntheticDomainGenerator",
+    "CorruptionModel",
+    "compose",
+    "pick",
+    "CLEAN_DOMAINS",
+    "DOMAIN_NAMES",
+    "NOISY_DOMAINS",
+    "available_domains",
+    "domain_spec",
+    "load_all_domains",
+    "load_domain",
+]

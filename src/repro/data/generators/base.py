@@ -1,0 +1,306 @@
+"""Framework for synthesising benchmark ER domains.
+
+The paper evaluates on nine datasets (Table II) drawn from the DeepMatcher
+benchmark plus two private ones.  Those files are not redistributable and are
+unavailable offline, so this module builds synthetic stand-ins that preserve
+the properties the evaluation depends on:
+
+* two tables with aligned attributes and a hidden ground-truth mapping of
+  records to real-world entities;
+* duplicates that are *perturbed* versions of each other (typos, missing
+  values, dropped tokens), with clean (†) vs noisy (‡) corruption levels;
+* labeled train/validation/test pair sets containing both easy negatives and
+  hard negatives (textually similar non-duplicates such as the
+  same-song-different-album example of Table I in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.generators.corruption import CorruptionModel
+from repro.data.pairs import DatasetSplits, LabeledPair, PairSet
+from repro.data.schema import ERTask, Record, Table
+
+EntityFactory = Callable[[np.random.Generator], Tuple[str, ...]]
+VariantFactory = Callable[[Tuple[str, ...], np.random.Generator], Tuple[str, ...]]
+
+
+@dataclass
+class PaperStats:
+    """The sizes reported in Table II of the paper, kept for reference."""
+
+    cardinality: Tuple[int, int]
+    arity: int
+    training: int
+    test: int
+
+
+@dataclass
+class DomainSpec:
+    """Everything needed to synthesise one benchmark domain."""
+
+    name: str
+    attributes: Tuple[str, ...]
+    entity_factory: EntityFactory
+    clean: bool
+    numeric_attributes: Tuple[bool, ...] = ()
+    hard_negative_factory: Optional[VariantFactory] = None
+    corruption: Optional[CorruptionModel] = None
+    left_size: int = 200
+    right_size: int = 200
+    overlap_fraction: float = 0.5
+    train_size: int = 300
+    valid_size: int = 60
+    test_size: int = 100
+    positive_fraction: float = 0.25
+    description: str = ""
+    paper_stats: Optional[PaperStats] = None
+
+    def __post_init__(self) -> None:
+        if not self.numeric_attributes:
+            self.numeric_attributes = tuple(False for _ in self.attributes)
+        if len(self.numeric_attributes) != len(self.attributes):
+            raise ValueError("numeric_attributes must align with attributes")
+        if self.corruption is None:
+            self.corruption = CorruptionModel.clean() if self.clean else CorruptionModel.noisy()
+        if not 0.0 < self.overlap_fraction <= 1.0:
+            raise ValueError("overlap_fraction must be in (0, 1]")
+        if not 0.0 < self.positive_fraction < 1.0:
+            raise ValueError("positive_fraction must be in (0, 1)")
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def scaled(self, scale: float) -> "DomainSpec":
+        """Return a copy with table and pair-set sizes multiplied by ``scale``."""
+        def _s(value: int, minimum: int) -> int:
+            return max(minimum, int(round(value * scale)))
+
+        return DomainSpec(
+            name=self.name,
+            attributes=self.attributes,
+            entity_factory=self.entity_factory,
+            clean=self.clean,
+            numeric_attributes=self.numeric_attributes,
+            hard_negative_factory=self.hard_negative_factory,
+            corruption=self.corruption,
+            left_size=_s(self.left_size, 30),
+            right_size=_s(self.right_size, 30),
+            overlap_fraction=self.overlap_fraction,
+            train_size=_s(self.train_size, 40),
+            valid_size=_s(self.valid_size, 12),
+            test_size=_s(self.test_size, 20),
+            positive_fraction=self.positive_fraction,
+            description=self.description,
+            paper_stats=self.paper_stats,
+        )
+
+
+@dataclass
+class GeneratedDomain:
+    """The output of the generator: the ER task plus its labeled splits."""
+
+    task: ERTask
+    splits: DatasetSplits
+    spec: DomainSpec
+    duplicate_map: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.task.name
+
+
+class SyntheticDomainGenerator:
+    """Builds a :class:`GeneratedDomain` from a :class:`DomainSpec`.
+
+    The generation procedure:
+
+    1. sample canonical entities from the spec's factory;
+    2. split entities into left-only, right-only and overlapping sets so the
+       two tables reach their target cardinalities;
+    3. write the canonical values into the left table and *corrupted*
+       duplicates into the right table for overlapping entities;
+    4. build the labeled pair pool: all duplicate pairs as positives, plus
+       hard negatives (perturbed non-duplicates and most-token-overlapping
+       cross-entity pairs) and random negatives;
+    5. split the pool into train/validation/test, stratified by label.
+    """
+
+    def __init__(self, spec: DomainSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def generate(self) -> GeneratedDomain:
+        rng = np.random.default_rng(self.seed)
+        spec = self.spec
+
+        overlap = max(2, int(round(min(spec.left_size, spec.right_size) * spec.overlap_fraction)))
+        left_only = spec.left_size - overlap
+        right_only = spec.right_size - overlap
+        total_entities = overlap + left_only + right_only
+
+        entities = [spec.entity_factory(rng) for _ in range(total_entities)]
+        entity_ids = [f"{spec.name}-e{i}" for i in range(total_entities)]
+
+        left_table = Table(f"{spec.name}_left", spec.attributes)
+        right_table = Table(f"{spec.name}_right", spec.attributes)
+        duplicate_map: Dict[str, str] = {}
+
+        numeric = list(spec.numeric_attributes)
+        corruption = spec.corruption
+
+        # Overlapping entities: canonical on the left, corrupted on the right.
+        for i in range(overlap):
+            left_id = f"l{i}"
+            right_id = f"r{i}"
+            left_table.add(Record(left_id, tuple(entities[i]), entity_ids[i]))
+            corrupted = corruption.corrupt_record_values(list(entities[i]), rng, numeric)
+            right_table.add(Record(right_id, tuple(corrupted), entity_ids[i]))
+            duplicate_map[left_id] = right_id
+
+        # Left-only entities.
+        for j in range(left_only):
+            index = overlap + j
+            left_table.add(Record(f"l{overlap + j}", tuple(entities[index]), entity_ids[index]))
+
+        # Right-only entities (lightly corrupted so both tables look alike).
+        for j in range(right_only):
+            index = overlap + left_only + j
+            corrupted = corruption.corrupt_record_values(list(entities[index]), rng, numeric)
+            right_table.add(Record(f"r{overlap + j}", tuple(corrupted), entity_ids[index]))
+
+        task = ERTask(
+            name=spec.name,
+            left=left_table,
+            right=right_table,
+            clean=spec.clean,
+            description=spec.description,
+            metadata={
+                "paper_stats": spec.paper_stats,
+                "overlap": overlap,
+            },
+        )
+
+        pool = self._build_pair_pool(task, duplicate_map, rng)
+        splits = self._split(pool, rng)
+        return GeneratedDomain(task=task, splits=splits, spec=spec, duplicate_map=duplicate_map)
+
+    # ------------------------------------------------------------------
+    def _build_pair_pool(
+        self,
+        task: ERTask,
+        duplicate_map: Dict[str, str],
+        rng: np.random.Generator,
+    ) -> PairSet:
+        spec = self.spec
+        total_needed = spec.train_size + spec.valid_size + spec.test_size
+        num_positives = min(len(duplicate_map), max(4, int(round(total_needed * spec.positive_fraction))))
+        num_negatives = total_needed - num_positives
+
+        pool = PairSet()
+        positive_items = list(duplicate_map.items())
+        rng.shuffle(positive_items)
+        for left_id, right_id in positive_items[:num_positives]:
+            pool.add(LabeledPair(left_id, right_id, 1))
+
+        hard_target = num_negatives // 2
+        hard = self._hard_negatives(task, duplicate_map, hard_target, rng)
+        pool.extend(hard)
+
+        left_ids = task.left.record_ids()
+        right_ids = task.right.record_ids()
+        attempts = 0
+        max_attempts = 50 * num_negatives + 100
+        while len(pool) < num_positives + num_negatives and attempts < max_attempts:
+            attempts += 1
+            left_id = left_ids[int(rng.integers(0, len(left_ids)))]
+            right_id = right_ids[int(rng.integers(0, len(right_ids)))]
+            if task.true_match(left_id, right_id):
+                continue
+            pool.add(LabeledPair(left_id, right_id, 0))
+        return pool
+
+    def _hard_negatives(
+        self,
+        task: ERTask,
+        duplicate_map: Dict[str, str],
+        count: int,
+        rng: np.random.Generator,
+    ) -> List[LabeledPair]:
+        """Pick non-duplicate pairs whose values share many tokens.
+
+        These reproduce the "same song, different album" style of confusable
+        pairs discussed around Table I of the paper, which is what makes the
+        supervised matcher necessary on top of unsupervised representations.
+        """
+        if count <= 0:
+            return []
+        left_records = task.left.records()
+        right_records = task.right.records()
+        sample_left = min(len(left_records), max(20, count * 2))
+        sample_right = min(len(right_records), max(20, count * 2))
+        left_sample = [left_records[i] for i in rng.choice(len(left_records), sample_left, replace=False)]
+        right_sample = [right_records[i] for i in rng.choice(len(right_records), sample_right, replace=False)]
+
+        right_tokens = [(r, set(r.text().lower().split())) for r in right_sample]
+        scored: List[Tuple[float, str, str]] = []
+        for left in left_sample:
+            left_tokens = set(left.text().lower().split())
+            if not left_tokens:
+                continue
+            for right, tokens in right_tokens:
+                if left.entity_id == right.entity_id:
+                    continue
+                if not tokens:
+                    continue
+                overlap = len(left_tokens & tokens)
+                if overlap == 0:
+                    continue
+                score = overlap / len(left_tokens | tokens)
+                scored.append((score, left.record_id, right.record_id))
+        scored.sort(key=lambda item: item[0], reverse=True)
+        return [LabeledPair(left_id, right_id, 0) for _, left_id, right_id in scored[:count]]
+
+    def _split(self, pool: PairSet, rng: np.random.Generator) -> DatasetSplits:
+        spec = self.spec
+        shuffled = pool.shuffled(rng)
+        positives = shuffled.positives().pairs()
+        negatives = shuffled.negatives().pairs()
+
+        def take(pairs: List[LabeledPair], fraction: float) -> Tuple[List[LabeledPair], List[LabeledPair]]:
+            cut = max(1, int(round(len(pairs) * fraction))) if pairs else 0
+            return pairs[:cut], pairs[cut:]
+
+        total = spec.train_size + spec.valid_size + spec.test_size
+        train_frac = spec.train_size / total
+        valid_frac = spec.valid_size / total
+
+        train_pos, rest_pos = take(positives, train_frac)
+        valid_pos, test_pos = take(rest_pos, valid_frac / (1 - train_frac) if train_frac < 1 else 0.5)
+        train_neg, rest_neg = take(negatives, train_frac)
+        valid_neg, test_neg = take(rest_neg, valid_frac / (1 - train_frac) if train_frac < 1 else 0.5)
+
+        return DatasetSplits(
+            train=PairSet(train_pos + train_neg).shuffled(rng),
+            validation=PairSet(valid_pos + valid_neg).shuffled(rng),
+            test=PairSet(test_pos + test_neg).shuffled(rng),
+        )
+
+
+def compose(rng: np.random.Generator, pool: Sequence[str], n_min: int = 1, n_max: int = 3) -> str:
+    """Draw ``n_min``..``n_max`` distinct tokens from ``pool`` and join them."""
+    n = int(rng.integers(n_min, n_max + 1))
+    n = min(n, len(pool))
+    indices = rng.choice(len(pool), size=n, replace=False)
+    return " ".join(pool[i] for i in indices)
+
+
+def pick(rng: np.random.Generator, pool: Sequence[str]) -> str:
+    """Draw a single token from ``pool``."""
+    return pool[int(rng.integers(0, len(pool)))]

@@ -1,0 +1,290 @@
+"""The nine benchmark domains of Table II, synthesised.
+
+Each builder returns a :class:`repro.data.generators.base.DomainSpec` whose
+attribute structure, clean/noisy character and relative sizes follow the
+paper's Table II.  Cardinalities and pair-set sizes default to roughly one
+tenth of the paper's (the reproduction runs on CPU); the registry accepts a
+``scale`` factor to grow or shrink them.
+
+Domains marked clean (†): Restaurants, Citations 1, Citations 2, CRM.
+Domains marked noisy (‡): Cosmetics, Software, Music, Beer, Stocks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.generators import vocabularies as vocab
+from repro.data.generators.base import DomainSpec, PaperStats, compose, pick
+
+
+# ----------------------------------------------------------------------
+# Entity factories
+# ----------------------------------------------------------------------
+def _restaurant_entity(rng: np.random.Generator) -> Tuple[str, ...]:
+    name = f"{pick(rng, vocab.RESTAURANT_WORDS)} {pick(rng, vocab.RESTAURANT_WORDS)} {pick(rng, vocab.CUISINES)}"
+    address = f"{int(rng.integers(1, 999))} {pick(rng, vocab.STREETS)}"
+    city = pick(rng, vocab.CITIES)
+    phone = f"{rng.integers(200, 999)}-{rng.integers(100, 999)}-{rng.integers(1000, 9999)}"
+    cuisine = pick(rng, vocab.CUISINES)
+    price = pick(rng, ["$", "$$", "$$$", "$$$$"])
+    return (name, address, city, phone, cuisine, price)
+
+
+def _citation_entity(rng: np.random.Generator) -> Tuple[str, ...]:
+    title = compose(rng, vocab.RESEARCH_WORDS, 4, 8)
+    authors = ", ".join(
+        f"{pick(rng, vocab.FIRST_NAMES)} {pick(rng, vocab.LAST_NAMES)}"
+        for _ in range(int(rng.integers(1, 4)))
+    )
+    venue = pick(rng, vocab.VENUES)
+    year = str(int(rng.integers(1995, 2021)))
+    return (title, authors, venue, year)
+
+
+def _cosmetics_entity(rng: np.random.Generator) -> Tuple[str, ...]:
+    title = f"{pick(rng, vocab.BRANDS[:14])} {compose(rng, vocab.COSMETIC_WORDS, 2, 4)}"
+    color = pick(rng, vocab.COLORS)
+    price = f"{rng.uniform(3, 80):.2f}"
+    return (title, color, price)
+
+
+def _software_entity(rng: np.random.Generator) -> Tuple[str, ...]:
+    name = f"{pick(rng, vocab.BRANDS[14:])} {compose(rng, vocab.SOFTWARE_WORDS, 2, 5)}"
+    price = f"{rng.uniform(10, 900):.2f}"
+    description = compose(rng, vocab.SOFTWARE_WORDS, 5, 12)
+    return (name, price, description)
+
+
+def _music_entity(rng: np.random.Generator) -> Tuple[str, ...]:
+    song = compose(rng, vocab.SONG_WORDS, 1, 3)
+    artist = pick(rng, vocab.ARTISTS)
+    album = compose(rng, vocab.SONG_WORDS, 1, 2) + " " + pick(rng, ["deluxe", "live", "remastered", "sessions", "vol 1", "vol 2"])
+    year = str(int(rng.integers(1975, 2021)))
+    genre = pick(rng, vocab.GENRES)
+    length = f"{rng.integers(2, 7)}:{rng.integers(0, 59):02d}"
+    price = f"{rng.uniform(0.5, 2.0):.2f}"
+    copyright_ = f"(c) {rng.integers(1975, 2021)} {pick(rng, vocab.COMPANIES)} records"
+    return (song, artist, album, year, genre, length, price, copyright_)
+
+
+def _beer_entity(rng: np.random.Generator) -> Tuple[str, ...]:
+    name = f"{compose(rng, vocab.BEER_WORDS, 1, 3)} {pick(rng, vocab.BEER_STYLES)}"
+    brewery = pick(rng, vocab.BREWERIES)
+    style = pick(rng, vocab.BEER_STYLES)
+    abv = f"{rng.uniform(3.5, 13.0):.1f}"
+    return (name, brewery, style, abv)
+
+
+def _stocks_entity(rng: np.random.Generator) -> Tuple[str, ...]:
+    company = f"{pick(rng, vocab.COMPANIES)} {pick(rng, ['inc', 'corp', 'ltd', 'plc', 'holdings', 'group'])}"
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    symbol = "".join(letters[int(rng.integers(0, 26))] for _ in range(int(rng.integers(2, 5)))).upper()
+    sector = pick(rng, vocab.SECTORS)
+    exchange = pick(rng, vocab.EXCHANGES)
+    price = f"{rng.uniform(2, 500):.2f}"
+    market_cap = f"{rng.uniform(0.1, 900):.1f}"
+    dividend = f"{rng.uniform(0, 6):.2f}"
+    country = pick(rng, ["usa", "uk", "canada", "germany", "france", "japan", "australia"])
+    return (company, symbol, sector, exchange, price, market_cap, dividend, country)
+
+
+def _crm_entity(rng: np.random.Generator) -> Tuple[str, ...]:
+    first = pick(rng, vocab.FIRST_NAMES)
+    last = pick(rng, vocab.LAST_NAMES)
+    email = f"{first}.{last}@{pick(rng, vocab.EMAIL_DOMAINS)}"
+    phone = f"+44 {rng.integers(7000, 7999)} {rng.integers(100000, 999999)}"
+    company = pick(rng, vocab.COMPANIES)
+    title = pick(rng, vocab.JOB_TITLES)
+    street = f"{int(rng.integers(1, 300))} {pick(rng, vocab.LAST_NAMES)} {pick(rng, vocab.STREET_TYPES)}"
+    city = pick(rng, vocab.CITIES)
+    postcode = f"{pick(rng, ['m', 'sw', 'nw', 'ec', 'wc', 'b', 'ls'])}{rng.integers(1, 30)} {rng.integers(1, 9)}{pick(rng, ['aa', 'bb', 'cd', 'ef', 'gh', 'jk'])}"
+    country = "united kingdom"
+    segment = pick(rng, ["enterprise", "mid market", "smb", "startup"])
+    status = pick(rng, ["active", "churned", "prospect", "lead"])
+    notes = compose(rng, vocab.PRODUCT_CATEGORIES, 1, 3)
+    return (f"{first} {last}", email, phone, company, title, street, city, postcode, country, segment, status, notes)
+
+
+# ----------------------------------------------------------------------
+# Domain specs (sizes ~1/10 of Table II, scaled further via the registry)
+# ----------------------------------------------------------------------
+def restaurants() -> DomainSpec:
+    """Restaurants (†): clean, 6 attributes — the Fodors/Zagat-style task."""
+    return DomainSpec(
+        name="restaurants",
+        attributes=("name", "address", "city", "phone", "cuisine", "price"),
+        entity_factory=_restaurant_entity,
+        clean=True,
+        left_size=100,
+        right_size=80,
+        overlap_fraction=0.55,
+        train_size=100,
+        valid_size=20,
+        test_size=40,
+        positive_fraction=0.25,
+        description="Clean restaurant listings with aligned name/address/phone.",
+        paper_stats=PaperStats(cardinality=(533, 331), arity=6, training=567, test=189),
+    )
+
+
+def citations1() -> DomainSpec:
+    """Citations 1 (†): clean bibliographic records (DBLP/ACM-style)."""
+    return DomainSpec(
+        name="citations1",
+        attributes=("title", "authors", "venue", "year"),
+        entity_factory=_citation_entity,
+        clean=True,
+        left_size=180,
+        right_size=160,
+        overlap_fraction=0.5,
+        train_size=220,
+        valid_size=40,
+        test_size=80,
+        positive_fraction=0.3,
+        description="Clean bibliographic records with title/authors/venue/year.",
+        paper_stats=PaperStats(cardinality=(2616, 2294), arity=4, training=7417, test=2473),
+    )
+
+
+def citations2() -> DomainSpec:
+    """Citations 2 (†): clean but with a much larger right-hand table."""
+    return DomainSpec(
+        name="citations2",
+        attributes=("title", "authors", "venue", "year"),
+        entity_factory=_citation_entity,
+        clean=True,
+        left_size=140,
+        right_size=380,
+        overlap_fraction=0.6,
+        train_size=300,
+        valid_size=50,
+        test_size=110,
+        positive_fraction=0.2,
+        description="Bibliographic task with strongly asymmetric table sizes (DBLP/Scholar-style).",
+        paper_stats=PaperStats(cardinality=(2612, 64263), arity=4, training=17223, test=5742),
+    )
+
+
+def cosmetics() -> DomainSpec:
+    """Cosmetics (‡): noisy product descriptions, entities differing only in colour."""
+    return DomainSpec(
+        name="cosmetics",
+        attributes=("title", "color", "price"),
+        entity_factory=_cosmetics_entity,
+        clean=False,
+        numeric_attributes=(False, False, True),
+        left_size=220,
+        right_size=130,
+        overlap_fraction=0.45,
+        train_size=90,
+        valid_size=15,
+        test_size=30,
+        positive_fraction=0.3,
+        description="Noisy cosmetics products; many near-duplicates differ only in colour.",
+        paper_stats=PaperStats(cardinality=(11026, 6443), arity=3, training=327, test=81),
+    )
+
+
+def software() -> DomainSpec:
+    """Software (‡): three columns, one numeric, long noisy descriptions."""
+    return DomainSpec(
+        name="software",
+        attributes=("name", "price", "description"),
+        entity_factory=_software_entity,
+        clean=False,
+        numeric_attributes=(False, True, False),
+        left_size=130,
+        right_size=200,
+        overlap_fraction=0.45,
+        train_size=200,
+        valid_size=35,
+        test_size=70,
+        positive_fraction=0.25,
+        description="Noisy software products with free-text descriptions and missing values.",
+        paper_stats=PaperStats(cardinality=(1363, 3226), arity=3, training=6874, test=2293),
+    )
+
+
+def music() -> DomainSpec:
+    """Music (‡): songs with 8 attributes (the Table I running example)."""
+    return DomainSpec(
+        name="music",
+        attributes=("song", "artist", "album", "year", "genre", "length", "price", "copyright"),
+        entity_factory=_music_entity,
+        clean=False,
+        numeric_attributes=(False, False, False, True, False, False, True, False),
+        left_size=220,
+        right_size=300,
+        overlap_fraction=0.4,
+        train_size=90,
+        valid_size=15,
+        test_size=35,
+        positive_fraction=0.3,
+        description="Noisy song metadata; same song may appear on different albums.",
+        paper_stats=PaperStats(cardinality=(6907, 55923), arity=8, training=321, test=109),
+    )
+
+
+def beer() -> DomainSpec:
+    """Beer (‡): noisy craft-beer listings."""
+    return DomainSpec(
+        name="beer",
+        attributes=("name", "brewery", "style", "abv"),
+        entity_factory=_beer_entity,
+        clean=False,
+        numeric_attributes=(False, False, False, True),
+        left_size=160,
+        right_size=120,
+        overlap_fraction=0.45,
+        train_size=80,
+        valid_size=15,
+        test_size=30,
+        positive_fraction=0.3,
+        description="Noisy craft-beer listings with overlapping style vocabulary.",
+        paper_stats=PaperStats(cardinality=(4345, 3000), arity=4, training=268, test=91),
+    )
+
+
+def stocks() -> DomainSpec:
+    """Stocks (‡): listed companies with mostly numeric attributes."""
+    return DomainSpec(
+        name="stocks",
+        attributes=("company", "symbol", "sector", "exchange", "price", "market_cap", "dividend", "country"),
+        entity_factory=_stocks_entity,
+        clean=False,
+        numeric_attributes=(False, False, False, False, True, True, True, False),
+        left_size=150,
+        right_size=280,
+        overlap_fraction=0.5,
+        train_size=230,
+        valid_size=40,
+        test_size=70,
+        positive_fraction=0.25,
+        description="Noisy stock listings dominated by numeric attributes.",
+        paper_stats=PaperStats(cardinality=(2768, 21863), arity=8, training=4472, test=1117),
+    )
+
+
+def crm() -> DomainSpec:
+    """CRM (†): clean person-contact records, the widest schema (12 attributes)."""
+    return DomainSpec(
+        name="crm",
+        attributes=(
+            "name", "email", "phone", "company", "title", "street",
+            "city", "postcode", "country", "segment", "status", "notes",
+        ),
+        entity_factory=_crm_entity,
+        clean=True,
+        left_size=160,
+        right_size=220,
+        overlap_fraction=0.5,
+        train_size=110,
+        valid_size=20,
+        test_size=45,
+        positive_fraction=0.3,
+        description="Clean CRM contact records (stand-in for the private Peak AI dataset).",
+        paper_stats=PaperStats(cardinality=(5742, 9683), arity=12, training=440, test=220),
+    )

@@ -1,0 +1,161 @@
+"""Token vocabularies used to synthesise realistic attribute values.
+
+Each domain generator composes entity descriptions from these word pools.
+They deliberately contain overlapping tokens across entities (brand names,
+city names, common nouns) so that non-duplicate records can still be textually
+similar — the situation that makes entity resolution hard and that the
+paper's latent-space matcher is designed to resolve.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = [
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda",
+    "william", "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica",
+    "thomas", "sarah", "charles", "karen", "daniel", "nancy", "matthew", "lisa",
+    "anthony", "betty", "mark", "margaret", "donald", "sandra", "steven", "ashley",
+    "paul", "kimberly", "andrew", "emily", "joshua", "donna", "kenneth", "michelle",
+]
+
+LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
+    "rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson",
+    "thomas", "taylor", "moore", "jackson", "martin", "lee", "perez", "thompson",
+    "white", "harris", "sanchez", "clark", "ramirez", "lewis", "robinson", "walker",
+    "young", "allen", "king", "wright", "scott", "torres", "nguyen", "hill", "flores",
+]
+
+CITIES = [
+    "new york", "los angeles", "chicago", "houston", "phoenix", "philadelphia",
+    "san antonio", "san diego", "dallas", "san jose", "austin", "jacksonville",
+    "san francisco", "columbus", "charlotte", "indianapolis", "seattle", "denver",
+    "boston", "portland", "manchester", "london", "leeds", "bristol", "glasgow",
+]
+
+STREETS = [
+    "main st", "oak ave", "park blvd", "maple dr", "cedar ln", "elm st", "pine rd",
+    "washington ave", "lake view dr", "sunset blvd", "river rd", "church st",
+    "high st", "station rd", "victoria rd", "green ln", "mill ln", "kings rd",
+]
+
+CUISINES = [
+    "italian", "french", "chinese", "japanese", "mexican", "thai", "indian",
+    "american", "mediterranean", "korean", "vietnamese", "spanish", "greek",
+    "steakhouse", "seafood", "vegan", "barbecue", "fusion", "bistro", "diner",
+]
+
+RESTAURANT_WORDS = [
+    "golden", "dragon", "palace", "garden", "house", "grill", "kitchen", "corner",
+    "royal", "blue", "little", "old", "river", "terrace", "villa", "cafe", "bistro",
+    "tavern", "brasserie", "trattoria", "osteria", "cantina", "delight", "spice",
+]
+
+RESEARCH_WORDS = [
+    "learning", "database", "query", "optimization", "neural", "network", "deep",
+    "distributed", "parallel", "graph", "stream", "index", "transaction", "storage",
+    "mining", "clustering", "classification", "embedding", "representation",
+    "entity", "resolution", "matching", "integration", "cleaning", "schema",
+    "knowledge", "semantic", "probabilistic", "scalable", "efficient", "adaptive",
+    "approximate", "incremental", "federated", "variational", "generative",
+]
+
+VENUES = [
+    "sigmod", "vldb", "icde", "kdd", "www", "cikm", "edbt", "icml", "nips",
+    "acl", "emnlp", "aaai", "ijcai", "tkde", "pvldb", "jmlr", "tods", "sigir",
+]
+
+BRANDS = [
+    "loreal", "nivea", "maybelline", "revlon", "clinique", "lancome", "dior",
+    "chanel", "estee lauder", "neutrogena", "olay", "dove", "garnier", "avon",
+    "microsoft", "adobe", "oracle", "ibm", "google", "apple", "mozilla", "autodesk",
+    "symantec", "intuit", "corel", "mcafee", "norton", "sap", "vmware", "salesforce",
+]
+
+COSMETIC_WORDS = [
+    "moisturizing", "matte", "liquid", "foundation", "lipstick", "mascara",
+    "eyeliner", "serum", "cream", "lotion", "cleanser", "toner", "primer",
+    "concealer", "blush", "bronzer", "palette", "shade", "natural", "radiant",
+    "hydrating", "long lasting", "waterproof", "spf", "anti aging", "vitamin",
+]
+
+COLORS = [
+    "red", "crimson", "scarlet", "pink", "rose", "nude", "beige", "ivory", "brown",
+    "chocolate", "black", "onyx", "blue", "navy", "teal", "green", "olive", "gold",
+    "silver", "bronze", "copper", "plum", "violet", "coral", "peach", "taupe",
+]
+
+SOFTWARE_WORDS = [
+    "professional", "ultimate", "premium", "standard", "enterprise", "home",
+    "student", "edition", "suite", "studio", "creative", "security", "antivirus",
+    "office", "photo", "video", "editing", "backup", "recovery", "utilities",
+    "windows", "mac", "license", "download", "upgrade", "full version", "bundle",
+]
+
+ARTISTS = [
+    "coldplay", "radiohead", "beyonce", "rihanna", "eminem", "adele", "drake",
+    "madonna", "prince", "nirvana", "metallica", "oasis", "blur", "muse",
+    "the beatles", "the rolling stones", "queen", "u2", "abba", "daft punk",
+    "kendrick lamar", "taylor swift", "ed sheeran", "bruno mars", "lady gaga",
+]
+
+SONG_WORDS = [
+    "love", "night", "heart", "dance", "fire", "dream", "light", "shadow", "rain",
+    "summer", "midnight", "golden", "paradise", "echo", "silence", "thunder",
+    "gravity", "horizon", "velvet", "crystal", "wild", "broken", "forever", "lost",
+]
+
+GENRES = [
+    "rock", "pop", "hip hop", "electronic", "jazz", "classical", "indie", "folk",
+    "metal", "r&b", "soul", "country", "reggae", "punk", "ambient", "house",
+]
+
+BREWERIES = [
+    "sierra nevada", "stone brewing", "dogfish head", "founders", "bells",
+    "lagunitas", "deschutes", "new belgium", "oskar blues", "great divide",
+    "brooklyn brewery", "goose island", "anchor brewing", "ballast point",
+    "firestone walker", "russian river", "three floyds", "cigar city",
+]
+
+BEER_STYLES = [
+    "ipa", "double ipa", "pale ale", "stout", "imperial stout", "porter", "lager",
+    "pilsner", "wheat beer", "saison", "sour ale", "amber ale", "brown ale",
+    "barleywine", "hefeweizen", "gose", "kolsch", "tripel", "dubbel",
+]
+
+BEER_WORDS = [
+    "hoppy", "citra", "mosaic", "galaxy", "tropical", "hazy", "juicy", "crisp",
+    "roasted", "chocolate", "coffee", "vanilla", "barrel aged", "bourbon",
+    "dry hopped", "session", "imperial", "vintage", "reserve", "small batch",
+]
+
+COMPANIES = [
+    "acme", "globex", "initech", "umbrella", "stark", "wayne", "wonka", "tyrell",
+    "cyberdyne", "aperture", "soylent", "massive dynamic", "hooli", "pied piper",
+    "dunder mifflin", "sterling cooper", "oceanic", "virtucon", "zorg", "monarch",
+]
+
+SECTORS = [
+    "technology", "healthcare", "finance", "energy", "utilities", "materials",
+    "industrials", "consumer staples", "consumer discretionary", "real estate",
+    "telecommunications", "aerospace", "automotive", "retail", "pharmaceutical",
+]
+
+EXCHANGES = ["nyse", "nasdaq", "lse", "tsx", "asx", "hkex", "euronext"]
+
+PRODUCT_CATEGORIES = [
+    "dresses", "jackets", "jeans", "shirts", "skirts", "knitwear", "footwear",
+    "accessories", "activewear", "outerwear", "swimwear", "loungewear",
+]
+
+JOB_TITLES = [
+    "data scientist", "software engineer", "account manager", "product manager",
+    "sales director", "marketing analyst", "operations lead", "finance manager",
+    "customer success manager", "head of engineering", "consultant", "designer",
+]
+
+EMAIL_DOMAINS = [
+    "gmail.com", "yahoo.com", "outlook.com", "hotmail.com", "icloud.com",
+    "protonmail.com", "mail.com", "aol.com", "live.com", "me.com",
+]
+
+STREET_TYPES = ["street", "avenue", "road", "lane", "drive", "boulevard", "close", "way"]

@@ -1,0 +1,98 @@
+"""CSV persistence for tables and labeled pair sets.
+
+Real deployments of VAER consume relational tables from files; this module
+keeps the repo usable on a user's own data (see ``examples/custom_dataset.py``)
+and lets the synthetic benchmark datasets be exported for inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.data.pairs import LabeledPair, PairSet
+from repro.data.schema import MISSING, Record, Table
+from repro.exceptions import SchemaError
+
+PathLike = Union[str, Path]
+
+_ID_COLUMN = "id"
+_ENTITY_COLUMN = "entity_id"
+
+
+def write_table(table: Table, path: PathLike, include_entity_ids: bool = False) -> None:
+    """Write ``table`` to a CSV file with an ``id`` column first."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = [_ID_COLUMN, *table.attributes]
+    if include_entity_ids:
+        header.append(_ENTITY_COLUMN)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for record in table:
+            row = [record.record_id, *record.values]
+            if include_entity_ids:
+                row.append(record.entity_id or "")
+            writer.writerow(row)
+
+
+def read_table(path: PathLike, name: Optional[str] = None) -> Table:
+    """Read a CSV file written by :func:`write_table` (or hand-authored).
+
+    The first column is treated as the record id; a trailing ``entity_id``
+    column, if present, populates the ground-truth entity identifiers.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise SchemaError(f"empty CSV file: {path}") from exc
+        if not header or header[0] != _ID_COLUMN:
+            raise SchemaError(f"expected first column {_ID_COLUMN!r} in {path}")
+        has_entity = header[-1] == _ENTITY_COLUMN
+        attributes = header[1:-1] if has_entity else header[1:]
+        table = Table(name or path.stem, attributes)
+        for row in reader:
+            if not row:
+                continue
+            record_id = row[0]
+            if has_entity:
+                values = tuple(v if v else MISSING for v in row[1:-1])
+                entity_id = row[-1] or None
+            else:
+                values = tuple(v if v else MISSING for v in row[1:])
+                entity_id = None
+            table.add(Record(record_id, values, entity_id))
+    return table
+
+
+def write_pairs(pairs: PairSet, path: PathLike) -> None:
+    """Write a labeled pair set as ``left_id,right_id,label`` CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["left_id", "right_id", "label"])
+        for pair in pairs:
+            writer.writerow([pair.left_id, pair.right_id, pair.label])
+
+
+def read_pairs(path: PathLike) -> PairSet:
+    """Read a labeled pair set written by :func:`write_pairs`."""
+    path = Path(path)
+    pairs = PairSet()
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["left_id", "right_id", "label"]:
+            raise SchemaError(f"unexpected pair-file header in {path}: {header}")
+        for row in reader:
+            if not row:
+                continue
+            left_id, right_id, label = row[0], row[1], int(row[2])
+            pairs.add(LabeledPair(left_id, right_id, label))
+    return pairs

@@ -1,0 +1,212 @@
+"""Relational schema primitives: records, tables and ER tasks.
+
+The paper performs ER between two tables with aligned attributes (Table II).
+A :class:`Table` is an ordered collection of :class:`Record` objects sharing
+one schema; an :class:`ERTask` bundles the two tables together with their
+labeled train/validation/test pair sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SchemaError
+
+MISSING = ""
+
+
+@dataclass(frozen=True)
+class Record:
+    """One tuple (entity description) in a table.
+
+    Attributes
+    ----------
+    record_id:
+        Identifier unique within the owning table.
+    values:
+        Attribute values in schema order.  Missing values are stored as the
+        empty string (``MISSING``).
+    entity_id:
+        Hidden ground-truth identifier of the real-world entity this record
+        describes.  It is used only by dataset generators and evaluation
+        oracles, never by the models themselves.
+    """
+
+    record_id: str
+    values: Tuple[str, ...]
+    entity_id: Optional[str] = None
+
+    def value(self, index: int) -> str:
+        return self.values[index]
+
+    def is_missing(self, index: int) -> bool:
+        return self.values[index] == MISSING
+
+    def text(self, separator: str = " ") -> str:
+        """Concatenate all attribute values (used by sequence baselines)."""
+        return separator.join(v for v in self.values if v != MISSING)
+
+
+class Table:
+    """An ordered collection of records sharing one attribute schema."""
+
+    def __init__(self, name: str, attributes: Sequence[str], records: Optional[Sequence[Record]] = None) -> None:
+        if not attributes:
+            raise SchemaError("a table needs at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"duplicate attribute names in table {name!r}")
+        self.name = name
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        self._records: List[Record] = []
+        self._index: Dict[str, int] = {}
+        for record in records or []:
+            self.add(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, record_id: str) -> Record:
+        try:
+            return self._records[self._index[record_id]]
+        except KeyError as exc:
+            raise KeyError(f"record {record_id!r} not in table {self.name!r}") from exc
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._index
+
+    def __repr__(self) -> str:
+        return f"Table(name={self.name!r}, arity={self.arity}, records={len(self)})"
+
+    # ------------------------------------------------------------------
+    def add(self, record: Record) -> None:
+        """Append a record, enforcing schema arity and id uniqueness."""
+        if len(record.values) != self.arity:
+            raise SchemaError(
+                f"record {record.record_id!r} has {len(record.values)} values, "
+                f"table {self.name!r} expects {self.arity}"
+            )
+        if record.record_id in self._index:
+            raise SchemaError(f"duplicate record id {record.record_id!r} in table {self.name!r}")
+        self._index[record.record_id] = len(self._records)
+        self._records.append(record)
+
+    def records(self) -> List[Record]:
+        """Return the records as a list (a shallow copy)."""
+        return list(self._records)
+
+    def record_ids(self) -> List[str]:
+        return [record.record_id for record in self._records]
+
+    def attribute_values(self, attribute: str) -> List[str]:
+        """All values of one attribute, in record order."""
+        try:
+            index = self.attributes.index(attribute)
+        except ValueError as exc:
+            raise SchemaError(f"unknown attribute {attribute!r} in table {self.name!r}") from exc
+        return [record.values[index] for record in self._records]
+
+    def missing_rate(self) -> float:
+        """Fraction of attribute cells that are missing (empty)."""
+        if not self._records:
+            return 0.0
+        total = len(self._records) * self.arity
+        missing = sum(1 for record in self._records for value in record.values if value == MISSING)
+        return missing / total
+
+    def sample(self, n: int, rng) -> "Table":
+        """Return a new table with ``n`` records sampled without replacement."""
+        n = min(n, len(self._records))
+        chosen = rng.choice(len(self._records), size=n, replace=False)
+        return Table(self.name, self.attributes, [self._records[i] for i in sorted(chosen)])
+
+    def project(self, arity: int, pad_value: str = MISSING) -> "Table":
+        """Return a copy truncated or padded to ``arity`` attributes.
+
+        This implements the arity-adaptation rule of the transferability
+        experiment (Section VI-D): extra columns are dropped, missing columns
+        are padded with empty values.
+        """
+        if arity <= 0:
+            raise SchemaError("projected arity must be positive")
+        if arity <= self.arity:
+            attributes = self.attributes[:arity]
+            records = [
+                Record(r.record_id, r.values[:arity], r.entity_id) for r in self._records
+            ]
+        else:
+            extra = arity - self.arity
+            attributes = self.attributes + tuple(f"_pad_{i}" for i in range(extra))
+            records = [
+                Record(r.record_id, r.values + (pad_value,) * extra, r.entity_id)
+                for r in self._records
+            ]
+        return Table(self.name, attributes, records)
+
+
+@dataclass
+class ERTask:
+    """A complete entity-resolution task between two aligned tables."""
+
+    name: str
+    left: Table
+    right: Table
+    clean: bool = True
+    description: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.left.arity != self.right.arity:
+            raise SchemaError(
+                f"ER task {self.name!r}: tables have mismatched arity "
+                f"({self.left.arity} vs {self.right.arity})"
+            )
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity
+
+    @property
+    def cardinality(self) -> Tuple[int, int]:
+        return (len(self.left), len(self.right))
+
+    def record(self, side: str, record_id: str) -> Record:
+        """Fetch a record from the ``"left"`` or ``"right"`` table."""
+        if side == "left":
+            return self.left[record_id]
+        if side == "right":
+            return self.right[record_id]
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+
+    def true_match(self, left_id: str, right_id: str) -> bool:
+        """Ground-truth duplicate decision based on hidden entity ids."""
+        left_entity = self.left[left_id].entity_id
+        right_entity = self.right[right_id].entity_id
+        if left_entity is None or right_entity is None:
+            raise SchemaError("ground-truth entity ids are not available for this task")
+        return left_entity == right_entity
+
+    def all_records(self) -> List[Tuple[str, Record]]:
+        """All records of both tables tagged by side."""
+        out: List[Tuple[str, Record]] = [("left", r) for r in self.left]
+        out.extend(("right", r) for r in self.right)
+        return out
+
+    def project(self, arity: int) -> "ERTask":
+        """Arity-adapt both tables (see :meth:`Table.project`)."""
+        return ERTask(
+            name=self.name,
+            left=self.left.project(arity),
+            right=self.right.project(arity),
+            clean=self.clean,
+            description=self.description,
+            metadata=dict(self.metadata),
+        )

@@ -1,0 +1,112 @@
+"""Evaluation metrics: precision, recall, F1 and recall@K.
+
+Definitions follow Section VI-A2 of the paper: a true positive is a pair
+labeled duplicate in both the test set and the prediction; a false positive
+is predicted duplicate but labeled non-duplicate; a false negative is labeled
+duplicate but predicted non-duplicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"precision": self.precision, "recall": self.recall, "f1": self.f1}
+
+    def __str__(self) -> str:
+        return f"P={self.precision:.2f} R={self.recall:.2f} F1={self.f1:.2f}"
+
+
+def precision_recall_f1(true_labels: Sequence[int], predicted_labels: Sequence[int]) -> PRF:
+    """Compute P/R/F1 from aligned binary label arrays."""
+    truth = np.asarray(true_labels, dtype=np.int64)
+    predicted = np.asarray(predicted_labels, dtype=np.int64)
+    if truth.shape != predicted.shape:
+        raise ValueError("true and predicted labels must have the same length")
+    tp = int(np.sum((truth == 1) & (predicted == 1)))
+    fp = int(np.sum((truth == 0) & (predicted == 1)))
+    fn = int(np.sum((truth == 1) & (predicted == 0)))
+    precision = tp / (tp + fp) if (tp + fp) > 0 else 0.0
+    recall = tp / (tp + fn) if (tp + fn) > 0 else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) > 0 else 0.0
+    return PRF(precision=precision, recall=recall, f1=f1)
+
+
+def best_threshold(
+    true_labels: Sequence[int],
+    probabilities: Sequence[float],
+    grid: Optional[Iterable[float]] = None,
+) -> float:
+    """F1-maximising decision threshold, typically tuned on a validation set."""
+    truth = np.asarray(true_labels, dtype=np.int64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if grid is None:
+        grid = np.linspace(0.1, 0.9, 17)
+    best, best_f1 = 0.5, -1.0
+    for threshold in grid:
+        prf = precision_recall_f1(truth, (probabilities > threshold).astype(np.int64))
+        if prf.f1 > best_f1:
+            best, best_f1 = float(threshold), prf.f1
+    return best
+
+
+def neighbour_prf_at_k(
+    neighbour_map: Mapping[str, Sequence[str]],
+    test_positives: Iterable,
+    k: int,
+) -> PRF:
+    """P/R/F1 @ K for nearest-neighbour search (Table IV protocol).
+
+    ``neighbour_map`` maps each left-record id to its retrieved right-record
+    ids; ``test_positives`` is an iterable of labeled duplicate pairs (only
+    pairs with label 1 are considered).  For each test duplicate, the pair
+    counts as retrieved (a true positive) when the right record appears among
+    the top-K neighbours of the left record; the precision denominator counts
+    all retrieved slots for queried records, matching the "measure against
+    the top-10 most similar neighbours of either tuple" protocol.
+    """
+    positives = [pair for pair in test_positives if getattr(pair, "label", 1) == 1]
+    if not positives:
+        return PRF(0.0, 0.0, 0.0)
+    tp = 0
+    retrieved = 0
+    queried: set = set()
+    for pair in positives:
+        neighbours = list(neighbour_map.get(pair.left_id, ()))[:k]
+        if pair.left_id not in queried:
+            queried.add(pair.left_id)
+            retrieved += len(neighbours)
+        if pair.right_id in neighbours:
+            tp += 1
+    recall = tp / len(positives)
+    precision = tp / retrieved if retrieved else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) > 0 else 0.0
+    return PRF(precision=precision, recall=recall, f1=f1)
+
+
+def recall_at_k(neighbour_map: Mapping[str, Sequence[str]], duplicate_map: Mapping[str, str], k: int) -> float:
+    """Fraction of true duplicates whose counterpart appears in the top-K.
+
+    ``duplicate_map`` maps left-record ids to their duplicate right-record id
+    (the generator's ground truth); used for Figure 4 and Table VII.
+    """
+    if not duplicate_map:
+        return 0.0
+    hits = 0
+    for left_id, right_id in duplicate_map.items():
+        neighbours = list(neighbour_map.get(left_id, ()))[:k]
+        if right_id in neighbours:
+            hits += 1
+    return hits / len(duplicate_map)

@@ -1,0 +1,45 @@
+"""Wall-clock timing helpers for the training-time experiments (Table VI)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulates named wall-clock durations."""
+
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager adding the elapsed time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[name] = self.durations.get(name, 0.0) + elapsed
+
+    def seconds(self, name: str) -> float:
+        return self.durations.get(name, 0.0)
+
+    def total(self) -> float:
+        return sum(self.durations.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.durations)
+
+
+@contextmanager
+def timed() -> Iterator[list]:
+    """Context manager yielding a single-element list that receives the duration."""
+    result = [0.0]
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result[0] = time.perf_counter() - start

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the VAER reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is inconsistent or incomplete."""
+
+
+class SchemaError(ReproError):
+    """Raised when tables or pair sets violate the expected relational schema."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a model is used before it has been trained."""
+
+
+class ArityMismatchError(ReproError):
+    """Raised when a transferred representation model meets an incompatible arity."""
+
+
+class ActiveLearningError(ReproError):
+    """Raised when the active-learning loop cannot make progress."""

@@ -1,0 +1,32 @@
+"""Weight initialisation schemes for :mod:`repro.nn` layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation, suited to tanh/sigmoid layers."""
+    rng = rng or np.random.default_rng()
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He normal initialisation, suited to ReLU layers."""
+    rng = rng or np.random.default_rng()
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """All-zeros initialisation (used for biases)."""
+    return np.zeros(shape)
+
+
+def normal(shape, std: float = 0.01, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Small-variance normal initialisation (used for embedding tables)."""
+    rng = rng or np.random.default_rng()
+    return rng.normal(0.0, std, size=shape)

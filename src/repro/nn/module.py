@@ -1,0 +1,147 @@
+"""Module and parameter abstractions for the numpy neural-network library.
+
+``Module`` mirrors the familiar PyTorch contract: parameters are discovered
+recursively through attributes, ``state_dict``/``load_state_dict`` move
+weights in and out (used by the transferability experiments of the paper),
+and ``train``/``eval`` toggle behaviour of stochastic layers such as dropout
+and the VAE sampling layer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable weight of a module."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural network components.
+
+    Subclasses implement :meth:`forward`; parameters and child modules are
+    discovered automatically by inspecting instance attributes, so a subclass
+    simply assigns ``self.linear = Linear(...)`` or
+    ``self.weight = Parameter(...)`` in its ``__init__``.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Forward dispatch
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Parameter discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs, recursing into child modules."""
+        for attr, value in vars(self).items():
+            if attr == "training":
+                continue
+            full_name = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield full_name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full_name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full_name}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full_name}.{i}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return all trainable parameters of this module and its children."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(name, module)`` pairs including ``self``."""
+        yield prefix.rstrip("."), self
+        for attr, value in vars(self).items():
+            if isinstance(value, Module):
+                yield from value.named_modules(prefix=f"{prefix}{attr}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_modules(prefix=f"{prefix}{attr}.{i}.")
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights (useful for model-size reporting)."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------
+    # Training mode
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode on this module and every child module."""
+        for _, module in self.named_modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode (disables dropout, deterministic VAE)."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Gradient management
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # State dict (weight transfer / persistence)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Return a name → array copy of every parameter."""
+        return OrderedDict((name, param.data.copy()) for name, param in self.named_parameters())
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load weights produced by :meth:`state_dict`.
+
+        Parameters
+        ----------
+        state:
+            Mapping of parameter name to numpy array.
+        strict:
+            When true, every parameter must be present in ``state`` and have a
+            matching shape; otherwise missing entries are silently skipped.
+        """
+        own = dict(self.named_parameters())
+        if strict:
+            missing = sorted(set(own) - set(state))
+            unexpected = sorted(set(state) - set(own))
+            if missing or unexpected:
+                raise KeyError(
+                    f"state_dict mismatch: missing={missing}, unexpected={unexpected}"
+                )
+        for name, param in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for parameter {name!r}: "
+                    f"expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    def copy_weights_from(self, other: "Module") -> None:
+        """Copy weights from a module with an identical parameter layout."""
+        self.load_state_dict(other.state_dict())

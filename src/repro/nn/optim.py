@@ -1,0 +1,122 @@
+"""Gradient-descent optimisers for the numpy neural-network library.
+
+The paper trains both the representation VAE and the Siamese matcher with
+Adam at a learning rate of 0.001 (Table III); SGD with momentum is included
+for ablations and the simpler baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list and the shared ``zero_grad``."""
+
+    def __init__(self, parameters: Iterable[Parameter]) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015) — the paper's default (Table III)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        betas: tuple = (0.9, 0.999),
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError("betas must lie in [0, 1)")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        bias_correction1 = 1.0 - self.beta1 ** self._step
+        bias_correction2 = 1.0 - self.beta2 ** self._step
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (grad * grad)
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Rescale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping; parameters whose gradient is ``None``
+    are skipped.
+    """
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total

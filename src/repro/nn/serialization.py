@@ -1,0 +1,56 @@
+"""Persist and restore model weights.
+
+The transferability experiments (Section VI-D of the paper) hinge on saving a
+representation model trained on one domain and loading it for another; these
+helpers provide the ``.npz``-based mechanism used throughout the repo.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+PathLike = Union[str, Path]
+
+_META_KEY = "__repro_meta__"
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: PathLike, metadata: Optional[Dict[str, Any]] = None) -> None:
+    """Write a ``state_dict`` (plus optional JSON-serialisable metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(state)
+    if metadata is not None:
+        payload[_META_KEY] = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **payload)
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a ``state_dict`` previously written by :func:`save_state_dict`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files if key != _META_KEY}
+
+
+def load_metadata(path: PathLike) -> Optional[Dict[str, Any]]:
+    """Return the metadata stored alongside a saved model, if any."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if _META_KEY not in archive.files:
+            return None
+        raw = archive[_META_KEY].tobytes().decode("utf-8")
+        return json.loads(raw)
+
+
+def save_module(module: Module, path: PathLike, metadata: Optional[Dict[str, Any]] = None) -> None:
+    """Save the weights of ``module`` to ``path``."""
+    save_state_dict(module.state_dict(), path, metadata=metadata)
+
+
+def load_module(module: Module, path: PathLike, strict: bool = True) -> Module:
+    """Load weights into an already-constructed ``module`` and return it."""
+    module.load_state_dict(load_state_dict(path), strict=strict)
+    return module

@@ -1,0 +1,26 @@
+"""Text processing and Intermediate Representation (IR) substrate."""
+
+from repro.text.tokenize import normalize, tokenize, character_ngrams, sentence_of
+from repro.text.vocab import Vocabulary
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.lsa import LSAModel
+from repro.text.word2vec import Word2Vec
+from repro.text.hash_embedding import HashEmbedding, ContextualHashEmbedding
+from repro.text.embdi import EmbDIModel
+from repro.text.ir import IRGenerator, IR_METHODS
+
+__all__ = [
+    "normalize",
+    "tokenize",
+    "character_ngrams",
+    "sentence_of",
+    "Vocabulary",
+    "TfidfVectorizer",
+    "LSAModel",
+    "Word2Vec",
+    "HashEmbedding",
+    "ContextualHashEmbedding",
+    "EmbDIModel",
+    "IRGenerator",
+    "IR_METHODS",
+]

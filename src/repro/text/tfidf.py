@@ -1,0 +1,89 @@
+"""TF-IDF vectorisation over attribute-value "sentences"."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+from repro.text.tokenize import character_ngrams, tokenize
+from repro.text.vocab import Vocabulary
+
+
+class TfidfVectorizer:
+    """Sparse-free TF-IDF vectoriser (dense output, suitable for small corpora).
+
+    The corpus in every ER task here is the set of attribute-value sentences
+    of both tables — a few thousand short strings at most — so dense
+    document-term matrices are affordable and keep downstream SVD (LSA)
+    simple.
+
+    With ``include_char_ngrams`` the feature space contains word tokens *and*
+    their character n-grams, so typo'd duplicates still share most features.
+    This is the "morphological factors" requirement the paper places on IRs
+    (Section III-B) and is what makes LSA IRs robust on dirty data.
+    """
+
+    def __init__(
+        self,
+        min_count: int = 1,
+        max_features: Optional[int] = None,
+        sublinear_tf: bool = True,
+        include_char_ngrams: bool = False,
+        char_ngram_range: tuple = (3, 4),
+    ) -> None:
+        self.min_count = min_count
+        self.max_features = max_features
+        self.sublinear_tf = sublinear_tf
+        self.include_char_ngrams = include_char_ngrams
+        self.char_ngram_range = char_ngram_range
+        self.vocabulary: Optional[Vocabulary] = None
+        self._idf: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _analyze(self, sentence: str) -> list:
+        tokens = tokenize(sentence)
+        if not self.include_char_ngrams:
+            return tokens
+        features = list(tokens)
+        low, high = self.char_ngram_range
+        for token in tokens:
+            features.extend(character_ngrams(token, low, high))
+        return features
+
+    def fit(self, sentences: Iterable[str]) -> "TfidfVectorizer":
+        documents = [self._analyze(sentence) for sentence in sentences]
+        self.vocabulary = Vocabulary(min_count=self.min_count, max_size=self.max_features).fit(documents)
+        self._idf = self.vocabulary.idf()
+        return self
+
+    def transform(self, sentences: Iterable[str]) -> np.ndarray:
+        if self.vocabulary is None or self._idf is None:
+            raise NotFittedError("TfidfVectorizer.transform called before fit")
+        sentences = list(sentences)
+        matrix = np.zeros((len(sentences), len(self.vocabulary)), dtype=np.float64)
+        for row, sentence in enumerate(sentences):
+            ids = self.vocabulary.encode(self._analyze(sentence))
+            if not ids:
+                continue
+            counts = np.bincount(ids, minlength=len(self.vocabulary)).astype(np.float64)
+            if self.sublinear_tf:
+                nonzero = counts > 0
+                counts[nonzero] = 1.0 + np.log(counts[nonzero])
+            matrix[row] = counts * self._idf
+        # L2-normalise non-empty rows so cosine similarity is meaningful.
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        np.divide(matrix, norms, out=matrix, where=norms > 0)
+        return matrix
+
+    def fit_transform(self, sentences: Iterable[str]) -> np.ndarray:
+        sentences = list(sentences)
+        self.fit(sentences)
+        return self.transform(sentences)
+
+    @property
+    def num_features(self) -> int:
+        if self.vocabulary is None:
+            raise NotFittedError("TfidfVectorizer has not been fitted")
+        return len(self.vocabulary)

@@ -1,0 +1,105 @@
+"""Baseline matchers: threshold, DeepER-, DeepMatcher- and DITTO-style."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINES,
+    DeepERMatcher,
+    DeepMatcherMatcher,
+    DittoMatcher,
+    ThresholdMatcher,
+    jaccard,
+    record_similarity,
+    serialize_pair,
+    serialize_record,
+)
+from repro.data.schema import Record
+from repro.exceptions import NotFittedError
+
+
+class TestJaccardPrimitives:
+    def test_identical_strings(self):
+        assert jaccard("golden dragon", "golden dragon") == 1.0
+
+    def test_disjoint_strings(self):
+        assert jaccard("alpha beta", "gamma delta") == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard("a b c", "b c d") == pytest.approx(0.5)
+
+    def test_empty_strings(self):
+        assert jaccard("", "") == 0.0
+
+    def test_record_similarity_averages_attributes(self):
+        left = Record("l", ("a b", "x"))
+        right = Record("r", ("a b", "y"))
+        assert record_similarity(left, right) == pytest.approx(0.5)
+
+
+class TestSerialization:
+    def test_serialize_record_format(self):
+        record = Record("r", ("golden dragon", "london"))
+        text = serialize_record(record, ("name", "city"))
+        assert text == "COL name VAL golden dragon COL city VAL london"
+
+    def test_serialize_pair_contains_separator(self):
+        left, right = Record("l", ("a",)), Record("r", ("b",))
+        assert "[SEP]" in serialize_pair(left, right, ("attr",))
+
+
+class TestThresholdMatcher:
+    def test_fit_and_evaluate(self, tiny_domain):
+        matcher = ThresholdMatcher().fit(tiny_domain.task, tiny_domain.splits.train)
+        metrics = matcher.evaluate(tiny_domain.task, tiny_domain.splits.test)
+        assert metrics.f1 > 0.3
+
+    def test_predict_before_fit_raises(self, tiny_domain):
+        with pytest.raises(NotFittedError):
+            ThresholdMatcher().predict_proba(tiny_domain.task, tiny_domain.splits.test.pairs())
+
+    def test_threshold_in_range(self, tiny_domain):
+        matcher = ThresholdMatcher().fit(tiny_domain.task, tiny_domain.splits.train)
+        assert 0.0 < matcher.threshold < 1.0
+
+
+class TestDeepBaselines:
+    @pytest.fixture(scope="class", params=["deeper", "deepmatcher", "ditto"])
+    def fitted(self, request, tiny_domain):
+        kwargs = {
+            "deeper": dict(embedding_dim=16, hidden_sizes=(24,), epochs=20),
+            "deepmatcher": dict(embedding_dim=16, summary_dim=16, hidden_sizes=(32, 16), epochs=20),
+            "ditto": dict(embedding_dim=24, hidden_sizes=(32,), epochs=20),
+        }[request.param]
+        matcher = BASELINES[request.param](**kwargs)
+        matcher.fit(tiny_domain.task, tiny_domain.splits.train, tiny_domain.splits.validation)
+        return request.param, matcher
+
+    def test_training_reduces_loss(self, fitted):
+        _, matcher = fitted
+        assert matcher.training_history.improved()
+
+    def test_probabilities_valid(self, fitted, tiny_domain):
+        _, matcher = fitted
+        probabilities = matcher.predict_proba(tiny_domain.task, tiny_domain.splits.test.pairs())
+        assert probabilities.shape == (len(tiny_domain.splits.test),)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_beats_chance_on_test(self, fitted, tiny_domain):
+        _, matcher = fitted
+        metrics = matcher.evaluate(tiny_domain.task, tiny_domain.splits.test)
+        assert metrics.f1 > 0.3
+
+    def test_separates_training_classes(self, fitted, tiny_domain):
+        _, matcher = fitted
+        probabilities = matcher.predict_proba(tiny_domain.task, tiny_domain.splits.train.pairs())
+        labels = tiny_domain.splits.train.labels()
+        assert probabilities[labels == 1].mean() > probabilities[labels == 0].mean()
+
+    def test_unfitted_raises(self, tiny_domain):
+        for cls in (DeepERMatcher, DeepMatcherMatcher, DittoMatcher):
+            with pytest.raises(NotFittedError):
+                cls().predict_proba(tiny_domain.task, tiny_domain.splits.test.pairs())
+
+    def test_registry_contains_all(self):
+        assert set(BASELINES) == {"deeper", "deepmatcher", "ditto", "threshold"}

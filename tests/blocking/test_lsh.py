@@ -1,0 +1,95 @@
+"""Euclidean LSH index correctness and recall behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import EuclideanLSHIndex
+from repro.exceptions import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def clustered_vectors():
+    """Three well-separated clusters of 20 points each."""
+    rng = np.random.default_rng(3)
+    centres = np.array([[0.0] * 8, [50.0] * 8, [-50.0] * 8])
+    vectors, labels = [], []
+    for c, centre in enumerate(centres):
+        vectors.append(centre + rng.normal(scale=0.5, size=(20, 8)))
+        labels.extend([c] * 20)
+    return np.vstack(vectors), np.array(labels)
+
+
+class TestEuclideanLSHIndex:
+    def test_query_before_build_raises(self):
+        with pytest.raises(NotFittedError):
+            EuclideanLSHIndex().query(np.zeros(4))
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            EuclideanLSHIndex(num_tables=0)
+        with pytest.raises(ValueError):
+            EuclideanLSHIndex(bucket_width=0.0)
+
+    def test_build_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            EuclideanLSHIndex().build(np.zeros(5))
+
+    def test_keys_must_align(self):
+        with pytest.raises(ValueError):
+            EuclideanLSHIndex().build(np.zeros((3, 2)), keys=["a"])
+
+    def test_exact_match_is_nearest(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = EuclideanLSHIndex(seed=1).build(vectors)
+        key, distance = index.query(vectors[5], k=1)[0]
+        assert key == 5 and distance == pytest.approx(0.0)
+
+    def test_neighbours_come_from_same_cluster(self, clustered_vectors):
+        vectors, labels = clustered_vectors
+        index = EuclideanLSHIndex(seed=1).build(vectors)
+        for query_index in (0, 25, 45):
+            neighbours = index.query(vectors[query_index], k=5)
+            neighbour_labels = [labels[k] for k, _ in neighbours]
+            assert all(l == labels[query_index] for l in neighbour_labels)
+
+    def test_exclude_key(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = EuclideanLSHIndex(seed=1).build(vectors)
+        results = index.query(vectors[0], k=3, exclude=0)
+        assert 0 not in [k for k, _ in results]
+
+    def test_custom_keys_returned(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        keys = [f"id{i}" for i in range(len(vectors))]
+        index = EuclideanLSHIndex(seed=1).build(vectors, keys)
+        assert index.query(vectors[0], k=1)[0][0] == "id0"
+
+    def test_distances_sorted_ascending(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = EuclideanLSHIndex(seed=1).build(vectors)
+        distances = [d for _, d in index.query(vectors[0], k=10)]
+        assert distances == sorted(distances)
+
+    def test_fallback_when_buckets_sparse(self):
+        """With very few points, recall must not collapse (linear-scan fallback)."""
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(6, 4)) * 100
+        index = EuclideanLSHIndex(bucket_width=0.01, seed=2).build(vectors)
+        assert len(index.query(vectors[0], k=5)) == 5
+
+    def test_query_batch(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = EuclideanLSHIndex(seed=1).build(vectors)
+        results = index.query_batch(vectors[:3], k=2)
+        assert len(results) == 3 and all(len(r) == 2 for r in results)
+
+    def test_bucket_statistics(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = EuclideanLSHIndex(seed=1).build(vectors)
+        stats = index.bucket_statistics()
+        assert stats["num_buckets"] >= 1 and stats["max_bucket_size"] >= stats["mean_bucket_size"]
+
+    def test_size_property(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        assert EuclideanLSHIndex().build(vectors).size == len(vectors)
+        assert EuclideanLSHIndex().size == 0

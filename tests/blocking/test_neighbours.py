@@ -1,0 +1,50 @@
+"""Top-K nearest neighbour search and candidate-pair generation."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import NearestNeighbourSearch
+from repro.config import BlockingConfig
+
+
+@pytest.fixture(scope="module")
+def indexed_search():
+    rng = np.random.default_rng(11)
+    right = rng.normal(size=(30, 6))
+    keys = [f"r{i}" for i in range(30)]
+    search = NearestNeighbourSearch(BlockingConfig(seed=5)).build(right, keys)
+    return search, right
+
+
+class TestNearestNeighbourSearch:
+    def test_top_k_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            NearestNeighbourSearch().top_k(np.zeros((1, 4)), ["q0"], k=2)
+
+    def test_top_k_returns_k_results(self, indexed_search):
+        search, right = indexed_search
+        results = search.top_k(right[:5], [f"q{i}" for i in range(5)], k=4)
+        assert len(results) == 5
+        assert all(len(r.neighbours) == 4 for r in results)
+
+    def test_nearest_is_itself_when_key_differs(self, indexed_search):
+        search, right = indexed_search
+        result = search.top_k(right[:1], ["query"], k=1)[0]
+        assert result.neighbours[0][0] == "r0"
+
+    def test_query_key_excluded_from_own_results(self, indexed_search):
+        search, right = indexed_search
+        result = search.top_k(right[:1], ["r0"], k=3)[0]
+        assert "r0" not in result.keys()
+
+    def test_candidate_pairs_unique(self, indexed_search):
+        search, right = indexed_search
+        pairs = search.candidate_pairs(right[:4], [f"q{i}" for i in range(4)], k=3)
+        keys = [(p.left_id, p.right_id) for p in pairs]
+        assert len(keys) == len(set(keys)) == 12
+
+    def test_neighbour_map_structure(self, indexed_search):
+        search, right = indexed_search
+        mapping = search.neighbour_map(right[:3], ["a", "b", "c"], k=2)
+        assert set(mapping) == {"a", "b", "c"}
+        assert all(len(v) == 2 for v in mapping.values())

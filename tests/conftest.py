@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (generated domains, fitted representation models) are
+session-scoped so the several hundred tests stay fast on CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ActiveLearningConfig, MatcherConfig, VAEConfig
+from repro.core.representation import EntityRepresentationModel
+from repro.data.generators import DomainSpec, SyntheticDomainGenerator, load_domain
+from repro.data.generators.base import compose, pick
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_vae_config() -> VAEConfig:
+    """Tiny VAE configuration used across model tests."""
+    return VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=4, batch_size=32, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_matcher_config() -> MatcherConfig:
+    return MatcherConfig(epochs=25, mlp_hidden=(32, 16), seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_al_config() -> ActiveLearningConfig:
+    return ActiveLearningConfig(
+        samples_per_iteration=8,
+        top_neighbours=5,
+        iterations=3,
+        kde_samples_per_pair=25,
+        bootstrap_positives=8,
+        bootstrap_negatives=8,
+        retrain_epochs=10,
+        seed=11,
+    )
+
+
+def _tiny_entity(rng: np.random.Generator):
+    """Entity factory for a minimal 3-attribute test domain."""
+    pool_a = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+              "iota", "kappa", "lambda", "sigma", "omega", "nu", "xi", "pi"]
+    pool_b = ["london", "paris", "berlin", "madrid", "rome", "vienna", "oslo", "dublin"]
+    name = compose(rng, pool_a, 2, 3)
+    city = pick(rng, pool_b)
+    price = f"{rng.uniform(5, 200):.2f}"
+    return (name, city, price)
+
+
+@pytest.fixture(scope="session")
+def tiny_domain():
+    """A very small synthetic domain used by most model-level tests."""
+    spec = DomainSpec(
+        name="tinytest",
+        attributes=("name", "city", "price"),
+        entity_factory=_tiny_entity,
+        clean=True,
+        numeric_attributes=(False, False, True),
+        left_size=40,
+        right_size=36,
+        overlap_fraction=0.6,
+        train_size=60,
+        valid_size=12,
+        test_size=24,
+        positive_fraction=0.3,
+    )
+    return SyntheticDomainGenerator(spec, seed=99).generate()
+
+
+@pytest.fixture(scope="session")
+def restaurants_domain():
+    """The restaurants benchmark domain at reduced scale."""
+    return load_domain("restaurants", scale=0.6)
+
+
+@pytest.fixture(scope="session")
+def tiny_representation(tiny_domain, small_vae_config):
+    """A representation model fitted on the tiny domain (session-scoped)."""
+    return EntityRepresentationModel(small_vae_config, ir_method="lsa").fit(tiny_domain.task)

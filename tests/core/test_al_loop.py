@@ -1,0 +1,109 @@
+"""The active-learning loop end to end (Algorithm 2 outer structure)."""
+
+import numpy as np
+import pytest
+
+from repro.config import MatcherConfig
+from repro.core.active import ActiveLearningLoop, GroundTruthOracle
+from repro.exceptions import ActiveLearningError
+
+
+@pytest.fixture(scope="module")
+def loop_matcher_config():
+    return MatcherConfig(epochs=12, mlp_hidden=(24, 12), seed=17)
+
+
+@pytest.fixture(scope="module")
+def al_result(tiny_domain, tiny_representation, small_al_config, loop_matcher_config):
+    oracle = GroundTruthOracle(tiny_domain.task)
+    loop = ActiveLearningLoop(
+        task=tiny_domain.task,
+        representation=tiny_representation,
+        oracle=oracle,
+        config=small_al_config,
+        matcher_config=loop_matcher_config,
+        test_pairs=tiny_domain.splits.test,
+    )
+    result = loop.run(iterations=3)
+    return result, oracle
+
+
+class TestActiveLearningLoop:
+    def test_unknown_strategy_rejected(self, tiny_domain, tiny_representation, small_al_config):
+        with pytest.raises(ActiveLearningError):
+            ActiveLearningLoop(
+                tiny_domain.task, tiny_representation, GroundTruthOracle(tiny_domain.task),
+                config=small_al_config, strategy="banana",
+            )
+
+    def test_history_grows_with_iterations(self, al_result):
+        result, _ = al_result
+        assert len(result.history) >= 2
+        assert result.history[0].iteration == 0
+
+    def test_labeled_pool_grows(self, al_result):
+        result, _ = al_result
+        first, last = result.history[0], result.history[-1]
+        total_first = first.labeled_positives + first.labeled_negatives
+        total_last = last.labeled_positives + last.labeled_negatives
+        assert total_last > total_first
+
+    def test_oracle_labels_counted(self, al_result, small_al_config):
+        result, oracle = al_result
+        assert oracle.labels_provided > 0
+        assert result.labels_used == oracle.labels_provided
+
+    def test_labels_match_ground_truth(self, al_result, tiny_domain):
+        result, _ = al_result
+        for pair in result.positives:
+            # Bootstrap positives are verified; oracle-labeled ones are true by construction.
+            assert tiny_domain.task.true_match(pair.left_id, pair.right_id)
+        for pair in result.negatives:
+            assert not tiny_domain.task.true_match(pair.left_id, pair.right_id)
+
+    def test_test_metrics_recorded(self, al_result):
+        result, _ = al_result
+        assert all(record.test_metrics is not None for record in result.history)
+        assert all(0.0 <= record.test_metrics.f1 <= 1.0 for record in result.history)
+
+    def test_f1_trace_shape(self, al_result):
+        result, _ = al_result
+        trace = result.f1_trace()
+        assert len(trace) == len(result.history)
+        labels = [labels_used for labels_used, _ in trace]
+        assert labels == sorted(labels)
+
+    def test_final_matcher_is_usable(self, al_result, tiny_domain, tiny_representation):
+        from repro.core.matcher import pair_ir_arrays
+
+        result, _ = al_result
+        left, right, _ = pair_ir_arrays(tiny_representation, tiny_domain.task, tiny_domain.splits.test)
+        probabilities = result.matcher.predict_proba(left, right)
+        assert probabilities.shape == (len(tiny_domain.splits.test),)
+
+    def test_label_budget_respected(self, tiny_domain, tiny_representation, small_al_config, loop_matcher_config):
+        oracle = GroundTruthOracle(tiny_domain.task)
+        loop = ActiveLearningLoop(
+            tiny_domain.task, tiny_representation, oracle,
+            config=small_al_config, matcher_config=loop_matcher_config,
+        )
+        loop.run(iterations=10, label_budget=10)
+        assert oracle.labels_provided <= 10
+
+    def test_random_strategy_runs(self, tiny_domain, tiny_representation, small_al_config, loop_matcher_config):
+        oracle = GroundTruthOracle(tiny_domain.task)
+        loop = ActiveLearningLoop(
+            tiny_domain.task, tiny_representation, oracle,
+            config=small_al_config, matcher_config=loop_matcher_config, strategy="random",
+        )
+        result = loop.run(iterations=1)
+        assert oracle.labels_provided > 0 and result.matcher is not None
+
+    def test_entropy_strategy_runs(self, tiny_domain, tiny_representation, small_al_config, loop_matcher_config):
+        oracle = GroundTruthOracle(tiny_domain.task)
+        loop = ActiveLearningLoop(
+            tiny_domain.task, tiny_representation, oracle,
+            config=small_al_config, matcher_config=loop_matcher_config, strategy="entropy",
+        )
+        result = loop.run(iterations=1)
+        assert oracle.labels_provided > 0 and len(result.history) == 2

@@ -1,0 +1,180 @@
+"""Algorithm 1 (bootstrap) and Algorithm 2 sampling components."""
+
+import numpy as np
+import pytest
+
+from repro.config import ActiveLearningConfig
+from repro.core.active import (
+    EntropySampler,
+    GaussianKDE,
+    LatentSpaceSampler,
+    RandomSampler,
+    bootstrap_training_data,
+    duplicate_distance_samples,
+    entropy_of,
+    pair_latent_distances,
+)
+from repro.data.pairs import PairSet, RecordPair
+
+
+@pytest.fixture(scope="module")
+def bootstrap_result(tiny_domain, tiny_representation, small_al_config):
+    return bootstrap_training_data(
+        tiny_domain.task, tiny_representation, config=small_al_config, verify_positives=False
+    )
+
+
+class TestBootstrap:
+    def test_returns_both_classes(self, bootstrap_result, small_al_config):
+        assert 0 < len(bootstrap_result.positives) <= small_al_config.bootstrap_positives
+        assert 0 < len(bootstrap_result.negatives) <= small_al_config.bootstrap_negatives
+
+    def test_unlabeled_pool_disjoint_from_labeled(self, bootstrap_result):
+        labeled_keys = {p.key() for p in bootstrap_result.labeled()}
+        assert not any(pair.key() in labeled_keys for pair in bootstrap_result.unlabeled)
+
+    def test_positives_have_smaller_distances_than_negatives(self, bootstrap_result):
+        pos_distances = [bootstrap_result.distances[p.key()] for p in bootstrap_result.positives]
+        neg_distances = [bootstrap_result.distances[p.key()] for p in bootstrap_result.negatives]
+        assert max(pos_distances) <= min(neg_distances)
+
+    def test_automatic_positives_are_mostly_true_duplicates(self, tiny_domain, bootstrap_result):
+        """The paper's premise: W2-closest pairs are (almost all) duplicates."""
+        correct = sum(
+            tiny_domain.task.true_match(p.left_id, p.right_id) for p in bootstrap_result.positives
+        )
+        assert correct / len(bootstrap_result.positives) >= 0.6
+
+    def test_verify_positives_removes_false_ones(self, tiny_domain, tiny_representation, small_al_config):
+        verified = bootstrap_training_data(
+            tiny_domain.task, tiny_representation, config=small_al_config, verify_positives=True
+        )
+        for pair in verified.positives:
+            assert tiny_domain.task.true_match(pair.left_id, pair.right_id)
+
+    def test_summary_mentions_counts(self, bootstrap_result):
+        assert "positives" in bootstrap_result.summary()
+
+
+class TestEntropy:
+    def test_maximal_at_half(self):
+        assert entropy_of(np.array([0.5]))[0] == pytest.approx(np.log(2))
+
+    def test_near_zero_at_extremes(self):
+        values = entropy_of(np.array([0.001, 0.999]))
+        assert np.all(values < 0.01)
+
+    def test_symmetric(self):
+        assert entropy_of(np.array([0.3]))[0] == pytest.approx(entropy_of(np.array([0.7]))[0])
+
+
+class TestDiversityEstimation:
+    def test_duplicate_distance_samples_shape(self, tiny_domain, tiny_representation):
+        positives = PairSet(tiny_domain.splits.train.positives().pairs()[:3])
+        samples = duplicate_distance_samples(
+            tiny_domain.task, tiny_representation, positives, samples_per_pair=15,
+            rng=np.random.default_rng(0),
+        )
+        assert samples.shape == (45,)
+        assert np.all(samples >= 0)
+
+    def test_empty_positive_set_gives_empty_samples(self, tiny_domain, tiny_representation):
+        samples = duplicate_distance_samples(tiny_domain.task, tiny_representation, PairSet())
+        assert samples.size == 0
+
+    def test_pair_latent_distances(self, tiny_domain, tiny_representation):
+        pairs = [RecordPair(p.left_id, p.right_id) for p in tiny_domain.splits.test.pairs()[:5]]
+        distances = pair_latent_distances(tiny_domain.task, tiny_representation, pairs)
+        assert distances.shape == (5,) and np.all(distances >= 0)
+
+    def test_duplicate_distances_smaller_than_negative_distances(self, tiny_domain, tiny_representation):
+        positives = [RecordPair(p.left_id, p.right_id) for p in tiny_domain.splits.train.positives()]
+        negatives = [RecordPair(p.left_id, p.right_id) for p in tiny_domain.splits.train.negatives()]
+        d_pos = pair_latent_distances(tiny_domain.task, tiny_representation, positives)
+        d_neg = pair_latent_distances(tiny_domain.task, tiny_representation, negatives)
+        assert d_pos.mean() < d_neg.mean()
+
+
+class TestLatentSpaceSampler:
+    @pytest.fixture(scope="class")
+    def scored_pool(self, rng):
+        pairs = [RecordPair(f"l{i}", f"r{i}") for i in range(40)]
+        probabilities = rng.random(40)
+        distances = rng.random(40) * 2
+        return pairs, probabilities, distances
+
+    def test_selection_respects_per_category_budget(self, scored_pool, small_al_config, rng):
+        pairs, probabilities, distances = scored_pool
+        sampler = LatentSpaceSampler(small_al_config)
+        kde = GaussianKDE().fit(rng.random(50) * 0.5)
+        selection = sampler.select(pairs, probabilities, distances, kde, per_category=3)
+        assert len(selection.certain_positives) <= 3
+        assert len(selection.uncertain_negatives) <= 3
+
+    def test_no_pair_selected_twice(self, scored_pool, small_al_config, rng):
+        pairs, probabilities, distances = scored_pool
+        sampler = LatentSpaceSampler(small_al_config)
+        kde = GaussianKDE().fit(rng.random(50) * 0.5)
+        selection = sampler.select(pairs, probabilities, distances, kde, per_category=5)
+        keys = [p.key() for p in selection.all_pairs()]
+        assert len(keys) == len(set(keys))
+
+    def test_class_balance_property(self, scored_pool, small_al_config, rng):
+        """Positive categories only contain predicted positives, and vice versa."""
+        pairs, probabilities, distances = scored_pool
+        sampler = LatentSpaceSampler(small_al_config)
+        kde = GaussianKDE().fit(rng.random(50))
+        selection = sampler.select(pairs, probabilities, distances, kde, per_category=4)
+        probability_of = {p.key(): probabilities[i] for i, p in enumerate(pairs)}
+        assert all(probability_of[p.key()] > 0.5 for p in selection.certain_positives)
+        assert all(probability_of[p.key()] <= 0.5 for p in selection.certain_negatives)
+
+    def test_certain_positives_have_low_entropy(self, scored_pool, small_al_config, rng):
+        pairs, probabilities, distances = scored_pool
+        sampler = LatentSpaceSampler(small_al_config)
+        kde = GaussianKDE().fit(rng.random(100))
+        selection = sampler.select(pairs, probabilities, distances, kde, per_category=3)
+        entropy = entropy_of(probabilities)
+        entropy_of_pair = {p.key(): entropy[i] for i, p in enumerate(pairs)}
+        positive_entropies = [entropy_of_pair[p.key()] for p in selection.certain_positives]
+        uncertain_entropies = [entropy_of_pair[p.key()] for p in selection.uncertain_positives]
+        if positive_entropies and uncertain_entropies:
+            assert np.mean(positive_entropies) <= np.mean(uncertain_entropies) + 1e-9
+
+    def test_empty_pool(self, small_al_config, rng):
+        sampler = LatentSpaceSampler(small_al_config)
+        kde = GaussianKDE().fit(rng.random(10))
+        selection = sampler.select([], np.zeros(0), np.zeros(0), kde)
+        assert len(selection) == 0
+
+    def test_misaligned_inputs_rejected(self, small_al_config, rng):
+        sampler = LatentSpaceSampler(small_al_config)
+        kde = GaussianKDE().fit(rng.random(10))
+        with pytest.raises(ValueError):
+            sampler.select([RecordPair("a", "b")], np.zeros(2), np.zeros(1), kde)
+
+    def test_fit_positive_kde_on_tiny_seed(self, tiny_domain, tiny_representation, small_al_config):
+        sampler = LatentSpaceSampler(small_al_config)
+        positives = PairSet(tiny_domain.splits.train.positives().pairs()[:2])
+        kde = sampler.fit_positive_kde(tiny_domain.task, tiny_representation, positives)
+        assert np.isfinite(kde.likelihood(0.1))
+
+
+class TestBaselineSamplers:
+    def test_random_sampler_size(self, small_al_config):
+        pairs = [RecordPair(f"l{i}", f"r{i}") for i in range(30)]
+        selected = RandomSampler(small_al_config, seed=1).select(pairs)
+        assert len(selected) == small_al_config.samples_per_iteration
+
+    def test_random_sampler_handles_small_pool(self, small_al_config):
+        pairs = [RecordPair("a", "b")]
+        assert len(RandomSampler(small_al_config).select(pairs)) == 1
+
+    def test_entropy_sampler_picks_most_uncertain(self, small_al_config):
+        pairs = [RecordPair(f"l{i}", f"r{i}") for i in range(5)]
+        probabilities = np.array([0.01, 0.5, 0.95, 0.45, 0.99])
+        selected = EntropySampler(small_al_config).select(pairs, probabilities, batch_size=2)
+        assert {p.key() for p in selected} == {("l1", "r1"), ("l3", "r3")}
+
+    def test_entropy_sampler_empty_pool(self, small_al_config):
+        assert EntropySampler(small_al_config).select([], np.zeros(0)) == []

@@ -1,0 +1,106 @@
+"""Wasserstein / Mahalanobis distance properties (Equation 3)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradient
+from repro.core.distances import (
+    euclidean,
+    mahalanobis_squared,
+    tuple_wasserstein,
+    wasserstein2_squared,
+    wasserstein2_vector,
+    wasserstein2_vector_t,
+    mahalanobis_vector_t,
+)
+
+
+class TestWasserstein:
+    def test_zero_for_identical_gaussians(self, rng):
+        mu, sigma = rng.normal(size=5), np.abs(rng.normal(size=5))
+        assert wasserstein2_squared(mu, sigma, mu, sigma) == pytest.approx(0.0)
+
+    def test_symmetry(self, rng):
+        mu_p, mu_q = rng.normal(size=5), rng.normal(size=5)
+        sigma_p, sigma_q = np.abs(rng.normal(size=5)), np.abs(rng.normal(size=5))
+        assert wasserstein2_squared(mu_p, sigma_p, mu_q, sigma_q) == pytest.approx(
+            wasserstein2_squared(mu_q, sigma_q, mu_p, sigma_p)
+        )
+
+    def test_nonnegative(self, rng):
+        for _ in range(10):
+            d = wasserstein2_squared(
+                rng.normal(size=4), np.abs(rng.normal(size=4)),
+                rng.normal(size=4), np.abs(rng.normal(size=4)),
+            )
+            assert d >= 0
+
+    def test_matches_equation3(self):
+        mu_p, sigma_p = np.array([1.0, 0.0]), np.array([1.0, 2.0])
+        mu_q, sigma_q = np.array([0.0, 0.0]), np.array([2.0, 2.0])
+        expected = (1 - 0) ** 2 + (1 - 2) ** 2
+        assert wasserstein2_squared(mu_p, sigma_p, mu_q, sigma_q) == pytest.approx(expected)
+
+    def test_vector_sums_to_squared(self, rng):
+        mu_p, mu_q = rng.normal(size=6), rng.normal(size=6)
+        sigma_p, sigma_q = np.abs(rng.normal(size=6)), np.abs(rng.normal(size=6))
+        vec = wasserstein2_vector(mu_p, sigma_p, mu_q, sigma_q)
+        assert vec.sum() == pytest.approx(wasserstein2_squared(mu_p, sigma_p, mu_q, sigma_q))
+
+    def test_correlates_with_euclidean_mean_distance(self, rng):
+        """The property Algorithm 1 relies on for using Euclidean LSH."""
+        sigma = np.abs(rng.normal(size=8)) * 0.01
+        base = rng.normal(size=8)
+        w2, eu = [], []
+        for scale in np.linspace(0.1, 5.0, 20):
+            other = base + scale
+            w2.append(wasserstein2_squared(base, sigma, other, sigma))
+            eu.append(euclidean(base, other))
+        assert np.corrcoef(w2, eu)[0, 1] > 0.9
+
+    def test_tuple_wasserstein_averages_attributes(self, rng):
+        mu_p, mu_q = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        sigma_p, sigma_q = np.abs(rng.normal(size=(3, 4))), np.abs(rng.normal(size=(3, 4)))
+        per_attr = wasserstein2_squared(mu_p, sigma_p, mu_q, sigma_q)
+        assert tuple_wasserstein(mu_p, sigma_p, mu_q, sigma_q) == pytest.approx(per_attr.mean())
+
+
+class TestMahalanobis:
+    def test_zero_for_identical(self, rng):
+        mu, sigma = rng.normal(size=5), np.abs(rng.normal(size=5)) + 0.5
+        assert mahalanobis_squared(mu, sigma, mu, sigma) == pytest.approx(0.0, abs=1e-9)
+
+    def test_scaled_by_variance(self):
+        mu_p, mu_q = np.array([1.0]), np.array([0.0])
+        narrow = mahalanobis_squared(mu_p, np.array([0.1]), mu_q, np.array([0.1]))
+        wide = mahalanobis_squared(mu_p, np.array([2.0]), mu_q, np.array([2.0]))
+        assert narrow > wide
+
+    def test_symmetry(self, rng):
+        mu_p, mu_q = rng.normal(size=4), rng.normal(size=4)
+        sigma_p, sigma_q = np.abs(rng.normal(size=4)) + 0.1, np.abs(rng.normal(size=4)) + 0.1
+        assert mahalanobis_squared(mu_p, sigma_p, mu_q, sigma_q) == pytest.approx(
+            mahalanobis_squared(mu_q, sigma_q, mu_p, sigma_p)
+        )
+
+
+class TestDifferentiableVersions:
+    def test_tensor_matches_numpy(self, rng):
+        mu_p, mu_q = rng.normal(size=(2, 3)), rng.normal(size=(2, 3))
+        sigma_p, sigma_q = np.abs(rng.normal(size=(2, 3))), np.abs(rng.normal(size=(2, 3)))
+        tensor_version = wasserstein2_vector_t(Tensor(mu_p), Tensor(sigma_p), Tensor(mu_q), Tensor(sigma_q))
+        assert np.allclose(tensor_version.data, wasserstein2_vector(mu_p, sigma_p, mu_q, sigma_q))
+
+    def test_wasserstein_gradients(self, rng):
+        inputs = [rng.normal(size=(2, 3)) for _ in range(4)]
+        check_gradient(
+            lambda a, b, c, d: wasserstein2_vector_t(a, b, c, d).sum(), inputs
+        )
+
+    def test_mahalanobis_gradients(self, rng):
+        mu_p, mu_q = rng.normal(size=(2, 3)), rng.normal(size=(2, 3))
+        sigma_p, sigma_q = np.abs(rng.normal(size=(2, 3))) + 0.5, np.abs(rng.normal(size=(2, 3))) + 0.5
+        check_gradient(
+            lambda a, b, c, d: mahalanobis_vector_t(a, b, c, d).sum(),
+            [mu_p, sigma_p, mu_q, sigma_q],
+        )

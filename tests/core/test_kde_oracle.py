@@ -1,0 +1,96 @@
+"""Gaussian KDE and labeling oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core.active import BudgetedOracle, GaussianKDE, GroundTruthOracle, NoisyOracle
+from repro.data.pairs import RecordPair
+from repro.exceptions import NotFittedError
+
+
+class TestGaussianKDE:
+    def test_evaluate_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GaussianKDE().evaluate([0.0])
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKDE().fit([])
+
+    def test_density_peaks_at_data(self, rng):
+        samples = rng.normal(loc=5.0, scale=0.5, size=500)
+        kde = GaussianKDE().fit(samples)
+        assert kde.likelihood(5.0) > kde.likelihood(10.0)
+
+    def test_density_integrates_to_one(self, rng):
+        samples = rng.normal(size=300)
+        kde = GaussianKDE().fit(samples)
+        grid = np.linspace(-6, 6, 2000)
+        integral = np.trapezoid(kde.evaluate(grid), grid)
+        assert integral == pytest.approx(1.0, abs=0.02)
+
+    def test_matches_scipy_reference(self, rng):
+        from scipy.stats import gaussian_kde as scipy_kde
+        samples = rng.normal(size=200)
+        ours = GaussianKDE().fit(samples)
+        theirs = scipy_kde(samples)
+        grid = np.linspace(-3, 3, 25)
+        # Bandwidth rules differ (Silverman variants), so compare shapes loosely.
+        correlation = np.corrcoef(ours.evaluate(grid), theirs(grid))[0, 1]
+        assert correlation > 0.98
+
+    def test_bimodal_distribution_has_two_peaks(self, rng):
+        samples = np.concatenate([rng.normal(-4, 0.3, 200), rng.normal(4, 0.3, 200)])
+        kde = GaussianKDE().fit(samples)
+        assert kde.likelihood(-4.0) > kde.likelihood(0.0)
+        assert kde.likelihood(4.0) > kde.likelihood(0.0)
+
+    def test_constant_samples_do_not_crash(self):
+        kde = GaussianKDE().fit(np.zeros(10))
+        assert np.isfinite(kde.likelihood(0.0))
+
+    def test_explicit_bandwidth_respected(self, rng):
+        kde = GaussianKDE(bandwidth=0.7).fit(rng.normal(size=50))
+        assert kde.fitted_bandwidth == 0.7
+
+    def test_likelihood_floor(self, rng):
+        kde = GaussianKDE().fit(rng.normal(size=50))
+        assert kde.likelihood(1e9) >= 1e-9
+
+
+class TestOracles:
+    def test_ground_truth_oracle_counts(self, tiny_domain):
+        oracle = GroundTruthOracle(tiny_domain.task)
+        left_id, right_id = next(iter(tiny_domain.duplicate_map.items()))
+        assert oracle.label(RecordPair(left_id, right_id)) == 1
+        assert oracle.labels_provided == 1
+        oracle.reset()
+        assert oracle.labels_provided == 0
+
+    def test_ground_truth_negative(self, tiny_domain):
+        oracle = GroundTruthOracle(tiny_domain.task)
+        negatives = tiny_domain.splits.train.negatives().pairs()
+        assert oracle.label(RecordPair(negatives[0].left_id, negatives[0].right_id)) == 0
+
+    def test_noisy_oracle_flips_sometimes(self, tiny_domain):
+        oracle = NoisyOracle(tiny_domain.task, flip_probability=0.4, seed=1)
+        left_id, right_id = next(iter(tiny_domain.duplicate_map.items()))
+        labels = [oracle.label(RecordPair(left_id, right_id)) for _ in range(100)]
+        assert 0 < sum(labels) < 100
+
+    def test_noisy_oracle_invalid_probability(self, tiny_domain):
+        with pytest.raises(ValueError):
+            NoisyOracle(tiny_domain.task, flip_probability=0.7)
+
+    def test_budgeted_oracle_enforces_budget(self, tiny_domain):
+        oracle = BudgetedOracle(GroundTruthOracle(tiny_domain.task), budget=2)
+        pair = RecordPair(*next(iter(tiny_domain.duplicate_map.items())))
+        oracle.label(pair)
+        oracle.label(pair)
+        assert oracle.remaining == 0
+        with pytest.raises(RuntimeError):
+            oracle.label(pair)
+
+    def test_budgeted_oracle_invalid_budget(self, tiny_domain):
+        with pytest.raises(ValueError):
+            BudgetedOracle(GroundTruthOracle(tiny_domain.task), budget=0)

@@ -1,0 +1,103 @@
+"""EntityRepresentationModel: fitting, encoding, persistence, similarity."""
+
+import numpy as np
+import pytest
+
+from repro.config import VAEConfig
+from repro.core.representation import EntityEncoding, EntityRepresentationModel
+from repro.exceptions import NotFittedError
+
+
+class TestEntityEncoding:
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            EntityEncoding(keys=("a",), mu=rng.normal(size=(1, 2, 3)), sigma=rng.normal(size=(1, 2, 4)))
+        with pytest.raises(ValueError):
+            EntityEncoding(keys=("a", "b"), mu=rng.normal(size=(1, 2, 3)), sigma=rng.normal(size=(1, 2, 3)))
+
+    def test_lookup_by_key(self, rng):
+        encoding = EntityEncoding(keys=("a", "b"), mu=rng.normal(size=(2, 3, 4)), sigma=np.abs(rng.normal(size=(2, 3, 4))))
+        mu, sigma = encoding.of("b")
+        assert mu.shape == (3, 4)
+        with pytest.raises(KeyError):
+            encoding.of("missing")
+
+    def test_flat_mu(self, rng):
+        encoding = EntityEncoding(keys=("a",), mu=rng.normal(size=(1, 3, 4)), sigma=np.abs(rng.normal(size=(1, 3, 4))))
+        assert encoding.flat_mu().shape == (1, 12)
+
+    def test_properties(self, rng):
+        encoding = EntityEncoding(keys=("a", "b"), mu=rng.normal(size=(2, 3, 4)), sigma=np.abs(rng.normal(size=(2, 3, 4))))
+        assert len(encoding) == 2 and encoding.arity == 3 and encoding.latent_dim == 4
+
+
+class TestEntityRepresentationModel:
+    def test_unfitted_raises(self, tiny_domain, small_vae_config):
+        model = EntityRepresentationModel(small_vae_config)
+        with pytest.raises(NotFittedError):
+            model.encode_table(tiny_domain.task.left)
+
+    def test_fit_trains_vae(self, tiny_representation):
+        assert tiny_representation.training_history is not None
+        assert tiny_representation.training_history.improved()
+
+    def test_encode_table_shapes(self, tiny_domain, tiny_representation, small_vae_config):
+        encoding = tiny_representation.encode_table(tiny_domain.task.left)
+        assert encoding.mu.shape == (
+            len(tiny_domain.task.left), tiny_domain.task.arity, small_vae_config.latent_dim,
+        )
+        assert np.all(encoding.sigma > 0)
+
+    def test_encode_task_returns_both_sides(self, tiny_domain, tiny_representation):
+        encodings = tiny_representation.encode_task(tiny_domain.task)
+        assert set(encodings) == {"left", "right"}
+
+    def test_encode_record(self, tiny_domain, tiny_representation, small_vae_config):
+        record = tiny_domain.task.left.records()[0]
+        mu, sigma = tiny_representation.encode_record(record)
+        assert mu.shape == (tiny_domain.task.arity, small_vae_config.latent_dim)
+
+    def test_duplicates_closer_than_non_duplicates(self, tiny_domain, tiny_representation):
+        """The headline property: VAE encodings are similarity-preserving."""
+        left = tiny_representation.encode_table(tiny_domain.task.left)
+        right = tiny_representation.encode_table(tiny_domain.task.right)
+        rng = np.random.default_rng(0)
+        dup, rand = [], []
+        for left_id, right_id in tiny_domain.duplicate_map.items():
+            mu_l, _ = left.of(left_id)
+            mu_r, _ = right.of(right_id)
+            dup.append(np.linalg.norm(mu_l - mu_r))
+            other = right.keys[rng.integers(0, len(right.keys))]
+            mu_o, _ = right.of(other)
+            rand.append(np.linalg.norm(mu_l - mu_o))
+        assert np.mean(dup) < np.mean(rand)
+
+    def test_sample_record_latents_shape(self, tiny_domain, tiny_representation, small_vae_config):
+        record = tiny_domain.task.left.records()[0]
+        samples = tiny_representation.sample_record_latents(record, 20, rng=np.random.default_rng(1))
+        assert samples.shape == (tiny_domain.task.arity, 20, small_vae_config.latent_dim)
+
+    def test_refit_ir_only_keeps_vae_weights(self, tiny_domain, tiny_representation):
+        before = {k: v.copy() for k, v in tiny_representation.vae.state_dict().items()}
+        tiny_representation.refit_ir_only(tiny_domain.task)
+        after = tiny_representation.vae.state_dict()
+        for key in before:
+            assert np.allclose(before[key], after[key])
+
+    def test_save_load_roundtrip(self, tmp_path, tiny_domain, tiny_representation):
+        path = tmp_path / "representation.npz"
+        tiny_representation.save(path)
+        loaded = EntityRepresentationModel.load(path)
+        loaded.refit_ir_only(tiny_domain.task)
+        assert loaded.config.latent_dim == tiny_representation.config.latent_dim
+        assert loaded.ir_method == tiny_representation.ir_method
+        # Same VAE weights -> same encodings of the same IRs.
+        irs = tiny_representation.ir_generator.transform_table(tiny_domain.task.left)
+        mu_a, _ = tiny_representation.vae.encode_numpy(irs.reshape(-1, irs.shape[-1]))
+        mu_b, _ = loaded.vae.encode_numpy(irs.reshape(-1, irs.shape[-1]))
+        assert np.allclose(mu_a, mu_b)
+
+    def test_seed_override(self, tiny_domain):
+        config = VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=2)
+        model = EntityRepresentationModel(config, seed=42)
+        assert model.config.seed == 42

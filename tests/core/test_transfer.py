@@ -1,0 +1,91 @@
+"""Transfer-learning behaviour (Section III-D / VI-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.representation import EntityRepresentationModel
+from repro.core.transfer import adapt_task_arity, transfer_representation, transfer_with_report
+from repro.data.generators import load_domain
+from repro.exceptions import ArityMismatchError
+
+
+@pytest.fixture(scope="module")
+def target_domain():
+    return load_domain("beer", scale=0.4)
+
+
+class TestTransferRepresentation:
+    def test_transferred_model_shares_vae_weights(self, tiny_representation, target_domain):
+        transferred = transfer_representation(tiny_representation, target_domain.task)
+        source_state = tiny_representation.vae.state_dict()
+        target_state = transferred.vae.state_dict()
+        for key in source_state:
+            assert np.allclose(source_state[key], target_state[key])
+
+    def test_transferred_model_encodes_new_domain(self, tiny_representation, target_domain):
+        transferred = transfer_representation(tiny_representation, target_domain.task)
+        encoding = transferred.encode_table(target_domain.task.left)
+        assert encoding.mu.shape[0] == len(target_domain.task.left)
+        assert np.isfinite(encoding.mu).all()
+
+    def test_transfer_is_isolated_from_source(self, tiny_representation, target_domain):
+        """Mutating the transferred VAE must not affect the source model."""
+        transferred = transfer_representation(tiny_representation, target_domain.task)
+        for param in transferred.vae.parameters():
+            param.data = param.data + 1.0
+        source_state = tiny_representation.vae.state_dict()
+        target_state = transferred.vae.state_dict()
+        assert not np.allclose(source_state["encoder.hidden.weight"], target_state["encoder.hidden.weight"])
+
+    def test_transferred_encodings_are_similarity_preserving(self, tiny_representation, target_domain):
+        """The key Table VII property: transferred recall should not collapse."""
+        transferred = transfer_representation(tiny_representation, target_domain.task)
+        left = transferred.encode_table(target_domain.task.left)
+        right = transferred.encode_table(target_domain.task.right)
+        rng = np.random.default_rng(0)
+        dup, rand = [], []
+        for left_id, right_id in target_domain.duplicate_map.items():
+            mu_l, _ = left.of(left_id)
+            mu_r, _ = right.of(right_id)
+            dup.append(np.linalg.norm(mu_l - mu_r))
+            other = right.keys[rng.integers(0, len(right.keys))]
+            rand.append(np.linalg.norm(mu_l - right.of(other)[0]))
+        assert np.mean(dup) < np.mean(rand)
+
+
+class TestArityAdaptation:
+    def test_same_arity_is_noop(self, target_domain):
+        assert adapt_task_arity(target_domain.task, target_domain.task.arity) is target_domain.task
+
+    def test_truncation(self, target_domain):
+        adapted = adapt_task_arity(target_domain.task, 2)
+        assert adapted.arity == 2
+
+    def test_padding(self, target_domain):
+        adapted = adapt_task_arity(target_domain.task, target_domain.task.arity + 3)
+        assert adapted.arity == target_domain.task.arity + 3
+
+    def test_invalid_arity(self, target_domain):
+        with pytest.raises(ArityMismatchError):
+            adapt_task_arity(target_domain.task, 0)
+
+    def test_ground_truth_survives_adaptation(self, target_domain):
+        adapted = adapt_task_arity(target_domain.task, 2)
+        left_id, right_id = next(iter(target_domain.duplicate_map.items()))
+        assert adapted.true_match(left_id, right_id)
+
+
+class TestTransferWithReport:
+    def test_report_contents(self, tiny_representation, target_domain):
+        _, adapted, report = transfer_with_report(
+            tiny_representation, "tinytest", target_domain.task, matcher_arity=3
+        )
+        assert report.source_domain == "tinytest"
+        assert report.target_domain == target_domain.task.name
+        assert report.arity_adapted == (target_domain.task.arity != 3)
+        assert adapted.arity == 3
+
+    def test_no_adaptation_when_arity_omitted(self, tiny_representation, target_domain):
+        _, adapted, report = transfer_with_report(tiny_representation, "tinytest", target_domain.task)
+        assert adapted.arity == target_domain.task.arity
+        assert not report.arity_adapted

@@ -1,0 +1,123 @@
+"""VAE architecture, training objective and encoding behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.config import VAEConfig
+from repro.core.vae import GaussianDecoder, GaussianEncoder, VariationalAutoEncoder
+
+
+@pytest.fixture(scope="module")
+def config():
+    return VAEConfig(ir_dim=12, hidden_dim=16, latent_dim=6, epochs=6, batch_size=32, seed=2)
+
+
+@pytest.fixture(scope="module")
+def clustered_irs():
+    """Synthetic IRs drawn from two distinct clusters."""
+    rng = np.random.default_rng(8)
+    a = rng.normal(loc=2.0, scale=0.3, size=(80, 12))
+    b = rng.normal(loc=-2.0, scale=0.3, size=(80, 12))
+    return np.vstack([a, b])
+
+
+class TestEncoderDecoder:
+    def test_encoder_output_shapes(self, config, rng):
+        encoder = GaussianEncoder(config.ir_dim, config.hidden_dim, config.latent_dim, rng=rng)
+        mu, log_var = encoder(Tensor(rng.normal(size=(5, config.ir_dim))))
+        assert mu.shape == (5, config.latent_dim) and log_var.shape == (5, config.latent_dim)
+
+    def test_log_var_clipped(self, config, rng):
+        encoder = GaussianEncoder(config.ir_dim, config.hidden_dim, config.latent_dim, rng=rng)
+        _, log_var = encoder(Tensor(rng.normal(size=(5, config.ir_dim)) * 1000))
+        assert np.all(log_var.data >= -8.0) and np.all(log_var.data <= 8.0)
+
+    def test_decoder_output_shape(self, config, rng):
+        decoder = GaussianDecoder(config.latent_dim, config.hidden_dim, config.ir_dim, rng=rng)
+        out = decoder(Tensor(rng.normal(size=(4, config.latent_dim))))
+        assert out.shape == (4, config.ir_dim)
+
+
+class TestVAE:
+    def test_forward_shapes(self, config, rng):
+        vae = VariationalAutoEncoder(config)
+        x = rng.normal(size=(7, config.ir_dim))
+        reconstruction, mu, log_var = vae(Tensor(x))
+        assert reconstruction.shape == (7, config.ir_dim)
+        assert mu.shape == (7, config.latent_dim)
+
+    def test_eval_mode_is_deterministic(self, config, rng):
+        vae = VariationalAutoEncoder(config)
+        vae.eval()
+        x = rng.normal(size=(3, config.ir_dim))
+        a, _, _ = vae(Tensor(x))
+        b, _, _ = vae(Tensor(x))
+        assert np.allclose(a.data, b.data)
+
+    def test_train_mode_is_stochastic(self, config, rng):
+        vae = VariationalAutoEncoder(config)
+        vae.train()
+        x = rng.normal(size=(3, config.ir_dim))
+        a, _, _ = vae(Tensor(x))
+        b, _, _ = vae(Tensor(x))
+        assert not np.allclose(a.data, b.data)
+
+    def test_loss_is_finite_scalar(self, config, rng):
+        vae = VariationalAutoEncoder(config)
+        loss = vae.loss(Tensor(rng.normal(size=(5, config.ir_dim))))
+        assert loss.size == 1 and np.isfinite(loss.data)
+
+    def test_training_reduces_loss(self, config, clustered_irs):
+        vae = VariationalAutoEncoder(config)
+        history = vae.fit(clustered_irs)
+        assert history.improved()
+        assert history.final_loss < 0.7 * history.initial_loss
+
+    def test_fit_rejects_wrong_dim(self, config):
+        vae = VariationalAutoEncoder(config)
+        with pytest.raises(ValueError):
+            vae.fit(np.zeros((10, config.ir_dim + 1)))
+
+    def test_encode_numpy_shapes(self, config, clustered_irs):
+        vae = VariationalAutoEncoder(config)
+        mu, sigma = vae.encode_numpy(clustered_irs[:5])
+        assert mu.shape == (5, config.latent_dim)
+        assert np.all(sigma > 0)
+
+    def test_encode_numpy_single_row(self, config, clustered_irs):
+        vae = VariationalAutoEncoder(config)
+        mu, sigma = vae.encode_numpy(clustered_irs[0])
+        assert mu.shape == (config.latent_dim,)
+
+    def test_latent_space_separates_clusters(self, config, clustered_irs):
+        """After training, the two IR clusters should map to distinct latents."""
+        vae = VariationalAutoEncoder(config)
+        vae.fit(clustered_irs)
+        mu, _ = vae.encode_numpy(clustered_irs)
+        first, second = mu[:80], mu[80:]
+        within = np.linalg.norm(first - first.mean(axis=0), axis=1).mean()
+        between = np.linalg.norm(first.mean(axis=0) - second.mean(axis=0))
+        assert between > within
+
+    def test_sample_latent_shape_and_spread(self, config, clustered_irs):
+        vae = VariationalAutoEncoder(config)
+        samples = vae.sample_latent(clustered_irs[:3], num_samples=50, rng=np.random.default_rng(0))
+        assert samples.shape == (3, 50, config.latent_dim)
+        assert samples.std(axis=1).mean() > 0  # reparameterised samples vary
+
+    def test_kl_weight_zero_behaves_like_autoencoder(self, clustered_irs):
+        """With kl_weight=0 the loss reduces to reconstruction only (ablation)."""
+        cfg = VAEConfig(ir_dim=12, hidden_dim=16, latent_dim=6, epochs=4, kl_weight=0.0, seed=2)
+        vae = VariationalAutoEncoder(cfg)
+        history = vae.fit(clustered_irs)
+        assert history.improved()
+
+    def test_state_dict_roundtrip(self, config, rng):
+        a = VariationalAutoEncoder(config)
+        b = VariationalAutoEncoder(config)
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=(4, config.ir_dim))
+        mu_a, _ = a.encode_numpy(x)
+        mu_b, _ = b.encode_numpy(x)
+        assert np.allclose(mu_a, mu_b)

@@ -1,0 +1,99 @@
+"""Corruption model behaviour (the clean † vs noisy ‡ distinction)."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators.corruption import (
+    CorruptionModel,
+    abbreviate,
+    change_case,
+    drop_token,
+    random_typo,
+    reorder_tokens,
+)
+from repro.data.schema import MISSING
+
+
+@pytest.fixture
+def crng():
+    return np.random.default_rng(7)
+
+
+class TestPrimitives:
+    def test_typo_changes_string(self, crng):
+        changed = sum(random_typo("restaurant", crng) != "restaurant" for _ in range(20))
+        assert changed >= 18  # deletions/substitutions virtually always alter the token
+
+    def test_typo_leaves_short_tokens(self, crng):
+        assert random_typo("a", crng) == "a"
+
+    def test_abbreviate_shortens(self, crng):
+        abbreviated = abbreviate("university", crng)
+        assert len(abbreviated.rstrip(".")) < len("university")
+
+    def test_abbreviate_leaves_short_tokens(self, crng):
+        assert abbreviate("of", crng) == "of"
+
+    def test_drop_token_removes_one(self, crng):
+        assert len(drop_token(["a", "b", "c"], crng)) == 2
+
+    def test_drop_token_keeps_single(self, crng):
+        assert drop_token(["only"], crng) == ["only"]
+
+    def test_reorder_swaps_adjacent(self, crng):
+        tokens = ["a", "b", "c", "d"]
+        reordered = reorder_tokens(tokens, crng)
+        assert sorted(reordered) == sorted(tokens) and reordered != tokens or len(tokens) <= 1
+
+    def test_change_case(self, crng):
+        assert change_case("hello world", crng).lower() == "hello world"
+
+
+class TestCorruptionModel:
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            CorruptionModel(typo_rate=1.5)
+
+    def test_missing_value_stays_missing(self, crng):
+        assert CorruptionModel().corrupt_value(MISSING, crng) == MISSING
+
+    def test_noisy_introduces_more_missing_than_clean(self):
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(1)
+        clean, noisy = CorruptionModel.clean(), CorruptionModel.noisy()
+        values = ["some attribute value with several tokens"] * 400
+        clean_missing = sum(clean.corrupt_value(v, rng_a) == MISSING for v in values)
+        noisy_missing = sum(noisy.corrupt_value(v, rng_b) == MISSING for v in values)
+        assert noisy_missing > clean_missing
+
+    def test_clean_preserves_most_tokens(self, crng):
+        model = CorruptionModel.clean()
+        value = "the golden dragon palace restaurant london"
+        preserved = []
+        for _ in range(50):
+            corrupted = model.corrupt_value(value, crng)
+            original_tokens = set(value.split())
+            corrupted_tokens = set(corrupted.lower().split())
+            preserved.append(len(original_tokens & corrupted_tokens) / len(original_tokens))
+        assert np.mean(preserved) > 0.7
+
+    def test_numeric_jitter_produces_number(self, crng):
+        model = CorruptionModel(numeric_jitter_rate=1.0, missing_rate=0.0)
+        corrupted = model.corrupt_value("100", crng, numeric=True)
+        float(corrupted)  # must still parse as a number
+
+    def test_numeric_fallback_for_non_numeric(self, crng):
+        model = CorruptionModel(missing_rate=0.0)
+        corrupted = model.corrupt_value("not-a-number", crng, numeric=True)
+        assert isinstance(corrupted, str)
+
+    def test_corrupt_record_values_length(self, crng):
+        model = CorruptionModel.clean()
+        values = ["a b c", "123", "x"]
+        corrupted = model.corrupt_record_values(values, crng, [False, True, False])
+        assert len(corrupted) == 3
+
+    def test_corruption_is_reproducible_with_seeded_rng(self):
+        model = CorruptionModel.noisy()
+        a = model.corrupt_value("hello there general", np.random.default_rng(5))
+        b = model.corrupt_value("hello there general", np.random.default_rng(5))
+        assert a == b

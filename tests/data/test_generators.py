@@ -1,0 +1,107 @@
+"""Synthetic domain generators: Table II shape and ground-truth consistency."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    CLEAN_DOMAINS,
+    DOMAIN_NAMES,
+    NOISY_DOMAINS,
+    SyntheticDomainGenerator,
+    available_domains,
+    domain_spec,
+    load_domain,
+)
+
+
+class TestRegistry:
+    def test_nine_domains_registered(self):
+        assert len(available_domains()) == 9
+
+    def test_clean_and_noisy_partition(self):
+        assert set(CLEAN_DOMAINS) | set(NOISY_DOMAINS) == set(DOMAIN_NAMES)
+        assert not set(CLEAN_DOMAINS) & set(NOISY_DOMAINS)
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(KeyError):
+            domain_spec("nonexistent")
+
+    def test_scaling_changes_sizes(self):
+        base = domain_spec("restaurants")
+        scaled = domain_spec("restaurants", scale=2.0)
+        assert scaled.left_size == 2 * base.left_size
+
+    def test_load_domain_is_deterministic(self):
+        a = load_domain("beer", scale=0.5)
+        b = load_domain("beer", scale=0.5)
+        assert [r.values for r in a.task.left] == [r.values for r in b.task.left]
+        assert [p.key() for p in a.splits.train] == [p.key() for p in b.splits.train]
+
+    def test_different_seeds_differ(self):
+        a = load_domain("beer", scale=0.5, seed=1)
+        b = load_domain("beer", scale=0.5, seed=2)
+        assert [r.values for r in a.task.left] != [r.values for r in b.task.left]
+
+
+class TestGeneratedDomains:
+    @pytest.fixture(scope="class", params=["restaurants", "citations1", "software", "music"])
+    def domain(self, request):
+        return load_domain(request.param, scale=0.5)
+
+    def test_arity_matches_paper(self, domain):
+        assert domain.task.arity == domain.spec.paper_stats.arity
+
+    def test_tables_nonempty(self, domain):
+        assert len(domain.task.left) > 0 and len(domain.task.right) > 0
+
+    def test_splits_have_both_classes(self, domain):
+        for split in (domain.splits.train, domain.splits.test):
+            assert split.num_positives() > 0
+            assert split.num_negatives() > 0
+
+    def test_splits_are_disjoint(self, domain):
+        train = {p.key() for p in domain.splits.train}
+        valid = {p.key() for p in domain.splits.validation}
+        test = {p.key() for p in domain.splits.test}
+        assert not (train & valid) and not (train & test) and not (valid & test)
+
+    def test_labels_match_ground_truth(self, domain):
+        for pair in list(domain.splits.train)[:50]:
+            assert domain.task.true_match(pair.left_id, pair.right_id) == bool(pair.label)
+
+    def test_duplicate_map_is_consistent(self, domain):
+        for left_id, right_id in list(domain.duplicate_map.items())[:30]:
+            assert domain.task.true_match(left_id, right_id)
+
+    def test_pair_ids_resolve(self, domain):
+        for pair in list(domain.splits.test)[:30]:
+            assert pair.left_id in domain.task.left
+            assert pair.right_id in domain.task.right
+
+
+class TestCleanVsNoisy:
+    def test_noisy_domains_have_more_missing_values(self):
+        clean = load_domain("restaurants", scale=0.5)
+        noisy = load_domain("software", scale=0.5)
+        assert noisy.task.right.missing_rate() > clean.task.right.missing_rate()
+
+    def test_clean_flag_matches_table2(self):
+        assert load_domain("citations1", scale=0.5).task.clean
+        assert not load_domain("beer", scale=0.5).task.clean
+
+    def test_paper_stats_recorded(self):
+        domain = load_domain("stocks", scale=0.5)
+        assert domain.spec.paper_stats.cardinality == (2768, 21863)
+
+
+class TestHardNegatives:
+    def test_train_contains_similar_nonduplicates(self):
+        """Negatives should include textually overlapping pairs (Table I style)."""
+        domain = load_domain("music", scale=0.6)
+        overlaps = []
+        for pair in domain.splits.train.negatives():
+            left = set(domain.task.left[pair.left_id].text().lower().split())
+            right = set(domain.task.right[pair.right_id].text().lower().split())
+            if left and right:
+                overlaps.append(len(left & right) / len(left | right))
+        assert max(overlaps) > 0.15

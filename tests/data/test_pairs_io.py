@@ -1,0 +1,135 @@
+"""Labeled pair sets and CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DatasetSplits,
+    LabeledPair,
+    PairSet,
+    read_pairs,
+    read_table,
+    write_pairs,
+    write_table,
+)
+from repro.data.schema import MISSING, Record, Table
+from repro.exceptions import SchemaError
+
+
+def _pairs(n_pos=3, n_neg=5):
+    pairs = [LabeledPair(f"l{i}", f"r{i}", 1) for i in range(n_pos)]
+    pairs += [LabeledPair(f"l{i}", f"r{i + 100}", 0) for i in range(n_neg)]
+    return PairSet(pairs)
+
+
+class TestLabeledPair:
+    def test_invalid_label_rejected(self):
+        with pytest.raises(SchemaError):
+            LabeledPair("a", "b", 2)
+
+    def test_key(self):
+        assert LabeledPair("a", "b", 1).key() == ("a", "b")
+
+
+class TestPairSet:
+    def test_deduplicates_on_key(self):
+        pairs = PairSet()
+        assert pairs.add(LabeledPair("a", "b", 1))
+        assert not pairs.add(LabeledPair("a", "b", 0))
+        assert len(pairs) == 1
+
+    def test_counts(self):
+        pairs = _pairs()
+        assert pairs.num_positives() == 3
+        assert pairs.num_negatives() == 5
+        assert pairs.positive_rate() == pytest.approx(3 / 8)
+
+    def test_positives_negatives_views(self):
+        pairs = _pairs()
+        assert all(p.label == 1 for p in pairs.positives())
+        assert all(p.label == 0 for p in pairs.negatives())
+
+    def test_labels_array(self):
+        labels = _pairs(2, 2).labels()
+        assert labels.tolist() == [1, 1, 0, 0]
+
+    def test_merge_deduplicates(self):
+        a, b = _pairs(2, 2), _pairs(2, 2)
+        assert len(a.merge(b)) == len(a)
+
+    def test_shuffled_preserves_content(self):
+        pairs = _pairs()
+        shuffled = pairs.shuffled(np.random.default_rng(0))
+        assert {p.key() for p in shuffled} == {p.key() for p in pairs}
+
+    def test_split_is_disjoint_and_stratified(self):
+        pairs = _pairs(10, 30)
+        first, second = pairs.split(0.5, rng=np.random.default_rng(0))
+        assert len(first) + len(second) == len(pairs)
+        assert not ({p.key() for p in first} & {p.key() for p in second})
+        assert first.num_positives() == 5
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            _pairs().split(1.5)
+
+    def test_head(self):
+        assert len(_pairs().head(4)) == 4
+
+    def test_contains(self):
+        pairs = _pairs()
+        assert ("l0", "r0") in pairs
+
+    def test_empty_positive_rate(self):
+        assert PairSet().positive_rate() == 0.0
+
+
+class TestDatasetSplits:
+    def test_sizes_and_summary(self):
+        splits = DatasetSplits(train=_pairs(4, 6), validation=_pairs(1, 2), test=_pairs(2, 3))
+        assert splits.sizes() == (10, 3, 5)
+        assert "train=10" in splits.summary()
+
+
+class TestCSVRoundTrips:
+    def test_table_roundtrip(self, tmp_path):
+        table = Table("demo", ("name", "city"), [
+            Record("r0", ("golden dragon", "london"), "e0"),
+            Record("r1", ("blue cafe", MISSING), "e1"),
+        ])
+        path = tmp_path / "table.csv"
+        write_table(table, path, include_entity_ids=True)
+        loaded = read_table(path)
+        assert loaded.attributes == ("name", "city")
+        assert loaded["r1"].is_missing(1)
+        assert loaded["r0"].entity_id == "e0"
+
+    def test_table_roundtrip_without_entities(self, tmp_path):
+        table = Table("demo", ("name",), [Record("r0", ("x",))])
+        path = tmp_path / "t.csv"
+        write_table(table, path)
+        assert read_table(path)["r0"].entity_id is None
+
+    def test_read_table_rejects_missing_id_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("name,city\na,b\n")
+        with pytest.raises(SchemaError):
+            read_table(path)
+
+    def test_read_table_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_table(path)
+
+    def test_pairs_roundtrip(self, tmp_path):
+        path = tmp_path / "pairs.csv"
+        write_pairs(_pairs(2, 3), path)
+        loaded = read_pairs(path)
+        assert len(loaded) == 5 and loaded.num_positives() == 2
+
+    def test_read_pairs_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,z\n")
+        with pytest.raises(SchemaError):
+            read_pairs(path)

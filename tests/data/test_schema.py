@@ -1,0 +1,133 @@
+"""Record, Table and ERTask schema invariants."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import MISSING, ERTask, Record, Table
+from repro.exceptions import SchemaError
+
+
+def _table(name="t", n=3):
+    return Table(name, ("a", "b"), [Record(f"r{i}", (f"v{i}", f"w{i}"), f"e{i}") for i in range(n)])
+
+
+class TestRecord:
+    def test_value_access(self):
+        record = Record("r1", ("x", "y"))
+        assert record.value(1) == "y"
+
+    def test_missing_detection(self):
+        record = Record("r1", ("x", MISSING))
+        assert record.is_missing(1) and not record.is_missing(0)
+
+    def test_text_skips_missing(self):
+        assert Record("r1", ("a", MISSING, "b")).text() == "a b"
+
+    def test_records_are_hashable_and_frozen(self):
+        record = Record("r1", ("x",))
+        with pytest.raises(AttributeError):
+            record.record_id = "other"
+
+
+class TestTable:
+    def test_requires_attributes(self):
+        with pytest.raises(SchemaError):
+            Table("t", ())
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(SchemaError):
+            Table("t", ("a", "a"))
+
+    def test_add_and_lookup(self):
+        table = _table()
+        assert table["r1"].values == ("v1", "w1")
+        assert "r2" in table and "missing" not in table
+
+    def test_rejects_wrong_arity(self):
+        table = _table()
+        with pytest.raises(SchemaError):
+            table.add(Record("bad", ("only-one",)))
+
+    def test_rejects_duplicate_ids(self):
+        table = _table()
+        with pytest.raises(SchemaError):
+            table.add(Record("r0", ("x", "y")))
+
+    def test_attribute_values(self):
+        assert _table().attribute_values("a") == ["v0", "v1", "v2"]
+
+    def test_attribute_values_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            _table().attribute_values("nope")
+
+    def test_missing_rate(self):
+        table = Table("t", ("a", "b"), [Record("r0", ("x", MISSING)), Record("r1", (MISSING, MISSING))])
+        assert table.missing_rate() == pytest.approx(3 / 4)
+
+    def test_missing_rate_empty_table(self):
+        assert Table("t", ("a",)).missing_rate() == 0.0
+
+    def test_sample(self):
+        table = _table(n=10)
+        sampled = table.sample(4, np.random.default_rng(0))
+        assert len(sampled) == 4 and sampled.attributes == table.attributes
+
+    def test_project_truncates(self):
+        projected = _table().project(1)
+        assert projected.arity == 1
+        assert projected.records()[0].values == ("v0",)
+
+    def test_project_pads(self):
+        projected = _table().project(4)
+        assert projected.arity == 4
+        assert projected.records()[0].values == ("v0", "w0", MISSING, MISSING)
+
+    def test_project_preserves_entity_ids(self):
+        assert _table().project(1).records()[0].entity_id == "e0"
+
+    def test_project_invalid_arity(self):
+        with pytest.raises(SchemaError):
+            _table().project(0)
+
+
+class TestERTask:
+    def _task(self):
+        left = _table("left")
+        right = Table("right", ("a", "b"), [Record("s0", ("v0", "w0"), "e0"), Record("s1", ("z", "z"), "e9")])
+        return ERTask("demo", left, right)
+
+    def test_arity_mismatch_rejected(self):
+        left = _table("left")
+        right = Table("right", ("a",), [Record("s0", ("v0",))])
+        with pytest.raises(SchemaError):
+            ERTask("demo", left, right)
+
+    def test_cardinality(self):
+        assert self._task().cardinality == (3, 2)
+
+    def test_record_lookup_by_side(self):
+        task = self._task()
+        assert task.record("left", "r0").record_id == "r0"
+        assert task.record("right", "s1").record_id == "s1"
+        with pytest.raises(ValueError):
+            task.record("middle", "r0")
+
+    def test_true_match_uses_entity_ids(self):
+        task = self._task()
+        assert task.true_match("r0", "s0")
+        assert not task.true_match("r1", "s0")
+
+    def test_true_match_without_entity_ids_raises(self):
+        left = Table("left", ("a",), [Record("r0", ("x",))])
+        right = Table("right", ("a",), [Record("s0", ("x",))])
+        task = ERTask("demo", left, right)
+        with pytest.raises(SchemaError):
+            task.true_match("r0", "s0")
+
+    def test_all_records_tagged_by_side(self):
+        sides = {side for side, _ in self._task().all_records()}
+        assert sides == {"left", "right"}
+
+    def test_project_applies_to_both_tables(self):
+        projected = self._task().project(1)
+        assert projected.left.arity == 1 and projected.right.arity == 1

@@ -1,0 +1,107 @@
+"""Precision/recall/F1, threshold tuning and recall@K protocols."""
+
+import numpy as np
+import pytest
+
+from repro.data.pairs import LabeledPair
+from repro.eval.metrics import (
+    PRF,
+    best_threshold,
+    neighbour_prf_at_k,
+    precision_recall_f1,
+    recall_at_k,
+)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_prediction(self):
+        metrics = precision_recall_f1([1, 0, 1, 0], [1, 0, 1, 0])
+        assert metrics == PRF(1.0, 1.0, 1.0)
+
+    def test_all_wrong(self):
+        metrics = precision_recall_f1([1, 1], [0, 0])
+        assert metrics.recall == 0.0 and metrics.f1 == 0.0
+
+    def test_false_positive_lowers_precision(self):
+        metrics = precision_recall_f1([1, 0, 0, 0], [1, 1, 0, 0])
+        assert metrics.precision == pytest.approx(0.5)
+        assert metrics.recall == 1.0
+
+    def test_false_negative_lowers_recall(self):
+        metrics = precision_recall_f1([1, 1, 0], [1, 0, 0])
+        assert metrics.recall == pytest.approx(0.5)
+        assert metrics.precision == 1.0
+
+    def test_f1_is_harmonic_mean(self):
+        metrics = precision_recall_f1([1, 1, 0, 0], [1, 0, 1, 0])
+        expected = 2 * 0.5 * 0.5 / (0.5 + 0.5)
+        assert metrics.f1 == pytest.approx(expected)
+
+    def test_no_predicted_positives(self):
+        metrics = precision_recall_f1([0, 0, 1], [0, 0, 0])
+        assert metrics.precision == 0.0 and metrics.f1 == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1([1, 0], [1])
+
+    def test_paper_definitions(self):
+        """tp/fp/fn defined exactly as in Section VI-A2."""
+        truth = [1, 1, 1, 0, 0, 0, 0, 0]
+        predicted = [1, 1, 0, 1, 0, 0, 0, 0]
+        metrics = precision_recall_f1(truth, predicted)
+        assert metrics.precision == pytest.approx(2 / 3)
+        assert metrics.recall == pytest.approx(2 / 3)
+
+    def test_as_dict_and_str(self):
+        metrics = PRF(0.5, 0.25, 1 / 3)
+        assert metrics.as_dict()["recall"] == 0.25
+        assert "P=0.50" in str(metrics)
+
+
+class TestBestThreshold:
+    def test_finds_separating_threshold(self):
+        truth = [0, 0, 0, 1, 1, 1]
+        scores = [0.1, 0.2, 0.3, 0.7, 0.8, 0.9]
+        threshold = best_threshold(truth, scores)
+        predictions = (np.array(scores) > threshold).astype(int)
+        assert precision_recall_f1(truth, predictions).f1 == 1.0
+
+    def test_custom_grid(self):
+        threshold = best_threshold([0, 1], [0.4, 0.6], grid=[0.5])
+        assert threshold == 0.5
+
+
+class TestNeighbourMetrics:
+    def test_recall_at_k_full(self):
+        neighbour_map = {"l0": ["r0", "r5"], "l1": ["r9", "r1"]}
+        duplicates = {"l0": "r0", "l1": "r1"}
+        assert recall_at_k(neighbour_map, duplicates, k=2) == 1.0
+
+    def test_recall_at_k_respects_cutoff(self):
+        neighbour_map = {"l0": ["r5", "r0"]}
+        duplicates = {"l0": "r0"}
+        assert recall_at_k(neighbour_map, duplicates, k=1) == 0.0
+        assert recall_at_k(neighbour_map, duplicates, k=2) == 1.0
+
+    def test_recall_at_k_missing_query(self):
+        assert recall_at_k({}, {"l0": "r0"}, k=5) == 0.0
+
+    def test_recall_at_k_empty_duplicates(self):
+        assert recall_at_k({"l0": ["r0"]}, {}, k=5) == 0.0
+
+    def test_neighbour_prf_counts(self):
+        neighbour_map = {"l0": ["r0", "r1"], "l1": ["r7", "r8"]}
+        positives = [LabeledPair("l0", "r0", 1), LabeledPair("l1", "r1", 1)]
+        metrics = neighbour_prf_at_k(neighbour_map, positives, k=2)
+        assert metrics.recall == pytest.approx(0.5)
+        assert metrics.precision == pytest.approx(1 / 4)
+
+    def test_neighbour_prf_no_positives(self):
+        assert neighbour_prf_at_k({}, [], k=5) == PRF(0.0, 0.0, 0.0)
+
+    def test_neighbour_prf_ignores_negative_pairs(self):
+        neighbour_map = {"l0": ["r0"]}
+        pairs = [LabeledPair("l0", "r0", 1), LabeledPair("l0", "r9", 0)]
+        metrics = neighbour_prf_at_k(neighbour_map, pairs, k=1)
+        assert metrics.recall == 1.0

@@ -1,0 +1,97 @@
+"""Layer behaviour: Linear, activations, Dropout, Sequential, MLP."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Dropout, Linear, MLP, ReLU, Sequential, Sigmoid, Tanh
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        assert layer(Tensor(rng.normal(size=(7, 4)))).shape == (7, 3)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        x = rng.normal(size=(2, 4))
+        assert np.allclose(layer(Tensor(x)).data, x @ layer.weight.data)
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_xavier_vs_he_scale(self, rng):
+        relu_layer = Linear(100, 100, activation="relu", rng=np.random.default_rng(0))
+        linear_layer = Linear(100, 100, activation="linear", rng=np.random.default_rng(0))
+        # He initialisation has larger variance than Xavier for square layers.
+        assert relu_layer.weight.data.std() > linear_layer.weight.data.std()
+
+    def test_repr(self):
+        assert "4 -> 2" in repr(Linear(4, 2))
+
+
+class TestActivationsAndDropout:
+    def test_relu_module(self):
+        assert np.allclose(ReLU()(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+    def test_sigmoid_module(self):
+        assert np.isclose(Sigmoid()(Tensor([0.0])).data[0], 0.5)
+
+    def test_tanh_module(self):
+        assert np.isclose(Tanh()(Tensor([0.0])).data[0], 0.0)
+
+    def test_dropout_eval_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.normal(size=(10, 10))
+        assert np.allclose(layer(Tensor(x)).data, x)
+
+    def test_dropout_train_zeroes_some(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((20, 20)))).data
+        assert np.sum(out == 0) > 0
+
+    def test_dropout_preserves_expectation(self):
+        layer = Dropout(0.3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((200, 200)))).data
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestSequentialAndMLP:
+    def test_sequential_order(self, rng):
+        first = Linear(3, 3, rng=rng)
+        second = Linear(3, 2, rng=rng)
+        model = Sequential(first, ReLU(), second)
+        x = rng.normal(size=(4, 3))
+        manual = second(first(Tensor(x)).relu()).data
+        assert np.allclose(model(Tensor(x)).data, manual)
+
+    def test_sequential_append_and_len(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng))
+        model.append(ReLU())
+        assert len(model) == 2
+
+    def test_mlp_output_shape(self, rng):
+        model = MLP(6, [8, 4], 2, rng=rng)
+        assert model(Tensor(rng.normal(size=(5, 6)))).shape == (5, 2)
+
+    def test_mlp_hidden_layer_count(self, rng):
+        model = MLP(6, [8, 4, 2], 1, rng=rng)
+        linear_layers = [l for l in model.net if isinstance(l, Linear)]
+        assert len(linear_layers) == 4
+
+    def test_mlp_with_dropout_has_dropout_layers(self, rng):
+        model = MLP(6, [8], 1, dropout=0.2, rng=rng)
+        assert any(isinstance(l, Dropout) for l in model.net)

@@ -1,0 +1,121 @@
+"""Loss-function values against hand-computed formulas, plus gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradient
+from repro.nn import (
+    binary_cross_entropy,
+    binary_cross_entropy_with_logits,
+    contrastive_loss,
+    gaussian_kl_divergence,
+    mse_loss,
+    sum_squared_error,
+)
+
+
+class TestReconstructionLosses:
+    def test_mse_value(self):
+        pred, target = Tensor([1.0, 2.0]), Tensor([0.0, 4.0])
+        assert np.isclose(mse_loss(pred, target).data, (1 + 4) / 2)
+
+    def test_mse_zero_for_identical(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert np.isclose(mse_loss(x, Tensor(x.data.copy())).data, 0.0)
+
+    def test_sse_sums_over_features(self):
+        pred = Tensor(np.array([[1.0, 1.0], [0.0, 0.0]]))
+        target = Tensor(np.zeros((2, 2)))
+        # per-example sums are 2 and 0 -> batch mean 1.
+        assert np.isclose(sum_squared_error(pred, target).data, 1.0)
+
+    def test_mse_gradient(self, rng):
+        check_gradient(lambda a, b: mse_loss(a, b), [rng.normal(size=(2, 3)), rng.normal(size=(2, 3))])
+
+
+class TestBinaryCrossEntropy:
+    def test_bce_value(self):
+        probs = Tensor([0.9, 0.1])
+        targets = Tensor([1.0, 0.0])
+        expected = -np.mean([np.log(0.9), np.log(0.9)])
+        assert np.isclose(binary_cross_entropy(probs, targets).data, expected)
+
+    def test_bce_with_logits_matches_bce(self, rng):
+        logits = rng.normal(size=10)
+        targets = (rng.random(10) > 0.5).astype(float)
+        probs = 1 / (1 + np.exp(-logits))
+        a = binary_cross_entropy(Tensor(probs), Tensor(targets)).data
+        b = binary_cross_entropy_with_logits(Tensor(logits), Tensor(targets)).data
+        assert np.isclose(a, b, atol=1e-6)
+
+    def test_bce_with_logits_stable_for_large_logits(self):
+        loss = binary_cross_entropy_with_logits(Tensor([1000.0, -1000.0]), Tensor([1.0, 0.0]))
+        assert np.isfinite(loss.data) and loss.data < 1e-6
+
+    def test_bce_with_logits_gradient(self, rng):
+        logits = rng.normal(size=6)
+        targets = (rng.random(6) > 0.5).astype(float)
+        check_gradient(lambda z: binary_cross_entropy_with_logits(z, Tensor(targets)), [logits])
+
+    def test_bce_perfect_prediction_near_zero(self):
+        loss = binary_cross_entropy(Tensor([0.999999, 0.000001]), Tensor([1.0, 0.0]))
+        assert loss.data < 1e-4
+
+
+class TestGaussianKL:
+    def test_kl_zero_for_standard_normal(self):
+        mu = Tensor(np.zeros((4, 3)))
+        log_var = Tensor(np.zeros((4, 3)))
+        assert np.isclose(gaussian_kl_divergence(mu, log_var).data, 0.0)
+
+    def test_kl_positive_otherwise(self, rng):
+        mu = Tensor(rng.normal(size=(4, 3)) + 1.0)
+        log_var = Tensor(rng.normal(size=(4, 3)))
+        assert gaussian_kl_divergence(mu, log_var).data > 0
+
+    def test_kl_matches_closed_form(self):
+        mu_val, log_var_val = 1.0, 0.5
+        expected = -0.5 * (1 + log_var_val - mu_val ** 2 - np.exp(log_var_val))
+        value = gaussian_kl_divergence(Tensor([[mu_val]]), Tensor([[log_var_val]])).data
+        assert np.isclose(value, expected)
+
+    def test_kl_gradient(self, rng):
+        check_gradient(
+            lambda m, lv: gaussian_kl_divergence(m, lv),
+            [rng.normal(size=(2, 3)), rng.normal(size=(2, 3))],
+        )
+
+    def test_kl_grows_with_mean_offset(self):
+        small = gaussian_kl_divergence(Tensor([[0.5]]), Tensor([[0.0]])).data
+        large = gaussian_kl_divergence(Tensor([[2.0]]), Tensor([[0.0]])).data
+        assert large > small
+
+
+class TestContrastiveLoss:
+    def test_positive_pairs_penalised_by_distance(self):
+        distances = Tensor([0.0, 2.0])
+        labels = Tensor([1.0, 1.0])
+        assert np.isclose(contrastive_loss(distances, labels, margin=1.0).data, 1.0)
+
+    def test_negative_pairs_beyond_margin_cost_nothing(self):
+        distances = Tensor([5.0])
+        labels = Tensor([0.0])
+        assert np.isclose(contrastive_loss(distances, labels, margin=1.0).data, 0.0)
+
+    def test_negative_pairs_inside_margin_penalised(self):
+        distances = Tensor([0.2])
+        labels = Tensor([0.0])
+        assert np.isclose(contrastive_loss(distances, labels, margin=1.0).data, 0.8)
+
+    def test_mixed_batch_value(self):
+        distances = Tensor([0.5, 0.5])
+        labels = Tensor([1.0, 0.0])
+        # positive contributes 0.5, negative contributes max(0, 1 - 0.5) = 0.5.
+        assert np.isclose(contrastive_loss(distances, labels, margin=1.0).data, 0.5)
+
+    def test_gradient(self, rng):
+        distances = np.abs(rng.normal(size=5)) + 0.1
+        labels = (rng.random(5) > 0.5).astype(float)
+        check_gradient(
+            lambda d: contrastive_loss(d, Tensor(labels), margin=0.5), [distances]
+        )

@@ -1,0 +1,102 @@
+"""Module/Parameter mechanics: discovery, state_dict, train/eval modes."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Dropout, Linear, MLP, Module, Parameter, Sequential
+
+
+class _Composite(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 3)
+        self.second = Linear(3, 2)
+        self.scale = Parameter(np.ones(2), name="scale")
+
+    def forward(self, x):
+        return self.second(self.first(x).relu()) * self.scale
+
+
+class TestParameterDiscovery:
+    def test_named_parameters_include_nested(self):
+        names = dict(_Composite().named_parameters()).keys()
+        assert "first.weight" in names and "second.bias" in names and "scale" in names
+
+    def test_parameters_count(self):
+        model = _Composite()
+        expected = 4 * 3 + 3 + 3 * 2 + 2 + 2
+        assert model.num_parameters() == expected
+
+    def test_parameters_in_list_containers(self):
+        seq = Sequential(Linear(2, 2), Linear(2, 1))
+        names = [n for n, _ in seq.named_parameters()]
+        assert any(n.startswith("layers.0.") for n in names)
+        assert any(n.startswith("layers.1.") for n in names)
+
+    def test_named_modules_includes_children(self):
+        model = _Composite()
+        module_names = [name for name, _ in model.named_modules()]
+        assert "first" in module_names and "second" in module_names
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(3, 3), Dropout(0.5), Linear(3, 1))
+        model.eval()
+        assert all(not m.training for _, m in model.named_modules())
+        model.train()
+        assert all(m.training for _, m in model.named_modules())
+
+    def test_zero_grad_clears_all(self, rng):
+        model = MLP(3, [4], 1, rng=rng)
+        out = model(Tensor(rng.normal(size=(2, 3)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a = MLP(3, [4], 2, rng=rng)
+        b = MLP(3, [4], 2, rng=np.random.default_rng(999))
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=(5, 3))
+        assert np.allclose(a(Tensor(x)).data, b(Tensor(x)).data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        model = Linear(2, 2, rng=rng)
+        state = model.state_dict()
+        state["weight"][:] = 0.0
+        assert not np.allclose(model.weight.data, 0.0)
+
+    def test_strict_missing_key_raises(self, rng):
+        model = Linear(2, 2, rng=rng)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"weight": model.weight.data})
+
+    def test_strict_unexpected_key_raises(self, rng):
+        model = Linear(2, 2, rng=rng)
+        state = model.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_non_strict_allows_partial(self, rng):
+        model = Linear(2, 2, rng=rng)
+        model.load_state_dict({"weight": np.zeros((2, 2))}, strict=False)
+        assert np.allclose(model.weight.data, 0.0)
+
+    def test_shape_mismatch_raises(self, rng):
+        model = Linear(2, 2, rng=rng)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_copy_weights_from(self, rng):
+        a = Linear(3, 2, rng=rng)
+        b = Linear(3, 2, rng=np.random.default_rng(1))
+        b.copy_weights_from(a)
+        assert np.allclose(a.weight.data, b.weight.data)

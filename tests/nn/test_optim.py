@@ -1,0 +1,106 @@
+"""Optimiser behaviour: convergence on convex problems, gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Adam, SGD, clip_grad_norm
+from repro.nn.module import Parameter
+
+
+def _quadratic_step(optimizer, param, target):
+    optimizer.zero_grad()
+    loss = ((param - Tensor(target)) ** 2).sum()
+    loss.backward()
+    optimizer.step()
+    return float(loss.data)
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            _quadratic_step(opt, param, target)
+        assert np.allclose(param.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            param = Parameter(np.array([10.0]))
+            opt = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                _quadratic_step(opt, param, np.array([0.0]))
+            return abs(float(param.data[0]))
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        param.grad = np.array([0.0])
+        opt.step()
+        assert abs(float(param.data[0])) < 1.0
+
+    def test_skips_params_without_grad(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.1)
+        opt.step()  # no gradient accumulated: should be a no-op
+        assert np.allclose(param.data, [1.0])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_parameter_list(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([4.0, -4.0]))
+        target = np.array([-1.0, 3.0])
+        opt = Adam([param], lr=0.05)
+        for _ in range(400):
+            _quadratic_step(opt, param, target)
+        assert np.allclose(param.data, target, atol=1e-2)
+
+    def test_loss_decreases(self):
+        param = Parameter(np.array([3.0]))
+        opt = Adam([param], lr=0.01)
+        first = _quadratic_step(opt, param, np.array([0.0]))
+        for _ in range(30):
+            last = _quadratic_step(opt, param, np.array([0.0]))
+        assert last < first
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_weight_decay_applied(self):
+        param = Parameter(np.array([1.0]))
+        opt = Adam([param], lr=0.1, weight_decay=10.0)
+        param.grad = np.array([0.0])
+        opt.step()
+        assert float(param.data[0]) < 1.0
+
+
+class TestGradClipping:
+    def test_clips_to_max_norm(self):
+        params = [Parameter(np.zeros(3)) for _ in range(2)]
+        for p in params:
+            p.grad = np.full(3, 10.0)
+        norm_before = clip_grad_norm(params, max_norm=1.0)
+        assert norm_before > 1.0
+        total = np.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+        assert np.isclose(total, 1.0, atol=1e-9)
+
+    def test_no_clip_below_threshold(self):
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([0.1, 0.1])
+        clip_grad_norm([param], max_norm=10.0)
+        assert np.allclose(param.grad, [0.1, 0.1])
+
+    def test_handles_missing_gradients(self):
+        assert clip_grad_norm([Parameter(np.zeros(2))], max_norm=1.0) == 0.0

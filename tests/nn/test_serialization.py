@@ -1,0 +1,59 @@
+"""Model weight persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import (
+    MLP,
+    load_metadata,
+    load_module,
+    load_state_dict,
+    save_module,
+    save_state_dict,
+)
+
+
+class TestStateDictPersistence:
+    def test_roundtrip(self, tmp_path, rng):
+        state = {"a": rng.normal(size=(3, 2)), "b": rng.normal(size=4)}
+        path = tmp_path / "weights.npz"
+        save_state_dict(state, path)
+        loaded = load_state_dict(path)
+        assert set(loaded) == {"a", "b"}
+        assert np.allclose(loaded["a"], state["a"])
+
+    def test_metadata_roundtrip(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_state_dict({"w": np.zeros(2)}, path, metadata={"ir_method": "lsa", "dim": 32})
+        metadata = load_metadata(path)
+        assert metadata == {"ir_method": "lsa", "dim": 32}
+
+    def test_missing_metadata_returns_none(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_state_dict({"w": np.zeros(2)}, path)
+        assert load_metadata(path) is None
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "model.npz"
+        save_state_dict({"w": np.zeros(2)}, path)
+        assert path.exists()
+
+
+class TestModulePersistence:
+    def test_module_roundtrip_preserves_outputs(self, tmp_path, rng):
+        model = MLP(4, [6], 2, rng=rng)
+        path = tmp_path / "mlp.npz"
+        save_module(model, path)
+        clone = MLP(4, [6], 2, rng=np.random.default_rng(123))
+        load_module(clone, path)
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(model(Tensor(x)).data, clone(Tensor(x)).data)
+
+    def test_loading_into_wrong_architecture_fails(self, tmp_path, rng):
+        model = MLP(4, [6], 2, rng=rng)
+        path = tmp_path / "mlp.npz"
+        save_module(model, path)
+        wrong = MLP(4, [8], 2, rng=rng)
+        with pytest.raises((KeyError, ValueError)):
+            load_module(wrong, path)

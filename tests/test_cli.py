@@ -1,0 +1,36 @@
+"""Command-line interface smoke tests (argument parsing and light commands)."""
+
+import pytest
+
+from repro.cli import _build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args([])
+
+    def test_supervised_defaults(self):
+        args = _build_parser().parse_args(["supervised"])
+        assert args.domain == "restaurants" and args.ir == "lsa"
+
+    def test_active_arguments(self):
+        args = _build_parser().parse_args(["active", "--domain", "beer", "--budget", "30"])
+        assert args.domain == "beer" and args.budget == 30
+
+    def test_transfer_arguments(self):
+        args = _build_parser().parse_args(["transfer", "--source", "crm", "--target", "music"])
+        assert args.source == "crm" and args.target == "music"
+
+    def test_invalid_ir_rejected(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["supervised", "--ir", "elmo"])
+
+
+class TestCommands:
+    def test_list_domains_prints_all_nine(self, capsys):
+        assert main(["list-domains"]) == 0
+        output = capsys.readouterr().out
+        for name in ("restaurants", "citations2", "crm", "stocks"):
+            assert name in output
+        assert len(output.strip().splitlines()) == 9

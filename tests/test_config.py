@@ -1,0 +1,82 @@
+"""Configuration objects and Table III defaults."""
+
+import pytest
+
+from repro.config import (
+    ActiveLearningConfig,
+    BlockingConfig,
+    ExperimentConfig,
+    MatcherConfig,
+    VAEConfig,
+    VAERConfig,
+)
+
+
+class TestTableIIIDefaults:
+    """The default configuration must reproduce Table III of the paper."""
+
+    def test_vae_hidden_dimension(self):
+        assert VAEConfig().hidden_dim == 200
+
+    def test_vae_latent_dimension(self):
+        assert VAEConfig().latent_dim == 100
+
+    def test_matching_margin(self):
+        assert MatcherConfig().margin == 0.5
+
+    def test_al_samples_per_iteration(self):
+        assert ActiveLearningConfig().samples_per_iteration == 10
+
+    def test_al_top_neighbours(self):
+        assert ActiveLearningConfig().top_neighbours == 10
+
+    def test_learning_rate(self):
+        assert VAEConfig().learning_rate == 0.001
+        assert MatcherConfig().learning_rate == 0.001
+
+    def test_paper_defaults_constructor(self):
+        config = VAERConfig.paper_defaults()
+        assert config.vae.hidden_dim == 200 and config.matcher.margin == 0.5
+
+
+class TestValidation:
+    def test_vae_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            VAEConfig(latent_dim=0)
+
+    def test_vae_rejects_negative_kl_weight(self):
+        with pytest.raises(ValueError):
+            VAEConfig(kl_weight=-1.0)
+
+    def test_matcher_rejects_bad_margin(self):
+        with pytest.raises(ValueError):
+            MatcherConfig(margin=0.0)
+
+    def test_matcher_requires_hidden_layers(self):
+        with pytest.raises(ValueError):
+            MatcherConfig(mlp_hidden=())
+
+    def test_al_rejects_bad_samples(self):
+        with pytest.raises(ValueError):
+            ActiveLearningConfig(samples_per_iteration=0)
+
+    def test_al_rejects_bad_neighbours(self):
+        with pytest.raises(ValueError):
+            ActiveLearningConfig(top_neighbours=0)
+
+
+class TestAggregateConfig:
+    def test_to_dict_flattens(self):
+        config = VAERConfig()
+        flattened = config.to_dict()
+        assert flattened["vae"]["latent_dim"] == 100
+        assert flattened["ir_method"] == "lsa"
+
+    def test_blocking_defaults(self):
+        blocking = BlockingConfig()
+        assert blocking.num_tables > 0 and blocking.bucket_width > 0
+
+    def test_experiment_scaling(self):
+        config = ExperimentConfig(scale=0.5)
+        assert config.scaled(100) == 50
+        assert config.scaled(10, minimum=20) == 20

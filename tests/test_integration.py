@@ -1,0 +1,118 @@
+"""End-to-end integration tests across the whole library.
+
+These exercise the exact workflows the examples and benchmarks rely on:
+supervised VAER, transferred VAER, the active-learning loop and the
+baseline comparison — each on a very small synthetic domain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ThresholdMatcher
+from repro.config import (
+    ActiveLearningConfig,
+    MatcherConfig,
+    VAEConfig,
+    VAERConfig,
+)
+from repro.core import VAER, EntityRepresentationModel, transfer_representation
+from repro.core.active import GroundTruthOracle
+from repro.data import read_pairs, read_table, write_pairs, write_table
+from repro.data.generators import load_domain
+from repro.data.schema import ERTask
+
+
+@pytest.fixture(scope="module")
+def config():
+    return VAERConfig(
+        vae=VAEConfig(ir_dim=24, hidden_dim=32, latent_dim=12, epochs=8, seed=1),
+        matcher=MatcherConfig(epochs=40, mlp_hidden=(32, 16), seed=2),
+        active_learning=ActiveLearningConfig(
+            samples_per_iteration=8, top_neighbours=5, iterations=3,
+            kde_samples_per_pair=20, retrain_epochs=12, seed=3,
+        ),
+    )
+
+
+class TestSupervisedWorkflow:
+    def test_full_supervised_pipeline_beats_threshold_floor_or_close(self, tiny_domain, config):
+        vaer = VAER(config).fit_representation(tiny_domain.task)
+        vaer.fit_matcher(tiny_domain.splits.train, tiny_domain.splits.validation)
+        vaer_f1 = vaer.evaluate(tiny_domain.splits.test).f1
+
+        floor = ThresholdMatcher().fit(tiny_domain.task, tiny_domain.splits.train)
+        floor_f1 = floor.evaluate(tiny_domain.task, tiny_domain.splits.test).f1
+
+        assert vaer_f1 > 0.45
+        # The tiny test domain is trivially separable by token overlap, so the
+        # Jaccard floor is strong here; VAER must land in the same broad band.
+        assert vaer_f1 >= floor_f1 - 0.35
+
+    def test_blocking_then_matching_recovers_duplicates(self, tiny_domain, config):
+        vaer = VAER(config).fit_representation(tiny_domain.task)
+        vaer.fit_matcher(tiny_domain.splits.train, tiny_domain.splits.validation)
+        resolution = vaer.resolve(k=10)
+        matched = {(p.left_id, p.right_id) for p in resolution.matches()}
+        recovered = sum((l, r) in matched for l, r in tiny_domain.duplicate_map.items())
+        assert recovered / len(tiny_domain.duplicate_map) > 0.3
+
+
+class TestTransferWorkflow:
+    def test_transfer_between_domains_keeps_quality(self, tiny_domain, config):
+        target = load_domain("restaurants", scale=0.4)
+        source_model = EntityRepresentationModel(config.vae, ir_method="lsa").fit(tiny_domain.task)
+
+        # Arities differ (3 vs 6): project the target to the source arity.
+        adapted_task = target.task.project(tiny_domain.task.arity)
+        adapted = ERTask(
+            name=adapted_task.name, left=adapted_task.left, right=adapted_task.right,
+            clean=adapted_task.clean,
+        )
+        transferred = transfer_representation(source_model, adapted)
+        vaer = VAER(config)
+        vaer.task = adapted
+        vaer.representation = transferred
+        vaer.fit_matcher(target.splits.train, target.splits.validation)
+        metrics = vaer.evaluate(target.splits.test)
+        assert metrics.f1 > 0.3
+
+
+class TestActiveLearningWorkflow:
+    def test_al_improves_over_bootstrap_or_stays_close_to_full(self, tiny_domain, config):
+        vaer = VAER(config).fit_representation(tiny_domain.task)
+        oracle = GroundTruthOracle(tiny_domain.task)
+        result = vaer.active_learning(
+            oracle, iterations=3, test_pairs=tiny_domain.splits.test, label_budget=40,
+        )
+        bootstrap_f1 = result.history[0].test_metrics.f1
+        final_f1 = result.history[-1].test_metrics.f1
+        assert oracle.labels_provided <= 40
+        assert final_f1 >= bootstrap_f1 - 0.15  # AL must not collapse the matcher
+
+    def test_al_uses_fewer_labels_than_full_training_set(self, tiny_domain, config):
+        vaer = VAER(config).fit_representation(tiny_domain.task)
+        oracle = GroundTruthOracle(tiny_domain.task)
+        vaer.active_learning(oracle, iterations=2, label_budget=30)
+        assert oracle.labels_provided < len(tiny_domain.splits.train)
+
+
+class TestCSVWorkflow:
+    def test_user_supplied_csv_tasks_run_end_to_end(self, tmp_path, tiny_domain, config):
+        """The custom-dataset path: write CSVs, read them back, run VAER."""
+        write_table(tiny_domain.task.left, tmp_path / "left.csv", include_entity_ids=True)
+        write_table(tiny_domain.task.right, tmp_path / "right.csv", include_entity_ids=True)
+        write_pairs(tiny_domain.splits.train, tmp_path / "train.csv")
+        write_pairs(tiny_domain.splits.test, tmp_path / "test.csv")
+
+        task = ERTask(
+            name="from_csv",
+            left=read_table(tmp_path / "left.csv"),
+            right=read_table(tmp_path / "right.csv"),
+        )
+        train = read_pairs(tmp_path / "train.csv")
+        test = read_pairs(tmp_path / "test.csv")
+
+        vaer = VAER(config).fit_representation(task)
+        vaer.fit_matcher(train)
+        metrics = vaer.evaluate(test)
+        assert metrics.f1 > 0.3

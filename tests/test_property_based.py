@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor
+from repro.core.active.kde import GaussianKDE
+from repro.core.active.sampler import entropy_of
+from repro.core.distances import (
+    mahalanobis_squared,
+    wasserstein2_squared,
+    wasserstein2_vector,
+)
+from repro.data.generators.corruption import CorruptionModel, random_typo
+from repro.data.pairs import LabeledPair, PairSet
+from repro.eval.metrics import precision_recall_f1
+from repro.nn import binary_cross_entropy_with_logits, gaussian_kl_divergence
+from repro.text.hash_embedding import HashEmbedding
+from repro.text.tokenize import character_ngrams, tokenize
+
+# Bounded float strategies keep the numerics well away from overflow.
+finite_floats = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+positive_floats = st.floats(min_value=0.01, max_value=20.0, allow_nan=False)
+
+
+def gaussian_params(dim):
+    return st.tuples(
+        st.lists(finite_floats, min_size=dim, max_size=dim),
+        st.lists(positive_floats, min_size=dim, max_size=dim),
+    )
+
+
+class TestDistanceProperties:
+    @given(gaussian_params(4), gaussian_params(4))
+    @settings(max_examples=60, deadline=None)
+    def test_wasserstein_nonnegative_and_symmetric(self, p, q):
+        mu_p, sigma_p = np.array(p[0]), np.array(p[1])
+        mu_q, sigma_q = np.array(q[0]), np.array(q[1])
+        forward = wasserstein2_squared(mu_p, sigma_p, mu_q, sigma_q)
+        backward = wasserstein2_squared(mu_q, sigma_q, mu_p, sigma_p)
+        assert forward >= 0
+        assert np.isclose(forward, backward)
+
+    @given(gaussian_params(3))
+    @settings(max_examples=40, deadline=None)
+    def test_wasserstein_identity(self, p):
+        mu, sigma = np.array(p[0]), np.array(p[1])
+        assert np.isclose(wasserstein2_squared(mu, sigma, mu, sigma), 0.0)
+
+    @given(gaussian_params(3), gaussian_params(3))
+    @settings(max_examples=40, deadline=None)
+    def test_vector_sum_equals_total(self, p, q):
+        mu_p, sigma_p = np.array(p[0]), np.array(p[1])
+        mu_q, sigma_q = np.array(q[0]), np.array(q[1])
+        assert np.isclose(
+            wasserstein2_vector(mu_p, sigma_p, mu_q, sigma_q).sum(),
+            wasserstein2_squared(mu_p, sigma_p, mu_q, sigma_q),
+        )
+
+    @given(gaussian_params(4), gaussian_params(4))
+    @settings(max_examples=40, deadline=None)
+    def test_mahalanobis_nonnegative_symmetric(self, p, q):
+        mu_p, sigma_p = np.array(p[0]), np.array(p[1])
+        mu_q, sigma_q = np.array(q[0]), np.array(q[1])
+        forward = mahalanobis_squared(mu_p, sigma_p, mu_q, sigma_q)
+        assert forward >= 0
+        assert np.isclose(forward, mahalanobis_squared(mu_q, sigma_q, mu_p, sigma_p), rtol=1e-6)
+
+
+class TestLossProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=16), st.lists(positive_floats, min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_kl_divergence_nonnegative(self, mu, var):
+        size = min(len(mu), len(var))
+        mu_arr = np.array([mu[:size]])
+        log_var_arr = np.log(np.array([var[:size]]))
+        value = gaussian_kl_divergence(Tensor(mu_arr), Tensor(log_var_arr)).data
+        assert value >= -1e-9
+
+    @given(st.lists(finite_floats, min_size=1, max_size=16), st.lists(st.integers(0, 1), min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_bce_with_logits_nonnegative(self, logits, labels):
+        n = min(len(logits), len(labels))
+        value = binary_cross_entropy_with_logits(
+            Tensor(np.array(logits[:n])), Tensor(np.array(labels[:n], dtype=float))
+        ).data
+        assert value >= -1e-9 and np.isfinite(value)
+
+    @given(st.lists(st.floats(min_value=1e-4, max_value=1 - 1e-4), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_entropy_bounds(self, probabilities):
+        values = entropy_of(np.array(probabilities))
+        assert np.all(values >= 0) and np.all(values <= np.log(2) + 1e-9)
+
+
+class TestAutogradProperties:
+    @given(st.lists(finite_floats, min_size=2, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_gradient_is_ones(self, values):
+        x = Tensor(np.array(values), requires_grad=True)
+        x.sum().backward()
+        assert np.allclose(x.grad, np.ones(len(values)))
+
+    @given(st.lists(finite_floats, min_size=2, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_gradient(self, values):
+        x = Tensor(np.array(values), requires_grad=True)
+        (x * 3.0).sum().backward()
+        assert np.allclose(x.grad, np.full(len(values), 3.0))
+
+    @given(st.lists(finite_floats, min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_sigmoid_output_bounds(self, values):
+        # In float64 sigmoid saturates to exactly 0/1 for |x| beyond ~37, so
+        # the invariant is inclusive bounds plus finiteness.
+        out = Tensor(np.array(values)).sigmoid().data
+        assert np.all(out >= 0) and np.all(out <= 1) and np.isfinite(out).all()
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=40), st.lists(st.integers(0, 1), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_prf_bounds(self, truth, predicted):
+        n = min(len(truth), len(predicted))
+        metrics = precision_recall_f1(truth[:n], predicted[:n])
+        for value in (metrics.precision, metrics.recall, metrics.f1):
+            assert 0.0 <= value <= 1.0
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_prediction_is_perfect(self, truth):
+        metrics = precision_recall_f1(truth, truth)
+        if sum(truth) > 0:
+            assert metrics.f1 == 1.0
+
+
+class TestPairSetProperties:
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30), st.integers(0, 1)), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_counts_are_consistent(self, triples):
+        pairs = PairSet(LabeledPair(f"l{a}", f"r{b}", label) for a, b, label in triples)
+        assert pairs.num_positives() + pairs.num_negatives() == len(pairs)
+        assert len(pairs.positives()) == pairs.num_positives()
+        keys = [p.key() for p in pairs]
+        assert len(keys) == len(set(keys))
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30), st.integers(0, 1)), min_size=4, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_split_partitions(self, triples):
+        pairs = PairSet(LabeledPair(f"l{a}", f"r{b}", label) for a, b, label in triples)
+        if len(pairs) < 2:
+            return
+        first, second = pairs.split(0.5, rng=np.random.default_rng(0))
+        assert len(first) + len(second) == len(pairs)
+        assert not ({p.key() for p in first} & {p.key() for p in second})
+
+
+_word = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12)
+
+
+class TestTextProperties:
+    @given(st.lists(_word, min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_tokenize_roundtrip_on_clean_words(self, words):
+        sentence = " ".join(words)
+        assert tokenize(sentence) == words
+
+    @given(_word)
+    @settings(max_examples=50, deadline=None)
+    def test_char_ngrams_reconstructible_length(self, word):
+        grams = character_ngrams(word, 3, 3)
+        padded_length = len(word) + 2
+        expected = max(0, padded_length - 2)
+        assert len(grams) == expected
+
+    @given(_word)
+    @settings(max_examples=30, deadline=None)
+    def test_hash_embedding_deterministic(self, word):
+        a = HashEmbedding(dim=8).embed_token(word)
+        b = HashEmbedding(dim=8).embed_token(word)
+        assert np.allclose(a, b)
+
+    @given(st.text(min_size=0, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_hash_embedding_always_finite(self, text):
+        vector = HashEmbedding(dim=8).embed_sentence(text)
+        assert vector.shape == (8,) and np.isfinite(vector).all()
+
+
+class TestCorruptionProperties:
+    @given(st.lists(_word, min_size=1, max_size=6), st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_corruption_returns_string(self, words, seed):
+        model = CorruptionModel.noisy()
+        value = " ".join(words)
+        corrupted = model.corrupt_value(value, np.random.default_rng(seed))
+        assert isinstance(corrupted, str)
+
+    @given(_word, st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_typo_output_length_close(self, word, seed):
+        result = random_typo(word, np.random.default_rng(seed))
+        assert abs(len(result) - len(word)) <= 1
+
+
+class TestKDEProperties:
+    @given(st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=2, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_density_nonnegative_and_finite(self, samples):
+        kde = GaussianKDE().fit(samples)
+        grid = np.linspace(-15, 15, 30)
+        values = kde.evaluate(grid)
+        assert np.all(values >= 0) and np.all(np.isfinite(values))

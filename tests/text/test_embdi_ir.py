@@ -1,0 +1,108 @@
+"""EmbDI relational embeddings and the IRGenerator facade."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Record, Table
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.text import EmbDIModel, IRGenerator
+from repro.text.ir import IR_METHODS
+
+
+@pytest.fixture(scope="module")
+def small_tables():
+    attributes = ("name", "city")
+    left = Table("left", attributes, [
+        Record("l0", ("golden dragon", "london")),
+        Record("l1", ("blue terrace", "paris")),
+        Record("l2", ("golden palace", "london")),
+    ])
+    right = Table("right", attributes, [
+        Record("r0", ("golden dragon", "london")),
+        Record("r1", ("river cafe", "berlin")),
+    ])
+    return [left, right]
+
+
+class TestEmbDI:
+    @pytest.fixture(scope="class")
+    def model(self, small_tables):
+        return EmbDIModel(dim=12, walks_per_node=2, walk_length=5, epochs=1, seed=3).fit(small_tables)
+
+    def test_graph_contains_all_node_kinds(self, model):
+        kinds = {data["kind"] for _, data in model.graph.nodes(data=True)}
+        assert kinds == {"token", "row", "column"}
+
+    def test_embed_sentence_shape(self, model):
+        assert model.embed_sentence("golden dragon").shape == (12,)
+
+    def test_tokens_sharing_structure_are_closer(self, model):
+        embeddings = model.token_embeddings()
+        # "golden" co-occurs with "dragon" in cells; "berlin" never does.
+        def cosine(a, b):
+            return a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12)
+        assert cosine(embeddings["golden"], embeddings["dragon"]) > cosine(
+            embeddings["golden"], embeddings["berlin"]
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            EmbDIModel(dim=8).embed_sentence("x")
+
+    def test_missing_values_skipped_in_graph(self):
+        table = Table("t", ("a", "b"), [Record("r0", ("value", ""))])
+        graph = EmbDIModel(dim=8).build_graph([table])
+        token_nodes = [n for n, d in graph.nodes(data=True) if d["kind"] == "token"]
+        assert token_nodes == ["tok::value"]
+
+
+class TestIRGenerator:
+    def test_all_methods_produce_correct_shapes(self, tiny_domain):
+        task = tiny_domain.task
+        for method in IR_METHODS:
+            generator = IRGenerator(method=method, dim=16).fit(task)
+            irs = generator.transform_table(task.left)
+            assert irs.shape == (len(task.left), task.arity, 16), method
+
+    def test_transform_record(self, tiny_domain):
+        generator = IRGenerator(method="w2v", dim=16).fit(tiny_domain.task)
+        record = tiny_domain.task.left.records()[0]
+        assert generator.transform_record(record).shape == (tiny_domain.task.arity, 16)
+
+    def test_transform_task_returns_both_sides(self, tiny_domain):
+        generator = IRGenerator(method="w2v", dim=8).fit(tiny_domain.task)
+        output = generator.transform_task(tiny_domain.task)
+        assert set(output) == {"left", "right"}
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IRGenerator(method="elmo")
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IRGenerator(method="lsa", dim=0)
+
+    def test_transform_before_fit_raises(self, tiny_domain):
+        generator = IRGenerator(method="lsa", dim=8)
+        with pytest.raises(NotFittedError):
+            generator.transform_table(tiny_domain.task.left)
+
+    def test_duplicates_closer_than_random_pairs(self, tiny_domain):
+        """IRs must be similarity-preserving (the property the VAE amplifies)."""
+        task = tiny_domain.task
+        generator = IRGenerator(method="lsa", dim=16).fit(task)
+        left = generator.transform_table(task.left).reshape(len(task.left), -1)
+        right = generator.transform_table(task.right).reshape(len(task.right), -1)
+        left_ids = task.left.record_ids()
+        right_ids = task.right.record_ids()
+        dup_distances, rand_distances = [], []
+        rng = np.random.default_rng(0)
+        for left_id, right_id in tiny_domain.duplicate_map.items():
+            i, j = left_ids.index(left_id), right_ids.index(right_id)
+            dup_distances.append(np.linalg.norm(left[i] - right[j]))
+            rand_distances.append(np.linalg.norm(left[i] - right[rng.integers(0, len(right_ids))]))
+        assert np.mean(dup_distances) < np.mean(rand_distances)
+
+    def test_empty_values_list(self, tiny_domain):
+        generator = IRGenerator(method="w2v", dim=8).fit(tiny_domain.task)
+        assert generator.transform_values([]).shape == (0, 8)

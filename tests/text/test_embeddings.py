@@ -1,0 +1,117 @@
+"""Hash embeddings, contextual (BERT-substitute) embeddings and word2vec."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.text import ContextualHashEmbedding, HashEmbedding, Word2Vec
+from repro.text.tokenize import tokenize
+
+
+class TestHashEmbedding:
+    def test_deterministic(self):
+        a = HashEmbedding(dim=16).embed_sentence("golden dragon palace")
+        b = HashEmbedding(dim=16).embed_sentence("golden dragon palace")
+        assert np.allclose(a, b)
+
+    def test_dimension(self):
+        assert HashEmbedding(dim=24).embed_sentence("hello").shape == (24,)
+
+    def test_empty_sentence_is_zero(self):
+        assert np.allclose(HashEmbedding(dim=8).embed_sentence(""), 0.0)
+
+    def test_typo_stays_close(self):
+        embedder = HashEmbedding(dim=32)
+        original = embedder.embed_token("restaurant")
+        typo = embedder.embed_token("restaurent")
+        other = embedder.embed_token("telephone")
+        assert np.linalg.norm(original - typo) < np.linalg.norm(original - other)
+
+    def test_embed_sentences_stacks(self):
+        matrix = HashEmbedding(dim=8).embed_sentences(["a b", "c d", "e"])
+        assert matrix.shape == (3, 8)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            HashEmbedding(dim=0)
+
+
+class TestContextualHashEmbedding:
+    def test_word_order_matters(self):
+        encoder = ContextualHashEmbedding(dim=32)
+        a = encoder.embed_sentence("new york pizza")
+        b = encoder.embed_sentence("pizza new york")
+        assert not np.allclose(a, b)
+
+    def test_plain_averaging_ignores_order(self):
+        encoder = HashEmbedding(dim=32)
+        a = encoder.embed_sentence("new york pizza")
+        b = encoder.embed_sentence("pizza new york")
+        assert np.allclose(a, b)
+
+    def test_similar_sentences_still_close(self):
+        encoder = ContextualHashEmbedding(dim=32)
+        a = encoder.embed_sentence("charlie brown coldplay")
+        b = encoder.embed_sentence("charlie brown coldplay 2011")
+        c = encoder.embed_sentence("imperial stout bourbon barrel")
+        assert np.linalg.norm(a - b) < np.linalg.norm(a - c)
+
+    def test_empty_sentence_is_zero(self):
+        assert np.allclose(ContextualHashEmbedding(dim=8).embed_sentence(""), 0.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ContextualHashEmbedding(dim=8, window=-1)
+
+
+class TestWord2Vec:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        sentences = []
+        for _ in range(30):
+            sentences.append("cat sits on the mat".split())
+            sentences.append("dog sits on the rug".split())
+            sentences.append("stocks rise on the market".split())
+            sentences.append("shares fall on the market".split())
+        return sentences
+
+    @pytest.fixture(scope="class")
+    def model(self, corpus):
+        return Word2Vec(dim=16, window=2, epochs=2, seed=5).fit(corpus)
+
+    def test_vector_shape(self, model):
+        assert model.vector("cat").shape == (16,)
+
+    def test_oov_returns_none(self, model):
+        assert model.vector("zebra") is None
+
+    def test_embed_tokens_averages(self, model):
+        combined = model.embed_tokens(["cat", "dog"])
+        manual = (model.vector("cat") + model.vector("dog")) / 2
+        assert np.allclose(combined, manual)
+
+    def test_embed_tokens_all_oov_is_zero(self, model):
+        assert np.allclose(model.embed_tokens(["zebra", "qux"]), 0.0)
+
+    def test_embeddings_mapping_complete(self, model):
+        embeddings = model.embeddings()
+        assert "market" in embeddings and embeddings["market"].shape == (16,)
+
+    def test_most_similar_excludes_query(self, model):
+        assert "cat" not in model.most_similar("cat", top_k=3)
+
+    def test_distributional_similarity(self, model):
+        # "cat" and "dog" share contexts; "cat" and "market" do not.
+        def cosine(a, b):
+            return a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12)
+        sim_catdog = cosine(model.vector("cat"), model.vector("dog"))
+        sim_catmarket = cosine(model.vector("cat"), model.vector("market"))
+        assert sim_catdog > sim_catmarket
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            Word2Vec(dim=8).vector("cat")
+
+    def test_empty_corpus_yields_empty_vocab(self):
+        model = Word2Vec(dim=8).fit([])
+        assert model.vocabulary is not None and len(model.vocabulary) == 0

@@ -1,0 +1,59 @@
+"""Tokenisation and normalisation behaviour."""
+
+from repro.text import character_ngrams, normalize, sentence_of, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("rock & roll, baby!") == ["rock", "roll", "baby"]
+
+    def test_keeps_numbers(self):
+        assert tokenize("route 66") == ["route", "66"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_alphanumeric_mix(self):
+        assert tokenize("ipv6 3:00pm") == ["ipv6", "3", "00pm"]
+
+
+class TestNormalize:
+    def test_collapses_whitespace(self):
+        assert normalize("a   b\t c") == "a b c"
+
+    def test_removes_symbols(self):
+        assert normalize("Caffè-Nero!") == "caff nero"
+
+    def test_strips_edges(self):
+        assert normalize("  hello  ") == "hello"
+
+
+class TestCharacterNgrams:
+    def test_padded_ngrams_include_boundaries(self):
+        grams = character_ngrams("cat", 3, 3)
+        assert "<ca" in grams and "at>" in grams
+
+    def test_ngram_count(self):
+        # "<cat>" has length 5 -> three 3-grams and two 4-grams.
+        assert len(character_ngrams("cat", 3, 4)) == 5
+
+    def test_short_token_returns_what_fits(self):
+        grams = character_ngrams("ab", 3, 4, pad=False)
+        assert grams == []
+
+    def test_typo_preserves_most_ngrams(self):
+        original = set(character_ngrams("restaurant", 3, 4))
+        typo = set(character_ngrams("restaurent", 3, 4))
+        overlap = len(original & typo) / len(original | typo)
+        assert overlap > 0.4
+
+
+class TestSentenceOf:
+    def test_joins_non_empty(self):
+        assert sentence_of(["a", "", "b"]) == "a b"
+
+    def test_custom_separator(self):
+        assert sentence_of(["a", "b"], separator=" | ") == "a | b"
