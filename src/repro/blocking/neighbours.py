@@ -12,13 +12,16 @@ Used in three places that mirror the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.blocking.lsh import EuclideanLSHIndex
 from repro.config import BlockingConfig
 from repro.data.pairs import RecordPair
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.store import EncodingStore
 
 
 @dataclass
@@ -40,6 +43,22 @@ class NearestNeighbourSearch:
         self._index: Optional[EuclideanLSHIndex] = None
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls,
+        store: "EncodingStore",
+        side: str = "right",
+        config: Optional[BlockingConfig] = None,
+    ) -> "NearestNeighbourSearch":
+        """Build a search over one side's cached encodings.
+
+        ``store`` is an :class:`repro.engine.EncodingStore`; the index is
+        built from its cached record-level mean vectors, so blocking shares
+        the same single encoding pass as matching and active learning.
+        """
+        encodings = store.table_encodings(side)
+        return cls(config).build(encodings.flat_mu(), encodings.keys)
+
     def build(self, vectors: np.ndarray, keys: Sequence[object]) -> "NearestNeighbourSearch":
         """Index the right-hand-side (or full) collection of vectors."""
         self._index = EuclideanLSHIndex(

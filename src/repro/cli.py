@@ -7,6 +7,7 @@ Usage (after installing the package)::
     python -m repro active --domain cosmetics --budget 60
     python -m repro transfer --source citations2 --target beer
     python -m repro representation --domain beer --ir lsa
+    python -m repro resolve --domain restaurants --k 10 --batch-size 2048
 
 Each sub-command drives the same harness functions the benchmark suite uses,
 so the CLI is a convenient way to reproduce a single cell of the paper's
@@ -52,6 +53,14 @@ def _build_parser() -> argparse.ArgumentParser:
     transfer.add_argument("--source", default="citations2", help="Source domain for the representation model.")
     transfer.add_argument("--target", default="beer", help="Target domain to transfer to.")
     transfer.add_argument("--scale", type=float, default=1.0, help="Dataset size multiplier.")
+
+    resolve = subparsers.add_parser(
+        "resolve",
+        help="End-to-end streamed resolution (blocking + matching) through the encoding engine.",
+    )
+    add_common(resolve)
+    resolve.add_argument("--k", type=int, default=10, help="Top-K neighbours per record for blocking.")
+    resolve.add_argument("--batch-size", type=int, default=2048, help="Candidate pairs scored per batch.")
 
     return parser
 
@@ -133,6 +142,39 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    from repro.core import VAER
+    from repro.data.generators import load_domain
+    from repro.eval.reporting import format_engine_stats
+    from repro.eval.timing import reset_engine_counters
+
+    if args.batch_size <= 0:
+        print("error: --batch-size must be positive", file=sys.stderr)
+        return 2
+    if args.k <= 0:
+        print("error: --k must be positive", file=sys.stderr)
+        return 2
+    reset_engine_counters()
+    domain = load_domain(args.domain, scale=args.scale)
+    config = _harness_config(args.seed).vaer_config(ir_method=args.ir)
+    model = VAER(config)
+    model.fit_representation(domain.task)
+    model.fit_matcher(domain.splits.train, domain.splits.validation)
+
+    candidates = matches = batches = 0
+    for batch in model.resolve_stream(k=args.k, batch_size=args.batch_size):
+        candidates += len(batch)
+        matches += len(batch.matches())
+        batches += 1
+
+    print(f"domain={args.domain} ir={args.ir} k={args.k} batch_size={args.batch_size}")
+    print(f"  candidate pairs scored: {candidates} (in {batches} batches)")
+    print(f"  predicted matches:      {matches} (threshold {model.threshold:.2f})")
+    print("\nEngine cache statistics\n")
+    print(format_engine_stats())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     args = _build_parser().parse_args(argv)
@@ -146,6 +188,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_active(args)
     if args.command == "transfer":
         return _cmd_transfer(args)
+    if args.command == "resolve":
+        return _cmd_resolve(args)
     return 1
 
 

@@ -15,17 +15,17 @@ authors apply to the †-marked domains of Table VIII.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.blocking.neighbours import NearestNeighbourSearch
 from repro.config import ActiveLearningConfig, BlockingConfig
-from repro.core.distances import tuple_wasserstein
 from repro.core.representation import EntityRepresentationModel
 from repro.data.pairs import LabeledPair, PairSet, RecordPair
 from repro.data.schema import ERTask
 from repro.exceptions import ActiveLearningError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.store import EncodingStore
 
 PairKey = Tuple[str, str]
 
@@ -58,6 +58,7 @@ def bootstrap_training_data(
     config: Optional[ActiveLearningConfig] = None,
     blocking: Optional[BlockingConfig] = None,
     verify_positives: bool = False,
+    store: Optional["EncodingStore"] = None,
 ) -> BootstrapResult:
     """Run Algorithm 1 and return seed labels plus the candidate pool.
 
@@ -75,29 +76,44 @@ def bootstrap_training_data(
         When true, automatically selected positives are checked against the
         ground truth and false positives dropped — the manual clean-up the
         paper applies to the †-marked domains of Table VIII.
+    store:
+        Optional shared :class:`repro.engine.EncodingStore`; table encodings
+        and candidate distances are pulled from / computed through it (one
+        batched pass) instead of re-encoding both tables here.
     """
     config = config or ActiveLearningConfig()
-    encodings = representation.encode_task(task)
-    left, right = encodings["left"], encodings["right"]
+    if store is None:
+        from repro.engine.store import EncodingStore
+
+        store = EncodingStore(representation, task)
+    left, right = store.entity_encoding("left"), store.entity_encoding("right")
     if len(left) == 0 or len(right) == 0:
         raise ActiveLearningError("cannot bootstrap on an empty table")
 
     # Lines 3-10: build U from LSH top-K neighbours of every left record.
-    search = NearestNeighbourSearch(blocking).build(right.flat_mu(), right.keys)
+    search = NearestNeighbourSearch.from_store(store, config=blocking)
     neighbour_map = search.neighbour_map(left.flat_mu(), left.keys, k=config.top_neighbours)
 
-    distances: Dict[PairKey, float] = {}
+    candidate_keys: List[PairKey] = []
+    seen: set = set()
     for left_id, neighbours in neighbour_map.items():
-        mu_s, sigma_s = left.of(str(left_id))
         for right_id in neighbours:
             key = (str(left_id), str(right_id))
-            if key in distances:
+            if key in seen:
                 continue
-            mu_t, sigma_t = right.of(str(right_id))
-            distances[key] = tuple_wasserstein(mu_s, sigma_s, mu_t, sigma_t)
+            seen.add(key)
+            candidate_keys.append(key)
 
-    if not distances:
+    if not candidate_keys:
         raise ActiveLearningError("LSH search produced no candidate pairs")
+
+    # Lines 11-15 ranking statistic: tuple-level W2^2, one vectorized gather
+    # over the cached encodings instead of a per-pair loop.
+    candidate_pairs = [RecordPair(l, r) for l, r in candidate_keys]
+    tuple_distances = store.pair_tuple_wasserstein(candidate_pairs)
+    distances: Dict[PairKey, float] = {
+        key: float(d) for key, d in zip(candidate_keys, tuple_distances)
+    }
 
     # Lines 11-15: pairs closest to the minimum distance become L+, pairs
     # closest to the maximum become L-.

@@ -29,6 +29,7 @@ from repro.core.matcher import SiameseMatcher, pair_ir_arrays
 from repro.core.representation import EntityRepresentationModel
 from repro.data.pairs import LabeledPair, PairSet, RecordPair
 from repro.data.schema import ERTask
+from repro.engine.store import EncodingStore
 from repro.eval.metrics import PRF, precision_recall_f1
 from repro.exceptions import ActiveLearningError
 
@@ -91,6 +92,12 @@ class ActiveLearningLoop:
     verify_bootstrap_positives:
         Whether to drop false positives from the automatic seed set (the
         †-marked manual clean-up of Table VIII).
+    store:
+        Optional shared :class:`repro.engine.EncodingStore`; when omitted the
+        loop creates its own.  Every featurisation in the loop — bootstrap
+        distances, candidate scoring, retraining batches, test evaluation —
+        gathers from this store, so each record is encoded exactly once per
+        representation version regardless of how many pairs reference it.
     """
 
     def __init__(
@@ -104,6 +111,7 @@ class ActiveLearningLoop:
         strategy: str = "vaer",
         test_pairs: Optional[PairSet] = None,
         verify_bootstrap_positives: bool = True,
+        store: Optional[EncodingStore] = None,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ActiveLearningError(f"unknown AL strategy {strategy!r}; expected one of {STRATEGIES}")
@@ -120,23 +128,16 @@ class ActiveLearningLoop:
         self._sampler = LatentSpaceSampler(self.config)
         self._entropy_sampler = EntropySampler(self.config)
         self._random_sampler = RandomSampler(self.config, seed=self.config.seed)
-        # Caches filled lazily: IR arrays per candidate pair and latent distances.
-        self._candidate_irs: Dict[Tuple[str, str], Tuple[np.ndarray, np.ndarray]] = {}
-        self._test_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        # All featurisation goes through the shared encoding store: records
+        # are encoded once per table, pairs are index gathers into that cache
+        # (candidate pools reference the same records many times over).
+        self.store = store if store is not None else EncodingStore(representation, task)
 
     # ------------------------------------------------------------------
-    # Pair featurisation with caching
+    # Pair featurisation via the encoding store
     # ------------------------------------------------------------------
     def _irs_for(self, pairs: Sequence[RecordPair]) -> Tuple[np.ndarray, np.ndarray]:
-        missing = [p for p in pairs if p.key() not in self._candidate_irs]
-        if missing:
-            as_labeled = [LabeledPair(p.left_id, p.right_id, 0) for p in missing]
-            left, right, _ = pair_ir_arrays(self.representation, self.task, as_labeled)
-            for i, pair in enumerate(missing):
-                self._candidate_irs[pair.key()] = (left[i], right[i])
-        left_stack = np.stack([self._candidate_irs[p.key()][0] for p in pairs])
-        right_stack = np.stack([self._candidate_irs[p.key()][1] for p in pairs])
-        return left_stack, right_stack
+        return self.store.gather_pair_irs(pairs)
 
     def _train_matcher(self, labeled: PairSet, matcher: Optional[SiameseMatcher] = None) -> SiameseMatcher:
         """(Re)train the matcher on the current labeled pool.
@@ -153,7 +154,7 @@ class ActiveLearningLoop:
                 vae_config=self.representation.config,
                 config=self.matcher_config,
             ).initialize_from(self.representation)
-        left, right, labels = pair_ir_arrays(self.representation, self.task, labeled)
+        left, right, labels = pair_ir_arrays(self.representation, self.task, labeled, store=self.store)
         left, right, labels = self._rebalance(left, right, labels)
         matcher.fit(left, right, labels, epochs=self.config.retrain_epochs)
         return matcher
@@ -181,9 +182,9 @@ class ActiveLearningLoop:
     def _evaluate(self, matcher: SiameseMatcher) -> Optional[PRF]:
         if self.test_pairs is None or len(self.test_pairs) == 0:
             return None
-        if self._test_cache is None:
-            self._test_cache = pair_ir_arrays(self.representation, self.task, self.test_pairs)
-        left, right, labels = self._test_cache
+        left, right, labels = pair_ir_arrays(
+            self.representation, self.task, self.test_pairs, store=self.store
+        )
         predictions = matcher.predict(left, right)
         return precision_recall_f1(labels.astype(int), predictions)
 
@@ -209,6 +210,7 @@ class ActiveLearningLoop:
             config=self.config,
             blocking=self.blocking,
             verify_positives=self.verify_bootstrap_positives,
+            store=self.store,
         )
         positives = PairSet(bootstrap.positives.pairs())
         negatives = PairSet(bootstrap.negatives.pairs())
@@ -226,8 +228,9 @@ class ActiveLearningLoop:
         ]
 
         # Latent distances of candidates are a property of the (frozen)
-        # representation model, so they are computed once.
-        distances = pair_latent_distances(self.task, self.representation, unlabeled)
+        # representation model, so they are computed once — a single
+        # vectorized gather over the store's cached encodings.
+        distances = pair_latent_distances(self.task, self.representation, unlabeled, store=self.store)
         distance_of = {pair.key(): float(d) for pair, d in zip(unlabeled, distances)}
 
         for iteration in range(1, iterations + 1):

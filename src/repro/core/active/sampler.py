@@ -19,11 +19,14 @@ score.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.config import ActiveLearningConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.store import EncodingStore
 from repro.core.active.kde import GaussianKDE
 from repro.core.representation import EntityRepresentationModel
 from repro.data.pairs import PairSet, RecordPair
@@ -72,11 +75,34 @@ def pair_latent_distances(
     task: ERTask,
     representation: EntityRepresentationModel,
     pairs: Sequence[RecordPair],
+    store: Optional["EncodingStore"] = None,
 ) -> np.ndarray:
     """Expected latent distance of each candidate pair (mean over attributes).
 
     Uses the posterior means, which is the expectation of the sampled
     distances of Equation 6 and keeps the candidate scoring deterministic.
+    Scoring is a single gather-then-reduce over the table encodings held by
+    an :class:`repro.engine.EncodingStore`; pass ``store`` to reuse encodings
+    already cached by other pipeline stages.
+    """
+    if not pairs:
+        return np.zeros(0)
+    if store is None:
+        from repro.engine.store import EncodingStore
+
+        store = EncodingStore(representation, task)
+    return store.pair_latent_distances(pairs)
+
+
+def _pair_latent_distances_loop(
+    task: ERTask,
+    representation: EntityRepresentationModel,
+    pairs: Sequence[RecordPair],
+) -> np.ndarray:
+    """Legacy per-pair reference implementation of :func:`pair_latent_distances`.
+
+    Kept (unused by the pipeline) as the ground truth for the engine's
+    equivalence tests and the throughput benchmark baseline.
     """
     if not pairs:
         return np.zeros(0)

@@ -14,9 +14,12 @@ weights in the process.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.store import EncodingStore
 
 from repro.autograd import Tensor
 from repro.config import MatcherConfig, VAEConfig
@@ -208,13 +211,20 @@ def pair_ir_arrays(
     representation: EntityRepresentationModel,
     task: ERTask,
     pairs: Iterable[LabeledPair],
+    store: Optional["EncodingStore"] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Assemble (left IRs, right IRs, labels) arrays for a set of labeled pairs.
 
-    IRs are computed in one batch per side for efficiency.  Shapes:
-    (n, arity, ir_dim) for the IR arrays and (n,) for the labels.
+    With a ``store`` (an :class:`repro.engine.EncodingStore` bound to the same
+    representation and task), the IR rows are gathered from the store's cached
+    table encodings — each record is encoded at most once per representation
+    version, no matter how many pairs reference it.  Without one, IRs are
+    computed in one batch per side.  Shapes: (n, arity, ir_dim) for the IR
+    arrays and (n,) for the labels.
     """
     pairs = list(pairs)
+    if store is not None:
+        return store.pair_ir_arrays(pairs)
     if not pairs:
         arity = task.arity
         dim = representation.config.ir_dim

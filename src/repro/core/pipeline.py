@@ -10,12 +10,30 @@
 
 The object also exposes blocking-based candidate generation and evaluation
 helpers so the examples and benchmarks read like a user's workflow.
+
+Data flow (the engine layer)
+----------------------------
+All encodings flow through one shared :class:`repro.engine.EncodingStore`
+(:attr:`VAER.store`), created lazily once a representation is available and
+replaced whenever a new representation is fitted or adopted:
+
+* the store computes each table's IR arrays and latent Gaussians ``(mu,
+  sigma)`` in a single batched pass and caches them, invalidating itself
+  automatically when the representation model is refit or transferred (it
+  watches ``EntityRepresentationModel.encoding_version``);
+* blocking (:meth:`candidate_pairs`), matcher training and inference
+  (:meth:`fit_matcher`, :meth:`predict_pairs`), resolution (:meth:`resolve`,
+  :meth:`resolve_stream`) and the active-learning loop all *gather* from the
+  store — candidate pairs are index arrays into its row-major encodings, so
+  no stage ever re-tokenizes or re-encodes a record the store already holds;
+* :meth:`resolve_stream` chunks the same flow so candidate scoring runs in
+  bounded-memory batches for inputs too large to score at once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,23 +44,16 @@ from repro.core.active.oracle import LabelingOracle
 from repro.core.matcher import SiameseMatcher, pair_ir_arrays
 from repro.core.representation import EntityRepresentationModel
 from repro.core.transfer import transfer_representation
-from repro.data.pairs import LabeledPair, PairSet, RecordPair
+from repro.data.pairs import PairSet, RecordPair
 from repro.data.schema import ERTask
+from repro.engine import EncodingStore, ResolutionBatch, ScoredPairs, resolve_stream
 from repro.eval.metrics import PRF, best_threshold, precision_recall_f1
 from repro.exceptions import NotFittedError
 
 
 @dataclass
-class ResolutionResult:
+class ResolutionResult(ScoredPairs):
     """Output of :meth:`VAER.resolve`: scored candidate pairs."""
-
-    pairs: List[RecordPair]
-    probabilities: np.ndarray
-    threshold: float
-
-    def matches(self) -> List[RecordPair]:
-        """Candidate pairs predicted to be duplicates."""
-        return [pair for pair, p in zip(self.pairs, self.probabilities) if p > self.threshold]
 
 
 class VAER:
@@ -54,6 +65,7 @@ class VAER:
         self.matcher: Optional[SiameseMatcher] = None
         self.task: Optional[ERTask] = None
         self.threshold: float = 0.5
+        self._store: Optional[EncodingStore] = None
 
     # ------------------------------------------------------------------
     # Step 1: representation learning
@@ -64,18 +76,35 @@ class VAER:
         self.representation = EntityRepresentationModel(
             config=self.config.vae, ir_method=self.config.ir_method
         ).fit(task, epochs=epochs)
+        self._store = None
         return self
 
     def use_representation(self, representation: EntityRepresentationModel, task: ERTask) -> "VAER":
         """Adopt an existing (typically transferred) representation model."""
         self.task = task
         self.representation = transfer_representation(representation, task)
+        self._store = None
         return self
 
     def _require_representation(self) -> EntityRepresentationModel:
         if self.representation is None or self.task is None:
             raise NotFittedError("call fit_representation() or use_representation() first")
         return self.representation
+
+    @property
+    def store(self) -> EncodingStore:
+        """The shared encoding store every pipeline stage gathers from.
+
+        Created lazily from the current representation and task; replaced
+        when a new representation is fitted or adopted.  The store itself
+        additionally invalidates its cache if the representation is refit in
+        place.
+        """
+        representation = self._require_representation()
+        assert self.task is not None
+        if self._store is None:
+            self._store = EncodingStore(representation, self.task)
+        return self._store
 
     # ------------------------------------------------------------------
     # Step 2: supervised matching
@@ -99,11 +128,13 @@ class VAER:
             vae_config=representation.config,
             config=self.config.matcher,
         ).initialize_from(representation)
-        left, right, labels = pair_ir_arrays(representation, self.task, training_pairs)
+        left, right, labels = pair_ir_arrays(representation, self.task, training_pairs, store=self.store)
         self.matcher.fit(left, right, labels, epochs=epochs)
         self.threshold = 0.5
         if validation_pairs is not None and len(validation_pairs) > 0:
-            v_left, v_right, v_labels = pair_ir_arrays(representation, self.task, validation_pairs)
+            v_left, v_right, v_labels = pair_ir_arrays(
+                representation, self.task, validation_pairs, store=self.store
+            )
             probabilities = self.matcher.predict_proba(v_left, v_right)
             self.threshold = best_threshold(v_labels.astype(int), probabilities)
         return self
@@ -138,6 +169,7 @@ class VAER:
             strategy=strategy,
             test_pairs=test_pairs,
             verify_bootstrap_positives=verify_bootstrap_positives,
+            store=self.store,
         )
         result = loop.run(iterations=iterations, label_budget=label_budget)
         self.matcher = result.matcher
@@ -157,7 +189,7 @@ class VAER:
         representation = self._require_representation()
         matcher = self._require_matcher()
         assert self.task is not None
-        left, right, _ = pair_ir_arrays(representation, self.task, pairs)
+        left, right, _ = pair_ir_arrays(representation, self.task, pairs, store=self.store)
         return matcher.predict_proba(left, right)
 
     def evaluate(self, test_pairs: PairSet) -> PRF:
@@ -171,25 +203,44 @@ class VAER:
     # ------------------------------------------------------------------
     def candidate_pairs(self, k: Optional[int] = None) -> List[RecordPair]:
         """Blocking step: LSH top-K candidates over entity representations."""
-        representation = self._require_representation()
-        assert self.task is not None
+        self._require_representation()
         k = k or self.config.active_learning.top_neighbours
-        encodings = representation.encode_task(self.task)
-        search = NearestNeighbourSearch(self.config.blocking).build(
-            encodings["right"].flat_mu(), encodings["right"].keys
-        )
-        return search.candidate_pairs(encodings["left"].flat_mu(), encodings["left"].keys, k=k)
+        store = self.store
+        search = NearestNeighbourSearch.from_store(store, config=self.config.blocking)
+        left = store.table_encodings("left")
+        return search.candidate_pairs(left.flat_mu(), left.keys, k=k)
 
     def resolve(self, k: Optional[int] = None) -> ResolutionResult:
         """Full ER pass: blocking then matching of every candidate pair."""
-        representation = self._require_representation()
         matcher = self._require_matcher()
-        assert self.task is not None
         candidates = self.candidate_pairs(k=k)
-        as_labeled = PairSet(LabeledPair(c.left_id, c.right_id, 0) for c in candidates)
-        left, right, _ = pair_ir_arrays(representation, self.task, as_labeled)
+        left, right = self.store.gather_pair_irs(candidates)
         probabilities = matcher.predict_proba(left, right)
         return ResolutionResult(pairs=candidates, probabilities=probabilities, threshold=self.threshold)
+
+    def resolve_stream(
+        self,
+        k: Optional[int] = None,
+        batch_size: int = 2048,
+    ) -> Iterator[ResolutionBatch]:
+        """Chunked ER pass: score candidates in bounded-memory batches.
+
+        Equivalent to :meth:`resolve` — the concatenation of all yielded
+        batches covers the same candidate pairs with the same probabilities —
+        but featurisation and scoring never hold more than ``batch_size``
+        pairs at once, so arbitrarily large candidate sets resolve in bounded
+        memory.
+        """
+        matcher = self._require_matcher()
+        k = k or self.config.active_learning.top_neighbours
+        return resolve_stream(
+            self.store,
+            matcher,
+            blocking=self.config.blocking,
+            k=k,
+            batch_size=batch_size,
+            threshold=self.threshold,
+        )
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -88,6 +88,19 @@ class EntityRepresentationModel:
         self.vae = VariationalAutoEncoder(self.config)
         self._fitted = False
         self.training_history: Optional[TrainingHistory] = None
+        # Monotonic token consumed by encoding caches (repro.engine): any
+        # event that can change what this model would encode a record to —
+        # VAE training, IR refitting, weight loading — bumps it, so stale
+        # cached encodings are detectable without hashing weights.
+        self._encoding_version = 0
+
+    @property
+    def encoding_version(self) -> int:
+        """Cache-invalidation token: changes whenever encodings would change."""
+        return self._encoding_version
+
+    def _bump_encoding_version(self) -> None:
+        self._encoding_version += 1
 
     # ------------------------------------------------------------------
     # Fitting
@@ -98,6 +111,7 @@ class EntityRepresentationModel:
         irs = self._flat_irs(task)
         self.training_history = self.vae.fit(irs, epochs=epochs)
         self._fitted = True
+        self._bump_encoding_version()
         return self
 
     def refit_ir_only(self, task: ERTask) -> "EntityRepresentationModel":
@@ -109,6 +123,7 @@ class EntityRepresentationModel:
         """
         self.ir_generator = IRGenerator(method=self.ir_method, dim=self.config.ir_dim).fit(task)
         self._fitted = True
+        self._bump_encoding_version()
         return self
 
     def _flat_irs(self, task: ERTask) -> np.ndarray:
@@ -198,4 +213,5 @@ class EntityRepresentationModel:
             ir_method=ir_method or str(metadata.get("ir_method", "lsa")),
         )
         model.vae.load_state_dict(load_state_dict(path))
+        model._bump_encoding_version()
         return model

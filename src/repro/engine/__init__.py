@@ -1,0 +1,30 @@
+"""Batched encoding engine shared by blocking, matching and active learning.
+
+The engine layer owns *where encodings live* and *how pairs are scored*:
+
+* :class:`EncodingStore` — keyed, invalidation-aware cache of per-table IR
+  arrays and latent Gaussians, with vectorized gather-then-matmul pair
+  featurisation and scoring;
+* :func:`resolve_stream` / :func:`stream_candidate_pairs` — bounded-memory
+  chunked resolution for tables larger than one scoring batch.
+
+Batching, caching and (future) sharding decisions belong here, not in the
+pipeline stages that consume the encodings.
+"""
+
+from repro.engine.store import EncodingStore, TableEncodings
+from repro.engine.stream import (
+    ResolutionBatch,
+    ScoredPairs,
+    resolve_stream,
+    stream_candidate_pairs,
+)
+
+__all__ = [
+    "EncodingStore",
+    "TableEncodings",
+    "ResolutionBatch",
+    "ScoredPairs",
+    "resolve_stream",
+    "stream_candidate_pairs",
+]

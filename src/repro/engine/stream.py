@@ -1,0 +1,121 @@
+"""Bounded-memory streaming resolution on top of the encoding store.
+
+``VAER.resolve`` materialises every candidate pair and its feature tensors at
+once, which is fine for benchmark tables but not for production-scale inputs.
+:func:`resolve_stream` chunk-wise pipelines the same blocking → featurisation
+→ matching flow: the right-hand table is indexed once, left-hand records are
+queried in blocks, and candidate pairs are featurised and scored in slices of
+at most ``batch_size`` pairs.  Peak memory is therefore bounded by the cached
+table encodings plus one scoring batch, regardless of how many candidate
+pairs blocking emits — this is the seam where future sharding (splitting the
+cached tables themselves) slots in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.blocking.neighbours import NearestNeighbourSearch
+from repro.config import BlockingConfig
+from repro.data.pairs import RecordPair
+from repro.engine.store import EncodingStore
+
+
+@dataclass
+class ScoredPairs:
+    """Candidate pairs with match probabilities and a decision threshold.
+
+    The single definition of the match predicate shared by monolithic
+    resolution (:class:`repro.core.pipeline.ResolutionResult`) and the
+    streamed batches below — so the two paths cannot diverge on what counts
+    as a match.
+    """
+
+    pairs: List[RecordPair]
+    probabilities: np.ndarray
+    threshold: float
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def matches(self) -> List[RecordPair]:
+        """Candidate pairs predicted to be duplicates."""
+        return [pair for pair, p in zip(self.pairs, self.probabilities) if p > self.threshold]
+
+
+@dataclass
+class ResolutionBatch(ScoredPairs):
+    """One scored slice of the candidate stream."""
+
+    batch_index: int
+
+
+def stream_candidate_pairs(
+    store: EncodingStore,
+    blocking: Optional[BlockingConfig] = None,
+    k: int = 10,
+    query_chunk: int = 512,
+) -> Iterator[List[RecordPair]]:
+    """Blocking as a stream: top-K candidates per block of left-hand queries.
+
+    The LSH index over the right-hand side is built once from the store's
+    cached encodings; each yielded list covers ``query_chunk`` query records.
+    """
+    if query_chunk <= 0:
+        raise ValueError("query_chunk must be positive")
+
+    def generate() -> Iterator[List[RecordPair]]:
+        search = NearestNeighbourSearch.from_store(store, config=blocking)
+        left = store.table_encodings("left")
+        flat = left.flat_mu()
+        for start in range(0, len(left), query_chunk):
+            stop = start + query_chunk
+            chunk = search.candidate_pairs(flat[start:stop], left.keys[start:stop], k=k)
+            if chunk:
+                yield chunk
+
+    return generate()
+
+
+def resolve_stream(
+    store: EncodingStore,
+    matcher,
+    blocking: Optional[BlockingConfig] = None,
+    k: int = 10,
+    batch_size: int = 2048,
+    threshold: float = 0.5,
+) -> Iterator[ResolutionBatch]:
+    """Score the candidate stream in bounded-memory batches.
+
+    Yields :class:`ResolutionBatch` objects whose concatenated pairs and
+    probabilities equal a monolithic ``resolve`` pass over the same store.
+    Argument validation is eager (not deferred to the first iteration), so a
+    bad ``batch_size`` fails before any expensive work starts.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+
+    def score(pairs: List[RecordPair], batch_index: int) -> ResolutionBatch:
+        left, right = store.gather_pair_irs(pairs)
+        probabilities = matcher.predict_proba(left, right)
+        return ResolutionBatch(
+            pairs=pairs, probabilities=probabilities, threshold=threshold, batch_index=batch_index
+        )
+
+    def generate() -> Iterator[ResolutionBatch]:
+        buffer: List[RecordPair] = []
+        batch_index = 0
+        query_chunk = max(1, batch_size // max(1, k))
+        for candidates in stream_candidate_pairs(store, blocking=blocking, k=k, query_chunk=query_chunk):
+            buffer.extend(candidates)
+            while len(buffer) >= batch_size:
+                head, buffer = buffer[:batch_size], buffer[batch_size:]
+                yield score(head, batch_index)
+                batch_index += 1
+        if buffer:
+            yield score(buffer, batch_index)
+
+    return generate()

@@ -12,7 +12,13 @@ from repro.eval.metrics import (
     neighbour_prf_at_k,
     recall_at_k,
 )
-from repro.eval.timing import Timer, timed
+from repro.eval.timing import (
+    EngineCounters,
+    Timer,
+    engine_counters,
+    reset_engine_counters,
+    timed,
+)
 
 _HARNESS_EXPORTS = {
     "HarnessConfig",
@@ -40,6 +46,9 @@ __all__ = [
     "recall_at_k",
     "Timer",
     "timed",
+    "EngineCounters",
+    "engine_counters",
+    "reset_engine_counters",
     "reporting",
     *sorted(_HARNESS_EXPORTS),
 ]

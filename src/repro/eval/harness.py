@@ -30,6 +30,7 @@ from repro.core.representation import EntityRepresentationModel
 from repro.core.transfer import adapt_task_arity, transfer_representation
 from repro.data.generators import GeneratedDomain, load_domain
 from repro.data.pairs import PairSet
+from repro.engine import EncodingStore
 from repro.eval.metrics import PRF, best_threshold, neighbour_prf_at_k, precision_recall_f1, recall_at_k
 from repro.text.ir import IRGenerator
 
@@ -95,6 +96,26 @@ def fit_representation(
     return model, time.perf_counter() - start
 
 
+def _store_for(
+    representation: EntityRepresentationModel,
+    domain: GeneratedDomain,
+    store: Optional[EncodingStore],
+) -> EncodingStore:
+    """Adopt or create the encoding store for an experiment.
+
+    A caller-supplied store must be bound to the exact representation and
+    task the experiment uses — silently gathering features from a different
+    model would produce metrics for mismatched encoder/feature pairs.
+    """
+    if store is None:
+        return EncodingStore(representation, domain.task)
+    if store.representation is not representation:
+        raise ValueError("supplied store is bound to a different representation model")
+    if store.task is not domain.task:
+        raise ValueError("supplied store is bound to a different task")
+    return store
+
+
 # ----------------------------------------------------------------------
 # Table IV / Figure 4: representation learning
 # ----------------------------------------------------------------------
@@ -126,16 +147,14 @@ def vaer_neighbour_map(
     representation: EntityRepresentationModel,
     config: HarnessConfig,
     k: Optional[int] = None,
+    store: Optional[EncodingStore] = None,
 ) -> Dict[str, List[str]]:
     """Top-K neighbour map using VAER encodings (search on means, Table IV)."""
     k = k or config.top_k
-    encodings = representation.encode_task(domain.task)
+    store = _store_for(representation, domain, store)
+    left, right = store.table_encodings("left"), store.table_encodings("right")
     return _neighbour_map_from_vectors(
-        encodings["left"].flat_mu(),
-        list(encodings["left"].keys),
-        encodings["right"].flat_mu(),
-        list(encodings["right"].keys),
-        k,
+        left.flat_mu(), list(left.keys), right.flat_mu(), list(right.keys), k
     )
 
 
@@ -170,13 +189,16 @@ def recall_at_k_experiment(
     ks: Sequence[int] = (10, 20, 30, 50),
     ir_method: str = "lsa",
     representation: Optional[EntityRepresentationModel] = None,
+    store: Optional[EncodingStore] = None,
 ) -> Dict[int, float]:
     """Figure 4: VAER-LSA recall@K against the generator's duplicate map."""
     config = config or HarnessConfig()
-    if representation is None:
+    if representation is None and store is not None:
+        representation = store.representation
+    elif representation is None:
         representation, _ = fit_representation(domain, config, ir_method=ir_method)
     max_k = max(ks)
-    neighbour_map = vaer_neighbour_map(domain, representation, config, k=max_k)
+    neighbour_map = vaer_neighbour_map(domain, representation, config, k=max_k, store=store)
     return {k: recall_at_k(neighbour_map, domain.duplicate_map, k) for k in ks}
 
 
@@ -204,12 +226,16 @@ def run_vaer_matching(
     representation: Optional[EntityRepresentationModel] = None,
     distance: str = "wasserstein",
     contrastive_weight: Optional[float] = None,
+    store: Optional[EncodingStore] = None,
 ) -> MatchingRow:
     """Train and evaluate the VAER matcher on a domain's given splits."""
     config = config or HarnessConfig()
     representation_seconds = 0.0
-    if representation is None:
+    if representation is None and store is not None:
+        representation = store.representation
+    elif representation is None:
         representation, representation_seconds = fit_representation(domain, config, ir_method=ir_method)
+    store = _store_for(representation, domain, store)
 
     matcher_config = config.matcher_config()
     if contrastive_weight is not None:
@@ -221,15 +247,17 @@ def run_vaer_matching(
         config=matcher_config,
         distance=distance,
     ).initialize_from(representation)
-    left, right, labels = pair_ir_arrays(representation, domain.task, domain.splits.train)
+    left, right, labels = pair_ir_arrays(representation, domain.task, domain.splits.train, store=store)
     matcher.fit(left, right, labels)
     matching_seconds = time.perf_counter() - start
 
     threshold = 0.5
     if len(domain.splits.validation) > 0:
-        v_left, v_right, v_labels = pair_ir_arrays(representation, domain.task, domain.splits.validation)
+        v_left, v_right, v_labels = pair_ir_arrays(
+            representation, domain.task, domain.splits.validation, store=store
+        )
         threshold = best_threshold(v_labels.astype(int), matcher.predict_proba(v_left, v_right))
-    t_left, t_right, t_labels = pair_ir_arrays(representation, domain.task, domain.splits.test)
+    t_left, t_right, t_labels = pair_ir_arrays(representation, domain.task, domain.splits.test, store=store)
     predictions = (matcher.predict_proba(t_left, t_right) > threshold).astype(int)
     metrics = precision_recall_f1(t_labels.astype(int), predictions)
     return MatchingRow(
@@ -314,15 +342,25 @@ def transfer_experiment(
         local_model, _ = fit_representation(adapted_domain, config, ir_method=ir_method)
         transferred_model = transfer_representation(source_model, adapted_task)
 
+        # One store per model: the recall@K and matching protocols below then
+        # share a single encoding pass of the adapted tables.
+        local_store = EncodingStore(local_model, adapted_domain.task)
+        transferred_store = EncodingStore(transferred_model, adapted_domain.task)
+
         local_recall = recall_at_k_experiment(
-            adapted_domain, config, ks=(config.top_k,), representation=local_model
+            adapted_domain, config, ks=(config.top_k,), representation=local_model, store=local_store
         )[config.top_k]
         transferred_recall = recall_at_k_experiment(
-            adapted_domain, config, ks=(config.top_k,), representation=transferred_model
+            adapted_domain, config, ks=(config.top_k,),
+            representation=transferred_model, store=transferred_store,
         )[config.top_k]
 
-        local_f1 = run_vaer_matching(adapted_domain, config, representation=local_model).metrics.f1
-        transferred_f1 = run_vaer_matching(adapted_domain, config, representation=transferred_model).metrics.f1
+        local_f1 = run_vaer_matching(
+            adapted_domain, config, representation=local_model, store=local_store
+        ).metrics.f1
+        transferred_f1 = run_vaer_matching(
+            adapted_domain, config, representation=transferred_model, store=transferred_store
+        ).metrics.f1
 
         rows.append(
             TransferRow(
@@ -380,6 +418,8 @@ def active_learning_experiment(
     if representation is None:
         representation, _ = fit_representation(domain, config, ir_method=ir_method)
 
+    # One store serves the AL loop and the full-data reference matcher alike.
+    store = EncodingStore(representation, domain.task)
     oracle = GroundTruthOracle(domain.task)
     loop = ActiveLearningLoop(
         task=domain.task,
@@ -389,12 +429,13 @@ def active_learning_experiment(
         matcher_config=config.matcher_config(),
         strategy=strategy,
         test_pairs=domain.splits.test,
+        store=store,
     )
     result = loop.run(iterations=iterations, label_budget=label_budget)
 
     bootstrap_metrics = result.history[0].test_metrics or PRF(0.0, 0.0, 0.0)
     active_metrics = result.history[-1].test_metrics or PRF(0.0, 0.0, 0.0)
-    full_metrics = run_vaer_matching(domain, config, representation=representation).metrics
+    full_metrics = run_vaer_matching(domain, config, representation=representation, store=store).metrics
 
     return ActiveLearningRow(
         domain=domain.name,

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.eval.harness import ActiveLearningRow, MatchingRow, TransferRow
 from repro.eval.metrics import PRF
+from repro.eval.timing import EngineCounters, engine_counters
 
 
 def _fmt(value: float, digits: int = 2) -> str:
@@ -119,6 +120,24 @@ def format_active_learning_table(rows: Sequence[ActiveLearningRow]) -> str:
         for row in rows
     ]
     return format_table(headers, body)
+
+
+def format_engine_stats(counters: Optional[EngineCounters] = None) -> str:
+    """Encoding-engine cache report: hits/misses, encodes avoided, pairs scored.
+
+    Defaults to the process-wide counters, so benchmark output can show how
+    much re-encoding the shared :class:`repro.engine.EncodingStore` saved.
+    """
+    counters = counters if counters is not None else engine_counters()
+    headers = ["Cache hits", "Cache misses", "Hit rate", "Encodes avoided", "Pairs scored"]
+    row = [
+        str(counters.cache_hits),
+        str(counters.cache_misses),
+        f"{100 * counters.hit_rate():.0f}%",
+        str(counters.encodes_avoided),
+        str(counters.pairs_scored),
+    ]
+    return format_table(headers, [row])
 
 
 def format_f1_trace(traces: Mapping[str, Sequence[Tuple[int, float]]]) -> str:

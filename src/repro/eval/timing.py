@@ -1,4 +1,4 @@
-"""Wall-clock timing helpers for the training-time experiments (Table VI)."""
+"""Wall-clock timing helpers (Table VI) and engine instrumentation counters."""
 
 from __future__ import annotations
 
@@ -43,3 +43,68 @@ def timed() -> Iterator[list]:
         yield result
     finally:
         result[0] = time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Engine instrumentation
+# ----------------------------------------------------------------------
+@dataclass
+class EngineCounters:
+    """Cache and throughput counters for the batched encoding engine.
+
+    ``cache_hits``/``cache_misses`` count logical store operations served
+    from / added to an :class:`repro.engine.EncodingStore` (one per side per
+    operation, not raw internal lookups); ``encodes_avoided`` counts the
+    record encodings the legacy path would have recomputed for those
+    operations — the whole table for table-level accesses, the referenced
+    pair records for gathers; ``pairs_scored`` counts candidate pairs
+    featurised or scored through the store's vectorized gather paths.
+    """
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    encodes_avoided: int = 0
+    pairs_scored: int = 0
+
+    def record_hit(self, records_served: int = 0) -> None:
+        self.cache_hits += 1
+        self.encodes_avoided += int(records_served)
+
+    def record_miss(self) -> None:
+        self.cache_misses += 1
+
+    def record_pairs(self, count: int) -> None:
+        self.pairs_scored += int(count)
+
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "encodes_avoided": self.encodes_avoided,
+            "pairs_scored": self.pairs_scored,
+        }
+
+    def reset(self) -> None:
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.encodes_avoided = 0
+        self.pairs_scored = 0
+
+
+#: Process-wide default counters: stores created without explicit counters
+#: report here, so harness runs and benchmarks can read one aggregate.
+ENGINE_COUNTERS = EngineCounters()
+
+
+def engine_counters() -> EngineCounters:
+    """The process-wide engine counters instance."""
+    return ENGINE_COUNTERS
+
+
+def reset_engine_counters() -> None:
+    """Zero the process-wide engine counters (between benchmark phases)."""
+    ENGINE_COUNTERS.reset()

@@ -1,0 +1,84 @@
+"""Streaming resolution: bounded batches, equivalence with monolithic resolve."""
+
+import numpy as np
+import pytest
+
+from repro.config import MatcherConfig, VAERConfig, VAEConfig
+from repro.core import VAER
+from repro.engine import EncodingStore, resolve_stream, stream_candidate_pairs
+from repro.eval.timing import EngineCounters
+
+
+@pytest.fixture(scope="module")
+def resolved_pipeline(tiny_domain):
+    config = VAERConfig(
+        vae=VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=4, seed=3),
+        matcher=MatcherConfig(epochs=15, mlp_hidden=(24, 12), seed=5),
+    )
+    model = VAER(config).fit_representation(tiny_domain.task)
+    model.fit_matcher(tiny_domain.splits.train, tiny_domain.splits.validation)
+    return model
+
+
+class TestStreamCandidatePairs:
+    def test_covers_same_pairs_as_monolithic_blocking(self, resolved_pipeline):
+        monolithic = resolved_pipeline.candidate_pairs(k=5)
+        streamed = [
+            pair
+            for chunk in stream_candidate_pairs(
+                resolved_pipeline.store, blocking=resolved_pipeline.config.blocking, k=5, query_chunk=7
+            )
+            for pair in chunk
+        ]
+        assert [p.key() for p in streamed] == [p.key() for p in monolithic]
+
+    def test_rejects_bad_chunk_size_eagerly(self, resolved_pipeline):
+        # The error must surface at call time, not on first iteration.
+        with pytest.raises(ValueError):
+            stream_candidate_pairs(resolved_pipeline.store, query_chunk=0)
+
+
+class TestResolveStream:
+    def test_matches_monolithic_resolve(self, resolved_pipeline):
+        monolithic = resolved_pipeline.resolve(k=5)
+        pairs, probabilities = [], []
+        for batch in resolved_pipeline.resolve_stream(k=5, batch_size=13):
+            pairs.extend(batch.pairs)
+            probabilities.append(batch.probabilities)
+        probabilities = np.concatenate(probabilities)
+        assert [p.key() for p in pairs] == [p.key() for p in monolithic.pairs]
+        np.testing.assert_allclose(probabilities, monolithic.probabilities, atol=1e-8)
+
+    def test_batches_are_bounded(self, resolved_pipeline):
+        batch_sizes = [len(batch) for batch in resolved_pipeline.resolve_stream(k=5, batch_size=13)]
+        assert all(size <= 13 for size in batch_sizes)
+        assert all(size == 13 for size in batch_sizes[:-1])  # only the tail is short
+
+    def test_batch_indices_sequential(self, resolved_pipeline):
+        indices = [batch.batch_index for batch in resolved_pipeline.resolve_stream(k=5, batch_size=13)]
+        assert indices == list(range(len(indices)))
+
+    def test_batch_matches_respect_threshold(self, resolved_pipeline):
+        for batch in resolved_pipeline.resolve_stream(k=5, batch_size=13):
+            expected = sum(p > batch.threshold for p in batch.probabilities)
+            assert len(batch.matches()) == expected
+
+    def test_rejects_bad_batch_size_eagerly(self, resolved_pipeline, tiny_domain):
+        store = EncodingStore(
+            resolved_pipeline.representation, tiny_domain.task, counters=EngineCounters()
+        )
+        # The error must surface at call time, not on first iteration.
+        with pytest.raises(ValueError):
+            resolve_stream(store, resolved_pipeline.matcher, batch_size=0)
+
+
+class TestPipelineStoreLifecycle:
+    def test_store_reused_across_calls(self, resolved_pipeline):
+        assert resolved_pipeline.store is resolved_pipeline.store
+
+    def test_new_representation_resets_store(self, tiny_domain):
+        config = VAERConfig(vae=VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=2, seed=3))
+        model = VAER(config).fit_representation(tiny_domain.task)
+        first = model.store
+        model.fit_representation(tiny_domain.task, epochs=1)
+        assert model.store is not first

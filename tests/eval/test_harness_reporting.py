@@ -91,6 +91,25 @@ class TestMatchingExperiment:
         assert 0.0 <= row.metrics.f1 <= 1.0
 
 
+class TestStoreBinding:
+    def test_mismatched_store_rejected(self, tiny_domain, harness_config, tiny_representation_for_harness, tiny_representation):
+        from repro.engine import EncodingStore
+
+        model, _ = tiny_representation_for_harness
+        other_store = EncodingStore(tiny_representation, tiny_domain.task)
+        with pytest.raises(ValueError, match="different representation"):
+            vaer_neighbour_map(tiny_domain, model, harness_config, store=other_store)
+
+    def test_store_only_invocation_adopts_its_model(self, tiny_domain, harness_config, tiny_representation_for_harness):
+        from repro.engine import EncodingStore
+
+        model, _ = tiny_representation_for_harness
+        store = EncodingStore(model, tiny_domain.task)
+        row = run_vaer_matching(tiny_domain, harness_config, store=store)
+        assert 0.0 <= row.metrics.f1 <= 1.0
+        assert row.representation_seconds == 0.0  # no fresh model was fit
+
+
 class TestTransferExperiment:
     def test_rows_and_deltas(self, tiny_domain, restaurants_domain, harness_config):
         rows = transfer_experiment(tiny_domain, [restaurants_domain], harness_config)
@@ -142,3 +161,14 @@ class TestReporting:
     def test_f1_trace_table(self):
         text = reporting.format_f1_trace({"demo": [(10, 0.5), (20, 0.75)]})
         assert "20:0.75" in text
+
+    def test_engine_stats_table(self):
+        from repro.eval.timing import EngineCounters
+
+        counters = EngineCounters(cache_hits=9, cache_misses=1, encodes_avoided=720, pairs_scored=4096)
+        text = reporting.format_engine_stats(counters)
+        assert "Encodes avoided" in text and "720" in text and "90%" in text
+
+    def test_engine_stats_defaults_to_global_counters(self):
+        text = reporting.format_engine_stats()
+        assert "Cache hits" in text and "Pairs scored" in text

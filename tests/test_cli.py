@@ -26,6 +26,10 @@ class TestParser:
         with pytest.raises(SystemExit):
             _build_parser().parse_args(["supervised", "--ir", "elmo"])
 
+    def test_resolve_arguments(self):
+        args = _build_parser().parse_args(["resolve", "--k", "5", "--batch-size", "128"])
+        assert args.domain == "restaurants" and args.k == 5 and args.batch_size == 128
+
 
 class TestCommands:
     def test_list_domains_prints_all_nine(self, capsys):
