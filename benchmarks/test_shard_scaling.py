@@ -1,0 +1,113 @@
+"""Shard scaling micro-benchmark — worker sweep and warm-vs-cold cache.
+
+Resolves one benchmark domain end to end through the sharded engine at 1, 2
+and 4 workers (same representation, same matcher, warm persistent cache) and
+measures the cold-vs-warm cost of the persistent encoding cache.  Emits
+``BENCH_shard.json`` so CI can track both curves.
+
+Correctness gates (the benchmark fails on divergence, not on slowness —
+CI runners are too noisy for hard speedup thresholds on small tables):
+
+* every worker count must produce the identical match set;
+* the warm cache run must encode zero tables and hit disk for both sides.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.matcher import fit_matcher_with_threshold
+from repro.eval.harness import fit_representation, resolution_experiment
+from repro.eval.reporting import format_engine_stats, format_shard_timings
+from repro.eval.timing import EngineCounters
+
+WORKER_SWEEP = (1, 2, 4)
+BATCH_SIZE = 256
+
+
+def test_shard_scaling(domains, harness_config, tmp_path_factory):
+    domain = domains["restaurants"]
+    representation, _ = fit_representation(domain, harness_config)
+    matcher, threshold = fit_matcher_with_threshold(
+        representation,
+        domain.task,
+        domain.splits.train,
+        domain.splits.validation,
+        config=harness_config.matcher_config(),
+    )
+
+    cache_dir = tmp_path_factory.mktemp("shard-bench-cache")
+
+    def run(workers: int):
+        return resolution_experiment(
+            domain, harness_config, workers=workers, batch_size=BATCH_SIZE,
+            cache_dir=str(cache_dir), representation=representation,
+            matcher=matcher, threshold=threshold,
+        )
+
+    # Cold: empty cache directory — both tables encoded and written to disk.
+    cold_start = time.perf_counter()
+    cold = run(workers=1)
+    cold_seconds = time.perf_counter() - cold_start
+    assert cold.counters["tables_encoded"] == 2
+    assert cold.counters["disk_misses"] == 2
+
+    # Warm: same directory — zero encodes, both sides served from disk.
+    warm_start = time.perf_counter()
+    warm = run(workers=1)
+    warm_seconds = time.perf_counter() - warm_start
+    assert warm.counters["tables_encoded"] == 0, "warm cache must skip all table encoding"
+    assert warm.counters["disk_hits"] == 2
+    assert warm.match_keys == cold.match_keys
+
+    # Worker sweep over the warm cache: identical match sets, measured wall clock.
+    sweep = {}
+    for workers in WORKER_SWEEP:
+        row = run(workers)
+        assert row.counters["tables_encoded"] == 0
+        assert row.match_keys == cold.match_keys, (
+            f"workers={workers} diverged from the single-process match set"
+        )
+        sweep[workers] = row
+
+    baseline = sweep[1].resolve_seconds
+    payload = {
+        "domain": domain.name,
+        "batch_size": BATCH_SIZE,
+        "candidate_pairs": cold.candidate_pairs,
+        "predicted_matches": cold.predicted_matches,
+        "cache": {
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "cold_counters": cold.counters,
+            "warm_counters": warm.counters,
+            "warm_tables_encoded": warm.counters["tables_encoded"],
+        },
+        "workers": {
+            str(workers): {
+                "resolve_seconds": row.resolve_seconds,
+                "batches": row.batches,
+                "speedup_vs_1": baseline / row.resolve_seconds if row.resolve_seconds > 0 else 0.0,
+                "shard_seconds": row.shard_timings.as_rows(),
+                "worker_compute_seconds": row.shard_timings.total_seconds(),
+                "slowest_shard_seconds": row.shard_timings.max_seconds(),
+            }
+            for workers, row in sweep.items()
+        },
+    }
+    Path("BENCH_shard.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\n\nShard scaling — worker sweep over a warm persistent cache\n")
+    print(f"  domain           : {domain.name} ({cold.candidate_pairs} candidate pairs)")
+    print(f"  cache cold/warm  : {cold_seconds:.2f}s / {warm_seconds:.2f}s "
+          f"(warm encodes: {warm.counters['tables_encoded']})")
+    for workers, row in sweep.items():
+        print(f"  workers={workers}        : {row.resolve_seconds:.3f}s "
+              f"({payload['workers'][str(workers)]['speedup_vs_1']:.2f}x vs 1 worker)")
+    print("\nPer-shard timings (workers=%d)\n" % WORKER_SWEEP[-1])
+    print(format_shard_timings(sweep[WORKER_SWEEP[-1]].shard_timings))
+    print()
+    counters = EngineCounters(**sweep[WORKER_SWEEP[-1]].counters)
+    print(format_engine_stats(counters))

@@ -8,6 +8,7 @@ Usage (after installing the package)::
     python -m repro transfer --source citations2 --target beer
     python -m repro representation --domain beer --ir lsa
     python -m repro resolve --domain restaurants --k 10 --batch-size 2048
+    python -m repro resolve --domain music --workers 4 --cache-dir .repro-cache
 
 Each sub-command drives the same harness functions the benchmark suite uses,
 so the CLI is a convenient way to reproduce a single cell of the paper's
@@ -61,6 +62,14 @@ def _build_parser() -> argparse.ArgumentParser:
     add_common(resolve)
     resolve.add_argument("--k", type=int, default=10, help="Top-K neighbours per record for blocking.")
     resolve.add_argument("--batch-size", type=int, default=2048, help="Candidate pairs scored per batch.")
+    resolve.add_argument(
+        "--workers", type=int, default=1,
+        help="Worker pool size for sharded parallel scoring (1 = single process).",
+    )
+    resolve.add_argument(
+        "--cache-dir", default=None,
+        help="Directory for the persistent encoding cache; repeated runs skip table encoding.",
+    )
 
     return parser
 
@@ -145,8 +154,8 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
 def _cmd_resolve(args: argparse.Namespace) -> int:
     from repro.core import VAER
     from repro.data.generators import load_domain
-    from repro.eval.reporting import format_engine_stats
-    from repro.eval.timing import reset_engine_counters
+    from repro.eval.reporting import format_engine_stats, format_shard_timings
+    from repro.eval.timing import ShardTimings, reset_engine_counters
 
     if args.batch_size <= 0:
         print("error: --batch-size must be positive", file=sys.stderr)
@@ -154,24 +163,37 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     if args.k <= 0:
         print("error: --k must be positive", file=sys.stderr)
         return 2
+    if args.workers <= 0:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
     reset_engine_counters()
     domain = load_domain(args.domain, scale=args.scale)
     config = _harness_config(args.seed).vaer_config(ir_method=args.ir)
-    model = VAER(config)
+    model = VAER(config, cache_dir=args.cache_dir)
     model.fit_representation(domain.task)
     model.fit_matcher(domain.splits.train, domain.splits.validation)
 
+    timings = ShardTimings()
     candidates = matches = batches = 0
-    for batch in model.resolve_stream(k=args.k, batch_size=args.batch_size):
+    for batch in model.resolve_stream(
+        k=args.k, batch_size=args.batch_size, workers=args.workers, shard_timings=timings
+    ):
         candidates += len(batch)
         matches += len(batch.matches())
         batches += 1
 
-    print(f"domain={args.domain} ir={args.ir} k={args.k} batch_size={args.batch_size}")
+    print(
+        f"domain={args.domain} ir={args.ir} k={args.k} batch_size={args.batch_size} "
+        f"workers={args.workers}"
+    )
     print(f"  candidate pairs scored: {candidates} (in {batches} batches)")
     print(f"  predicted matches:      {matches} (threshold {model.threshold:.2f})")
+    if args.cache_dir:
+        print(f"  encoding cache:         {args.cache_dir}")
     print("\nEngine cache statistics\n")
     print(format_engine_stats())
+    print("\nPer-shard timings\n")
+    print(format_shard_timings(timings))
     return 0
 
 

@@ -13,7 +13,12 @@ from repro.core.distances import (
     wasserstein2_squared_t,
     mahalanobis_vector_t,
 )
-from repro.core.matcher import SiameseMatcher, pair_ir_arrays, train_matcher
+from repro.core.matcher import (
+    SiameseMatcher,
+    fit_matcher_with_threshold,
+    pair_ir_arrays,
+    train_matcher,
+)
 from repro.core.transfer import (
     TransferReport,
     transfer_representation,
@@ -38,6 +43,7 @@ __all__ = [
     "mahalanobis_vector_t",
     "SiameseMatcher",
     "pair_ir_arrays",
+    "fit_matcher_with_threshold",
     "train_matcher",
     "TransferReport",
     "transfer_representation",

@@ -263,3 +263,40 @@ def train_matcher(
     left, right, labels = pair_ir_arrays(representation, task, training_pairs)
     matcher.fit(left, right, labels, epochs=epochs)
     return matcher
+
+
+def fit_matcher_with_threshold(
+    representation: EntityRepresentationModel,
+    task: ERTask,
+    training_pairs: PairSet,
+    validation_pairs: Optional[PairSet] = None,
+    config: Optional[MatcherConfig] = None,
+    distance: str = "wasserstein",
+    store: Optional["EncodingStore"] = None,
+    epochs: Optional[int] = None,
+) -> Tuple[SiameseMatcher, float]:
+    """Build, initialise and train a matcher, tuning its decision threshold.
+
+    The single definition of the "train on the given pairs, then pick the
+    F1-maximising threshold on validation (0.5 when there is none)" sequence
+    shared by :meth:`repro.core.pipeline.VAER.fit_matcher`, the experiment
+    harness and the benchmarks — so threshold selection cannot drift between
+    entry points.  Returns ``(matcher, threshold)``.
+    """
+    from repro.eval.metrics import best_threshold
+
+    matcher = SiameseMatcher(
+        arity=task.arity,
+        vae_config=representation.config,
+        config=config,
+        distance=distance,
+    ).initialize_from(representation)
+    left, right, labels = pair_ir_arrays(representation, task, training_pairs, store=store)
+    matcher.fit(left, right, labels, epochs=epochs)
+    threshold = 0.5
+    if validation_pairs is not None and len(validation_pairs) > 0:
+        v_left, v_right, v_labels = pair_ir_arrays(
+            representation, task, validation_pairs, store=store
+        )
+        threshold = best_threshold(v_labels.astype(int), matcher.predict_proba(v_left, v_right))
+    return matcher, threshold

@@ -27,13 +27,19 @@ replaced whenever a new representation is fitted or adopted:
   store — candidate pairs are index arrays into its row-major encodings, so
   no stage ever re-tokenizes or re-encodes a record the store already holds;
 * :meth:`resolve_stream` chunks the same flow so candidate scoring runs in
-  bounded-memory batches for inputs too large to score at once.
+  bounded-memory batches for inputs too large to score at once; with
+  ``workers > 1`` the batches are scored in parallel across a worker pool
+  (:func:`repro.engine.resolve_sharded`) with byte-identical results;
+* a ``cache_dir`` attaches a :class:`repro.engine.PersistentEncodingCache`
+  to the store, so repeated runs on the same task and representation load
+  table encodings from disk instead of recomputing them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -41,13 +47,23 @@ from repro.blocking.neighbours import NearestNeighbourSearch
 from repro.config import VAERConfig
 from repro.core.active.loop import ActiveLearningLoop, ALResult
 from repro.core.active.oracle import LabelingOracle
-from repro.core.matcher import SiameseMatcher, pair_ir_arrays
+from repro.core.matcher import SiameseMatcher, fit_matcher_with_threshold, pair_ir_arrays
 from repro.core.representation import EntityRepresentationModel
 from repro.core.transfer import transfer_representation
 from repro.data.pairs import PairSet, RecordPair
 from repro.data.schema import ERTask
-from repro.engine import EncodingStore, ResolutionBatch, ScoredPairs, resolve_stream
-from repro.eval.metrics import PRF, best_threshold, precision_recall_f1
+from repro.engine import (
+    DEFAULT_SHARD_ROWS,
+    EncodingStore,
+    PersistentEncodingCache,
+    ResolutionBatch,
+    ScoredPairs,
+    ShardedEncodingStore,
+    resolve_sharded,
+    resolve_stream,
+)
+from repro.eval.metrics import PRF, precision_recall_f1
+from repro.eval.timing import ShardTimings
 from repro.exceptions import NotFittedError
 
 
@@ -59,13 +75,31 @@ class ResolutionResult(ScoredPairs):
 class VAER:
     """Variational Active Entity Resolution, end to end."""
 
-    def __init__(self, config: Optional[VAERConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[VAERConfig] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        shard_rows: int = DEFAULT_SHARD_ROWS,
+    ) -> None:
         self.config = config or VAERConfig()
         self.representation: Optional[EntityRepresentationModel] = None
         self.matcher: Optional[SiameseMatcher] = None
         self.task: Optional[ERTask] = None
         self.threshold: float = 0.5
+        self.cache_dir: Optional[Path] = Path(cache_dir) if cache_dir is not None else None
+        self.shard_rows = shard_rows
         self._store: Optional[EncodingStore] = None
+
+    def use_cache_dir(self, cache_dir: Optional[Union[str, Path]]) -> "VAER":
+        """Attach (or detach, with ``None``) a persistent encoding cache.
+
+        The store is rebuilt on next access so the new cache takes effect;
+        in-memory encodings already computed are recomputed or — when the
+        cache directory holds a matching entry — loaded from disk.
+        """
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._store = None
+        return self
 
     # ------------------------------------------------------------------
     # Step 1: representation learning
@@ -103,7 +137,12 @@ class VAER:
         representation = self._require_representation()
         assert self.task is not None
         if self._store is None:
-            self._store = EncodingStore(representation, self.task)
+            persistent = (
+                PersistentEncodingCache(self.cache_dir) if self.cache_dir is not None else None
+            )
+            self._store = ShardedEncodingStore(
+                representation, self.task, persistent=persistent, shard_rows=self.shard_rows
+            )
         return self._store
 
     # ------------------------------------------------------------------
@@ -123,20 +162,15 @@ class VAER:
         """
         representation = self._require_representation()
         assert self.task is not None
-        self.matcher = SiameseMatcher(
-            arity=self.task.arity,
-            vae_config=representation.config,
+        self.matcher, self.threshold = fit_matcher_with_threshold(
+            representation,
+            self.task,
+            training_pairs,
+            validation_pairs,
             config=self.config.matcher,
-        ).initialize_from(representation)
-        left, right, labels = pair_ir_arrays(representation, self.task, training_pairs, store=self.store)
-        self.matcher.fit(left, right, labels, epochs=epochs)
-        self.threshold = 0.5
-        if validation_pairs is not None and len(validation_pairs) > 0:
-            v_left, v_right, v_labels = pair_ir_arrays(
-                representation, self.task, validation_pairs, store=self.store
-            )
-            probabilities = self.matcher.predict_proba(v_left, v_right)
-            self.threshold = best_threshold(v_labels.astype(int), probabilities)
+            store=self.store,
+            epochs=epochs,
+        )
         return self
 
     # ------------------------------------------------------------------
@@ -222,6 +256,8 @@ class VAER:
         self,
         k: Optional[int] = None,
         batch_size: int = 2048,
+        workers: int = 1,
+        shard_timings: Optional[ShardTimings] = None,
     ) -> Iterator[ResolutionBatch]:
         """Chunked ER pass: score candidates in bounded-memory batches.
 
@@ -230,9 +266,25 @@ class VAER:
         but featurisation and scoring never hold more than ``batch_size``
         pairs at once, so arbitrarily large candidate sets resolve in bounded
         memory.
+
+        With ``workers > 1`` the batches are scored concurrently on a worker
+        pool (:func:`repro.engine.resolve_sharded`) and merged back in order;
+        the yielded sequence is byte-identical to the single-process stream.
+        ``shard_timings`` optionally collects per-batch worker timings.
         """
         matcher = self._require_matcher()
         k = k or self.config.active_learning.top_neighbours
+        if workers != 1 or shard_timings is not None:
+            return resolve_sharded(
+                self.store,
+                matcher,
+                blocking=self.config.blocking,
+                k=k,
+                batch_size=batch_size,
+                threshold=self.threshold,
+                workers=workers,
+                shard_timings=shard_timings,
+            )
         return resolve_stream(
             self.store,
             matcher,
@@ -253,6 +305,8 @@ class VAER:
             "representation_fitted": self.representation is not None,
             "matcher_fitted": self.matcher is not None,
             "threshold": self.threshold,
+            "cache_dir": str(self.cache_dir) if self.cache_dir is not None else None,
+            "shard_rows": self.shard_rows,
         }
         if self.representation is not None:
             info["vae_parameters"] = self.representation.vae.num_parameters()

@@ -5,26 +5,55 @@ The engine layer owns *where encodings live* and *how pairs are scored*:
 * :class:`EncodingStore` — keyed, invalidation-aware cache of per-table IR
   arrays and latent Gaussians, with vectorized gather-then-matmul pair
   featurisation and scoring;
+* :class:`PersistentEncodingCache` — on-disk extension of the store's cache,
+  keyed by ``(task, side, encoding_version)``, so repeated runs skip table
+  encoding entirely;
 * :func:`resolve_stream` / :func:`stream_candidate_pairs` — bounded-memory
-  chunked resolution for tables larger than one scoring batch.
+  chunked resolution for tables larger than one scoring batch;
+* :class:`ShardedEncodingStore` / :func:`resolve_sharded` — row-range shard
+  views of the cached tables and multi-worker parallel scoring of the
+  candidate stream, merged deterministically by ``(batch_index, pair_index)``.
 
-Batching, caching and (future) sharding decisions belong here, not in the
-pipeline stages that consume the encodings.
+Batching, caching, persistence and sharding decisions belong here, not in
+the pipeline stages that consume the encodings.
 """
 
+from repro.engine.persist import PersistentEncodingCache, encoding_fingerprint
+from repro.engine.shard import (
+    DEFAULT_SHARD_ROWS,
+    ShardBounds,
+    ShardedEncodingStore,
+    iter_sharded_candidate_batches,
+    merge_scored_batches,
+    resolve_sharded,
+)
 from repro.engine.store import EncodingStore, TableEncodings
 from repro.engine.stream import (
     ResolutionBatch,
     ScoredPairs,
+    guard_store_version,
+    iter_candidate_batches,
+    pin_store_version,
     resolve_stream,
     stream_candidate_pairs,
 )
 
 __all__ = [
+    "DEFAULT_SHARD_ROWS",
     "EncodingStore",
-    "TableEncodings",
+    "PersistentEncodingCache",
     "ResolutionBatch",
     "ScoredPairs",
+    "ShardBounds",
+    "ShardedEncodingStore",
+    "TableEncodings",
+    "encoding_fingerprint",
+    "guard_store_version",
+    "iter_candidate_batches",
+    "iter_sharded_candidate_batches",
+    "merge_scored_batches",
+    "pin_store_version",
+    "resolve_sharded",
     "resolve_stream",
     "stream_candidate_pairs",
 ]

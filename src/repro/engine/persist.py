@@ -1,0 +1,210 @@
+"""Persistent on-disk cache of table encodings.
+
+The in-memory :class:`repro.engine.EncodingStore` already guarantees each
+table is encoded at most once *per process*; this module extends that
+guarantee *across* processes and runs.  A :class:`PersistentEncodingCache`
+serialises :class:`~repro.engine.store.TableEncodings` to ``.npz`` archives
+via the same :mod:`repro.nn.serialization` helpers used for model weights, so
+a repeated ``resolve`` or harness run on the same task and representation
+skips the IR transform and VAE forward pass entirely.
+
+Cache-directory layout
+----------------------
+One subdirectory per task, one archive per (side, encoding version)::
+
+    <cache_dir>/
+        <task-name>/
+            left-v3.npz
+            right-v3.npz
+
+Keying and invalidation rules
+-----------------------------
+Entries are keyed by ``(task.name, side, encoding_version)`` — the same
+monotonic version token the in-memory store watches.  Because the token is
+process-local, every archive additionally embeds a *fingerprint* of the
+representation (IR method, dimensions, seed and a CRC of the VAE weights)
+and of the table (record count and a CRC of its record ids and values).  A
+load only succeeds when both the key and the fingerprint match; anything
+else — missing file, foreign task, refit or differently-seeded model,
+resized or edited table, corrupt archive — is a miss and falls back to
+computing (and rewriting) the entry.  Bumping ``encoding_version``
+therefore never serves stale encodings: the old archives simply stop being
+addressed.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zipfile
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.nn.serialization import load_metadata, save_state_dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.representation import EntityRepresentationModel
+    from repro.data.schema import Table
+    from repro.engine.store import TableEncodings
+
+PathLike = Union[str, Path]
+
+#: Bump when the on-disk archive layout changes; mismatching archives are
+#: treated as misses, never as errors.
+CACHE_FORMAT_VERSION = 1
+
+_ARRAY_KEYS = ("irs", "mu", "sigma")
+
+
+def _slug(name: str) -> str:
+    """Filesystem-safe task directory name."""
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+    return safe or "task"
+
+
+def encoding_fingerprint(representation: "EntityRepresentationModel", table: "Table") -> Dict[str, Any]:
+    """Identity check binding an archive to the exact model and table state.
+
+    The ``encoding_version`` key only covers changes *within* a process (it
+    restarts from zero every run), so the fingerprint carries everything that
+    determines what a record encodes to across processes:
+
+    * the model architecture (IR method and dimensions) and training seed;
+    * a CRC of the VAE weights — two models fitted with different seeds,
+      epochs or data produce different weights and therefore different
+      fingerprints, even though both sit at ``encoding_version == 1``;
+    * a CRC of the table's record ids *and values* (renamed, resized or
+      edited tables all miss).
+    """
+    state = representation.vae.state_dict()
+    weights_crc = 0
+    for name in sorted(state):
+        weights_crc = zlib.crc32(name.encode("utf-8"), weights_crc)
+        weights_crc = zlib.crc32(np.ascontiguousarray(state[name]).tobytes(), weights_crc)
+    record_ids = table.record_ids()
+    content_crc = 0
+    for rid in record_ids:
+        content_crc = zlib.crc32(str(rid).encode("utf-8"), content_crc)
+        for value in table[rid].values:
+            content_crc = zlib.crc32(value.encode("utf-8"), content_crc)
+    return {
+        "ir_method": representation.ir_method,
+        "ir_dim": int(representation.config.ir_dim),
+        "hidden_dim": int(representation.config.hidden_dim),
+        "latent_dim": int(representation.config.latent_dim),
+        "seed": int(representation.config.seed),
+        "n_records": len(record_ids),
+        "content_crc": int(content_crc),
+        "weights_crc": int(weights_crc),
+    }
+
+
+class PersistentEncodingCache:
+    """Directory-backed archive of table encodings.
+
+    The cache is deliberately dumb storage: all counting (disk hits/misses,
+    tables encoded) lives in the :class:`repro.engine.EncodingStore` that
+    owns it, so one cache directory can be shared by many stores without
+    entangling their instrumentation.
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------
+    def path_for(self, task_name: str, side: str, encoding_version: int) -> Path:
+        """Archive path of the ``(task, side, version)`` key."""
+        return self.directory / _slug(task_name) / f"{side}-v{int(encoding_version)}.npz"
+
+    def entries(self) -> List[Path]:
+        """Every archive currently in the cache directory."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*/*.npz"))
+
+    def clear(self) -> int:
+        """Delete every archive; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink()
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        fingerprint: Dict[str, Any],
+        encodings: "TableEncodings",
+    ) -> Path:
+        """Persist one table's encodings; returns the archive path."""
+        path = self.path_for(task_name, side, encoding_version)
+        metadata = {
+            "format": CACHE_FORMAT_VERSION,
+            "task": task_name,
+            "side": side,
+            "encoding_version": int(encoding_version),
+            "fingerprint": fingerprint,
+            "keys": [str(key) for key in encodings.keys],
+        }
+        state = {name: getattr(encodings, name) for name in _ARRAY_KEYS}
+        # Write-then-rename so concurrent readers (shared cache dirs across
+        # processes/nodes) never observe a half-written archive.  The temp
+        # name keeps the .npz suffix (np.savez appends it otherwise) and the
+        # pid so parallel writers of the same key cannot collide.
+        temporary = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+        save_state_dict(state, temporary, metadata=metadata)
+        os.replace(temporary, path)
+        return path
+
+    def load(
+        self,
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        fingerprint: Dict[str, Any],
+    ) -> Optional["TableEncodings"]:
+        """Load a matching entry, or ``None`` on any kind of miss.
+
+        Corrupt or foreign archives are treated as misses rather than
+        errors: a cache must never be able to fail a resolution run.
+        """
+        from repro.engine.store import TableEncodings
+
+        path = self.path_for(task_name, side, encoding_version)
+        if not path.is_file():
+            return None
+        try:
+            metadata = load_metadata(path)
+            if metadata is None or metadata.get("format") != CACHE_FORMAT_VERSION:
+                return None
+            if metadata.get("task") != task_name or metadata.get("side") != side:
+                return None
+            if int(metadata.get("encoding_version", -1)) != int(encoding_version):
+                return None
+            if metadata.get("fingerprint") != fingerprint:
+                return None
+            keys = tuple(metadata["keys"])
+            with np.load(path, allow_pickle=False) as archive:
+                arrays = {name: archive[name] for name in _ARRAY_KEYS}
+        except (OSError, ValueError, KeyError, zlib.error, zipfile.BadZipFile, struct.error):
+            # BadZipFile/struct.error cover truncated archives (killed
+            # writer) whose zip header still looks plausible.
+            return None
+        if len(keys) != arrays["irs"].shape[0]:
+            return None
+        return TableEncodings(
+            keys=keys,
+            irs=arrays["irs"],
+            mu=arrays["mu"],
+            sigma=arrays["sigma"],
+            row_index={key: row for row, key in enumerate(keys)},
+        )
+
+    def __repr__(self) -> str:
+        return f"PersistentEncodingCache({str(self.directory)!r}, entries={len(self.entries())})"

@@ -1,0 +1,458 @@
+"""Sharded parallel resolution: multi-worker scoring over the encoding store.
+
+This module closes the seam :mod:`repro.engine.stream` left open: the cached
+table encodings are split into row-range *shards* and candidate slices are
+scored across a pool of workers instead of serially in the calling process.
+
+Two pieces:
+
+* :class:`ShardedEncodingStore` — an :class:`~repro.engine.store.EncodingStore`
+  that additionally exposes its cached IR/latent arrays as row-range shard
+  views (zero-copy slices), the unit of distribution for parallel work;
+* :func:`resolve_sharded` — the parallel counterpart of
+  :func:`~repro.engine.stream.resolve_stream`: candidate pairs are enumerated
+  with *exactly* the same chunking and batch packing as the streamed path
+  (so the two are bit-identical), but each batch's gather-and-score runs on a
+  worker pool, and results are merged back deterministically by
+  ``(batch_index, pair_index)`` regardless of completion order.
+
+Worker strategy
+---------------
+On platforms with ``fork`` (Linux), workers are forked processes that inherit
+the cached encoding arrays and the matcher by copy-on-write — nothing large
+is ever pickled; tasks ship only ``(batch_index, row indices)`` and results
+ship only the probability vector.  Where ``fork`` is unavailable the pool
+falls back to threads (NumPy's BLAS releases the GIL during the matmuls that
+dominate scoring).  Scoring is deterministic either way: workers run the same
+NumPy ops on the same arrays, so the merged probabilities are byte-identical
+to a single-process :func:`resolve_stream` over the same store.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.blocking.neighbours import NearestNeighbourSearch
+from repro.config import BlockingConfig
+from repro.data.pairs import RecordPair
+from repro.engine.store import EncodingStore, TableEncodings
+from repro.engine.stream import (
+    ResolutionBatch,
+    ScoredPairs,
+    guard_store_version,
+    iter_candidate_batches,
+    pin_store_version,
+    resolve_stream,
+)
+from repro.eval.timing import ShardTimings
+
+#: Default number of rows per table shard.
+DEFAULT_SHARD_ROWS = 2048
+
+
+# ----------------------------------------------------------------------
+# Row-range sharding of cached encodings
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardBounds:
+    """Half-open row range ``[start, stop)`` of one shard of a table."""
+
+    side: str
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def rows(self) -> int:
+        return self.stop - self.start
+
+
+class ShardedEncodingStore(EncodingStore):
+    """An encoding store whose cached tables are addressable in row shards.
+
+    Sharding is a *view* concern: the underlying cache still holds one
+    contiguous array per table (so gathers spanning shards stay a single
+    fancy-index), and :meth:`table_shard` hands out zero-copy row-range
+    slices for consumers that distribute work — the parallel resolver, the
+    scaling benchmark, per-shard diagnostics.
+
+    Parameters
+    ----------
+    shard_rows:
+        Target rows per shard; the last shard of a table may be short.
+    """
+
+    def __init__(
+        self,
+        representation,
+        task,
+        counters=None,
+        persistent=None,
+        shard_rows: int = DEFAULT_SHARD_ROWS,
+    ) -> None:
+        super().__init__(representation, task, counters=counters, persistent=persistent)
+        if shard_rows <= 0:
+            raise ValueError("shard_rows must be positive")
+        self.shard_rows = shard_rows
+
+    # ------------------------------------------------------------------
+    def shard_bounds(self, side: str) -> List[ShardBounds]:
+        """Row ranges covering one side's cached encodings, in row order."""
+        n = len(self.table_encodings(side))
+        if n == 0:
+            return []
+        return [
+            ShardBounds(side=side, index=i, start=start, stop=min(start + self.shard_rows, n))
+            for i, start in enumerate(range(0, n, self.shard_rows))
+        ]
+
+    def num_shards(self, side: str) -> int:
+        return len(self.shard_bounds(side))
+
+    def table_shard(self, side: str, index: int) -> TableEncodings:
+        """Zero-copy row-range view of one shard of a table's encodings.
+
+        The returned object is a full :class:`TableEncodings` (local row
+        index included) whose arrays are slices sharing memory with the
+        cached table, so handing shards to workers does not duplicate data.
+        """
+        bounds = self.shard_bounds(side)
+        if not 0 <= index < len(bounds):
+            raise IndexError(f"shard {index} out of range for side {side!r} ({len(bounds)} shards)")
+        b = bounds[index]
+        full = self.table_encodings(side)
+        keys = full.keys[b.start : b.stop]
+        return TableEncodings(
+            keys=keys,
+            irs=full.irs[b.start : b.stop],
+            mu=full.mu[b.start : b.stop],
+            sigma=full.sigma[b.start : b.stop],
+            row_index={key: row for row, key in enumerate(keys)},
+        )
+
+    def iter_shards(self, side: str) -> Iterator[TableEncodings]:
+        """All shards of one side, in row order."""
+        for bounds in self.shard_bounds(side):
+            yield self.table_shard(side, bounds.index)
+
+    def __repr__(self) -> str:
+        cached = ",".join(sorted(self._cache)) or "empty"
+        return (
+            f"ShardedEncodingStore(task={self.task.name!r}, cached=[{cached}], "
+            f"shard_rows={self.shard_rows})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-pool plumbing
+# ----------------------------------------------------------------------
+#: Per-pool worker state, keyed by a token unique to each resolve run so
+#: concurrent resolves (and stale fork inheritances) can never cross wires.
+#: Process pools populate it in each forked child via the pool initializer
+#: (the state arrives by copy-on-write, not pickling); thread pools populate
+#: the parent's own copy.  The parent removes its entry when the pool closes.
+_WORKER_STATES: Dict[str, Tuple[TableEncodings, TableEncodings, object]] = {}
+_POOL_TOKENS = itertools.count()
+
+
+def _init_worker(token: str, state: Tuple[TableEncodings, TableEncodings, object]) -> None:
+    _WORKER_STATES[token] = state
+
+
+def _score_task(token: str, batch_index: int, left_rows: np.ndarray, right_rows: np.ndarray):
+    """Worker task: gather one batch's IRs from the shared arrays and score.
+
+    Returns ``(batch_index, probabilities, seconds)`` — the index makes the
+    merge order-independent, the timing feeds per-shard diagnostics.
+    """
+    left, right, matcher = _WORKER_STATES[token]
+    start = time.perf_counter()
+    probabilities = matcher.predict_proba(left.irs[left_rows], right.irs[right_rows])
+    return batch_index, probabilities, time.perf_counter() - start
+
+
+def _make_executor(workers: int, token: str, state) -> Tuple[Executor, str]:
+    """Process pool via fork on Linux, thread pool otherwise.
+
+    Fork is gated on the platform, not just on availability: macOS lists
+    ``fork`` but forking after the parent has touched Accelerate/BLAS (it
+    has — the encodings were just computed) aborts the children, which is
+    why CPython made ``spawn`` the macOS default.
+    """
+    if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+        executor = ProcessPoolExecutor(
+            max_workers=workers, mp_context=context,
+            initializer=_init_worker, initargs=(token, state),
+        )
+        return executor, "fork"
+    executor = ThreadPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(token, state)
+    )
+    return executor, "thread"
+
+
+# ----------------------------------------------------------------------
+# Parallel resolution
+# ----------------------------------------------------------------------
+def resolve_sharded(
+    store: EncodingStore,
+    matcher,
+    blocking: Optional[BlockingConfig] = None,
+    k: int = 10,
+    batch_size: int = 2048,
+    threshold: float = 0.5,
+    workers: int = 2,
+    shard_timings: Optional[ShardTimings] = None,
+) -> Iterator[ResolutionBatch]:
+    """Score the candidate stream across a worker pool.
+
+    Yields the *same* :class:`ResolutionBatch` sequence as
+    :func:`~repro.engine.stream.resolve_stream` over the same store — same
+    candidate enumeration, same batch packing, byte-identical probabilities —
+    but batches are scored concurrently by ``workers`` pool workers and
+    re-merged in ``(batch_index, pair_index)`` order, so downstream consumers
+    cannot observe scheduling nondeterminism.
+
+    ``workers=1`` delegates to the single-process streamed path (recording
+    per-batch timings when a sink is supplied).  Validation is eager; the
+    pool is created lazily on first iteration and torn down when the
+    iterator is exhausted or closed.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    if workers == 1:
+        return _resolve_serial(
+            store, matcher, blocking=blocking, k=k, batch_size=batch_size,
+            threshold=threshold, shard_timings=shard_timings,
+        )
+    return _resolve_parallel(
+        store, matcher, blocking=blocking, k=k, batch_size=batch_size,
+        threshold=threshold, workers=workers, shard_timings=shard_timings,
+    )
+
+
+def _resolve_serial(
+    store: EncodingStore,
+    matcher,
+    blocking: Optional[BlockingConfig],
+    k: int,
+    batch_size: int,
+    threshold: float,
+    shard_timings: Optional[ShardTimings],
+) -> Iterator[ResolutionBatch]:
+    stream = resolve_stream(
+        store, matcher, blocking=blocking, k=k, batch_size=batch_size, threshold=threshold
+    )
+    if shard_timings is None:
+        return stream
+
+    def generate() -> Iterator[ResolutionBatch]:
+        iterator = iter(stream)
+        while True:
+            start = time.perf_counter()
+            try:
+                batch = next(iterator)
+            except StopIteration:
+                return
+            # Serial timing folds blocking + gather + score into one figure
+            # per batch — the honest single-process cost of that slice.
+            shard_timings.record(batch.batch_index, len(batch), time.perf_counter() - start)
+            yield batch
+
+    return generate()
+
+
+def iter_sharded_candidate_batches(
+    store: ShardedEncodingStore,
+    blocking: Optional[BlockingConfig] = None,
+    k: int = 10,
+    batch_size: int = 2048,
+) -> Iterator[Tuple[int, List[RecordPair]]]:
+    """Candidate batches enumerated shard by shard over the left table.
+
+    Yields exactly the ``(batch_index, pairs)`` sequence of
+    :func:`repro.engine.stream.iter_candidate_batches`: LSH top-K queries
+    are independent per query row, so walking the left table in row order —
+    shard view by shard view, chunk by chunk within a shard — produces the
+    identical pair stream, and batch packing depends only on that stream.
+    The row-range shard views are the unit of enumeration here (and the
+    natural unit of distribution once blocking itself is parallelised).
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    pinned = pin_store_version(store)
+
+    def generate() -> Iterator[Tuple[int, List[RecordPair]]]:
+        search = NearestNeighbourSearch.from_store(store, config=blocking)
+        query_chunk = max(1, batch_size // max(1, k))
+        buffer: List[RecordPair] = []
+        batch_index = 0
+        for bounds in store.shard_bounds("left"):
+            shard = store.table_shard("left", bounds.index)
+            flat = shard.flat_mu()
+            for start in range(0, len(shard), query_chunk):
+                guard_store_version(store, pinned)
+                stop = start + query_chunk
+                chunk = search.candidate_pairs(flat[start:stop], shard.keys[start:stop], k=k)
+                buffer.extend(chunk)
+                while len(buffer) >= batch_size:
+                    head, buffer = buffer[:batch_size], buffer[batch_size:]
+                    yield batch_index, head
+                    batch_index += 1
+        if buffer:
+            yield batch_index, buffer
+
+    return generate()
+
+
+def _resolve_parallel(
+    store: EncodingStore,
+    matcher,
+    blocking: Optional[BlockingConfig],
+    k: int,
+    batch_size: int,
+    threshold: float,
+    workers: int,
+    shard_timings: Optional[ShardTimings],
+) -> Iterator[ResolutionBatch]:
+    def generate() -> Iterator[ResolutionBatch]:
+        # Pin the version BEFORE warming: if a refit lands between the two
+        # table encodes below, the guard catches it instead of silently
+        # pairing a version-N left table with a version-N+1 right table.
+        pinned = pin_store_version(store)
+        # Warm both sides *before* the pool exists so forked children inherit
+        # the cached arrays instead of recomputing (or re-reading disk).
+        left = store.table_encodings("left")
+        right = store.table_encodings("right")
+        guard_store_version(store, pinned)
+        token = f"{os.getpid()}-{next(_POOL_TOKENS)}"
+        executor, _ = _make_executor(workers, token, (left, right, matcher))
+        try:
+            with executor:
+                yield from _score_batches(
+                    executor, store, left, right, token,
+                    blocking=blocking, k=k, batch_size=batch_size,
+                    threshold=threshold, workers=workers,
+                    pinned=pinned, shard_timings=shard_timings,
+                )
+        finally:
+            _WORKER_STATES.pop(token, None)  # thread pools share our dict
+
+    return generate()
+
+
+def _score_batches(
+    executor: Executor,
+    store: EncodingStore,
+    left: TableEncodings,
+    right: TableEncodings,
+    token: str,
+    blocking: Optional[BlockingConfig],
+    k: int,
+    batch_size: int,
+    threshold: float,
+    workers: int,
+    pinned: int,
+    shard_timings: Optional[ShardTimings],
+) -> Iterator[ResolutionBatch]:
+    """Submit batches with bounded in-flight depth; emit in index order.
+
+    Backpressure counts both unfinished futures *and* finished-but-unemitted
+    results: when one early batch is slow, later completions park in ``done``
+    until it lands, and without counting them the parent would keep
+    submitting and buffer the whole stream — the unbounded materialization
+    this layer exists to avoid.  Total parked work is therefore capped at
+    ``max_inflight`` batches.
+    """
+    max_inflight = max(2, workers * 2)
+    inflight: Dict[object, int] = {}
+    pending_pairs: Dict[int, List[RecordPair]] = {}
+    done: Dict[int, Tuple[np.ndarray, float]] = {}
+    next_emit = 0
+
+    def collect(block: bool) -> None:
+        if not inflight:
+            return
+        completed, _ = wait(
+            list(inflight), timeout=None if block else 0, return_when=FIRST_COMPLETED
+        )
+        for future in completed:
+            inflight.pop(future)
+            batch_index, probabilities, seconds = future.result()
+            done[batch_index] = (probabilities, seconds)
+
+    def emit_ready() -> Iterator[ResolutionBatch]:
+        nonlocal next_emit
+        while next_emit in done:
+            probabilities, seconds = done.pop(next_emit)
+            pairs = pending_pairs.pop(next_emit)
+            if shard_timings is not None:
+                shard_timings.record(next_emit, len(pairs), seconds)
+            store.record_external_gather(len(pairs))
+            yield ResolutionBatch(
+                pairs=pairs, probabilities=probabilities,
+                threshold=threshold, batch_index=next_emit,
+            )
+            next_emit += 1
+
+    # Sharded stores enumerate through their row-range shard views; a plain
+    # store falls back to the streamed enumeration.  Both produce the same
+    # (batch_index, pairs) sequence.
+    if isinstance(store, ShardedEncodingStore):
+        batches = iter_sharded_candidate_batches(store, blocking=blocking, k=k, batch_size=batch_size)
+    else:
+        batches = iter_candidate_batches(store, blocking=blocking, k=k, batch_size=batch_size)
+    for batch_index, pairs in batches:
+        guard_store_version(store, pinned)
+        left_rows = left.rows([p.left_id for p in pairs])
+        right_rows = right.rows([p.right_id for p in pairs])
+        pending_pairs[batch_index] = pairs
+        inflight[executor.submit(_score_task, token, batch_index, left_rows, right_rows)] = batch_index
+        while len(inflight) + len(done) >= max_inflight:
+            collect(block=True)
+            yield from emit_ready()
+        collect(block=False)
+        yield from emit_ready()
+    while inflight:
+        collect(block=True)
+        yield from emit_ready()
+    guard_store_version(store, pinned)
+
+
+def merge_scored_batches(batches: Iterable[ScoredPairs]) -> ScoredPairs:
+    """Concatenate scored batches into one :class:`ScoredPairs`.
+
+    Batches carrying a ``batch_index`` are ordered by it (then by position
+    within the batch — pair order inside a batch is preserved), so merging
+    the out-of-order output of a future-based consumer is deterministic.
+    An empty input merges to an empty result with threshold 0.5.
+    """
+    materialized = list(batches)
+    indexed = sorted(
+        enumerate(materialized),
+        key=lambda item: (getattr(item[1], "batch_index", item[0]), item[0]),
+    )
+    pairs: List[RecordPair] = []
+    chunks: List[np.ndarray] = []
+    threshold: Optional[float] = None
+    for _, batch in indexed:
+        pairs.extend(batch.pairs)
+        chunks.append(np.asarray(batch.probabilities))
+        if threshold is None:
+            threshold = batch.threshold
+        elif batch.threshold != threshold:
+            raise ValueError("cannot merge scored batches with differing thresholds")
+    probabilities = np.concatenate(chunks) if chunks else np.zeros(0)
+    return ScoredPairs(pairs=pairs, probabilities=probabilities, threshold=0.5 if threshold is None else threshold)

@@ -37,6 +37,7 @@ from repro.eval.timing import EngineCounters, engine_counters
 
 if TYPE_CHECKING:  # pragma: no cover - break the engine <-> core import cycle
     from repro.core.representation import EntityEncoding, EntityRepresentationModel
+    from repro.engine.persist import PersistentEncodingCache
 
 SIDES = ("left", "right")
 
@@ -97,6 +98,11 @@ class EncodingStore:
     counters:
         Instrumentation sink; defaults to the process-wide
         :func:`repro.eval.timing.engine_counters`.
+    persistent:
+        Optional :class:`repro.engine.persist.PersistentEncodingCache`.
+        When set, in-memory misses probe the disk cache before encoding and
+        computed encodings are written back, so repeated runs on the same
+        task and representation skip table encoding entirely.
     """
 
     def __init__(
@@ -104,10 +110,12 @@ class EncodingStore:
         representation: EntityRepresentationModel,
         task: ERTask,
         counters: Optional[EngineCounters] = None,
+        persistent: Optional["PersistentEncodingCache"] = None,
     ) -> None:
         self.representation = representation
         self.task = task
         self.counters = counters if counters is not None else engine_counters()
+        self.persistent = persistent
         self._cache: Dict[str, TableEncodings] = {}
         self._cached_version: Optional[int] = None
 
@@ -133,13 +141,27 @@ class EncodingStore:
         raise ValueError(f"side must be one of {SIDES}, got {side!r}")
 
     def _lookup(self, side: str) -> Tuple[TableEncodings, bool]:
-        """(encodings, served_from_cache) — computes on miss, never counts hits."""
+        """(encodings, served_from_cache) — computes on miss, never counts hits.
+
+        On an in-memory miss the persistent cache (when attached) is probed
+        first; only a double miss pays for the IR transform and VAE forward
+        pass, and its result is written back to disk for the next run.
+        """
         self._check_version()
         cached = self._cache.get(side)
         if cached is not None:
             return cached, True
         self.counters.record_miss()
         table = self._table_of(side)
+        encodings = self._load_persistent(side, table)
+        if encodings is None:
+            encodings = self._compute(side, table)
+            self._save_persistent(side, table, encodings)
+        self._cache[side] = encodings
+        return encodings, False
+
+    def _compute(self, side: str, table: Table) -> TableEncodings:
+        """Encode one table from scratch (the work both caches exist to avoid)."""
         representation = self.representation
         irs = representation.ir_generator.transform_table(table)
         n, arity, _ = irs.shape
@@ -152,16 +174,45 @@ class EncodingStore:
             latent = flat_mu.shape[-1]
             mu = flat_mu.reshape(n, arity, latent)
             sigma = flat_sigma.reshape(n, arity, latent)
+        self.counters.record_encode()
         keys = tuple(table.record_ids())
-        encodings = TableEncodings(
+        return TableEncodings(
             keys=keys,
             irs=irs,
             mu=mu,
             sigma=sigma,
             row_index={key: row for row, key in enumerate(keys)},
         )
-        self._cache[side] = encodings
-        return encodings, False
+
+    def _load_persistent(self, side: str, table: Table) -> Optional[TableEncodings]:
+        if self.persistent is None:
+            return None
+        from repro.engine.persist import encoding_fingerprint
+
+        loaded = self.persistent.load(
+            self.task.name,
+            side,
+            self.representation.encoding_version,
+            encoding_fingerprint(self.representation, table),
+        )
+        if loaded is None:
+            self.counters.record_disk_miss()
+        else:
+            self.counters.record_disk_hit()
+        return loaded
+
+    def _save_persistent(self, side: str, table: Table, encodings: TableEncodings) -> None:
+        if self.persistent is None:
+            return
+        from repro.engine.persist import encoding_fingerprint
+
+        self.persistent.save(
+            self.task.name,
+            side,
+            self.representation.encoding_version,
+            encoding_fingerprint(self.representation, table),
+            encodings,
+        )
 
     def _serve(self, side: str, records: Optional[int] = None) -> TableEncodings:
         """Serve one side, counting a cache hit when no compute was needed.
@@ -294,10 +345,30 @@ class EncodingStore:
         per_attribute = ((mu_left - mu_right) ** 2 + (sigma_left - sigma_right) ** 2).sum(axis=-1)
         return per_attribute.mean(axis=-1)
 
+    def record_external_gather(self, n_pairs: int) -> None:
+        """Counter bookkeeping for gathers performed outside the store.
+
+        Sharded resolution hands row indices to pool workers which gather
+        directly from the shared cached arrays; this mirrors the accounting
+        :meth:`gather_pair_irs` would have done (one logical hit per side
+        plus the scored pairs) so streamed and sharded runs report
+        comparable counters.
+        """
+        if n_pairs <= 0:
+            return
+        self.counters.record_hit(records_served=n_pairs)
+        self.counters.record_hit(records_served=n_pairs)
+        self.counters.record_pairs(n_pairs)
+
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """Counter snapshot (delegates to the attached counters)."""
-        return self.counters.as_dict()
+        """Defensive snapshot of the attached counters.
+
+        The returned dict is a fresh copy on every call: mutating it (or
+        holding it across further store operations) cannot perturb the live
+        counters, so harnesses can diff successive snapshots safely.
+        """
+        return dict(self.counters.as_dict())
 
     def __repr__(self) -> str:
         cached = ",".join(sorted(self._cache)) or "empty"

@@ -7,14 +7,15 @@ once, which is fine for benchmark tables but not for production-scale inputs.
 queried in blocks, and candidate pairs are featurised and scored in slices of
 at most ``batch_size`` pairs.  Peak memory is therefore bounded by the cached
 table encodings plus one scoring batch, regardless of how many candidate
-pairs blocking emits — this is the seam where future sharding (splitting the
-cached tables themselves) slots in.
+pairs blocking emits.  :mod:`repro.engine.shard` builds on this seam: it
+reuses the exact candidate enumeration and batch packing below but fans the
+per-batch scoring out across a worker pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +23,7 @@ from repro.blocking.neighbours import NearestNeighbourSearch
 from repro.config import BlockingConfig
 from repro.data.pairs import RecordPair
 from repro.engine.store import EncodingStore
+from repro.exceptions import StaleEncodingError
 
 
 @dataclass
@@ -42,8 +44,34 @@ class ScoredPairs:
         return len(self.pairs)
 
     def matches(self) -> List[RecordPair]:
-        """Candidate pairs predicted to be duplicates."""
+        """Candidate pairs predicted to be duplicates.
+
+        The predicate is strictly ``p > threshold``: a probability exactly
+        equal to the threshold is *not* a match, matching the pipeline's
+        ``probabilities > self.threshold`` evaluation predicate.
+        """
         return [pair for pair, p in zip(self.pairs, self.probabilities) if p > self.threshold]
+
+
+def pin_store_version(store: EncodingStore) -> int:
+    """Pin the representation version a stream was started against."""
+    return store.representation.encoding_version
+
+
+def guard_store_version(store: EncodingStore, pinned: int) -> None:
+    """Fail loudly if the store was invalidated mid-stream.
+
+    Encoding caches invalidate transparently on version bumps, which is the
+    right behaviour *between* operations but silently wrong *during* one: a
+    stream that continued after a refit would mix scores from two different
+    encoders.  Streaming and sharded resolution call this before every batch.
+    """
+    current = store.representation.encoding_version
+    if current != pinned:
+        raise StaleEncodingError(
+            f"encoding store for task {store.task.name!r} was invalidated mid-stream "
+            f"(encoding_version {pinned} -> {current}); restart the resolution"
+        )
 
 
 @dataclass
@@ -66,16 +94,50 @@ def stream_candidate_pairs(
     """
     if query_chunk <= 0:
         raise ValueError("query_chunk must be positive")
+    pinned = pin_store_version(store)
 
     def generate() -> Iterator[List[RecordPair]]:
         search = NearestNeighbourSearch.from_store(store, config=blocking)
         left = store.table_encodings("left")
         flat = left.flat_mu()
         for start in range(0, len(left), query_chunk):
+            guard_store_version(store, pinned)
             stop = start + query_chunk
             chunk = search.candidate_pairs(flat[start:stop], left.keys[start:stop], k=k)
             if chunk:
                 yield chunk
+
+    return generate()
+
+
+def iter_candidate_batches(
+    store: EncodingStore,
+    blocking: Optional[BlockingConfig] = None,
+    k: int = 10,
+    batch_size: int = 2048,
+) -> Iterator[Tuple[int, List[RecordPair]]]:
+    """The candidate stream packed into ``(batch_index, pairs)`` batches.
+
+    This is the *single* definition of batch packing (buffering and the
+    ``query_chunk`` derivation) shared by :func:`resolve_stream` and the
+    sharded resolver — the byte-identical guarantee between the two rests on
+    them enumerating through this one code path.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+
+    def generate() -> Iterator[Tuple[int, List[RecordPair]]]:
+        buffer: List[RecordPair] = []
+        batch_index = 0
+        query_chunk = max(1, batch_size // max(1, k))
+        for candidates in stream_candidate_pairs(store, blocking=blocking, k=k, query_chunk=query_chunk):
+            buffer.extend(candidates)
+            while len(buffer) >= batch_size:
+                head, buffer = buffer[:batch_size], buffer[batch_size:]
+                yield batch_index, head
+                batch_index += 1
+        if buffer:
+            yield batch_index, buffer
 
     return generate()
 
@@ -97,8 +159,10 @@ def resolve_stream(
     """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
+    pinned = pin_store_version(store)
 
     def score(pairs: List[RecordPair], batch_index: int) -> ResolutionBatch:
+        guard_store_version(store, pinned)
         left, right = store.gather_pair_irs(pairs)
         probabilities = matcher.predict_proba(left, right)
         return ResolutionBatch(
@@ -106,16 +170,9 @@ def resolve_stream(
         )
 
     def generate() -> Iterator[ResolutionBatch]:
-        buffer: List[RecordPair] = []
-        batch_index = 0
-        query_chunk = max(1, batch_size // max(1, k))
-        for candidates in stream_candidate_pairs(store, blocking=blocking, k=k, query_chunk=query_chunk):
-            buffer.extend(candidates)
-            while len(buffer) >= batch_size:
-                head, buffer = buffer[:batch_size], buffer[batch_size:]
-                yield score(head, batch_index)
-                batch_index += 1
-        if buffer:
-            yield score(buffer, batch_index)
+        for batch_index, pairs in iter_candidate_batches(
+            store, blocking=blocking, k=k, batch_size=batch_size
+        ):
+            yield score(pairs, batch_index)
 
     return generate()

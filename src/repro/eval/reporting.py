@@ -6,7 +6,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.eval.harness import ActiveLearningRow, MatchingRow, TransferRow
 from repro.eval.metrics import PRF
-from repro.eval.timing import EngineCounters, engine_counters
+from repro.eval.timing import EngineCounters, ShardTimings, engine_counters
 
 
 def _fmt(value: float, digits: int = 2) -> str:
@@ -123,21 +123,50 @@ def format_active_learning_table(rows: Sequence[ActiveLearningRow]) -> str:
 
 
 def format_engine_stats(counters: Optional[EngineCounters] = None) -> str:
-    """Encoding-engine cache report: hits/misses, encodes avoided, pairs scored.
+    """Encoding-engine cache report: memory and disk traffic, work saved.
 
     Defaults to the process-wide counters, so benchmark output can show how
     much re-encoding the shared :class:`repro.engine.EncodingStore` saved.
+    ``Tables encoded`` counts tables actually pushed through the encoder —
+    zero on a run fully served by a warm persistent cache (``Disk hits``).
     """
     counters = counters if counters is not None else engine_counters()
-    headers = ["Cache hits", "Cache misses", "Hit rate", "Encodes avoided", "Pairs scored"]
+    headers = [
+        "Cache hits", "Cache misses", "Hit rate", "Encodes avoided", "Pairs scored",
+        "Tables encoded", "Disk hits", "Disk misses",
+    ]
     row = [
         str(counters.cache_hits),
         str(counters.cache_misses),
         f"{100 * counters.hit_rate():.0f}%",
         str(counters.encodes_avoided),
         str(counters.pairs_scored),
+        str(counters.tables_encoded),
+        str(counters.disk_hits),
+        str(counters.disk_misses),
     ]
     return format_table(headers, [row])
+
+
+def format_shard_timings(timings: ShardTimings) -> str:
+    """Per-shard timing report of a sharded resolve, plus an aggregate row.
+
+    ``Total`` sums worker compute across shards; with ``workers > 1`` the
+    wall clock of the run approaches ``max`` (the slowest shard) instead of
+    the sum — the gap is the parallel speedup.
+    """
+    headers = ["Shard", "Pairs", "Seconds", "Pairs/s"]
+    rows = [
+        [str(t.shard_index), str(t.pairs), f"{t.seconds:.4f}", f"{t.pairs_per_second:,.0f}"]
+        for t in timings
+    ]
+    rows.append([
+        "total",
+        str(timings.total_pairs()),
+        f"{timings.total_seconds():.4f}",
+        f"{timings.total_pairs() / timings.total_seconds():,.0f}" if timings.total_seconds() > 0 else "0",
+    ])
+    return format_table(headers, rows)
 
 
 def format_f1_trace(traces: Mapping[str, Sequence[Tuple[int, float]]]) -> str:

@@ -59,12 +59,22 @@ class EngineCounters:
     operations — the whole table for table-level accesses, the referenced
     pair records for gathers; ``pairs_scored`` counts candidate pairs
     featurised or scored through the store's vectorized gather paths.
+
+    The persistence layer (:mod:`repro.engine.persist`) adds three more:
+    ``tables_encoded`` counts tables actually pushed through the IR generator
+    and VAE (the expensive work a warm disk cache eliminates entirely), while
+    ``disk_hits``/``disk_misses`` count probes of the persistent on-disk cache
+    that served / failed to serve a table.  A warm second run therefore shows
+    ``tables_encoded == 0`` and one disk hit per side.
     """
 
     cache_hits: int = 0
     cache_misses: int = 0
     encodes_avoided: int = 0
     pairs_scored: int = 0
+    tables_encoded: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
 
     def record_hit(self, records_served: int = 0) -> None:
         self.cache_hits += 1
@@ -76,6 +86,18 @@ class EngineCounters:
     def record_pairs(self, count: int) -> None:
         self.pairs_scored += int(count)
 
+    def record_encode(self) -> None:
+        """One table actually encoded (IR transform + VAE forward)."""
+        self.tables_encoded += 1
+
+    def record_disk_hit(self) -> None:
+        """One table served from the persistent on-disk cache."""
+        self.disk_hits += 1
+
+    def record_disk_miss(self) -> None:
+        """One persistent-cache probe that found no valid entry."""
+        self.disk_misses += 1
+
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
@@ -86,6 +108,9 @@ class EngineCounters:
             "cache_misses": self.cache_misses,
             "encodes_avoided": self.encodes_avoided,
             "pairs_scored": self.pairs_scored,
+            "tables_encoded": self.tables_encoded,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
         }
 
     def reset(self) -> None:
@@ -93,6 +118,60 @@ class EngineCounters:
         self.cache_misses = 0
         self.encodes_avoided = 0
         self.pairs_scored = 0
+        self.tables_encoded = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
+
+
+# ----------------------------------------------------------------------
+# Sharded-resolution instrumentation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardTiming:
+    """Wall-clock record of one scored work unit of a sharded resolve."""
+
+    shard_index: int
+    pairs: int
+    seconds: float
+
+    @property
+    def pairs_per_second(self) -> float:
+        return self.pairs / self.seconds if self.seconds > 0 else 0.0
+
+
+class ShardTimings:
+    """Per-shard timing sink for :func:`repro.engine.shard.resolve_sharded`.
+
+    Each scored candidate slice reports its worker-side wall-clock time here;
+    the aggregate views answer the two scaling questions — how much compute
+    the pool performed in total and how imbalanced the shards were.
+    """
+
+    def __init__(self) -> None:
+        self._records: list = []
+
+    def record(self, shard_index: int, pairs: int, seconds: float) -> None:
+        self._records.append(ShardTiming(shard_index=int(shard_index), pairs=int(pairs), seconds=float(seconds)))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(sorted(self._records, key=lambda r: r.shard_index))
+
+    def total_pairs(self) -> int:
+        return sum(r.pairs for r in self._records)
+
+    def total_seconds(self) -> float:
+        """Summed worker compute time (exceeds wall clock when parallel)."""
+        return sum(r.seconds for r in self._records)
+
+    def max_seconds(self) -> float:
+        """The slowest shard — the lower bound on parallel wall clock."""
+        return max((r.seconds for r in self._records), default=0.0)
+
+    def as_rows(self) -> list:
+        return [(r.shard_index, r.pairs, r.seconds) for r in self]
 
 
 #: Process-wide default counters: stores created without explicit counters

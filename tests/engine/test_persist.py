@@ -1,0 +1,199 @@
+"""Persistent encoding cache: layout, keying, invalidation, counter surface."""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import VAEConfig
+from repro.core.representation import EntityRepresentationModel
+from repro.engine import EncodingStore, PersistentEncodingCache, encoding_fingerprint
+from repro.eval.timing import EngineCounters
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return PersistentEncodingCache(tmp_path / "enc-cache")
+
+
+def _store(representation, task, cache):
+    return EncodingStore(representation, task, counters=EngineCounters(), persistent=cache)
+
+
+class TestLayoutAndRoundtrip:
+    def test_cold_run_encodes_and_writes(self, tiny_domain, tiny_representation, cache):
+        store = _store(tiny_representation, tiny_domain.task, cache)
+        store.table_encodings("left")
+        store.table_encodings("right")
+        assert store.counters.tables_encoded == 2
+        assert store.counters.disk_misses == 2
+        assert store.counters.disk_hits == 0
+        version = tiny_representation.encoding_version
+        expected = {
+            cache.path_for(tiny_domain.task.name, side, version) for side in ("left", "right")
+        }
+        assert set(cache.entries()) == expected
+
+    def test_documented_directory_layout(self, tiny_domain, tiny_representation, cache):
+        """Layout contract: <cache_dir>/<task-name>/<side>-v<version>.npz"""
+        version = tiny_representation.encoding_version
+        path = cache.path_for(tiny_domain.task.name, "left", version)
+        assert path == cache.directory / tiny_domain.task.name / f"left-v{version}.npz"
+
+    def test_warm_store_skips_encoding_entirely(self, tiny_domain, tiny_representation, cache):
+        cold = _store(tiny_representation, tiny_domain.task, cache)
+        cold_left = cold.table_encodings("left")
+        cold.table_encodings("right")
+
+        warm = _store(tiny_representation, tiny_domain.task, cache)
+        warm_left = warm.table_encodings("left")
+        warm.table_encodings("right")
+        assert warm.counters.tables_encoded == 0
+        assert warm.counters.disk_hits == 2
+        assert warm.counters.disk_misses == 0
+
+        assert warm_left.keys == cold_left.keys
+        np.testing.assert_array_equal(warm_left.irs, cold_left.irs)
+        np.testing.assert_array_equal(warm_left.mu, cold_left.mu)
+        np.testing.assert_array_equal(warm_left.sigma, cold_left.sigma)
+        # The reloaded row index must gather identically.
+        ids = tiny_domain.task.left.record_ids()[:5]
+        np.testing.assert_array_equal(warm_left.rows(ids), cold_left.rows(ids))
+
+    def test_clear_removes_entries(self, tiny_domain, tiny_representation, cache):
+        store = _store(tiny_representation, tiny_domain.task, cache)
+        store.table_encodings("left")
+        assert cache.clear() == 1
+        assert cache.entries() == []
+
+
+class TestInvalidationRules:
+    def test_version_bump_is_a_disk_miss(self, tiny_domain, small_vae_config, cache):
+        model = EntityRepresentationModel(small_vae_config, ir_method="lsa").fit(tiny_domain.task)
+        first = _store(model, tiny_domain.task, cache)
+        first.table_encodings("left")
+        model.fit(tiny_domain.task, epochs=1)  # bumps encoding_version
+        second = _store(model, tiny_domain.task, cache)
+        second.table_encodings("left")
+        assert second.counters.disk_hits == 0
+        assert second.counters.disk_misses == 1
+        assert second.counters.tables_encoded == 1
+        # Both versions now live side by side in the task directory.
+        assert len(cache.entries()) == 2
+
+    def test_fingerprint_mismatch_is_a_miss(self, tiny_domain, tiny_representation, cache):
+        store = _store(tiny_representation, tiny_domain.task, cache)
+        store.table_encodings("left")
+        version = tiny_representation.encoding_version
+        good = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
+        assert cache.load(tiny_domain.task.name, "left", version, good) is not None
+        tampered = dict(good, n_records=good["n_records"] + 1)
+        assert cache.load(tiny_domain.task.name, "left", version, tampered) is None
+
+    def test_differently_seeded_model_is_a_miss(self, tiny_domain, cache):
+        """Same config shape, different training seed: the weights CRC in the
+        fingerprint must reject the archive even though both fresh processes
+        sit at the same encoding_version."""
+        config_a = VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=2, seed=1)
+        config_b = VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=2, seed=2)
+        model_a = EntityRepresentationModel(config_a, ir_method="lsa").fit(tiny_domain.task)
+        model_b = EntityRepresentationModel(config_b, ir_method="lsa").fit(tiny_domain.task)
+        assert model_a.encoding_version == model_b.encoding_version  # same key!
+
+        first = _store(model_a, tiny_domain.task, cache)
+        first.table_encodings("left")
+        second = _store(model_b, tiny_domain.task, cache)
+        second.table_encodings("left")
+        assert second.counters.disk_hits == 0
+        assert second.counters.tables_encoded == 1  # recomputed, not served stale
+
+    def test_fingerprint_tracks_weights_and_values(self, tiny_domain, tiny_representation):
+        fingerprint = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
+        assert {"seed", "weights_crc", "content_crc"} <= set(fingerprint)
+        again = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
+        assert fingerprint == again  # deterministic
+        other_table = encoding_fingerprint(tiny_representation, tiny_domain.task.right)
+        assert other_table["content_crc"] != fingerprint["content_crc"]
+
+    def test_wrong_side_or_task_is_a_miss(self, tiny_domain, tiny_representation, cache):
+        store = _store(tiny_representation, tiny_domain.task, cache)
+        store.table_encodings("left")
+        version = tiny_representation.encoding_version
+        fingerprint = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
+        assert cache.load("other-task", "left", version, fingerprint) is None
+        assert cache.load(tiny_domain.task.name, "right", version, fingerprint) is None
+
+    def test_corrupt_archive_is_a_miss_not_an_error(self, tiny_domain, tiny_representation, cache):
+        store = _store(tiny_representation, tiny_domain.task, cache)
+        before = store.table_encodings("left")
+        version = tiny_representation.encoding_version
+        path = cache.path_for(tiny_domain.task.name, "left", version)
+        path.write_bytes(b"not an npz archive")
+        warm = _store(tiny_representation, tiny_domain.task, cache)
+        after = warm.table_encodings("left")  # must recompute, not raise
+        assert warm.counters.disk_hits == 0
+        assert warm.counters.tables_encoded == 1
+        np.testing.assert_array_equal(after.mu, before.mu)
+
+    def test_truncated_archive_is_a_miss_not_an_error(self, tiny_domain, tiny_representation, cache):
+        """A killed writer leaves a valid zip header but a truncated body."""
+        store = _store(tiny_representation, tiny_domain.task, cache)
+        before = store.table_encodings("left")
+        version = tiny_representation.encoding_version
+        path = cache.path_for(tiny_domain.task.name, "left", version)
+        raw = path.read_bytes()
+        assert raw[:2] == b"PK"  # still looks like an archive
+        path.write_bytes(raw[: len(raw) // 2])
+        warm = _store(tiny_representation, tiny_domain.task, cache)
+        after = warm.table_encodings("left")  # must recompute, not raise
+        assert warm.counters.disk_hits == 0
+        assert warm.counters.tables_encoded == 1
+        np.testing.assert_array_equal(after.mu, before.mu)
+
+    def test_save_is_atomic_rename(self, tiny_domain, tiny_representation, cache):
+        """No temp files survive a save; the final path appears complete."""
+        store = _store(tiny_representation, tiny_domain.task, cache)
+        store.table_encodings("left")
+        task_dir = cache.path_for(tiny_domain.task.name, "left", 1).parent
+        leftovers = [p for p in task_dir.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_store_without_cache_never_touches_disk_counters(self, tiny_domain, tiny_representation):
+        store = EncodingStore(tiny_representation, tiny_domain.task, counters=EngineCounters())
+        store.table_encodings("left")
+        assert store.counters.disk_hits == 0
+        assert store.counters.disk_misses == 0
+        assert store.counters.tables_encoded == 1
+
+
+class TestCrossProcessWarmth:
+    def test_warm_cache_across_processes(self, tiny_domain, tiny_representation, tmp_path):
+        """Second *run* served entirely from disk.
+
+        With ``REPRO_CACHE_DIR`` set (as in CI's warm-cache re-run), the
+        cache directory outlives the process: the first invocation encodes
+        and writes, every later invocation must encode nothing.  Without the
+        variable the test degrades to a tmp_path cold-then-warm check.
+        Either way, served encodings must equal a from-scratch encode.
+        """
+        cache_dir = Path(os.environ.get("REPRO_CACHE_DIR", tmp_path / "cross-run"))
+        cache = PersistentEncodingCache(cache_dir)
+        version = tiny_representation.encoding_version
+        pre_existing = all(
+            cache.path_for(tiny_domain.task.name, side, version).is_file()
+            for side in ("left", "right")
+        )
+        store = _store(tiny_representation, tiny_domain.task, cache)
+        served = store.table_encodings("left")
+        store.table_encodings("right")
+        if pre_existing:
+            assert store.counters.tables_encoded == 0, "warm run must not encode any table"
+            assert store.counters.disk_hits == 2
+        else:
+            assert store.counters.tables_encoded == 2
+        # Whatever the source, the encodings must match a fresh computation.
+        fresh = tiny_representation.encode_table(tiny_domain.task.left)
+        assert served.keys == fresh.keys
+        np.testing.assert_allclose(served.mu, fresh.mu, atol=1e-12)
+        np.testing.assert_allclose(served.sigma, fresh.sigma, atol=1e-12)

@@ -1,0 +1,105 @@
+"""Scenario regressions: every resolution path agrees on real generated domains.
+
+Each scenario pulls a domain from the generator registry (clean and noisy —
+exercising the corruption model end to end), trains one representation and
+one matcher, and resolves the task three ways:
+
+* monolithic :meth:`VAER.resolve` (everything scored at once);
+* streamed :meth:`VAER.resolve_stream` (bounded-memory batches);
+* sharded ``resolve_stream(workers=N)`` (parallel worker-pool scoring).
+
+The three paths must produce the same candidate enumeration, the same match
+set and the same threshold; streamed and sharded must be *byte-identical*.
+Worker count is taken from ``REPRO_ENGINE_WORKERS`` (default 2) so CI can
+re-run the suite at different pool sizes.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import MatcherConfig, VAERConfig, VAEConfig
+from repro.core import VAER
+from repro.data.generators import CLEAN_DOMAINS, NOISY_DOMAINS, domain_spec, load_domain
+from repro.engine import merge_scored_batches
+from repro.eval.timing import ShardTimings
+
+WORKERS = int(os.environ.get("REPRO_ENGINE_WORKERS", "2"))
+
+#: One clean and one noisy registry domain: the corruption model is a no-typo
+#: configuration for the former and the full typo/abbreviation/drop mix for
+#: the latter, so both generator paths flow through resolution.
+SCENARIOS = ["restaurants", "beer"]
+
+
+@pytest.fixture(scope="module", params=SCENARIOS)
+def scenario(request):
+    domain = load_domain(request.param, scale=0.3)
+    config = VAERConfig(
+        vae=VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=3, seed=11),
+        matcher=MatcherConfig(epochs=10, mlp_hidden=(24, 12), seed=13),
+    )
+    model = VAER(config).fit_representation(domain.task)
+    model.fit_matcher(domain.splits.train, domain.splits.validation)
+    return domain, model
+
+
+class TestScenarioEquivalence:
+    def test_registry_covers_clean_and_noisy(self):
+        kinds = {name: domain_spec(name).clean for name in SCENARIOS}
+        assert True in kinds.values() and False in kinds.values()
+        assert set(CLEAN_DOMAINS) & set(kinds) and set(NOISY_DOMAINS) & set(kinds)
+
+    def test_three_paths_identical(self, scenario):
+        domain, model = scenario
+        monolithic = model.resolve(k=5)
+
+        streamed_batches = list(model.resolve_stream(k=5, batch_size=17))
+        streamed = merge_scored_batches(streamed_batches)
+
+        timings = ShardTimings()
+        sharded_batches = list(
+            model.resolve_stream(k=5, batch_size=17, workers=WORKERS, shard_timings=timings)
+        )
+        sharded = merge_scored_batches(sharded_batches)
+
+        # Identical candidate enumeration, in order.
+        keys = [p.key() for p in monolithic.pairs]
+        assert [p.key() for p in streamed.pairs] == keys
+        assert [p.key() for p in sharded.pairs] == keys
+
+        # Streamed and sharded score the same batches: byte-identical.
+        np.testing.assert_array_equal(sharded.probabilities, streamed.probabilities)
+        # Monolithic scores in one batch; agreement to tight tolerance.
+        np.testing.assert_allclose(streamed.probabilities, monolithic.probabilities, atol=1e-8)
+
+        # Identical thresholds and identical match sets on every path.
+        assert monolithic.threshold == streamed.threshold == sharded.threshold == model.threshold
+        monolithic_matches = {p.key() for p in monolithic.matches()}
+        assert {p.key() for p in streamed.matches()} == monolithic_matches
+        assert {p.key() for p in sharded.matches()} == monolithic_matches
+
+        # The pool actually timed every batch it scored.
+        assert len(timings) == len(sharded_batches)
+        assert timings.total_pairs() == len(sharded)
+
+    def test_sharded_batches_arrive_in_order(self, scenario):
+        _, model = scenario
+        indices = [b.batch_index for b in model.resolve_stream(k=5, batch_size=17, workers=WORKERS)]
+        assert indices == list(range(len(indices)))
+
+    def test_corruption_registry_end_to_end(self):
+        """A freshly generated noisy domain (new seed) resolves identically too."""
+        domain = load_domain("cosmetics", scale=0.25, seed=123)
+        config = VAERConfig(
+            vae=VAEConfig(ir_dim=12, hidden_dim=16, latent_dim=6, epochs=2, seed=3),
+            matcher=MatcherConfig(epochs=6, mlp_hidden=(16, 8), seed=5),
+        )
+        model = VAER(config).fit_representation(domain.task)
+        model.fit_matcher(domain.splits.train, domain.splits.validation)
+        streamed = merge_scored_batches(model.resolve_stream(k=4, batch_size=23))
+        sharded = merge_scored_batches(model.resolve_stream(k=4, batch_size=23, workers=WORKERS))
+        assert [p.key() for p in sharded.pairs] == [p.key() for p in streamed.pairs]
+        np.testing.assert_array_equal(sharded.probabilities, streamed.probabilities)
+        assert {p.key() for p in sharded.matches()} == {p.key() for p in streamed.matches()}

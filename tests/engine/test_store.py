@@ -181,14 +181,35 @@ class TestEmptyAndCounters:
     def test_stats_snapshot(self, store):
         store.table_encodings("left")
         stats = store.stats()
-        assert set(stats) == {"cache_hits", "cache_misses", "encodes_avoided", "pairs_scored"}
+        assert set(stats) == {
+            "cache_hits", "cache_misses", "encodes_avoided", "pairs_scored",
+            "tables_encoded", "disk_hits", "disk_misses",
+        }
         assert stats["cache_misses"] == 1
+        assert stats["tables_encoded"] == 1
+        assert stats["disk_hits"] == 0 and stats["disk_misses"] == 0  # no cache attached
+
+    def test_stats_is_defensive_copy(self, store):
+        """Mutating a snapshot must not perturb the live counters."""
+        store.table_encodings("left")
+        snapshot = store.stats()
+        snapshot["cache_misses"] = 999
+        snapshot["tables_encoded"] = 999
+        assert store.counters.cache_misses == 1
+        assert store.counters.tables_encoded == 1
+        assert store.stats()["cache_misses"] == 1
+        # Snapshots taken at different times are independent objects.
+        assert store.stats() is not store.stats()
 
     def test_counter_reset(self):
-        counters = EngineCounters(cache_hits=3, cache_misses=1, encodes_avoided=40, pairs_scored=7)
+        counters = EngineCounters(
+            cache_hits=3, cache_misses=1, encodes_avoided=40, pairs_scored=7,
+            tables_encoded=2, disk_hits=1, disk_misses=1,
+        )
         assert counters.hit_rate() == pytest.approx(0.75)
         counters.reset()
         assert counters.as_dict() == {
             "cache_hits": 0, "cache_misses": 0, "encodes_avoided": 0, "pairs_scored": 0,
+            "tables_encoded": 0, "disk_hits": 0, "disk_misses": 0,
         }
         assert counters.hit_rate() == 0.0

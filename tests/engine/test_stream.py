@@ -5,8 +5,10 @@ import pytest
 
 from repro.config import MatcherConfig, VAERConfig, VAEConfig
 from repro.core import VAER
-from repro.engine import EncodingStore, resolve_stream, stream_candidate_pairs
+from repro.data.pairs import RecordPair
+from repro.engine import EncodingStore, ScoredPairs, resolve_stream, stream_candidate_pairs
 from repro.eval.timing import EngineCounters
+from repro.exceptions import StaleEncodingError
 
 
 @pytest.fixture(scope="module")
@@ -70,6 +72,98 @@ class TestResolveStream:
         # The error must surface at call time, not on first iteration.
         with pytest.raises(ValueError):
             resolve_stream(store, resolved_pipeline.matcher, batch_size=0)
+
+
+class TestResolveStreamEdgeCases:
+    def test_batch_size_one(self, resolved_pipeline):
+        """The extreme chunking still covers the monolithic resolution exactly."""
+        monolithic = resolved_pipeline.resolve(k=5)
+        batches = list(resolved_pipeline.resolve_stream(k=5, batch_size=1))
+        assert all(len(batch) == 1 for batch in batches)
+        assert [b.pairs[0].key() for b in batches] == [p.key() for p in monolithic.pairs]
+        probabilities = np.concatenate([b.probabilities for b in batches])
+        np.testing.assert_allclose(probabilities, monolithic.probabilities, atol=1e-8)
+
+    def test_k_larger_than_right_table(self, resolved_pipeline, tiny_domain):
+        """Top-K clamps to the table size instead of failing or padding."""
+        n_right = len(tiny_domain.task.right)
+        k = n_right + 25
+        pairs = [p for b in resolved_pipeline.resolve_stream(k=k, batch_size=64) for p in b.pairs]
+        assert pairs, "oversized k must still produce candidates"
+        per_query = {}
+        for pair in pairs:
+            per_query.setdefault(pair.left_id, []).append(pair.right_id)
+        for neighbours in per_query.values():
+            assert len(neighbours) <= n_right
+            assert len(set(neighbours)) == len(neighbours)  # no duplicate fill
+
+    def test_query_chunk_larger_than_left_table(self, resolved_pipeline, tiny_domain):
+        """One oversized chunk equals the many-small-chunks enumeration."""
+        store = resolved_pipeline.store
+        blocking = resolved_pipeline.config.blocking
+        big = [
+            p for chunk in stream_candidate_pairs(
+                store, blocking=blocking, k=5, query_chunk=10 * len(tiny_domain.task.left)
+            )
+            for p in chunk
+        ]
+        small = [
+            p for chunk in stream_candidate_pairs(store, blocking=blocking, k=5, query_chunk=3)
+            for p in chunk
+        ]
+        assert [p.key() for p in big] == [p.key() for p in small]
+
+    def test_store_invalidated_mid_stream_raises(self, tiny_domain):
+        """A version bump mid-stream must raise, not silently serve stale scores."""
+        config = VAERConfig(
+            vae=VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=2, seed=3),
+            matcher=MatcherConfig(epochs=5, mlp_hidden=(24, 12), seed=5),
+        )
+        model = VAER(config).fit_representation(tiny_domain.task)
+        model.fit_matcher(tiny_domain.splits.train)
+        stream = model.resolve_stream(k=5, batch_size=13)
+        first = next(iter(stream))
+        assert len(first) == 13
+        # Refitting bumps encoding_version: continuing would mix two encoders.
+        model.representation.fit(tiny_domain.task, epochs=1)
+        with pytest.raises(StaleEncodingError):
+            next(stream)
+
+    def test_candidate_stream_invalidation_raises(self, tiny_domain):
+        """The blocking stream itself also refuses to span a version bump."""
+        config = VAERConfig(vae=VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=2, seed=3))
+        model = VAER(config).fit_representation(tiny_domain.task)
+        chunks = stream_candidate_pairs(model.store, k=5, query_chunk=7)
+        next(chunks)
+        model.representation.fit(tiny_domain.task, epochs=1)
+        with pytest.raises(StaleEncodingError):
+            next(chunks)
+
+
+class TestMatchThresholdBoundary:
+    """Pin the strict `p > threshold` predicate on both resolution paths."""
+
+    def _scored(self, threshold):
+        pairs = [RecordPair("l0", "r0"), RecordPair("l1", "r1"), RecordPair("l2", "r2")]
+        probabilities = np.array([threshold - 1e-12, threshold, np.nextafter(threshold, 1.0)])
+        return ScoredPairs(pairs=pairs, probabilities=probabilities, threshold=threshold)
+
+    @pytest.mark.parametrize("threshold", [0.5, 0.7])
+    def test_probability_equal_to_threshold_is_not_a_match(self, threshold):
+        scored = self._scored(threshold)
+        matched = scored.matches()
+        assert [p.key() for p in matched] == [("l2", "r2")]
+
+    @pytest.mark.parametrize("threshold", [0.5, 0.7])
+    def test_matches_agrees_with_pipeline_predicate(self, threshold):
+        """ScoredPairs.matches() and the pipeline's `probabilities > threshold`
+        evaluation predicate must make identical decisions at the boundary."""
+        scored = self._scored(threshold)
+        pipeline_decisions = (scored.probabilities > threshold).astype(int)
+        stream_decisions = np.array(
+            [int(any(p is pair for p in scored.matches())) for pair in scored.pairs]
+        )
+        np.testing.assert_array_equal(stream_decisions, pipeline_decisions)
 
 
 class TestPipelineStoreLifecycle:

@@ -29,6 +29,13 @@ class TestParser:
     def test_resolve_arguments(self):
         args = _build_parser().parse_args(["resolve", "--k", "5", "--batch-size", "128"])
         assert args.domain == "restaurants" and args.k == 5 and args.batch_size == 128
+        assert args.workers == 1 and args.cache_dir is None  # defaults
+
+    def test_resolve_sharding_arguments(self):
+        args = _build_parser().parse_args(
+            ["resolve", "--workers", "4", "--cache-dir", ".repro-cache"]
+        )
+        assert args.workers == 4 and args.cache_dir == ".repro-cache"
 
 
 class TestCommands:
