@@ -1,0 +1,191 @@
+"""Blocking scaling micro-benchmark — LSH worker sweep and chunked-cache loads.
+
+Two curves, emitted as ``BENCH_blocking.json`` so CI can track them:
+
+* **LSH build + query sweep** at 1, 2 and 4 workers over one benchmark
+  domain's record vectors: hash tables built from worker-computed partial
+  maps, left-table query shards fanned across the pool.
+* **Warm cache load**: wall clock of a full load from the row-range-chunked
+  layout vs the legacy flat single archive, plus the lazy single-shard load
+  that only touches one chunk — the case the chunked layout exists for.
+
+Correctness gates (the benchmark fails on divergence, not on slowness —
+CI runners are too noisy for hard speedup thresholds on small tables):
+
+* every worker count must produce the identical candidate-pair list;
+* chunked and flat loads must serve identical arrays, and the lazy shard
+  load must read exactly one chunk.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.blocking import NearestNeighbourSearch
+from repro.config import BlockingConfig
+from repro.engine import (
+    PersistentEncodingCache,
+    ShardedEncodingStore,
+    encoding_fingerprint,
+    sharded_candidate_pairs,
+)
+from repro.eval.harness import fit_representation
+from repro.eval.timing import EngineCounters, StageTimings
+
+WORKER_SWEEP = (1, 2, 4)
+TOP_K = 10
+#: Rows per shard for the sweep — several shards per worker at the tiled
+#: table sizes below, so the fan-out path is genuinely exercised.
+CHUNK_ROWS = 256
+#: The benchmark domains are deliberately small; blocking at that size is
+#: milliseconds and any pool measurement would just time fork(2).  Tiling
+#: the domain's record vectors (unique keys, deterministic jitter) scales
+#: the workload to production-shaped row counts without touching the
+#: domain generators.
+LEFT_ROWS = 4096
+RIGHT_ROWS = 3072
+
+
+def _tile_vectors(vectors: np.ndarray, keys, rows: int, seed: int):
+    """Deterministically tile ``vectors`` up to ``rows`` with unique keys."""
+    rng = np.random.default_rng(seed)
+    repeats = -(-rows // len(vectors))  # ceil
+    tiled = np.tile(vectors, (repeats, 1))[:rows]
+    tiled = tiled + rng.normal(scale=0.01, size=tiled.shape)
+    tiled_keys = [f"{key}~{repeat}" for repeat in range(repeats) for key in keys][:rows]
+    return tiled, tiled_keys
+
+
+def test_blocking_scaling(domains, harness_config):
+    domain = domains["restaurants"]
+    representation, _ = fit_representation(domain, harness_config)
+    store = ShardedEncodingStore(
+        representation, domain.task, counters=EngineCounters(), shard_rows=CHUNK_ROWS
+    )
+    left = store.table_encodings("left")
+    right = store.table_encodings("right")
+    blocking = BlockingConfig(seed=harness_config.seed)
+    query_vectors, query_keys = _tile_vectors(left.flat_mu(), left.keys, LEFT_ROWS, seed=11)
+    index_vectors, index_keys = _tile_vectors(right.flat_mu(), right.keys, RIGHT_ROWS, seed=13)
+
+    # Serial reference: one whole-table build + query pass.
+    start = time.perf_counter()
+    reference = (
+        NearestNeighbourSearch(blocking)
+        .build(index_vectors, index_keys)
+        .candidate_pairs(query_vectors, query_keys, k=TOP_K)
+    )
+    reference_seconds = time.perf_counter() - start
+    reference_keys = [pair.key() for pair in reference]
+
+    sweep = {}
+    for workers in WORKER_SWEEP:
+        timings = StageTimings()
+        start = time.perf_counter()
+        pairs = sharded_candidate_pairs(
+            index_vectors, index_keys, query_vectors, query_keys,
+            blocking=blocking, k=TOP_K, workers=workers,
+            shard_rows=CHUNK_ROWS, stage_timings=timings,
+        )
+        seconds = time.perf_counter() - start
+        assert [pair.key() for pair in pairs] == reference_keys, (
+            f"workers={workers} diverged from the serial candidate stream"
+        )
+        sweep[workers] = {
+            "seconds": seconds,
+            "build_seconds": timings.seconds("block-build"),
+            "query_compute_seconds": timings.seconds("block-query"),
+            "query_shards": timings.units("block-query"),
+        }
+    baseline = sweep[1]["seconds"]
+    for workers, row in sweep.items():
+        row["speedup_vs_1"] = baseline / row["seconds"] if row["seconds"] > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Warm-load comparison: chunked (full + one lazy shard) vs legacy flat.
+    # The entry is tiled to the sweep's row count so it spans many chunks —
+    # the table shape the chunked layout exists for.
+    # ------------------------------------------------------------------
+    import tempfile
+
+    from repro.engine import TableEncodings
+
+    repeats = -(-LEFT_ROWS // len(left))  # ceil
+    big = TableEncodings(
+        keys=tuple(query_keys),
+        irs=np.tile(left.irs, (repeats, 1, 1))[:LEFT_ROWS],
+        mu=np.tile(left.mu, (repeats, 1, 1))[:LEFT_ROWS],
+        sigma=np.tile(left.sigma, (repeats, 1, 1))[:LEFT_ROWS],
+        row_index={key: row for row, key in enumerate(query_keys)},
+    )
+    with tempfile.TemporaryDirectory(prefix="blocking-bench-cache") as tmp:
+        cache = PersistentEncodingCache(Path(tmp), chunk_rows=CHUNK_ROWS)
+        version = representation.encoding_version
+        fingerprint = encoding_fingerprint(representation, domain.task.left)
+        cache.save(domain.task.name, "left", version, fingerprint, big)
+        flat_cache = PersistentEncodingCache(Path(tmp) / "flat", chunk_rows=CHUNK_ROWS)
+        flat_cache.save_flat(domain.task.name, "left", version, fingerprint, big)
+
+        start = time.perf_counter()
+        chunked_full = cache.load(domain.task.name, "left", version, fingerprint)
+        chunked_full_seconds = time.perf_counter() - start
+
+        counters = EngineCounters()
+        start = time.perf_counter()
+        one_shard = cache.load_range(
+            domain.task.name, "left", version, fingerprint, 0, CHUNK_ROWS, counters=counters
+        )
+        chunked_shard_seconds = time.perf_counter() - start
+        assert counters.chunk_loads == 1, "a one-shard load must read exactly one chunk"
+
+        # The legacy reader is private by design (it only exists as the
+        # migration path); timing it here is the whole point of the curve.
+        start = time.perf_counter()
+        flat_full = flat_cache._load_flat(domain.task.name, "left", version, fingerprint)
+        flat_full_seconds = time.perf_counter() - start
+
+        assert chunked_full is not None and flat_full is not None and one_shard is not None
+        np.testing.assert_array_equal(chunked_full.mu, flat_full.mu)
+        np.testing.assert_array_equal(one_shard.mu, flat_full.mu[:CHUNK_ROWS])
+        total_chunks = len(list(cache.dir_for(domain.task.name, "left", version).glob("chunk-*.npz")))
+        assert total_chunks == -(-LEFT_ROWS // CHUNK_ROWS), "entry must span many chunks"
+
+    payload = {
+        "domain": domain.name,
+        "k": TOP_K,
+        "shard_rows": CHUNK_ROWS,
+        "left_rows": len(query_keys),
+        "right_rows": len(index_keys),
+        "candidate_pairs": len(reference_keys),
+        "serial_reference_seconds": reference_seconds,
+        "workers": {str(workers): row for workers, row in sweep.items()},
+        "cache": {
+            "rows": LEFT_ROWS,
+            "chunks": total_chunks,
+            "flat_full_load_seconds": flat_full_seconds,
+            "chunked_full_load_seconds": chunked_full_seconds,
+            "chunked_one_shard_load_seconds": chunked_shard_seconds,
+            "one_shard_vs_flat_speedup": (
+                flat_full_seconds / chunked_shard_seconds if chunked_shard_seconds > 0 else 0.0
+            ),
+        },
+    }
+    Path("BENCH_blocking.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\n\nBlocking scaling — LSH build + query worker sweep\n")
+    print(f"  domain            : {domain.name} (tiled to {len(query_keys)}x{len(index_keys)} rows, "
+          f"{len(reference_keys)} candidate pairs)")
+    print(f"  serial reference  : {reference_seconds:.3f}s")
+    for workers, row in sweep.items():
+        print(f"  workers={workers}         : {row['seconds']:.3f}s "
+              f"({row['speedup_vs_1']:.2f}x vs 1 worker; build {row['build_seconds']:.3f}s, "
+              f"query compute {row['query_compute_seconds']:.3f}s over {row['query_shards']} shards)")
+    print("\nWarm cache loads\n")
+    print(f"  flat full load    : {flat_full_seconds * 1e3:.2f}ms")
+    print(f"  chunked full load : {chunked_full_seconds * 1e3:.2f}ms ({total_chunks} chunks)")
+    print(f"  one-shard load    : {chunked_shard_seconds * 1e3:.2f}ms "
+          f"({payload['cache']['one_shard_vs_flat_speedup']:.1f}x vs flat full)")

@@ -1,6 +1,17 @@
 """Blocking / candidate-generation substrate built on Euclidean LSH."""
 
 from repro.blocking.lsh import EuclideanLSHIndex
-from repro.blocking.neighbours import NearestNeighbourSearch, NeighbourResult
+from repro.blocking.neighbours import (
+    NearestNeighbourSearch,
+    NeighbourResult,
+    assemble_candidate_pairs,
+    assemble_neighbour_map,
+)
 
-__all__ = ["EuclideanLSHIndex", "NearestNeighbourSearch", "NeighbourResult"]
+__all__ = [
+    "EuclideanLSHIndex",
+    "NearestNeighbourSearch",
+    "NeighbourResult",
+    "assemble_candidate_pairs",
+    "assemble_neighbour_map",
+]

@@ -8,16 +8,29 @@ implements the classic p-stable LSH of Datar et al. (2004): each hash table
 projects vectors onto random Gaussian directions, shifts and quantises them
 into buckets of width ``w``; near vectors collide in at least one table with
 high probability.
+
+The index build is decomposed for parallel construction: :meth:`prepare`
+fixes the random projections and registers the vectors, :meth:`hash_rows`
+hashes any row range into per-table partial bucket maps (safe to run in a
+worker over a shard of the rows), and :meth:`install_tables` merges partial
+maps back in row order.  :meth:`build` composes the three for the serial
+case, so a sharded build produces hash tables with the identical bucket
+membership.  Queries hash array-at-a-time: :meth:`query_batch` computes the
+bucket ids of a whole block of query vectors in one projection pass and only
+the candidate re-ranking remains per row.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import NotFittedError
+
+#: One hash table: bucket key -> row indices of the vectors hashed into it.
+BucketMap = Dict[Tuple[int, ...], List[int]]
 
 
 class EuclideanLSHIndex:
@@ -52,13 +65,20 @@ class EuclideanLSHIndex:
         self.seed = seed
         self._projections: Optional[np.ndarray] = None
         self._offsets: Optional[np.ndarray] = None
-        self._tables: List[Dict[Tuple[int, ...], List[int]]] = []
+        self._tables: List[BucketMap] = []
         self._vectors: Optional[np.ndarray] = None
         self._keys: List[object] = []
 
     # ------------------------------------------------------------------
-    def build(self, vectors: np.ndarray, keys: Optional[Sequence[object]] = None) -> "EuclideanLSHIndex":
-        """Index ``vectors``; ``keys`` are the identifiers returned by queries."""
+    # Build: prepare -> hash_rows (parallelisable) -> install_tables
+    # ------------------------------------------------------------------
+    def prepare(self, vectors: np.ndarray, keys: Optional[Sequence[object]] = None) -> "EuclideanLSHIndex":
+        """Fix the projections and register ``vectors`` without hashing them.
+
+        After ``prepare`` the index is *not* queryable yet: the hash tables
+        are built by feeding :meth:`hash_rows` output (possibly computed in
+        parallel over row ranges) to :meth:`install_tables`.
+        """
         vectors = np.asarray(vectors, dtype=np.float64)
         if vectors.ndim != 2:
             raise ValueError(f"expected a 2-d array of vectors, got shape {vectors.shape}")
@@ -70,14 +90,56 @@ class EuclideanLSHIndex:
         self._keys = list(keys) if keys is not None else list(range(n))
         if len(self._keys) != n:
             raise ValueError("keys must align with vectors")
-
-        self._tables = [defaultdict(list) for _ in range(self.num_tables)]
-        bucket_ids = self._bucket_ids(vectors)
-        for table_index in range(self.num_tables):
-            table = self._tables[table_index]
-            for row, bucket in enumerate(map(tuple, bucket_ids[table_index])):
-                table[bucket].append(row)
+        self._tables = []
         return self
+
+    def hash_rows(self, start: int, stop: int) -> List[BucketMap]:
+        """Per-table bucket maps of rows ``[start, stop)`` (global indices).
+
+        Pure function of the prepared projections and vectors — row ranges
+        can be hashed concurrently (each worker hashes its shard) and merged
+        with :meth:`install_tables`.  Bucket ids for the whole range are
+        computed in one array-at-a-time projection pass.
+        """
+        if self._vectors is None:
+            raise NotFittedError("EuclideanLSHIndex.hash_rows called before prepare")
+        start = max(0, start)
+        stop = min(len(self._vectors), stop)
+        partial: List[BucketMap] = [defaultdict(list) for _ in range(self.num_tables)]
+        if start >= stop:
+            return [dict(table) for table in partial]
+        bucket_ids = self._bucket_ids(self._vectors[start:stop])
+        for table_index in range(self.num_tables):
+            table = partial[table_index]
+            for local, bucket in enumerate(map(tuple, bucket_ids[table_index])):
+                table[bucket].append(start + local)
+        return [dict(table) for table in partial]
+
+    def install_tables(self, partials: Iterable[List[BucketMap]]) -> "EuclideanLSHIndex":
+        """Merge partial bucket maps (in ascending row-range order) into the index.
+
+        Feeding the ranges in row order keeps each bucket's row list sorted
+        exactly as a serial :meth:`build` would produce it, so a sharded
+        build is indistinguishable from a serial one.
+        """
+        if self._vectors is None:
+            raise NotFittedError("EuclideanLSHIndex.install_tables called before prepare")
+        tables: List[BucketMap] = [defaultdict(list) for _ in range(self.num_tables)]
+        for partial in partials:
+            if len(partial) != self.num_tables:
+                raise ValueError("partial bucket maps must cover every hash table")
+            for table_index, bucket_map in enumerate(partial):
+                table = tables[table_index]
+                for bucket, rows in bucket_map.items():
+                    table[bucket].extend(rows)
+        self._tables = tables
+        return self
+
+    def build(self, vectors: np.ndarray, keys: Optional[Sequence[object]] = None) -> "EuclideanLSHIndex":
+        """Index ``vectors``; ``keys`` are the identifiers returned by queries."""
+        self.prepare(vectors, keys)
+        assert self._vectors is not None
+        return self.install_tables([self.hash_rows(0, len(self._vectors))])
 
     def _bucket_ids(self, vectors: np.ndarray) -> np.ndarray:
         assert self._projections is not None and self._offsets is not None
@@ -85,6 +147,12 @@ class EuclideanLSHIndex:
         projected = np.einsum("thd,nd->tnh", self._projections, vectors)
         return np.floor((projected + self._offsets[:, None, :]) / self.bucket_width).astype(np.int64)
 
+    def _require_built(self, operation: str) -> None:
+        if self._vectors is None or not self._tables:
+            raise NotFittedError(f"EuclideanLSHIndex.{operation} called before build")
+
+    # ------------------------------------------------------------------
+    # Queries
     # ------------------------------------------------------------------
     def query(self, vector: np.ndarray, k: int = 10, exclude: Optional[object] = None) -> List[Tuple[object, float]]:
         """Return up to ``k`` (key, distance) pairs nearest to ``vector``.
@@ -92,19 +160,62 @@ class EuclideanLSHIndex:
         Candidates are gathered from colliding buckets across all tables and
         re-ranked by exact Euclidean distance.  If the buckets yield fewer
         than ``k`` candidates, the index transparently falls back to a linear
-        scan so recall never collapses on small datasets.
+        scan so recall never collapses on small datasets.  An empty index
+        yields an empty result; ``k`` larger than the index size simply
+        returns every (non-excluded) vector.
         """
-        if self._vectors is None:
-            raise NotFittedError("EuclideanLSHIndex.query called before build")
         vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
-        buckets = self._bucket_ids(vector)
-        candidates: set = set()
-        for table_index in range(self.num_tables):
-            bucket = tuple(buckets[table_index, 0])
-            candidates.update(self._tables[table_index].get(bucket, ()))
+        return self.query_batch(vector, k=k, exclude=[exclude])[0]
+
+    def query_batch(
+        self,
+        vectors: np.ndarray,
+        k: int = 10,
+        exclude: Optional[Sequence[object]] = None,
+    ) -> List[List[Tuple[object, float]]]:
+        """Top-``k`` results for a whole block of query vectors.
+
+        Bucket hashing is array-at-a-time: one projection pass computes the
+        bucket ids of every query row, so only candidate gathering and exact
+        re-ranking remain per row.  ``exclude`` optionally supplies one key
+        per query row to drop from that row's results (the per-row
+        counterpart of :meth:`query`'s ``exclude``).
+        """
+        self._require_built("query_batch")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim == 1:
+            vectors = vectors.reshape(1, -1)
+        if vectors.ndim != 2:
+            raise ValueError(f"expected a 2-d array of query vectors, got shape {vectors.shape}")
+        n = len(vectors)
+        if exclude is not None and len(exclude) != n:
+            raise ValueError("exclude must align with query vectors")
+        if n == 0:
+            return []
+        assert self._vectors is not None
+        buckets = self._bucket_ids(vectors)
+        results: List[List[Tuple[object, float]]] = []
+        for row in range(n):
+            candidates: set = set()
+            for table_index in range(self.num_tables):
+                bucket = tuple(buckets[table_index, row])
+                candidates.update(self._tables[table_index].get(bucket, ()))
+            excluded = exclude[row] if exclude is not None else None
+            results.append(self._rank(vectors[row : row + 1], candidates, k, excluded))
+        return results
+
+    def _rank(
+        self, vector: np.ndarray, candidates: set, k: int, exclude: Optional[object]
+    ) -> List[Tuple[object, float]]:
+        """Exact-distance re-ranking of one query row's candidate set."""
+        assert self._vectors is not None
         if len(candidates) < k:
             candidates = set(range(len(self._vectors)))
         candidate_list = sorted(candidates)
+        if not candidate_list:
+            return []
         diffs = self._vectors[candidate_list] - vector
         distances = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
         order = np.argsort(distances)
@@ -118,10 +229,6 @@ class EuclideanLSHIndex:
                 break
         return results
 
-    def query_batch(self, vectors: np.ndarray, k: int = 10) -> List[List[Tuple[object, float]]]:
-        """Vectorised convenience wrapper over :meth:`query`."""
-        return [self.query(vector, k=k) for vector in np.asarray(vectors, dtype=np.float64)]
-
     # ------------------------------------------------------------------
     @property
     def size(self) -> int:
@@ -129,9 +236,10 @@ class EuclideanLSHIndex:
 
     def bucket_statistics(self) -> Dict[str, float]:
         """Mean and max bucket occupancy across tables (diagnostics)."""
-        if not self._tables:
-            raise NotFittedError("EuclideanLSHIndex.bucket_statistics called before build")
+        self._require_built("bucket_statistics")
         sizes = [len(bucket) for table in self._tables for bucket in table.values()]
+        if not sizes:  # built over an empty table: no buckets at all
+            return {"mean_bucket_size": 0.0, "max_bucket_size": 0.0, "num_buckets": 0.0}
         return {
             "mean_bucket_size": float(np.mean(sizes)),
             "max_bucket_size": float(np.max(sizes)),

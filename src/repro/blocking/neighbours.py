@@ -12,13 +12,14 @@ Used in three places that mirror the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.blocking.lsh import EuclideanLSHIndex
 from repro.config import BlockingConfig
 from repro.data.pairs import RecordPair
+from repro.exceptions import NotFittedError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.engine.store import EncodingStore
@@ -33,6 +34,31 @@ class NeighbourResult:
 
     def keys(self) -> List[object]:
         return [key for key, _ in self.neighbours]
+
+
+def assemble_candidate_pairs(results: Iterable[NeighbourResult]) -> List[RecordPair]:
+    """(query, neighbour) results flattened into deduplicated candidate pairs.
+
+    The single definition of blocking-output assembly: every consumer of
+    top-K results — :meth:`NearestNeighbourSearch.candidate_pairs`, the
+    parallel blocking workers — flattens through here, so the pair order
+    (query order, then neighbour rank) and the dedup policy cannot diverge.
+    """
+    pairs: List[RecordPair] = []
+    seen: set = set()
+    for result in results:
+        for neighbour_key, _ in result.neighbours:
+            key = (result.query_key, neighbour_key)
+            if key in seen:
+                continue
+            seen.add(key)
+            pairs.append(RecordPair(str(result.query_key), str(neighbour_key)))
+    return pairs
+
+
+def assemble_neighbour_map(results: Iterable[NeighbourResult]) -> Dict[object, List[object]]:
+    """(query, neighbour) results as a mapping query key -> neighbour keys."""
+    return {result.query_key: result.keys() for result in results}
 
 
 class NearestNeighbourSearch:
@@ -59,6 +85,15 @@ class NearestNeighbourSearch:
         encodings = store.table_encodings(side)
         return cls(config).build(encodings.flat_mu(), encodings.keys)
 
+    @classmethod
+    def from_index(
+        cls, index: EuclideanLSHIndex, config: Optional[BlockingConfig] = None
+    ) -> "NearestNeighbourSearch":
+        """Wrap an already-built index (e.g. one assembled by parallel build)."""
+        search = cls(config)
+        search._index = index
+        return search
+
     def build(self, vectors: np.ndarray, keys: Sequence[object]) -> "NearestNeighbourSearch":
         """Index the right-hand-side (or full) collection of vectors."""
         self._index = EuclideanLSHIndex(
@@ -69,15 +104,28 @@ class NearestNeighbourSearch:
         ).build(vectors, keys)
         return self
 
-    def top_k(self, query_vectors: np.ndarray, query_keys: Sequence[object], k: int = 10) -> List[NeighbourResult]:
-        """Top-K neighbours of every query vector."""
+    @property
+    def index(self) -> EuclideanLSHIndex:
+        """The underlying LSH index (raises before :meth:`build`)."""
         if self._index is None:
-            raise RuntimeError("NearestNeighbourSearch.top_k called before build")
-        results = []
-        for key, vector in zip(query_keys, query_vectors):
-            neighbours = self._index.query(vector, k=k, exclude=key)
-            results.append(NeighbourResult(query_key=key, neighbours=neighbours))
-        return results
+            raise NotFittedError("NearestNeighbourSearch.index accessed before build")
+        return self._index
+
+    def top_k(self, query_vectors: np.ndarray, query_keys: Sequence[object], k: int = 10) -> List[NeighbourResult]:
+        """Top-K neighbours of every query vector.
+
+        Bucket hashing for the whole query block happens in one vectorized
+        pass (:meth:`EuclideanLSHIndex.query_batch`); each query's own key is
+        excluded from its results.
+        """
+        if self._index is None:
+            raise NotFittedError("NearestNeighbourSearch.top_k called before build")
+        query_keys = list(query_keys)
+        neighbour_lists = self._index.query_batch(query_vectors, k=k, exclude=query_keys)
+        return [
+            NeighbourResult(query_key=key, neighbours=neighbours)
+            for key, neighbours in zip(query_keys, neighbour_lists)
+        ]
 
     # ------------------------------------------------------------------
     def candidate_pairs(
@@ -87,16 +135,7 @@ class NearestNeighbourSearch:
         k: int = 10,
     ) -> List[RecordPair]:
         """Blocking output: every (query, neighbour) pair as a candidate."""
-        pairs: List[RecordPair] = []
-        seen: set = set()
-        for result in self.top_k(query_vectors, query_keys, k=k):
-            for neighbour_key, _ in result.neighbours:
-                key = (result.query_key, neighbour_key)
-                if key in seen:
-                    continue
-                seen.add(key)
-                pairs.append(RecordPair(str(result.query_key), str(neighbour_key)))
-        return pairs
+        return assemble_candidate_pairs(self.top_k(query_vectors, query_keys, k=k))
 
     def neighbour_map(
         self,
@@ -105,7 +144,4 @@ class NearestNeighbourSearch:
         k: int = 10,
     ) -> Dict[object, List[object]]:
         """Mapping query key → list of neighbour keys."""
-        return {
-            result.query_key: result.keys()
-            for result in self.top_k(query_vectors, query_keys, k=k)
-        }
+        return assemble_neighbour_map(self.top_k(query_vectors, query_keys, k=k))

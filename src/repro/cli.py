@@ -9,6 +9,7 @@ Usage (after installing the package)::
     python -m repro representation --domain beer --ir lsa
     python -m repro resolve --domain restaurants --k 10 --batch-size 2048
     python -m repro resolve --domain music --workers 4 --cache-dir .repro-cache
+    python -m repro plan --domain music --workers 4 --shard-rows 1024
 
 Each sub-command drives the same harness functions the benchmark suite uses,
 so the CLI is a convenient way to reproduce a single cell of the paper's
@@ -70,6 +71,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="Directory for the persistent encoding cache; repeated runs skip table encoding.",
     )
+
+    plan = subparsers.add_parser(
+        "plan",
+        help="Print the encode -> block -> score stage graph a resolve run would execute (no training, no encoding).",
+    )
+    plan.add_argument("--domain", default="restaurants", help="Benchmark domain name (see list-domains).")
+    plan.add_argument("--scale", type=float, default=1.0, help="Dataset size multiplier.")
+    plan.add_argument("--k", type=int, default=10, help="Top-K neighbours per record for blocking.")
+    plan.add_argument("--batch-size", type=int, default=2048, help="Candidate pairs scored per batch.")
+    plan.add_argument("--workers", type=int, default=1, help="Worker pool size the plan schedules for.")
+    plan.add_argument("--shard-rows", type=int, default=2048, help="Rows per row-range shard.")
 
     return parser
 
@@ -151,11 +163,32 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.data.generators import load_domain
+    from repro.engine import ResolutionPlanner
+
+    for name, value in (("--k", args.k), ("--batch-size", args.batch_size),
+                        ("--workers", args.workers), ("--shard-rows", args.shard_rows)):
+        if value <= 0:
+            print(f"error: {name} must be positive", file=sys.stderr)
+            return 2
+    domain = load_domain(args.domain, scale=args.scale)
+    plan = ResolutionPlanner(
+        domain.task,
+        k=args.k,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        shard_rows=args.shard_rows,
+    ).plan()
+    print(plan.describe())
+    return 0
+
+
 def _cmd_resolve(args: argparse.Namespace) -> int:
     from repro.core import VAER
     from repro.data.generators import load_domain
-    from repro.eval.reporting import format_engine_stats, format_shard_timings
-    from repro.eval.timing import ShardTimings, reset_engine_counters
+    from repro.eval.reporting import format_engine_stats, format_shard_timings, format_stage_timings
+    from repro.eval.timing import ShardTimings, StageTimings, reset_engine_counters
 
     if args.batch_size <= 0:
         print("error: --batch-size must be positive", file=sys.stderr)
@@ -174,9 +207,11 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     model.fit_matcher(domain.splits.train, domain.splits.validation)
 
     timings = ShardTimings()
+    stage_timings = StageTimings()
     candidates = matches = batches = 0
     for batch in model.resolve_stream(
-        k=args.k, batch_size=args.batch_size, workers=args.workers, shard_timings=timings
+        k=args.k, batch_size=args.batch_size, workers=args.workers,
+        shard_timings=timings, stage_timings=stage_timings,
     ):
         candidates += len(batch)
         matches += len(batch.matches())
@@ -192,6 +227,8 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
         print(f"  encoding cache:         {args.cache_dir}")
     print("\nEngine cache statistics\n")
     print(format_engine_stats())
+    print("\nPer-stage timings (encode -> block -> score)\n")
+    print(format_stage_timings(stage_timings))
     print("\nPer-shard timings\n")
     print(format_shard_timings(timings))
     return 0
@@ -212,6 +249,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_transfer(args)
     if args.command == "resolve":
         return _cmd_resolve(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     return 1
 
 

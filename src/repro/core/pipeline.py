@@ -57,13 +57,15 @@ from repro.engine import (
     EncodingStore,
     PersistentEncodingCache,
     ResolutionBatch,
+    ResolutionPlan,
+    ResolutionPlanner,
     ScoredPairs,
     ShardedEncodingStore,
     resolve_sharded,
     resolve_stream,
 )
 from repro.eval.metrics import PRF, precision_recall_f1
-from repro.eval.timing import ShardTimings
+from repro.eval.timing import ShardTimings, StageTimings
 from repro.exceptions import NotFittedError
 
 
@@ -258,6 +260,7 @@ class VAER:
         batch_size: int = 2048,
         workers: int = 1,
         shard_timings: Optional[ShardTimings] = None,
+        stage_timings: Optional[StageTimings] = None,
     ) -> Iterator[ResolutionBatch]:
         """Chunked ER pass: score candidates in bounded-memory batches.
 
@@ -267,14 +270,17 @@ class VAER:
         pairs at once, so arbitrarily large candidate sets resolve in bounded
         memory.
 
-        With ``workers > 1`` the batches are scored concurrently on a worker
-        pool (:func:`repro.engine.resolve_sharded`) and merged back in order;
-        the yielded sequence is byte-identical to the single-process stream.
-        ``shard_timings`` optionally collects per-batch worker timings.
+        With ``workers > 1`` both the LSH blocking queries and the batch
+        scoring run concurrently on a worker pool through the plan/execute
+        engine (:func:`repro.engine.resolve_sharded`) and merge back in
+        order; the yielded sequence is byte-identical to the single-process
+        stream.  ``shard_timings`` optionally collects per-batch worker
+        timings; ``stage_timings`` collects per-stage (encode/block/score)
+        compute seconds.
         """
         matcher = self._require_matcher()
         k = k or self.config.active_learning.top_neighbours
-        if workers != 1 or shard_timings is not None:
+        if workers != 1 or shard_timings is not None or stage_timings is not None:
             return resolve_sharded(
                 self.store,
                 matcher,
@@ -284,6 +290,7 @@ class VAER:
                 threshold=self.threshold,
                 workers=workers,
                 shard_timings=shard_timings,
+                stage_timings=stage_timings,
             )
         return resolve_stream(
             self.store,
@@ -293,6 +300,30 @@ class VAER:
             batch_size=batch_size,
             threshold=self.threshold,
         )
+
+    def plan_resolution(
+        self,
+        k: Optional[int] = None,
+        batch_size: int = 2048,
+        workers: int = 1,
+    ) -> ResolutionPlan:
+        """The deterministic stage graph a resolve run with these knobs executes.
+
+        Pure metadata — computed from table sizes alone, no encoding or
+        matcher required — so the plan can be inspected before committing to
+        the run (the CLI ``plan`` subcommand prints it).
+        """
+        self._require_representation()
+        assert self.task is not None
+        k = k or self.config.active_learning.top_neighbours
+        return ResolutionPlanner(
+            self.task,
+            blocking=self.config.blocking,
+            k=k,
+            batch_size=batch_size,
+            workers=workers,
+            shard_rows=self.shard_rows,
+        ).plan()
 
     # ------------------------------------------------------------------
     # Diagnostics

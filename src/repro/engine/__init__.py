@@ -1,24 +1,42 @@
 """Batched encoding engine shared by blocking, matching and active learning.
 
-The engine layer owns *where encodings live* and *how pairs are scored*:
+The engine layer owns *where encodings live* and *how the resolve path is
+planned and executed*:
 
 * :class:`EncodingStore` — keyed, invalidation-aware cache of per-table IR
   arrays and latent Gaussians, with vectorized gather-then-matmul pair
   featurisation and scoring;
 * :class:`PersistentEncodingCache` — on-disk extension of the store's cache,
-  keyed by ``(task, side, encoding_version)``, so repeated runs skip table
-  encoding entirely;
-* :func:`resolve_stream` / :func:`stream_candidate_pairs` — bounded-memory
-  chunked resolution for tables larger than one scoring batch;
-* :class:`ShardedEncodingStore` / :func:`resolve_sharded` — row-range shard
-  views of the cached tables and multi-worker parallel scoring of the
-  candidate stream, merged deterministically by ``(batch_index, pair_index)``.
+  row-range-chunked (``<task>/<side>-vN/chunk-<a>-<b>.npz`` + manifest) so
+  warm loads are lazy per shard; legacy flat archives migrate on first read;
+* :class:`ResolutionPlanner` / :class:`ResolutionExecutor` — the plan/execute
+  core: a deterministic encode → block → score stage graph over row-range
+  shards, run serially or across the fork-based worker pool with results
+  merged deterministically by ``(batch_index, pair_index)``;
+* :func:`resolve_stream` / :func:`resolve_sharded` — thin front-ends over
+  that engine (single-process and pooled); byte-identical to each other;
+* :class:`ShardedEncodingStore` — row-range shard views of the cached tables
+  (zero-copy), with lazy per-shard loads from the chunked disk cache.
 
-Batching, caching, persistence and sharding decisions belong here, not in
-the pipeline stages that consume the encodings.
+Batching, caching, persistence, sharding and scheduling decisions belong
+here, not in the pipeline stages that consume the encodings.
 """
 
-from repro.engine.persist import PersistentEncodingCache, encoding_fingerprint
+from repro.engine.persist import (
+    DEFAULT_CHUNK_ROWS,
+    PersistentEncodingCache,
+    encoding_fingerprint,
+)
+from repro.engine.plan import (
+    ResolutionExecutor,
+    ResolutionPlan,
+    ResolutionPlanner,
+    Stage,
+    StageUnit,
+    build_index_sharded,
+    resolve_plan,
+    sharded_candidate_pairs,
+)
 from repro.engine.shard import (
     DEFAULT_SHARD_ROWS,
     ShardBounds,
@@ -26,6 +44,7 @@ from repro.engine.shard import (
     iter_sharded_candidate_batches,
     merge_scored_batches,
     resolve_sharded,
+    shard_bounds_for,
 )
 from repro.engine.store import EncodingStore, TableEncodings
 from repro.engine.stream import (
@@ -39,21 +58,31 @@ from repro.engine.stream import (
 )
 
 __all__ = [
+    "DEFAULT_CHUNK_ROWS",
     "DEFAULT_SHARD_ROWS",
     "EncodingStore",
     "PersistentEncodingCache",
     "ResolutionBatch",
+    "ResolutionExecutor",
+    "ResolutionPlan",
+    "ResolutionPlanner",
     "ScoredPairs",
     "ShardBounds",
     "ShardedEncodingStore",
+    "Stage",
+    "StageUnit",
     "TableEncodings",
+    "build_index_sharded",
     "encoding_fingerprint",
     "guard_store_version",
     "iter_candidate_batches",
     "iter_sharded_candidate_batches",
     "merge_scored_batches",
     "pin_store_version",
+    "resolve_plan",
     "resolve_sharded",
     "resolve_stream",
+    "shard_bounds_for",
+    "sharded_candidate_pairs",
     "stream_candidate_pairs",
 ]

@@ -1,45 +1,71 @@
-"""Persistent on-disk cache of table encodings.
+"""Persistent on-disk cache of table encodings, chunked by row range.
 
 The in-memory :class:`repro.engine.EncodingStore` already guarantees each
 table is encoded at most once *per process*; this module extends that
 guarantee *across* processes and runs.  A :class:`PersistentEncodingCache`
-serialises :class:`~repro.engine.store.TableEncodings` to ``.npz`` archives
-via the same :mod:`repro.nn.serialization` helpers used for model weights, so
-a repeated ``resolve`` or harness run on the same task and representation
-skips the IR transform and VAE forward pass entirely.
+serialises :class:`~repro.engine.store.TableEncodings` to row-range-chunked
+``.npz`` archives via the same :mod:`repro.nn.serialization` helpers used for
+model weights, so a repeated ``resolve`` or harness run on the same task and
+representation skips the IR transform and VAE forward pass entirely — and a
+consumer that only needs one row-range shard of a huge table reads only the
+chunks covering it instead of the whole archive.
 
 Cache-directory layout
 ----------------------
-One subdirectory per task, one archive per (side, encoding version)::
+One subdirectory per task, one *chunk directory* per (side, encoding
+version), holding a JSON manifest plus one archive per row-range chunk::
 
     <cache_dir>/
         <task-name>/
-            left-v3.npz
-            right-v3.npz
+            left-v3/
+                manifest.json
+                chunk-0-2048.npz
+                chunk-2048-4096.npz
+                ...
+            right-v3/
+                ...
+
+The manifest is written last (write-then-rename), so its presence marks a
+complete entry; readers that find a manifest referencing a missing or
+corrupt chunk treat the whole entry as a miss.  The flat single-archive
+layout of earlier versions (``<task>/<side>-vN.npz``) remains readable: the
+first load that finds one migrates it to the chunked layout in place
+(one-shot) and removes the flat archive.
 
 Keying and invalidation rules
 -----------------------------
 Entries are keyed by ``(task.name, side, encoding_version)`` — the same
 monotonic version token the in-memory store watches.  Because the token is
-process-local, every archive additionally embeds a *fingerprint* of the
+process-local, every manifest additionally embeds a *fingerprint* of the
 representation (IR method, dimensions, seed and a CRC of the VAE weights)
 and of the table (record count and a CRC of its record ids and values).  A
 load only succeeds when both the key and the fingerprint match; anything
-else — missing file, foreign task, refit or differently-seeded model,
-resized or edited table, corrupt archive — is a miss and falls back to
-computing (and rewriting) the entry.  Bumping ``encoding_version``
-therefore never serves stale encodings: the old archives simply stop being
-addressed.
+else — missing manifest, foreign task, refit or differently-seeded model,
+resized or edited table, corrupt or missing chunk, stale manifest — is a
+miss and falls back to computing (and rewriting) the entry.  Bumping
+``encoding_version`` therefore never serves stale encodings: the old
+entries simply stop being addressed.
+
+Lazy loads and memory mapping
+-----------------------------
+:meth:`PersistentEncodingCache.load_range` reads only the chunks overlapping
+a ``[start, stop)`` row range — the warm-load path for row-range-sharded
+consumers.  With ``mmap_mode`` set, chunk arrays are memory-mapped straight
+out of the (uncompressed) ``.npz`` members instead of copied into RAM; the
+mapping degrades silently to an eager read where it cannot apply.  Chunk
+reads are reported through the ``chunk_loads`` counter of whatever
+:class:`~repro.eval.timing.EngineCounters` the caller passes in.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import struct
 import zipfile
 import zlib
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -49,14 +75,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.core.representation import EntityRepresentationModel
     from repro.data.schema import Table
     from repro.engine.store import TableEncodings
+    from repro.eval.timing import EngineCounters
 
 PathLike = Union[str, Path]
 
-#: Bump when the on-disk archive layout changes; mismatching archives are
-#: treated as misses, never as errors.
-CACHE_FORMAT_VERSION = 1
+#: Bump when the on-disk layout changes; mismatching entries are treated as
+#: misses, never as errors.  Version 2 is the chunked manifest layout.
+CACHE_FORMAT_VERSION = 2
+
+#: Format tag of the legacy flat single-archive layout (read for migration).
+FLAT_FORMAT_VERSION = 1
+
+#: Default rows per chunk archive.
+DEFAULT_CHUNK_ROWS = 2048
+
+MANIFEST_NAME = "manifest.json"
 
 _ARRAY_KEYS = ("irs", "mu", "sigma")
+
+_LOAD_ERRORS = (OSError, ValueError, KeyError, TypeError, zlib.error, zipfile.BadZipFile, struct.error)
 
 
 def _slug(name: str) -> str:
@@ -66,7 +103,7 @@ def _slug(name: str) -> str:
 
 
 def encoding_fingerprint(representation: "EntityRepresentationModel", table: "Table") -> Dict[str, Any]:
-    """Identity check binding an archive to the exact model and table state.
+    """Identity check binding an entry to the exact model and table state.
 
     The ``encoding_version`` key only covers changes *within* a process (it
     restarts from zero every run), so the fingerprint carries everything that
@@ -102,37 +139,137 @@ def encoding_fingerprint(representation: "EntityRepresentationModel", table: "Ta
     }
 
 
+def _mmap_npz_arrays(path: Path, names: Tuple[str, ...], mmap_mode: str) -> Dict[str, np.ndarray]:
+    """Memory-map uncompressed ``.npy`` members straight out of a zip archive.
+
+    ``np.load`` silently ignores ``mmap_mode`` for ``.npz`` files, so this
+    locates each member's data offset (local header + npy header) by hand
+    and hands it to :class:`numpy.memmap`.  Raises on anything unexpected —
+    compressed members, object arrays, foreign npy versions — and the caller
+    falls back to an eager read.
+    """
+    from numpy.lib import format as npy_format
+
+    with zipfile.ZipFile(path) as archive:
+        infos = [(name, archive.getinfo(name + ".npy")) for name in names]
+    arrays: Dict[str, np.ndarray] = {}
+    with open(path, "rb") as handle:
+        for name, info in infos:
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError("compressed archive member cannot be memory-mapped")
+            handle.seek(info.header_offset)
+            local_header = handle.read(30)
+            if local_header[:4] != b"PK\x03\x04":
+                raise ValueError("malformed local file header")
+            name_length = int.from_bytes(local_header[26:28], "little")
+            extra_length = int.from_bytes(local_header[28:30], "little")
+            handle.seek(info.header_offset + 30 + name_length + extra_length)
+            version = npy_format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = npy_format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran, dtype = npy_format.read_array_header_2_0(handle)
+            else:
+                raise ValueError(f"unsupported npy format version {version}")
+            if dtype.hasobject:
+                raise ValueError("object arrays cannot be memory-mapped")
+            arrays[name] = np.memmap(
+                path,
+                dtype=dtype,
+                mode=mmap_mode,
+                offset=handle.tell(),
+                shape=shape,
+                order="F" if fortran else "C",
+            )
+    return arrays
+
+
 class PersistentEncodingCache:
-    """Directory-backed archive of table encodings.
+    """Directory-backed, row-range-chunked archive of table encodings.
 
     The cache is deliberately dumb storage: all counting (disk hits/misses,
-    tables encoded) lives in the :class:`repro.engine.EncodingStore` that
-    owns it, so one cache directory can be shared by many stores without
+    tables encoded, chunk loads) lives in the
+    :class:`~repro.eval.timing.EngineCounters` callers pass into the load
+    methods, so one cache directory can be shared by many stores without
     entangling their instrumentation.
+
+    Parameters
+    ----------
+    directory:
+        Root of the cache tree.
+    chunk_rows:
+        Rows per chunk archive written by :meth:`save`; the last chunk of a
+        table may be short.  Readers honour whatever chunking the manifest
+        records, so caches written with different ``chunk_rows`` interoperate.
+    mmap_mode:
+        When set (e.g. ``"r"``), loaded chunk arrays are memory-mapped from
+        the archives instead of read into RAM, where the archive permits it.
     """
 
-    def __init__(self, directory: PathLike) -> None:
+    def __init__(
+        self,
+        directory: PathLike,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        mmap_mode: Optional[str] = None,
+    ) -> None:
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        if mmap_mode not in (None, "r", "c"):
+            # "r+" would let consumers write through to the shared cache and
+            # "w+" would truncate chunks on open; only read-only ("r") and
+            # copy-on-write ("c") mappings are safe for a cache.
+            raise ValueError(f"mmap_mode must be None, 'r' or 'c', got {mmap_mode!r}")
         self.directory = Path(directory)
+        self.chunk_rows = chunk_rows
+        self.mmap_mode = mmap_mode
 
     # ------------------------------------------------------------------
-    def path_for(self, task_name: str, side: str, encoding_version: int) -> Path:
-        """Archive path of the ``(task, side, version)`` key."""
+    # Paths and layout
+    # ------------------------------------------------------------------
+    def dir_for(self, task_name: str, side: str, encoding_version: int) -> Path:
+        """Chunk directory of the ``(task, side, version)`` key."""
+        return self.directory / _slug(task_name) / f"{side}-v{int(encoding_version)}"
+
+    def manifest_path(self, task_name: str, side: str, encoding_version: int) -> Path:
+        """Manifest path of the ``(task, side, version)`` key."""
+        return self.dir_for(task_name, side, encoding_version) / MANIFEST_NAME
+
+    def chunk_path(self, task_name: str, side: str, encoding_version: int, start: int, stop: int) -> Path:
+        """Archive path of one row-range chunk."""
+        return self.dir_for(task_name, side, encoding_version) / f"chunk-{int(start)}-{int(stop)}.npz"
+
+    def flat_path_for(self, task_name: str, side: str, encoding_version: int) -> Path:
+        """Archive path the legacy flat layout used (migration read path)."""
         return self.directory / _slug(task_name) / f"{side}-v{int(encoding_version)}.npz"
 
     def entries(self) -> List[Path]:
-        """Every archive currently in the cache directory."""
+        """Every logical entry: chunked-layout manifests plus legacy archives."""
         if not self.directory.is_dir():
             return []
-        return sorted(self.directory.glob("*/*.npz"))
+        manifests = list(self.directory.glob(f"*/*/{MANIFEST_NAME}"))
+        flats = list(self.directory.glob("*/*.npz"))
+        return sorted(manifests + flats)
 
     def clear(self) -> int:
-        """Delete every archive; returns how many were removed."""
+        """Delete every entry; returns how many logical entries were removed."""
         removed = 0
-        for path in self.entries():
-            path.unlink()
+        for entry in self.entries():
             removed += 1
+            if entry.name == MANIFEST_NAME:
+                chunk_dir = entry.parent
+                for chunk in chunk_dir.glob("*.npz"):
+                    chunk.unlink()
+                entry.unlink()
+                try:
+                    chunk_dir.rmdir()
+                except OSError:  # pragma: no cover - foreign files left behind
+                    pass
+            else:
+                entry.unlink()
         return removed
 
+    # ------------------------------------------------------------------
+    # Writing
     # ------------------------------------------------------------------
     def save(
         self,
@@ -142,10 +279,76 @@ class PersistentEncodingCache:
         fingerprint: Dict[str, Any],
         encodings: "TableEncodings",
     ) -> Path:
-        """Persist one table's encodings; returns the archive path."""
-        path = self.path_for(task_name, side, encoding_version)
-        metadata = {
+        """Persist one table's encodings in row-range chunks; returns the manifest path.
+
+        Chunks are written first (write-then-rename each), the manifest last,
+        so concurrent readers (shared cache dirs across processes/nodes)
+        never observe a partial entry: either the manifest is present and
+        every chunk it references is complete, or the entry misses.
+        """
+        chunk_dir = self.dir_for(task_name, side, encoding_version)
+        chunk_dir.mkdir(parents=True, exist_ok=True)
+        n = len(encodings)
+        bounds = [
+            (start, min(start + self.chunk_rows, n))
+            for start in range(0, n, self.chunk_rows)
+        ]
+        for start, stop in bounds:
+            path = self.chunk_path(task_name, side, encoding_version, start, stop)
+            # The fingerprint rides in every chunk, not just the manifest:
+            # concurrent writers of the same key (e.g. differently-seeded
+            # models at the same version) overwrite chunk paths in place, so
+            # a reader holding the *other* writer's manifest must be able to
+            # reject a foreign chunk instead of mixing encodings.
+            metadata = {
+                "format": CACHE_FORMAT_VERSION,
+                "task": task_name,
+                "side": side,
+                "encoding_version": int(encoding_version),
+                "fingerprint": fingerprint,
+                "start": start,
+                "stop": stop,
+            }
+            state = {name: getattr(encodings, name)[start:stop] for name in _ARRAY_KEYS}
+            # The temp name keeps the .npz suffix (np.savez appends it
+            # otherwise) and the pid so parallel writers cannot collide.
+            temporary = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+            save_state_dict(state, temporary, metadata=metadata)
+            os.replace(temporary, path)
+        manifest = {
             "format": CACHE_FORMAT_VERSION,
+            "task": task_name,
+            "side": side,
+            "encoding_version": int(encoding_version),
+            "fingerprint": fingerprint,
+            "keys": [str(key) for key in encodings.keys],
+            "chunk_rows": int(self.chunk_rows),
+            "chunks": [[start, stop] for start, stop in bounds],
+            "shapes": {name: list(getattr(encodings, name).shape) for name in _ARRAY_KEYS},
+        }
+        manifest_path = self.manifest_path(task_name, side, encoding_version)
+        temporary = manifest_path.with_name(f".{MANIFEST_NAME}.{os.getpid()}.tmp")
+        temporary.write_text(json.dumps(manifest))
+        os.replace(temporary, manifest_path)
+        return manifest_path
+
+    def save_flat(
+        self,
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        fingerprint: Dict[str, Any],
+        encodings: "TableEncodings",
+    ) -> Path:
+        """Write an entry in the *legacy* flat single-archive layout.
+
+        Retained so migration can be exercised end to end (tests, and the
+        flat-vs-chunked load benchmark); new entries always go through
+        :meth:`save`.
+        """
+        path = self.flat_path_for(task_name, side, encoding_version)
+        metadata = {
+            "format": FLAT_FORMAT_VERSION,
             "task": task_name,
             "side": side,
             "encoding_version": int(encoding_version),
@@ -153,35 +356,229 @@ class PersistentEncodingCache:
             "keys": [str(key) for key in encodings.keys],
         }
         state = {name: getattr(encodings, name) for name in _ARRAY_KEYS}
-        # Write-then-rename so concurrent readers (shared cache dirs across
-        # processes/nodes) never observe a half-written archive.  The temp
-        # name keeps the .npz suffix (np.savez appends it otherwise) and the
-        # pid so parallel writers of the same key cannot collide.
         temporary = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
         save_state_dict(state, temporary, metadata=metadata)
         os.replace(temporary, path)
         return path
 
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
     def load(
         self,
         task_name: str,
         side: str,
         encoding_version: int,
         fingerprint: Dict[str, Any],
+        counters: Optional["EngineCounters"] = None,
     ) -> Optional["TableEncodings"]:
-        """Load a matching entry, or ``None`` on any kind of miss.
+        """Load a matching entry in full, or ``None`` on any kind of miss.
 
-        Corrupt or foreign archives are treated as misses rather than
-        errors: a cache must never be able to fail a resolution run.
+        Corrupt or foreign entries are treated as misses rather than errors:
+        a cache must never be able to fail a resolution run.  A legacy flat
+        archive found under the key is migrated to the chunked layout on the
+        way through.
         """
+        manifest = self._read_manifest(task_name, side, encoding_version, fingerprint)
+        if manifest is not None:
+            n = len(manifest["keys"])
+            return self._load_rows(manifest, task_name, side, encoding_version, 0, n, counters)
+        return self._migrate_flat(task_name, side, encoding_version, fingerprint)
+
+    def load_range(
+        self,
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        fingerprint: Dict[str, Any],
+        start: int,
+        stop: int,
+        counters: Optional["EngineCounters"] = None,
+    ) -> Optional["TableEncodings"]:
+        """Load only the rows ``[start, stop)`` of a matching entry.
+
+        Reads just the chunks overlapping the range — the lazy warm path for
+        row-range-sharded consumers.  Row indices in the returned encodings
+        are local to the range (0-based), mirroring
+        :meth:`repro.engine.shard.ShardedEncodingStore.table_shard` views.
+        Returns ``None`` on any miss, exactly like :meth:`load`.
+        """
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid row range [{start}, {stop})")
+        manifest = self._read_manifest(task_name, side, encoding_version, fingerprint)
+        if manifest is not None:
+            stop = min(stop, len(manifest["keys"]))
+            return self._load_rows(manifest, task_name, side, encoding_version, start, stop, counters)
+        migrated = self._migrate_flat(task_name, side, encoding_version, fingerprint)
+        if migrated is None:
+            return None
+        return _slice_encodings(migrated, start, min(stop, len(migrated)))
+
+    # ------------------------------------------------------------------
+    def _read_manifest(
+        self, task_name: str, side: str, encoding_version: int, fingerprint: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """The validated manifest of a key, or ``None`` on any mismatch."""
+        path = self.manifest_path(task_name, side, encoding_version)
+        if not path.is_file():
+            return None
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(manifest, dict):
+            return None
+        if manifest.get("format") != CACHE_FORMAT_VERSION:
+            return None
+        if manifest.get("task") != task_name or manifest.get("side") != side:
+            return None
+        try:
+            if int(manifest.get("encoding_version", -1)) != int(encoding_version):
+                return None
+        except (TypeError, ValueError):
+            return None
+        if manifest.get("fingerprint") != fingerprint:
+            return None
+        keys = manifest.get("keys")
+        chunks = manifest.get("chunks")
+        shapes = manifest.get("shapes")
+        if not isinstance(keys, list) or not isinstance(chunks, list) or not isinstance(shapes, dict):
+            return None
+        if set(shapes) != set(_ARRAY_KEYS):
+            return None
+        # Chunks must tile [0, n) contiguously and in order — anything else
+        # (hand-edited manifest, mixed-up files) is a stale manifest: miss.
+        position = 0
+        for chunk in chunks:
+            if not (isinstance(chunk, list) and len(chunk) == 2):
+                return None
+            chunk_start, chunk_stop = chunk
+            if chunk_start != position or chunk_stop <= chunk_start:
+                return None
+            position = chunk_stop
+        if position != len(keys):
+            return None
+        return manifest
+
+    def _load_rows(
+        self,
+        manifest: Dict[str, Any],
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        start: int,
+        stop: int,
+        counters: Optional["EngineCounters"],
+    ) -> Optional["TableEncodings"]:
+        """Materialise rows ``[start, stop)`` from the chunks covering them."""
         from repro.engine.store import TableEncodings
 
-        path = self.path_for(task_name, side, encoding_version)
+        keys = tuple(manifest["keys"][start:stop])
+        if start >= stop:
+            shapes = manifest["shapes"]
+            empty = {name: np.zeros([0] + [int(d) for d in shapes[name][1:]]) for name in _ARRAY_KEYS}
+            return TableEncodings(keys=keys, row_index={}, **empty)
+        covering = [
+            (int(chunk_start), int(chunk_stop))
+            for chunk_start, chunk_stop in manifest["chunks"]
+            if chunk_start < stop and chunk_stop > start
+        ]
+        pieces: Dict[str, List[np.ndarray]] = {name: [] for name in _ARRAY_KEYS}
+        fingerprint = manifest["fingerprint"]
+        for chunk_start, chunk_stop in covering:
+            arrays = self._read_chunk(
+                task_name, side, encoding_version, fingerprint, chunk_start, chunk_stop
+            )
+            if arrays is None:
+                return None
+            if counters is not None:
+                counters.record_chunk_load()
+            lo = max(start, chunk_start) - chunk_start
+            hi = min(stop, chunk_stop) - chunk_start
+            for name in _ARRAY_KEYS:
+                if arrays[name].shape[0] != chunk_stop - chunk_start:
+                    return None
+                pieces[name].append(arrays[name][lo:hi])
+        merged = {
+            # A range served by a single chunk stays a zero-copy (possibly
+            # memory-mapped) view; multi-chunk ranges concatenate.
+            name: parts[0] if len(parts) == 1 else np.concatenate(parts)
+            for name, parts in pieces.items()
+        }
+        if merged["irs"].shape[0] != len(keys):
+            return None
+        return TableEncodings(
+            keys=keys,
+            irs=merged["irs"],
+            mu=merged["mu"],
+            sigma=merged["sigma"],
+            row_index={key: row for row, key in enumerate(keys)},
+        )
+
+    def _read_chunk(
+        self,
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        fingerprint: Dict[str, Any],
+        start: int,
+        stop: int,
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """One chunk's arrays, validated against its embedded metadata."""
+        path = self.chunk_path(task_name, side, encoding_version, start, stop)
         if not path.is_file():
             return None
         try:
             metadata = load_metadata(path)
             if metadata is None or metadata.get("format") != CACHE_FORMAT_VERSION:
+                return None
+            if metadata.get("task") != task_name or metadata.get("side") != side:
+                return None
+            if metadata.get("fingerprint") != fingerprint:
+                return None
+            if int(metadata.get("start", -1)) != start or int(metadata.get("stop", -1)) != stop:
+                return None
+            if self.mmap_mode:
+                try:
+                    return _mmap_npz_arrays(path, _ARRAY_KEYS, self.mmap_mode)
+                except _LOAD_ERRORS:
+                    pass  # degrade to an eager read of the same chunk
+            with np.load(path, allow_pickle=False) as archive:
+                return {name: archive[name] for name in _ARRAY_KEYS}
+        except _LOAD_ERRORS:
+            # BadZipFile/struct.error cover truncated archives (killed
+            # writer) whose zip header still looks plausible.
+            return None
+
+    # ------------------------------------------------------------------
+    # Legacy flat layout: one-shot migration read path
+    # ------------------------------------------------------------------
+    def _migrate_flat(
+        self, task_name: str, side: str, encoding_version: int, fingerprint: Dict[str, Any]
+    ) -> Optional["TableEncodings"]:
+        """Serve a legacy flat archive, rewriting it as a chunked entry."""
+        encodings = self._load_flat(task_name, side, encoding_version, fingerprint)
+        if encodings is None:
+            return None
+        self.save(task_name, side, encoding_version, fingerprint, encodings)
+        try:
+            self.flat_path_for(task_name, side, encoding_version).unlink()
+        except OSError:  # pragma: no cover - concurrent migration already removed it
+            pass
+        return encodings
+
+    def _load_flat(
+        self, task_name: str, side: str, encoding_version: int, fingerprint: Dict[str, Any]
+    ) -> Optional["TableEncodings"]:
+        """Reader for the pre-chunking single-archive layout."""
+        from repro.engine.store import TableEncodings
+
+        path = self.flat_path_for(task_name, side, encoding_version)
+        if not path.is_file():
+            return None
+        try:
+            metadata = load_metadata(path)
+            if metadata is None or metadata.get("format") != FLAT_FORMAT_VERSION:
                 return None
             if metadata.get("task") != task_name or metadata.get("side") != side:
                 return None
@@ -192,9 +589,7 @@ class PersistentEncodingCache:
             keys = tuple(metadata["keys"])
             with np.load(path, allow_pickle=False) as archive:
                 arrays = {name: archive[name] for name in _ARRAY_KEYS}
-        except (OSError, ValueError, KeyError, zlib.error, zipfile.BadZipFile, struct.error):
-            # BadZipFile/struct.error cover truncated archives (killed
-            # writer) whose zip header still looks plausible.
+        except _LOAD_ERRORS:
             return None
         if len(keys) != arrays["irs"].shape[0]:
             return None
@@ -207,4 +602,21 @@ class PersistentEncodingCache:
         )
 
     def __repr__(self) -> str:
-        return f"PersistentEncodingCache({str(self.directory)!r}, entries={len(self.entries())})"
+        return (
+            f"PersistentEncodingCache({str(self.directory)!r}, "
+            f"chunk_rows={self.chunk_rows}, entries={len(self.entries())})"
+        )
+
+
+def _slice_encodings(encodings: "TableEncodings", start: int, stop: int) -> "TableEncodings":
+    """Row-range view of in-memory encodings with a local row index."""
+    from repro.engine.store import TableEncodings
+
+    keys = encodings.keys[start:stop]
+    return TableEncodings(
+        keys=keys,
+        irs=encodings.irs[start:stop],
+        mu=encodings.mu[start:stop],
+        sigma=encodings.sigma[start:stop],
+        row_index={key: row for row, key in enumerate(keys)},
+    )

@@ -1,0 +1,693 @@
+"""Plan/execute layer: one engine behind every resolve front-end.
+
+Resolution is three stages — *encode* the two tables, *block* (LSH index
+build + top-K queries) to enumerate candidate pairs, *score* the candidates
+in batches — and every earlier entry point special-cased its own slice of
+that flow.  This module owns the whole of it:
+
+* :class:`ResolutionPlanner` partitions the work into row-range shards
+  (the same bounds :class:`~repro.engine.shard.ShardedEncodingStore` views
+  expose) and emits a deterministic stage graph — pure metadata, computed
+  from table sizes alone, so a plan can be printed or inspected without
+  encoding a single record (``repro plan`` does exactly that);
+* :class:`ResolutionExecutor` runs the stages.  With ``workers == 1`` it
+  runs the exact serial schedule :func:`~repro.engine.stream.resolve_stream`
+  always had.  With a pool, the LSH hash tables are built from per-shard
+  partial maps computed in workers, left-table query shards fan out across
+  the pool, and scoring batches overlap with blocking — all merged back
+  deterministically: candidate order by (shard, row, neighbour rank), scored
+  batches by ``(batch_index, pair_index)``, so the yielded stream is
+  byte-identical to the serial one regardless of scheduling.
+
+:func:`~repro.engine.stream.resolve_stream` and
+:func:`~repro.engine.shard.resolve_sharded` are thin front-ends over this
+engine; blocking-only consumers (benchmarks, equivalence tests) can call
+:func:`build_index_sharded` / :func:`sharded_candidate_pairs` directly.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.blocking.lsh import EuclideanLSHIndex
+from repro.blocking.neighbours import NearestNeighbourSearch
+from repro.config import BlockingConfig
+from repro.data.pairs import RecordPair
+from repro.data.schema import ERTask
+from repro.engine.shard import (
+    DEFAULT_SHARD_ROWS,
+    ShardBounds,
+    make_pool,
+    new_pool_token,
+    query_shard_pairs,
+    release_pool_token,
+    shard_bounds_for,
+    worker_state,
+)
+from repro.engine.store import EncodingStore, TableEncodings
+from repro.engine.stream import (
+    DEFAULT_BATCH_SIZE,
+    ResolutionBatch,
+    guard_store_version,
+    iter_candidate_batches,
+    pin_store_version,
+    query_chunk_for,
+)
+from repro.eval.timing import ShardTimings, StageTimings
+
+
+# ----------------------------------------------------------------------
+# The plan: a deterministic stage graph over row-range shards
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StageUnit:
+    """One schedulable unit of work within a stage."""
+
+    name: str
+    rows: int = 0
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One stage of the resolve graph and the stages it depends on."""
+
+    name: str
+    depends_on: Tuple[str, ...]
+    units: Tuple[StageUnit, ...]
+
+    @property
+    def num_units(self) -> int:
+        return len(self.units)
+
+
+@dataclass(frozen=True)
+class ResolutionPlan:
+    """Deterministic description of one resolve run.
+
+    Pure metadata: the plan is computed from table sizes and knobs alone
+    (no encoding, no disk access), so it can be printed, compared or
+    shipped to a remote runner before any expensive work starts.
+    """
+
+    task_name: str
+    left_rows: int
+    right_rows: int
+    k: int
+    batch_size: int
+    workers: int
+    shard_rows: int
+    query_chunk: int
+    blocking: Optional[BlockingConfig]
+    query_bounds: Tuple[ShardBounds, ...]
+    build_bounds: Tuple[ShardBounds, ...]
+    stages: Tuple[Stage, ...] = field(default=())
+
+    def stage(self, name: str) -> Stage:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"plan has no stage {name!r}")
+
+    def max_batches(self) -> int:
+        """Upper bound on scored batches (dedup can only shrink it)."""
+        if self.left_rows == 0:
+            return 0
+        return (self.left_rows * self.k + self.batch_size - 1) // self.batch_size
+
+    def describe(self, max_units: int = 8) -> str:
+        """Human-readable stage graph (the ``repro plan`` output)."""
+        lines = [
+            f"resolution plan for task {self.task_name!r}",
+            f"  knobs: workers={self.workers} shard_rows={self.shard_rows} "
+            f"k={self.k} batch_size={self.batch_size} query_chunk={self.query_chunk}",
+            f"  tables: left={self.left_rows} rows ({len(self.query_bounds)} shards), "
+            f"right={self.right_rows} rows ({len(self.build_bounds)} shards)",
+        ]
+        for position, stage in enumerate(self.stages, start=1):
+            dependency = f" <- {', '.join(stage.depends_on)}" if stage.depends_on else ""
+            lines.append(f"  [{position}] {stage.name}{dependency} — {stage.num_units} unit(s)")
+            for unit in stage.units[:max_units]:
+                rows = f" ({unit.rows} rows)" if unit.rows else ""
+                detail = f": {unit.detail}" if unit.detail else ""
+                lines.append(f"        {unit.name}{rows}{detail}")
+            hidden = stage.num_units - max_units
+            if hidden > 0:
+                lines.append(f"        ... (+{hidden} more)")
+        return "\n".join(lines)
+
+
+class ResolutionPlanner:
+    """Partition a task's resolve run into a stage graph over row shards.
+
+    Parameters mirror the resolve knobs; ``shard_rows`` fixes the row-range
+    partitioning shared by the blocking fan-out, the sharded store views and
+    the chunked persistent cache.
+    """
+
+    def __init__(
+        self,
+        task: ERTask,
+        blocking: Optional[BlockingConfig] = None,
+        k: int = 10,
+        batch_size: int = 2048,
+        workers: int = 1,
+        shard_rows: int = DEFAULT_SHARD_ROWS,
+    ) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if shard_rows <= 0:
+            raise ValueError("shard_rows must be positive")
+        self.task = task
+        self.blocking = blocking
+        self.k = k
+        self.batch_size = batch_size
+        self.workers = workers
+        self.shard_rows = shard_rows
+
+    @classmethod
+    def from_store(
+        cls,
+        store: EncodingStore,
+        blocking: Optional[BlockingConfig] = None,
+        k: int = 10,
+        batch_size: int = 2048,
+        workers: int = 1,
+    ) -> "ResolutionPlanner":
+        """Planner over a store's task, adopting the store's shard layout."""
+        shard_rows = getattr(store, "shard_rows", DEFAULT_SHARD_ROWS)
+        return cls(
+            store.task,
+            blocking=blocking,
+            k=k,
+            batch_size=batch_size,
+            workers=workers,
+            shard_rows=shard_rows,
+        )
+
+    def plan(self) -> ResolutionPlan:
+        """The deterministic stage graph for the current knobs."""
+        left_rows = len(self.task.left)
+        right_rows = len(self.task.right)
+        query_bounds = tuple(shard_bounds_for("left", left_rows, self.shard_rows))
+        build_bounds = tuple(shard_bounds_for("right", right_rows, self.shard_rows))
+        query_chunk = query_chunk_for(self.batch_size, self.k)
+
+        encode = Stage(
+            name="encode",
+            depends_on=(),
+            units=(
+                StageUnit(name="left", rows=left_rows, detail="IR transform + VAE forward"),
+                StageUnit(name="right", rows=right_rows, detail="IR transform + VAE forward"),
+            ),
+        )
+        block_units = [
+            StageUnit(name=f"build right[{b.index}]", rows=b.rows, detail=f"hash rows {b.start}..{b.stop}")
+            for b in build_bounds
+        ] + [
+            StageUnit(name=f"query left[{b.index}]", rows=b.rows, detail=f"top-{self.k} rows {b.start}..{b.stop}")
+            for b in query_bounds
+        ]
+        block = Stage(name="block", depends_on=("encode",), units=tuple(block_units))
+        plan_without_score = ResolutionPlan(
+            task_name=self.task.name,
+            left_rows=left_rows,
+            right_rows=right_rows,
+            k=self.k,
+            batch_size=self.batch_size,
+            workers=self.workers,
+            shard_rows=self.shard_rows,
+            query_chunk=query_chunk,
+            blocking=self.blocking,
+            query_bounds=query_bounds,
+            build_bounds=build_bounds,
+        )
+        score = Stage(
+            name="score",
+            depends_on=("block",),
+            units=(
+                StageUnit(
+                    name="batches",
+                    detail=(
+                        f"streaming, <={plan_without_score.max_batches()} batches "
+                        f"of <={self.batch_size} pairs"
+                    ),
+                ),
+            ),
+        )
+        return ResolutionPlan(
+            task_name=self.task.name,
+            left_rows=left_rows,
+            right_rows=right_rows,
+            k=self.k,
+            batch_size=self.batch_size,
+            workers=self.workers,
+            shard_rows=self.shard_rows,
+            query_chunk=query_chunk,
+            blocking=self.blocking,
+            query_bounds=query_bounds,
+            build_bounds=build_bounds,
+            stages=(encode, block, score),
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker tasks (run inside the pool; state arrives by fork, not pickling)
+# ----------------------------------------------------------------------
+@dataclass
+class _PlanState:
+    """Everything a pool worker needs, registered under the pool's token."""
+
+    flat: np.ndarray  # record-level query vectors of the left table
+    keys: Sequence[object]  # aligned query keys
+    search: NearestNeighbourSearch
+    left: Optional[TableEncodings] = None
+    right: Optional[TableEncodings] = None
+    matcher: object = None
+
+
+def _hash_task(token: str, start: int, stop: int):
+    """Build stage: per-table partial bucket maps of one row range."""
+    (index,) = worker_state(token)
+    started = time.perf_counter()
+    partial = index.hash_rows(start, stop)
+    return start, partial, time.perf_counter() - started
+
+
+def _query_task(token: str, shard_index: int, start: int, stop: int, k: int, query_chunk: int):
+    """Block stage: top-K candidate pairs of one left-table query shard.
+
+    Rows are walked through :func:`repro.engine.shard.query_shard_pairs`,
+    the chunk-walk definition every enumerator shares, so the concatenation
+    of shard results in shard order reproduces the serial candidate stream
+    pair for pair.
+    """
+    state: _PlanState = worker_state(token)
+    started = time.perf_counter()
+    pairs = query_shard_pairs(state.search, state.flat, state.keys, start, stop, k, query_chunk)
+    return shard_index, pairs, time.perf_counter() - started
+
+
+def _score_task(token: str, batch_index: int, left_rows: np.ndarray, right_rows: np.ndarray):
+    """Score stage: gather one batch's IRs from the shared arrays and score."""
+    state: _PlanState = worker_state(token)
+    started = time.perf_counter()
+    probabilities = state.matcher.predict_proba(
+        state.left.irs[left_rows], state.right.irs[right_rows]
+    )
+    return batch_index, probabilities, time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Parallel blocking primitives (also used standalone by benchmarks/tests)
+# ----------------------------------------------------------------------
+def build_index_sharded(
+    vectors: np.ndarray,
+    keys: Sequence[object],
+    blocking: Optional[BlockingConfig] = None,
+    workers: int = 1,
+    shard_rows: int = DEFAULT_SHARD_ROWS,
+) -> EuclideanLSHIndex:
+    """Build an LSH index with per-shard hash maps computed in workers.
+
+    The projections are fixed once in the parent; each worker hashes one
+    row-range shard into partial bucket maps and the parent merges them in
+    row order, so bucket membership — and therefore every query answer — is
+    identical to a serial :meth:`EuclideanLSHIndex.build`.
+    """
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    config = blocking or BlockingConfig()
+    index = EuclideanLSHIndex(
+        num_tables=config.num_tables,
+        hash_size=config.hash_size,
+        bucket_width=config.bucket_width,
+        seed=config.seed,
+    )
+    index.prepare(vectors, keys)
+    bounds = shard_bounds_for("right", index.size, shard_rows)
+    if workers == 1 or len(bounds) <= 1:
+        index.install_tables([index.hash_rows(0, index.size)])
+        return index
+    token = new_pool_token()
+    pool, _ = make_pool(min(workers, len(bounds)), token, (index,))
+    try:
+        with pool:
+            futures = [pool.submit(_hash_task, token, b.start, b.stop) for b in bounds]
+            results = sorted(future.result() for future in futures)
+    finally:
+        release_pool_token(token)
+    index.install_tables([partial for _, partial, _ in results])
+    return index
+
+
+def sharded_candidate_pairs(
+    vectors: np.ndarray,
+    keys: Sequence[object],
+    query_vectors: np.ndarray,
+    query_keys: Sequence[object],
+    blocking: Optional[BlockingConfig] = None,
+    k: int = 10,
+    workers: int = 1,
+    shard_rows: int = DEFAULT_SHARD_ROWS,
+    query_chunk: Optional[int] = None,
+    stage_timings: Optional[StageTimings] = None,
+) -> List[RecordPair]:
+    """Blocking alone, sharded end to end: build in workers, query in workers.
+
+    Returns the full candidate-pair list in serial enumeration order —
+    shard results are merged by ascending shard index, each shard's pairs
+    ordered by (row, neighbour rank).  With ``workers == 1`` every step runs
+    serially in the calling process; any worker count yields the identical
+    pair list.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    query_vectors = np.asarray(query_vectors, dtype=np.float64)
+    query_keys = list(query_keys)
+    if query_chunk is None:
+        # Mirror the resolve path's chunking at its default batch size, so
+        # standalone blocking walks the left table in the same strides.
+        query_chunk = query_chunk_for(DEFAULT_BATCH_SIZE, k)
+    if query_chunk <= 0:
+        raise ValueError("query_chunk must be positive")
+    started = time.perf_counter()
+    index = build_index_sharded(
+        vectors, keys, blocking=blocking, workers=workers, shard_rows=shard_rows
+    )
+    if stage_timings is not None:
+        stage_timings.record("block-build", time.perf_counter() - started)
+    search = NearestNeighbourSearch.from_index(index, blocking)
+    bounds = shard_bounds_for("left", len(query_vectors), shard_rows)
+    chunk = query_chunk
+    started = time.perf_counter()
+    if workers == 1 or len(bounds) <= 1:
+        pairs: List[RecordPair] = []
+        for b in bounds:
+            pairs.extend(
+                query_shard_pairs(search, query_vectors, query_keys, b.start, b.stop, k, chunk)
+            )
+        if stage_timings is not None:
+            stage_timings.record("block-query", time.perf_counter() - started, units=len(bounds))
+        return pairs
+    token = new_pool_token()
+    state = _PlanState(flat=query_vectors, keys=query_keys, search=search)
+    pool, _ = make_pool(min(workers, len(bounds)), token, state)
+    try:
+        with pool:
+            futures = [
+                pool.submit(_query_task, token, b.index, b.start, b.stop, k, chunk)
+                for b in bounds
+            ]
+            results = sorted(
+                (future.result() for future in futures), key=lambda item: item[0]
+            )
+    finally:
+        release_pool_token(token)
+    if stage_timings is not None:
+        for _, _, seconds in results:
+            stage_timings.record("block-query", seconds)
+    return [pair for _, shard_pairs, _ in results for pair in shard_pairs]
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class ResolutionExecutor:
+    """Run a :class:`ResolutionPlan` against a store and matcher.
+
+    ``workers == 1`` executes the serial schedule
+    (:func:`~repro.engine.stream.resolve_stream`'s historical behaviour,
+    batch for batch and byte for byte).  With a pool, blocking and scoring
+    overlap: query shards and score batches are in flight together, with
+    bounded in-flight depth in both stages, and batches are emitted strictly
+    in ``batch_index`` order.
+    """
+
+    def __init__(
+        self,
+        plan: ResolutionPlan,
+        store: EncodingStore,
+        matcher,
+        threshold: float = 0.5,
+        shard_timings: Optional[ShardTimings] = None,
+        stage_timings: Optional[StageTimings] = None,
+    ) -> None:
+        self.plan = plan
+        self.store = store
+        self.matcher = matcher
+        self.threshold = threshold
+        self.shard_timings = shard_timings
+        self.stage_timings = stage_timings
+
+    # ------------------------------------------------------------------
+    def run(self) -> Iterator[ResolutionBatch]:
+        """The scored batch stream; validation and version pinning are eager."""
+        pinned = pin_store_version(self.store)
+        if self.plan.workers == 1:
+            return self._run_serial(pinned)
+        return self._run_parallel(pinned)
+
+    # ------------------------------------------------------------------
+    def _record_stage(self, stage: str, seconds: float, units: int = 1) -> None:
+        if self.stage_timings is not None:
+            self.stage_timings.record(stage, seconds, units=units)
+
+    def _run_serial(self, pinned: int) -> Iterator[ResolutionBatch]:
+        plan, store, matcher = self.plan, self.store, self.matcher
+
+        def generate() -> Iterator[ResolutionBatch]:
+            if self.stage_timings is not None:
+                # Warm both sides only when encode is being timed — without a
+                # sink the serial schedule encodes lazily inside enumeration,
+                # preserving the historical counter traces.
+                started = time.perf_counter()
+                store.table_encodings("left")
+                store.table_encodings("right")
+                guard_store_version(store, pinned)
+                self._record_stage("encode", time.perf_counter() - started, units=2)
+            iterator = iter(
+                iter_candidate_batches(
+                    store, blocking=plan.blocking, k=plan.k, batch_size=plan.batch_size
+                )
+            )
+            while True:
+                started = time.perf_counter()
+                try:
+                    batch_index, pairs = next(iterator)
+                except StopIteration:
+                    return
+                block_seconds = time.perf_counter() - started
+                guard_store_version(store, pinned)
+                started = time.perf_counter()
+                left, right = store.gather_pair_irs(pairs)
+                probabilities = matcher.predict_proba(left, right)
+                score_seconds = time.perf_counter() - started
+                self._record_stage("block", block_seconds)
+                self._record_stage("score", score_seconds)
+                if self.shard_timings is not None:
+                    self.shard_timings.record(batch_index, len(pairs), block_seconds + score_seconds)
+                yield ResolutionBatch(
+                    pairs=pairs,
+                    probabilities=probabilities,
+                    threshold=self.threshold,
+                    batch_index=batch_index,
+                )
+
+        return generate()
+
+    # ------------------------------------------------------------------
+    def _run_parallel(self, pinned: int) -> Iterator[ResolutionBatch]:
+        plan, store, matcher = self.plan, self.store, self.matcher
+
+        def generate() -> Iterator[ResolutionBatch]:
+            # Stage 1 — encode.  Warm both sides *before* any pool exists so
+            # forked children inherit the cached arrays instead of
+            # recomputing (or re-reading disk).  The version was pinned
+            # before warming: if a refit lands between the two encodes, the
+            # guard catches it instead of silently pairing a version-N left
+            # table with a version-N+1 right table.
+            started = time.perf_counter()
+            left = store.table_encodings("left")
+            right = store.table_encodings("right")
+            guard_store_version(store, pinned)
+            self._record_stage("encode", time.perf_counter() - started, units=2)
+
+            # Stage 2a — build the LSH index, hash maps computed in workers.
+            # The build uses its own short-lived pool rather than the
+            # query/score pool below: fork snapshots worker state at pool
+            # creation, so query workers can only see the *finished* index
+            # if the pool is created after the build completes.  Sharing one
+            # pool would mean shipping the merged hash tables to every task
+            # by pickle — costlier than a second fork.
+            started = time.perf_counter()
+            index = build_index_sharded(
+                right.flat_mu(),
+                right.keys,
+                blocking=plan.blocking,
+                workers=plan.workers,
+                shard_rows=plan.shard_rows,
+            )
+            search = NearestNeighbourSearch.from_index(index, plan.blocking)
+            self._record_stage("block", time.perf_counter() - started, units=len(plan.build_bounds))
+            guard_store_version(store, pinned)
+
+            # Stages 2b+3 — query fan-out and scoring share one pool, so a
+            # worker drains whichever stage has work.
+            token = new_pool_token()
+            state = _PlanState(
+                flat=left.flat_mu(),
+                keys=left.keys,
+                search=search,
+                left=left,
+                right=right,
+                matcher=matcher,
+            )
+            pool, _ = make_pool(plan.workers, token, state)
+            try:
+                with pool:
+                    yield from self._pump(pool, token, left, right, pinned)
+            finally:
+                release_pool_token(token)
+
+        return generate()
+
+    def _pump(self, pool, token: str, left: TableEncodings, right: TableEncodings, pinned: int) -> Iterator[ResolutionBatch]:
+        """Overlap query shards and score batches with bounded in-flight depth.
+
+        Backpressure counts both unfinished futures *and* finished-but-
+        unconsumed results in each stage: when one early unit is slow, later
+        completions park until it lands, and without counting them the
+        parent would keep submitting and buffer the whole stream — the
+        unbounded materialisation this layer exists to avoid.  Emission is
+        strictly ordered: shards are consumed by ascending shard index, and
+        batches are yielded by ascending ``batch_index``.
+        """
+        plan, store = self.plan, self.store
+        bounds = plan.query_bounds
+        max_inflight = max(2, plan.workers * 2)
+
+        query_inflight: Dict[object, int] = {}
+        query_done: Dict[int, Tuple[List[RecordPair], float]] = {}
+        score_inflight: Dict[object, int] = {}
+        score_done: Dict[int, Tuple[np.ndarray, float]] = {}
+        pending_pairs: Dict[int, List[RecordPair]] = {}
+        buffer: List[RecordPair] = []
+        submitted = 0
+        next_shard = 0
+        batch_index = 0
+        next_emit = 0
+
+        def collect(inflight: Dict[object, int], done: Dict, block: bool) -> None:
+            if not inflight:
+                return
+            completed, _ = wait(
+                list(inflight), timeout=None if block else 0, return_when=FIRST_COMPLETED
+            )
+            for future in completed:
+                inflight.pop(future)
+                key, payload, seconds = future.result()
+                done[key] = (payload, seconds)
+
+        def emit_ready() -> Iterator[ResolutionBatch]:
+            nonlocal next_emit
+            while next_emit in score_done:
+                probabilities, seconds = score_done.pop(next_emit)
+                pairs = pending_pairs.pop(next_emit)
+                if self.shard_timings is not None:
+                    self.shard_timings.record(next_emit, len(pairs), seconds)
+                self._record_stage("score", seconds)
+                store.record_external_gather(len(pairs))
+                yield ResolutionBatch(
+                    pairs=pairs,
+                    probabilities=probabilities,
+                    threshold=self.threshold,
+                    batch_index=next_emit,
+                )
+                next_emit += 1
+
+        while True:
+            # Top up the query fan-out.
+            while submitted < len(bounds) and len(query_inflight) + len(query_done) < max_inflight:
+                guard_store_version(store, pinned)
+                b = bounds[submitted]
+                query_inflight[
+                    pool.submit(_query_task, token, b.index, b.start, b.stop, plan.k, plan.query_chunk)
+                ] = b.index
+                submitted += 1
+            collect(query_inflight, query_done, block=False)
+            # Consume finished shards strictly in shard order.
+            while next_shard in query_done:
+                pairs, seconds = query_done.pop(next_shard)
+                self._record_stage("block", seconds)
+                buffer.extend(pairs)
+                next_shard += 1
+            blocking_done = next_shard >= len(bounds)
+            # Pack and submit score batches (partial batch only at the end).
+            while len(buffer) >= plan.batch_size or (blocking_done and buffer):
+                head, buffer = buffer[: plan.batch_size], buffer[plan.batch_size :]
+                guard_store_version(store, pinned)
+                left_rows = left.rows([p.left_id for p in head])
+                right_rows = right.rows([p.right_id for p in head])
+                pending_pairs[batch_index] = head
+                score_inflight[
+                    pool.submit(_score_task, token, batch_index, left_rows, right_rows)
+                ] = batch_index
+                batch_index += 1
+                while len(score_inflight) + len(score_done) >= max_inflight:
+                    collect(score_inflight, score_done, block=True)
+                    yield from emit_ready()
+            collect(score_inflight, score_done, block=False)
+            yield from emit_ready()
+            if blocking_done and not score_inflight and not score_done and not buffer:
+                break
+            if not blocking_done and next_shard not in query_done:
+                # Progress needs the next shard: park on the query futures.
+                collect(query_inflight, query_done, block=True)
+            elif blocking_done and score_inflight:
+                collect(score_inflight, score_done, block=True)
+                yield from emit_ready()
+        guard_store_version(store, pinned)
+
+
+# ----------------------------------------------------------------------
+# Convenience front-end
+# ----------------------------------------------------------------------
+def resolve_plan(
+    store: EncodingStore,
+    matcher,
+    blocking: Optional[BlockingConfig] = None,
+    k: int = 10,
+    batch_size: int = 2048,
+    threshold: float = 0.5,
+    workers: int = 1,
+    shard_timings: Optional[ShardTimings] = None,
+    stage_timings: Optional[StageTimings] = None,
+) -> Iterator[ResolutionBatch]:
+    """Plan and execute a resolve run in one call.
+
+    The single engine behind :func:`repro.engine.stream.resolve_stream`
+    (``workers=1``) and :func:`repro.engine.shard.resolve_sharded`
+    (``workers>1``): identical knobs always produce the identical batch
+    stream, whatever the worker count.
+    """
+    plan = ResolutionPlanner.from_store(
+        store, blocking=blocking, k=k, batch_size=batch_size, workers=workers
+    ).plan()
+    return ResolutionExecutor(
+        plan,
+        store,
+        matcher,
+        threshold=threshold,
+        shard_timings=shard_timings,
+        stage_timings=stage_timings,
+    ).run()

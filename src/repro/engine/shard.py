@@ -1,31 +1,36 @@
-"""Sharded parallel resolution: multi-worker scoring over the encoding store.
+"""Row-range sharding and the worker pool shared by the resolve stages.
 
-This module closes the seam :mod:`repro.engine.stream` left open: the cached
-table encodings are split into row-range *shards* and candidate slices are
-scored across a pool of workers instead of serially in the calling process.
-
-Two pieces:
+This module owns two building blocks the planner-driven engine
+(:mod:`repro.engine.plan`) distributes work with:
 
 * :class:`ShardedEncodingStore` — an :class:`~repro.engine.store.EncodingStore`
   that additionally exposes its cached IR/latent arrays as row-range shard
-  views (zero-copy slices), the unit of distribution for parallel work;
-* :func:`resolve_sharded` — the parallel counterpart of
-  :func:`~repro.engine.stream.resolve_stream`: candidate pairs are enumerated
-  with *exactly* the same chunking and batch packing as the streamed path
-  (so the two are bit-identical), but each batch's gather-and-score runs on a
-  worker pool, and results are merged back deterministically by
-  ``(batch_index, pair_index)`` regardless of completion order.
+  views (zero-copy slices), the unit of distribution for parallel work.
+  Shard *bounds* are derived from the task's table sizes, so planning never
+  forces an encode; :meth:`ShardedEncodingStore.load_shard` serves a single
+  shard lazily from the chunked persistent cache when the table is not in
+  memory yet.
+* :func:`make_pool` — the fork-based worker pool (thread fallback) with the
+  token-keyed worker-state registry every parallel stage uses.
+
+:func:`resolve_sharded` — the parallel counterpart of
+:func:`~repro.engine.stream.resolve_stream` — is a thin front-end over the
+:class:`~repro.engine.plan.ResolutionExecutor`: candidate pairs are
+enumerated with *exactly* the same chunking and batch packing as the
+streamed path (so the two are bit-identical), blocking and scoring fan out
+across the pool, and results merge back deterministically by
+``(batch_index, pair_index)`` regardless of completion order.
 
 Worker strategy
 ---------------
 On platforms with ``fork`` (Linux), workers are forked processes that inherit
-the cached encoding arrays and the matcher by copy-on-write — nothing large
-is ever pickled; tasks ship only ``(batch_index, row indices)`` and results
-ship only the probability vector.  Where ``fork`` is unavailable the pool
-falls back to threads (NumPy's BLAS releases the GIL during the matmuls that
-dominate scoring).  Scoring is deterministic either way: workers run the same
-NumPy ops on the same arrays, so the merged probabilities are byte-identical
-to a single-process :func:`resolve_stream` over the same store.
+the cached encoding arrays, the LSH index and the matcher by copy-on-write —
+nothing large is ever pickled; tasks ship only small index ranges and results
+ship only candidate pairs or probability vectors.  Where ``fork`` is
+unavailable the pool falls back to threads (NumPy's BLAS releases the GIL
+during the matmuls that dominate scoring).  Work is deterministic either way:
+workers run the same NumPy ops on the same arrays, so merged results are
+byte-identical to a single-process run over the same store.
 """
 
 from __future__ import annotations
@@ -34,8 +39,7 @@ import itertools
 import multiprocessing
 import os
 import sys
-import time
-from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -49,14 +53,25 @@ from repro.engine.stream import (
     ResolutionBatch,
     ScoredPairs,
     guard_store_version,
-    iter_candidate_batches,
     pin_store_version,
-    resolve_stream,
+    query_chunk_for,
 )
-from repro.eval.timing import ShardTimings
+from repro.eval.timing import ShardTimings, StageTimings
 
 #: Default number of rows per table shard.
 DEFAULT_SHARD_ROWS = 2048
+
+
+def shard_bounds_for(side: str, n_rows: int, shard_rows: int) -> List["ShardBounds"]:
+    """Row ranges covering ``n_rows`` rows of one side, in row order."""
+    if shard_rows <= 0:
+        raise ValueError("shard_rows must be positive")
+    if n_rows <= 0:
+        return []
+    return [
+        ShardBounds(side=side, index=i, start=start, stop=min(start + shard_rows, n_rows))
+        for i, start in enumerate(range(0, n_rows, shard_rows))
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -106,14 +121,13 @@ class ShardedEncodingStore(EncodingStore):
 
     # ------------------------------------------------------------------
     def shard_bounds(self, side: str) -> List[ShardBounds]:
-        """Row ranges covering one side's cached encodings, in row order."""
-        n = len(self.table_encodings(side))
-        if n == 0:
-            return []
-        return [
-            ShardBounds(side=side, index=i, start=start, stop=min(start + self.shard_rows, n))
-            for i, start in enumerate(range(0, n, self.shard_rows))
-        ]
+        """Row ranges covering one side, in row order.
+
+        Derived from the task's table size (a table's encodings always carry
+        one row per record), so planning shard layouts never forces an
+        encode or a disk load.
+        """
+        return shard_bounds_for(side, len(self._table_of(side)), self.shard_rows)
 
     def num_shards(self, side: str) -> int:
         return len(self.shard_bounds(side))
@@ -139,6 +153,41 @@ class ShardedEncodingStore(EncodingStore):
             row_index={key: row for row, key in enumerate(keys)},
         )
 
+    def load_shard(self, side: str, index: int) -> TableEncodings:
+        """One shard's encodings without materialising the whole table.
+
+        Serving priority mirrors the store's cache hierarchy: an in-memory
+        table serves a zero-copy view; otherwise, when a persistent cache is
+        attached, only the chunks overlapping the shard's row range are read
+        (counted via ``chunk_loads``); only when both miss is the full table
+        computed and the view sliced from it.
+        """
+        self._check_version()
+        bounds = self.shard_bounds(side)
+        if not 0 <= index < len(bounds):
+            raise IndexError(f"shard {index} out of range for side {side!r} ({len(bounds)} shards)")
+        if side in self._cache or self.persistent is None:
+            return self.table_shard(side, index)
+        from repro.engine.persist import encoding_fingerprint
+
+        b = bounds[index]
+        loaded = self.persistent.load_range(
+            self.task.name,
+            side,
+            self.representation.encoding_version,
+            encoding_fingerprint(self.representation, self._table_of(side)),
+            b.start,
+            b.stop,
+            counters=self.counters,
+        )
+        if loaded is not None:
+            self.counters.record_disk_hit()
+            return loaded
+        # Miss: fall back to materialising the whole table.  That path runs
+        # the store's own persistent probe, which does the miss accounting —
+        # counting here too would double-book one logical probe.
+        return self.table_shard(side, index)
+
     def iter_shards(self, side: str) -> Iterator[TableEncodings]:
         """All shards of one side, in row order."""
         for bounds in self.shard_bounds(side):
@@ -155,32 +204,35 @@ class ShardedEncodingStore(EncodingStore):
 # ----------------------------------------------------------------------
 # Worker-pool plumbing
 # ----------------------------------------------------------------------
-#: Per-pool worker state, keyed by a token unique to each resolve run so
-#: concurrent resolves (and stale fork inheritances) can never cross wires.
+#: Per-pool worker state, keyed by a token unique to each parallel run so
+#: concurrent runs (and stale fork inheritances) can never cross wires.
 #: Process pools populate it in each forked child via the pool initializer
 #: (the state arrives by copy-on-write, not pickling); thread pools populate
 #: the parent's own copy.  The parent removes its entry when the pool closes.
-_WORKER_STATES: Dict[str, Tuple[TableEncodings, TableEncodings, object]] = {}
+_WORKER_STATES: Dict[str, object] = {}
 _POOL_TOKENS = itertools.count()
 
 
-def _init_worker(token: str, state: Tuple[TableEncodings, TableEncodings, object]) -> None:
+def _init_worker(token: str, state: object) -> None:
     _WORKER_STATES[token] = state
 
 
-def _score_task(token: str, batch_index: int, left_rows: np.ndarray, right_rows: np.ndarray):
-    """Worker task: gather one batch's IRs from the shared arrays and score.
-
-    Returns ``(batch_index, probabilities, seconds)`` — the index makes the
-    merge order-independent, the timing feeds per-shard diagnostics.
-    """
-    left, right, matcher = _WORKER_STATES[token]
-    start = time.perf_counter()
-    probabilities = matcher.predict_proba(left.irs[left_rows], right.irs[right_rows])
-    return batch_index, probabilities, time.perf_counter() - start
+def worker_state(token: str) -> object:
+    """The state registered for a pool token (inside a worker)."""
+    return _WORKER_STATES[token]
 
 
-def _make_executor(workers: int, token: str, state) -> Tuple[Executor, str]:
+def new_pool_token() -> str:
+    """A process-unique token for one pool's worker-state registration."""
+    return f"{os.getpid()}-{next(_POOL_TOKENS)}"
+
+
+def release_pool_token(token: str) -> None:
+    """Drop a token's state (thread pools share the parent's registry)."""
+    _WORKER_STATES.pop(token, None)
+
+
+def make_pool(workers: int, token: str, state: object) -> Tuple[Executor, str]:
     """Process pool via fork on Linux, thread pool otherwise.
 
     Fork is gated on the platform, not just on availability: macOS lists
@@ -202,7 +254,7 @@ def _make_executor(workers: int, token: str, state) -> Tuple[Executor, str]:
 
 
 # ----------------------------------------------------------------------
-# Parallel resolution
+# Parallel resolution (front-end over the planner engine)
 # ----------------------------------------------------------------------
 def resolve_sharded(
     store: EncodingStore,
@@ -213,65 +265,62 @@ def resolve_sharded(
     threshold: float = 0.5,
     workers: int = 2,
     shard_timings: Optional[ShardTimings] = None,
+    stage_timings: Optional[StageTimings] = None,
 ) -> Iterator[ResolutionBatch]:
-    """Score the candidate stream across a worker pool.
+    """Resolve the candidate stream across a worker pool.
 
     Yields the *same* :class:`ResolutionBatch` sequence as
     :func:`~repro.engine.stream.resolve_stream` over the same store — same
     candidate enumeration, same batch packing, byte-identical probabilities —
-    but batches are scored concurrently by ``workers`` pool workers and
-    re-merged in ``(batch_index, pair_index)`` order, so downstream consumers
-    cannot observe scheduling nondeterminism.
+    but the LSH blocking queries *and* the per-batch scoring run concurrently
+    on ``workers`` pool workers, re-merged in deterministic order, so
+    downstream consumers cannot observe scheduling nondeterminism.
 
-    ``workers=1`` delegates to the single-process streamed path (recording
-    per-batch timings when a sink is supplied).  Validation is eager; the
-    pool is created lazily on first iteration and torn down when the
-    iterator is exhausted or closed.
+    This is a thin front-end over the plan/execute engine: a
+    :class:`~repro.engine.plan.ResolutionPlanner` partitions the work into
+    row-range shards and a :class:`~repro.engine.plan.ResolutionExecutor`
+    runs the encode → block → score stage graph.  ``workers=1`` runs the
+    single-process serial schedule (recording per-batch timings when a sink
+    is supplied).  Validation is eager; pools are created lazily on first
+    iteration and torn down when the iterator is exhausted or closed.
     """
-    if batch_size <= 0:
-        raise ValueError("batch_size must be positive")
-    if workers <= 0:
-        raise ValueError("workers must be positive")
-    if workers == 1:
-        return _resolve_serial(
-            store, matcher, blocking=blocking, k=k, batch_size=batch_size,
-            threshold=threshold, shard_timings=shard_timings,
-        )
-    return _resolve_parallel(
-        store, matcher, blocking=blocking, k=k, batch_size=batch_size,
-        threshold=threshold, workers=workers, shard_timings=shard_timings,
-    )
+    from repro.engine.plan import ResolutionExecutor, ResolutionPlanner
+
+    plan = ResolutionPlanner.from_store(
+        store, blocking=blocking, k=k, batch_size=batch_size, workers=workers
+    ).plan()
+    return ResolutionExecutor(
+        plan,
+        store,
+        matcher,
+        threshold=threshold,
+        shard_timings=shard_timings,
+        stage_timings=stage_timings,
+    ).run()
 
 
-def _resolve_serial(
-    store: EncodingStore,
-    matcher,
-    blocking: Optional[BlockingConfig],
+def query_shard_pairs(
+    search: NearestNeighbourSearch,
+    flat: np.ndarray,
+    keys,
+    start: int,
+    stop: int,
     k: int,
-    batch_size: int,
-    threshold: float,
-    shard_timings: Optional[ShardTimings],
-) -> Iterator[ResolutionBatch]:
-    stream = resolve_stream(
-        store, matcher, blocking=blocking, k=k, batch_size=batch_size, threshold=threshold
-    )
-    if shard_timings is None:
-        return stream
+    query_chunk: int,
+) -> List[RecordPair]:
+    """Top-K candidate pairs of one row range, queried chunk by chunk.
 
-    def generate() -> Iterator[ResolutionBatch]:
-        iterator = iter(stream)
-        while True:
-            start = time.perf_counter()
-            try:
-                batch = next(iterator)
-            except StopIteration:
-                return
-            # Serial timing folds blocking + gather + score into one figure
-            # per batch — the honest single-process cost of that slice.
-            shard_timings.record(batch.batch_index, len(batch), time.perf_counter() - start)
-            yield batch
-
-    return generate()
+    The one query loop shared by every enumerator — the sharded serial
+    enumeration below and the planner's pool tasks — so the chunk walk that
+    underpins the byte-identity contract has a single definition.
+    """
+    pairs: List[RecordPair] = []
+    for chunk_start in range(start, stop, query_chunk):
+        chunk_stop = min(chunk_start + query_chunk, stop)
+        pairs.extend(
+            search.candidate_pairs(flat[chunk_start:chunk_stop], keys[chunk_start:chunk_stop], k=k)
+        )
+    return pairs
 
 
 def iter_sharded_candidate_batches(
@@ -287,8 +336,8 @@ def iter_sharded_candidate_batches(
     are independent per query row, so walking the left table in row order —
     shard view by shard view, chunk by chunk within a shard — produces the
     identical pair stream, and batch packing depends only on that stream.
-    The row-range shard views are the unit of enumeration here (and the
-    natural unit of distribution once blocking itself is parallelised).
+    The row-range shard views are the unit of enumeration here and the unit
+    of distribution for the planner's parallel blocking stage.
     """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
@@ -296,139 +345,23 @@ def iter_sharded_candidate_batches(
 
     def generate() -> Iterator[Tuple[int, List[RecordPair]]]:
         search = NearestNeighbourSearch.from_store(store, config=blocking)
-        query_chunk = max(1, batch_size // max(1, k))
+        query_chunk = query_chunk_for(batch_size, k)
         buffer: List[RecordPair] = []
         batch_index = 0
         for bounds in store.shard_bounds("left"):
+            guard_store_version(store, pinned)
             shard = store.table_shard("left", bounds.index)
-            flat = shard.flat_mu()
-            for start in range(0, len(shard), query_chunk):
-                guard_store_version(store, pinned)
-                stop = start + query_chunk
-                chunk = search.candidate_pairs(flat[start:stop], shard.keys[start:stop], k=k)
-                buffer.extend(chunk)
-                while len(buffer) >= batch_size:
-                    head, buffer = buffer[:batch_size], buffer[batch_size:]
-                    yield batch_index, head
-                    batch_index += 1
+            buffer.extend(
+                query_shard_pairs(search, shard.flat_mu(), shard.keys, 0, len(shard), k, query_chunk)
+            )
+            while len(buffer) >= batch_size:
+                head, buffer = buffer[:batch_size], buffer[batch_size:]
+                yield batch_index, head
+                batch_index += 1
         if buffer:
             yield batch_index, buffer
 
     return generate()
-
-
-def _resolve_parallel(
-    store: EncodingStore,
-    matcher,
-    blocking: Optional[BlockingConfig],
-    k: int,
-    batch_size: int,
-    threshold: float,
-    workers: int,
-    shard_timings: Optional[ShardTimings],
-) -> Iterator[ResolutionBatch]:
-    def generate() -> Iterator[ResolutionBatch]:
-        # Pin the version BEFORE warming: if a refit lands between the two
-        # table encodes below, the guard catches it instead of silently
-        # pairing a version-N left table with a version-N+1 right table.
-        pinned = pin_store_version(store)
-        # Warm both sides *before* the pool exists so forked children inherit
-        # the cached arrays instead of recomputing (or re-reading disk).
-        left = store.table_encodings("left")
-        right = store.table_encodings("right")
-        guard_store_version(store, pinned)
-        token = f"{os.getpid()}-{next(_POOL_TOKENS)}"
-        executor, _ = _make_executor(workers, token, (left, right, matcher))
-        try:
-            with executor:
-                yield from _score_batches(
-                    executor, store, left, right, token,
-                    blocking=blocking, k=k, batch_size=batch_size,
-                    threshold=threshold, workers=workers,
-                    pinned=pinned, shard_timings=shard_timings,
-                )
-        finally:
-            _WORKER_STATES.pop(token, None)  # thread pools share our dict
-
-    return generate()
-
-
-def _score_batches(
-    executor: Executor,
-    store: EncodingStore,
-    left: TableEncodings,
-    right: TableEncodings,
-    token: str,
-    blocking: Optional[BlockingConfig],
-    k: int,
-    batch_size: int,
-    threshold: float,
-    workers: int,
-    pinned: int,
-    shard_timings: Optional[ShardTimings],
-) -> Iterator[ResolutionBatch]:
-    """Submit batches with bounded in-flight depth; emit in index order.
-
-    Backpressure counts both unfinished futures *and* finished-but-unemitted
-    results: when one early batch is slow, later completions park in ``done``
-    until it lands, and without counting them the parent would keep
-    submitting and buffer the whole stream — the unbounded materialization
-    this layer exists to avoid.  Total parked work is therefore capped at
-    ``max_inflight`` batches.
-    """
-    max_inflight = max(2, workers * 2)
-    inflight: Dict[object, int] = {}
-    pending_pairs: Dict[int, List[RecordPair]] = {}
-    done: Dict[int, Tuple[np.ndarray, float]] = {}
-    next_emit = 0
-
-    def collect(block: bool) -> None:
-        if not inflight:
-            return
-        completed, _ = wait(
-            list(inflight), timeout=None if block else 0, return_when=FIRST_COMPLETED
-        )
-        for future in completed:
-            inflight.pop(future)
-            batch_index, probabilities, seconds = future.result()
-            done[batch_index] = (probabilities, seconds)
-
-    def emit_ready() -> Iterator[ResolutionBatch]:
-        nonlocal next_emit
-        while next_emit in done:
-            probabilities, seconds = done.pop(next_emit)
-            pairs = pending_pairs.pop(next_emit)
-            if shard_timings is not None:
-                shard_timings.record(next_emit, len(pairs), seconds)
-            store.record_external_gather(len(pairs))
-            yield ResolutionBatch(
-                pairs=pairs, probabilities=probabilities,
-                threshold=threshold, batch_index=next_emit,
-            )
-            next_emit += 1
-
-    # Sharded stores enumerate through their row-range shard views; a plain
-    # store falls back to the streamed enumeration.  Both produce the same
-    # (batch_index, pairs) sequence.
-    if isinstance(store, ShardedEncodingStore):
-        batches = iter_sharded_candidate_batches(store, blocking=blocking, k=k, batch_size=batch_size)
-    else:
-        batches = iter_candidate_batches(store, blocking=blocking, k=k, batch_size=batch_size)
-    for batch_index, pairs in batches:
-        guard_store_version(store, pinned)
-        left_rows = left.rows([p.left_id for p in pairs])
-        right_rows = right.rows([p.right_id for p in pairs])
-        pending_pairs[batch_index] = pairs
-        inflight[executor.submit(_score_task, token, batch_index, left_rows, right_rows)] = batch_index
-        while len(inflight) + len(done) >= max_inflight:
-            collect(block=True)
-            yield from emit_ready()
-        collect(block=False)
-        yield from emit_ready()
-    while inflight:
-        collect(block=True)
-        yield from emit_ready()
-    guard_store_version(store, pinned)
 
 
 def merge_scored_batches(batches: Iterable[ScoredPairs]) -> ScoredPairs:

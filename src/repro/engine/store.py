@@ -194,6 +194,7 @@ class EncodingStore:
             side,
             self.representation.encoding_version,
             encoding_fingerprint(self.representation, table),
+            counters=self.counters,
         )
         if loaded is None:
             self.counters.record_disk_miss()

@@ -81,6 +81,21 @@ class ResolutionBatch(ScoredPairs):
     batch_index: int
 
 
+#: Default candidate pairs per scored batch, shared by every resolve front-end.
+DEFAULT_BATCH_SIZE = 2048
+
+
+def query_chunk_for(batch_size: int, k: int) -> int:
+    """Left-table rows per blocking query chunk for a given batch size.
+
+    The single definition of the chunk derivation: every enumerator — the
+    streamed path below, the sharded enumeration, the planner's parallel
+    query fan-out — chunks query rows through this formula, so they all
+    walk the left table in the same strides.
+    """
+    return max(1, batch_size // max(1, k))
+
+
 def stream_candidate_pairs(
     store: EncodingStore,
     blocking: Optional[BlockingConfig] = None,
@@ -118,10 +133,12 @@ def iter_candidate_batches(
 ) -> Iterator[Tuple[int, List[RecordPair]]]:
     """The candidate stream packed into ``(batch_index, pairs)`` batches.
 
-    This is the *single* definition of batch packing (buffering and the
-    ``query_chunk`` derivation) shared by :func:`resolve_stream` and the
-    sharded resolver — the byte-identical guarantee between the two rests on
-    them enumerating through this one code path.
+    This is the serial schedule's definition of batch packing, used by
+    :func:`resolve_stream` (via the executor's ``workers=1`` path).  The
+    planner's parallel pump packs its shard-merged candidate stream with the
+    same buffer/slice discipline and the same :func:`query_chunk_for`
+    stride; the byte-identity between the two is pinned by the equivalence
+    tests in ``tests/engine/test_plan.py``.
     """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
@@ -129,7 +146,7 @@ def iter_candidate_batches(
     def generate() -> Iterator[Tuple[int, List[RecordPair]]]:
         buffer: List[RecordPair] = []
         batch_index = 0
-        query_chunk = max(1, batch_size // max(1, k))
+        query_chunk = query_chunk_for(batch_size, k)
         for candidates in stream_candidate_pairs(store, blocking=blocking, k=k, query_chunk=query_chunk):
             buffer.extend(candidates)
             while len(buffer) >= batch_size:
@@ -156,23 +173,20 @@ def resolve_stream(
     probabilities equal a monolithic ``resolve`` pass over the same store.
     Argument validation is eager (not deferred to the first iteration), so a
     bad ``batch_size`` fails before any expensive work starts.
+
+    This is a thin front-end over the plan/execute engine
+    (:mod:`repro.engine.plan`) at ``workers=1``: the serial schedule
+    enumerates candidates through :func:`iter_candidate_batches` above and
+    scores each batch inline, exactly as this function always did.
     """
-    if batch_size <= 0:
-        raise ValueError("batch_size must be positive")
-    pinned = pin_store_version(store)
+    from repro.engine.plan import resolve_plan
 
-    def score(pairs: List[RecordPair], batch_index: int) -> ResolutionBatch:
-        guard_store_version(store, pinned)
-        left, right = store.gather_pair_irs(pairs)
-        probabilities = matcher.predict_proba(left, right)
-        return ResolutionBatch(
-            pairs=pairs, probabilities=probabilities, threshold=threshold, batch_index=batch_index
-        )
-
-    def generate() -> Iterator[ResolutionBatch]:
-        for batch_index, pairs in iter_candidate_batches(
-            store, blocking=blocking, k=k, batch_size=batch_size
-        ):
-            yield score(pairs, batch_index)
-
-    return generate()
+    return resolve_plan(
+        store,
+        matcher,
+        blocking=blocking,
+        k=k,
+        batch_size=batch_size,
+        threshold=threshold,
+        workers=1,
+    )

@@ -38,7 +38,7 @@ from repro.engine import (
     resolve_sharded,
 )
 from repro.eval.metrics import PRF, neighbour_prf_at_k, precision_recall_f1, recall_at_k
-from repro.eval.timing import EngineCounters, ShardTimings
+from repro.eval.timing import EngineCounters, ShardTimings, StageTimings
 from repro.text.ir import IRGenerator
 
 
@@ -467,6 +467,7 @@ class ResolutionRow:
     counters: Dict[str, int]
     shard_timings: ShardTimings
     match_keys: List[Tuple[str, str]] = field(default_factory=list)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 def resolution_experiment(
@@ -508,11 +509,13 @@ def resolution_experiment(
         representation, domain.task, counters=counters, persistent=persistent
     )
     timings = ShardTimings()
+    stage_timings = StageTimings()
     start = time.perf_counter()
     batches = list(
         resolve_sharded(
             store, matcher, k=k, batch_size=batch_size,
             threshold=threshold, workers=workers, shard_timings=timings,
+            stage_timings=stage_timings,
         )
     )
     resolve_seconds = time.perf_counter() - start
@@ -529,6 +532,7 @@ def resolution_experiment(
         counters=store.stats(),
         shard_timings=timings,
         match_keys=[pair.key() for pair in matches],
+        stage_seconds=stage_timings.as_dict(),
     )
 
 

@@ -6,7 +6,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.eval.harness import ActiveLearningRow, MatchingRow, TransferRow
 from repro.eval.metrics import PRF
-from repro.eval.timing import EngineCounters, ShardTimings, engine_counters
+from repro.eval.timing import EngineCounters, ShardTimings, StageTimings, engine_counters
 
 
 def _fmt(value: float, digits: int = 2) -> str:
@@ -133,7 +133,7 @@ def format_engine_stats(counters: Optional[EngineCounters] = None) -> str:
     counters = counters if counters is not None else engine_counters()
     headers = [
         "Cache hits", "Cache misses", "Hit rate", "Encodes avoided", "Pairs scored",
-        "Tables encoded", "Disk hits", "Disk misses",
+        "Tables encoded", "Disk hits", "Disk misses", "Chunk loads",
     ]
     row = [
         str(counters.cache_hits),
@@ -144,8 +144,25 @@ def format_engine_stats(counters: Optional[EngineCounters] = None) -> str:
         str(counters.tables_encoded),
         str(counters.disk_hits),
         str(counters.disk_misses),
+        str(counters.chunk_loads),
     ]
     return format_table(headers, [row])
+
+
+def format_stage_timings(timings: StageTimings) -> str:
+    """Per-stage compute report of a planner-driven resolve.
+
+    Stages appear in graph order (encode, block, score); the seconds are
+    summed worker compute per stage, so with a pool the total exceeds the
+    run's wall clock — the gap is the parallel speedup.
+    """
+    headers = ["Stage", "Units", "Seconds"]
+    rows = [
+        [stage, str(timings.units(stage)), f"{timings.seconds(stage):.4f}"]
+        for stage in timings.stages()
+    ]
+    rows.append(["total", str(sum(timings.units(s) for s in timings.stages())), f"{timings.total():.4f}"])
+    return format_table(headers, rows)
 
 
 def format_shard_timings(timings: ShardTimings) -> str:

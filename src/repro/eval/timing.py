@@ -60,12 +60,16 @@ class EngineCounters:
     pair records for gathers; ``pairs_scored`` counts candidate pairs
     featurised or scored through the store's vectorized gather paths.
 
-    The persistence layer (:mod:`repro.engine.persist`) adds three more:
+    The persistence layer (:mod:`repro.engine.persist`) adds four more:
     ``tables_encoded`` counts tables actually pushed through the IR generator
-    and VAE (the expensive work a warm disk cache eliminates entirely), while
+    and VAE (the expensive work a warm disk cache eliminates entirely),
     ``disk_hits``/``disk_misses`` count probes of the persistent on-disk cache
-    that served / failed to serve a table.  A warm second run therefore shows
-    ``tables_encoded == 0`` and one disk hit per side.
+    that served / failed to serve a table, and ``chunk_loads`` counts the
+    row-range chunk archives actually read off disk — a lazy shard load
+    touches only the chunks overlapping its range, so the counter exposes how
+    much of a table a warm load really paid for.  A warm second run therefore
+    shows ``tables_encoded == 0``, one disk hit per side, and one chunk load
+    per chunk the run consumed.
     """
 
     cache_hits: int = 0
@@ -75,6 +79,7 @@ class EngineCounters:
     tables_encoded: int = 0
     disk_hits: int = 0
     disk_misses: int = 0
+    chunk_loads: int = 0
 
     def record_hit(self, records_served: int = 0) -> None:
         self.cache_hits += 1
@@ -98,6 +103,10 @@ class EngineCounters:
         """One persistent-cache probe that found no valid entry."""
         self.disk_misses += 1
 
+    def record_chunk_load(self, count: int = 1) -> None:
+        """``count`` row-range chunk archives read from the persistent cache."""
+        self.chunk_loads += int(count)
+
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
@@ -111,6 +120,7 @@ class EngineCounters:
             "tables_encoded": self.tables_encoded,
             "disk_hits": self.disk_hits,
             "disk_misses": self.disk_misses,
+            "chunk_loads": self.chunk_loads,
         }
 
     def reset(self) -> None:
@@ -121,6 +131,7 @@ class EngineCounters:
         self.tables_encoded = 0
         self.disk_hits = 0
         self.disk_misses = 0
+        self.chunk_loads = 0
 
 
 # ----------------------------------------------------------------------
@@ -172,6 +183,54 @@ class ShardTimings:
 
     def as_rows(self) -> list:
         return [(r.shard_index, r.pairs, r.seconds) for r in self]
+
+
+# ----------------------------------------------------------------------
+# Planner-stage instrumentation
+# ----------------------------------------------------------------------
+#: Stage names of the planner's resolve graph, in dependency order.
+RESOLUTION_STAGES = ("encode", "block", "score")
+
+
+class StageTimings:
+    """Per-stage compute-time sink for planner-driven resolution.
+
+    The :class:`repro.engine.plan.ResolutionExecutor` reports every timed
+    work unit here under its stage name (``encode``, ``block``, ``score``),
+    accumulating seconds and unit counts per stage.  Like
+    :class:`ShardTimings`, the seconds are *worker compute* time: with a
+    pool, the summed figure exceeds the run's wall clock — the gap is the
+    parallel speedup.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._units: Dict[str, int] = {}
+
+    def record(self, stage: str, seconds: float, units: int = 1) -> None:
+        self._seconds[stage] = self._seconds.get(stage, 0.0) + float(seconds)
+        self._units[stage] = self._units.get(stage, 0) + int(units)
+
+    def seconds(self, stage: str) -> float:
+        return self._seconds.get(stage, 0.0)
+
+    def units(self, stage: str) -> int:
+        return self._units.get(stage, 0)
+
+    def stages(self) -> list:
+        """Recorded stages, canonical resolution stages first."""
+        ordered = [stage for stage in RESOLUTION_STAGES if stage in self._seconds]
+        ordered.extend(sorted(set(self._seconds) - set(RESOLUTION_STAGES)))
+        return ordered
+
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return {stage: self._seconds[stage] for stage in self.stages()}
+
+    def __len__(self) -> int:
+        return len(self._seconds)
 
 
 #: Process-wide default counters: stores created without explicit counters

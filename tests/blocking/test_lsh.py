@@ -93,3 +93,106 @@ class TestEuclideanLSHIndex:
         vectors, _ = clustered_vectors
         assert EuclideanLSHIndex().build(vectors).size == len(vectors)
         assert EuclideanLSHIndex().size == 0
+
+
+class TestEdgeCases:
+    """Regression tests: NotFittedError consistency and degenerate shapes."""
+
+    def test_query_batch_before_build_raises(self):
+        with pytest.raises(NotFittedError):
+            EuclideanLSHIndex().query_batch(np.zeros((3, 4)))
+
+    def test_query_batch_before_build_raises_even_when_empty(self):
+        """An empty query block must not silently bypass the fitted check."""
+        with pytest.raises(NotFittedError):
+            EuclideanLSHIndex().query_batch(np.zeros((0, 4)))
+
+    def test_prepared_but_unbuilt_index_is_not_fitted(self):
+        """prepare() alone leaves no hash tables: queries must refuse, not
+        silently fall back to a linear scan."""
+        index = EuclideanLSHIndex().prepare(np.zeros((4, 3)))
+        with pytest.raises(NotFittedError):
+            index.query(np.zeros(3))
+
+    def test_bucket_statistics_before_build_raises(self):
+        with pytest.raises(NotFittedError):
+            EuclideanLSHIndex().bucket_statistics()
+
+    def test_empty_table_queries_return_empty(self):
+        index = EuclideanLSHIndex().build(np.zeros((0, 4)))
+        assert index.size == 0
+        assert index.query(np.ones(4), k=5) == []
+        assert index.query_batch(np.ones((2, 4)), k=5) == [[], []]
+        stats = index.bucket_statistics()
+        assert stats == {"mean_bucket_size": 0.0, "max_bucket_size": 0.0, "num_buckets": 0.0}
+
+    def test_single_row_table(self):
+        index = EuclideanLSHIndex(seed=4).build(np.ones((1, 4)), keys=["only"])
+        results = index.query(np.ones(4), k=5)
+        assert [key for key, _ in results] == ["only"]
+        assert index.query(np.ones(4), k=5, exclude="only") == []
+
+    def test_k_larger_than_index_size(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = EuclideanLSHIndex(seed=1).build(vectors[:7])
+        assert len(index.query(vectors[0], k=50)) == 7
+        assert len(index.query(vectors[0], k=50, exclude=0)) == 6
+
+    def test_non_positive_k_rejected(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = EuclideanLSHIndex(seed=1).build(vectors)
+        with pytest.raises(ValueError):
+            index.query(vectors[0], k=0)
+        with pytest.raises(ValueError):
+            index.query_batch(vectors[:2], k=-3)
+
+    def test_query_batch_exclude_must_align(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = EuclideanLSHIndex(seed=1).build(vectors)
+        with pytest.raises(ValueError):
+            index.query_batch(vectors[:3], k=2, exclude=[0])
+
+    def test_query_equals_query_batch_row(self, clustered_vectors):
+        """The scalar and batched paths share one ranking implementation."""
+        vectors, _ = clustered_vectors
+        index = EuclideanLSHIndex(seed=1).build(vectors)
+        batched = index.query_batch(vectors[:5], k=4)
+        for row in range(5):
+            assert index.query(vectors[row], k=4) == batched[row]
+
+    def test_rebuild_replaces_previous_index(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = EuclideanLSHIndex(seed=1).build(vectors)
+        index.build(vectors[:10], keys=[f"n{i}" for i in range(10)])
+        assert index.size == 10
+        assert index.query(vectors[0], k=1)[0][0] == "n0"
+
+
+class TestShardedBuild:
+    def test_hash_rows_install_matches_build(self, clustered_vectors):
+        """Partial maps merged in row order reproduce the serial tables."""
+        vectors, _ = clustered_vectors
+        serial = EuclideanLSHIndex(seed=2).build(vectors)
+        sharded = EuclideanLSHIndex(seed=2).prepare(vectors)
+        partials = [sharded.hash_rows(start, start + 13) for start in range(0, len(vectors), 13)]
+        sharded.install_tables(partials)
+        for serial_table, sharded_table in zip(serial._tables, sharded._tables):
+            assert dict(serial_table) == dict(sharded_table)
+        for row in (0, 25, 59):
+            assert serial.query(vectors[row], k=5) == sharded.query(vectors[row], k=5)
+
+    def test_hash_rows_before_prepare_raises(self):
+        with pytest.raises(NotFittedError):
+            EuclideanLSHIndex().hash_rows(0, 4)
+
+    def test_hash_rows_clamps_out_of_range(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = EuclideanLSHIndex(seed=2).prepare(vectors)
+        empty = index.hash_rows(500, 900)
+        assert all(table == {} for table in empty)
+
+    def test_install_rejects_wrong_table_count(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        index = EuclideanLSHIndex(num_tables=4, seed=2).prepare(vectors)
+        with pytest.raises(ValueError):
+            index.install_tables([[{}, {}]])

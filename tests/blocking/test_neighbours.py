@@ -5,6 +5,7 @@ import pytest
 
 from repro.blocking import NearestNeighbourSearch
 from repro.config import BlockingConfig
+from repro.exceptions import NotFittedError
 
 
 @pytest.fixture(scope="module")
@@ -18,7 +19,7 @@ def indexed_search():
 
 class TestNearestNeighbourSearch:
     def test_top_k_before_build_raises(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(NotFittedError):
             NearestNeighbourSearch().top_k(np.zeros((1, 4)), ["q0"], k=2)
 
     def test_top_k_returns_k_results(self, indexed_search):
@@ -48,3 +49,30 @@ class TestNearestNeighbourSearch:
         mapping = search.neighbour_map(right[:3], ["a", "b", "c"], k=2)
         assert set(mapping) == {"a", "b", "c"}
         assert all(len(v) == 2 for v in mapping.values())
+
+    def test_pairs_and_map_share_one_assembly(self, indexed_search):
+        """Both outputs are views of the same top-K results."""
+        from repro.blocking import assemble_candidate_pairs, assemble_neighbour_map
+
+        search, right = indexed_search
+        queries, keys = right[:4], [f"q{i}" for i in range(4)]
+        results = search.top_k(queries, keys, k=3)
+        assert [p.key() for p in search.candidate_pairs(queries, keys, k=3)] == [
+            p.key() for p in assemble_candidate_pairs(results)
+        ]
+        assert search.neighbour_map(queries, keys, k=3) == assemble_neighbour_map(results)
+        # And they agree with each other pair for pair.
+        mapping = search.neighbour_map(queries, keys, k=3)
+        flattened = [(q, n) for q in keys for n in mapping[q]]
+        assert [(p.left_id, p.right_id) for p in search.candidate_pairs(queries, keys, k=3)] == [
+            (str(q), str(n)) for q, n in flattened
+        ]
+
+    def test_from_index_wraps_prebuilt_index(self, indexed_search):
+        from repro.blocking import EuclideanLSHIndex, NearestNeighbourSearch
+
+        search, right = indexed_search
+        rewrapped = NearestNeighbourSearch.from_index(search.index, search.config)
+        assert rewrapped.top_k(right[:2], ["x", "y"], k=3) == search.top_k(right[:2], ["x", "y"], k=3)
+        with pytest.raises(NotFittedError):
+            NearestNeighbourSearch().index

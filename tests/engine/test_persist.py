@@ -1,5 +1,6 @@
-"""Persistent encoding cache: layout, keying, invalidation, counter surface."""
+"""Persistent encoding cache: chunked layout, keying, invalidation, laziness."""
 
+import json
 import os
 from pathlib import Path
 
@@ -9,6 +10,7 @@ import pytest
 from repro.config import VAEConfig
 from repro.core.representation import EntityRepresentationModel
 from repro.engine import EncodingStore, PersistentEncodingCache, encoding_fingerprint
+from repro.engine.persist import MANIFEST_NAME
 from repro.eval.timing import EngineCounters
 
 
@@ -17,8 +19,18 @@ def cache(tmp_path):
     return PersistentEncodingCache(tmp_path / "enc-cache")
 
 
+@pytest.fixture()
+def small_chunk_cache(tmp_path):
+    """Chunk rows smaller than the tiny tables, so entries span many chunks."""
+    return PersistentEncodingCache(tmp_path / "enc-cache-chunked", chunk_rows=16)
+
+
 def _store(representation, task, cache):
     return EncodingStore(representation, task, counters=EngineCounters(), persistent=cache)
+
+
+def _chunks_of(cache, task_name, side, version):
+    return sorted(cache.dir_for(task_name, side, version).glob("chunk-*.npz"))
 
 
 class TestLayoutAndRoundtrip:
@@ -31,27 +43,59 @@ class TestLayoutAndRoundtrip:
         assert store.counters.disk_hits == 0
         version = tiny_representation.encoding_version
         expected = {
-            cache.path_for(tiny_domain.task.name, side, version) for side in ("left", "right")
+            cache.manifest_path(tiny_domain.task.name, side, version) for side in ("left", "right")
         }
         assert set(cache.entries()) == expected
 
     def test_documented_directory_layout(self, tiny_domain, tiny_representation, cache):
-        """Layout contract: <cache_dir>/<task-name>/<side>-v<version>.npz"""
+        """Layout contract: <cache_dir>/<task>/<side>-vN/{manifest.json,chunk-a-b.npz}"""
         version = tiny_representation.encoding_version
-        path = cache.path_for(tiny_domain.task.name, "left", version)
-        assert path == cache.directory / tiny_domain.task.name / f"left-v{version}.npz"
+        chunk_dir = cache.dir_for(tiny_domain.task.name, "left", version)
+        assert chunk_dir == cache.directory / tiny_domain.task.name / f"left-v{version}"
+        assert cache.manifest_path(tiny_domain.task.name, "left", version) == chunk_dir / MANIFEST_NAME
+        assert (
+            cache.chunk_path(tiny_domain.task.name, "left", version, 0, 16)
+            == chunk_dir / "chunk-0-16.npz"
+        )
 
-    def test_warm_store_skips_encoding_entirely(self, tiny_domain, tiny_representation, cache):
-        cold = _store(tiny_representation, tiny_domain.task, cache)
+    def test_entry_spans_row_range_chunks(self, tiny_domain, tiny_representation, small_chunk_cache):
+        store = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
+        left = store.table_encodings("left")
+        version = tiny_representation.encoding_version
+        chunks = _chunks_of(small_chunk_cache, tiny_domain.task.name, "left", version)
+        n = len(left)
+        expected = [
+            small_chunk_cache.chunk_path(
+                tiny_domain.task.name, "left", version, start, min(start + 16, n)
+            )
+            for start in range(0, n, 16)
+        ]
+        assert chunks == sorted(expected)
+        assert len(chunks) > 1
+        manifest = json.loads(
+            small_chunk_cache.manifest_path(tiny_domain.task.name, "left", version).read_text()
+        )
+        assert manifest["chunks"] == [[start, min(start + 16, n)] for start in range(0, n, 16)]
+        assert manifest["keys"] == list(left.keys)
+
+    def test_warm_store_skips_encoding_entirely(self, tiny_domain, tiny_representation, small_chunk_cache):
+        cold = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
         cold_left = cold.table_encodings("left")
         cold.table_encodings("right")
 
-        warm = _store(tiny_representation, tiny_domain.task, cache)
+        warm = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
         warm_left = warm.table_encodings("left")
         warm.table_encodings("right")
         assert warm.counters.tables_encoded == 0
         assert warm.counters.disk_hits == 2
         assert warm.counters.disk_misses == 0
+        # Every chunk of both sides was read exactly once, and nothing else.
+        version = tiny_representation.encoding_version
+        total_chunks = sum(
+            len(_chunks_of(small_chunk_cache, tiny_domain.task.name, side, version))
+            for side in ("left", "right")
+        )
+        assert warm.counters.chunk_loads == total_chunks
 
         assert warm_left.keys == cold_left.keys
         np.testing.assert_array_equal(warm_left.irs, cold_left.irs)
@@ -66,6 +110,107 @@ class TestLayoutAndRoundtrip:
         store.table_encodings("left")
         assert cache.clear() == 1
         assert cache.entries() == []
+
+    def test_invalid_chunk_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            PersistentEncodingCache(tmp_path, chunk_rows=0)
+
+
+class TestLazyRangeLoads:
+    def test_load_range_reads_only_overlapping_chunks(
+        self, tiny_domain, tiny_representation, small_chunk_cache
+    ):
+        cold = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
+        full = cold.table_encodings("left")
+        version = tiny_representation.encoding_version
+        fingerprint = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
+
+        counters = EngineCounters()
+        loaded = small_chunk_cache.load_range(
+            tiny_domain.task.name, "left", version, fingerprint, 16, 32, counters=counters
+        )
+        assert loaded is not None
+        assert counters.chunk_loads == 1  # rows 16..32 live in exactly one chunk
+        assert loaded.keys == full.keys[16:32]
+        np.testing.assert_array_equal(loaded.mu, full.mu[16:32])
+        # Row indices are local to the range.
+        assert [loaded.row_index[key] for key in loaded.keys] == list(range(16))
+
+    def test_load_range_spanning_chunks(self, tiny_domain, tiny_representation, small_chunk_cache):
+        cold = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
+        full = cold.table_encodings("left")
+        version = tiny_representation.encoding_version
+        fingerprint = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
+
+        counters = EngineCounters()
+        loaded = small_chunk_cache.load_range(
+            tiny_domain.task.name, "left", version, fingerprint, 10, 20, counters=counters
+        )
+        assert loaded is not None
+        assert counters.chunk_loads == 2  # rows 10..20 straddle the 16-row boundary
+        np.testing.assert_array_equal(loaded.irs, full.irs[10:20])
+
+    def test_load_range_clamps_and_rejects(self, tiny_domain, tiny_representation, small_chunk_cache):
+        cold = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
+        full = cold.table_encodings("left")
+        version = tiny_representation.encoding_version
+        fingerprint = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
+        loaded = small_chunk_cache.load_range(
+            tiny_domain.task.name, "left", version, fingerprint, 32, 10_000
+        )
+        assert loaded is not None and loaded.keys == full.keys[32:]
+        with pytest.raises(ValueError):
+            small_chunk_cache.load_range(tiny_domain.task.name, "left", version, fingerprint, -1, 4)
+        with pytest.raises(ValueError):
+            small_chunk_cache.load_range(tiny_domain.task.name, "left", version, fingerprint, 8, 4)
+
+    def test_sharded_store_lazy_shard_load(self, tiny_domain, tiny_representation, small_chunk_cache):
+        from repro.engine import ShardedEncodingStore
+
+        cold = ShardedEncodingStore(
+            tiny_representation, tiny_domain.task,
+            counters=EngineCounters(), persistent=small_chunk_cache, shard_rows=16,
+        )
+        reference = cold.table_shard("left", 1)
+        cold.table_encodings("right")
+
+        warm = ShardedEncodingStore(
+            tiny_representation, tiny_domain.task,
+            counters=EngineCounters(), persistent=small_chunk_cache, shard_rows=16,
+        )
+        shard = warm.load_shard("left", 1)
+        assert warm.counters.tables_encoded == 0, "lazy shard load must not encode"
+        assert warm.counters.chunk_loads == 1, "only the one overlapping chunk is read"
+        assert shard.keys == reference.keys
+        np.testing.assert_array_equal(shard.mu, reference.mu)
+        # Once the table is in memory, load_shard serves the zero-copy view.
+        warm.table_encodings("left")
+        chunk_loads_before = warm.counters.chunk_loads
+        again = warm.load_shard("left", 1)
+        assert warm.counters.chunk_loads == chunk_loads_before
+        np.testing.assert_array_equal(again.mu, reference.mu)
+
+    def test_mmap_mode_serves_identical_arrays(self, tiny_domain, tiny_representation, tmp_path):
+        eager_cache = PersistentEncodingCache(tmp_path / "mm", chunk_rows=16)
+        cold = _store(tiny_representation, tiny_domain.task, eager_cache)
+        full = cold.table_encodings("left")
+        version = tiny_representation.encoding_version
+        fingerprint = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
+
+        mapped_cache = PersistentEncodingCache(tmp_path / "mm", chunk_rows=16, mmap_mode="r")
+        loaded = mapped_cache.load(tiny_domain.task.name, "left", version, fingerprint)
+        assert loaded is not None
+        np.testing.assert_array_equal(np.asarray(loaded.irs), full.irs)
+        np.testing.assert_array_equal(np.asarray(loaded.mu), full.mu)
+        # A single-chunk range load stays a memory map (no eager copy) — a
+        # plain ndarray here would mean mmap_mode silently became a no-op.
+        ranged = mapped_cache.load_range(tiny_domain.task.name, "left", version, fingerprint, 0, 16)
+        assert isinstance(ranged.mu, np.memmap)
+
+    def test_unsafe_mmap_modes_rejected(self, tmp_path):
+        for mode in ("r+", "w+", "rw"):
+            with pytest.raises(ValueError):
+                PersistentEncodingCache(tmp_path, mmap_mode=mode)
 
 
 class TestInvalidationRules:
@@ -93,7 +238,7 @@ class TestInvalidationRules:
 
     def test_differently_seeded_model_is_a_miss(self, tiny_domain, cache):
         """Same config shape, different training seed: the weights CRC in the
-        fingerprint must reject the archive even though both fresh processes
+        fingerprint must reject the entry even though both fresh processes
         sit at the same encoding_version."""
         config_a = VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=2, seed=1)
         config_b = VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=2, seed=2)
@@ -124,39 +269,94 @@ class TestInvalidationRules:
         assert cache.load("other-task", "left", version, fingerprint) is None
         assert cache.load(tiny_domain.task.name, "right", version, fingerprint) is None
 
-    def test_corrupt_archive_is_a_miss_not_an_error(self, tiny_domain, tiny_representation, cache):
-        store = _store(tiny_representation, tiny_domain.task, cache)
+    def test_corrupt_chunk_is_a_miss_not_an_error(self, tiny_domain, tiny_representation, small_chunk_cache):
+        store = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
         before = store.table_encodings("left")
         version = tiny_representation.encoding_version
-        path = cache.path_for(tiny_domain.task.name, "left", version)
-        path.write_bytes(b"not an npz archive")
-        warm = _store(tiny_representation, tiny_domain.task, cache)
+        chunk = _chunks_of(small_chunk_cache, tiny_domain.task.name, "left", version)[1]
+        chunk.write_bytes(b"not an npz archive")
+        warm = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
         after = warm.table_encodings("left")  # must recompute, not raise
         assert warm.counters.disk_hits == 0
         assert warm.counters.tables_encoded == 1
         np.testing.assert_array_equal(after.mu, before.mu)
 
-    def test_truncated_archive_is_a_miss_not_an_error(self, tiny_domain, tiny_representation, cache):
+    def test_truncated_chunk_is_a_miss_not_an_error(self, tiny_domain, tiny_representation, small_chunk_cache):
         """A killed writer leaves a valid zip header but a truncated body."""
-        store = _store(tiny_representation, tiny_domain.task, cache)
+        store = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
         before = store.table_encodings("left")
         version = tiny_representation.encoding_version
-        path = cache.path_for(tiny_domain.task.name, "left", version)
-        raw = path.read_bytes()
+        chunk = _chunks_of(small_chunk_cache, tiny_domain.task.name, "left", version)[0]
+        raw = chunk.read_bytes()
         assert raw[:2] == b"PK"  # still looks like an archive
-        path.write_bytes(raw[: len(raw) // 2])
-        warm = _store(tiny_representation, tiny_domain.task, cache)
+        chunk.write_bytes(raw[: len(raw) // 2])
+        warm = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
         after = warm.table_encodings("left")  # must recompute, not raise
         assert warm.counters.disk_hits == 0
         assert warm.counters.tables_encoded == 1
         np.testing.assert_array_equal(after.mu, before.mu)
+
+    def test_stale_manifest_missing_chunk_is_a_miss(self, tiny_domain, tiny_representation, small_chunk_cache):
+        """A manifest referencing a deleted chunk must degrade to a miss."""
+        store = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
+        store.table_encodings("left")
+        version = tiny_representation.encoding_version
+        fingerprint = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
+        _chunks_of(small_chunk_cache, tiny_domain.task.name, "left", version)[1].unlink()
+        assert small_chunk_cache.load(tiny_domain.task.name, "left", version, fingerprint) is None
+        # Ranges not touching the missing chunk still serve.
+        assert (
+            small_chunk_cache.load_range(tiny_domain.task.name, "left", version, fingerprint, 0, 8)
+            is not None
+        )
+
+    def test_foreign_chunk_under_valid_manifest_is_a_miss(
+        self, tiny_domain, tiny_representation, small_chunk_cache
+    ):
+        """A chunk overwritten by a different-fingerprint writer must be
+        rejected even though the manifest still validates — the mixed-writer
+        race the per-chunk fingerprint exists to catch."""
+        store = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
+        encodings = store.table_encodings("left")
+        version = tiny_representation.encoding_version
+        fingerprint = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
+        # Simulate the concurrent writer: rewrite one chunk in place with a
+        # different fingerprint, leaving the original manifest untouched.
+        manifest_path = small_chunk_cache.manifest_path(tiny_domain.task.name, "left", version)
+        original_manifest = manifest_path.read_bytes()
+        foreign = dict(fingerprint, weights_crc=fingerprint["weights_crc"] + 1)
+        small_chunk_cache.save(tiny_domain.task.name, "left", version, foreign, encodings)
+        manifest_path.write_bytes(original_manifest)
+        assert small_chunk_cache.load(tiny_domain.task.name, "left", version, fingerprint) is None
+
+    def test_corrupt_manifest_is_a_miss(self, tiny_domain, tiny_representation, small_chunk_cache):
+        store = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
+        store.table_encodings("left")
+        version = tiny_representation.encoding_version
+        fingerprint = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
+        manifest_path = small_chunk_cache.manifest_path(tiny_domain.task.name, "left", version)
+        manifest_path.write_text("{not json")
+        assert small_chunk_cache.load(tiny_domain.task.name, "left", version, fingerprint) is None
+
+    def test_non_contiguous_manifest_is_a_miss(self, tiny_domain, tiny_representation, small_chunk_cache):
+        """Chunk lists that do not tile [0, n) are stale manifests: miss."""
+        store = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
+        store.table_encodings("left")
+        version = tiny_representation.encoding_version
+        fingerprint = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
+        manifest_path = small_chunk_cache.manifest_path(tiny_domain.task.name, "left", version)
+        manifest = json.loads(manifest_path.read_text())
+        manifest["chunks"] = manifest["chunks"][1:]  # drop the first range
+        manifest_path.write_text(json.dumps(manifest))
+        assert small_chunk_cache.load(tiny_domain.task.name, "left", version, fingerprint) is None
 
     def test_save_is_atomic_rename(self, tiny_domain, tiny_representation, cache):
-        """No temp files survive a save; the final path appears complete."""
+        """No temp files survive a save; the entry appears complete."""
         store = _store(tiny_representation, tiny_domain.task, cache)
         store.table_encodings("left")
-        task_dir = cache.path_for(tiny_domain.task.name, "left", 1).parent
-        leftovers = [p for p in task_dir.iterdir() if ".tmp." in p.name]
+        version = tiny_representation.encoding_version
+        chunk_dir = cache.dir_for(tiny_domain.task.name, "left", version)
+        leftovers = [p for p in chunk_dir.iterdir() if ".tmp" in p.name]
         assert leftovers == []
 
     def test_store_without_cache_never_touches_disk_counters(self, tiny_domain, tiny_representation):
@@ -164,7 +364,60 @@ class TestInvalidationRules:
         store.table_encodings("left")
         assert store.counters.disk_hits == 0
         assert store.counters.disk_misses == 0
+        assert store.counters.chunk_loads == 0
         assert store.counters.tables_encoded == 1
+
+
+class TestFlatLayoutMigration:
+    def _flat_entry(self, cache, tiny_domain, tiny_representation):
+        """Write a legacy flat archive for the left side and return its key."""
+        plain = EncodingStore(tiny_representation, tiny_domain.task, counters=EngineCounters())
+        encodings = plain.table_encodings("left")
+        version = tiny_representation.encoding_version
+        fingerprint = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
+        cache.save_flat(tiny_domain.task.name, "left", version, fingerprint, encodings)
+        return encodings, version, fingerprint
+
+    def test_flat_archive_migrates_on_first_load(self, tiny_domain, tiny_representation, small_chunk_cache):
+        encodings, version, fingerprint = self._flat_entry(
+            small_chunk_cache, tiny_domain, tiny_representation
+        )
+        flat_path = small_chunk_cache.flat_path_for(tiny_domain.task.name, "left", version)
+        assert flat_path.is_file()
+        loaded = small_chunk_cache.load(tiny_domain.task.name, "left", version, fingerprint)
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.mu, encodings.mu)
+        # One-shot migration: the flat archive became a chunked entry.
+        assert not flat_path.is_file()
+        assert small_chunk_cache.manifest_path(tiny_domain.task.name, "left", version).is_file()
+        assert len(_chunks_of(small_chunk_cache, tiny_domain.task.name, "left", version)) > 1
+        # Second load is served from chunks (counted as chunk loads).
+        counters = EngineCounters()
+        again = small_chunk_cache.load(
+            tiny_domain.task.name, "left", version, fingerprint, counters=counters
+        )
+        assert again is not None and counters.chunk_loads > 1
+        np.testing.assert_array_equal(again.mu, encodings.mu)
+
+    def test_flat_archive_serves_range_loads_via_migration(
+        self, tiny_domain, tiny_representation, small_chunk_cache
+    ):
+        encodings, version, fingerprint = self._flat_entry(
+            small_chunk_cache, tiny_domain, tiny_representation
+        )
+        loaded = small_chunk_cache.load_range(
+            tiny_domain.task.name, "left", version, fingerprint, 16, 32
+        )
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.mu, encodings.mu[16:32])
+        assert not small_chunk_cache.flat_path_for(tiny_domain.task.name, "left", version).is_file()
+
+    def test_foreign_flat_archive_does_not_migrate(self, tiny_domain, tiny_representation, small_chunk_cache):
+        _, version, fingerprint = self._flat_entry(small_chunk_cache, tiny_domain, tiny_representation)
+        tampered = dict(fingerprint, n_records=fingerprint["n_records"] + 1)
+        assert small_chunk_cache.load(tiny_domain.task.name, "left", version, tampered) is None
+        # The mismatching flat archive is left untouched for its real owner.
+        assert small_chunk_cache.flat_path_for(tiny_domain.task.name, "left", version).is_file()
 
 
 class TestCrossProcessWarmth:
@@ -181,7 +434,7 @@ class TestCrossProcessWarmth:
         cache = PersistentEncodingCache(cache_dir)
         version = tiny_representation.encoding_version
         pre_existing = all(
-            cache.path_for(tiny_domain.task.name, side, version).is_file()
+            cache.manifest_path(tiny_domain.task.name, side, version).is_file()
             for side in ("left", "right")
         )
         store = _store(tiny_representation, tiny_domain.task, cache)
@@ -190,6 +443,7 @@ class TestCrossProcessWarmth:
         if pre_existing:
             assert store.counters.tables_encoded == 0, "warm run must not encode any table"
             assert store.counters.disk_hits == 2
+            assert store.counters.chunk_loads >= 2
         else:
             assert store.counters.tables_encoded == 2
         # Whatever the source, the encodings must match a fresh computation.

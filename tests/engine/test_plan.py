@@ -1,0 +1,270 @@
+"""ResolutionPlanner/Executor: stage graph, blocking equivalence, warm runs.
+
+Three invariants pin the plan/execute refactor:
+
+* the plan is pure metadata — stage graph and shard bounds derive from table
+  sizes alone, no encoding;
+* sharded blocking (worker-built hash maps + query fan-out) produces the
+  *identical* candidate-pair list as the serial path, on every registry
+  domain;
+* planner-driven resolution is byte-identical to ``resolve_stream`` for any
+  (k, batch_size, workers) combination, and a warm run against a chunked
+  persistent cache encodes zero tables.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blocking import NearestNeighbourSearch
+from repro.config import BlockingConfig, MatcherConfig, VAERConfig, VAEConfig
+from repro.core import VAER
+from repro.data.generators import DOMAIN_NAMES, load_domain
+from repro.engine import (
+    PersistentEncodingCache,
+    ResolutionExecutor,
+    ResolutionPlanner,
+    ShardedEncodingStore,
+    build_index_sharded,
+    merge_scored_batches,
+    resolve_sharded,
+    resolve_stream,
+    sharded_candidate_pairs,
+)
+from repro.eval.timing import EngineCounters, ShardTimings, StageTimings
+from repro.text.ir import IRGenerator
+
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def planned_pipeline(tiny_domain):
+    config = VAERConfig(
+        vae=VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=3, seed=3),
+        matcher=MatcherConfig(epochs=10, mlp_hidden=(24, 12), seed=5),
+    )
+    model = VAER(config, shard_rows=16).fit_representation(tiny_domain.task)
+    model.fit_matcher(tiny_domain.splits.train, tiny_domain.splits.validation)
+    return model
+
+
+class TestPlannerGraph:
+    def test_plan_is_pure_metadata(self, tiny_domain, tiny_representation):
+        """Planning must not encode a single record."""
+        counters = EngineCounters()
+        store = ShardedEncodingStore(
+            tiny_representation, tiny_domain.task, counters=counters, shard_rows=16
+        )
+        ResolutionPlanner.from_store(store, k=5, batch_size=32, workers=4).plan()
+        assert counters.tables_encoded == 0
+        assert counters.cache_misses == 0
+
+    def test_stage_graph_shape(self, tiny_domain):
+        plan = ResolutionPlanner(tiny_domain.task, k=5, batch_size=32, workers=4, shard_rows=16).plan()
+        assert [stage.name for stage in plan.stages] == ["encode", "block", "score"]
+        assert plan.stage("encode").depends_on == ()
+        assert plan.stage("block").depends_on == ("encode",)
+        assert plan.stage("score").depends_on == ("block",)
+        with pytest.raises(KeyError):
+            plan.stage("transmogrify")
+
+    def test_bounds_cover_both_tables(self, tiny_domain):
+        plan = ResolutionPlanner(tiny_domain.task, shard_rows=16).plan()
+        assert plan.query_bounds[0].start == 0
+        assert plan.query_bounds[-1].stop == len(tiny_domain.task.left)
+        assert plan.build_bounds[-1].stop == len(tiny_domain.task.right)
+        for previous, current in zip(plan.query_bounds, plan.query_bounds[1:]):
+            assert previous.stop == current.start
+        # The block stage schedules one build unit per right shard and one
+        # query unit per left shard.
+        assert plan.stage("block").num_units == len(plan.build_bounds) + len(plan.query_bounds)
+
+    def test_max_batches_upper_bound(self, tiny_domain):
+        plan = ResolutionPlanner(tiny_domain.task, k=5, batch_size=17).plan()
+        n = len(tiny_domain.task.left)
+        assert plan.max_batches() == (n * 5 + 16) // 17
+
+    def test_describe_mentions_every_stage(self, tiny_domain):
+        plan = ResolutionPlanner(tiny_domain.task, k=5, batch_size=32, workers=4, shard_rows=16).plan()
+        text = plan.describe()
+        for token in ("encode", "block", "score", "workers=4", "shard_rows=16", tiny_domain.task.name):
+            assert token in text
+
+    def test_invalid_knobs_rejected(self, tiny_domain):
+        for kwargs in ({"k": 0}, {"batch_size": 0}, {"workers": 0}, {"shard_rows": 0}):
+            with pytest.raises(ValueError):
+                ResolutionPlanner(tiny_domain.task, **kwargs)
+
+    def test_from_store_adopts_shard_layout(self, tiny_domain, tiny_representation):
+        store = ShardedEncodingStore(
+            tiny_representation, tiny_domain.task, counters=EngineCounters(), shard_rows=16
+        )
+        plan = ResolutionPlanner.from_store(store, workers=2).plan()
+        assert plan.shard_rows == 16
+        assert [(b.start, b.stop) for b in plan.query_bounds] == [
+            (b.start, b.stop) for b in store.shard_bounds("left")
+        ]
+
+    def test_pipeline_plan_resolution(self, planned_pipeline, tiny_domain):
+        plan = planned_pipeline.plan_resolution(k=5, batch_size=32, workers=3)
+        assert plan.workers == 3 and plan.shard_rows == 16
+        assert plan.left_rows == len(tiny_domain.task.left)
+
+
+def _domain_vectors(name: str):
+    """Record-level LSA IR vectors of a registry domain (no VAE needed)."""
+    domain = load_domain(name, scale=0.25)
+    generator = IRGenerator(method="lsa", dim=12).fit(domain.task)
+    left = generator.transform_table(domain.task.left)
+    right = generator.transform_table(domain.task.right)
+    return (
+        right.reshape(len(right), -1),
+        list(domain.task.right.record_ids()),
+        left.reshape(len(left), -1),
+        list(domain.task.left.record_ids()),
+    )
+
+
+class TestShardedBlockingEquivalence:
+    @pytest.mark.parametrize("name", DOMAIN_NAMES)
+    def test_identical_candidate_pairs_on_every_registry_domain(self, name):
+        vectors, keys, query_vectors, query_keys = _domain_vectors(name)
+        config = BlockingConfig(seed=17)
+        serial = (
+            NearestNeighbourSearch(config)
+            .build(vectors, keys)
+            .candidate_pairs(query_vectors, query_keys, k=5)
+        )
+        sharded = sharded_candidate_pairs(
+            vectors, keys, query_vectors, query_keys,
+            blocking=config, k=5, workers=WORKERS, shard_rows=7,
+        )
+        assert [p.key() for p in sharded] == [p.key() for p in serial]
+
+    def test_sharded_build_matches_serial_tables(self):
+        rng = np.random.default_rng(5)
+        vectors = rng.normal(size=(45, 6))
+        keys = [f"r{i}" for i in range(45)]
+        config = BlockingConfig(seed=3)
+        serial = NearestNeighbourSearch(config).build(vectors, keys).index
+        sharded = build_index_sharded(vectors, keys, blocking=config, workers=3, shard_rows=10)
+        assert len(serial._tables) == len(sharded._tables)
+        for serial_table, sharded_table in zip(serial._tables, sharded._tables):
+            assert dict(serial_table) == dict(sharded_table)
+
+    def test_single_worker_path_is_serial(self):
+        rng = np.random.default_rng(9)
+        vectors = rng.normal(size=(20, 4))
+        keys = [f"r{i}" for i in range(20)]
+        queries = rng.normal(size=(8, 4))
+        query_keys = [f"q{i}" for i in range(8)]
+        one = sharded_candidate_pairs(vectors, keys, queries, query_keys, k=3, workers=1, shard_rows=6)
+        two = sharded_candidate_pairs(vectors, keys, queries, query_keys, k=3, workers=2, shard_rows=6)
+        assert [p.key() for p in one] == [p.key() for p in two]
+
+    def test_stage_timings_record_blocking_work(self):
+        rng = np.random.default_rng(2)
+        vectors = rng.normal(size=(30, 4))
+        keys = [f"r{i}" for i in range(30)]
+        timings = StageTimings()
+        sharded_candidate_pairs(
+            vectors, keys, vectors, keys, k=3, workers=2, shard_rows=8, stage_timings=timings
+        )
+        assert timings.seconds("block-build") >= 0.0
+        assert timings.units("block-query") == 4  # 30 rows in shards of 8
+
+
+class TestPlannerResolveEquivalence:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        batch_size=st.integers(min_value=1, max_value=40),
+        k=st.integers(min_value=1, max_value=8),
+        workers=st.integers(min_value=2, max_value=3),
+    )
+    def test_planner_resolve_byte_identical_to_stream(self, planned_pipeline, batch_size, k, workers):
+        store, matcher = planned_pipeline.store, planned_pipeline.matcher
+        streamed = merge_scored_batches(resolve_stream(store, matcher, k=k, batch_size=batch_size))
+        planned = merge_scored_batches(
+            resolve_sharded(store, matcher, k=k, batch_size=batch_size, workers=workers)
+        )
+        assert [p.key() for p in planned.pairs] == [p.key() for p in streamed.pairs]
+        np.testing.assert_array_equal(planned.probabilities, streamed.probabilities)
+
+    def test_executor_run_equals_stream(self, planned_pipeline):
+        """Driving the executor directly (no front-end) stays byte-identical."""
+        store, matcher = planned_pipeline.store, planned_pipeline.matcher
+        plan = ResolutionPlanner.from_store(store, k=5, batch_size=13, workers=2).plan()
+        shard_timings = ShardTimings()
+        stage_timings = StageTimings()
+        executor = ResolutionExecutor(
+            plan, store, matcher, threshold=planned_pipeline.threshold,
+            shard_timings=shard_timings, stage_timings=stage_timings,
+        )
+        planned = merge_scored_batches(executor.run())
+        streamed = merge_scored_batches(
+            resolve_stream(store, matcher, k=5, batch_size=13, threshold=planned_pipeline.threshold)
+        )
+        assert [p.key() for p in planned.pairs] == [p.key() for p in streamed.pairs]
+        np.testing.assert_array_equal(planned.probabilities, streamed.probabilities)
+        # Every stage of the graph reported compute time.
+        assert set(stage_timings.stages()) == {"encode", "block", "score"}
+        assert shard_timings.total_pairs() == len(planned)
+
+    def test_oversized_k_and_batch(self, planned_pipeline):
+        store, matcher = planned_pipeline.store, planned_pipeline.matcher
+        streamed = merge_scored_batches(resolve_stream(store, matcher, k=100, batch_size=10_000))
+        planned = merge_scored_batches(
+            resolve_sharded(store, matcher, k=100, batch_size=10_000, workers=2)
+        )
+        assert [p.key() for p in planned.pairs] == [p.key() for p in streamed.pairs]
+        np.testing.assert_array_equal(planned.probabilities, streamed.probabilities)
+
+    def test_batches_emitted_in_index_order(self, planned_pipeline):
+        indices = [
+            batch.batch_index
+            for batch in resolve_sharded(
+                planned_pipeline.store, planned_pipeline.matcher, k=5, batch_size=13, workers=2
+            )
+        ]
+        assert indices == list(range(len(indices)))
+
+
+class TestWarmChunkedCacheResolve:
+    def test_warm_run_encodes_nothing_and_loads_every_chunk_once(self, tiny_domain, tiny_representation, tmp_path):
+        cache = PersistentEncodingCache(tmp_path / "plan-cache", chunk_rows=16)
+        matcher_config = MatcherConfig(epochs=8, mlp_hidden=(24, 12), seed=5)
+        from repro.core.matcher import fit_matcher_with_threshold
+
+        matcher, threshold = fit_matcher_with_threshold(
+            tiny_representation, tiny_domain.task,
+            tiny_domain.splits.train, tiny_domain.splits.validation,
+            config=matcher_config,
+        )
+
+        cold_store = ShardedEncodingStore(
+            tiny_representation, tiny_domain.task,
+            counters=EngineCounters(), persistent=cache, shard_rows=16,
+        )
+        cold = merge_scored_batches(
+            resolve_sharded(cold_store, matcher, k=5, batch_size=13, threshold=threshold, workers=2)
+        )
+        assert cold_store.counters.tables_encoded == 2
+
+        expected_chunks = sum(
+            len(list(cache.dir_for(tiny_domain.task.name, side, tiny_representation.encoding_version).glob("chunk-*.npz")))
+            for side in ("left", "right")
+        )
+        warm_store = ShardedEncodingStore(
+            tiny_representation, tiny_domain.task,
+            counters=EngineCounters(), persistent=cache, shard_rows=16,
+        )
+        warm = merge_scored_batches(
+            resolve_sharded(warm_store, matcher, k=5, batch_size=13, threshold=threshold, workers=2)
+        )
+        assert warm_store.counters.tables_encoded == 0, "warm planner run must not encode"
+        assert warm_store.counters.disk_hits == 2
+        assert warm_store.counters.chunk_loads == expected_chunks, (
+            "warm run must load each chunk it needs exactly once"
+        )
+        assert [p.key() for p in warm.pairs] == [p.key() for p in cold.pairs]
+        np.testing.assert_array_equal(warm.probabilities, cold.probabilities)

@@ -183,7 +183,7 @@ class TestEmptyAndCounters:
         stats = store.stats()
         assert set(stats) == {
             "cache_hits", "cache_misses", "encodes_avoided", "pairs_scored",
-            "tables_encoded", "disk_hits", "disk_misses",
+            "tables_encoded", "disk_hits", "disk_misses", "chunk_loads",
         }
         assert stats["cache_misses"] == 1
         assert stats["tables_encoded"] == 1
@@ -210,6 +210,6 @@ class TestEmptyAndCounters:
         counters.reset()
         assert counters.as_dict() == {
             "cache_hits": 0, "cache_misses": 0, "encodes_avoided": 0, "pairs_scored": 0,
-            "tables_encoded": 0, "disk_hits": 0, "disk_misses": 0,
+            "tables_encoded": 0, "disk_hits": 0, "disk_misses": 0, "chunk_loads": 0,
         }
         assert counters.hit_rate() == 0.0

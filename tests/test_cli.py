@@ -37,6 +37,13 @@ class TestParser:
         )
         assert args.workers == 4 and args.cache_dir == ".repro-cache"
 
+    def test_plan_arguments(self):
+        args = _build_parser().parse_args(
+            ["plan", "--domain", "music", "--workers", "4", "--shard-rows", "512"]
+        )
+        assert args.domain == "music" and args.workers == 4 and args.shard_rows == 512
+        assert args.k == 10 and args.batch_size == 2048  # defaults
+
 
 class TestCommands:
     def test_list_domains_prints_all_nine(self, capsys):
@@ -45,3 +52,20 @@ class TestCommands:
         for name in ("restaurants", "citations2", "crm", "stocks"):
             assert name in output
         assert len(output.strip().splitlines()) == 9
+
+    def test_plan_prints_stage_graph_without_training(self, capsys):
+        """The plan subcommand fits no model: it must return in well under a
+        training run's time and still print the full stage graph."""
+        assert main([
+            "plan", "--domain", "restaurants", "--scale", "0.3",
+            "--workers", "4", "--shard-rows", "16", "--k", "5",
+        ]) == 0
+        output = capsys.readouterr().out
+        for token in ("encode", "block", "score", "workers=4", "shard_rows=16"):
+            assert token in output
+
+    def test_plan_rejects_bad_arguments(self, capsys):
+        assert main(["plan", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+        assert main(["plan", "--shard-rows", "-1"]) == 2
+        assert "--shard-rows" in capsys.readouterr().err
