@@ -141,6 +141,45 @@ class EuclideanLSHIndex:
         assert self._vectors is not None
         return self.install_tables([self.hash_rows(0, len(self._vectors))])
 
+    def extend(self, vectors: np.ndarray, keys: Sequence[object]) -> "EuclideanLSHIndex":
+        """Install additional rows into a built index without a rebuild.
+
+        The incremental-blocking primitive: appended rows are hashed with
+        the *existing* projections through :meth:`hash_rows` (the same
+        partial-map machinery a sharded build uses) and appended into the
+        existing bucket lists in place — O(delta) bucket work, not O(table).
+        New rows receive the next global indices, so every bucket's row list
+        stays exactly what a from-scratch :meth:`build` over the
+        concatenated vectors produces; query answers are therefore
+        identical to a full rebuild.
+        """
+        self._require_built("extend")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError(f"expected a 2-d array of vectors, got shape {vectors.shape}")
+        assert self._vectors is not None
+        if vectors.shape[1] != self._vectors.shape[1]:
+            raise ValueError(
+                f"extension vectors have dimension {vectors.shape[1]}, "
+                f"index was built over dimension {self._vectors.shape[1]}"
+            )
+        keys = list(keys)
+        if len(keys) != len(vectors):
+            raise ValueError("keys must align with vectors")
+        if len(vectors) == 0:
+            return self
+        start = len(self._vectors)
+        self._vectors = np.concatenate([self._vectors, vectors])
+        self._keys.extend(keys)
+        for table, bucket_map in zip(self._tables, self.hash_rows(start, len(self._vectors))):
+            for bucket, rows in bucket_map.items():
+                existing = table.get(bucket)
+                if existing is None:
+                    table[bucket] = rows
+                else:
+                    existing.extend(rows)
+        return self
+
     def _bucket_ids(self, vectors: np.ndarray) -> np.ndarray:
         assert self._projections is not None and self._offsets is not None
         # shape: (num_tables, n, hash_size)
@@ -233,6 +272,11 @@ class EuclideanLSHIndex:
     @property
     def size(self) -> int:
         return 0 if self._vectors is None else len(self._vectors)
+
+    @property
+    def keys(self) -> Tuple[object, ...]:
+        """The registered row keys, in row order (empty before prepare)."""
+        return tuple(self._keys)
 
     def bucket_statistics(self) -> Dict[str, float]:
         """Mean and max bucket occupancy across tables (diagnostics)."""

@@ -9,7 +9,10 @@ Usage (after installing the package)::
     python -m repro representation --domain beer --ir lsa
     python -m repro resolve --domain restaurants --k 10 --batch-size 2048
     python -m repro resolve --domain music --workers 4 --cache-dir .repro-cache
+    python -m repro resolve --domain music --incremental --append-rows 64
     python -m repro plan --domain music --workers 4 --shard-rows 1024
+    python -m repro cache list --cache-dir .repro-cache
+    python -m repro cache prune --cache-dir .repro-cache
 
 Each sub-command drives the same harness functions the benchmark suite uses,
 so the CLI is a convenient way to reproduce a single cell of the paper's
@@ -71,6 +74,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="Directory for the persistent encoding cache; repeated runs skip table encoding.",
     )
+    resolve.add_argument(
+        "--incremental", action="store_true",
+        help="Resolve, append rows to the right table, then re-resolve through the "
+             "delta engine (only new rows are encoded and rescored).",
+    )
+    resolve.add_argument(
+        "--append-rows", type=int, default=48,
+        help="Rows appended to the right table between the two --incremental passes.",
+    )
 
     plan = subparsers.add_parser(
         "plan",
@@ -82,6 +94,13 @@ def _build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--batch-size", type=int, default=2048, help="Candidate pairs scored per batch.")
     plan.add_argument("--workers", type=int, default=1, help="Worker pool size the plan schedules for.")
     plan.add_argument("--shard-rows", type=int, default=2048, help="Rows per row-range shard.")
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="Inspect (list) or clean up (prune) a persistent encoding cache directory.",
+    )
+    cache.add_argument("action", choices=["list", "prune"], help="What to do with the cache.")
+    cache.add_argument("--cache-dir", required=True, help="Root of the persistent encoding cache.")
 
     return parser
 
@@ -199,6 +218,12 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     if args.workers <= 0:
         print("error: --workers must be positive", file=sys.stderr)
         return 2
+    if args.append_rows <= 0:
+        print("error: --append-rows must be positive", file=sys.stderr)
+        return 2
+    if args.incremental and args.workers != 1:
+        print("error: --incremental runs serially; drop --workers", file=sys.stderr)
+        return 2
     reset_engine_counters()
     domain = load_domain(args.domain, scale=args.scale)
     config = _harness_config(args.seed).vaer_config(ir_method=args.ir)
@@ -211,7 +236,8 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     candidates = matches = batches = 0
     for batch in model.resolve_stream(
         k=args.k, batch_size=args.batch_size, workers=args.workers,
-        shard_timings=timings, stage_timings=stage_timings,
+        shard_timings=None if args.incremental else timings,
+        stage_timings=stage_timings, incremental=args.incremental,
     ):
         candidates += len(batch)
         matches += len(batch.matches())
@@ -225,12 +251,68 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     print(f"  predicted matches:      {matches} (threshold {model.threshold:.2f})")
     if args.cache_dir:
         print(f"  encoding cache:         {args.cache_dir}")
+
+    if args.incremental:
+        from repro.data.generators import append_rows
+
+        append_rows(domain, side="right", rows=args.append_rows)
+        reset_engine_counters()
+        delta_timings = StageTimings()
+        candidates = matches = 0
+        for batch in model.resolve_stream(
+            k=args.k, batch_size=args.batch_size,
+            stage_timings=delta_timings, incremental=True,
+        ):
+            candidates += len(batch)
+            matches += len(batch.matches())
+        print(f"\nIncremental re-resolve after appending {args.append_rows} right rows\n")
+        print(f"  candidate pairs:        {candidates}")
+        print(f"  predicted matches:      {matches}")
+        print(f"  rows re-encoded:        {delta_timings.counter('rows_reencoded')}")
+        print(f"  pairs rescored:         {delta_timings.counter('pairs_rescored')} "
+              f"(of {candidates} candidates)")
+        print("\nDelta-stage timings\n")
+        print(format_stage_timings(delta_timings))
+
     print("\nEngine cache statistics\n")
     print(format_engine_stats())
-    print("\nPer-stage timings (encode -> block -> score)\n")
-    print(format_stage_timings(stage_timings))
-    print("\nPer-shard timings\n")
-    print(format_shard_timings(timings))
+    if not args.incremental:
+        print("\nPer-stage timings (encode -> block -> score)\n")
+        print(format_stage_timings(stage_timings))
+        print("\nPer-shard timings\n")
+        print(format_shard_timings(timings))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine import PersistentEncodingCache
+    from repro.eval.reporting import format_table
+
+    cache = PersistentEncodingCache(args.cache_dir)
+    if args.action == "prune":
+        removed = cache.prune()
+        print(
+            f"pruned {removed['entries']} stale generation(s): "
+            f"{removed['files']} file(s), {removed['bytes']} bytes"
+        )
+        return 0
+    rows = cache.describe_entries()
+    if not rows:
+        print(f"no cache entries under {args.cache_dir}")
+        return 0
+
+    def _show(value) -> str:
+        return "?" if value is None else str(value)
+
+    print(format_table(
+        ["Task", "Side", "Version", "Layout", "Rows", "Chunks", "Bytes", "Content CRC", "Weights CRC"],
+        [
+            [row["task"], row["side"], _show(row["version"]), row["layout"],
+             _show(row["rows"]), _show(row["chunks"]), _show(row["bytes"]),
+             _show(row["content_crc"]), _show(row["weights_crc"])]
+            for row in rows
+        ],
+    ))
     return 0
 
 
@@ -251,6 +333,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_resolve(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return 1
 
 

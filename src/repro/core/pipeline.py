@@ -56,11 +56,13 @@ from repro.engine import (
     DEFAULT_SHARD_ROWS,
     EncodingStore,
     PersistentEncodingCache,
+    ResolutionBaseline,
     ResolutionBatch,
     ResolutionPlan,
     ResolutionPlanner,
     ScoredPairs,
     ShardedEncodingStore,
+    resolve_delta,
     resolve_sharded,
     resolve_stream,
 )
@@ -91,6 +93,7 @@ class VAER:
         self.cache_dir: Optional[Path] = Path(cache_dir) if cache_dir is not None else None
         self.shard_rows = shard_rows
         self._store: Optional[EncodingStore] = None
+        self._baseline: Optional[ResolutionBaseline] = None
 
     def use_cache_dir(self, cache_dir: Optional[Union[str, Path]]) -> "VAER":
         """Attach (or detach, with ``None``) a persistent encoding cache.
@@ -113,6 +116,7 @@ class VAER:
             config=self.config.vae, ir_method=self.config.ir_method
         ).fit(task, epochs=epochs)
         self._store = None
+        self._baseline = None
         return self
 
     def use_representation(self, representation: EntityRepresentationModel, task: ERTask) -> "VAER":
@@ -120,6 +124,7 @@ class VAER:
         self.task = task
         self.representation = transfer_representation(representation, task)
         self._store = None
+        self._baseline = None
         return self
 
     def _require_representation(self) -> EntityRepresentationModel:
@@ -173,6 +178,10 @@ class VAER:
             store=self.store,
             epochs=epochs,
         )
+        # Baseline scores belong to the previous matcher; drop them (the
+        # encodings and index would still be valid, but resolve_delta
+        # re-derives those cheaply from the store on the next cold capture).
+        self._baseline = None
         return self
 
     # ------------------------------------------------------------------
@@ -210,6 +219,7 @@ class VAER:
         result = loop.run(iterations=iterations, label_budget=label_budget)
         self.matcher = result.matcher
         self.threshold = 0.5
+        self._baseline = None
         return result
 
     # ------------------------------------------------------------------
@@ -261,6 +271,7 @@ class VAER:
         workers: int = 1,
         shard_timings: Optional[ShardTimings] = None,
         stage_timings: Optional[StageTimings] = None,
+        incremental: bool = False,
     ) -> Iterator[ResolutionBatch]:
         """Chunked ER pass: score candidates in bounded-memory batches.
 
@@ -277,9 +288,22 @@ class VAER:
         stream.  ``shard_timings`` optionally collects per-batch worker
         timings; ``stage_timings`` collects per-stage (encode/block/score)
         compute seconds.
+
+        With ``incremental=True`` the run goes through the delta engine
+        (:meth:`resolve_delta`): the first such call is a cold resolve that
+        captures a baseline, every later call pays only for the rows added
+        since — see :meth:`resolve_delta` for the contract.  Incremental
+        execution is serial (``workers`` must be 1).
         """
         matcher = self._require_matcher()
         k = k or self.config.active_learning.top_neighbours
+        if incremental:
+            if workers != 1:
+                raise ValueError(
+                    "incremental resolution runs serially; use workers=1 "
+                    "(the delta work is bounded by the append size)"
+                )
+            return self.resolve_delta(k=k, batch_size=batch_size, stage_timings=stage_timings)
         if workers != 1 or shard_timings is not None or stage_timings is not None:
             return resolve_sharded(
                 self.store,
@@ -300,6 +324,55 @@ class VAER:
             batch_size=batch_size,
             threshold=self.threshold,
         )
+
+    def resolve_delta(
+        self,
+        k: Optional[int] = None,
+        batch_size: int = 2048,
+        stage_timings: Optional[StageTimings] = None,
+    ) -> Iterator[ResolutionBatch]:
+        """Incremental ER pass: pay only for rows added since the last one.
+
+        The first call performs a cold resolve and records a
+        :class:`repro.engine.ResolutionBaseline` (per-pair probabilities plus
+        the LSH index) on this pipeline.  After the task's tables grow —
+        e.g. via :func:`repro.data.generators.append_rows` or any in-place
+        ``Table.add`` — the next call:
+
+        * re-encodes only the appended rows (the delta-aware store and the
+          content-addressed chunk cache recognise the old rows);
+        * extends the baseline LSH index with the new right rows instead of
+          rebuilding it;
+        * runs the matcher only on candidate pairs involving new rows,
+          reusing baseline probabilities for the rest.
+
+        The yielded stream matches a cold :meth:`resolve_stream` on the
+        grown tables: identical candidate enumeration and match set, with
+        probabilities byte-identical for reused pairs and equal up to float
+        round-off for rescored ones — the equivalence the delta tests pin.  The
+        baseline is refreshed when the stream is fully drained (an abandoned
+        stream keeps the previous baseline).  Refitting the representation
+        or matcher invalidates the affected parts automatically.
+        """
+        matcher = self._require_matcher()
+        k = k or self.config.active_learning.top_neighbours
+        executor = resolve_delta(
+            self.store,
+            matcher,
+            baseline=self._baseline,
+            blocking=self.config.blocking,
+            k=k,
+            batch_size=batch_size,
+            threshold=self.threshold,
+            stage_timings=stage_timings,
+        )
+
+        def stream() -> Iterator[ResolutionBatch]:
+            yield from executor.run()
+            if executor.baseline_out is not None:
+                self._baseline = executor.baseline_out
+
+        return stream()
 
     def plan_resolution(
         self,

@@ -13,6 +13,7 @@ from repro.data.generators.registry import (
     CLEAN_DOMAINS,
     DOMAIN_NAMES,
     NOISY_DOMAINS,
+    append_rows,
     available_domains,
     domain_spec,
     load_all_domains,
@@ -30,6 +31,7 @@ __all__ = [
     "CLEAN_DOMAINS",
     "DOMAIN_NAMES",
     "NOISY_DOMAINS",
+    "append_rows",
     "available_domains",
     "domain_spec",
     "load_all_domains",

@@ -5,8 +5,11 @@ from __future__ import annotations
 import zlib
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.data.generators import domains
 from repro.data.generators.base import DomainSpec, GeneratedDomain, SyntheticDomainGenerator
+from repro.data.schema import Record
 
 _BUILDERS: Dict[str, Callable[[], DomainSpec]] = {
     "restaurants": domains.restaurants,
@@ -70,3 +73,54 @@ def load_domain(name: str, scale: float = 1.0, seed: Optional[int] = None) -> Ge
 def load_all_domains(scale: float = 1.0, seed: Optional[int] = None) -> Dict[str, GeneratedDomain]:
     """Generate every benchmark domain keyed by name."""
     return {name: load_domain(name, scale=scale, seed=seed) for name in DOMAIN_NAMES}
+
+
+def append_rows(
+    domain: GeneratedDomain,
+    side: str = "right",
+    rows: int = 32,
+    seed: Optional[int] = None,
+) -> List[Record]:
+    """Deterministically extend one table of a generated domain *in place*.
+
+    The growing-table counterpart of :func:`load_domain`: tests and
+    benchmarks that exercise incremental resolution need the same task
+    object to gain rows between runs, not a regenerated lookalike.  New
+    records are fresh entities drawn from the domain's own factory (right-
+    side rows pass through the spec's corruption model, like the generator's
+    right-only records), with record and entity ids continuing the existing
+    numbering — so labeled splits, the duplicate map and all previously
+    issued record ids stay valid.
+
+    ``seed`` defaults to a CRC of the domain name, side and current table
+    size, so two identically generated domains extended by the same call
+    receive identical rows, while successive appends to one domain differ.
+    Returns the appended records.
+    """
+    if rows <= 0:
+        raise ValueError("rows must be positive")
+    if side == "left":
+        table, prefix = domain.task.left, "l"
+    elif side == "right":
+        table, prefix = domain.task.right, "r"
+    else:
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    spec = domain.spec
+    start = len(table)
+    if seed is None:
+        seed = zlib.crc32(f"{domain.name}-append-{side}-{start}".encode("utf-8")) % (2 ** 31)
+    rng = np.random.default_rng(seed)
+    numeric = list(spec.numeric_attributes)
+    appended: List[Record] = []
+    for offset in range(rows):
+        values = tuple(spec.entity_factory(rng))
+        if side == "right" and spec.corruption is not None:
+            values = tuple(spec.corruption.corrupt_record_values(list(values), rng, numeric))
+        record = Record(
+            record_id=f"{prefix}{start + offset}",
+            values=values,
+            entity_id=f"{domain.name}-append-{side}-e{start + offset}",
+        )
+        table.add(record)
+        appended.append(record)
+    return appended

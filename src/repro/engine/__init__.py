@@ -16,7 +16,13 @@ planned and executed*:
 * :func:`resolve_stream` / :func:`resolve_sharded` — thin front-ends over
   that engine (single-process and pooled); byte-identical to each other;
 * :class:`ShardedEncodingStore` — row-range shard views of the cached tables
-  (zero-copy), with lazy per-shard loads from the chunked disk cache.
+  (zero-copy), with lazy per-shard loads from the chunked disk cache;
+* :class:`DeltaResolutionExecutor` / :func:`resolve_delta` — incremental
+  resolution against a :class:`ResolutionBaseline`: content-addressed chunk
+  fingerprints recognise a grown table as "old chunks valid, tail new", so
+  only appended rows are re-encoded, the LSH index is extended in place and
+  the matcher rescores only pairs involving new rows — with a match stream
+  identical to a cold full resolve.
 
 Batching, caching, persistence, sharding and scheduling decisions belong
 here, not in the pipeline stages that consume the encodings.
@@ -24,16 +30,23 @@ here, not in the pipeline stages that consume the encodings.
 
 from repro.engine.persist import (
     DEFAULT_CHUNK_ROWS,
+    CacheDelta,
     PersistentEncodingCache,
     encoding_fingerprint,
+    model_fingerprint,
+    row_range_crc,
 )
 from repro.engine.plan import (
+    DeltaBounds,
+    DeltaResolutionExecutor,
+    ResolutionBaseline,
     ResolutionExecutor,
     ResolutionPlan,
     ResolutionPlanner,
     Stage,
     StageUnit,
     build_index_sharded,
+    resolve_delta,
     resolve_plan,
     sharded_candidate_pairs,
 )
@@ -60,8 +73,12 @@ from repro.engine.stream import (
 __all__ = [
     "DEFAULT_CHUNK_ROWS",
     "DEFAULT_SHARD_ROWS",
+    "CacheDelta",
+    "DeltaBounds",
+    "DeltaResolutionExecutor",
     "EncodingStore",
     "PersistentEncodingCache",
+    "ResolutionBaseline",
     "ResolutionBatch",
     "ResolutionExecutor",
     "ResolutionPlan",
@@ -78,10 +95,13 @@ __all__ = [
     "iter_candidate_batches",
     "iter_sharded_candidate_batches",
     "merge_scored_batches",
+    "model_fingerprint",
     "pin_store_version",
+    "resolve_delta",
     "resolve_plan",
     "resolve_sharded",
     "resolve_stream",
+    "row_range_crc",
     "shard_bounds_for",
     "sharded_candidate_pairs",
     "stream_candidate_pairs",

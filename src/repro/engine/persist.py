@@ -36,15 +36,31 @@ Keying and invalidation rules
 -----------------------------
 Entries are keyed by ``(task.name, side, encoding_version)`` — the same
 monotonic version token the in-memory store watches.  Because the token is
-process-local, every manifest additionally embeds a *fingerprint* of the
-representation (IR method, dimensions, seed and a CRC of the VAE weights)
-and of the table (record count and a CRC of its record ids and values).  A
-load only succeeds when both the key and the fingerprint match; anything
-else — missing manifest, foreign task, refit or differently-seeded model,
-resized or edited table, corrupt or missing chunk, stale manifest — is a
-miss and falls back to computing (and rewriting) the entry.  Bumping
-``encoding_version`` therefore never serves stale encodings: the old
-entries simply stop being addressed.
+process-local, every manifest additionally embeds a *fingerprint* with two
+parts: a **model** fingerprint (IR method, dimensions, seed and a CRC of the
+VAE weights) and a **table** identity (record count plus a whole-table CRC
+of record ids and values).  A full load only succeeds when both the key and
+the complete fingerprint match; anything else — missing manifest, foreign
+task, refit or differently-seeded model, resized or edited table, corrupt
+or missing chunk, stale manifest — is a miss.  Bumping ``encoding_version``
+therefore never serves stale encodings: the old entries simply stop being
+addressed.
+
+Content-addressed chunks and delta detection
+--------------------------------------------
+The table half of the fingerprint is additionally recorded *per chunk*:
+every manifest chunk entry is ``[start, stop, row_crc]`` where ``row_crc``
+covers exactly the record ids and values of rows ``[start, stop)``, and the
+same CRC rides in the chunk archive's metadata.  A grown table therefore no
+longer misses globally: :meth:`PersistentEncodingCache.delta` walks the
+manifest chunks against the *current* table and reports the longest valid
+prefix — "old chunks valid, tail rows new".  The store encodes only the
+tail and calls :meth:`PersistentEncodingCache.extend`, which appends new
+chunk archives and rewrites the manifest last, so concurrent readers see
+either the old complete entry or the new one, never a torn state.  Chunk
+validation uses the model fingerprint plus the chunk's own ``row_crc`` (not
+the whole-table CRC), which is what keeps old chunks addressable after an
+append changes the table-level fingerprint.
 
 Lazy loads and memory mapping
 -----------------------------
@@ -64,8 +80,10 @@ import os
 import struct
 import zipfile
 import zlib
+from dataclasses import dataclass
+from itertools import islice
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -80,8 +98,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 PathLike = Union[str, Path]
 
 #: Bump when the on-disk layout changes; mismatching entries are treated as
-#: misses, never as errors.  Version 2 is the chunked manifest layout.
-CACHE_FORMAT_VERSION = 2
+#: misses, never as errors.  Version 3 adds per-chunk content CRCs to the
+#: manifest (version 2 was the chunked layout without them).
+CACHE_FORMAT_VERSION = 3
 
 #: Format tag of the legacy flat single-archive layout (read for migration).
 FLAT_FORMAT_VERSION = 1
@@ -102,41 +121,99 @@ def _slug(name: str) -> str:
     return safe or "task"
 
 
-def encoding_fingerprint(representation: "EntityRepresentationModel", table: "Table") -> Dict[str, Any]:
-    """Identity check binding an entry to the exact model and table state.
+def model_fingerprint(representation: "EntityRepresentationModel") -> Dict[str, Any]:
+    """The model half of an entry's identity.
 
     The ``encoding_version`` key only covers changes *within* a process (it
     restarts from zero every run), so the fingerprint carries everything that
-    determines what a record encodes to across processes:
-
-    * the model architecture (IR method and dimensions) and training seed;
-    * a CRC of the VAE weights — two models fitted with different seeds,
-      epochs or data produce different weights and therefore different
-      fingerprints, even though both sit at ``encoding_version == 1``;
-    * a CRC of the table's record ids *and values* (renamed, resized or
-      edited tables all miss).
+    determines what a record encodes to across processes: the architecture
+    (IR method and dimensions), the training seed, and a CRC of the VAE
+    weights — two models fitted with different seeds, epochs or data produce
+    different weights and therefore different fingerprints, even though both
+    sit at ``encoding_version == 1``.
     """
     state = representation.vae.state_dict()
     weights_crc = 0
     for name in sorted(state):
         weights_crc = zlib.crc32(name.encode("utf-8"), weights_crc)
         weights_crc = zlib.crc32(np.ascontiguousarray(state[name]).tobytes(), weights_crc)
-    record_ids = table.record_ids()
-    content_crc = 0
-    for rid in record_ids:
-        content_crc = zlib.crc32(str(rid).encode("utf-8"), content_crc)
-        for value in table[rid].values:
-            content_crc = zlib.crc32(value.encode("utf-8"), content_crc)
     return {
         "ir_method": representation.ir_method,
         "ir_dim": int(representation.config.ir_dim),
         "hidden_dim": int(representation.config.hidden_dim),
         "latent_dim": int(representation.config.latent_dim),
         "seed": int(representation.config.seed),
-        "n_records": len(record_ids),
-        "content_crc": int(content_crc),
         "weights_crc": int(weights_crc),
     }
+
+
+def row_range_crc(table: "Table", start: int, stop: int) -> int:
+    """CRC of the record ids *and values* of rows ``[start, stop)``.
+
+    The content-addressing primitive of the chunked cache: each chunk's CRC
+    covers exactly its own row range (restarting from zero), so appending
+    rows to a table leaves every existing chunk's CRC — and therefore its
+    on-disk archive — valid.  Iterates the table in place (``islice`` over
+    its record order) rather than copying the record list, since the delta
+    probe calls this once per chunk.
+    """
+    crc = 0
+    for record in islice(iter(table), start, stop):
+        crc = zlib.crc32(str(record.record_id).encode("utf-8"), crc)
+        for value in record.values:
+            crc = zlib.crc32(value.encode("utf-8"), crc)
+    return int(crc)
+
+
+def _keys_crc(keys: Sequence[object]) -> int:
+    """Fallback chunk CRC over record keys alone.
+
+    Used when :meth:`PersistentEncodingCache.save` is handed encodings with
+    no backing table (synthetic benchmark entries).  Never matches a real
+    :func:`row_range_crc`, so such entries serve full loads but are opaque
+    to delta detection — the safe degradation.
+    """
+    crc = zlib.crc32(b"keys-only")
+    for key in keys:
+        crc = zlib.crc32(str(key).encode("utf-8"), crc)
+    return int(crc)
+
+
+def encoding_fingerprint(representation: "EntityRepresentationModel", table: "Table") -> Dict[str, Any]:
+    """Identity check binding an entry to the exact model and table state.
+
+    Two parts: the nested ``model`` fingerprint (see :func:`model_fingerprint`)
+    and the table identity — record count plus a whole-table CRC of record
+    ids and values (renamed, resized or edited tables all miss a full load;
+    *grown* tables are recovered chunk-wise via
+    :meth:`PersistentEncodingCache.delta`).
+    """
+    n = len(table)
+    return {
+        "model": model_fingerprint(representation),
+        "n_records": int(n),
+        "content_crc": row_range_crc(table, 0, n),
+    }
+
+
+@dataclass(frozen=True)
+class CacheDelta:
+    """Result of probing a cache entry against a (possibly grown) table.
+
+    ``base_rows`` is the longest prefix of the current table whose chunks
+    are all present and content-valid on disk; ``total_rows`` is the current
+    table size.  ``manifest`` is the validated manifest the prefix can be
+    served from (:meth:`PersistentEncodingCache.load_prefix`) and extended
+    against (:meth:`PersistentEncodingCache.extend`).
+    """
+
+    manifest: Dict[str, Any]
+    base_rows: int
+    total_rows: int
+
+    @property
+    def new_rows(self) -> int:
+        return self.total_rows - self.base_rows
 
 
 def _mmap_npz_arrays(path: Path, names: Tuple[str, ...], mmap_mode: str) -> Dict[str, np.ndarray]:
@@ -256,16 +333,134 @@ class PersistentEncodingCache:
         for entry in self.entries():
             removed += 1
             if entry.name == MANIFEST_NAME:
-                chunk_dir = entry.parent
-                for chunk in chunk_dir.glob("*.npz"):
-                    chunk.unlink()
-                entry.unlink()
-                try:
-                    chunk_dir.rmdir()
-                except OSError:  # pragma: no cover - foreign files left behind
-                    pass
+                self._remove_chunk_dir(entry.parent)
             else:
                 entry.unlink()
+        return removed
+
+    @staticmethod
+    def _remove_chunk_dir(chunk_dir: Path) -> int:
+        """Delete one chunked entry directory; returns bytes removed."""
+        removed_bytes = 0
+        for path in list(chunk_dir.iterdir()):
+            if path.is_file():
+                removed_bytes += path.stat().st_size
+                path.unlink()
+        try:
+            chunk_dir.rmdir()
+        except OSError:  # pragma: no cover - foreign files left behind
+            pass
+        return removed_bytes
+
+    @staticmethod
+    def _parse_generation(stem: str) -> Optional[Tuple[str, int]]:
+        """``side-vN`` -> (side, N); ``None`` for foreign names."""
+        side, separator, version = stem.rpartition("-v")
+        if not separator or not side or not version.isdigit():
+            return None
+        return side, int(version)
+
+    def describe_entries(self) -> List[Dict[str, Any]]:
+        """One summary row per logical entry (the ``repro cache list`` data).
+
+        Chunked entries report rows, chunk count, on-disk bytes and the
+        fingerprint CRCs from their manifest; legacy flat archives report
+        what their metadata carries.  Unreadable entries are listed with
+        ``rows == None`` rather than skipped, so stale garbage is visible.
+        """
+        rows: List[Dict[str, Any]] = []
+        for entry in self.entries():
+            if entry.name == MANIFEST_NAME:
+                chunk_dir = entry.parent
+                task = chunk_dir.parent.name
+                parsed = self._parse_generation(chunk_dir.name) or (chunk_dir.name, -1)
+                side, version = parsed
+                total_bytes = sum(p.stat().st_size for p in chunk_dir.glob("*.npz"))
+                try:
+                    manifest = json.loads(entry.read_text())
+                    fingerprint = manifest.get("fingerprint", {})
+                    rows.append({
+                        "task": task, "side": side, "version": version, "layout": "chunked",
+                        "rows": len(manifest.get("keys", [])),
+                        "chunks": len(manifest.get("chunks", [])),
+                        "bytes": total_bytes,
+                        "content_crc": fingerprint.get("content_crc"),
+                        "weights_crc": (fingerprint.get("model") or {}).get("weights_crc"),
+                    })
+                except (OSError, ValueError, AttributeError):
+                    rows.append({
+                        "task": task, "side": side, "version": version, "layout": "chunked",
+                        "rows": None, "chunks": None, "bytes": total_bytes,
+                        "content_crc": None, "weights_crc": None,
+                    })
+            else:
+                task = entry.parent.name
+                parsed = self._parse_generation(entry.stem) or (entry.stem, -1)
+                side, version = parsed
+                try:
+                    metadata = load_metadata(entry) or {}
+                    fingerprint = metadata.get("fingerprint") or {}
+                    keys = metadata.get("keys")
+                except _LOAD_ERRORS:
+                    metadata, fingerprint, keys = {}, {}, None
+                rows.append({
+                    "task": task, "side": side, "version": version, "layout": "flat",
+                    "rows": len(keys) if isinstance(keys, list) else None,
+                    "chunks": None, "bytes": entry.stat().st_size,
+                    "content_crc": fingerprint.get("content_crc") if isinstance(fingerprint, dict) else None,
+                    "weights_crc": (fingerprint.get("model") or {}).get("weights_crc")
+                    if isinstance(fingerprint, dict) else None,
+                })
+        return rows
+
+    def prune(self) -> Dict[str, int]:
+        """Remove stale generations (the ``repro cache prune`` action).
+
+        For each ``(task, side)`` only the highest ``-vN`` generation is
+        kept (chunked preferred over flat at equal version); within kept
+        chunked entries, chunk archives no longer referenced by the manifest
+        (leftovers of superseded extensions) are removed too.  Returns
+        removal counts.
+        """
+        generations: Dict[Tuple[str, str], List[Tuple[int, int, Path]]] = {}
+        for entry in self.entries():
+            if entry.name == MANIFEST_NAME:
+                task, stem, preference = entry.parent.parent.name, entry.parent.name, 1
+            else:
+                task, stem, preference = entry.parent.name, entry.stem, 0
+            parsed = self._parse_generation(stem)
+            if parsed is None:
+                continue
+            side, version = parsed
+            generations.setdefault((task, side), []).append((version, preference, entry))
+        removed = {"entries": 0, "files": 0, "bytes": 0}
+        for group in generations.values():
+            group.sort()
+            for version, preference, entry in group[:-1]:
+                removed["entries"] += 1
+                if entry.name == MANIFEST_NAME:
+                    removed["files"] += len(list(entry.parent.glob("*"))) if entry.parent.is_dir() else 0
+                    removed["bytes"] += self._remove_chunk_dir(entry.parent)
+                else:
+                    removed["files"] += 1
+                    removed["bytes"] += entry.stat().st_size
+                    entry.unlink()
+            # Sweep unreferenced chunk archives out of the surviving entry.
+            _, _, kept = group[-1]
+            if kept.name != MANIFEST_NAME:
+                continue
+            try:
+                manifest = json.loads(kept.read_text())
+                referenced = {
+                    f"chunk-{int(a)}-{int(b)}.npz" for a, b, _ in manifest.get("chunks", [])
+                }
+            except (OSError, ValueError, TypeError):
+                continue
+            for chunk in kept.parent.glob("*.npz"):
+                if chunk.name not in referenced:
+                    removed["files"] += 1
+                    removed["bytes"] += chunk.stat().st_size
+                    chunk.unlink()
         return removed
 
     # ------------------------------------------------------------------
@@ -278,6 +473,7 @@ class PersistentEncodingCache:
         encoding_version: int,
         fingerprint: Dict[str, Any],
         encodings: "TableEncodings",
+        table: Optional["Table"] = None,
     ) -> Path:
         """Persist one table's encodings in row-range chunks; returns the manifest path.
 
@@ -285,36 +481,22 @@ class PersistentEncodingCache:
         so concurrent readers (shared cache dirs across processes/nodes)
         never observe a partial entry: either the manifest is present and
         every chunk it references is complete, or the entry misses.
+
+        ``table`` supplies the per-chunk content CRCs that make the entry
+        delta-probeable; without it (synthetic encodings in tests and
+        benchmarks) chunks are addressed by their keys alone and only serve
+        full loads.
         """
-        chunk_dir = self.dir_for(task_name, side, encoding_version)
-        chunk_dir.mkdir(parents=True, exist_ok=True)
         n = len(encodings)
         bounds = [
             (start, min(start + self.chunk_rows, n))
             for start in range(0, n, self.chunk_rows)
         ]
-        for start, stop in bounds:
-            path = self.chunk_path(task_name, side, encoding_version, start, stop)
-            # The fingerprint rides in every chunk, not just the manifest:
-            # concurrent writers of the same key (e.g. differently-seeded
-            # models at the same version) overwrite chunk paths in place, so
-            # a reader holding the *other* writer's manifest must be able to
-            # reject a foreign chunk instead of mixing encodings.
-            metadata = {
-                "format": CACHE_FORMAT_VERSION,
-                "task": task_name,
-                "side": side,
-                "encoding_version": int(encoding_version),
-                "fingerprint": fingerprint,
-                "start": start,
-                "stop": stop,
-            }
-            state = {name: getattr(encodings, name)[start:stop] for name in _ARRAY_KEYS}
-            # The temp name keeps the .npz suffix (np.savez appends it
-            # otherwise) and the pid so parallel writers cannot collide.
-            temporary = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
-            save_state_dict(state, temporary, metadata=metadata)
-            os.replace(temporary, path)
+        chunks = [
+            [start, stop, self._range_crc(table, encodings, start, stop)]
+            for start, stop in bounds
+        ]
+        self._write_chunks(task_name, side, encoding_version, fingerprint, encodings, chunks, 0)
         manifest = {
             "format": CACHE_FORMAT_VERSION,
             "task": task_name,
@@ -323,10 +505,118 @@ class PersistentEncodingCache:
             "fingerprint": fingerprint,
             "keys": [str(key) for key in encodings.keys],
             "chunk_rows": int(self.chunk_rows),
-            "chunks": [[start, stop] for start, stop in bounds],
+            "chunks": chunks,
             "shapes": {name: list(getattr(encodings, name).shape) for name in _ARRAY_KEYS},
         }
+        return self._write_manifest(task_name, side, encoding_version, manifest)
+
+    def extend(
+        self,
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        fingerprint: Dict[str, Any],
+        table: "Table",
+        delta: "CacheDelta",
+        tail: "TableEncodings",
+    ) -> Path:
+        """Append-only extension of an entry whose prefix ``delta`` validated.
+
+        ``tail`` holds the encodings of rows ``[delta.base_rows, n)`` only
+        (locally indexed); they are written as *new* chunk archives after the
+        existing ones and the manifest is rewritten last, so the old entry
+        stays fully readable until the new manifest lands atomically.  No
+        existing chunk is touched — the whole point of content-addressed
+        chunks is that an append re-encodes and rewrites only the tail.
+        """
+        base = int(delta.base_rows)
+        n = base + len(tail)
+        bounds = [
+            (start, min(start + self.chunk_rows, n))
+            for start in range(base, n, self.chunk_rows)
+        ]
+        new_chunks = [
+            [start, stop, row_range_crc(table, start, stop)] for start, stop in bounds
+        ]
+        self._write_chunks(
+            task_name, side, encoding_version, fingerprint, tail, new_chunks, base
+        )
+        old = delta.manifest
+        prefix_chunks = [chunk for chunk in old["chunks"] if int(chunk[1]) <= base]
+        keys = [str(key) for key in old["keys"][:base]] + [str(key) for key in tail.keys]
+        shapes = {
+            name: [n] + [int(d) for d in old["shapes"][name][1:]] for name in _ARRAY_KEYS
+        }
+        manifest = {
+            "format": CACHE_FORMAT_VERSION,
+            "task": task_name,
+            "side": side,
+            "encoding_version": int(encoding_version),
+            "fingerprint": fingerprint,
+            "keys": keys,
+            "chunk_rows": int(self.chunk_rows),
+            "chunks": prefix_chunks + new_chunks,
+            "shapes": shapes,
+        }
+        return self._write_manifest(task_name, side, encoding_version, manifest)
+
+    @staticmethod
+    def _range_crc(
+        table: Optional["Table"], encodings: "TableEncodings", start: int, stop: int
+    ) -> int:
+        if table is not None and len(table) == len(encodings):
+            return row_range_crc(table, start, stop)
+        return _keys_crc(encodings.keys[start:stop])
+
+    def _write_chunks(
+        self,
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        fingerprint: Dict[str, Any],
+        encodings: "TableEncodings",
+        chunks: List[List[int]],
+        offset: int,
+    ) -> None:
+        """Write chunk archives for ``chunks`` (global row ranges) from
+        ``encodings`` indexed locally at ``offset``."""
+        chunk_dir = self.dir_for(task_name, side, encoding_version)
+        chunk_dir.mkdir(parents=True, exist_ok=True)
+        model = fingerprint.get("model") if isinstance(fingerprint, dict) else None
+        for start, stop, crc in chunks:
+            path = self.chunk_path(task_name, side, encoding_version, start, stop)
+            # The model fingerprint and row CRC ride in every chunk, not just
+            # the manifest: concurrent writers of the same key (e.g.
+            # differently-seeded models at the same version) overwrite chunk
+            # paths in place, so a reader holding the *other* writer's
+            # manifest must be able to reject a foreign chunk instead of
+            # mixing encodings.  Deliberately *not* the whole-table CRC —
+            # chunks must stay addressable after an append changes it.
+            metadata = {
+                "format": CACHE_FORMAT_VERSION,
+                "task": task_name,
+                "side": side,
+                "encoding_version": int(encoding_version),
+                "model": model,
+                "start": int(start),
+                "stop": int(stop),
+                "row_crc": int(crc),
+            }
+            state = {
+                name: getattr(encodings, name)[start - offset : stop - offset]
+                for name in _ARRAY_KEYS
+            }
+            # The temp name keeps the .npz suffix (np.savez appends it
+            # otherwise) and the pid so parallel writers cannot collide.
+            temporary = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+            save_state_dict(state, temporary, metadata=metadata)
+            os.replace(temporary, path)
+
+    def _write_manifest(
+        self, task_name: str, side: str, encoding_version: int, manifest: Dict[str, Any]
+    ) -> Path:
         manifest_path = self.manifest_path(task_name, side, encoding_version)
+        manifest_path.parent.mkdir(parents=True, exist_ok=True)
         temporary = manifest_path.with_name(f".{MANIFEST_NAME}.{os.getpid()}.tmp")
         temporary.write_text(json.dumps(manifest))
         os.replace(temporary, manifest_path)
@@ -415,10 +705,77 @@ class PersistentEncodingCache:
         return _slice_encodings(migrated, start, min(stop, len(migrated)))
 
     # ------------------------------------------------------------------
+    # Delta probing (the incremental-resolution entry point)
+    # ------------------------------------------------------------------
+    def delta(
+        self,
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        fingerprint: Dict[str, Any],
+        table: "Table",
+    ) -> Optional["CacheDelta"]:
+        """Probe an entry against the *current* table state, chunk by chunk.
+
+        Requires the model half of ``fingerprint`` to match the manifest's
+        (a different model invalidates every chunk), then walks the manifest
+        chunks in order, CRC-ing the corresponding rows of ``table``; the
+        walk stops at the first chunk that is out of range or whose content
+        changed.  Returns ``None`` when nothing is reusable, otherwise a
+        :class:`CacheDelta` whose ``base_rows`` prefix can be served from
+        disk while only ``new_rows`` tail rows need encoding.
+        """
+        manifest = self._read_manifest_loose(task_name, side, encoding_version)
+        if manifest is None:
+            return None
+        recorded = manifest.get("fingerprint")
+        if not isinstance(recorded, dict):
+            return None
+        if recorded.get("model") != fingerprint.get("model"):
+            return None
+        n = len(table)
+        base = 0
+        for chunk_start, chunk_stop, chunk_crc in manifest["chunks"]:
+            if chunk_stop > n or row_range_crc(table, chunk_start, chunk_stop) != chunk_crc:
+                break
+            base = chunk_stop
+        if base == 0:
+            return None
+        return CacheDelta(manifest=manifest, base_rows=base, total_rows=n)
+
+    def load_prefix(
+        self,
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        delta: "CacheDelta",
+        counters: Optional["EngineCounters"] = None,
+    ) -> Optional["TableEncodings"]:
+        """The validated ``[0, delta.base_rows)`` prefix of a probed entry.
+
+        Reads only the chunks covering the prefix; returns ``None`` if any
+        chunk vanished or was overwritten since the probe (the usual
+        degrade-to-miss contract).
+        """
+        return self._load_rows(
+            delta.manifest, task_name, side, encoding_version, 0, delta.base_rows, counters
+        )
+
+    # ------------------------------------------------------------------
     def _read_manifest(
         self, task_name: str, side: str, encoding_version: int, fingerprint: Dict[str, Any]
     ) -> Optional[Dict[str, Any]]:
         """The validated manifest of a key, or ``None`` on any mismatch."""
+        manifest = self._read_manifest_loose(task_name, side, encoding_version)
+        if manifest is None or manifest.get("fingerprint") != fingerprint:
+            return None
+        return manifest
+
+    def _read_manifest_loose(
+        self, task_name: str, side: str, encoding_version: int
+    ) -> Optional[Dict[str, Any]]:
+        """A structurally valid manifest of a key, *without* checking the
+        table fingerprint — the delta probe validates content chunk-wise."""
         path = self.manifest_path(task_name, side, encoding_version)
         if not path.is_file():
             return None
@@ -437,8 +794,6 @@ class PersistentEncodingCache:
                 return None
         except (TypeError, ValueError):
             return None
-        if manifest.get("fingerprint") != fingerprint:
-            return None
         keys = manifest.get("keys")
         chunks = manifest.get("chunks")
         shapes = manifest.get("shapes")
@@ -450,9 +805,11 @@ class PersistentEncodingCache:
         # (hand-edited manifest, mixed-up files) is a stale manifest: miss.
         position = 0
         for chunk in chunks:
-            if not (isinstance(chunk, list) and len(chunk) == 2):
+            if not (isinstance(chunk, list) and len(chunk) == 3):
                 return None
-            chunk_start, chunk_stop = chunk
+            chunk_start, chunk_stop, chunk_crc = chunk
+            if not isinstance(chunk_crc, int):
+                return None
             if chunk_start != position or chunk_stop <= chunk_start:
                 return None
             position = chunk_stop
@@ -479,15 +836,15 @@ class PersistentEncodingCache:
             empty = {name: np.zeros([0] + [int(d) for d in shapes[name][1:]]) for name in _ARRAY_KEYS}
             return TableEncodings(keys=keys, row_index={}, **empty)
         covering = [
-            (int(chunk_start), int(chunk_stop))
-            for chunk_start, chunk_stop in manifest["chunks"]
+            (int(chunk_start), int(chunk_stop), int(chunk_crc))
+            for chunk_start, chunk_stop, chunk_crc in manifest["chunks"]
             if chunk_start < stop and chunk_stop > start
         ]
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in _ARRAY_KEYS}
-        fingerprint = manifest["fingerprint"]
-        for chunk_start, chunk_stop in covering:
+        model = manifest["fingerprint"].get("model")
+        for chunk_start, chunk_stop, chunk_crc in covering:
             arrays = self._read_chunk(
-                task_name, side, encoding_version, fingerprint, chunk_start, chunk_stop
+                task_name, side, encoding_version, model, chunk_start, chunk_stop, chunk_crc
             )
             if arrays is None:
                 return None
@@ -520,9 +877,10 @@ class PersistentEncodingCache:
         task_name: str,
         side: str,
         encoding_version: int,
-        fingerprint: Dict[str, Any],
+        model: Optional[Dict[str, Any]],
         start: int,
         stop: int,
+        row_crc: int,
     ) -> Optional[Dict[str, np.ndarray]]:
         """One chunk's arrays, validated against its embedded metadata."""
         path = self.chunk_path(task_name, side, encoding_version, start, stop)
@@ -534,7 +892,9 @@ class PersistentEncodingCache:
                 return None
             if metadata.get("task") != task_name or metadata.get("side") != side:
                 return None
-            if metadata.get("fingerprint") != fingerprint:
+            if metadata.get("model") != model:
+                return None
+            if int(metadata.get("row_crc", -1)) != int(row_crc):
                 return None
             if int(metadata.get("start", -1)) != start or int(metadata.get("stop", -1)) != stop:
                 return None
@@ -556,7 +916,12 @@ class PersistentEncodingCache:
     def _migrate_flat(
         self, task_name: str, side: str, encoding_version: int, fingerprint: Dict[str, Any]
     ) -> Optional["TableEncodings"]:
-        """Serve a legacy flat archive, rewriting it as a chunked entry."""
+        """Serve a legacy flat archive, rewriting it as a chunked entry.
+
+        The migration has no table in hand, so the rewritten chunks carry
+        keys-only CRCs: the entry serves full loads but stays opaque to
+        delta probes until the next real (table-backed) save refreshes it.
+        """
         encodings = self._load_flat(task_name, side, encoding_version, fingerprint)
         if encodings is None:
             return None

@@ -60,6 +60,9 @@ from repro.engine.stream import (
 )
 from repro.eval.timing import ShardTimings, StageTimings
 
+#: Pair-probability key used for baseline score reuse across delta resolves.
+PairKey = Tuple[str, str]
+
 
 # ----------------------------------------------------------------------
 # The plan: a deterministic stage graph over row-range shards
@@ -87,12 +90,26 @@ class Stage:
 
 
 @dataclass(frozen=True)
+class DeltaBounds:
+    """Row counts separating reusable base rows from new rows, per side."""
+
+    base_left_rows: int
+    base_right_rows: int
+
+    def new_rows(self, side: str, total: int) -> int:
+        base = self.base_left_rows if side == "left" else self.base_right_rows
+        return max(0, total - base)
+
+
+@dataclass(frozen=True)
 class ResolutionPlan:
     """Deterministic description of one resolve run.
 
     Pure metadata: the plan is computed from table sizes and knobs alone
     (no encoding, no disk access), so it can be printed, compared or
-    shipped to a remote runner before any expensive work starts.
+    shipped to a remote runner before any expensive work starts.  A *delta*
+    plan additionally records, via ``delta``, how many rows per side are
+    covered by the baseline run — its encode stage covers only the tails.
     """
 
     task_name: str
@@ -107,6 +124,7 @@ class ResolutionPlan:
     query_bounds: Tuple[ShardBounds, ...]
     build_bounds: Tuple[ShardBounds, ...]
     stages: Tuple[Stage, ...] = field(default=())
+    delta: Optional[DeltaBounds] = None
 
     def stage(self, name: str) -> Stage:
         for stage in self.stages:
@@ -129,6 +147,13 @@ class ResolutionPlan:
             f"  tables: left={self.left_rows} rows ({len(self.query_bounds)} shards), "
             f"right={self.right_rows} rows ({len(self.build_bounds)} shards)",
         ]
+        if self.delta is not None:
+            lines.append(
+                f"  delta: left +{self.delta.new_rows('left', self.left_rows)} rows "
+                f"(base {self.delta.base_left_rows}), "
+                f"right +{self.delta.new_rows('right', self.right_rows)} rows "
+                f"(base {self.delta.base_right_rows})"
+            )
         for position, stage in enumerate(self.stages, start=1):
             dependency = f" <- {', '.join(stage.depends_on)}" if stage.depends_on else ""
             lines.append(f"  [{position}] {stage.name}{dependency} — {stage.num_units} unit(s)")
@@ -257,6 +282,93 @@ class ResolutionPlanner:
             query_bounds=query_bounds,
             build_bounds=build_bounds,
             stages=(encode, block, score),
+        )
+
+    def plan_delta(
+        self,
+        base_left_rows: int = 0,
+        base_right_rows: int = 0,
+        index_reusable: bool = False,
+    ) -> ResolutionPlan:
+        """The stage graph of an *incremental* resolve against a baseline.
+
+        ``base_*_rows`` are the per-side row counts the baseline run already
+        covers (0 = nothing reusable: the plan degenerates to a cold run).
+        The encode stage schedules only the new tail ranges; the block stage
+        *extends* the baseline LSH index with the new right rows when
+        ``index_reusable`` (no rebuild) and re-queries every left shard
+        (top-K answers can change when the index grows); the score stage
+        restricts matcher work to pairs involving new rows, reusing baseline
+        probabilities for the rest.  Like :meth:`plan`, pure metadata.
+        Delta execution is serial (``workers`` is ignored by design — the
+        tail work is small; see :class:`DeltaResolutionExecutor`).
+        """
+        left_rows = len(self.task.left)
+        right_rows = len(self.task.right)
+        base_left = max(0, min(int(base_left_rows), left_rows))
+        base_right = max(0, min(int(base_right_rows), right_rows))
+        query_bounds = tuple(shard_bounds_for("left", left_rows, self.shard_rows))
+        build_bounds = tuple(shard_bounds_for("right", right_rows, self.shard_rows))
+        query_chunk = query_chunk_for(self.batch_size, self.k)
+
+        encode_units = []
+        for side, base, total in (("left", base_left, left_rows), ("right", base_right, right_rows)):
+            if total > base:
+                encode_units.append(StageUnit(
+                    name=f"{side} tail",
+                    rows=total - base,
+                    detail=f"append-only encode rows {base}..{total}",
+                ))
+            else:
+                encode_units.append(StageUnit(
+                    name=side, rows=0, detail="cached (no new rows)"
+                ))
+        encode = Stage(name="encode", depends_on=(), units=tuple(encode_units))
+
+        if index_reusable and base_right < right_rows:
+            build_unit = StageUnit(
+                name="extend right",
+                rows=right_rows - base_right,
+                detail=f"hash rows {base_right}..{right_rows} into existing buckets",
+            )
+        elif index_reusable:
+            build_unit = StageUnit(name="reuse right index", rows=0, detail="no new rows")
+        else:
+            build_unit = StageUnit(
+                name="build right", rows=right_rows, detail="no baseline index: full build"
+            )
+        block_units = [build_unit] + [
+            StageUnit(name=f"query left[{b.index}]", rows=b.rows, detail=f"top-{self.k} rows {b.start}..{b.stop}")
+            for b in query_bounds
+        ]
+        block = Stage(name="block", depends_on=("encode",), units=tuple(block_units))
+        score = Stage(
+            name="score",
+            depends_on=("block",),
+            units=(
+                StageUnit(
+                    name="batches",
+                    detail=(
+                        "streaming; matcher runs only on pairs involving new rows, "
+                        "baseline probabilities reused for the rest"
+                    ),
+                ),
+            ),
+        )
+        return ResolutionPlan(
+            task_name=self.task.name,
+            left_rows=left_rows,
+            right_rows=right_rows,
+            k=self.k,
+            batch_size=self.batch_size,
+            workers=1,
+            shard_rows=self.shard_rows,
+            query_chunk=query_chunk,
+            blocking=self.blocking,
+            query_bounds=query_bounds,
+            build_bounds=build_bounds,
+            stages=(encode, block, score),
+            delta=DeltaBounds(base_left_rows=base_left, base_right_rows=base_right),
         )
 
 
@@ -657,6 +769,222 @@ class ResolutionExecutor:
                 collect(score_inflight, score_done, block=True)
                 yield from emit_ready()
         guard_store_version(store, pinned)
+
+
+# ----------------------------------------------------------------------
+# Incremental (delta) resolution
+# ----------------------------------------------------------------------
+@dataclass
+class ResolutionBaseline:
+    """Reusable artefacts of a completed resolve run.
+
+    Captured by :class:`DeltaResolutionExecutor` as its batch stream drains
+    and handed back in on the next incremental run:
+
+    * ``scores`` — per-pair match probabilities; the matcher is a pure
+      row-wise function of the two cached IR tensors, so a pair's baseline
+      probability equals what a full re-resolve would recompute;
+    * ``index`` — the LSH index over the right table, extendable in place
+      with :meth:`~repro.blocking.lsh.EuclideanLSHIndex.extend`;
+    * the tokens guarding reuse: the pinned ``encoding_version`` (a refit
+      invalidates everything), ``matcher`` — the scored-by object itself,
+      held strongly so identity cannot be recycled; a different matcher
+      invalidates the scores but not the index — and ``blocking_token`` (a
+      different LSH configuration invalidates the index).
+    """
+
+    encoding_version: int
+    matcher: object
+    blocking_token: str
+    left_rows: int
+    right_rows: int
+    scores: Dict[PairKey, float]
+    index: EuclideanLSHIndex
+
+    def index_usable(self, pinned: int, blocking: Optional[BlockingConfig], right: TableEncodings) -> bool:
+        """Whether ``index`` is a valid prefix index of the current right table."""
+        if self.encoding_version != pinned:
+            return False
+        if self.blocking_token != repr(blocking):
+            return False
+        if self.index.size > len(right):
+            return False
+        return self.index.keys == tuple(right.keys[: self.index.size])
+
+
+class DeltaResolutionExecutor:
+    """Run a delta :class:`ResolutionPlan` against a baseline run.
+
+    Produces the batch stream a cold
+    :func:`~repro.engine.stream.resolve_stream` with the same knobs yields
+    on the current (grown) tables — the identical candidate enumeration and
+    batch packing, probabilities byte-identical for reused pairs and equal
+    up to matmul batch-composition round-off (~1 ulp) for rescored ones, so
+    the match set is identical — while paying only for the delta:
+
+    * table encodings come from the delta-aware store (tail rows only);
+    * the baseline LSH index is extended with the new right rows instead of
+      rebuilt (extension is bucket-identical to a rebuild, so every query
+      answer matches);
+    * the matcher runs only on candidate pairs not scored by the baseline —
+      growing an index never introduces *new* old-old pairs into any top-K
+      (buckets only gain rows), so unseen pairs are exactly those involving
+      new rows, counted through ``pairs_rescored``.
+
+    The refreshed :class:`ResolutionBaseline` is published on ``baseline_out``
+    once the stream is exhausted.  Execution is serial: the delta work is
+    bounded by the append size, which is the regime this path exists for.
+    """
+
+    def __init__(
+        self,
+        plan: ResolutionPlan,
+        store: EncodingStore,
+        matcher,
+        baseline: Optional[ResolutionBaseline] = None,
+        threshold: float = 0.5,
+        stage_timings: Optional[StageTimings] = None,
+    ) -> None:
+        self.plan = plan
+        self.store = store
+        self.matcher = matcher
+        self.baseline = baseline
+        self.threshold = threshold
+        self.stage_timings = stage_timings
+        self.baseline_out: Optional[ResolutionBaseline] = None
+
+    def _record_stage(self, stage: str, seconds: float, units: int = 1) -> None:
+        if self.stage_timings is not None:
+            self.stage_timings.record(stage, seconds, units=units)
+
+    def _record_counter(self, name: str, value: int) -> None:
+        if self.stage_timings is not None:
+            self.stage_timings.record_counter(name, value)
+
+    def run(self) -> Iterator[ResolutionBatch]:
+        """The scored batch stream; validation and version pinning are eager."""
+        pinned = pin_store_version(self.store)
+        plan, store, matcher = self.plan, self.store, self.matcher
+
+        def generate() -> Iterator[ResolutionBatch]:
+            counters_before = store.counters.rows_reencoded
+            started = time.perf_counter()
+            store.table_encodings("left")
+            right = store.table_encodings("right")
+            guard_store_version(store, pinned)
+            self._record_stage("encode", time.perf_counter() - started, units=2)
+            self._record_counter("rows_reencoded", store.counters.rows_reencoded - counters_before)
+
+            baseline = self.baseline
+            index_reused = baseline is not None and baseline.index_usable(
+                pinned, plan.blocking, right
+            )
+            started = time.perf_counter()
+            if index_reused:
+                index = baseline.index
+                if index.size < len(right):
+                    flat = right.flat_mu()
+                    index.extend(flat[index.size :], list(right.keys[index.size :]))
+                self._record_stage("block-extend", time.perf_counter() - started)
+            else:
+                index = EuclideanLSHIndex(
+                    num_tables=(plan.blocking or BlockingConfig()).num_tables,
+                    hash_size=(plan.blocking or BlockingConfig()).hash_size,
+                    bucket_width=(plan.blocking or BlockingConfig()).bucket_width,
+                    seed=(plan.blocking or BlockingConfig()).seed,
+                ).build(right.flat_mu(), list(right.keys))
+                self._record_stage("block", time.perf_counter() - started)
+            guard_store_version(store, pinned)
+            search = NearestNeighbourSearch.from_index(index, plan.blocking)
+
+            scores: Dict[PairKey, float] = (
+                baseline.scores
+                if baseline is not None
+                and baseline.encoding_version == pinned
+                and baseline.matcher is matcher
+                else {}
+            )
+            new_scores: Dict[PairKey, float] = {}
+            rescored = 0
+            for batch_index, pairs in iter_candidate_batches(
+                store, blocking=plan.blocking, k=plan.k, batch_size=plan.batch_size, search=search
+            ):
+                guard_store_version(store, pinned)
+                started = time.perf_counter()
+                probabilities = np.empty(len(pairs))
+                unknown: List[int] = []
+                for position, pair in enumerate(pairs):
+                    known = scores.get((pair.left_id, pair.right_id))
+                    if known is None:
+                        unknown.append(position)
+                    else:
+                        probabilities[position] = known
+                if unknown:
+                    subset = [pairs[position] for position in unknown]
+                    left_irs, right_irs = store.gather_pair_irs(subset)
+                    probabilities[unknown] = matcher.predict_proba(left_irs, right_irs)
+                    rescored += len(unknown)
+                    store.counters.record_pairs_rescored(len(unknown))
+                for position, pair in enumerate(pairs):
+                    new_scores[(pair.left_id, pair.right_id)] = float(probabilities[position])
+                self._record_stage("score", time.perf_counter() - started)
+                yield ResolutionBatch(
+                    pairs=pairs,
+                    probabilities=probabilities,
+                    threshold=self.threshold,
+                    batch_index=batch_index,
+                )
+            guard_store_version(store, pinned)
+            self._record_counter("pairs_rescored", rescored)
+            self.baseline_out = ResolutionBaseline(
+                encoding_version=pinned,
+                matcher=matcher,
+                blocking_token=repr(plan.blocking),
+                left_rows=plan.left_rows,
+                right_rows=len(right),
+                scores=new_scores,
+                index=index,
+            )
+
+        return generate()
+
+
+def resolve_delta(
+    store: EncodingStore,
+    matcher,
+    baseline: Optional[ResolutionBaseline] = None,
+    blocking: Optional[BlockingConfig] = None,
+    k: int = 10,
+    batch_size: int = 2048,
+    threshold: float = 0.5,
+    stage_timings: Optional[StageTimings] = None,
+) -> DeltaResolutionExecutor:
+    """Plan an incremental resolve against ``baseline`` and return its executor.
+
+    Returns the :class:`DeltaResolutionExecutor` (rather than the raw
+    iterator) so the caller can collect ``baseline_out`` after draining
+    ``.run()`` — :meth:`repro.core.pipeline.VAER.resolve_delta` does exactly
+    that to chain incremental runs.  With ``baseline=None`` the run is a
+    cold resolve that merely *captures* a baseline for the next call.
+    """
+    pinned = store.representation.encoding_version
+    base_left = base_right = 0
+    index_reusable = False
+    if baseline is not None and baseline.encoding_version == pinned:
+        base_left = min(baseline.left_rows, len(store.task.left))
+        base_right = min(baseline.right_rows, len(store.task.right))
+        index_reusable = baseline.blocking_token == repr(blocking)
+    plan = ResolutionPlanner.from_store(
+        store, blocking=blocking, k=k, batch_size=batch_size, workers=1
+    ).plan_delta(base_left, base_right, index_reusable=index_reusable)
+    return DeltaResolutionExecutor(
+        plan,
+        store,
+        matcher,
+        baseline=baseline,
+        threshold=threshold,
+        stage_timings=stage_timings,
+    )
 
 
 # ----------------------------------------------------------------------

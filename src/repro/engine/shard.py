@@ -168,14 +168,13 @@ class ShardedEncodingStore(EncodingStore):
             raise IndexError(f"shard {index} out of range for side {side!r} ({len(bounds)} shards)")
         if side in self._cache or self.persistent is None:
             return self.table_shard(side, index)
-        from repro.engine.persist import encoding_fingerprint
-
         b = bounds[index]
         loaded = self.persistent.load_range(
             self.task.name,
             side,
             self.representation.encoding_version,
-            encoding_fingerprint(self.representation, self._table_of(side)),
+            # Memoized: repeated shard loads of one table CRC its rows once.
+            self.table_fingerprint(side),
             b.start,
             b.stop,
             counters=self.counters,

@@ -27,7 +27,7 @@ reported through :class:`repro.eval.timing.EngineCounters`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -118,6 +118,11 @@ class EncodingStore:
         self.persistent = persistent
         self._cache: Dict[str, TableEncodings] = {}
         self._cached_version: Optional[int] = None
+        #: Memoized table fingerprints: side -> (version, n_rows, fingerprint).
+        #: Within a run, tables are treated as append-only — a fingerprint is
+        #: recomputed when the model version or the row count changes, so
+        #: repeated probes of an unchanged table never re-CRC its rows.
+        self._fingerprints: Dict[str, Tuple[int, int, Dict[str, Any]]] = {}
 
     # ------------------------------------------------------------------
     # Cache lifecycle
@@ -125,13 +130,35 @@ class EncodingStore:
     def invalidate(self) -> None:
         """Drop all cached encodings (next access recomputes)."""
         self._cache.clear()
+        self._fingerprints.clear()
         self._cached_version = None
 
     def _check_version(self) -> None:
         version = self.representation.encoding_version
         if self._cached_version != version:
             self._cache.clear()
+            self._fingerprints.clear()
             self._cached_version = version
+
+    def table_fingerprint(self, side: str) -> Dict[str, Any]:
+        """The (memoized) persistent-cache fingerprint of one side's table.
+
+        Computing a fingerprint CRCs every row, so the result is cached per
+        ``(side, encoding_version, row count)`` and the
+        ``fingerprints_computed`` counter reports how many times the rows
+        were actually walked.
+        """
+        from repro.engine.persist import encoding_fingerprint
+
+        table = self._table_of(side)
+        version = self.representation.encoding_version
+        memo = self._fingerprints.get(side)
+        if memo is not None and memo[0] == version and memo[1] == len(table):
+            return memo[2]
+        fingerprint = encoding_fingerprint(self.representation, table)
+        self.counters.record_fingerprint()
+        self._fingerprints[side] = (version, len(table), fingerprint)
+        return fingerprint
 
     def _table_of(self, side: str) -> Table:
         if side == "left":
@@ -144,13 +171,25 @@ class EncodingStore:
         """(encodings, served_from_cache) — computes on miss, never counts hits.
 
         On an in-memory miss the persistent cache (when attached) is probed
-        first; only a double miss pays for the IR transform and VAE forward
-        pass, and its result is written back to disk for the next run.
+        first — an exact match, then a chunk-wise *delta* probe that serves
+        the valid prefix of a grown table from disk and encodes only the new
+        tail rows; only a full miss pays for the whole IR transform and VAE
+        forward pass, and every computed result is written back to disk for
+        the next run.  A cached table whose backing :class:`Table` grew since
+        it was encoded is refreshed through the same append-only path.
         """
         self._check_version()
         cached = self._cache.get(side)
         if cached is not None:
-            return cached, True
+            if len(cached) == len(self._table_of(side)):
+                return cached, True
+            refreshed = self._refresh_grown(side, cached)
+            if refreshed is not None:
+                self.counters.record_miss()
+                self._cache[side] = refreshed
+                return refreshed, False
+            # Shrunk or edited in place: nothing provably reusable.
+            del self._cache[side]
         self.counters.record_miss()
         table = self._table_of(side)
         encodings = self._load_persistent(side, table)
@@ -158,10 +197,15 @@ class EncodingStore:
             encodings = self._compute(side, table)
             self._save_persistent(side, table, encodings)
         self._cache[side] = encodings
+        # Memoize the fingerprint at encode time: the append-only refresh
+        # path above needs the previous table state's content CRC to prove
+        # the prefix unchanged, and computing it now (one CRC pass) is cheap
+        # next to the encode that just happened.
+        self.table_fingerprint(side)
         return encodings, False
 
-    def _compute(self, side: str, table: Table) -> TableEncodings:
-        """Encode one table from scratch (the work both caches exist to avoid)."""
+    def _encode_rows(self, table: Table) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(irs, mu, sigma) of one table-shaped record collection."""
         representation = self.representation
         irs = representation.ir_generator.transform_table(table)
         n, arity, _ = irs.shape
@@ -174,6 +218,11 @@ class EncodingStore:
             latent = flat_mu.shape[-1]
             mu = flat_mu.reshape(n, arity, latent)
             sigma = flat_sigma.reshape(n, arity, latent)
+        return irs, mu, sigma
+
+    def _compute(self, side: str, table: Table) -> TableEncodings:
+        """Encode one table from scratch (the work both caches exist to avoid)."""
+        irs, mu, sigma = self._encode_rows(table)
         self.counters.record_encode()
         keys = tuple(table.record_ids())
         return TableEncodings(
@@ -184,36 +233,140 @@ class EncodingStore:
             row_index={key: row for row, key in enumerate(keys)},
         )
 
+    def _compute_range(self, side: str, table: Table, start: int, stop: int) -> TableEncodings:
+        """Encode only rows ``[start, stop)`` (the append-only delta path).
+
+        Row encodings are independent of batch composition (per-value IR
+        transform, row-wise VAE forward), so tail rows encoded here match
+        what a whole-table encode would have produced for the same rows.
+        Counts ``rows_reencoded``, *not* ``tables_encoded``.
+        """
+        records = table.records()[start:stop]
+        tail_table = Table(table.name, table.attributes, records)
+        irs, mu, sigma = self._encode_rows(tail_table)
+        self.counters.record_rows_reencoded(len(records))
+        keys = tuple(record.record_id for record in records)
+        return TableEncodings(
+            keys=keys,
+            irs=irs,
+            mu=mu,
+            sigma=sigma,
+            row_index={key: row for row, key in enumerate(keys)},
+        )
+
+    def _refresh_grown(self, side: str, cached: TableEncodings) -> Optional[TableEncodings]:
+        """Append-only refresh of an in-memory table whose backing table grew.
+
+        Requires the memoized fingerprint of the *previous* table state to
+        prove the prefix rows unchanged (their CRC must match); returns
+        ``None`` when the table shrank, was edited, or the prefix cannot be
+        verified — the caller then falls back to the cold path.
+        """
+        from repro.engine.persist import row_range_crc
+
+        table = self._table_of(side)
+        n_old, n_new = len(cached), len(table)
+        if n_new <= n_old:
+            return None
+        version = self.representation.encoding_version
+        memo = self._fingerprints.get(side)
+        if memo is None or memo[0] != version or memo[1] != n_old:
+            return None
+        if row_range_crc(table, 0, n_old) != memo[2]["content_crc"]:
+            return None
+        tail = self._compute_range(side, table, n_old, n_new)
+        merged = _concat_encodings(cached, tail)
+        fingerprint = self.table_fingerprint(side)  # recomputed for the new length
+        self._extend_persistent(side, table, merged, fingerprint)
+        return merged
+
     def _load_persistent(self, side: str, table: Table) -> Optional[TableEncodings]:
         if self.persistent is None:
             return None
-        from repro.engine.persist import encoding_fingerprint
-
+        fingerprint = self.table_fingerprint(side)
         loaded = self.persistent.load(
             self.task.name,
             side,
             self.representation.encoding_version,
-            encoding_fingerprint(self.representation, table),
+            fingerprint,
             counters=self.counters,
         )
+        if loaded is None:
+            loaded = self._load_persistent_delta(side, table, fingerprint)
         if loaded is None:
             self.counters.record_disk_miss()
         else:
             self.counters.record_disk_hit()
         return loaded
 
+    def _load_persistent_delta(
+        self, side: str, table: Table, fingerprint: Dict[str, Any]
+    ) -> Optional[TableEncodings]:
+        """Serve a grown table from its valid on-disk prefix plus a tail encode.
+
+        The chunk-wise probe finds the longest content-valid prefix; only
+        the rows past it are pushed through the encoder, and the entry is
+        extended in place (append-only, manifest last) so the next run gets
+        an exact hit.
+        """
+        assert self.persistent is not None
+        version = self.representation.encoding_version
+        delta = self.persistent.delta(self.task.name, side, version, fingerprint, table)
+        if delta is None:
+            return None
+        prefix = self.persistent.load_prefix(
+            self.task.name, side, version, delta, counters=self.counters
+        )
+        if prefix is None:
+            return None
+        tail = self._compute_range(side, table, delta.base_rows, delta.total_rows)
+        merged = _concat_encodings(prefix, tail)
+        self.persistent.extend(
+            self.task.name, side, version, fingerprint, table, delta, tail
+        )
+        return merged
+
     def _save_persistent(self, side: str, table: Table, encodings: TableEncodings) -> None:
         if self.persistent is None:
             return
-        from repro.engine.persist import encoding_fingerprint
-
         self.persistent.save(
             self.task.name,
             side,
             self.representation.encoding_version,
-            encoding_fingerprint(self.representation, table),
+            self.table_fingerprint(side),
             encodings,
+            table=table,
         )
+
+    def _extend_persistent(
+        self, side: str, table: Table, merged: TableEncodings, fingerprint: Dict[str, Any]
+    ) -> None:
+        """Write an in-memory append through to the persistent cache.
+
+        The disk entry may lag the in-memory state (or not exist at all), so
+        the probe decides: extend from whatever prefix is valid on disk, or
+        fall back to a full save.
+        """
+        if self.persistent is None:
+            return
+        version = self.representation.encoding_version
+        delta = self.persistent.delta(self.task.name, side, version, fingerprint, table)
+        if delta is not None and delta.base_rows < len(merged):
+            from repro.engine.persist import _slice_encodings
+
+            self.persistent.extend(
+                self.task.name,
+                side,
+                version,
+                fingerprint,
+                table,
+                delta,
+                _slice_encodings(merged, delta.base_rows, len(merged)),
+            )
+        elif delta is None:
+            self.persistent.save(
+                self.task.name, side, version, fingerprint, merged, table=table
+            )
 
     def _serve(self, side: str, records: Optional[int] = None) -> TableEncodings:
         """Serve one side, counting a cache hit when no compute was needed.
@@ -374,3 +527,22 @@ class EncodingStore:
     def __repr__(self) -> str:
         cached = ",".join(sorted(self._cache)) or "empty"
         return f"EncodingStore(task={self.task.name!r}, cached=[{cached}])"
+
+
+def _concat_encodings(prefix: TableEncodings, tail: TableEncodings) -> TableEncodings:
+    """Stitch a reused prefix and a freshly encoded tail into one table.
+
+    The delta path's merge point: ``prefix`` rows came from the in-memory or
+    on-disk cache, ``tail`` rows from an append-only encode; the result is
+    indistinguishable from a whole-table encode of the grown table.
+    """
+    if len(tail) == 0:
+        return prefix
+    keys = tuple(prefix.keys) + tuple(tail.keys)
+    return TableEncodings(
+        keys=keys,
+        irs=np.concatenate([np.asarray(prefix.irs), tail.irs]),
+        mu=np.concatenate([np.asarray(prefix.mu), tail.mu]),
+        sigma=np.concatenate([np.asarray(prefix.sigma), tail.sigma]),
+        row_index={key: row for row, key in enumerate(keys)},
+    )

@@ -101,24 +101,29 @@ def stream_candidate_pairs(
     blocking: Optional[BlockingConfig] = None,
     k: int = 10,
     query_chunk: int = 512,
+    search: Optional[NearestNeighbourSearch] = None,
 ) -> Iterator[List[RecordPair]]:
     """Blocking as a stream: top-K candidates per block of left-hand queries.
 
     The LSH index over the right-hand side is built once from the store's
     cached encodings; each yielded list covers ``query_chunk`` query records.
+    ``search`` optionally supplies an already-built index (the delta resolve
+    path hands in its incrementally *extended* one); the chunk walk — and
+    therefore the emitted pair stream for an equivalent index — is identical
+    either way.
     """
     if query_chunk <= 0:
         raise ValueError("query_chunk must be positive")
     pinned = pin_store_version(store)
 
     def generate() -> Iterator[List[RecordPair]]:
-        search = NearestNeighbourSearch.from_store(store, config=blocking)
+        searcher = search if search is not None else NearestNeighbourSearch.from_store(store, config=blocking)
         left = store.table_encodings("left")
         flat = left.flat_mu()
         for start in range(0, len(left), query_chunk):
             guard_store_version(store, pinned)
             stop = start + query_chunk
-            chunk = search.candidate_pairs(flat[start:stop], left.keys[start:stop], k=k)
+            chunk = searcher.candidate_pairs(flat[start:stop], left.keys[start:stop], k=k)
             if chunk:
                 yield chunk
 
@@ -130,6 +135,7 @@ def iter_candidate_batches(
     blocking: Optional[BlockingConfig] = None,
     k: int = 10,
     batch_size: int = 2048,
+    search: Optional[NearestNeighbourSearch] = None,
 ) -> Iterator[Tuple[int, List[RecordPair]]]:
     """The candidate stream packed into ``(batch_index, pairs)`` batches.
 
@@ -147,7 +153,9 @@ def iter_candidate_batches(
         buffer: List[RecordPair] = []
         batch_index = 0
         query_chunk = query_chunk_for(batch_size, k)
-        for candidates in stream_candidate_pairs(store, blocking=blocking, k=k, query_chunk=query_chunk):
+        for candidates in stream_candidate_pairs(
+            store, blocking=blocking, k=k, query_chunk=query_chunk, search=search
+        ):
             buffer.extend(candidates)
             while len(buffer) >= batch_size:
                 head, buffer = buffer[:batch_size], buffer[batch_size:]

@@ -134,6 +134,7 @@ def format_engine_stats(counters: Optional[EngineCounters] = None) -> str:
     headers = [
         "Cache hits", "Cache misses", "Hit rate", "Encodes avoided", "Pairs scored",
         "Tables encoded", "Disk hits", "Disk misses", "Chunk loads",
+        "Rows re-encoded", "Pairs rescored", "Fingerprints",
     ]
     row = [
         str(counters.cache_hits),
@@ -145,6 +146,9 @@ def format_engine_stats(counters: Optional[EngineCounters] = None) -> str:
         str(counters.disk_hits),
         str(counters.disk_misses),
         str(counters.chunk_loads),
+        str(counters.rows_reencoded),
+        str(counters.pairs_rescored),
+        str(counters.fingerprints_computed),
     ]
     return format_table(headers, [row])
 
@@ -162,7 +166,15 @@ def format_stage_timings(timings: StageTimings) -> str:
         for stage in timings.stages()
     ]
     rows.append(["total", str(sum(timings.units(s) for s in timings.stages())), f"{timings.total():.4f}"])
-    return format_table(headers, rows)
+    table = format_table(headers, rows)
+    counters = timings.counters()
+    if counters:
+        # Delta resolves annotate their timing sink with work counters
+        # (rows_reencoded, pairs_rescored) — the incremental-cost picture.
+        table += "\n" + "\n".join(
+            f"{name} = {value}" for name, value in sorted(counters.items())
+        )
+    return table
 
 
 def format_shard_timings(timings: ShardTimings) -> str:

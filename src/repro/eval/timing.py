@@ -80,6 +80,9 @@ class EngineCounters:
     disk_hits: int = 0
     disk_misses: int = 0
     chunk_loads: int = 0
+    rows_reencoded: int = 0
+    pairs_rescored: int = 0
+    fingerprints_computed: int = 0
 
     def record_hit(self, records_served: int = 0) -> None:
         self.cache_hits += 1
@@ -107,6 +110,28 @@ class EngineCounters:
         """``count`` row-range chunk archives read from the persistent cache."""
         self.chunk_loads += int(count)
 
+    def record_rows_reencoded(self, count: int) -> None:
+        """``count`` rows encoded through the append-only delta path.
+
+        Distinct from ``tables_encoded``: a delta re-encode pushes only the
+        new tail rows of a grown table through the IR transform and VAE, so
+        the whole-table counter stays put and this one carries the cost.
+        """
+        self.rows_reencoded += int(count)
+
+    def record_pairs_rescored(self, count: int) -> None:
+        """``count`` candidate pairs actually scored by a delta resolve.
+
+        Pairs whose probabilities were reused from the baseline run are
+        *not* counted — the gap to ``pairs_scored`` is the scoring work the
+        incremental path saved.
+        """
+        self.pairs_rescored += int(count)
+
+    def record_fingerprint(self) -> None:
+        """One table fingerprint actually computed (rows CRC'd)."""
+        self.fingerprints_computed += 1
+
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
@@ -121,6 +146,9 @@ class EngineCounters:
             "disk_hits": self.disk_hits,
             "disk_misses": self.disk_misses,
             "chunk_loads": self.chunk_loads,
+            "rows_reencoded": self.rows_reencoded,
+            "pairs_rescored": self.pairs_rescored,
+            "fingerprints_computed": self.fingerprints_computed,
         }
 
     def reset(self) -> None:
@@ -132,6 +160,9 @@ class EngineCounters:
         self.disk_hits = 0
         self.disk_misses = 0
         self.chunk_loads = 0
+        self.rows_reencoded = 0
+        self.pairs_rescored = 0
+        self.fingerprints_computed = 0
 
 
 # ----------------------------------------------------------------------
@@ -206,10 +237,23 @@ class StageTimings:
     def __init__(self) -> None:
         self._seconds: Dict[str, float] = {}
         self._units: Dict[str, int] = {}
+        self._counters: Dict[str, int] = {}
 
     def record(self, stage: str, seconds: float, units: int = 1) -> None:
         self._seconds[stage] = self._seconds.get(stage, 0.0) + float(seconds)
         self._units[stage] = self._units.get(stage, 0) + int(units)
+
+    def record_counter(self, name: str, value: int) -> None:
+        """Accumulate a named work counter (delta resolves report
+        ``rows_reencoded`` and ``pairs_rescored`` here so the timing sink
+        carries the full incremental-cost picture)."""
+        self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        return dict(self._counters)
 
     def seconds(self, stage: str) -> float:
         return self._seconds.get(stage, 0.0)

@@ -196,3 +196,73 @@ class TestShardedBuild:
         index = EuclideanLSHIndex(num_tables=4, seed=2).prepare(vectors)
         with pytest.raises(ValueError):
             index.install_tables([[{}, {}]])
+
+
+class TestBucketStatistics:
+    """Diagnostics output paths: totals, empty indexes, lifecycle errors."""
+
+    def test_before_build_raises(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        with pytest.raises(NotFittedError):
+            EuclideanLSHIndex().bucket_statistics()
+        # prepare alone is not enough: the tables are not installed yet.
+        with pytest.raises(NotFittedError):
+            EuclideanLSHIndex().prepare(vectors).bucket_statistics()
+
+    def test_empty_index_reports_zero_buckets(self):
+        index = EuclideanLSHIndex(seed=1).build(np.zeros((0, 4)))
+        assert index.bucket_statistics() == {
+            "mean_bucket_size": 0.0, "max_bucket_size": 0.0, "num_buckets": 0.0
+        }
+
+    def test_occupancy_accounts_for_every_row_in_every_table(self, clustered_vectors):
+        """Each of the num_tables hash tables buckets all n rows exactly once,
+        so summed occupancy is num_tables * n."""
+        vectors, _ = clustered_vectors
+        index = EuclideanLSHIndex(num_tables=6, seed=3).build(vectors)
+        stats = index.bucket_statistics()
+        total = stats["mean_bucket_size"] * stats["num_buckets"]
+        assert total == pytest.approx(6 * len(vectors))
+        assert stats["max_bucket_size"] <= len(vectors)
+
+
+class TestExtend:
+    """Incremental index growth must be indistinguishable from a rebuild."""
+
+    def test_extend_matches_full_rebuild(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        keys = [f"k{i}" for i in range(len(vectors))]
+        full = EuclideanLSHIndex(seed=4).build(vectors, keys)
+        grown = EuclideanLSHIndex(seed=4).build(vectors[:40], keys[:40])
+        grown.extend(vectors[40:], keys[40:])
+        assert grown.size == full.size and grown.keys == full.keys
+        for full_table, grown_table in zip(full._tables, grown._tables):
+            assert dict(full_table) == dict(grown_table)
+        queries = vectors[::7]
+        assert full.query_batch(queries, k=5) == grown.query_batch(queries, k=5)
+
+    def test_repeated_extends_match_rebuild(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        full = EuclideanLSHIndex(seed=5).build(vectors)
+        grown = EuclideanLSHIndex(seed=5).build(vectors[:20], list(range(20)))
+        for start in range(20, len(vectors), 11):
+            stop = min(start + 11, len(vectors))
+            grown.extend(vectors[start:stop], list(range(start, stop)))
+        for full_table, grown_table in zip(full._tables, grown._tables):
+            assert dict(full_table) == dict(grown_table)
+        assert full.query(vectors[3], k=4) == grown.query(vectors[3], k=4)
+
+    def test_extend_validations(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        with pytest.raises(NotFittedError):
+            EuclideanLSHIndex().extend(vectors[:2], ["a", "b"])
+        index = EuclideanLSHIndex(seed=1).build(vectors)
+        with pytest.raises(ValueError):
+            index.extend(np.zeros((2, vectors.shape[1] + 1)), ["a", "b"])
+        with pytest.raises(ValueError):
+            index.extend(vectors[:3], ["a"])  # keys misaligned
+        with pytest.raises(ValueError):
+            index.extend(np.zeros((2, 2, 2)), ["a", "b"])  # not 2-d
+        size = index.size
+        index.extend(np.zeros((0, vectors.shape[1])), [])  # empty: no-op
+        assert index.size == size

@@ -8,6 +8,7 @@ from repro.data.generators import (
     DOMAIN_NAMES,
     NOISY_DOMAINS,
     SyntheticDomainGenerator,
+    append_rows,
     available_domains,
     domain_spec,
     load_domain,
@@ -105,3 +106,61 @@ class TestHardNegatives:
             if left and right:
                 overlaps.append(len(left & right) / len(left | right))
         assert max(overlaps) > 0.15
+
+
+class TestAppendRows:
+    """Deterministic in-place table growth for incremental-resolution tests."""
+
+    def test_extends_table_in_place_with_valid_records(self):
+        domain = load_domain("restaurants", scale=0.3)
+        before = len(domain.task.right)
+        ids_before = set(domain.task.right.record_ids())
+        appended = append_rows(domain, side="right", rows=12)
+        assert len(domain.task.right) == before + 12
+        assert len(appended) == 12
+        for record in appended:
+            assert record.record_id in domain.task.right
+            assert record.record_id not in ids_before
+            assert len(record.values) == domain.task.arity
+            assert record.entity_id is not None
+        # Record ids continue the existing numbering.
+        assert appended[0].record_id == f"r{before}"
+
+    def test_deterministic_across_identical_domains(self):
+        one = load_domain("beer", scale=0.3)
+        two = load_domain("beer", scale=0.3)
+        first = append_rows(one, side="right", rows=8)
+        second = append_rows(two, side="right", rows=8)
+        assert [(r.record_id, r.values) for r in first] == [
+            (r.record_id, r.values) for r in second
+        ]
+        # Successive appends to one domain draw fresh rows (seeded by size).
+        third = append_rows(one, side="right", rows=8)
+        assert [r.record_id for r in third] != [r.record_id for r in first]
+        assert [r.values for r in third] != [r.values for r in first]
+
+    def test_left_side_and_explicit_seed(self):
+        domain = load_domain("music", scale=0.3)
+        before = len(domain.task.left)
+        with_seed = append_rows(domain, side="left", rows=5, seed=123)
+        assert with_seed[0].record_id == f"l{before}"
+        assert len(domain.task.left) == before + 5
+        # Ground-truth queries still work on the grown task.
+        assert domain.task.true_match(with_seed[0].record_id, domain.task.right.record_ids()[0]) is False
+
+    def test_new_entities_add_no_duplicates(self):
+        """Appended rows are fresh entities: the duplicate map is untouched and
+        no new cross-table match is introduced."""
+        domain = load_domain("crm", scale=0.3)
+        duplicate_map = dict(domain.duplicate_map)
+        appended = append_rows(domain, side="right", rows=6)
+        assert domain.duplicate_map == duplicate_map
+        left_entities = {r.entity_id for r in domain.task.left}
+        assert all(r.entity_id not in left_entities for r in appended)
+
+    def test_validation(self):
+        domain = load_domain("restaurants", scale=0.3)
+        with pytest.raises(ValueError):
+            append_rows(domain, side="middle", rows=3)
+        with pytest.raises(ValueError):
+            append_rows(domain, rows=0)

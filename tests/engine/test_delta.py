@@ -1,0 +1,356 @@
+"""Incremental (delta) resolution: equivalence, chunk reuse, baselines.
+
+Three invariants pin the delta engine:
+
+* **Equivalence** — for every registry domain, resolving base + appended
+  rows through the delta plan yields the identical candidate stream and
+  match set as a cold full resolve of the grown tables;
+* **Chunk-fingerprint reuse** — appending ``k`` rows re-encodes only the
+  tail (``rows_reencoded <= chunk-aligned k``; here exactly ``k``) and never
+  the whole table (``tables_encoded`` stays 0, untouched sides included);
+* **Baseline hygiene** — refitting the representation or swapping the
+  matcher invalidates exactly the affected reuse (index, scores) while the
+  output stays equivalent to a cold run.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import BlockingConfig, VAEConfig
+from repro.core.representation import EntityRepresentationModel
+from repro.data.generators import DOMAIN_NAMES, append_rows, load_domain
+from repro.data.generators.base import DomainSpec, SyntheticDomainGenerator, compose, pick
+from repro.engine import (
+    EncodingStore,
+    PersistentEncodingCache,
+    ResolutionPlanner,
+    ShardedEncodingStore,
+    merge_scored_batches,
+    resolve_delta,
+    resolve_stream,
+)
+from repro.eval.timing import EngineCounters, StageTimings
+
+
+class _DistanceMatcher:
+    """Deterministic matcher stand-in: probability decays with IR distance.
+
+    Purely elementwise per pair (no matmul), so its output is byte-identical
+    regardless of batch composition — which lets the equivalence tests
+    compare probabilities exactly instead of to a tolerance.
+    """
+
+    def predict_proba(self, left_irs: np.ndarray, right_irs: np.ndarray) -> np.ndarray:
+        diffs = np.asarray(left_irs) - np.asarray(right_irs)
+        distances = np.sqrt((diffs ** 2).sum(axis=(1, 2)))
+        return 1.0 / (1.0 + distances)
+
+
+def _tiny_entity(rng):
+    pool_a = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+              "iota", "kappa", "lambda", "sigma", "omega", "nu", "xi", "pi"]
+    pool_b = ["london", "paris", "berlin", "madrid", "rome", "vienna", "oslo", "dublin"]
+    return (compose(rng, pool_a, 2, 3), pick(rng, pool_b), f"{rng.uniform(5, 200):.2f}")
+
+
+def _fresh_tiny_domain():
+    """A private small domain (regenerated per call, safe to mutate)."""
+    spec = DomainSpec(
+        name="deltatest",
+        attributes=("name", "city", "price"),
+        entity_factory=_tiny_entity,
+        clean=True,
+        numeric_attributes=(False, False, True),
+        left_size=40,
+        right_size=36,
+        overlap_fraction=0.6,
+        train_size=60,
+        valid_size=12,
+        test_size=24,
+        positive_fraction=0.3,
+    )
+    return SyntheticDomainGenerator(spec, seed=77).generate()
+
+
+@pytest.fixture(scope="module")
+def delta_representation():
+    """One representation fitted on the (deterministic) delta-test domain.
+
+    Every test regenerates its own identical domain to mutate, so one
+    module-scoped fit serves them all.
+    """
+    domain = _fresh_tiny_domain()
+    config = VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=3, seed=5)
+    return EntityRepresentationModel(config, ir_method="lsa").fit(domain.task)
+
+
+class TestRegistryEquivalence:
+    @pytest.mark.parametrize("name", DOMAIN_NAMES)
+    def test_delta_resolve_equals_cold_full_resolve(self, name):
+        """The acceptance contract, on every registry domain: base + append
+        through the delta plan == cold full resolve of the grown tables."""
+        domain = load_domain(name, scale=0.2)
+        representation = EntityRepresentationModel(
+            VAEConfig(ir_dim=12, hidden_dim=16, latent_dim=6, epochs=1, seed=7), ir_method="lsa"
+        ).fit(domain.task)
+        matcher = _DistanceMatcher()
+        blocking = BlockingConfig(seed=19)
+
+        store = ShardedEncodingStore(
+            representation, domain.task, counters=EngineCounters(), shard_rows=16
+        )
+        executor = resolve_delta(store, matcher, baseline=None, blocking=blocking, k=4, batch_size=13)
+        base = merge_scored_batches(executor.run())
+        baseline = executor.baseline_out
+        assert baseline is not None and len(baseline.scores) == len(base)
+        assert store.counters.tables_encoded == 2  # the cold encodes
+
+        append_rows(domain, side="right", rows=9)
+        append_rows(domain, side="left", rows=5)
+        rescored_before = store.counters.pairs_rescored
+        warm = resolve_delta(
+            store, matcher, baseline=baseline, blocking=blocking, k=4, batch_size=13
+        )
+        delta = merge_scored_batches(warm.run())
+        # Only the appended tails were pushed through the encoder.
+        assert store.counters.tables_encoded == 2, "delta run must not re-encode tables"
+        assert store.counters.rows_reencoded == 14
+        rescored = store.counters.pairs_rescored - rescored_before
+        assert 0 < rescored < len(delta), "some baseline scores must be reused"
+
+        cold_store = ShardedEncodingStore(
+            representation, domain.task, counters=EngineCounters(), shard_rows=16
+        )
+        cold = merge_scored_batches(
+            resolve_stream(cold_store, matcher, blocking=blocking, k=4, batch_size=13)
+        )
+        assert [p.key() for p in delta.pairs] == [p.key() for p in cold.pairs]
+        # Reused pairs are byte-identical; tail rows were encoded in a
+        # different matmul batch shape, so rescored pairs agree to float
+        # round-off (same tolerance the monolithic-vs-streamed tests use).
+        np.testing.assert_allclose(delta.probabilities, cold.probabilities, atol=1e-9)
+        assert {p.key() for p in delta.matches()} == {p.key() for p in cold.matches()}
+
+    def test_rescored_pairs_all_involve_new_rows(self):
+        """The score stage restricts matcher work to pairs touching new rows."""
+        domain = _fresh_tiny_domain()
+        representation = EntityRepresentationModel(
+            VAEConfig(ir_dim=12, hidden_dim=16, latent_dim=6, epochs=1, seed=3), ir_method="lsa"
+        ).fit(domain.task)
+        matcher = _DistanceMatcher()
+        store = EncodingStore(representation, domain.task, counters=EngineCounters())
+        executor = resolve_delta(store, matcher, baseline=None, k=4, batch_size=13)
+        base = merge_scored_batches(executor.run())
+        baseline = executor.baseline_out
+        old_left = {p.left_id for p in base.pairs} | {r.record_id for r in domain.task.left}
+        old_right = {r.record_id for r in domain.task.right}
+
+        appended = append_rows(domain, side="right", rows=7)
+        new_right = {r.record_id for r in appended}
+        rescored_before = store.counters.pairs_rescored
+        warm = resolve_delta(store, matcher, baseline=baseline, k=4, batch_size=13)
+        delta = merge_scored_batches(warm.run())
+        # Every pair absent from the baseline involves an appended row; all
+        # old-old pairs were served from the baseline scores.
+        fresh = [p for p in delta.pairs if (p.left_id, p.right_id) not in baseline.scores]
+        assert fresh, "growing the right table must surface new candidate pairs"
+        assert all(p.right_id in new_right for p in fresh)
+        assert store.counters.pairs_rescored - rescored_before == len(fresh)
+        assert all(p.left_id in old_left and p.right_id in (old_right | new_right) for p in delta.pairs)
+
+
+class TestChunkFingerprintReuse:
+    @pytest.fixture(scope="module")
+    def grown_state(self, delta_representation, tmp_path_factory):
+        """A domain + warm chunked cache that hypothesis examples keep growing."""
+        domain = _fresh_tiny_domain()
+        cache = PersistentEncodingCache(
+            tmp_path_factory.mktemp("delta-cache"), chunk_rows=16
+        )
+        cold = EncodingStore(
+            delta_representation, domain.task, counters=EngineCounters(), persistent=cache
+        )
+        cold.table_encodings("left")
+        cold.table_encodings("right")
+        assert cold.counters.tables_encoded == 2
+        return domain, cache
+
+    @settings(max_examples=8, deadline=None)
+    @given(k=st.integers(min_value=1, max_value=40))
+    def test_appending_k_rows_reencodes_at_most_chunk_aligned_k(
+        self, grown_state, delta_representation, k
+    ):
+        """Per-chunk fingerprints keep every pre-append chunk valid: a fresh
+        store over the grown table re-encodes exactly the k appended rows
+        (trivially <= the chunk-aligned bound) and zero whole tables."""
+        domain, cache = grown_state
+        base_rows = len(domain.task.right)
+        append_rows(domain, side="right", rows=k)
+
+        store = EncodingStore(
+            delta_representation, domain.task, counters=EngineCounters(), persistent=cache
+        )
+        grown = store.table_encodings("right")
+        store.table_encodings("left")  # untouched side: pure disk hit
+        chunk_aligned = -(-k // cache.chunk_rows) * cache.chunk_rows
+        assert store.counters.tables_encoded == 0
+        assert store.counters.rows_reencoded == k <= chunk_aligned
+        assert store.counters.disk_hits == 2
+        assert len(grown) == base_rows + k
+
+    def test_in_memory_append_refresh_without_disk_cache(self, delta_representation):
+        """A live store notices its backing table grew and refreshes via the
+        same append-only path — no persistent cache required."""
+        domain = _fresh_tiny_domain()
+        store = EncodingStore(delta_representation, domain.task, counters=EngineCounters())
+        first = store.table_encodings("right")
+        append_rows(domain, side="right", rows=6)
+        second = store.table_encodings("right")
+        assert store.counters.tables_encoded == 1  # only the cold encode
+        assert store.counters.rows_reencoded == 6
+        assert second.keys[: len(first)] == first.keys
+        np.testing.assert_array_equal(second.mu[: len(first)], first.mu)
+        np.testing.assert_array_equal(second.irs[: len(first)], first.irs)
+        # The refreshed table is served from cache on the next access.
+        hits_before = store.counters.cache_hits
+        store.table_encodings("right")
+        assert store.counters.cache_hits == hits_before + 1
+
+    def test_fingerprint_memoization(self, delta_representation):
+        domain = _fresh_tiny_domain()
+        store = EncodingStore(delta_representation, domain.task, counters=EngineCounters())
+        first = store.table_fingerprint("right")
+        for _ in range(5):
+            assert store.table_fingerprint("right") == first
+        assert store.counters.fingerprints_computed == 1
+        # Growth changes the identity: exactly one recompute.
+        append_rows(domain, side="right", rows=3)
+        assert store.table_fingerprint("right") != first
+        assert store.counters.fingerprints_computed == 2
+
+
+class TestBaselineHygiene:
+    def _fit(self, domain, seed=3):
+        return EntityRepresentationModel(
+            VAEConfig(ir_dim=12, hidden_dim=16, latent_dim=6, epochs=1, seed=seed), ir_method="lsa"
+        ).fit(domain.task)
+
+    def test_refit_invalidates_baseline_but_stays_equivalent(self):
+        domain = _fresh_tiny_domain()
+        representation = self._fit(domain)
+        matcher = _DistanceMatcher()
+        store = EncodingStore(representation, domain.task, counters=EngineCounters())
+        executor = resolve_delta(store, matcher, baseline=None, k=4, batch_size=13)
+        list(executor.run())
+        baseline = executor.baseline_out
+
+        representation.fit(domain.task, epochs=1)  # bumps encoding_version
+        warm = resolve_delta(store, matcher, baseline=baseline, k=4, batch_size=13)
+        refreshed = merge_scored_batches(warm.run())
+        assert warm.baseline_out.encoding_version == representation.encoding_version
+        # Stale baseline contributed nothing: everything was rescored.
+        assert store.counters.pairs_rescored >= len(refreshed)
+
+        cold_store = EncodingStore(representation, domain.task, counters=EngineCounters())
+        cold = merge_scored_batches(resolve_stream(cold_store, matcher, k=4, batch_size=13))
+        assert [p.key() for p in refreshed.pairs] == [p.key() for p in cold.pairs]
+        np.testing.assert_array_equal(refreshed.probabilities, cold.probabilities)
+
+    def test_new_matcher_invalidates_scores_not_index(self, delta_representation):
+        domain = _fresh_tiny_domain()
+        store = EncodingStore(delta_representation, domain.task, counters=EngineCounters())
+        executor = resolve_delta(store, _DistanceMatcher(), baseline=None, k=4, batch_size=13)
+        base = merge_scored_batches(executor.run())
+        baseline = executor.baseline_out
+
+        rescored_before = store.counters.pairs_rescored
+        other = _DistanceMatcher()  # different object: scores must not be reused
+        warm = resolve_delta(store, other, baseline=baseline, k=4, batch_size=13)
+        again = merge_scored_batches(warm.run())
+        assert store.counters.pairs_rescored - rescored_before == len(again)
+        assert [p.key() for p in again.pairs] == [p.key() for p in base.pairs]
+        # The index, which depends only on the encodings, was reused as-is.
+        assert warm.baseline_out.index is baseline.index
+
+
+class TestPipelineBaselineLifecycle:
+    def test_refitting_matcher_drops_the_captured_baseline(self):
+        """Baseline scores belong to the matcher that produced them: a refit
+        must clear the pipeline's baseline so a recycled object identity can
+        never serve the old matcher's probabilities."""
+        from repro.config import MatcherConfig, VAERConfig
+        from repro.core import VAER
+
+        domain = _fresh_tiny_domain()
+        config = VAERConfig(
+            vae=VAEConfig(ir_dim=12, hidden_dim=16, latent_dim=6, epochs=1, seed=3),
+            matcher=MatcherConfig(epochs=5, mlp_hidden=(16, 8), seed=5),
+        )
+        model = VAER(config).fit_representation(domain.task)
+        model.fit_matcher(domain.splits.train, domain.splits.validation)
+        list(model.resolve_stream(k=4, batch_size=13, incremental=True))
+        assert model._baseline is not None
+        assert model._baseline.matcher is model.matcher
+        model.fit_matcher(domain.splits.train, domain.splits.validation)
+        assert model._baseline is None
+        # And a refit representation clears it too.
+        list(model.resolve_stream(k=4, batch_size=13, incremental=True))
+        model.fit_representation(domain.task)
+        assert model._baseline is None
+
+
+class TestDeltaPlan:
+    def test_delta_plan_stage_graph(self):
+        domain = _fresh_tiny_domain()
+        planner = ResolutionPlanner(domain.task, k=4, batch_size=13, shard_rows=16)
+        base_right = len(domain.task.right) - 6
+        plan = planner.plan_delta(
+            base_left_rows=len(domain.task.left), base_right_rows=base_right, index_reusable=True
+        )
+        assert [stage.name for stage in plan.stages] == ["encode", "block", "score"]
+        assert plan.workers == 1
+        assert plan.delta.base_right_rows == base_right
+        assert plan.delta.new_rows("right", plan.right_rows) == 6
+        assert plan.delta.new_rows("left", plan.left_rows) == 0
+        encode = plan.stage("encode")
+        assert encode.units[0].rows == 0 and "cached" in encode.units[0].detail
+        assert encode.units[1].rows == 6 and "append-only" in encode.units[1].detail
+        block = plan.stage("block")
+        assert block.units[0].name == "extend right" and block.units[0].rows == 6
+        assert "new rows" in plan.stage("score").units[0].detail
+
+    def test_delta_plan_without_baseline_is_cold(self):
+        domain = _fresh_tiny_domain()
+        plan = ResolutionPlanner(domain.task, k=4, batch_size=13, shard_rows=16).plan_delta()
+        assert plan.stage("block").units[0].name == "build right"
+        assert all(unit.rows > 0 for unit in plan.stage("encode").units)
+        # Base rows are clamped into the table's range.
+        clamped = ResolutionPlanner(domain.task, shard_rows=16).plan_delta(10_000, -5)
+        assert clamped.delta.base_left_rows == len(domain.task.left)
+        assert clamped.delta.base_right_rows == 0
+
+    def test_delta_plan_describe_mentions_delta(self):
+        domain = _fresh_tiny_domain()
+        plan = ResolutionPlanner(domain.task, k=4, shard_rows=16).plan_delta(
+            base_left_rows=len(domain.task.left), base_right_rows=30, index_reusable=True
+        )
+        text = plan.describe()
+        assert "delta:" in text and "extend right" in text
+        assert f"base {30}" in text
+
+    def test_stage_timings_carry_delta_counters(self, delta_representation):
+        domain = _fresh_tiny_domain()
+        store = EncodingStore(delta_representation, domain.task, counters=EngineCounters())
+        executor = resolve_delta(store, _DistanceMatcher(), baseline=None, k=4, batch_size=13)
+        list(executor.run())
+        append_rows(domain, side="right", rows=5)
+        timings = StageTimings()
+        warm = resolve_delta(
+            store, _DistanceMatcher(), baseline=executor.baseline_out,
+            k=4, batch_size=13, stage_timings=timings,
+        )
+        total = sum(len(batch) for batch in warm.run())
+        assert timings.counter("rows_reencoded") == 5
+        assert 0 < timings.counter("pairs_rescored") <= total
+        assert "block-extend" in timings.stages()

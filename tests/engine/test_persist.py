@@ -1,4 +1,5 @@
-"""Persistent encoding cache: chunked layout, keying, invalidation, laziness."""
+"""Persistent encoding cache: chunked layout, keying, invalidation, laziness,
+and the content-addressed delta path (probe → prefix load → extend)."""
 
 import json
 import os
@@ -9,7 +10,14 @@ import pytest
 
 from repro.config import VAEConfig
 from repro.core.representation import EntityRepresentationModel
-from repro.engine import EncodingStore, PersistentEncodingCache, encoding_fingerprint
+from repro.data.schema import Record, Table
+from repro.engine import (
+    EncodingStore,
+    PersistentEncodingCache,
+    TableEncodings,
+    encoding_fingerprint,
+    row_range_crc,
+)
 from repro.engine.persist import MANIFEST_NAME
 from repro.eval.timing import EngineCounters
 
@@ -75,7 +83,16 @@ class TestLayoutAndRoundtrip:
         manifest = json.loads(
             small_chunk_cache.manifest_path(tiny_domain.task.name, "left", version).read_text()
         )
-        assert manifest["chunks"] == [[start, min(start + 16, n)] for start in range(0, n, 16)]
+        assert [chunk[:2] for chunk in manifest["chunks"]] == [
+            [start, min(start + 16, n)] for start in range(0, n, 16)
+        ]
+        # Every chunk is content-addressed: its CRC covers exactly its rows.
+        from repro.engine import row_range_crc
+
+        assert [chunk[2] for chunk in manifest["chunks"]] == [
+            row_range_crc(tiny_domain.task.left, start, min(start + 16, n))
+            for start in range(0, n, 16)
+        ]
         assert manifest["keys"] == list(left.keys)
 
     def test_warm_store_skips_encoding_entirely(self, tiny_domain, tiny_representation, small_chunk_cache):
@@ -255,11 +272,14 @@ class TestInvalidationRules:
 
     def test_fingerprint_tracks_weights_and_values(self, tiny_domain, tiny_representation):
         fingerprint = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
-        assert {"seed", "weights_crc", "content_crc"} <= set(fingerprint)
+        assert {"model", "n_records", "content_crc"} <= set(fingerprint)
+        assert {"seed", "weights_crc", "ir_method"} <= set(fingerprint["model"])
         again = encoding_fingerprint(tiny_representation, tiny_domain.task.left)
         assert fingerprint == again  # deterministic
         other_table = encoding_fingerprint(tiny_representation, tiny_domain.task.right)
         assert other_table["content_crc"] != fingerprint["content_crc"]
+        # The model half is table-independent (it is what chunks embed).
+        assert other_table["model"] == fingerprint["model"]
 
     def test_wrong_side_or_task_is_a_miss(self, tiny_domain, tiny_representation, cache):
         store = _store(tiny_representation, tiny_domain.task, cache)
@@ -324,8 +344,11 @@ class TestInvalidationRules:
         # different fingerprint, leaving the original manifest untouched.
         manifest_path = small_chunk_cache.manifest_path(tiny_domain.task.name, "left", version)
         original_manifest = manifest_path.read_bytes()
-        foreign = dict(fingerprint, weights_crc=fingerprint["weights_crc"] + 1)
-        small_chunk_cache.save(tiny_domain.task.name, "left", version, foreign, encodings)
+        foreign_model = dict(fingerprint["model"], weights_crc=fingerprint["model"]["weights_crc"] + 1)
+        foreign = dict(fingerprint, model=foreign_model)
+        small_chunk_cache.save(
+            tiny_domain.task.name, "left", version, foreign, encodings, table=tiny_domain.task.left
+        )
         manifest_path.write_bytes(original_manifest)
         assert small_chunk_cache.load(tiny_domain.task.name, "left", version, fingerprint) is None
 
@@ -366,6 +389,167 @@ class TestInvalidationRules:
         assert store.counters.disk_misses == 0
         assert store.counters.chunk_loads == 0
         assert store.counters.tables_encoded == 1
+
+
+def _synthetic_table(n, name="synthetic"):
+    """A hand-built table (no model needed) for pure persist-layer tests."""
+    return Table(
+        name, ("a", "b"),
+        [Record(f"r{i}", (f"alpha-{i}", f"beta-{i}")) for i in range(n)],
+    )
+
+
+def _synthetic_encodings(n, seed=0, arity=2, dim=3):
+    rng = np.random.default_rng(seed)
+    keys = tuple(f"r{i}" for i in range(n))
+    return TableEncodings(
+        keys=keys,
+        irs=rng.normal(size=(n, arity, dim)),
+        mu=rng.normal(size=(n, arity, dim)),
+        sigma=rng.normal(size=(n, arity, dim)),
+        row_index={key: row for row, key in enumerate(keys)},
+    )
+
+
+def _synthetic_fingerprint(table, weights_crc=1234):
+    return {
+        "model": {
+            "ir_method": "lsa", "ir_dim": 3, "hidden_dim": 4, "latent_dim": 3,
+            "seed": 1, "weights_crc": weights_crc,
+        },
+        "n_records": len(table),
+        "content_crc": row_range_crc(table, 0, len(table)),
+    }
+
+
+class TestDeltaProbeAndExtend:
+    """The content-addressed chunk machinery, exercised without any model."""
+
+    CHUNK = 8
+
+    def _cache(self, tmp_path):
+        return PersistentEncodingCache(tmp_path / "delta", chunk_rows=self.CHUNK)
+
+    def _saved(self, tmp_path, n=20):
+        cache = self._cache(tmp_path)
+        table = _synthetic_table(n)
+        encodings = _synthetic_encodings(n)
+        fingerprint = _synthetic_fingerprint(table)
+        cache.save("t", "right", 1, fingerprint, encodings, table=table)
+        return cache, table, encodings, fingerprint
+
+    def test_probe_recognises_appended_table(self, tmp_path):
+        cache, table, encodings, _ = self._saved(tmp_path, n=20)
+        for i in range(20, 25):
+            table.add(Record(f"r{i}", (f"alpha-{i}", f"beta-{i}")))
+        grown_fp = _synthetic_fingerprint(table)
+        # The full load misses (the table-level fingerprint changed) ...
+        assert cache.load("t", "right", 1, grown_fp) is None
+        # ... but the probe reports every old chunk valid.
+        delta = cache.delta("t", "right", 1, grown_fp, table)
+        assert delta is not None
+        assert delta.base_rows == 20 and delta.total_rows == 25 and delta.new_rows == 5
+        counters = EngineCounters()
+        prefix = cache.load_prefix("t", "right", 1, delta, counters=counters)
+        assert prefix is not None and len(prefix) == 20
+        assert counters.chunk_loads == 3  # 20 rows in 8-row chunks
+        np.testing.assert_array_equal(np.asarray(prefix.mu), encodings.mu)
+
+    def test_probe_rejects_foreign_model_and_edits(self, tmp_path):
+        cache, table, _, fingerprint = self._saved(tmp_path, n=20)
+        foreign = dict(
+            fingerprint,
+            model=dict(fingerprint["model"], weights_crc=fingerprint["model"]["weights_crc"] + 1),
+        )
+        assert cache.delta("t", "right", 1, foreign, table) is None
+        # An edit inside the second chunk truncates the valid prefix there.
+        edited = _synthetic_table(20)
+        edited._records[10] = Record("r10", ("EDITED", "beta-10"))
+        delta = cache.delta("t", "right", 1, _synthetic_fingerprint(edited), edited)
+        assert delta is not None and delta.base_rows == self.CHUNK
+        # An edit in the first chunk leaves nothing reusable.
+        edited._records[0] = Record("r0", ("EDITED", "beta-0"))
+        assert cache.delta("t", "right", 1, _synthetic_fingerprint(edited), edited) is None
+
+    def test_extend_appends_chunks_and_serves_exact_loads(self, tmp_path):
+        cache, table, encodings, _ = self._saved(tmp_path, n=20)
+        for i in range(20, 31):
+            table.add(Record(f"r{i}", (f"alpha-{i}", f"beta-{i}")))
+        grown_fp = _synthetic_fingerprint(table)
+        delta = cache.delta("t", "right", 1, grown_fp, table)
+        tail = _synthetic_encodings(31, seed=9)
+        tail_view = TableEncodings(
+            keys=tuple(f"r{i}" for i in range(20, 31)),
+            irs=tail.irs[20:], mu=tail.mu[20:], sigma=tail.sigma[20:],
+            row_index={f"r{i}": i - 20 for i in range(20, 31)},
+        )
+        cache.extend("t", "right", 1, grown_fp, table, delta, tail_view)
+
+        # Old chunk archives were not rewritten; new ones continue from row 20.
+        manifest = json.loads(cache.manifest_path("t", "right", 1).read_text())
+        assert [chunk[:2] for chunk in manifest["chunks"]] == [
+            [0, 8], [8, 16], [16, 20], [20, 28], [28, 31]
+        ]
+        # The extended entry now serves an exact full load.
+        loaded = cache.load("t", "right", 1, grown_fp)
+        assert loaded is not None and len(loaded) == 31
+        np.testing.assert_array_equal(np.asarray(loaded.mu[:20]), encodings.mu)
+        np.testing.assert_array_equal(np.asarray(loaded.mu[20:]), tail_view.mu)
+        # A second append extends again, from the new boundary.
+        for i in range(31, 33):
+            table.add(Record(f"r{i}", (f"alpha-{i}", f"beta-{i}")))
+        again = cache.delta("t", "right", 1, _synthetic_fingerprint(table), table)
+        assert again is not None and again.base_rows == 31
+
+    def test_keys_only_entries_are_opaque_to_delta(self, tmp_path):
+        """Entries saved without a table (synthetic benchmarks) serve full
+        loads but never claim a delta prefix."""
+        cache = self._cache(tmp_path)
+        table = _synthetic_table(20)
+        encodings = _synthetic_encodings(20)
+        fingerprint = _synthetic_fingerprint(table)
+        cache.save("t", "right", 1, fingerprint, encodings)  # note: no table=
+        assert cache.load("t", "right", 1, fingerprint) is not None
+        assert cache.delta("t", "right", 1, fingerprint, table) is None
+
+
+class TestCacheInspection:
+    def test_describe_entries_reports_layout(self, tiny_domain, tiny_representation, small_chunk_cache):
+        store = _store(tiny_representation, tiny_domain.task, small_chunk_cache)
+        store.table_encodings("left")
+        store.table_encodings("right")
+        rows = small_chunk_cache.describe_entries()
+        assert {row["side"] for row in rows} == {"left", "right"}
+        for row in rows:
+            assert row["task"] == tiny_domain.task.name
+            assert row["layout"] == "chunked"
+            assert row["rows"] > 0 and row["chunks"] > 1 and row["bytes"] > 0
+            assert row["content_crc"] is not None and row["weights_crc"] is not None
+
+    def test_prune_removes_stale_generations(self, tiny_domain, small_vae_config, small_chunk_cache):
+        model = EntityRepresentationModel(small_vae_config, ir_method="lsa").fit(tiny_domain.task)
+        _store(model, tiny_domain.task, small_chunk_cache).table_encodings("left")
+        model.fit(tiny_domain.task, epochs=1)  # bumps encoding_version
+        _store(model, tiny_domain.task, small_chunk_cache).table_encodings("left")
+        assert len(small_chunk_cache.entries()) == 2
+        removed = small_chunk_cache.prune()
+        assert removed["entries"] == 1 and removed["files"] > 0 and removed["bytes"] > 0
+        survivors = small_chunk_cache.describe_entries()
+        assert len(survivors) == 1
+        assert survivors[0]["version"] == model.encoding_version
+        # Pruning again is a no-op.
+        assert small_chunk_cache.prune() == {"entries": 0, "files": 0, "bytes": 0}
+
+    def test_prune_sweeps_unreferenced_chunks(self, tmp_path):
+        cache = PersistentEncodingCache(tmp_path / "sweep", chunk_rows=8)
+        table = _synthetic_table(20)
+        cache.save("t", "right", 1, _synthetic_fingerprint(table), _synthetic_encodings(20), table=table)
+        stray = cache.chunk_path("t", "right", 1, 99, 120)
+        stray.write_bytes(b"leftover of a superseded extension")
+        removed = cache.prune()
+        assert removed["files"] == 1 and not stray.is_file()
+        # The referenced chunks still serve.
+        assert cache.load("t", "right", 1, _synthetic_fingerprint(table)) is not None
 
 
 class TestFlatLayoutMigration:
@@ -411,6 +595,26 @@ class TestFlatLayoutMigration:
         assert loaded is not None
         np.testing.assert_array_equal(loaded.mu, encodings.mu[16:32])
         assert not small_chunk_cache.flat_path_for(tiny_domain.task.name, "left", version).is_file()
+
+    def test_migration_preserves_arrays_byte_identically(
+        self, tiny_domain, tiny_representation, small_chunk_cache
+    ):
+        """save_flat -> chunked migration must not perturb a single byte of
+        any array: the chunked reload equals the original buffers exactly."""
+        encodings, version, fingerprint = self._flat_entry(
+            small_chunk_cache, tiny_domain, tiny_representation
+        )
+        migrated = small_chunk_cache.load(tiny_domain.task.name, "left", version, fingerprint)
+        reloaded = small_chunk_cache.load(tiny_domain.task.name, "left", version, fingerprint)
+        for served in (migrated, reloaded):
+            assert served is not None
+            assert served.keys == encodings.keys
+            for name in ("irs", "mu", "sigma"):
+                original = np.ascontiguousarray(getattr(encodings, name))
+                roundtripped = np.ascontiguousarray(np.asarray(getattr(served, name)))
+                assert original.dtype == roundtripped.dtype
+                assert original.shape == roundtripped.shape
+                assert original.tobytes() == roundtripped.tobytes()
 
     def test_foreign_flat_archive_does_not_migrate(self, tiny_domain, tiny_representation, small_chunk_cache):
         _, version, fingerprint = self._flat_entry(small_chunk_cache, tiny_domain, tiny_representation)

@@ -90,6 +90,28 @@ class TestPlannerGraph:
         for token in ("encode", "block", "score", "workers=4", "shard_rows=16", tiny_domain.task.name):
             assert token in text
 
+    def test_describe_elides_units_past_the_limit(self, tiny_domain):
+        """Long stages are cut at max_units with an explicit '+N more' line."""
+        plan = ResolutionPlanner(tiny_domain.task, shard_rows=4).plan()
+        block = plan.stage("block")
+        assert block.num_units > 3
+        text = plan.describe(max_units=2)
+        assert f"... (+{block.num_units - 2} more)" in text
+        # A generous limit prints every unit and no ellipsis.
+        full = plan.describe(max_units=1000)
+        assert "more)" not in full
+        for unit in block.units:
+            assert unit.name in full
+
+    def test_describe_lists_rows_and_details(self, tiny_domain):
+        plan = ResolutionPlanner(tiny_domain.task, k=5, shard_rows=16).plan()
+        text = plan.describe()
+        assert f"({len(tiny_domain.task.left)} rows)" in text  # encode unit annotation
+        assert "IR transform + VAE forward" in text
+        assert "top-5" in text
+        # Stage positions and dependency arrows appear in graph order.
+        assert text.index("[1] encode") < text.index("[2] block <- encode") < text.index("[3] score <- block")
+
     def test_invalid_knobs_rejected(self, tiny_domain):
         for kwargs in ({"k": 0}, {"batch_size": 0}, {"workers": 0}, {"shard_rows": 0}):
             with pytest.raises(ValueError):

@@ -89,6 +89,55 @@ class TestScenarioEquivalence:
         indices = [b.batch_index for b in model.resolve_stream(k=5, batch_size=17, workers=WORKERS)]
         assert indices == list(range(len(indices)))
 
+    def test_incremental_scenario_appended_table(self):
+        """The growing-table scenario end to end through ``VAER``.
+
+        Resolve once incrementally (captures the baseline), append rows to
+        the right table (``REPRO_ENGINE_APPEND_ROWS`` sizes the delta — CI's
+        third engine run raises it), resolve incrementally again, and demand
+        (a) only the appended rows were re-encoded and (b) the same match
+        set as a cold full resolve of the grown task.
+        """
+        from repro.data.generators import append_rows
+        from repro.engine import ShardedEncodingStore, resolve_stream
+        from repro.eval.timing import EngineCounters, StageTimings
+
+        append = int(os.environ.get("REPRO_ENGINE_APPEND_ROWS", "10"))
+        domain = load_domain("citations2", scale=0.25)
+        config = VAERConfig(
+            vae=VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=2, seed=7),
+            matcher=MatcherConfig(epochs=8, mlp_hidden=(16, 8), seed=9),
+        )
+        cache_dir = os.environ.get("REPRO_CACHE_DIR")
+        model = VAER(config, cache_dir=cache_dir).fit_representation(domain.task)
+        model.fit_matcher(domain.splits.train, domain.splits.validation)
+
+        base = merge_scored_batches(model.resolve_stream(k=5, batch_size=17, incremental=True))
+        append_rows(domain, side="right", rows=append)
+
+        timings = StageTimings()
+        counters = model.store.counters
+        rows_before, tables_before = counters.rows_reencoded, counters.tables_encoded
+        delta = merge_scored_batches(
+            model.resolve_stream(k=5, batch_size=17, incremental=True, stage_timings=timings)
+        )
+        assert counters.tables_encoded == tables_before, "delta must not re-encode tables"
+        assert counters.rows_reencoded - rows_before == append
+        assert timings.counter("rows_reencoded") == append
+        assert 0 < timings.counter("pairs_rescored") <= len(delta)
+        assert len(delta) >= len(base)
+
+        cold_store = ShardedEncodingStore(
+            model.representation, domain.task, counters=EngineCounters()
+        )
+        cold = merge_scored_batches(
+            resolve_stream(cold_store, model.matcher, blocking=config.blocking,
+                           k=5, batch_size=17, threshold=model.threshold)
+        )
+        assert [p.key() for p in delta.pairs] == [p.key() for p in cold.pairs]
+        np.testing.assert_allclose(delta.probabilities, cold.probabilities, atol=1e-9)
+        assert {p.key() for p in delta.matches()} == {p.key() for p in cold.matches()}
+
     def test_corruption_registry_end_to_end(self):
         """A freshly generated noisy domain (new seed) resolves identically too."""
         domain = load_domain("cosmetics", scale=0.25, seed=123)

@@ -44,6 +44,20 @@ class TestParser:
         assert args.domain == "music" and args.workers == 4 and args.shard_rows == 512
         assert args.k == 10 and args.batch_size == 2048  # defaults
 
+    def test_resolve_incremental_arguments(self):
+        args = _build_parser().parse_args(["resolve", "--incremental", "--append-rows", "96"])
+        assert args.incremental is True and args.append_rows == 96
+        defaults = _build_parser().parse_args(["resolve"])
+        assert defaults.incremental is False and defaults.append_rows == 48
+
+    def test_cache_arguments(self):
+        args = _build_parser().parse_args(["cache", "list", "--cache-dir", ".enc"])
+        assert args.action == "list" and args.cache_dir == ".enc"
+        with pytest.raises(SystemExit):  # action is mandatory and closed
+            _build_parser().parse_args(["cache", "defragment", "--cache-dir", ".enc"])
+        with pytest.raises(SystemExit):  # --cache-dir is mandatory
+            _build_parser().parse_args(["cache", "list"])
+
 
 class TestCommands:
     def test_list_domains_prints_all_nine(self, capsys):
@@ -69,3 +83,60 @@ class TestCommands:
         assert "--workers" in capsys.readouterr().err
         assert main(["plan", "--shard-rows", "-1"]) == 2
         assert "--shard-rows" in capsys.readouterr().err
+
+    def test_resolve_rejects_incremental_with_workers(self, capsys):
+        assert main(["resolve", "--incremental", "--workers", "2"]) == 2
+        assert "--incremental" in capsys.readouterr().err
+        assert main(["resolve", "--incremental", "--append-rows", "0"]) == 2
+        assert "--append-rows" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    @staticmethod
+    def _populate(cache_dir, versions=(1,)):
+        """Write synthetic chunked entries (no model fitting needed)."""
+        import numpy as np
+
+        from repro.data.schema import Record, Table
+        from repro.engine import PersistentEncodingCache, TableEncodings, row_range_crc
+
+        cache = PersistentEncodingCache(cache_dir, chunk_rows=8)
+        table = Table("clitask", ("a", "b"),
+                      [Record(f"r{i}", (f"x{i}", f"y{i}")) for i in range(20)])
+        rng = np.random.default_rng(0)
+        keys = tuple(table.record_ids())
+        encodings = TableEncodings(
+            keys=keys,
+            irs=rng.normal(size=(20, 2, 3)),
+            mu=rng.normal(size=(20, 2, 3)),
+            sigma=rng.normal(size=(20, 2, 3)),
+            row_index={key: row for row, key in enumerate(keys)},
+        )
+        fingerprint = {
+            "model": {"ir_method": "lsa", "ir_dim": 3, "hidden_dim": 4,
+                      "latent_dim": 3, "seed": 1, "weights_crc": 42},
+            "n_records": 20,
+            "content_crc": row_range_crc(table, 0, 20),
+        }
+        for version in versions:
+            cache.save("clitask", "right", version, fingerprint, encodings, table=table)
+        return cache
+
+    def test_cache_list_prints_entries(self, tmp_path, capsys):
+        self._populate(tmp_path / "enc", versions=(1,))
+        assert main(["cache", "list", "--cache-dir", str(tmp_path / "enc")]) == 0
+        output = capsys.readouterr().out
+        assert "clitask" in output and "right" in output and "chunked" in output
+        assert "20" in output  # row count from the manifest
+
+    def test_cache_list_empty_directory(self, tmp_path, capsys):
+        assert main(["cache", "list", "--cache-dir", str(tmp_path / "nothing")]) == 0
+        assert "no cache entries" in capsys.readouterr().out
+
+    def test_cache_prune_removes_stale_generations(self, tmp_path, capsys):
+        cache = self._populate(tmp_path / "enc", versions=(1, 2, 3))
+        assert len(cache.entries()) == 3
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path / "enc")]) == 0
+        assert "pruned 2 stale generation(s)" in capsys.readouterr().out
+        survivors = cache.describe_entries()
+        assert [row["version"] for row in survivors] == [3]
