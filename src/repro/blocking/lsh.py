@@ -18,12 +18,24 @@ case, so a sharded build produces hash tables with the identical bucket
 membership.  Queries hash array-at-a-time: :meth:`query_batch` computes the
 bucket ids of a whole block of query vectors in one projection pass and only
 the candidate re-ranking remains per row.
+
+The index is additionally *mutable in place* — the incremental-blocking
+layer of delta resolution: :meth:`extend` appends rows into the existing
+buckets, :meth:`remove` tombstones rows by key (a mask consulted during
+candidate gathering; bucket lists are untouched until compaction),
+:meth:`patch` swaps a row's vector and rebuckets just that row.  Once the
+tombstoned fraction passes ``compaction_load`` the index :meth:`compact`\\ s:
+dead rows are dropped and the survivors renumbered, leaving hash tables
+*bucket-identical* to a from-scratch build over the live vectors.  Query
+answers are identical to a rebuild at every point before and after
+compaction.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -31,6 +43,9 @@ from repro.exceptions import NotFittedError
 
 #: One hash table: bucket key -> row indices of the vectors hashed into it.
 BucketMap = Dict[Tuple[int, ...], List[int]]
+
+#: Tombstoned fraction above which :meth:`EuclideanLSHIndex.remove` compacts.
+DEFAULT_COMPACTION_LOAD = 0.3
 
 
 class EuclideanLSHIndex:
@@ -46,6 +61,9 @@ class EuclideanLSHIndex:
         Quantisation width ``w``; larger widths make collisions more likely.
     seed:
         Seed of the random projections.
+    compaction_load:
+        Tombstoned-row fraction above which :meth:`remove` triggers
+        :meth:`compact`.
     """
 
     def __init__(
@@ -54,20 +72,27 @@ class EuclideanLSHIndex:
         hash_size: int = 12,
         bucket_width: float = 4.0,
         seed: int = 41,
+        compaction_load: float = DEFAULT_COMPACTION_LOAD,
     ) -> None:
         if num_tables <= 0 or hash_size <= 0:
             raise ValueError("num_tables and hash_size must be positive")
         if bucket_width <= 0:
             raise ValueError("bucket_width must be positive")
+        if not 0.0 < compaction_load <= 1.0:
+            raise ValueError("compaction_load must be in (0, 1]")
         self.num_tables = num_tables
         self.hash_size = hash_size
         self.bucket_width = bucket_width
         self.seed = seed
+        self.compaction_load = compaction_load
         self._projections: Optional[np.ndarray] = None
         self._offsets: Optional[np.ndarray] = None
         self._tables: List[BucketMap] = []
         self._vectors: Optional[np.ndarray] = None
         self._keys: List[object] = []
+        self._dead: Set[int] = set()
+        self._key_rows: Optional[Dict[object, int]] = None
+        self._mutations: int = 0
 
     # ------------------------------------------------------------------
     # Build: prepare -> hash_rows (parallelisable) -> install_tables
@@ -91,6 +116,9 @@ class EuclideanLSHIndex:
         if len(self._keys) != n:
             raise ValueError("keys must align with vectors")
         self._tables = []
+        self._dead = set()
+        self._key_rows = None
+        self._mutations += 1
         return self
 
     def hash_rows(self, start: int, stop: int) -> List[BucketMap]:
@@ -171,6 +199,8 @@ class EuclideanLSHIndex:
         start = len(self._vectors)
         self._vectors = np.concatenate([self._vectors, vectors])
         self._keys.extend(keys)
+        self._key_rows = None
+        self._mutations += 1
         for table, bucket_map in zip(self._tables, self.hash_rows(start, len(self._vectors))):
             for bucket, rows in bucket_map.items():
                 existing = table.get(bucket)
@@ -178,6 +208,122 @@ class EuclideanLSHIndex:
                     table[bucket] = rows
                 else:
                     existing.extend(rows)
+        return self
+
+    # ------------------------------------------------------------------
+    # In-place mutation: remove (tombstones), patch, compaction
+    # ------------------------------------------------------------------
+    def _rows_of(self, keys: Sequence[object]) -> List[int]:
+        """Live row indices of ``keys`` (raises ``KeyError`` on unknown keys)."""
+        if self._key_rows is None:
+            self._key_rows = {
+                key: row for row, key in enumerate(self._keys) if row not in self._dead
+            }
+        mapping = self._key_rows
+        rows = []
+        for key in keys:
+            try:
+                rows.append(mapping[key])
+            except KeyError as exc:
+                raise KeyError(f"key {key!r} not present (or tombstoned) in index") from exc
+        return rows
+
+    def remove(self, keys: Sequence[object]) -> "EuclideanLSHIndex":
+        """Tombstone rows by key, without touching any bucket list.
+
+        Deleted rows are masked out during candidate gathering, so query
+        answers immediately equal a from-scratch build over the surviving
+        vectors — O(1) per removal.  Once the tombstoned fraction exceeds
+        ``compaction_load`` the index compacts (see :meth:`compact`), after
+        which the hash tables themselves are bucket-identical to a rebuild.
+        """
+        self._require_built("remove")
+        rows = self._rows_of(keys)
+        self._mutations += 1
+        self._dead.update(rows)
+        if self._key_rows is not None:
+            for key in keys:
+                self._key_rows.pop(key, None)
+        assert self._vectors is not None
+        if self._dead and len(self._dead) > self.compaction_load * len(self._vectors):
+            self.compact()
+        return self
+
+    def patch(self, vectors: np.ndarray, keys: Sequence[object]) -> "EuclideanLSHIndex":
+        """Swap the vectors of existing rows in place and rebucket them.
+
+        The edited row keeps its row index, is pulled out of the buckets its
+        old vector hashed to and inserted — in row order, via ``insort`` —
+        into the buckets of the new vector, so the resulting tables are
+        bucket-identical to a from-scratch build over the edited vectors.
+        """
+        self._require_built("patch")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError(f"expected a 2-d array of vectors, got shape {vectors.shape}")
+        assert self._vectors is not None
+        if vectors.shape[1] != self._vectors.shape[1]:
+            raise ValueError(
+                f"patch vectors have dimension {vectors.shape[1]}, "
+                f"index was built over dimension {self._vectors.shape[1]}"
+            )
+        keys = list(keys)
+        if len(keys) != len(vectors):
+            raise ValueError("keys must align with vectors")
+        if not keys:
+            return self
+        rows = self._rows_of(keys)
+        self._mutations += 1
+        old_buckets = self._bucket_ids(self._vectors[rows])
+        new_buckets = self._bucket_ids(vectors)
+        for position, row in enumerate(rows):
+            self._vectors[row] = vectors[position]
+            for table_index in range(self.num_tables):
+                table = self._tables[table_index]
+                old_bucket = tuple(old_buckets[table_index, position])
+                new_bucket = tuple(new_buckets[table_index, position])
+                if old_bucket == new_bucket:
+                    continue
+                members = table.get(old_bucket)
+                if members is not None:
+                    try:
+                        members.remove(row)
+                    except ValueError:  # pragma: no cover - inconsistent table
+                        pass
+                    if not members:
+                        del table[old_bucket]
+                insort(table.setdefault(new_bucket, []), row)
+        return self
+
+    def compact(self) -> "EuclideanLSHIndex":
+        """Drop tombstoned rows and renumber the survivors.
+
+        Surviving rows keep their relative order, so every bucket's row list
+        — renumbered through the same old-to-new map — stays sorted exactly
+        as a serial :meth:`build` over the live vectors would produce it;
+        buckets left empty are deleted like a rebuild would never have
+        created them.  A no-op when nothing is tombstoned.
+        """
+        self._require_built("compact")
+        if not self._dead:
+            return self
+        assert self._vectors is not None
+        self._mutations += 1
+        alive = [row for row in range(len(self._vectors)) if row not in self._dead]
+        renumber = {old: new for new, old in enumerate(alive)}
+        self._vectors = self._vectors[alive]
+        self._keys = [self._keys[row] for row in alive]
+        tables: List[BucketMap] = []
+        for table in self._tables:
+            compacted: BucketMap = {}
+            for bucket, rows in table.items():
+                survivors = [renumber[row] for row in rows if row in renumber]
+                if survivors:
+                    compacted[bucket] = survivors
+            tables.append(compacted)
+        self._tables = tables
+        self._dead = set()
+        self._key_rows = None
         return self
 
     def _bucket_ids(self, vectors: np.ndarray) -> np.ndarray:
@@ -241,6 +387,10 @@ class EuclideanLSHIndex:
             for table_index in range(self.num_tables):
                 bucket = tuple(buckets[table_index, row])
                 candidates.update(self._tables[table_index].get(bucket, ()))
+            if self._dead:
+                # Tombstone mask: deleted rows never surface as candidates,
+                # so answers equal a rebuild over the live vectors alone.
+                candidates -= self._dead
             excluded = exclude[row] if exclude is not None else None
             results.append(self._rank(vectors[row : row + 1], candidates, k, excluded))
         return results
@@ -251,7 +401,7 @@ class EuclideanLSHIndex:
         """Exact-distance re-ranking of one query row's candidate set."""
         assert self._vectors is not None
         if len(candidates) < k:
-            candidates = set(range(len(self._vectors)))
+            candidates = set(range(len(self._vectors))) - self._dead
         candidate_list = sorted(candidates)
         if not candidate_list:
             return []
@@ -271,12 +421,43 @@ class EuclideanLSHIndex:
     # ------------------------------------------------------------------
     @property
     def size(self) -> int:
+        """Stored rows, tombstoned ones included (the append frontier)."""
         return 0 if self._vectors is None else len(self._vectors)
+
+    @property
+    def live_size(self) -> int:
+        """Rows actually searchable (stored minus tombstoned)."""
+        return self.size - len(self._dead)
+
+    @property
+    def tombstoned(self) -> int:
+        """Rows tombstoned but not yet compacted away."""
+        return len(self._dead)
+
+    @property
+    def mutations(self) -> int:
+        """Monotonic count of structural changes (build/extend/remove/patch/compact).
+
+        Lets a holder of a reference detect that someone else mutated the
+        index since a snapshot was taken — the delta executor records it in
+        its baseline so an abandoned half-mutated run can never be mistaken
+        for the published state.
+        """
+        return self._mutations
 
     @property
     def keys(self) -> Tuple[object, ...]:
         """The registered row keys, in row order (empty before prepare)."""
         return tuple(self._keys)
+
+    @property
+    def live_keys(self) -> Tuple[object, ...]:
+        """Keys of the searchable rows, in row order."""
+        if not self._dead:
+            return tuple(self._keys)
+        return tuple(
+            key for row, key in enumerate(self._keys) if row not in self._dead
+        )
 
     def bucket_statistics(self) -> Dict[str, float]:
         """Mean and max bucket occupancy across tables (diagnostics)."""

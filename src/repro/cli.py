@@ -10,9 +10,10 @@ Usage (after installing the package)::
     python -m repro resolve --domain restaurants --k 10 --batch-size 2048
     python -m repro resolve --domain music --workers 4 --cache-dir .repro-cache
     python -m repro resolve --domain music --incremental --append-rows 64
+    python -m repro resolve --domain music --incremental --edit-rows 16 --delete-rows 8
     python -m repro plan --domain music --workers 4 --shard-rows 1024
     python -m repro cache list --cache-dir .repro-cache
-    python -m repro cache prune --cache-dir .repro-cache
+    python -m repro cache prune --cache-dir .repro-cache --dry-run
 
 Each sub-command drives the same harness functions the benchmark suite uses,
 so the CLI is a convenient way to reproduce a single cell of the paper's
@@ -76,12 +77,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     resolve.add_argument(
         "--incremental", action="store_true",
-        help="Resolve, append rows to the right table, then re-resolve through the "
-             "delta engine (only new rows are encoded and rescored).",
+        help="Resolve, mutate the right table (append/edit/delete), then re-resolve "
+             "through the delta engine (only new and dirty rows are encoded and rescored).",
     )
     resolve.add_argument(
         "--append-rows", type=int, default=48,
         help="Rows appended to the right table between the two --incremental passes.",
+    )
+    resolve.add_argument(
+        "--edit-rows", type=int, default=0,
+        help="Rows edited in place in the right table between the two --incremental passes.",
+    )
+    resolve.add_argument(
+        "--delete-rows", type=int, default=0,
+        help="Rows deleted from the right table between the two --incremental passes.",
     )
 
     plan = subparsers.add_parser(
@@ -101,6 +110,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument("action", choices=["list", "prune"], help="What to do with the cache.")
     cache.add_argument("--cache-dir", required=True, help="Root of the persistent encoding cache.")
+    cache.add_argument(
+        "--dry-run", action="store_true",
+        help="With prune: report what would be removed without deleting anything.",
+    )
 
     return parser
 
@@ -218,11 +231,11 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     if args.workers <= 0:
         print("error: --workers must be positive", file=sys.stderr)
         return 2
-    if args.append_rows <= 0:
-        print("error: --append-rows must be positive", file=sys.stderr)
+    if args.append_rows < 0 or args.edit_rows < 0 or args.delete_rows < 0:
+        print("error: --append-rows/--edit-rows/--delete-rows must be non-negative", file=sys.stderr)
         return 2
-    if args.incremental and args.workers != 1:
-        print("error: --incremental runs serially; drop --workers", file=sys.stderr)
+    if args.incremental and args.append_rows + args.edit_rows + args.delete_rows == 0:
+        print("error: --incremental needs at least one of --append-rows/--edit-rows/--delete-rows", file=sys.stderr)
         return 2
     reset_engine_counters()
     domain = load_domain(args.domain, scale=args.scale)
@@ -253,22 +266,32 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
         print(f"  encoding cache:         {args.cache_dir}")
 
     if args.incremental:
-        from repro.data.generators import append_rows
+        from repro.data.generators import append_rows, delete_rows, mutate_rows
 
-        append_rows(domain, side="right", rows=args.append_rows)
+        mutations = []
+        if args.edit_rows:
+            mutate_rows(domain, side="right", rows=args.edit_rows)
+            mutations.append(f"{args.edit_rows} edited")
+        if args.delete_rows:
+            delete_rows(domain, side="right", rows=args.delete_rows)
+            mutations.append(f"{args.delete_rows} deleted")
+        if args.append_rows:
+            append_rows(domain, side="right", rows=args.append_rows)
+            mutations.append(f"{args.append_rows} appended")
         reset_engine_counters()
         delta_timings = StageTimings()
         candidates = matches = 0
         for batch in model.resolve_stream(
-            k=args.k, batch_size=args.batch_size,
+            k=args.k, batch_size=args.batch_size, workers=args.workers,
             stage_timings=delta_timings, incremental=True,
         ):
             candidates += len(batch)
             matches += len(batch.matches())
-        print(f"\nIncremental re-resolve after appending {args.append_rows} right rows\n")
+        print(f"\nIncremental re-resolve after mutating the right table ({', '.join(mutations)} rows)\n")
         print(f"  candidate pairs:        {candidates}")
         print(f"  predicted matches:      {matches}")
         print(f"  rows re-encoded:        {delta_timings.counter('rows_reencoded')}")
+        print(f"  rows tombstoned:        {delta_timings.counter('rows_tombstoned')}")
         print(f"  pairs rescored:         {delta_timings.counter('pairs_rescored')} "
               f"(of {candidates} candidates)")
         print("\nDelta-stage timings\n")
@@ -290,9 +313,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
     cache = PersistentEncodingCache(args.cache_dir)
     if args.action == "prune":
-        removed = cache.prune()
+        removed = cache.prune(dry_run=args.dry_run)
+        verb = "would prune" if args.dry_run else "pruned"
         print(
-            f"pruned {removed['entries']} stale generation(s): "
+            f"{verb} {removed['entries']} stale entr(ies) and unreferenced chunks: "
             f"{removed['files']} file(s), {removed['bytes']} bytes"
         )
         return 0
@@ -305,10 +329,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return "?" if value is None else str(value)
 
     print(format_table(
-        ["Task", "Side", "Version", "Layout", "Rows", "Chunks", "Bytes", "Content CRC", "Weights CRC"],
+        ["Task", "Side", "Version", "Layout", "Rows", "Tombstones", "Chunks",
+         "Generations", "Bytes", "Content CRC", "Weights CRC"],
         [
             [row["task"], row["side"], _show(row["version"]), row["layout"],
-             _show(row["rows"]), _show(row["chunks"]), _show(row["bytes"]),
+             _show(row["rows"]), _show(row["tombstones"]), _show(row["chunks"]),
+             _show(row["generations"]), _show(row["bytes"]),
              _show(row["content_crc"]), _show(row["weights_crc"])]
             for row in rows
         ],

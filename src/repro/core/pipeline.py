@@ -291,19 +291,18 @@ class VAER:
 
         With ``incremental=True`` the run goes through the delta engine
         (:meth:`resolve_delta`): the first such call is a cold resolve that
-        captures a baseline, every later call pays only for the rows added
-        since — see :meth:`resolve_delta` for the contract.  Incremental
-        execution is serial (``workers`` must be 1).
+        captures a baseline, every later call pays only for the rows added,
+        edited or deleted since — see :meth:`resolve_delta` for the
+        contract.  ``workers > 1`` fans the delta's tail encode and query
+        units across the worker pool; scoring stays serial (bounded by the
+        mutation size).
         """
         matcher = self._require_matcher()
         k = k or self.config.active_learning.top_neighbours
         if incremental:
-            if workers != 1:
-                raise ValueError(
-                    "incremental resolution runs serially; use workers=1 "
-                    "(the delta work is bounded by the append size)"
-                )
-            return self.resolve_delta(k=k, batch_size=batch_size, stage_timings=stage_timings)
+            return self.resolve_delta(
+                k=k, batch_size=batch_size, stage_timings=stage_timings, workers=workers
+            )
         if workers != 1 or shard_timings is not None or stage_timings is not None:
             return resolve_sharded(
                 self.store,
@@ -330,29 +329,39 @@ class VAER:
         k: Optional[int] = None,
         batch_size: int = 2048,
         stage_timings: Optional[StageTimings] = None,
+        workers: int = 1,
     ) -> Iterator[ResolutionBatch]:
-        """Incremental ER pass: pay only for rows added since the last one.
+        """Incremental ER pass: pay only for rows mutated since the last one.
 
         The first call performs a cold resolve and records a
-        :class:`repro.engine.ResolutionBaseline` (per-pair probabilities plus
-        the LSH index) on this pipeline.  After the task's tables grow —
-        e.g. via :func:`repro.data.generators.append_rows` or any in-place
-        ``Table.add`` — the next call:
+        :class:`repro.engine.ResolutionBaseline` (per-pair probabilities,
+        the LSH index and a row-identity snapshot of both tables) on this
+        pipeline.  After the task's tables mutate — rows appended via
+        :func:`repro.data.generators.append_rows` or ``Table.add``, edited
+        in place via :func:`repro.data.generators.mutate_rows` or
+        ``Table.replace``, deleted via
+        :func:`repro.data.generators.delete_rows` or ``Table.remove`` — the
+        next call:
 
-        * re-encodes only the appended rows (the delta-aware store and the
-          content-addressed chunk cache recognise the old rows);
-        * extends the baseline LSH index with the new right rows instead of
+        * re-encodes only the edited and appended rows (the mutation-aware
+          store and the content-addressed chunk cache recognise everything
+          else by record id); deleted rows are dropped for free;
+        * mutates the baseline LSH index in place — tombstones deleted right
+          rows, rebuckets edited ones, hashes in appended ones — instead of
           rebuilding it;
-        * runs the matcher only on candidate pairs involving new rows,
-          reusing baseline probabilities for the rest.
+        * drops baseline probabilities for pairs touching deleted or edited
+          rows and runs the matcher only on candidate pairs the surviving
+          baseline does not cover.
 
         The yielded stream matches a cold :meth:`resolve_stream` on the
-        grown tables: identical candidate enumeration and match set, with
+        mutated tables: identical candidate enumeration and match set, with
         probabilities byte-identical for reused pairs and equal up to float
         round-off for rescored ones — the equivalence the delta tests pin.  The
         baseline is refreshed when the stream is fully drained (an abandoned
         stream keeps the previous baseline).  Refitting the representation
-        or matcher invalidates the affected parts automatically.
+        or matcher invalidates the affected parts automatically.  With
+        ``workers > 1`` tail encodes and query shards run on the worker
+        pool when the delta outgrows one shard.
         """
         matcher = self._require_matcher()
         k = k or self.config.active_learning.top_neighbours
@@ -365,6 +374,7 @@ class VAER:
             batch_size=batch_size,
             threshold=self.threshold,
             stage_timings=stage_timings,
+            workers=workers,
         )
 
         def stream() -> Iterator[ResolutionBatch]:

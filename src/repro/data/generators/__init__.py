@@ -15,9 +15,11 @@ from repro.data.generators.registry import (
     NOISY_DOMAINS,
     append_rows,
     available_domains,
+    delete_rows,
     domain_spec,
     load_all_domains,
     load_domain,
+    mutate_rows,
 )
 
 __all__ = [
@@ -33,7 +35,9 @@ __all__ = [
     "NOISY_DOMAINS",
     "append_rows",
     "available_domains",
+    "delete_rows",
     "domain_spec",
     "load_all_domains",
     "load_domain",
+    "mutate_rows",
 ]

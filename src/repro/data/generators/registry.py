@@ -112,15 +112,141 @@ def append_rows(
     rng = np.random.default_rng(seed)
     numeric = list(spec.numeric_attributes)
     appended: List[Record] = []
-    for offset in range(rows):
+    # Numbering continues past every id ever issued (the high-water mark kept
+    # by this helper and delete_rows), never merely from the table size — a
+    # deleted id must stay dead, not be resurrected for an unrelated entity.
+    number = _issue_high_water(domain, side, table, prefix)
+    for _ in range(rows):
         values = tuple(spec.entity_factory(rng))
         if side == "right" and spec.corruption is not None:
             values = tuple(spec.corruption.corrupt_record_values(list(values), rng, numeric))
+        while f"{prefix}{number}" in table:
+            number += 1
         record = Record(
-            record_id=f"{prefix}{start + offset}",
+            record_id=f"{prefix}{number}",
             values=values,
-            entity_id=f"{domain.name}-append-{side}-e{start + offset}",
+            entity_id=f"{domain.name}-append-{side}-e{number}",
         )
         table.add(record)
         appended.append(record)
+        number += 1
+    domain.task.metadata[f"_issued_{side}_rows"] = number
     return appended
+
+
+def _issue_high_water(domain: GeneratedDomain, side: str, table, prefix: str) -> int:
+    """The lowest row number never issued for one side of a domain.
+
+    Combines three sources: the table size (the generator numbers densely),
+    the highest numeric suffix still present (appends past earlier
+    deletions), and the mark recorded in the task metadata by previous
+    :func:`append_rows`/:func:`delete_rows` calls (which alone remembers
+    trailing deletions).
+    """
+    best = len(table)
+    for record_id in table.record_ids():
+        if record_id.startswith(prefix):
+            suffix = record_id[len(prefix):]
+            if suffix.isdigit():
+                best = max(best, int(suffix) + 1)
+    return max(best, int(domain.task.metadata.get(f"_issued_{side}_rows", 0)))
+
+
+def _mutation_table(domain: GeneratedDomain, side: str):
+    if side == "left":
+        return domain.task.left
+    if side == "right":
+        return domain.task.right
+    raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+
+
+def mutate_rows(
+    domain: GeneratedDomain,
+    side: str = "right",
+    rows: int = 8,
+    seed: Optional[int] = None,
+) -> List[Record]:
+    """Deterministically edit rows of a generated domain *in place*.
+
+    The in-place-edit counterpart of :func:`append_rows`: each chosen row
+    keeps its record id and position but receives freshly drawn values from
+    the domain's own factory (right-side rows pass through the spec's
+    corruption model) and a new entity id — upsert semantics, the row now
+    describes a different entity.  The new values are guaranteed to differ
+    from the old ones, so every edited row is genuinely dirty to the
+    incremental-resolution machinery.
+
+    ``seed`` defaults to a CRC of the domain name, side, table size and
+    mutation revision, so two identically generated-and-mutated domains
+    receive identical edits while successive calls on one domain differ.
+    Returns the edited (new-state) records.
+    """
+    if rows <= 0:
+        raise ValueError("rows must be positive")
+    table = _mutation_table(domain, side)
+    if rows > len(table):
+        raise ValueError(f"cannot edit {rows} rows of a {len(table)}-row table")
+    spec = domain.spec
+    revision = table.revision
+    if seed is None:
+        seed = zlib.crc32(
+            f"{domain.name}-mutate-{side}-{len(table)}-{revision}".encode("utf-8")
+        ) % (2 ** 31)
+    rng = np.random.default_rng(seed)
+    numeric = list(spec.numeric_attributes)
+    positions = sorted(int(p) for p in rng.choice(len(table), size=rows, replace=False))
+    records = table.records()
+    edited: List[Record] = []
+    for position in positions:
+        old = records[position]
+        values = old.values
+        while values == old.values:
+            values = tuple(spec.entity_factory(rng))
+            if side == "right" and spec.corruption is not None:
+                values = tuple(spec.corruption.corrupt_record_values(list(values), rng, numeric))
+        record = Record(
+            record_id=old.record_id,
+            values=values,
+            entity_id=f"{domain.name}-edit-{side}-r{revision}-p{position}",
+        )
+        table.replace(record)
+        edited.append(record)
+    return edited
+
+
+def delete_rows(
+    domain: GeneratedDomain,
+    side: str = "right",
+    rows: int = 8,
+    seed: Optional[int] = None,
+) -> List[Record]:
+    """Deterministically delete rows of a generated domain *in place*.
+
+    Rows are chosen uniformly without replacement and removed from the
+    table; later rows shift up, exercising the position-shift handling of
+    the incremental machinery.  Labeled splits referencing a deleted record
+    become stale — callers that still need them should fit matchers before
+    deleting (the registry tests do).
+
+    ``seed`` defaults like :func:`mutate_rows`.  Returns the removed
+    records, in ascending original-position order.
+    """
+    if rows <= 0:
+        raise ValueError("rows must be positive")
+    table = _mutation_table(domain, side)
+    if rows >= len(table):
+        raise ValueError(f"cannot delete {rows} of {len(table)} rows (table must survive)")
+    if seed is None:
+        seed = zlib.crc32(
+            f"{domain.name}-delete-{side}-{len(table)}-{table.revision}".encode("utf-8")
+        ) % (2 ** 31)
+    rng = np.random.default_rng(seed)
+    prefix = "l" if side == "left" else "r"
+    # Record the issue mark *before* removing: a deleted trailing id would
+    # otherwise look available again to the next append_rows.
+    domain.task.metadata[f"_issued_{side}_rows"] = _issue_high_water(
+        domain, side, table, prefix
+    )
+    positions = sorted(int(p) for p in rng.choice(len(table), size=rows, replace=False))
+    records = table.records()
+    return [table.remove(records[position].record_id) for position in positions]

@@ -60,6 +60,7 @@ class Table:
         self.attributes: Tuple[str, ...] = tuple(attributes)
         self._records: List[Record] = []
         self._index: Dict[str, int] = {}
+        self._revision: int = 0
         for record in records or []:
             self.add(record)
 
@@ -86,6 +87,17 @@ class Table:
     def __repr__(self) -> str:
         return f"Table(name={self.name!r}, arity={self.arity}, records={len(self)})"
 
+    @property
+    def revision(self) -> int:
+        """Monotonic mutation counter, bumped by every add/replace/remove.
+
+        Consumers that cache derived state per table (the encoding store's
+        fingerprint memo) key it on ``(len(table), revision)`` so an in-place
+        edit or deletion — which may leave the length unchanged — still
+        invalidates, without re-hashing the rows on every access.
+        """
+        return self._revision
+
     # ------------------------------------------------------------------
     def add(self, record: Record) -> None:
         """Append a record, enforcing schema arity and id uniqueness."""
@@ -98,6 +110,44 @@ class Table:
             raise SchemaError(f"duplicate record id {record.record_id!r} in table {self.name!r}")
         self._index[record.record_id] = len(self._records)
         self._records.append(record)
+        self._revision += 1
+
+    def replace(self, record: Record) -> Record:
+        """In-place edit: swap the record with the same id, keeping its position.
+
+        Returns the record that was replaced.  The row-identity contract of
+        incremental resolution: an edit changes a record's *values* but never
+        its id or position, so delta probes can match rows across table
+        states by id alone.
+        """
+        if len(record.values) != self.arity:
+            raise SchemaError(
+                f"record {record.record_id!r} has {len(record.values)} values, "
+                f"table {self.name!r} expects {self.arity}"
+            )
+        try:
+            position = self._index[record.record_id]
+        except KeyError as exc:
+            raise KeyError(f"record {record.record_id!r} not in table {self.name!r}") from exc
+        previous = self._records[position]
+        self._records[position] = record
+        self._revision += 1
+        return previous
+
+    def remove(self, record_id: str) -> Record:
+        """Delete a record by id; later rows shift up one position.
+
+        Returns the removed record.
+        """
+        try:
+            position = self._index.pop(record_id)
+        except KeyError as exc:
+            raise KeyError(f"record {record_id!r} not in table {self.name!r}") from exc
+        removed = self._records.pop(position)
+        for shifted in self._records[position:]:
+            self._index[shifted.record_id] = self._index[shifted.record_id] - 1
+        self._revision += 1
+        return removed
 
     def records(self) -> List[Record]:
         """Return the records as a list (a shallow copy)."""

@@ -18,11 +18,13 @@ planned and executed*:
 * :class:`ShardedEncodingStore` — row-range shard views of the cached tables
   (zero-copy), with lazy per-shard loads from the chunked disk cache;
 * :class:`DeltaResolutionExecutor` / :func:`resolve_delta` — incremental
-  resolution against a :class:`ResolutionBaseline`: content-addressed chunk
-  fingerprints recognise a grown table as "old chunks valid, tail new", so
-  only appended rows are re-encoded, the LSH index is extended in place and
-  the matcher rescores only pairs involving new rows — with a match stream
-  identical to a cold full resolve.
+  resolution against a :class:`ResolutionBaseline`: a row-identity diff
+  (per-row CRCs keyed on stable record ids) classifies every current row as
+  clean, dirty, appended or deleted, so only edited and appended rows are
+  re-encoded (patch/tombstone chunk generations on disk), the LSH index is
+  mutated in place (extend/remove/patch, compaction past a load threshold)
+  and the matcher rescores only pairs the surviving baseline scores do not
+  cover — with a match stream identical to a cold full resolve.
 
 Batching, caching, persistence, sharding and scheduling decisions belong
 here, not in the pipeline stages that consume the encodings.
@@ -32,9 +34,14 @@ from repro.engine.persist import (
     DEFAULT_CHUNK_ROWS,
     CacheDelta,
     PersistentEncodingCache,
+    RowDiff,
+    TableDelta,
+    diff_rows,
     encoding_fingerprint,
     model_fingerprint,
+    record_crc,
     row_range_crc,
+    table_row_crcs,
 )
 from repro.engine.plan import (
     DeltaBounds,
@@ -59,7 +66,7 @@ from repro.engine.shard import (
     resolve_sharded,
     shard_bounds_for,
 )
-from repro.engine.store import EncodingStore, TableEncodings
+from repro.engine.store import EncodingStore, TableEncodings, encode_table_rows
 from repro.engine.stream import (
     ResolutionBatch,
     ScoredPairs,
@@ -83,13 +90,17 @@ __all__ = [
     "ResolutionExecutor",
     "ResolutionPlan",
     "ResolutionPlanner",
+    "RowDiff",
     "ScoredPairs",
     "ShardBounds",
     "ShardedEncodingStore",
     "Stage",
     "StageUnit",
+    "TableDelta",
     "TableEncodings",
     "build_index_sharded",
+    "diff_rows",
+    "encode_table_rows",
     "encoding_fingerprint",
     "guard_store_version",
     "iter_candidate_batches",
@@ -97,11 +108,13 @@ __all__ = [
     "merge_scored_batches",
     "model_fingerprint",
     "pin_store_version",
+    "record_crc",
     "resolve_delta",
     "resolve_plan",
     "resolve_sharded",
     "resolve_stream",
     "row_range_crc",
+    "table_row_crcs",
     "shard_bounds_for",
     "sharded_candidate_pairs",
     "stream_candidate_pairs",

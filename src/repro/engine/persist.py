@@ -17,12 +17,13 @@ version), holding a JSON manifest plus one archive per row-range chunk::
 
     <cache_dir>/
         <task-name>/
-            left-v3/
+            left-v4/
                 manifest.json
                 chunk-0-2048.npz
                 chunk-2048-4096.npz
+                chunk-2048-4096-g1.npz   (superseding generation of a patch)
                 ...
-            right-v3/
+            right-v4/
                 ...
 
 The manifest is written last (write-then-rename), so its presence marks a
@@ -30,7 +31,8 @@ complete entry; readers that find a manifest referencing a missing or
 corrupt chunk treat the whole entry as a miss.  The flat single-archive
 layout of earlier versions (``<task>/<side>-vN.npz``) remains readable: the
 first load that finds one migrates it to the chunked layout in place
-(one-shot) and removes the flat archive.
+(one-shot) and removes the flat archive.  Format-3 manifests (the chunked
+layout without a mutation layer) are migrated to format 4 on first read.
 
 Keying and invalidation rules
 -----------------------------
@@ -46,31 +48,39 @@ or missing chunk, stale manifest — is a miss.  Bumping ``encoding_version``
 therefore never serves stale encodings: the old entries simply stop being
 addressed.
 
-Content-addressed chunks and delta detection
---------------------------------------------
-The table half of the fingerprint is additionally recorded *per chunk*:
-every manifest chunk entry is ``[start, stop, row_crc]`` where ``row_crc``
-covers exactly the record ids and values of rows ``[start, stop)``, and the
-same CRC rides in the chunk archive's metadata.  A grown table therefore no
-longer misses globally: :meth:`PersistentEncodingCache.delta` walks the
-manifest chunks against the *current* table and reports the longest valid
-prefix — "old chunks valid, tail rows new".  The store encodes only the
-tail and calls :meth:`PersistentEncodingCache.extend`, which appends new
-chunk archives and rewrites the manifest last, so concurrent readers see
-either the old complete entry or the new one, never a torn state.  Chunk
-validation uses the model fingerprint plus the chunk's own ``row_crc`` (not
-the whole-table CRC), which is what keeps old chunks addressable after an
-append changes the table-level fingerprint.
+Row-identity mutation layer (format v4)
+---------------------------------------
+Format 4 manifests carry a per-row content map instead of only per-chunk
+CRCs: ``row_crcs`` records one CRC per *stored* row (covering that record's
+id and values alone), ``tombstones`` lists stored rows that have been
+deleted from the table, and every chunk entry is ``[start, stop, crc,
+generation]``.  The *stored* layout is append-only — a row keeps its stored
+index forever; deletions tombstone it and edits write a *superseding
+generation* of the chunk holding it (``chunk-a-b-gN.npz``) — while the
+*live* view (stored rows minus tombstones, in stored order) always equals
+the current table.
+
+:meth:`PersistentEncodingCache.delta` diffs a manifest against the current
+table *by record id*: surviving rows are matched by key, compared by row
+CRC, and classified clean or dirty; vanished rows become tombstone
+candidates; trailing new rows are the appended range.  The resulting
+:class:`TableDelta` tells the store exactly which current rows need
+encoding (``dirty_ranges`` + ``appended_range``) and which can be served
+from disk (:meth:`PersistentEncodingCache.load_reused`).
+:meth:`PersistentEncodingCache.patch` then writes the superseding chunk
+generations and appended chunks first and the manifest last, so concurrent
+readers see either the old complete entry or the new one, never a torn
+state.  Old generations are swept by :meth:`prune`.
 
 Lazy loads and memory mapping
 -----------------------------
 :meth:`PersistentEncodingCache.load_range` reads only the chunks overlapping
-a ``[start, stop)`` row range — the warm-load path for row-range-sharded
-consumers.  With ``mmap_mode`` set, chunk arrays are memory-mapped straight
-out of the (uncompressed) ``.npz`` members instead of copied into RAM; the
-mapping degrades silently to an eager read where it cannot apply.  Chunk
-reads are reported through the ``chunk_loads`` counter of whatever
-:class:`~repro.eval.timing.EngineCounters` the caller passes in.
+a ``[start, stop)`` *live*-row range — the warm-load path for
+row-range-sharded consumers.  With ``mmap_mode`` set, chunk arrays are
+memory-mapped straight out of the (uncompressed) ``.npz`` members instead of
+copied into RAM; the mapping degrades silently to an eager read where it
+cannot apply.  Chunk reads are reported through the ``chunk_loads`` counter
+of whatever :class:`~repro.eval.timing.EngineCounters` the caller passes in.
 """
 
 from __future__ import annotations
@@ -80,10 +90,11 @@ import os
 import struct
 import zipfile
 import zlib
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from itertools import islice
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -91,16 +102,20 @@ from repro.nn.serialization import load_metadata, save_state_dict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.core.representation import EntityRepresentationModel
-    from repro.data.schema import Table
+    from repro.data.schema import Record, Table
     from repro.engine.store import TableEncodings
     from repro.eval.timing import EngineCounters
 
 PathLike = Union[str, Path]
 
 #: Bump when the on-disk layout changes; mismatching entries are treated as
-#: misses, never as errors.  Version 3 adds per-chunk content CRCs to the
-#: manifest (version 2 was the chunked layout without them).
-CACHE_FORMAT_VERSION = 3
+#: misses, never as errors.  Version 4 adds the row-identity mutation layer
+#: (per-row CRCs, tombstones, chunk generations); version 3 had per-chunk
+#: content CRCs only and is migrated on first read.
+CACHE_FORMAT_VERSION = 4
+
+#: Format tag of the pre-mutation chunked layout (read for migration).
+V3_FORMAT_VERSION = 3
 
 #: Format tag of the legacy flat single-archive layout (read for migration).
 FLAT_FORMAT_VERSION = 1
@@ -147,8 +162,27 @@ def model_fingerprint(representation: "EntityRepresentationModel") -> Dict[str, 
     }
 
 
+def record_crc(record: "Record") -> int:
+    """Independent CRC of one record's id and values.
+
+    The row-identity primitive of the mutation layer: unlike the running
+    :func:`row_range_crc`, each record's CRC stands alone, so a manifest
+    storing one CRC per row can tell exactly *which* rows of a mutated table
+    changed, not just that some range did.
+    """
+    crc = zlib.crc32(str(record.record_id).encode("utf-8"))
+    for value in record.values:
+        crc = zlib.crc32(value.encode("utf-8"), crc)
+    return int(crc)
+
+
+def table_row_crcs(table: "Table") -> List[int]:
+    """Per-row :func:`record_crc` of every record, in table order."""
+    return [record_crc(record) for record in table]
+
+
 def row_range_crc(table: "Table", start: int, stop: int) -> int:
-    """CRC of the record ids *and values* of rows ``[start, stop)``.
+    """Running CRC of the record ids *and values* of rows ``[start, stop)``.
 
     The content-addressing primitive of the chunked cache: each chunk's CRC
     covers exactly its own row range (restarting from zero), so appending
@@ -162,6 +196,19 @@ def row_range_crc(table: "Table", start: int, stop: int) -> int:
         crc = zlib.crc32(str(record.record_id).encode("utf-8"), crc)
         for value in record.values:
             crc = zlib.crc32(value.encode("utf-8"), crc)
+    return int(crc)
+
+
+def _crc_of_ints(values: Iterable[int]) -> int:
+    """CRC over a sequence of integers (chunk CRCs of patched generations).
+
+    A superseding chunk generation may hold tombstoned rows with no backing
+    record, so its CRC is derived from the manifest's per-row CRCs rather
+    than from table content directly.
+    """
+    crc = zlib.crc32(b"row-crcs")
+    for value in values:
+        crc = zlib.crc32(int(value).to_bytes(8, "little", signed=True), crc)
     return int(crc)
 
 
@@ -185,7 +232,7 @@ def encoding_fingerprint(representation: "EntityRepresentationModel", table: "Ta
     Two parts: the nested ``model`` fingerprint (see :func:`model_fingerprint`)
     and the table identity — record count plus a whole-table CRC of record
     ids and values (renamed, resized or edited tables all miss a full load;
-    *grown* tables are recovered chunk-wise via
+    *mutated* tables are recovered row-wise via
     :meth:`PersistentEncodingCache.delta`).
     """
     n = len(table)
@@ -196,24 +243,170 @@ def encoding_fingerprint(representation: "EntityRepresentationModel", table: "Ta
     }
 
 
+# ----------------------------------------------------------------------
+# Row-identity diffing
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class CacheDelta:
-    """Result of probing a cache entry against a (possibly grown) table.
+class RowDiff:
+    """Result of diffing an *old* row sequence against a current table, by id.
 
-    ``base_rows`` is the longest prefix of the current table whose chunks
-    are all present and content-valid on disk; ``total_rows`` is the current
-    table size.  ``manifest`` is the validated manifest the prefix can be
-    served from (:meth:`PersistentEncodingCache.load_prefix`) and extended
-    against (:meth:`PersistentEncodingCache.extend`).
+    All ``old`` positions index the old sequence; all ``new`` positions
+    index the current table.  ``survivor_old[j]`` is the old position of the
+    current row ``j`` (for ``j < len(survivor_old)``); rows past that are
+    appended.  ``dirty_new`` is ``None`` when the old side carried no
+    per-row CRCs (content comparison impossible — callers must treat every
+    surviving row as potentially dirty at whatever granularity they can).
+    """
+
+    survivor_old: Tuple[int, ...]
+    deleted_old: Tuple[int, ...]
+    dirty_new: Optional[Tuple[int, ...]]
+    total_rows: int
+
+    @property
+    def appended_range(self) -> Tuple[int, int]:
+        return (len(self.survivor_old), self.total_rows)
+
+    @property
+    def appended_rows(self) -> int:
+        return self.total_rows - len(self.survivor_old)
+
+
+def diff_rows(
+    old_keys: Sequence[object],
+    old_row_crcs: Optional[Sequence[int]],
+    table: "Table",
+) -> Optional[RowDiff]:
+    """Classify every row of ``table`` against an old key/CRC sequence.
+
+    Mutation shapes resolved cheaply: in-place edits (same id, same
+    position among survivors), deletions anywhere, and appends at the end.
+    Rows that moved — a deleted id re-added later, or genuine reorders —
+    degrade to delete + re-add: survivors are the old rows matched greedily
+    at their (deletion-adjusted) positions, and any displaced row lands in
+    the appended region, so the classification is *total* for tables with
+    unique record ids (a reversed table keeps one survivor and rewrites the
+    rest).  Returns ``None`` only for pathological inputs (duplicate old
+    keys breaking the position invariant).
+    """
+    position_of: Dict[object, int] = {}
+    for position, rid in enumerate(table.record_ids()):
+        position_of[rid] = position
+    survivor_old: List[int] = []
+    deleted_old: List[int] = []
+    displaced: List[Tuple[int, int]] = []
+    for old_position, key in enumerate(old_keys):
+        current = position_of.get(str(key))
+        if current is None:
+            deleted_old.append(old_position)
+        elif current == len(survivor_old):
+            survivor_old.append(old_position)
+        else:
+            displaced.append((old_position, current))
+    survivors = len(survivor_old)
+    for old_position, current in displaced:
+        if current < survivors:
+            return None  # genuine reorder among surviving rows
+        # Landed in the appended region: treat as deleted + re-added.
+        deleted_old.append(old_position)
+    deleted_old.sort()
+    dirty_new: Optional[Tuple[int, ...]]
+    if old_row_crcs is None:
+        dirty_new = None
+    else:
+        records = table.records()
+        dirty = [
+            new_position
+            for new_position, old_position in enumerate(survivor_old)
+            if record_crc(records[new_position]) != int(old_row_crcs[old_position])
+        ]
+        dirty_new = tuple(dirty)
+    return RowDiff(
+        survivor_old=tuple(survivor_old),
+        deleted_old=tuple(deleted_old),
+        dirty_new=dirty_new,
+        total_rows=len(table),
+    )
+
+
+def group_ranges(positions: Sequence[int]) -> Tuple[Tuple[int, int], ...]:
+    """Sorted positions grouped into maximal half-open ``[start, stop)`` runs."""
+    ranges: List[Tuple[int, int]] = []
+    for position in positions:
+        if ranges and ranges[-1][1] == position:
+            ranges[-1] = (ranges[-1][0], position + 1)
+        else:
+            ranges.append((position, position + 1))
+    return tuple(ranges)
+
+
+@dataclass(frozen=True)
+class TableDelta:
+    """Result of probing a cache entry against a (possibly mutated) table.
+
+    Coordinates: *stored* indices address the manifest's append-only row
+    layout (tombstoned rows included); *current* indices address the live
+    table.  ``survivor_stored[j]`` is the stored index of current row ``j``
+    for ``j < base_rows``.
+
+    * ``valid_chunks`` — manifest chunk entries every one of whose rows is
+      live, surviving and content-clean (fully reusable as-is);
+    * ``dirty_ranges`` — current-row ranges whose content changed in place
+      (must be re-encoded; their chunks need superseding generations);
+    * ``appended_range`` — current-row range ``[base_rows, total_rows)`` of
+      rows the manifest has never seen;
+    * ``deleted_rows`` — stored indices whose records vanished from the
+      table (tombstone candidates for :meth:`PersistentEncodingCache.patch`).
     """
 
     manifest: Dict[str, Any]
-    base_rows: int
+    valid_chunks: Tuple[Tuple[int, int, int, int], ...]
+    dirty_ranges: Tuple[Tuple[int, int], ...]
+    appended_range: Tuple[int, int]
+    deleted_rows: Tuple[int, ...]
+    survivor_stored: Tuple[int, ...]
     total_rows: int
+
+    @property
+    def base_rows(self) -> int:
+        """Current rows covered by the stored entry (clean or dirty)."""
+        return self.appended_range[0]
 
     @property
     def new_rows(self) -> int:
         return self.total_rows - self.base_rows
+
+    @property
+    def dirty_rows(self) -> int:
+        return sum(stop - start for start, stop in self.dirty_ranges)
+
+    @property
+    def is_append_only(self) -> bool:
+        return not self.dirty_ranges and not self.deleted_rows
+
+    def dirty_positions(self) -> Tuple[int, ...]:
+        return tuple(
+            position
+            for start, stop in self.dirty_ranges
+            for position in range(start, stop)
+        )
+
+    def encode_positions(self) -> Tuple[int, ...]:
+        """Current rows that must go through the encoder (dirty + appended)."""
+        return self.dirty_positions() + tuple(range(*self.appended_range))
+
+    def reused_rows(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """(current positions, stored indices) of clean surviving rows."""
+        dirty = set(self.dirty_positions())
+        positions = [
+            position for position in range(self.base_rows) if position not in dirty
+        ]
+        stored = [self.survivor_stored[position] for position in positions]
+        return tuple(positions), tuple(stored)
+
+
+#: Backwards-compatible alias (pre-mutation name of the probe result).
+CacheDelta = TableDelta
 
 
 def _mmap_npz_arrays(path: Path, names: Tuple[str, ...], mmap_mode: str) -> Dict[str, np.ndarray]:
@@ -268,7 +461,8 @@ class PersistentEncodingCache:
     tables encoded, chunk loads) lives in the
     :class:`~repro.eval.timing.EngineCounters` callers pass into the load
     methods, so one cache directory can be shared by many stores without
-    entangling their instrumentation.
+    entangling their instrumentation.  The one exception is the *work
+    report* of :meth:`patch`, returned to the caller for its own counters.
 
     Parameters
     ----------
@@ -311,9 +505,19 @@ class PersistentEncodingCache:
         """Manifest path of the ``(task, side, version)`` key."""
         return self.dir_for(task_name, side, encoding_version) / MANIFEST_NAME
 
-    def chunk_path(self, task_name: str, side: str, encoding_version: int, start: int, stop: int) -> Path:
-        """Archive path of one row-range chunk."""
-        return self.dir_for(task_name, side, encoding_version) / f"chunk-{int(start)}-{int(stop)}.npz"
+    @staticmethod
+    def chunk_name(start: int, stop: int, generation: int = 0) -> str:
+        """Archive filename of one chunk generation."""
+        if generation:
+            return f"chunk-{int(start)}-{int(stop)}-g{int(generation)}.npz"
+        return f"chunk-{int(start)}-{int(stop)}.npz"
+
+    def chunk_path(
+        self, task_name: str, side: str, encoding_version: int, start: int, stop: int,
+        generation: int = 0,
+    ) -> Path:
+        """Archive path of one row-range chunk generation."""
+        return self.dir_for(task_name, side, encoding_version) / self.chunk_name(start, stop, generation)
 
     def flat_path_for(self, task_name: str, side: str, encoding_version: int) -> Path:
         """Archive path the legacy flat layout used (migration read path)."""
@@ -339,17 +543,19 @@ class PersistentEncodingCache:
         return removed
 
     @staticmethod
-    def _remove_chunk_dir(chunk_dir: Path) -> int:
-        """Delete one chunked entry directory; returns bytes removed."""
+    def _remove_chunk_dir(chunk_dir: Path, dry_run: bool = False) -> int:
+        """Delete one chunked entry directory; returns bytes (to be) removed."""
         removed_bytes = 0
         for path in list(chunk_dir.iterdir()):
             if path.is_file():
                 removed_bytes += path.stat().st_size
-                path.unlink()
-        try:
-            chunk_dir.rmdir()
-        except OSError:  # pragma: no cover - foreign files left behind
-            pass
+                if not dry_run:
+                    path.unlink()
+        if not dry_run:
+            try:
+                chunk_dir.rmdir()
+            except OSError:  # pragma: no cover - foreign files left behind
+                pass
         return removed_bytes
 
     @staticmethod
@@ -363,9 +569,11 @@ class PersistentEncodingCache:
     def describe_entries(self) -> List[Dict[str, Any]]:
         """One summary row per logical entry (the ``repro cache list`` data).
 
-        Chunked entries report rows, chunk count, on-disk bytes and the
-        fingerprint CRCs from their manifest; legacy flat archives report
-        what their metadata carries.  Unreadable entries are listed with
+        Chunked entries report live rows, tombstones, chunk count, the
+        number of distinct chunk generations referenced by the manifest,
+        on-disk bytes (stale generations included — what ``prune`` would
+        reclaim) and the fingerprint CRCs; legacy flat archives report what
+        their metadata carries.  Unreadable entries are listed with
         ``rows == None`` rather than skipped, so stale garbage is visible.
         """
         rows: List[Dict[str, Any]] = []
@@ -376,22 +584,25 @@ class PersistentEncodingCache:
                 parsed = self._parse_generation(chunk_dir.name) or (chunk_dir.name, -1)
                 side, version = parsed
                 total_bytes = sum(p.stat().st_size for p in chunk_dir.glob("*.npz"))
-                try:
-                    manifest = json.loads(entry.read_text())
+                manifest = self._normalise_manifest(self._read_json(entry))
+                if manifest is not None:
                     fingerprint = manifest.get("fingerprint", {})
+                    chunks = manifest["chunks"]
                     rows.append({
                         "task": task, "side": side, "version": version, "layout": "chunked",
-                        "rows": len(manifest.get("keys", [])),
-                        "chunks": len(manifest.get("chunks", [])),
+                        "rows": len(manifest["keys"]) - len(manifest["tombstones"]),
+                        "tombstones": len(manifest["tombstones"]),
+                        "chunks": len(chunks),
+                        "generations": len({int(chunk[3]) for chunk in chunks}) if chunks else 0,
                         "bytes": total_bytes,
                         "content_crc": fingerprint.get("content_crc"),
                         "weights_crc": (fingerprint.get("model") or {}).get("weights_crc"),
                     })
-                except (OSError, ValueError, AttributeError):
+                else:
                     rows.append({
                         "task": task, "side": side, "version": version, "layout": "chunked",
-                        "rows": None, "chunks": None, "bytes": total_bytes,
-                        "content_crc": None, "weights_crc": None,
+                        "rows": None, "tombstones": None, "chunks": None, "generations": None,
+                        "bytes": total_bytes, "content_crc": None, "weights_crc": None,
                     })
             else:
                 task = entry.parent.name
@@ -406,21 +617,23 @@ class PersistentEncodingCache:
                 rows.append({
                     "task": task, "side": side, "version": version, "layout": "flat",
                     "rows": len(keys) if isinstance(keys, list) else None,
-                    "chunks": None, "bytes": entry.stat().st_size,
+                    "tombstones": None, "chunks": None, "generations": None,
+                    "bytes": entry.stat().st_size,
                     "content_crc": fingerprint.get("content_crc") if isinstance(fingerprint, dict) else None,
                     "weights_crc": (fingerprint.get("model") or {}).get("weights_crc")
                     if isinstance(fingerprint, dict) else None,
                 })
         return rows
 
-    def prune(self) -> Dict[str, int]:
+    def prune(self, dry_run: bool = False) -> Dict[str, int]:
         """Remove stale generations (the ``repro cache prune`` action).
 
         For each ``(task, side)`` only the highest ``-vN`` generation is
         kept (chunked preferred over flat at equal version); within kept
         chunked entries, chunk archives no longer referenced by the manifest
-        (leftovers of superseded extensions) are removed too.  Returns
-        removal counts.
+        — superseded chunk generations and leftovers of abandoned extensions
+        — are removed too.  With ``dry_run`` nothing is deleted; the counts
+        report what a real prune would remove.
         """
         generations: Dict[Tuple[str, str], List[Tuple[int, int, Path]]] = {}
         for entry in self.entries():
@@ -440,27 +653,29 @@ class PersistentEncodingCache:
                 removed["entries"] += 1
                 if entry.name == MANIFEST_NAME:
                     removed["files"] += len(list(entry.parent.glob("*"))) if entry.parent.is_dir() else 0
-                    removed["bytes"] += self._remove_chunk_dir(entry.parent)
+                    removed["bytes"] += self._remove_chunk_dir(entry.parent, dry_run=dry_run)
                 else:
                     removed["files"] += 1
                     removed["bytes"] += entry.stat().st_size
-                    entry.unlink()
+                    if not dry_run:
+                        entry.unlink()
             # Sweep unreferenced chunk archives out of the surviving entry.
             _, _, kept = group[-1]
             if kept.name != MANIFEST_NAME:
                 continue
-            try:
-                manifest = json.loads(kept.read_text())
-                referenced = {
-                    f"chunk-{int(a)}-{int(b)}.npz" for a, b, _ in manifest.get("chunks", [])
-                }
-            except (OSError, ValueError, TypeError):
+            manifest = self._normalise_manifest(self._read_json(kept))
+            if manifest is None:
                 continue
+            referenced = {
+                self.chunk_name(int(a), int(b), int(gen))
+                for a, b, _, gen in manifest["chunks"]
+            }
             for chunk in kept.parent.glob("*.npz"):
                 if chunk.name not in referenced:
                     removed["files"] += 1
                     removed["bytes"] += chunk.stat().st_size
-                    chunk.unlink()
+                    if not dry_run:
+                        chunk.unlink()
         return removed
 
     # ------------------------------------------------------------------
@@ -482,10 +697,10 @@ class PersistentEncodingCache:
         never observe a partial entry: either the manifest is present and
         every chunk it references is complete, or the entry misses.
 
-        ``table`` supplies the per-chunk content CRCs that make the entry
-        delta-probeable; without it (synthetic encodings in tests and
-        benchmarks) chunks are addressed by their keys alone and only serve
-        full loads.
+        ``table`` supplies the per-row and per-chunk content CRCs that make
+        the entry delta-probeable; without it (synthetic encodings in tests
+        and benchmarks) chunks are addressed by their keys alone and only
+        serve full loads.
         """
         n = len(encodings)
         bounds = [
@@ -493,10 +708,15 @@ class PersistentEncodingCache:
             for start in range(0, n, self.chunk_rows)
         ]
         chunks = [
-            [start, stop, self._range_crc(table, encodings, start, stop)]
+            [start, stop, self._range_crc(table, encodings, start, stop), 0]
             for start, stop in bounds
         ]
         self._write_chunks(task_name, side, encoding_version, fingerprint, encodings, chunks, 0)
+        row_crcs = (
+            table_row_crcs(table)
+            if table is not None and len(table) == len(encodings)
+            else None
+        )
         manifest = {
             "format": CACHE_FORMAT_VERSION,
             "task": task_name,
@@ -504,6 +724,8 @@ class PersistentEncodingCache:
             "encoding_version": int(encoding_version),
             "fingerprint": fingerprint,
             "keys": [str(key) for key in encodings.keys],
+            "row_crcs": row_crcs,
+            "tombstones": [],
             "chunk_rows": int(self.chunk_rows),
             "chunks": chunks,
             "shapes": {name: list(getattr(encodings, name).shape) for name in _ARRAY_KEYS},
@@ -517,35 +739,54 @@ class PersistentEncodingCache:
         encoding_version: int,
         fingerprint: Dict[str, Any],
         table: "Table",
-        delta: "CacheDelta",
+        delta: "TableDelta",
         tail: "TableEncodings",
     ) -> Path:
-        """Append-only extension of an entry whose prefix ``delta`` validated.
+        """Append-only extension of an entry whose base ``delta`` validated.
 
-        ``tail`` holds the encodings of rows ``[delta.base_rows, n)`` only
-        (locally indexed); they are written as *new* chunk archives after the
-        existing ones and the manifest is rewritten last, so the old entry
-        stays fully readable until the new manifest lands atomically.  No
-        existing chunk is touched — the whole point of content-addressed
-        chunks is that an append re-encodes and rewrites only the tail.
+        ``tail`` holds the encodings of current rows ``[delta.base_rows, n)``
+        only (locally indexed); they are written as *new* chunk archives
+        after the existing stored rows and the manifest is rewritten last, so
+        the old entry stays fully readable until the new manifest lands
+        atomically.  No existing chunk is touched — the whole point of
+        content-addressed chunks is that an append re-encodes and rewrites
+        only the tail.  For deltas that also carry edits or deletions use
+        :meth:`patch`.
         """
-        base = int(delta.base_rows)
-        n = base + len(tail)
+        if not delta.is_append_only:
+            raise ValueError("extend() only handles append-only deltas; use patch()")
+        old = delta.manifest
+        stored = len(old["keys"])
+        appended = len(tail)
         bounds = [
-            (start, min(start + self.chunk_rows, n))
-            for start in range(base, n, self.chunk_rows)
+            (start, min(start + self.chunk_rows, stored + appended))
+            for start in range(stored, stored + appended, self.chunk_rows)
         ]
+        # Appended stored rows [stored, stored + appended) are current rows
+        # [base_rows, base_rows + appended) — contiguous at the table's tail.
+        shift = delta.base_rows - stored
         new_chunks = [
-            [start, stop, row_range_crc(table, start, stop)] for start, stop in bounds
+            [start, stop, row_range_crc(table, start + shift, stop + shift), 0]
+            for start, stop in bounds
         ]
         self._write_chunks(
-            task_name, side, encoding_version, fingerprint, tail, new_chunks, base
+            task_name, side, encoding_version, fingerprint, tail, new_chunks, stored
         )
-        old = delta.manifest
-        prefix_chunks = [chunk for chunk in old["chunks"] if int(chunk[1]) <= base]
-        keys = [str(key) for key in old["keys"][:base]] + [str(key) for key in tail.keys]
+        old_row_crcs = old.get("row_crcs")
+        if old_row_crcs is None and not old["tombstones"]:
+            # Migrated-v3 entry: the delta proved every stored row clean, so
+            # the per-row CRCs are recoverable from the current table.
+            records = table.records()
+            old_row_crcs = [record_crc(records[j]) for j in range(delta.base_rows)]
+        row_crcs = (
+            list(old_row_crcs) + [record_crc(record) for record in table.records()[delta.base_rows:]]
+            if old_row_crcs is not None
+            else None
+        )
+        keys = [str(key) for key in old["keys"]] + [str(key) for key in tail.keys]
         shapes = {
-            name: [n] + [int(d) for d in old["shapes"][name][1:]] for name in _ARRAY_KEYS
+            name: [stored + appended] + [int(d) for d in old["shapes"][name][1:]]
+            for name in _ARRAY_KEYS
         }
         manifest = {
             "format": CACHE_FORMAT_VERSION,
@@ -554,11 +795,150 @@ class PersistentEncodingCache:
             "encoding_version": int(encoding_version),
             "fingerprint": fingerprint,
             "keys": keys,
+            "row_crcs": row_crcs,
+            "tombstones": list(old["tombstones"]),
             "chunk_rows": int(self.chunk_rows),
-            "chunks": prefix_chunks + new_chunks,
+            "chunks": [list(chunk) for chunk in old["chunks"]] + new_chunks,
             "shapes": shapes,
         }
         return self._write_manifest(task_name, side, encoding_version, manifest)
+
+    def patch(
+        self,
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        fingerprint: Dict[str, Any],
+        table: "Table",
+        delta: "TableDelta",
+        encodings: "TableEncodings",
+    ) -> Tuple[Path, Dict[str, int]]:
+        """Write a mutated table state through to an existing entry.
+
+        ``encodings`` are the *full current table's* encodings (live order).
+        Three kinds of append-only writes happen, chunks before manifest:
+
+        * chunks containing edited rows get a **superseding generation**
+          (``chunk-a-b-gN.npz``) holding the updated rows — tombstoned rows
+          inside them are zero-filled, they are never read again;
+        * appended rows become new chunks after the stored rows, exactly as
+          :meth:`extend` writes them;
+        * deleted rows become **tombstone entries** in the manifest — no
+          chunk is rewritten for a pure deletion, the old archive still
+          serves the surviving rows.
+
+        The manifest lands last (write-then-rename), so readers see the old
+        complete entry or the new one, never a torn state; superseded chunk
+        generations stay on disk until :meth:`prune` sweeps them.  Returns
+        the manifest path and a work report (``chunks_patched``,
+        ``rows_tombstoned``, ``chunks_appended``).
+        """
+        old = delta.manifest
+        stored = len(old["keys"])
+        tombstones = set(int(t) for t in old["tombstones"])
+        new_dead = [int(row) for row in delta.deleted_rows]
+        tombstones.update(new_dead)
+
+        # Stored index -> current position for every surviving row.
+        current_of_stored: Dict[int, int] = {
+            int(stored_index): position
+            for position, stored_index in enumerate(delta.survivor_stored)
+        }
+        records = table.records()
+        old_row_crcs = old.get("row_crcs")
+        row_crcs: List[int] = []
+        for stored_index in range(stored):
+            position = current_of_stored.get(stored_index)
+            if position is not None:
+                row_crcs.append(record_crc(records[position]))
+            elif old_row_crcs is not None:
+                row_crcs.append(int(old_row_crcs[stored_index]))
+            else:
+                row_crcs.append(0)
+
+        # Superseding generations for chunks holding dirty rows.
+        dirty_stored = {
+            int(delta.survivor_stored[position]) for position in delta.dirty_positions()
+        }
+        arity_shapes = {
+            name: [int(d) for d in old["shapes"][name][1:]] for name in _ARRAY_KEYS
+        }
+        chunks: List[List[int]] = []
+        patched = 0
+        for chunk_start, chunk_stop, chunk_crc, generation in old["chunks"]:
+            chunk_start, chunk_stop = int(chunk_start), int(chunk_stop)
+            if dirty_stored.isdisjoint(range(chunk_start, chunk_stop)):
+                chunks.append([chunk_start, chunk_stop, int(chunk_crc), int(generation)])
+                continue
+            new_generation = int(generation) + 1
+            arrays: Dict[str, np.ndarray] = {
+                name: np.zeros([chunk_stop - chunk_start] + arity_shapes[name])
+                for name in _ARRAY_KEYS
+            }
+            for stored_index in range(chunk_start, chunk_stop):
+                position = current_of_stored.get(stored_index)
+                if position is None:
+                    continue  # tombstoned: zero-filled, never read again
+                for name in _ARRAY_KEYS:
+                    arrays[name][stored_index - chunk_start] = getattr(encodings, name)[position]
+            new_crc = _crc_of_ints(row_crcs[chunk_start:chunk_stop])
+            self._write_chunk_arrays(
+                task_name, side, encoding_version, fingerprint,
+                chunk_start, chunk_stop, new_crc, new_generation, arrays,
+            )
+            chunks.append([chunk_start, chunk_stop, new_crc, new_generation])
+            patched += 1
+
+        # Appended rows: new stored chunks after the existing layout.
+        base, total = delta.appended_range
+        appended = total - base
+        appended_chunks: List[List[int]] = []
+        if appended:
+            shift = base - stored
+            bounds = [
+                (start, min(start + self.chunk_rows, stored + appended))
+                for start in range(stored, stored + appended, self.chunk_rows)
+            ]
+            appended_chunks = [
+                [start, stop, row_range_crc(table, start + shift, stop + shift), 0]
+                for start, stop in bounds
+            ]
+            for start, stop, crc, generation in appended_chunks:
+                arrays = {
+                    name: np.asarray(getattr(encodings, name)[start + shift : stop + shift])
+                    for name in _ARRAY_KEYS
+                }
+                self._write_chunk_arrays(
+                    task_name, side, encoding_version, fingerprint,
+                    start, stop, crc, generation, arrays,
+                )
+            row_crcs.extend(record_crc(record) for record in records[base:total])
+
+        keys = [str(key) for key in old["keys"]] + [
+            str(key) for key in encodings.keys[base:total]
+        ]
+        shapes = {
+            name: [stored + appended] + arity_shapes[name] for name in _ARRAY_KEYS
+        }
+        manifest = {
+            "format": CACHE_FORMAT_VERSION,
+            "task": task_name,
+            "side": side,
+            "encoding_version": int(encoding_version),
+            "fingerprint": fingerprint,
+            "keys": keys,
+            "row_crcs": row_crcs,
+            "tombstones": sorted(tombstones),
+            "chunk_rows": int(self.chunk_rows),
+            "chunks": chunks + appended_chunks,
+            "shapes": shapes,
+        }
+        path = self._write_manifest(task_name, side, encoding_version, manifest)
+        return path, {
+            "chunks_patched": patched,
+            "rows_tombstoned": len(new_dead),
+            "chunks_appended": len(appended_chunks),
+        }
 
     @staticmethod
     def _range_crc(
@@ -580,37 +960,55 @@ class PersistentEncodingCache:
     ) -> None:
         """Write chunk archives for ``chunks`` (global row ranges) from
         ``encodings`` indexed locally at ``offset``."""
-        chunk_dir = self.dir_for(task_name, side, encoding_version)
-        chunk_dir.mkdir(parents=True, exist_ok=True)
-        model = fingerprint.get("model") if isinstance(fingerprint, dict) else None
-        for start, stop, crc in chunks:
-            path = self.chunk_path(task_name, side, encoding_version, start, stop)
-            # The model fingerprint and row CRC ride in every chunk, not just
-            # the manifest: concurrent writers of the same key (e.g.
-            # differently-seeded models at the same version) overwrite chunk
-            # paths in place, so a reader holding the *other* writer's
-            # manifest must be able to reject a foreign chunk instead of
-            # mixing encodings.  Deliberately *not* the whole-table CRC —
-            # chunks must stay addressable after an append changes it.
-            metadata = {
-                "format": CACHE_FORMAT_VERSION,
-                "task": task_name,
-                "side": side,
-                "encoding_version": int(encoding_version),
-                "model": model,
-                "start": int(start),
-                "stop": int(stop),
-                "row_crc": int(crc),
-            }
-            state = {
+        for start, stop, crc, generation in chunks:
+            arrays = {
                 name: getattr(encodings, name)[start - offset : stop - offset]
                 for name in _ARRAY_KEYS
             }
-            # The temp name keeps the .npz suffix (np.savez appends it
-            # otherwise) and the pid so parallel writers cannot collide.
-            temporary = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
-            save_state_dict(state, temporary, metadata=metadata)
-            os.replace(temporary, path)
+            self._write_chunk_arrays(
+                task_name, side, encoding_version, fingerprint,
+                start, stop, crc, generation, arrays,
+            )
+
+    def _write_chunk_arrays(
+        self,
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        fingerprint: Dict[str, Any],
+        start: int,
+        stop: int,
+        crc: int,
+        generation: int,
+        arrays: Dict[str, np.ndarray],
+    ) -> None:
+        chunk_dir = self.dir_for(task_name, side, encoding_version)
+        chunk_dir.mkdir(parents=True, exist_ok=True)
+        model = fingerprint.get("model") if isinstance(fingerprint, dict) else None
+        path = self.chunk_path(task_name, side, encoding_version, start, stop, generation)
+        # The model fingerprint and row CRC ride in every chunk, not just
+        # the manifest: concurrent writers of the same key (e.g.
+        # differently-seeded models at the same version) overwrite chunk
+        # paths in place, so a reader holding the *other* writer's
+        # manifest must be able to reject a foreign chunk instead of
+        # mixing encodings.  Deliberately *not* the whole-table CRC —
+        # chunks must stay addressable after an append changes it.
+        metadata = {
+            "format": CACHE_FORMAT_VERSION,
+            "task": task_name,
+            "side": side,
+            "encoding_version": int(encoding_version),
+            "model": model,
+            "start": int(start),
+            "stop": int(stop),
+            "row_crc": int(crc),
+            "generation": int(generation),
+        }
+        # The temp name keeps the .npz suffix (np.savez appends it
+        # otherwise) and the pid so parallel writers cannot collide.
+        temporary = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+        save_state_dict(arrays, temporary, metadata=metadata)
+        os.replace(temporary, path)
 
     def _write_manifest(
         self, task_name: str, side: str, encoding_version: int, manifest: Dict[str, Any]
@@ -661,18 +1059,24 @@ class PersistentEncodingCache:
         encoding_version: int,
         fingerprint: Dict[str, Any],
         counters: Optional["EngineCounters"] = None,
+        table: Optional["Table"] = None,
     ) -> Optional["TableEncodings"]:
         """Load a matching entry in full, or ``None`` on any kind of miss.
 
         Corrupt or foreign entries are treated as misses rather than errors:
         a cache must never be able to fail a resolution run.  A legacy flat
         archive found under the key is migrated to the chunked layout on the
-        way through.
+        way through; a format-3 manifest is rewritten as format 4 (one-shot)
+        — when ``table`` is supplied, its per-row CRCs are recovered on the
+        spot (the matched fingerprint proves the content identical), making
+        the migrated entry fully delta-probeable.
         """
         manifest = self._read_manifest(task_name, side, encoding_version, fingerprint)
         if manifest is not None:
-            n = len(manifest["keys"])
-            return self._load_rows(manifest, task_name, side, encoding_version, 0, n, counters)
+            if manifest.get("_migrated_from") == V3_FORMAT_VERSION:
+                manifest = self._migrate_v3(task_name, side, encoding_version, manifest, table)
+            live = len(manifest["keys"]) - len(manifest["tombstones"])
+            return self._load_rows(manifest, task_name, side, encoding_version, 0, live, counters)
         return self._migrate_flat(task_name, side, encoding_version, fingerprint)
 
     def load_range(
@@ -685,7 +1089,7 @@ class PersistentEncodingCache:
         stop: int,
         counters: Optional["EngineCounters"] = None,
     ) -> Optional["TableEncodings"]:
-        """Load only the rows ``[start, stop)`` of a matching entry.
+        """Load only the live rows ``[start, stop)`` of a matching entry.
 
         Reads just the chunks overlapping the range — the lazy warm path for
         row-range-sharded consumers.  Row indices in the returned encodings
@@ -697,7 +1101,8 @@ class PersistentEncodingCache:
             raise ValueError(f"invalid row range [{start}, {stop})")
         manifest = self._read_manifest(task_name, side, encoding_version, fingerprint)
         if manifest is not None:
-            stop = min(stop, len(manifest["keys"]))
+            live = len(manifest["keys"]) - len(manifest["tombstones"])
+            stop = min(stop, live)
             return self._load_rows(manifest, task_name, side, encoding_version, start, stop, counters)
         migrated = self._migrate_flat(task_name, side, encoding_version, fingerprint)
         if migrated is None:
@@ -714,16 +1119,18 @@ class PersistentEncodingCache:
         encoding_version: int,
         fingerprint: Dict[str, Any],
         table: "Table",
-    ) -> Optional["CacheDelta"]:
-        """Probe an entry against the *current* table state, chunk by chunk.
+    ) -> Optional["TableDelta"]:
+        """Probe an entry against the *current* table state, row by row.
 
         Requires the model half of ``fingerprint`` to match the manifest's
-        (a different model invalidates every chunk), then walks the manifest
-        chunks in order, CRC-ing the corresponding rows of ``table``; the
-        walk stops at the first chunk that is out of range or whose content
-        changed.  Returns ``None`` when nothing is reusable, otherwise a
-        :class:`CacheDelta` whose ``base_rows`` prefix can be served from
-        disk while only ``new_rows`` tail rows need encoding.
+        (a different model invalidates every chunk), then diffs the stored
+        live rows against the table by record id: surviving rows are
+        compared by per-row CRC (clean or *dirty*), vanished rows become
+        ``deleted_rows``, and trailing new rows the ``appended_range``.
+        Entries without per-row CRCs (migrated v3, keys-only saves) degrade
+        to chunk-granular validation: a chunk with any deletion, or whose
+        range CRC no longer matches, marks all its surviving rows dirty.
+        Returns ``None`` when nothing is reusable (no clean surviving rows).
         """
         manifest = self._read_manifest_loose(task_name, side, encoding_version)
         if manifest is None:
@@ -733,35 +1140,131 @@ class PersistentEncodingCache:
             return None
         if recorded.get("model") != fingerprint.get("model"):
             return None
-        n = len(table)
-        base = 0
-        for chunk_start, chunk_stop, chunk_crc in manifest["chunks"]:
-            if chunk_stop > n or row_range_crc(table, chunk_start, chunk_stop) != chunk_crc:
-                break
-            base = chunk_stop
-        if base == 0:
+        tombstones = set(manifest["tombstones"])
+        stored_keys = manifest["keys"]
+        live_stored = [i for i in range(len(stored_keys)) if i not in tombstones]
+        live_keys = [stored_keys[i] for i in live_stored]
+        row_crcs = manifest.get("row_crcs")
+        live_crcs = [row_crcs[i] for i in live_stored] if row_crcs is not None else None
+        diff = diff_rows(live_keys, live_crcs, table)
+        if diff is None:
             return None
-        return CacheDelta(manifest=manifest, base_rows=base, total_rows=n)
+        survivor_stored = tuple(live_stored[j] for j in diff.survivor_old)
+        deleted_rows = tuple(live_stored[j] for j in diff.deleted_old)
+        if diff.dirty_new is not None:
+            dirty_positions = list(diff.dirty_new)
+        else:
+            dirty_positions = self._chunk_granular_dirty(
+                manifest, table, survivor_stored, deleted_rows, tombstones
+            )
+        if len(dirty_positions) >= len(survivor_stored):
+            return None  # nothing provably clean to reuse
+        dirty_stored = {survivor_stored[position] for position in dirty_positions}
+        unusable = tombstones | set(deleted_rows) | dirty_stored
+        valid_chunks = tuple(
+            (int(a), int(b), int(crc), int(gen))
+            for a, b, crc, gen in manifest["chunks"]
+            if unusable.isdisjoint(range(int(a), int(b)))
+        )
+        return TableDelta(
+            manifest=manifest,
+            valid_chunks=valid_chunks,
+            dirty_ranges=group_ranges(sorted(dirty_positions)),
+            appended_range=diff.appended_range,
+            deleted_rows=deleted_rows,
+            survivor_stored=survivor_stored,
+            total_rows=len(table),
+        )
+
+    @staticmethod
+    def _chunk_granular_dirty(
+        manifest: Dict[str, Any],
+        table: "Table",
+        survivor_stored: Tuple[int, ...],
+        deleted_rows: Tuple[int, ...],
+        tombstones: set,
+    ) -> List[int]:
+        """Dirty current positions for entries without per-row CRCs.
+
+        Chunk-level fallback: a chunk validates only when every stored row in
+        it is live and surviving *and* the running CRC over the corresponding
+        current rows matches the chunk CRC recorded at save time.  Any other
+        chunk marks all its surviving rows dirty (a safe over-approximation —
+        at worst chunk-aligned re-encoding instead of row-exact).
+        """
+        position_of_stored = {
+            stored_index: position for position, stored_index in enumerate(survivor_stored)
+        }
+        dead = tombstones | set(deleted_rows)
+        dirty: List[int] = []
+        for chunk_start, chunk_stop, chunk_crc, _generation in manifest["chunks"]:
+            chunk_start, chunk_stop = int(chunk_start), int(chunk_stop)
+            rows = range(chunk_start, chunk_stop)
+            surviving = [position_of_stored[i] for i in rows if i in position_of_stored]
+            if not surviving:
+                continue
+            if dead.isdisjoint(rows) and len(surviving) == len(rows):
+                # All rows present: surviving positions are contiguous.
+                if row_range_crc(table, surviving[0], surviving[-1] + 1) == int(chunk_crc):
+                    continue
+            dirty.extend(surviving)
+        return dirty
 
     def load_prefix(
         self,
         task_name: str,
         side: str,
         encoding_version: int,
-        delta: "CacheDelta",
+        delta: "TableDelta",
         counters: Optional["EngineCounters"] = None,
     ) -> Optional["TableEncodings"]:
-        """The validated ``[0, delta.base_rows)`` prefix of a probed entry.
+        """The first ``delta.base_rows`` live rows of a probed entry.
 
-        Reads only the chunks covering the prefix; returns ``None`` if any
-        chunk vanished or was overwritten since the probe (the usual
-        degrade-to-miss contract).
+        The append-only reuse path (and its historical name): for a pure
+        append the base rows are exactly the reusable prefix.  Reads only
+        the chunks covering it; returns ``None`` if any chunk vanished or
+        was overwritten since the probe (the usual degrade-to-miss
+        contract).
         """
         return self._load_rows(
             delta.manifest, task_name, side, encoding_version, 0, delta.base_rows, counters
         )
 
+    def load_reused(
+        self,
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        delta: "TableDelta",
+        counters: Optional["EngineCounters"] = None,
+    ) -> Optional[Tuple[Tuple[int, ...], "TableEncodings"]]:
+        """The clean surviving rows of a probed entry, with their positions.
+
+        Returns ``(current_positions, encodings)`` where row ``j`` of the
+        encodings is the current table's row ``current_positions[j]`` —
+        everything the store can serve from disk; dirty and appended rows
+        must be encoded and spliced in by the caller.  Dirty chunks still
+        serve their *clean* rows (the superseding generation has not been
+        written yet at probe time).  ``None`` on any chunk-level miss.
+        """
+        positions, stored_indices = delta.reused_rows()
+        loaded = self._load_stored_rows(
+            delta.manifest, task_name, side, encoding_version, stored_indices, counters
+        )
+        if loaded is None:
+            return None
+        return positions, loaded
+
     # ------------------------------------------------------------------
+    def _read_json(self, path: Path) -> Optional[Dict[str, Any]]:
+        if not path.is_file():
+            return None
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return manifest if isinstance(manifest, dict) else None
+
     def _read_manifest(
         self, task_name: str, side: str, encoding_version: int, fingerprint: Dict[str, Any]
     ) -> Optional[Dict[str, Any]]:
@@ -775,17 +1278,15 @@ class PersistentEncodingCache:
         self, task_name: str, side: str, encoding_version: int
     ) -> Optional[Dict[str, Any]]:
         """A structurally valid manifest of a key, *without* checking the
-        table fingerprint — the delta probe validates content chunk-wise."""
+        table fingerprint — the delta probe validates content row-wise.
+
+        Format-3 manifests are normalised to the v4 shape in memory (chunk
+        generation 0, no tombstones, no per-row CRCs) and tagged with
+        ``_migrated_from`` so :meth:`load` can persist the upgrade.
+        """
         path = self.manifest_path(task_name, side, encoding_version)
-        if not path.is_file():
-            return None
-        try:
-            manifest = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        if not isinstance(manifest, dict):
-            return None
-        if manifest.get("format") != CACHE_FORMAT_VERSION:
+        manifest = self._normalise_manifest(self._read_json(path))
+        if manifest is None:
             return None
         if manifest.get("task") != task_name or manifest.get("side") != side:
             return None
@@ -794,28 +1295,96 @@ class PersistentEncodingCache:
                 return None
         except (TypeError, ValueError):
             return None
+        return manifest
+
+    @staticmethod
+    def _normalise_manifest(manifest: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+        """Structural validation plus in-memory v3 -> v4 normalisation."""
+        if not isinstance(manifest, dict):
+            return None
+        fmt = manifest.get("format")
+        if fmt == V3_FORMAT_VERSION:
+            chunks = manifest.get("chunks")
+            if not isinstance(chunks, list):
+                return None
+            manifest = dict(
+                manifest,
+                chunks=[list(chunk) + [0] for chunk in chunks if isinstance(chunk, list)],
+                row_crcs=None,
+                tombstones=[],
+                _migrated_from=V3_FORMAT_VERSION,
+            )
+        elif fmt != CACHE_FORMAT_VERSION:
+            return None
         keys = manifest.get("keys")
         chunks = manifest.get("chunks")
         shapes = manifest.get("shapes")
+        tombstones = manifest.get("tombstones")
+        row_crcs = manifest.get("row_crcs")
         if not isinstance(keys, list) or not isinstance(chunks, list) or not isinstance(shapes, dict):
             return None
         if set(shapes) != set(_ARRAY_KEYS):
+            return None
+        if not isinstance(tombstones, list):
+            return None
+        if not all(isinstance(t, int) and 0 <= t < len(keys) for t in tombstones):
+            return None
+        if len(set(tombstones)) != len(tombstones):
+            return None
+        if row_crcs is not None and (
+            not isinstance(row_crcs, list)
+            or len(row_crcs) != len(keys)
+            # A corrupt element would otherwise surface as a raise deep in
+            # the delta probe — a cache must never fail a resolution run.
+            or not all(isinstance(crc, int) for crc in row_crcs)
+        ):
             return None
         # Chunks must tile [0, n) contiguously and in order — anything else
         # (hand-edited manifest, mixed-up files) is a stale manifest: miss.
         position = 0
         for chunk in chunks:
-            if not (isinstance(chunk, list) and len(chunk) == 3):
+            if not (isinstance(chunk, list) and len(chunk) == 4):
                 return None
-            chunk_start, chunk_stop, chunk_crc = chunk
-            if not isinstance(chunk_crc, int):
+            chunk_start, chunk_stop, chunk_crc, generation = chunk
+            if not isinstance(chunk_crc, int) or not isinstance(generation, int):
                 return None
-            if chunk_start != position or chunk_stop <= chunk_start:
+            if chunk_start != position or chunk_stop <= chunk_start or generation < 0:
                 return None
             position = chunk_stop
         if position != len(keys):
             return None
         return manifest
+
+    def _migrate_v3(
+        self,
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        manifest: Dict[str, Any],
+        table: Optional["Table"],
+    ) -> Dict[str, Any]:
+        """Persist the v4 upgrade of a normalised v3 manifest (one-shot).
+
+        Chunk archives are untouched — only the manifest is rewritten, so
+        the served arrays are byte-identical before and after migration.
+        The caller has already matched the full fingerprint, so when the
+        table is in hand its per-row CRCs describe the stored content
+        exactly and the migrated entry becomes row-precisely probeable.
+        """
+        upgraded = {key: value for key, value in manifest.items() if key != "_migrated_from"}
+        upgraded["format"] = CACHE_FORMAT_VERSION
+        if table is not None and len(table) == len(manifest["keys"]):
+            upgraded["row_crcs"] = table_row_crcs(table)
+        self._write_manifest(task_name, side, encoding_version, upgraded)
+        return upgraded
+
+    def _live_stored_indices(self, manifest: Dict[str, Any]) -> List[int]:
+        """Stored index of every live row, ascending (live -> stored map)."""
+        tombstones = manifest["tombstones"]
+        if not tombstones:
+            return list(range(len(manifest["keys"])))
+        dead = set(tombstones)
+        return [i for i in range(len(manifest["keys"])) if i not in dead]
 
     def _load_rows(
         self,
@@ -827,35 +1396,65 @@ class PersistentEncodingCache:
         stop: int,
         counters: Optional["EngineCounters"],
     ) -> Optional["TableEncodings"]:
-        """Materialise rows ``[start, stop)`` from the chunks covering them."""
+        """Materialise live rows ``[start, stop)`` from the chunks covering them."""
+        live = self._live_stored_indices(manifest)
+        stop = min(stop, len(live))
+        stored_indices = tuple(live[start:stop]) if start < stop else ()
+        return self._load_stored_rows(
+            manifest, task_name, side, encoding_version, stored_indices, counters
+        )
+
+    def _load_stored_rows(
+        self,
+        manifest: Dict[str, Any],
+        task_name: str,
+        side: str,
+        encoding_version: int,
+        stored_indices: Sequence[int],
+        counters: Optional["EngineCounters"],
+    ) -> Optional["TableEncodings"]:
+        """Materialise the given stored rows (ascending) as local encodings."""
         from repro.engine.store import TableEncodings
 
-        keys = tuple(manifest["keys"][start:stop])
-        if start >= stop:
+        keys = tuple(manifest["keys"][i] for i in stored_indices)
+        if not stored_indices:
             shapes = manifest["shapes"]
             empty = {name: np.zeros([0] + [int(d) for d in shapes[name][1:]]) for name in _ARRAY_KEYS}
             return TableEncodings(keys=keys, row_index={}, **empty)
-        covering = [
-            (int(chunk_start), int(chunk_stop), int(chunk_crc))
-            for chunk_start, chunk_stop, chunk_crc in manifest["chunks"]
-            if chunk_start < stop and chunk_stop > start
-        ]
+        lo, hi = stored_indices[0], stored_indices[-1] + 1
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in _ARRAY_KEYS}
         model = manifest["fingerprint"].get("model")
-        for chunk_start, chunk_stop, chunk_crc in covering:
+        served = 0
+        for chunk_start, chunk_stop, chunk_crc, generation in manifest["chunks"]:
+            chunk_start, chunk_stop = int(chunk_start), int(chunk_stop)
+            if chunk_stop <= lo or chunk_start >= hi:
+                continue
+            first = bisect_left(stored_indices, chunk_start)
+            last = bisect_right(stored_indices, chunk_stop - 1)
+            if first == last:
+                continue
+            local = [stored_indices[j] - chunk_start for j in range(first, last)]
             arrays = self._read_chunk(
-                task_name, side, encoding_version, model, chunk_start, chunk_stop, chunk_crc
+                task_name, side, encoding_version, model,
+                chunk_start, chunk_stop, int(chunk_crc), int(generation),
             )
             if arrays is None:
                 return None
             if counters is not None:
                 counters.record_chunk_load()
-            lo = max(start, chunk_start) - chunk_start
-            hi = min(stop, chunk_stop) - chunk_start
+            contiguous = local[-1] - local[0] + 1 == len(local)
+            gather = np.asarray(local, dtype=np.intp)
             for name in _ARRAY_KEYS:
                 if arrays[name].shape[0] != chunk_stop - chunk_start:
                     return None
-                pieces[name].append(arrays[name][lo:hi])
+                if contiguous:
+                    # A slice keeps zero-copy (possibly memory-mapped) views.
+                    pieces[name].append(arrays[name][local[0] : local[-1] + 1])
+                else:
+                    pieces[name].append(np.asarray(arrays[name])[gather])
+            served += len(local)
+        if served != len(stored_indices):
+            return None
         merged = {
             # A range served by a single chunk stays a zero-copy (possibly
             # memory-mapped) view; multi-chunk ranges concatenate.
@@ -881,14 +1480,17 @@ class PersistentEncodingCache:
         start: int,
         stop: int,
         row_crc: int,
+        generation: int = 0,
     ) -> Optional[Dict[str, np.ndarray]]:
-        """One chunk's arrays, validated against its embedded metadata."""
-        path = self.chunk_path(task_name, side, encoding_version, start, stop)
+        """One chunk generation's arrays, validated against its metadata."""
+        path = self.chunk_path(task_name, side, encoding_version, start, stop, generation)
         if not path.is_file():
             return None
         try:
             metadata = load_metadata(path)
-            if metadata is None or metadata.get("format") != CACHE_FORMAT_VERSION:
+            if metadata is None:
+                return None
+            if metadata.get("format") not in (V3_FORMAT_VERSION, CACHE_FORMAT_VERSION):
                 return None
             if metadata.get("task") != task_name or metadata.get("side") != side:
                 return None
@@ -897,6 +1499,8 @@ class PersistentEncodingCache:
             if int(metadata.get("row_crc", -1)) != int(row_crc):
                 return None
             if int(metadata.get("start", -1)) != start or int(metadata.get("stop", -1)) != stop:
+                return None
+            if int(metadata.get("generation", 0)) != int(generation):
                 return None
             if self.mmap_mode:
                 try:

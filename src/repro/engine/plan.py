@@ -29,10 +29,13 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.engine.persist import RowDiff  # noqa: F401 - re-exported for baselines
 
 from repro.blocking.lsh import EuclideanLSHIndex
 from repro.blocking.neighbours import NearestNeighbourSearch
@@ -91,14 +94,30 @@ class Stage:
 
 @dataclass(frozen=True)
 class DeltaBounds:
-    """Row counts separating reusable base rows from new rows, per side."""
+    """Per-side mutation summary a delta plan schedules against.
+
+    ``base_*_rows`` counts current rows the baseline already covers (clean
+    *or* dirty); ``dirty_*_rows`` counts the in-place edits among them that
+    must be re-encoded; ``deleted_*_rows`` counts baseline rows no longer
+    present (tombstoned, no encode cost).
+    """
 
     base_left_rows: int
     base_right_rows: int
+    dirty_left_rows: int = 0
+    dirty_right_rows: int = 0
+    deleted_left_rows: int = 0
+    deleted_right_rows: int = 0
 
     def new_rows(self, side: str, total: int) -> int:
         base = self.base_left_rows if side == "left" else self.base_right_rows
         return max(0, total - base)
+
+    def dirty_rows(self, side: str) -> int:
+        return self.dirty_left_rows if side == "left" else self.dirty_right_rows
+
+    def deleted_rows(self, side: str) -> int:
+        return self.deleted_left_rows if side == "left" else self.deleted_right_rows
 
 
 @dataclass(frozen=True)
@@ -148,11 +167,17 @@ class ResolutionPlan:
             f"right={self.right_rows} rows ({len(self.build_bounds)} shards)",
         ]
         if self.delta is not None:
+            def _side(side: str, total: int, base: int) -> str:
+                text = f"{side} +{self.delta.new_rows(side, total)} rows (base {base}"
+                if self.delta.dirty_rows(side):
+                    text += f", dirty {self.delta.dirty_rows(side)}"
+                if self.delta.deleted_rows(side):
+                    text += f", deleted {self.delta.deleted_rows(side)}"
+                return text + ")"
+
             lines.append(
-                f"  delta: left +{self.delta.new_rows('left', self.left_rows)} rows "
-                f"(base {self.delta.base_left_rows}), "
-                f"right +{self.delta.new_rows('right', self.right_rows)} rows "
-                f"(base {self.delta.base_right_rows})"
+                f"  delta: {_side('left', self.left_rows, self.delta.base_left_rows)}, "
+                f"{_side('right', self.right_rows, self.delta.base_right_rows)}"
             )
         for position, stage in enumerate(self.stages, start=1):
             dependency = f" <- {', '.join(stage.depends_on)}" if stage.depends_on else ""
@@ -289,58 +314,112 @@ class ResolutionPlanner:
         base_left_rows: int = 0,
         base_right_rows: int = 0,
         index_reusable: bool = False,
+        dirty_left_rows: int = 0,
+        dirty_right_rows: int = 0,
+        deleted_left_rows: int = 0,
+        deleted_right_rows: int = 0,
     ) -> ResolutionPlan:
         """The stage graph of an *incremental* resolve against a baseline.
 
-        ``base_*_rows`` are the per-side row counts the baseline run already
-        covers (0 = nothing reusable: the plan degenerates to a cold run).
-        The encode stage schedules only the new tail ranges; the block stage
-        *extends* the baseline LSH index with the new right rows when
-        ``index_reusable`` (no rebuild) and re-queries every left shard
-        (top-K answers can change when the index grows); the score stage
-        restricts matcher work to pairs involving new rows, reusing baseline
-        probabilities for the rest.  Like :meth:`plan`, pure metadata.
-        Delta execution is serial (``workers`` is ignored by design — the
-        tail work is small; see :class:`DeltaResolutionExecutor`).
+        ``base_*_rows`` are the per-side current-row counts the baseline run
+        already covers (0 = nothing reusable: the plan degenerates to a cold
+        run); ``dirty_*_rows`` of them were edited in place and
+        ``deleted_*_rows`` baseline rows vanished.  The encode stage
+        schedules only the new tail ranges plus *patch* units for the dirty
+        rows; the block stage mutates the baseline LSH index in place when
+        ``index_reusable`` — *tombstone* units mask deleted right rows out
+        of the bucket maps, *patch* units rebucket edited rows, an *extend*
+        unit hashes appended rows — and re-queries every left shard (top-K
+        answers can change whenever the index changes); the score stage
+        drops baseline probabilities for pairs touching deleted or edited
+        rows and runs the matcher only on pairs not covered by the surviving
+        baseline scores.  Like :meth:`plan`, pure metadata.
+
+        With ``workers > 1`` the tail-encode and query units fan out across
+        the worker pool: encode units are emitted per ``shard_rows`` slice
+        of each side's pending (dirty + appended) rows, and the executor
+        runs them — and the left-shard queries — on the pool, merged back in
+        row order so the stream stays byte-identical to a serial delta run.
         """
         left_rows = len(self.task.left)
         right_rows = len(self.task.right)
         base_left = max(0, min(int(base_left_rows), left_rows))
         base_right = max(0, min(int(base_right_rows), right_rows))
+        dirty_left = max(0, min(int(dirty_left_rows), base_left))
+        dirty_right = max(0, min(int(dirty_right_rows), base_right))
         query_bounds = tuple(shard_bounds_for("left", left_rows, self.shard_rows))
         build_bounds = tuple(shard_bounds_for("right", right_rows, self.shard_rows))
         query_chunk = query_chunk_for(self.batch_size, self.k)
 
         encode_units = []
-        for side, base, total in (("left", base_left, left_rows), ("right", base_right, right_rows)):
+        for side, base, dirty, total in (
+            ("left", base_left, dirty_left, left_rows),
+            ("right", base_right, dirty_right, right_rows),
+        ):
+            pending = dirty + (total - base)
+            if pending == 0:
+                encode_units.append(StageUnit(
+                    name=side, rows=0, detail="cached (no new or dirty rows)"
+                ))
+                continue
+            if self.workers > 1 and pending > self.shard_rows:
+                # Fan the pending rows (dirty first, then the appended tail —
+                # the executor's encode order) across worker-sized slices.
+                slices = range(0, pending, self.shard_rows)
+                for index, start in enumerate(slices):
+                    stop = min(start + self.shard_rows, pending)
+                    encode_units.append(StageUnit(
+                        name=f"{side} delta[{index}]",
+                        rows=stop - start,
+                        detail=f"pooled encode of pending rows {start}..{stop}",
+                    ))
+                continue
+            if dirty:
+                encode_units.append(StageUnit(
+                    name=f"{side} patch",
+                    rows=dirty,
+                    detail=f"re-encode {dirty} edited row(s) in place",
+                ))
             if total > base:
                 encode_units.append(StageUnit(
                     name=f"{side} tail",
                     rows=total - base,
                     detail=f"append-only encode rows {base}..{total}",
                 ))
-            else:
-                encode_units.append(StageUnit(
-                    name=side, rows=0, detail="cached (no new rows)"
-                ))
         encode = Stage(name="encode", depends_on=(), units=tuple(encode_units))
 
-        if index_reusable and base_right < right_rows:
-            build_unit = StageUnit(
-                name="extend right",
-                rows=right_rows - base_right,
-                detail=f"hash rows {base_right}..{right_rows} into existing buckets",
-            )
-        elif index_reusable:
-            build_unit = StageUnit(name="reuse right index", rows=0, detail="no new rows")
+        block_units: List[StageUnit] = []
+        if index_reusable:
+            if deleted_right_rows:
+                block_units.append(StageUnit(
+                    name="tombstone right",
+                    rows=int(deleted_right_rows),
+                    detail="mask deleted rows out of the bucket maps",
+                ))
+            if dirty_right:
+                block_units.append(StageUnit(
+                    name="patch right",
+                    rows=dirty_right,
+                    detail="rebucket edited rows in place",
+                ))
+            if base_right < right_rows:
+                block_units.append(StageUnit(
+                    name="extend right",
+                    rows=right_rows - base_right,
+                    detail=f"hash rows {base_right}..{right_rows} into existing buckets",
+                ))
+            if not block_units:
+                block_units.append(
+                    StageUnit(name="reuse right index", rows=0, detail="no new rows")
+                )
         else:
-            build_unit = StageUnit(
+            block_units.append(StageUnit(
                 name="build right", rows=right_rows, detail="no baseline index: full build"
-            )
-        block_units = [build_unit] + [
+            ))
+        block_units.extend(
             StageUnit(name=f"query left[{b.index}]", rows=b.rows, detail=f"top-{self.k} rows {b.start}..{b.stop}")
             for b in query_bounds
-        ]
+        )
         block = Stage(name="block", depends_on=("encode",), units=tuple(block_units))
         score = Stage(
             name="score",
@@ -349,8 +428,9 @@ class ResolutionPlanner:
                 StageUnit(
                     name="batches",
                     detail=(
-                        "streaming; matcher runs only on pairs involving new rows, "
-                        "baseline probabilities reused for the rest"
+                        "streaming; baseline scores dropped for pairs touching "
+                        "deleted/edited rows, matcher runs only on pairs "
+                        "involving new or dirty rows"
                     ),
                 ),
             ),
@@ -361,14 +441,21 @@ class ResolutionPlanner:
             right_rows=right_rows,
             k=self.k,
             batch_size=self.batch_size,
-            workers=1,
+            workers=self.workers,
             shard_rows=self.shard_rows,
             query_chunk=query_chunk,
             blocking=self.blocking,
             query_bounds=query_bounds,
             build_bounds=build_bounds,
             stages=(encode, block, score),
-            delta=DeltaBounds(base_left_rows=base_left, base_right_rows=base_right),
+            delta=DeltaBounds(
+                base_left_rows=base_left,
+                base_right_rows=base_right,
+                dirty_left_rows=dirty_left,
+                dirty_right_rows=dirty_right,
+                deleted_left_rows=max(0, int(deleted_left_rows)),
+                deleted_right_rows=max(0, int(deleted_right_rows)),
+            ),
         )
 
 
@@ -417,6 +504,77 @@ def _score_task(token: str, batch_index: int, left_rows: np.ndarray, right_rows:
         state.left.irs[left_rows], state.right.irs[right_rows]
     )
     return batch_index, probabilities, time.perf_counter() - started
+
+
+def _encode_range_task(token: str, start: int, stop: int):
+    """Encode stage (delta fan-out): one row range of a pending sub-table.
+
+    State is ``(representation, sub_table)``, inherited by fork; rows are
+    encoded through the same :func:`repro.engine.store.encode_table_rows`
+    the store uses inline, so pooled and serial tail encodes agree row for
+    row (up to matmul batch composition, like every other batch-shape
+    change).
+    """
+    from repro.data.schema import Table
+    from repro.engine.store import encode_table_rows
+
+    representation, sub_table = worker_state(token)
+    started = time.perf_counter()
+    records = sub_table.records()[start:stop]
+    piece = Table(sub_table.name, sub_table.attributes, records)
+    irs, mu, sigma = encode_table_rows(representation, piece)
+    return start, (irs, mu, sigma), time.perf_counter() - started
+
+
+@contextmanager
+def _pooled_tail_encoder(store: EncodingStore, workers: int, shard_rows: int):
+    """Fan the store's delta re-encodes across a worker pool while active.
+
+    Installs a :data:`repro.engine.store.RangeEncoder` hook: whenever the
+    store needs to encode a pending sub-table (dirty + appended rows of one
+    side) larger than one shard, the rows are split into ``shard_rows``
+    slices, encoded on a fork-based pool, and concatenated in row order.
+    Sub-shard work (or ``workers == 1``) encodes inline — pooling a few
+    dozen rows would cost more in forks than it saves.
+    """
+    if workers <= 1:
+        yield
+        return
+
+    from repro.engine.store import encode_table_rows
+
+    def encoder(sub_table):
+        n = len(sub_table)
+        if n <= shard_rows:
+            return encode_table_rows(store.representation, sub_table)
+        bounds = [
+            (start, min(start + shard_rows, n)) for start in range(0, n, shard_rows)
+        ]
+        token = new_pool_token()
+        pool, _ = make_pool(
+            min(workers, len(bounds)), token, (store.representation, sub_table)
+        )
+        try:
+            with pool:
+                futures = [
+                    pool.submit(_encode_range_task, token, start, stop)
+                    for start, stop in bounds
+                ]
+                parts = [future.result()[1] for future in futures]
+        finally:
+            release_pool_token(token)
+        return (
+            np.concatenate([part[0] for part in parts]),
+            np.concatenate([part[1] for part in parts]),
+            np.concatenate([part[2] for part in parts]),
+        )
+
+    previous = store.range_encoder
+    store.range_encoder = encoder
+    try:
+        yield
+    finally:
+        store.range_encoder = previous
 
 
 # ----------------------------------------------------------------------
@@ -783,9 +941,16 @@ class ResolutionBaseline:
 
     * ``scores`` — per-pair match probabilities; the matcher is a pure
       row-wise function of the two cached IR tensors, so a pair's baseline
-      probability equals what a full re-resolve would recompute;
-    * ``index`` — the LSH index over the right table, extendable in place
-      with :meth:`~repro.blocking.lsh.EuclideanLSHIndex.extend`;
+      probability equals what a full re-resolve would recompute.  Scores of
+      pairs touching rows that were deleted or edited since are *dropped*
+      before reuse (their IRs changed or vanished);
+    * ``index`` — the LSH index over the right table, mutable in place with
+      :meth:`~repro.blocking.lsh.EuclideanLSHIndex.extend` / ``remove`` /
+      ``patch``;
+    * ``left_keys``/``right_keys`` and the per-row CRCs — the row-identity
+      snapshot of both tables at capture time, which is what the next run
+      diffs against to classify every current row as clean, dirty, appended
+      or (for vanished keys) deleted;
     * the tokens guarding reuse: the pinned ``encoding_version`` (a refit
       invalidates everything), ``matcher`` — the scored-by object itself,
       held strongly so identity cannot be recycled; a different matcher
@@ -800,16 +965,72 @@ class ResolutionBaseline:
     right_rows: int
     scores: Dict[PairKey, float]
     index: EuclideanLSHIndex
+    left_keys: Tuple[str, ...] = ()
+    right_keys: Tuple[str, ...] = ()
+    left_row_crcs: Tuple[int, ...] = ()
+    right_row_crcs: Tuple[int, ...] = ()
+    #: ``index.mutations`` at capture time — reuse requires the index to be
+    #: untouched since (an abandoned delta stream mutates it in place without
+    #: publishing a new baseline; key comparison alone cannot see a
+    #: vector-only patch).
+    index_mutations: int = 0
 
-    def index_usable(self, pinned: int, blocking: Optional[BlockingConfig], right: TableEncodings) -> bool:
-        """Whether ``index`` is a valid prefix index of the current right table."""
+    def diff_side(self, side: str, table) -> Optional["RowDiff"]:
+        """Row-identity diff of one side's current table vs this baseline."""
+        from repro.engine.persist import diff_rows
+
+        keys = self.left_keys if side == "left" else self.right_keys
+        crcs = self.left_row_crcs if side == "left" else self.right_row_crcs
+        return diff_rows(keys, crcs, table)
+
+    def index_usable(
+        self,
+        pinned: int,
+        blocking: Optional[BlockingConfig],
+        right_diff: Optional["RowDiff"],
+    ) -> bool:
+        """Whether ``index`` can be mutated into the current right table's index.
+
+        True when nothing invalidated the encodings or the LSH configuration
+        and the right table's mutation is a supported shape (``right_diff``
+        is the successful diff against the baseline snapshot): the executor
+        then applies remove/patch/extend instead of rebuilding.
+        """
         if self.encoding_version != pinned:
             return False
         if self.blocking_token != repr(blocking):
             return False
-        if self.index.size > len(right):
+        if right_diff is None:
             return False
-        return self.index.keys == tuple(right.keys[: self.index.size])
+        # The index must be the exact snapshot the diff addresses: untouched
+        # since capture (mutation counter) and covering the captured keys.
+        if self.index.mutations != self.index_mutations:
+            return False
+        return self.index.live_keys == self.right_keys
+
+    def stale_keys(
+        self, left_diff: Optional["RowDiff"], right_diff: Optional["RowDiff"], table_keys
+    ) -> Tuple[set, set]:
+        """(left, right) key sets whose baseline scores must be dropped.
+
+        A pair's baseline probability is reusable only while both of its
+        rows still hold the content they were scored with: deleted rows
+        (their keys vanished) and edited rows (same key, new values) both
+        poison every score they touch.
+        """
+        stale_left: set = set()
+        stale_right: set = set()
+        for side, diff, keys, current in (
+            ("left", left_diff, self.left_keys, table_keys[0]),
+            ("right", right_diff, self.right_keys, table_keys[1]),
+        ):
+            stale = stale_left if side == "left" else stale_right
+            if diff is None:
+                continue
+            stale.update(str(keys[j]) for j in diff.deleted_old)
+            if diff.dirty_new:
+                stale.update(str(current[p]) for p in diff.dirty_new)
+        return stale_left, stale_right
 
 
 class DeltaResolutionExecutor:
@@ -817,23 +1038,28 @@ class DeltaResolutionExecutor:
 
     Produces the batch stream a cold
     :func:`~repro.engine.stream.resolve_stream` with the same knobs yields
-    on the current (grown) tables — the identical candidate enumeration and
-    batch packing, probabilities byte-identical for reused pairs and equal
-    up to matmul batch-composition round-off (~1 ulp) for rescored ones, so
-    the match set is identical — while paying only for the delta:
+    on the current (mutated) tables — the identical candidate enumeration
+    and batch packing, probabilities byte-identical for reused pairs and
+    equal up to matmul batch-composition round-off (~1 ulp) for rescored
+    ones, so the match set is identical — while paying only for the delta:
 
-    * table encodings come from the delta-aware store (tail rows only);
-    * the baseline LSH index is extended with the new right rows instead of
-      rebuilt (extension is bucket-identical to a rebuild, so every query
-      answer matches);
-    * the matcher runs only on candidate pairs not scored by the baseline —
-      growing an index never introduces *new* old-old pairs into any top-K
-      (buckets only gain rows), so unseen pairs are exactly those involving
-      new rows, counted through ``pairs_rescored``.
+    * table encodings come from the mutation-aware store (dirty and
+      appended rows only; deleted rows are dropped for free);
+    * the baseline LSH index is mutated in place instead of rebuilt —
+      deleted right rows are tombstoned out of the bucket maps, edited rows
+      rebucketed, appended rows hashed in (each step answer-identical to a
+      rebuild, and bucket-identical once compaction runs);
+    * baseline scores for pairs touching deleted or edited rows are
+      dropped; the matcher runs only on candidate pairs not covered by the
+      surviving scores — pairs involving new or dirty rows, plus any
+      old-old pair newly surfaced by a deletion reshaping some top-K —
+      counted through ``pairs_rescored``.
 
     The refreshed :class:`ResolutionBaseline` is published on ``baseline_out``
-    once the stream is exhausted.  Execution is serial: the delta work is
-    bounded by the append size, which is the regime this path exists for.
+    once the stream is exhausted.  With ``plan.workers > 1`` the tail/dirty
+    encode and the left-shard queries fan out across the worker pool (the
+    regime where a delta outgrows one shard); scoring stays serial — it is
+    bounded by the mutation size.
     """
 
     def __init__(
@@ -844,6 +1070,7 @@ class DeltaResolutionExecutor:
         baseline: Optional[ResolutionBaseline] = None,
         threshold: float = 0.5,
         stage_timings: Optional[StageTimings] = None,
+        diffs: Optional[Dict[str, Tuple[int, Optional[RowDiff]]]] = None,
     ) -> None:
         self.plan = plan
         self.store = store
@@ -852,6 +1079,21 @@ class DeltaResolutionExecutor:
         self.threshold = threshold
         self.stage_timings = stage_timings
         self.baseline_out: Optional[ResolutionBaseline] = None
+        #: Revision-stamped per-side diffs precomputed by :func:`resolve_delta`
+        #: (side -> (table revision, diff)); reused at run time only while the
+        #: table's revision still matches, so planning and execution never
+        #: disagree about the mutation they describe.
+        self._diffs = diffs or {}
+
+    def _diff_side(self, side: str) -> Optional[RowDiff]:
+        assert self.baseline is not None
+        table = self.store.task.left if side == "left" else self.store.task.right
+        memo = self._diffs.get(side)
+        if memo is not None and memo[0] == table.revision:
+            return memo[1]
+        diff = self.baseline.diff_side(side, table)
+        self._diffs[side] = (table.revision, diff)
+        return diff
 
     def _record_stage(self, stage: str, seconds: float, units: int = 1) -> None:
         if self.stage_timings is not None:
@@ -867,24 +1109,46 @@ class DeltaResolutionExecutor:
         plan, store, matcher = self.plan, self.store, self.matcher
 
         def generate() -> Iterator[ResolutionBatch]:
-            counters_before = store.counters.rows_reencoded
+            # Row-identity diffs against the baseline snapshot — computed
+            # *before* encoding so they describe the transition, not the
+            # refreshed state.
+            baseline = self.baseline
+            left_diff = right_diff = None
+            if baseline is not None and baseline.encoding_version == pinned:
+                left_diff = self._diff_side("left")
+                right_diff = self._diff_side("right")
+
+            rows_before = store.counters.rows_reencoded
+            tombstoned_before = store.counters.rows_tombstoned
             started = time.perf_counter()
-            store.table_encodings("left")
-            right = store.table_encodings("right")
+            with _pooled_tail_encoder(store, plan.workers, plan.shard_rows):
+                left = store.table_encodings("left")
+                right = store.table_encodings("right")
             guard_store_version(store, pinned)
             self._record_stage("encode", time.perf_counter() - started, units=2)
-            self._record_counter("rows_reencoded", store.counters.rows_reencoded - counters_before)
+            self._record_counter("rows_reencoded", store.counters.rows_reencoded - rows_before)
+            self._record_counter(
+                "rows_tombstoned", store.counters.rows_tombstoned - tombstoned_before
+            )
 
-            baseline = self.baseline
             index_reused = baseline is not None and baseline.index_usable(
-                pinned, plan.blocking, right
+                pinned, plan.blocking, right_diff
             )
             started = time.perf_counter()
             if index_reused:
                 index = baseline.index
-                if index.size < len(right):
-                    flat = right.flat_mu()
-                    index.extend(flat[index.size :], list(right.keys[index.size :]))
+                flat = right.flat_mu()
+                removed = [
+                    str(baseline.right_keys[j]) for j in right_diff.deleted_old
+                ]
+                if removed:
+                    index.remove(removed)
+                if right_diff.dirty_new:
+                    dirty = list(right_diff.dirty_new)
+                    index.patch(flat[dirty], [str(right.keys[p]) for p in dirty])
+                base, total = right_diff.appended_range
+                if total > base:
+                    index.extend(flat[base:total], [str(key) for key in right.keys[base:total]])
                 self._record_stage("block-extend", time.perf_counter() - started)
             else:
                 index = EuclideanLSHIndex(
@@ -897,18 +1161,28 @@ class DeltaResolutionExecutor:
             guard_store_version(store, pinned)
             search = NearestNeighbourSearch.from_index(index, plan.blocking)
 
-            scores: Dict[PairKey, float] = (
-                baseline.scores
-                if baseline is not None
+            scores: Dict[PairKey, float]
+            if (
+                baseline is not None
                 and baseline.encoding_version == pinned
                 and baseline.matcher is matcher
-                else {}
-            )
+            ):
+                stale_left, stale_right = baseline.stale_keys(
+                    left_diff, right_diff, (left.keys, right.keys)
+                )
+                if stale_left or stale_right:
+                    scores = {
+                        pair: probability
+                        for pair, probability in baseline.scores.items()
+                        if pair[0] not in stale_left and pair[1] not in stale_right
+                    }
+                else:
+                    scores = baseline.scores
+            else:
+                scores = {}
             new_scores: Dict[PairKey, float] = {}
             rescored = 0
-            for batch_index, pairs in iter_candidate_batches(
-                store, blocking=plan.blocking, k=plan.k, batch_size=plan.batch_size, search=search
-            ):
+            for batch_index, pairs in self._iter_batches(search, left, pinned):
                 guard_store_version(store, pinned)
                 started = time.perf_counter()
                 probabilities = np.empty(len(pairs))
@@ -936,17 +1210,70 @@ class DeltaResolutionExecutor:
                 )
             guard_store_version(store, pinned)
             self._record_counter("pairs_rescored", rescored)
+            from repro.engine.persist import table_row_crcs
+
+            left_table, right_table = store.task.left, store.task.right
             self.baseline_out = ResolutionBaseline(
                 encoding_version=pinned,
                 matcher=matcher,
                 blocking_token=repr(plan.blocking),
-                left_rows=plan.left_rows,
-                right_rows=len(right),
+                left_rows=len(left_table),
+                right_rows=len(right_table),
                 scores=new_scores,
                 index=index,
+                left_keys=tuple(left_table.record_ids()),
+                right_keys=tuple(right_table.record_ids()),
+                left_row_crcs=tuple(table_row_crcs(left_table)),
+                right_row_crcs=tuple(table_row_crcs(right_table)),
+                index_mutations=index.mutations,
             )
 
         return generate()
+
+    def _iter_batches(
+        self, search: NearestNeighbourSearch, left: TableEncodings, pinned: int
+    ) -> Iterator[Tuple[int, List[RecordPair]]]:
+        """Candidate batches against the delta-updated index.
+
+        Serial plans walk :func:`~repro.engine.stream.iter_candidate_batches`
+        (the canonical enumeration); pooled plans fan the left query shards
+        across workers and merge them back in shard order with the same
+        buffer/slice packing — the byte-identity contract either way.
+        """
+        plan, store = self.plan, self.store
+        if plan.workers == 1 or len(plan.query_bounds) <= 1:
+            yield from iter_candidate_batches(
+                store, blocking=plan.blocking, k=plan.k,
+                batch_size=plan.batch_size, search=search,
+            )
+            return
+        bounds = plan.query_bounds
+        token = new_pool_token()
+        state = _PlanState(flat=left.flat_mu(), keys=left.keys, search=search)
+        pool, _ = make_pool(min(plan.workers, len(bounds)), token, state)
+        buffer: List[RecordPair] = []
+        batch_index = 0
+        try:
+            with pool:
+                futures = [
+                    pool.submit(_query_task, token, b.index, b.start, b.stop, plan.k, plan.query_chunk)
+                    for b in bounds
+                ]
+                # Futures consumed in submission order == shard order, so the
+                # merged stream reproduces the serial enumeration pair for pair.
+                for future in futures:
+                    guard_store_version(store, pinned)
+                    _, pairs, seconds = future.result()
+                    self._record_stage("block", seconds)
+                    buffer.extend(pairs)
+                    while len(buffer) >= plan.batch_size:
+                        head, buffer = buffer[: plan.batch_size], buffer[plan.batch_size :]
+                        yield batch_index, head
+                        batch_index += 1
+        finally:
+            release_pool_token(token)
+        if buffer:
+            yield batch_index, buffer
 
 
 def resolve_delta(
@@ -958,6 +1285,7 @@ def resolve_delta(
     batch_size: int = 2048,
     threshold: float = 0.5,
     stage_timings: Optional[StageTimings] = None,
+    workers: int = 1,
 ) -> DeltaResolutionExecutor:
     """Plan an incremental resolve against ``baseline`` and return its executor.
 
@@ -965,18 +1293,44 @@ def resolve_delta(
     iterator) so the caller can collect ``baseline_out`` after draining
     ``.run()`` — :meth:`repro.core.pipeline.VAER.resolve_delta` does exactly
     that to chain incremental runs.  With ``baseline=None`` the run is a
-    cold resolve that merely *captures* a baseline for the next call.
+    cold resolve that merely *captures* a baseline for the next call.  The
+    plan is parameterised by a row-identity diff of both tables against the
+    baseline snapshot, so its encode/block stages name the exact patch,
+    tombstone and tail units the executor will run; ``workers > 1`` fans
+    the tail encode and query units across the worker pool.
     """
     pinned = store.representation.encoding_version
     base_left = base_right = 0
+    dirty_left = dirty_right = deleted_left = deleted_right = 0
     index_reusable = False
+    diffs: Dict[str, Tuple[int, Optional[RowDiff]]] = {}
     if baseline is not None and baseline.encoding_version == pinned:
-        base_left = min(baseline.left_rows, len(store.task.left))
-        base_right = min(baseline.right_rows, len(store.task.right))
-        index_reusable = baseline.blocking_token == repr(blocking)
+        left_diff = baseline.diff_side("left", store.task.left)
+        right_diff = baseline.diff_side("right", store.task.right)
+        diffs = {
+            "left": (store.task.left.revision, left_diff),
+            "right": (store.task.right.revision, right_diff),
+        }
+        if left_diff is not None:
+            base_left = left_diff.appended_range[0]
+            dirty_left = len(left_diff.dirty_new or ())
+            deleted_left = len(left_diff.deleted_old)
+        if right_diff is not None:
+            base_right = right_diff.appended_range[0]
+            dirty_right = len(right_diff.dirty_new or ())
+            deleted_right = len(right_diff.deleted_old)
+        index_reusable = baseline.index_usable(pinned, blocking, right_diff)
     plan = ResolutionPlanner.from_store(
-        store, blocking=blocking, k=k, batch_size=batch_size, workers=1
-    ).plan_delta(base_left, base_right, index_reusable=index_reusable)
+        store, blocking=blocking, k=k, batch_size=batch_size, workers=workers
+    ).plan_delta(
+        base_left,
+        base_right,
+        index_reusable=index_reusable,
+        dirty_left_rows=dirty_left,
+        dirty_right_rows=dirty_right,
+        deleted_left_rows=deleted_left,
+        deleted_right_rows=deleted_right,
+    )
     return DeltaResolutionExecutor(
         plan,
         store,
@@ -984,6 +1338,7 @@ def resolve_delta(
         baseline=baseline,
         threshold=threshold,
         stage_timings=stage_timings,
+        diffs=diffs,
     )
 
 

@@ -27,7 +27,7 @@ reported through :class:`repro.eval.timing.EngineCounters`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,6 +43,27 @@ SIDES = ("left", "right")
 
 #: Anything with ``left_id``/``right_id`` attributes addresses a pair.
 PairLike = Union[RecordPair, LabeledPair]
+
+#: Optional hook encoding a whole (sub-)table outside the store — the delta
+#: executor installs a pooled implementation so large mutation tails fan out
+#: across workers; ``None`` encodes inline.
+RangeEncoder = Callable[[Table], Tuple[np.ndarray, np.ndarray, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class _SideState:
+    """Memoized identity of one side's table at its last encode/fingerprint.
+
+    ``row_crcs`` (one :func:`repro.engine.persist.record_crc` per row) is
+    what lets a later access diff the *mutated* table against the state the
+    cached encodings describe — by record id, not position.
+    """
+
+    version: int
+    n_rows: int
+    revision: int
+    fingerprint: Dict[str, Any]
+    row_crcs: Tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -118,11 +139,15 @@ class EncodingStore:
         self.persistent = persistent
         self._cache: Dict[str, TableEncodings] = {}
         self._cached_version: Optional[int] = None
-        #: Memoized table fingerprints: side -> (version, n_rows, fingerprint).
-        #: Within a run, tables are treated as append-only — a fingerprint is
-        #: recomputed when the model version or the row count changes, so
-        #: repeated probes of an unchanged table never re-CRC its rows.
-        self._fingerprints: Dict[str, Tuple[int, int, Dict[str, Any]]] = {}
+        #: Memoized table identities: side -> :class:`_SideState`.  A state
+        #: is recomputed when the model version, the row count or the
+        #: table's mutation ``revision`` changes, so repeated probes of an
+        #: unchanged table never re-CRC its rows while any in-place edit or
+        #: deletion (which bumps the revision) invalidates immediately.
+        self._fingerprints: Dict[str, _SideState] = {}
+        #: See :data:`RangeEncoder`; installed by the delta executor to fan
+        #: large tail/dirty encodes across its worker pool.
+        self.range_encoder: Optional[RangeEncoder] = None
 
     # ------------------------------------------------------------------
     # Cache lifecycle
@@ -144,21 +169,36 @@ class EncodingStore:
         """The (memoized) persistent-cache fingerprint of one side's table.
 
         Computing a fingerprint CRCs every row, so the result is cached per
-        ``(side, encoding_version, row count)`` and the
+        ``(side, encoding_version, row count, table revision)`` and the
         ``fingerprints_computed`` counter reports how many times the rows
         were actually walked.
         """
-        from repro.engine.persist import encoding_fingerprint
+        return self._side_state(side).fingerprint
+
+    def _side_state(self, side: str) -> _SideState:
+        """Memoized fingerprint *and* per-row CRCs of one side's table."""
+        from repro.engine.persist import encoding_fingerprint, table_row_crcs
 
         table = self._table_of(side)
         version = self.representation.encoding_version
         memo = self._fingerprints.get(side)
-        if memo is not None and memo[0] == version and memo[1] == len(table):
-            return memo[2]
-        fingerprint = encoding_fingerprint(self.representation, table)
+        if (
+            memo is not None
+            and memo.version == version
+            and memo.n_rows == len(table)
+            and memo.revision == table.revision
+        ):
+            return memo
+        state = _SideState(
+            version=version,
+            n_rows=len(table),
+            revision=table.revision,
+            fingerprint=encoding_fingerprint(self.representation, table),
+            row_crcs=tuple(table_row_crcs(table)),
+        )
         self.counters.record_fingerprint()
-        self._fingerprints[side] = (version, len(table), fingerprint)
-        return fingerprint
+        self._fingerprints[side] = state
+        return state
 
     def _table_of(self, side: str) -> Table:
         if side == "left":
@@ -170,55 +210,53 @@ class EncodingStore:
     def _lookup(self, side: str) -> Tuple[TableEncodings, bool]:
         """(encodings, served_from_cache) — computes on miss, never counts hits.
 
-        On an in-memory miss the persistent cache (when attached) is probed
-        first — an exact match, then a chunk-wise *delta* probe that serves
-        the valid prefix of a grown table from disk and encodes only the new
-        tail rows; only a full miss pays for the whole IR transform and VAE
-        forward pass, and every computed result is written back to disk for
-        the next run.  A cached table whose backing :class:`Table` grew since
-        it was encoded is refreshed through the same append-only path.
+        A cached table is a hit only while the backing :class:`Table` is
+        bit-for-bit the state it was encoded from (same length *and* same
+        mutation revision).  A mutated table — rows appended, edited in
+        place or deleted — is refreshed through the row-identity diff:
+        unchanged rows are reused from the cached arrays, dirty and appended
+        rows re-encoded, deleted rows dropped.  On a true in-memory miss the
+        persistent cache (when attached) is probed first — an exact match,
+        then the row-wise *delta* probe that serves every clean surviving
+        row from disk; only a full miss pays for the whole IR transform and
+        VAE forward pass, and every computed result is written back to disk
+        for the next run.
         """
         self._check_version()
+        table = self._table_of(side)
         cached = self._cache.get(side)
         if cached is not None:
-            if len(cached) == len(self._table_of(side)):
+            memo = self._fingerprints.get(side)
+            if (
+                memo is not None
+                and memo.version == self.representation.encoding_version
+                and memo.n_rows == len(table)
+                and memo.revision == table.revision
+            ):
                 return cached, True
-            refreshed = self._refresh_grown(side, cached)
+            refreshed = self._refresh_mutated(side, cached)
             if refreshed is not None:
                 self.counters.record_miss()
                 self._cache[side] = refreshed
                 return refreshed, False
-            # Shrunk or edited in place: nothing provably reusable.
+            # Reordered (or untracked) mutation: nothing provably reusable.
             del self._cache[side]
         self.counters.record_miss()
-        table = self._table_of(side)
         encodings = self._load_persistent(side, table)
         if encodings is None:
             encodings = self._compute(side, table)
             self._save_persistent(side, table, encodings)
         self._cache[side] = encodings
-        # Memoize the fingerprint at encode time: the append-only refresh
-        # path above needs the previous table state's content CRC to prove
-        # the prefix unchanged, and computing it now (one CRC pass) is cheap
-        # next to the encode that just happened.
-        self.table_fingerprint(side)
+        # Memoize the identity at encode time: the mutation refresh above
+        # needs the previous table state's per-row CRCs to classify rows,
+        # and computing them now (one CRC pass) is cheap next to the encode
+        # that just happened.
+        self._side_state(side)
         return encodings, False
 
     def _encode_rows(self, table: Table) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(irs, mu, sigma) of one table-shaped record collection."""
-        representation = self.representation
-        irs = representation.ir_generator.transform_table(table)
-        n, arity, _ = irs.shape
-        if n == 0:
-            latent = representation.config.latent_dim
-            mu = np.zeros((0, arity, latent))
-            sigma = np.zeros((0, arity, latent))
-        else:
-            flat_mu, flat_sigma = representation.vae.encode_numpy(irs.reshape(n * arity, -1))
-            latent = flat_mu.shape[-1]
-            mu = flat_mu.reshape(n, arity, latent)
-            sigma = flat_sigma.reshape(n, arity, latent)
-        return irs, mu, sigma
+        return encode_table_rows(self.representation, table)
 
     def _compute(self, side: str, table: Table) -> TableEncodings:
         """Encode one table from scratch (the work both caches exist to avoid)."""
@@ -233,17 +271,24 @@ class EncodingStore:
             row_index={key: row for row, key in enumerate(keys)},
         )
 
-    def _compute_range(self, side: str, table: Table, start: int, stop: int) -> TableEncodings:
-        """Encode only rows ``[start, stop)`` (the append-only delta path).
+    def _encode_subtable(self, sub_table: Table) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Encode a record subset, through the pooled hook when installed."""
+        if self.range_encoder is not None:
+            return self.range_encoder(sub_table)
+        return self._encode_rows(sub_table)
+
+    def _compute_records(self, side: str, table: Table, positions: Sequence[int]) -> TableEncodings:
+        """Encode only the rows at ``positions`` (the delta re-encode path).
 
         Row encodings are independent of batch composition (per-value IR
-        transform, row-wise VAE forward), so tail rows encoded here match
-        what a whole-table encode would have produced for the same rows.
-        Counts ``rows_reencoded``, *not* ``tables_encoded``.
+        transform, row-wise VAE forward), so rows encoded here match what a
+        whole-table encode would have produced for the same rows.  Counts
+        ``rows_reencoded``, *not* ``tables_encoded``.
         """
-        records = table.records()[start:stop]
-        tail_table = Table(table.name, table.attributes, records)
-        irs, mu, sigma = self._encode_rows(tail_table)
+        all_records = table.records()
+        records = [all_records[position] for position in positions]
+        sub_table = Table(table.name, table.attributes, records)
+        irs, mu, sigma = self._encode_subtable(sub_table)
         self.counters.record_rows_reencoded(len(records))
         keys = tuple(record.record_id for record in records)
         return TableEncodings(
@@ -254,30 +299,55 @@ class EncodingStore:
             row_index={key: row for row, key in enumerate(keys)},
         )
 
-    def _refresh_grown(self, side: str, cached: TableEncodings) -> Optional[TableEncodings]:
-        """Append-only refresh of an in-memory table whose backing table grew.
+    def _compute_range(self, side: str, table: Table, start: int, stop: int) -> TableEncodings:
+        """Encode only rows ``[start, stop)`` (the append-only delta path)."""
+        return self._compute_records(side, table, range(start, stop))
 
-        Requires the memoized fingerprint of the *previous* table state to
-        prove the prefix rows unchanged (their CRC must match); returns
-        ``None`` when the table shrank, was edited, or the prefix cannot be
+    def _refresh_mutated(self, side: str, cached: TableEncodings) -> Optional[TableEncodings]:
+        """Row-identity refresh of an in-memory table whose backing table mutated.
+
+        Diffs the current table against the memoized per-row CRCs of the
+        state ``cached`` was encoded from: unchanged rows are reused from the
+        cached arrays by key, dirty (edited) and appended rows are pushed
+        through the encoder, deleted rows are dropped.  Returns ``None``
+        when surviving rows were reordered or the previous state cannot be
         verified — the caller then falls back to the cold path.
         """
-        from repro.engine.persist import row_range_crc
+        from repro.engine.persist import diff_rows
 
         table = self._table_of(side)
-        n_old, n_new = len(cached), len(table)
-        if n_new <= n_old:
-            return None
         version = self.representation.encoding_version
         memo = self._fingerprints.get(side)
-        if memo is None or memo[0] != version or memo[1] != n_old:
+        if memo is None or memo.version != version or memo.n_rows != len(cached):
             return None
-        if row_range_crc(table, 0, n_old) != memo[2]["content_crc"]:
+        diff = diff_rows(cached.keys, memo.row_crcs, table)
+        if diff is None:
             return None
-        tail = self._compute_range(side, table, n_old, n_new)
-        merged = _concat_encodings(cached, tail)
-        fingerprint = self.table_fingerprint(side)  # recomputed for the new length
-        self._extend_persistent(side, table, merged, fingerprint)
+        assert diff.dirty_new is not None  # memo always carries row CRCs
+        base, total = diff.appended_range
+        encode_positions = list(diff.dirty_new) + list(range(base, total))
+        fresh = (
+            self._compute_records(side, table, encode_positions)
+            if encode_positions
+            else None
+        )
+        self.counters.record_rows_tombstoned(len(diff.deleted_old))
+        dirty = set(diff.dirty_new)
+        if not dirty and not diff.deleted_old:
+            merged = _concat_encodings(cached, fresh) if fresh is not None else cached
+        else:
+            reused_positions = [p for p in range(base) if p not in dirty]
+            reused_old = [diff.survivor_old[p] for p in reused_positions]
+            merged = _splice_encodings(
+                keys=tuple(table.record_ids()),
+                reused_positions=reused_positions,
+                reused=cached,
+                reused_rows=reused_old,
+                fresh_positions=encode_positions,
+                fresh=fresh,
+            )
+        fingerprint = self.table_fingerprint(side)  # recomputed for the new state
+        self._sync_persistent(side, table, merged, fingerprint)
         return merged
 
     def _load_persistent(self, side: str, table: Table) -> Optional[TableEncodings]:
@@ -290,6 +360,7 @@ class EncodingStore:
             self.representation.encoding_version,
             fingerprint,
             counters=self.counters,
+            table=table,
         )
         if loaded is None:
             loaded = self._load_persistent_delta(side, table, fingerprint)
@@ -302,28 +373,51 @@ class EncodingStore:
     def _load_persistent_delta(
         self, side: str, table: Table, fingerprint: Dict[str, Any]
     ) -> Optional[TableEncodings]:
-        """Serve a grown table from its valid on-disk prefix plus a tail encode.
+        """Serve a mutated table from its clean on-disk rows plus a re-encode.
 
-        The chunk-wise probe finds the longest content-valid prefix; only
-        the rows past it are pushed through the encoder, and the entry is
-        extended in place (append-only, manifest last) so the next run gets
-        an exact hit.
+        The row-wise probe classifies every current row; clean surviving
+        rows are read from the chunks covering them, dirty and appended rows
+        are pushed through the encoder, and the entry is patched in place
+        (superseding chunk generations + tombstones + appended chunks,
+        manifest last) so the next run gets an exact hit.
         """
         assert self.persistent is not None
         version = self.representation.encoding_version
         delta = self.persistent.delta(self.task.name, side, version, fingerprint, table)
         if delta is None:
             return None
-        prefix = self.persistent.load_prefix(
+        reused = self.persistent.load_reused(
             self.task.name, side, version, delta, counters=self.counters
         )
-        if prefix is None:
+        if reused is None:
             return None
-        tail = self._compute_range(side, table, delta.base_rows, delta.total_rows)
-        merged = _concat_encodings(prefix, tail)
-        self.persistent.extend(
-            self.task.name, side, version, fingerprint, table, delta, tail
+        positions, base = reused
+        encode_positions = delta.encode_positions()
+        fresh = (
+            self._compute_records(side, table, encode_positions)
+            if encode_positions
+            else None
         )
+        self.counters.record_rows_tombstoned(len(delta.deleted_rows))
+        if delta.is_append_only:
+            merged = _concat_encodings(base, fresh) if fresh is not None else base
+            if fresh is not None:
+                self.persistent.extend(
+                    self.task.name, side, version, fingerprint, table, delta, fresh
+                )
+            return merged
+        merged = _splice_encodings(
+            keys=tuple(table.record_ids()),
+            reused_positions=positions,
+            reused=base,
+            reused_rows=range(len(base)),
+            fresh_positions=encode_positions,
+            fresh=fresh,
+        )
+        _, stats = self.persistent.patch(
+            self.task.name, side, version, fingerprint, table, delta, merged
+        )
+        self.counters.record_chunks_patched(stats["chunks_patched"])
         return merged
 
     def _save_persistent(self, side: str, table: Table, encodings: TableEncodings) -> None:
@@ -338,35 +432,42 @@ class EncodingStore:
             table=table,
         )
 
-    def _extend_persistent(
+    def _sync_persistent(
         self, side: str, table: Table, merged: TableEncodings, fingerprint: Dict[str, Any]
     ) -> None:
-        """Write an in-memory append through to the persistent cache.
+        """Write an in-memory mutation refresh through to the persistent cache.
 
         The disk entry may lag the in-memory state (or not exist at all), so
-        the probe decides: extend from whatever prefix is valid on disk, or
-        fall back to a full save.
+        the probe decides: extend or patch from whatever is valid on disk,
+        or fall back to a full save.
         """
         if self.persistent is None:
             return
         version = self.representation.encoding_version
         delta = self.persistent.delta(self.task.name, side, version, fingerprint, table)
-        if delta is not None and delta.base_rows < len(merged):
-            from repro.engine.persist import _slice_encodings
-
-            self.persistent.extend(
-                self.task.name,
-                side,
-                version,
-                fingerprint,
-                table,
-                delta,
-                _slice_encodings(merged, delta.base_rows, len(merged)),
-            )
-        elif delta is None:
+        if delta is None:
             self.persistent.save(
                 self.task.name, side, version, fingerprint, merged, table=table
             )
+            return
+        if delta.is_append_only:
+            if delta.base_rows < len(merged):
+                from repro.engine.persist import _slice_encodings
+
+                self.persistent.extend(
+                    self.task.name,
+                    side,
+                    version,
+                    fingerprint,
+                    table,
+                    delta,
+                    _slice_encodings(merged, delta.base_rows, len(merged)),
+                )
+            return
+        _, stats = self.persistent.patch(
+            self.task.name, side, version, fingerprint, table, delta, merged
+        )
+        self.counters.record_chunks_patched(stats["chunks_patched"])
 
     def _serve(self, side: str, records: Optional[int] = None) -> TableEncodings:
         """Serve one side, counting a cache hit when no compute was needed.
@@ -527,6 +628,69 @@ class EncodingStore:
     def __repr__(self) -> str:
         cached = ",".join(sorted(self._cache)) or "empty"
         return f"EncodingStore(task={self.task.name!r}, cached=[{cached}])"
+
+
+def encode_table_rows(
+    representation: "EntityRepresentationModel", table: Table
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(irs, mu, sigma) of one table-shaped record collection.
+
+    Standalone so pool workers (which inherit the representation by fork)
+    can encode row ranges without constructing a store: the per-value IR
+    transform and row-wise VAE forward make each row's encoding independent
+    of which batch it rides in, which is what lets delta paths and pooled
+    tail encodes splice rows encoded at different times into one table.
+    """
+    irs = representation.ir_generator.transform_table(table)
+    n, arity, _ = irs.shape
+    if n == 0:
+        latent = representation.config.latent_dim
+        mu = np.zeros((0, arity, latent))
+        sigma = np.zeros((0, arity, latent))
+    else:
+        flat_mu, flat_sigma = representation.vae.encode_numpy(irs.reshape(n * arity, -1))
+        latent = flat_mu.shape[-1]
+        mu = flat_mu.reshape(n, arity, latent)
+        sigma = flat_sigma.reshape(n, arity, latent)
+    return irs, mu, sigma
+
+
+def _splice_encodings(
+    keys: Tuple[str, ...],
+    reused_positions: Sequence[int],
+    reused: TableEncodings,
+    reused_rows: Sequence[int],
+    fresh_positions: Sequence[int],
+    fresh: Optional[TableEncodings],
+) -> TableEncodings:
+    """Assemble a mutated table's encodings from reused and fresh rows.
+
+    ``reused_positions[i]`` (a current-table row) is filled from row
+    ``reused_rows[i]`` of ``reused``; ``fresh_positions[j]`` from row ``j``
+    of ``fresh``.  Together the two position sets must tile ``range(len(
+    keys))`` — the result is indistinguishable from a whole-table encode of
+    the current table.
+    """
+    n = len(keys)
+    reference = fresh if fresh is not None else reused
+    out: Dict[str, np.ndarray] = {}
+    for name in ("irs", "mu", "sigma"):
+        sample = np.asarray(getattr(reference, name))
+        array = np.empty((n,) + sample.shape[1:], dtype=sample.dtype)
+        if len(reused_positions):
+            array[np.asarray(reused_positions, dtype=np.intp)] = np.asarray(
+                getattr(reused, name)
+            )[np.asarray(reused_rows, dtype=np.intp)]
+        if fresh is not None and len(fresh_positions):
+            array[np.asarray(fresh_positions, dtype=np.intp)] = getattr(fresh, name)
+        out[name] = array
+    return TableEncodings(
+        keys=keys,
+        irs=out["irs"],
+        mu=out["mu"],
+        sigma=out["sigma"],
+        row_index={key: row for row, key in enumerate(keys)},
+    )
 
 
 def _concat_encodings(prefix: TableEncodings, tail: TableEncodings) -> TableEncodings:

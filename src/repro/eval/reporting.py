@@ -134,7 +134,8 @@ def format_engine_stats(counters: Optional[EngineCounters] = None) -> str:
     headers = [
         "Cache hits", "Cache misses", "Hit rate", "Encodes avoided", "Pairs scored",
         "Tables encoded", "Disk hits", "Disk misses", "Chunk loads",
-        "Rows re-encoded", "Pairs rescored", "Fingerprints",
+        "Rows re-encoded", "Rows tombstoned", "Chunks patched",
+        "Pairs rescored", "Fingerprints",
     ]
     row = [
         str(counters.cache_hits),
@@ -147,6 +148,8 @@ def format_engine_stats(counters: Optional[EngineCounters] = None) -> str:
         str(counters.disk_misses),
         str(counters.chunk_loads),
         str(counters.rows_reencoded),
+        str(counters.rows_tombstoned),
+        str(counters.chunks_patched),
         str(counters.pairs_rescored),
         str(counters.fingerprints_computed),
     ]

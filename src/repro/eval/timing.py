@@ -81,6 +81,8 @@ class EngineCounters:
     disk_misses: int = 0
     chunk_loads: int = 0
     rows_reencoded: int = 0
+    rows_tombstoned: int = 0
+    chunks_patched: int = 0
     pairs_rescored: int = 0
     fingerprints_computed: int = 0
 
@@ -119,6 +121,24 @@ class EngineCounters:
         """
         self.rows_reencoded += int(count)
 
+    def record_rows_tombstoned(self, count: int) -> None:
+        """``count`` rows dropped from cached encodings after a deletion.
+
+        Tombstoned rows cost no encode work — the counter exists so the
+        mutation path can prove a deletion re-encoded nothing: a delete-only
+        delta shows ``rows_tombstoned > 0`` with ``rows_reencoded == 0``.
+        """
+        self.rows_tombstoned += int(count)
+
+    def record_chunks_patched(self, count: int) -> None:
+        """``count`` superseding chunk generations written by a cache patch.
+
+        Each in-place edit dirties at most the chunks holding the edited
+        rows, so the counter bounds the write amplification of the mutation
+        layer: proportional to dirty chunks, never to table size.
+        """
+        self.chunks_patched += int(count)
+
     def record_pairs_rescored(self, count: int) -> None:
         """``count`` candidate pairs actually scored by a delta resolve.
 
@@ -147,6 +167,8 @@ class EngineCounters:
             "disk_misses": self.disk_misses,
             "chunk_loads": self.chunk_loads,
             "rows_reencoded": self.rows_reencoded,
+            "rows_tombstoned": self.rows_tombstoned,
+            "chunks_patched": self.chunks_patched,
             "pairs_rescored": self.pairs_rescored,
             "fingerprints_computed": self.fingerprints_computed,
         }
@@ -161,6 +183,8 @@ class EngineCounters:
         self.disk_misses = 0
         self.chunk_loads = 0
         self.rows_reencoded = 0
+        self.rows_tombstoned = 0
+        self.chunks_patched = 0
         self.pairs_rescored = 0
         self.fingerprints_computed = 0
 

@@ -266,3 +266,117 @@ class TestExtend:
         size = index.size
         index.extend(np.zeros((0, vectors.shape[1])), [])  # empty: no-op
         assert index.size == size
+
+
+class TestRemovePatchCompact:
+    """Delete-capable blocking: tombstones, in-place patches, compaction."""
+
+    def _keys(self, n):
+        return [f"k{i}" for i in range(n)]
+
+    def test_remove_masks_rows_out_of_answers(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        keys = self._keys(len(vectors))
+        index = EuclideanLSHIndex(seed=6, compaction_load=1.0).build(vectors, keys)
+        removed = ["k3", "k25", "k41"]
+        index.remove(removed)
+        assert index.size == len(vectors)  # stored rows untouched
+        assert index.live_size == len(vectors) - 3
+        assert index.tombstoned == 3
+        assert set(removed).isdisjoint(index.live_keys)
+        alive = [i for i in range(len(vectors)) if f"k{i}" not in removed]
+        rebuilt = EuclideanLSHIndex(seed=6).build(vectors[alive], [keys[i] for i in alive])
+        queries = vectors[::7]
+        assert index.query_batch(queries, k=5) == rebuilt.query_batch(queries, k=5)
+
+    def test_remove_then_fallback_scan_excludes_dead_rows(self):
+        """The linear-scan fallback (sparse buckets) must honour tombstones."""
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(6, 4))
+        index = EuclideanLSHIndex(seed=2, bucket_width=0.01, compaction_load=1.0)
+        index.build(vectors, self._keys(6))
+        index.remove(["k0", "k5"])
+        results = index.query_batch(vectors, k=6)
+        for row_results in results:
+            returned = {key for key, _ in row_results}
+            assert "k0" not in returned and "k5" not in returned
+            assert len(row_results) == 4
+
+    def test_patch_matches_rebuild_over_edited_vectors(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        keys = self._keys(len(vectors))
+        index = EuclideanLSHIndex(seed=7).build(vectors, keys)
+        edited = vectors.copy()
+        rng = np.random.default_rng(9)
+        dirty = [4, 21, 50]
+        edited[dirty] = rng.normal(scale=40.0, size=(len(dirty), vectors.shape[1]))
+        index.patch(edited[dirty], [keys[i] for i in dirty])
+        rebuilt = EuclideanLSHIndex(seed=7).build(edited, keys)
+        # Bucket-identical, not just answer-identical: patch reinserts the
+        # row at its sorted position inside the destination buckets.
+        for patched_table, rebuilt_table in zip(index._tables, rebuilt._tables):
+            assert {b: r for b, r in patched_table.items() if r} == dict(rebuilt_table)
+        queries = edited[::5]
+        assert index.query_batch(queries, k=5) == rebuilt.query_batch(queries, k=5)
+
+    def test_compaction_is_bucket_identical_to_rebuild(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        keys = self._keys(len(vectors))
+        index = EuclideanLSHIndex(seed=8, compaction_load=1.0).build(vectors, keys)
+        removed = [f"k{i}" for i in range(0, len(vectors), 4)]
+        index.remove(removed)
+        index.compact()
+        assert index.tombstoned == 0
+        alive = [i for i in range(len(vectors)) if f"k{i}" not in set(removed)]
+        rebuilt = EuclideanLSHIndex(seed=8).build(vectors[alive], [keys[i] for i in alive])
+        assert index.size == rebuilt.size == len(alive)
+        assert index.keys == rebuilt.keys
+        for compacted_table, rebuilt_table in zip(index._tables, rebuilt._tables):
+            assert dict(compacted_table) == dict(rebuilt_table)
+
+    def test_load_threshold_triggers_automatic_compaction(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        keys = self._keys(len(vectors))
+        index = EuclideanLSHIndex(seed=9, compaction_load=0.25).build(vectors, keys)
+        index.remove(["k0", "k1"])  # 2/60: below the load threshold
+        assert index.tombstoned == 2
+        index.remove([f"k{i}" for i in range(2, 20)])  # 20/60 > 0.25
+        assert index.tombstoned == 0, "crossing the load threshold must compact"
+        assert index.size == index.live_size == len(vectors) - 20
+
+    def test_mutation_sequence_matches_rebuild(self, clustered_vectors):
+        """remove + patch + extend in one session == rebuild of the end state."""
+        vectors, _ = clustered_vectors
+        keys = self._keys(len(vectors))
+        index = EuclideanLSHIndex(seed=10, compaction_load=1.0).build(vectors[:50], keys[:50])
+        edited = vectors.copy()
+        edited[7] = edited[7] + 30.0
+        index.remove(["k12", "k33"])
+        index.patch(edited[7:8], ["k7"])
+        index.extend(vectors[50:], keys[50:])
+        alive = [i for i in range(len(vectors)) if i not in (12, 33)]
+        rebuilt = EuclideanLSHIndex(seed=10).build(edited[alive], [keys[i] for i in alive])
+        queries = edited[::6]
+        assert index.query_batch(queries, k=5) == rebuilt.query_batch(queries, k=5)
+        assert index.live_keys == tuple(keys[i] for i in alive)
+
+    def test_remove_and_patch_validations(self, clustered_vectors):
+        vectors, _ = clustered_vectors
+        with pytest.raises(NotFittedError):
+            EuclideanLSHIndex().remove(["a"])
+        with pytest.raises(NotFittedError):
+            EuclideanLSHIndex().patch(vectors[:1], ["a"])
+        with pytest.raises(ValueError):
+            EuclideanLSHIndex(compaction_load=0.0)
+        index = EuclideanLSHIndex(seed=1).build(vectors, self._keys(len(vectors)))
+        with pytest.raises(KeyError):
+            index.remove(["unknown"])
+        with pytest.raises(KeyError):
+            index.patch(vectors[:1], ["unknown"])
+        index.remove(["k2"])
+        with pytest.raises(KeyError):  # tombstoned keys are gone
+            index.patch(vectors[:1], ["k2"])
+        with pytest.raises(ValueError):
+            index.patch(vectors[:2], ["k0"])  # keys misaligned
+        with pytest.raises(ValueError):
+            index.patch(np.zeros((1, vectors.shape[1] + 2)), ["k0"])

@@ -53,6 +53,44 @@ class TestTable:
         with pytest.raises(SchemaError):
             table.add(Record("r0", ("x", "y")))
 
+    def test_replace_keeps_position_and_bumps_revision(self):
+        table = _table()
+        revision = table.revision
+        previous = table.replace(Record("r1", ("edited", "values")))
+        assert previous.values == ("v1", "w1")
+        assert table["r1"].values == ("edited", "values")
+        assert table.record_ids() == ["r0", "r1", "r2"], "edits must not move rows"
+        assert table.revision == revision + 1
+        with pytest.raises(SchemaError):
+            table.replace(Record("r1", ("wrong-arity",)))
+        with pytest.raises(KeyError):
+            table.replace(Record("missing", ("x", "y")))
+
+    def test_remove_shifts_later_rows(self):
+        table = _table()
+        revision = table.revision
+        removed = table.remove("r1")
+        assert removed.record_id == "r1"
+        assert table.record_ids() == ["r0", "r2"]
+        assert table["r2"].values == ("v2", "w2")  # index rebuilt correctly
+        assert "r1" not in table and len(table) == 2
+        assert table.revision == revision + 1
+        with pytest.raises(KeyError):
+            table.remove("r1")
+        # A removed id can be re-issued (delete + re-add semantics).
+        table.add(Record("r1", ("new", "row")))
+        assert table.record_ids() == ["r0", "r2", "r1"]
+
+    def test_revision_counts_every_mutation(self):
+        table = Table("t", ("a", "b"))
+        assert table.revision == 0
+        table.add(Record("r0", ("x", "y")))
+        table.add(Record("r1", ("x", "y")))
+        assert table.revision == 2
+        table.replace(Record("r0", ("z", "y")))
+        table.remove("r1")
+        assert table.revision == 4
+
     def test_attribute_values(self):
         assert _table().attribute_values("a") == ["v0", "v1", "v2"]
 

@@ -19,7 +19,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.config import BlockingConfig, VAEConfig
 from repro.core.representation import EntityRepresentationModel
-from repro.data.generators import DOMAIN_NAMES, append_rows, load_domain
+from repro.data.generators import (
+    DOMAIN_NAMES,
+    append_rows,
+    delete_rows,
+    load_domain,
+    mutate_rows,
+)
 from repro.data.generators.base import DomainSpec, SyntheticDomainGenerator, compose, pick
 from repro.engine import (
     EncodingStore,
@@ -132,6 +138,110 @@ class TestRegistryEquivalence:
         np.testing.assert_allclose(delta.probabilities, cold.probabilities, atol=1e-9)
         assert {p.key() for p in delta.matches()} == {p.key() for p in cold.matches()}
 
+    @pytest.mark.parametrize("name", DOMAIN_NAMES)
+    def test_mutation_delta_equals_cold_full_resolve(self, name):
+        """The mutation acceptance contract, on every registry domain: after
+        k in-place edits + d deletions + a appends to a warm table, the delta
+        resolve re-encodes exactly k + a rows, tombstones exactly d, keeps
+        deleted rows out of the candidate stream, and yields the identical
+        match set as a cold full resolve of the mutated tables."""
+        domain = load_domain(name, scale=0.2)
+        representation = EntityRepresentationModel(
+            VAEConfig(ir_dim=12, hidden_dim=16, latent_dim=6, epochs=1, seed=7), ir_method="lsa"
+        ).fit(domain.task)
+        matcher = _DistanceMatcher()
+        blocking = BlockingConfig(seed=19)
+
+        store = ShardedEncodingStore(
+            representation, domain.task, counters=EngineCounters(), shard_rows=16
+        )
+        executor = resolve_delta(store, matcher, baseline=None, blocking=blocking, k=4, batch_size=13)
+        merge_scored_batches(executor.run())
+        baseline = executor.baseline_out
+
+        # Delete first, then edit (edits always target surviving rows), then
+        # append — so re-encode work is exactly k edits + a appends.
+        deleted = delete_rows(domain, side="right", rows=4)
+        edited = mutate_rows(domain, side="right", rows=5)
+        mutate_rows(domain, side="left", rows=2)
+        appended = append_rows(domain, side="right", rows=6)
+        # An append may re-issue a deleted trailing id (delete + re-add); the
+        # tombstoned *row* is still gone, so exclude re-issued ids below.
+        deleted_ids = {r.record_id for r in deleted} - {r.record_id for r in appended}
+        edited_ids = {r.record_id for r in edited}
+
+        rows_before = store.counters.rows_reencoded
+        rescored_before = store.counters.pairs_rescored
+        warm = resolve_delta(
+            store, matcher, baseline=baseline, blocking=blocking, k=4, batch_size=13
+        )
+        delta = merge_scored_batches(warm.run())
+        assert store.counters.tables_encoded == 2, "delta run must not re-encode tables"
+        assert store.counters.rows_reencoded - rows_before == 5 + 2 + 6
+        assert store.counters.rows_tombstoned == 4
+        # Tombstoned rows never surface in any candidate pair.
+        assert all(p.right_id not in deleted_ids for p in delta.pairs)
+        rescored = store.counters.pairs_rescored - rescored_before
+        assert 0 < rescored < len(delta), "some baseline scores must be reused"
+        # Every pair touching an edited right row was rescored, not reused.
+        stale = [p for p in delta.pairs if p.right_id in edited_ids]
+        assert stale, "edited rows should still block (they remain similar)"
+
+        cold_store = ShardedEncodingStore(
+            representation, domain.task, counters=EngineCounters(), shard_rows=16
+        )
+        cold = merge_scored_batches(
+            resolve_stream(cold_store, matcher, blocking=blocking, k=4, batch_size=13)
+        )
+        assert [p.key() for p in delta.pairs] == [p.key() for p in cold.pairs]
+        np.testing.assert_allclose(delta.probabilities, cold.probabilities, atol=1e-9)
+        assert {p.key() for p in delta.matches()} == {p.key() for p in cold.matches()}
+
+    def test_parallel_delta_tail_matches_serial(self):
+        """workers>1 fans the pending-row encode and left-shard queries across
+        the pool; the stream must stay byte-identical to the serial delta run
+        (and therefore equivalent to a cold resolve)."""
+        domain = _fresh_tiny_domain()
+        twin = _fresh_tiny_domain()
+        representation = EntityRepresentationModel(
+            VAEConfig(ir_dim=12, hidden_dim=16, latent_dim=6, epochs=1, seed=3), ir_method="lsa"
+        ).fit(domain.task)
+        matcher = _DistanceMatcher()
+        blocking = BlockingConfig(seed=19)
+
+        def capture(d):
+            store = ShardedEncodingStore(
+                representation, d.task, counters=EngineCounters(), shard_rows=8
+            )
+            executor = resolve_delta(store, matcher, baseline=None, blocking=blocking, k=4, batch_size=13)
+            merge_scored_batches(executor.run())
+            return store, executor.baseline_out
+
+        store_serial, baseline_serial = capture(domain)
+        store_pooled, baseline_pooled = capture(twin)
+        for d in (domain, twin):
+            mutate_rows(d, side="right", rows=3)
+            append_rows(d, side="right", rows=20)  # > shard_rows: fans out
+
+        serial = merge_scored_batches(resolve_delta(
+            store_serial, matcher, baseline=baseline_serial, blocking=blocking,
+            k=4, batch_size=13, workers=1,
+        ).run())
+        pooled_executor = resolve_delta(
+            store_pooled, matcher, baseline=baseline_pooled, blocking=blocking,
+            k=4, batch_size=13, workers=2,
+        )
+        assert pooled_executor.plan.workers == 2
+        encode_units = pooled_executor.plan.stage("encode").units
+        assert any("delta[" in unit.name for unit in encode_units), (
+            "a pending tail larger than one shard must fan out in the plan"
+        )
+        pooled = merge_scored_batches(pooled_executor.run())
+        assert store_pooled.counters.rows_reencoded == store_serial.counters.rows_reencoded == 23
+        assert [p.key() for p in pooled.pairs] == [p.key() for p in serial.pairs]
+        np.testing.assert_array_equal(pooled.probabilities, serial.probabilities)
+        assert {p.key() for p in pooled.matches()} == {p.key() for p in serial.matches()}
+
     def test_rescored_pairs_all_involve_new_rows(self):
         """The score stage restricts matcher work to pairs touching new rows."""
         domain = _fresh_tiny_domain()
@@ -199,6 +309,82 @@ class TestChunkFingerprintReuse:
         assert store.counters.disk_hits == 2
         assert len(grown) == base_rows + k
 
+    def test_mutated_table_served_from_patched_cache(self, delta_representation, tmp_path):
+        """A fresh store over a patched entry pays only for the mutation, and
+        the store after it pays nothing at all."""
+        domain = _fresh_tiny_domain()
+        cache = PersistentEncodingCache(tmp_path / "mut-cache", chunk_rows=16)
+        cold = EncodingStore(
+            delta_representation, domain.task, counters=EngineCounters(), persistent=cache
+        )
+        cold.table_encodings("right")
+        assert cold.counters.tables_encoded == 1
+
+        deleted = delete_rows(domain, side="right", rows=3)
+        mutate_rows(domain, side="right", rows=4)
+        append_rows(domain, side="right", rows=5)
+
+        warm = EncodingStore(
+            delta_representation, domain.task, counters=EngineCounters(), persistent=cache
+        )
+        served = warm.table_encodings("right")
+        assert warm.counters.tables_encoded == 0
+        assert warm.counters.rows_reencoded == 4 + 5
+        assert warm.counters.rows_tombstoned == 3
+        assert warm.counters.chunks_patched >= 1
+        assert served.keys == tuple(domain.task.right.record_ids())
+        assert all(r.record_id not in served.row_index for r in deleted)
+
+        # The patch landed: the next fresh store is a pure disk hit.
+        exact = EncodingStore(
+            delta_representation, domain.task, counters=EngineCounters(), persistent=cache
+        )
+        again = exact.table_encodings("right")
+        assert exact.counters.tables_encoded == 0
+        assert exact.counters.rows_reencoded == 0
+        assert exact.counters.disk_hits == 1
+        np.testing.assert_array_equal(np.asarray(again.mu), np.asarray(served.mu))
+        # And the served encodings equal a from-scratch encode of the table
+        # (to float round-off: re-encoded rows rode a different matmul batch
+        # shape, like every other delta path).
+        scratch = EncodingStore(
+            delta_representation, domain.task, counters=EngineCounters()
+        ).table_encodings("right")
+        np.testing.assert_allclose(np.asarray(again.irs), scratch.irs, atol=1e-12)
+        np.testing.assert_allclose(np.asarray(again.mu), scratch.mu, atol=1e-12)
+
+    def test_in_memory_mutation_refresh_without_disk_cache(self, delta_representation):
+        """A live store notices edits and deletions on its backing table and
+        refreshes through the row-identity diff — no persistent cache."""
+        domain = _fresh_tiny_domain()
+        store = EncodingStore(delta_representation, domain.task, counters=EngineCounters())
+        first = store.table_encodings("right")
+        edited = mutate_rows(domain, side="right", rows=2)
+        removed = delete_rows(domain, side="right", rows=2)
+        second = store.table_encodings("right")
+        assert store.counters.tables_encoded == 1  # only the cold encode
+        assert store.counters.rows_reencoded == 2
+        assert store.counters.rows_tombstoned == 2
+        assert len(second) == len(first) - 2
+        assert second.keys == tuple(domain.task.right.record_ids())
+        edited_ids = {r.record_id for r in edited}
+        removed_ids = {r.record_id for r in removed}
+        for key in second.keys:
+            if key in edited_ids:
+                continue
+            np.testing.assert_array_equal(
+                second.mu[second.row_index[key]], first.mu[first.row_index[key]]
+            )
+        assert removed_ids.isdisjoint(second.row_index)
+        for key in edited_ids - removed_ids:
+            assert not np.array_equal(
+                second.mu[second.row_index[key]], first.mu[first.row_index[key]]
+            )
+        # The refreshed table is served from cache on the next access.
+        hits_before = store.counters.cache_hits
+        store.table_encodings("right")
+        assert store.counters.cache_hits == hits_before + 1
+
     def test_in_memory_append_refresh_without_disk_cache(self, delta_representation):
         """A live store notices its backing table grew and refreshes via the
         same append-only path — no persistent cache required."""
@@ -230,6 +416,64 @@ class TestChunkFingerprintReuse:
         assert store.counters.fingerprints_computed == 2
 
 
+class TestMutationProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        k=st.integers(min_value=0, max_value=6),
+        d=st.integers(min_value=0, max_value=6),
+        a=st.integers(min_value=0, max_value=10),
+    )
+    def test_random_mutation_mix_reencodes_exactly_k_plus_a(
+        self, delta_representation, k, d, a
+    ):
+        """For any mix of k edits, d deletes and a appends to the right table:
+        ``rows_reencoded == k + a``, tombstoned rows never appear in any
+        candidate pair, and the match set equals a cold resolve."""
+        domain = _fresh_tiny_domain()
+        matcher = _DistanceMatcher()
+        blocking = BlockingConfig(seed=19)
+        store = EncodingStore(delta_representation, domain.task, counters=EngineCounters())
+        executor = resolve_delta(store, matcher, baseline=None, blocking=blocking, k=4, batch_size=13)
+        merge_scored_batches(executor.run())
+        baseline = executor.baseline_out
+
+        deleted_ids = set()
+        reissued = 0
+        if d:
+            deleted_ids = {r.record_id for r in delete_rows(domain, side="right", rows=d)}
+        if k:
+            mutate_rows(domain, side="right", rows=k)
+        if a:
+            # Appends may re-issue deleted trailing ids (delete + re-add);
+            # those rows are new, not the tombstoned ones.  A re-issued id
+            # whose position realigns is classified as an in-place edit
+            # instead of delete + append — either way it re-encodes once.
+            appended_ids = {r.record_id for r in append_rows(domain, side="right", rows=a)}
+            reissued = len(deleted_ids & appended_ids)
+            deleted_ids -= appended_ids
+
+        rows_before = store.counters.rows_reencoded
+        tombstoned_before = store.counters.rows_tombstoned
+        warm = resolve_delta(
+            store, matcher, baseline=baseline, blocking=blocking, k=4, batch_size=13
+        )
+        delta = merge_scored_batches(warm.run())
+        assert store.counters.rows_reencoded - rows_before == k + a
+        assert d - reissued <= store.counters.rows_tombstoned - tombstoned_before <= d
+        assert store.counters.tables_encoded == 2  # the cold capture only
+        assert all(p.right_id not in deleted_ids for p in delta.pairs)
+
+        cold_store = EncodingStore(
+            delta_representation, domain.task, counters=EngineCounters()
+        )
+        cold = merge_scored_batches(
+            resolve_stream(cold_store, matcher, blocking=blocking, k=4, batch_size=13)
+        )
+        assert [p.key() for p in delta.pairs] == [p.key() for p in cold.pairs]
+        np.testing.assert_allclose(delta.probabilities, cold.probabilities, atol=1e-9)
+        assert {p.key() for p in delta.matches()} == {p.key() for p in cold.matches()}
+
+
 class TestBaselineHygiene:
     def _fit(self, domain, seed=3):
         return EntityRepresentationModel(
@@ -256,6 +500,51 @@ class TestBaselineHygiene:
         cold = merge_scored_batches(resolve_stream(cold_store, matcher, k=4, batch_size=13))
         assert [p.key() for p in refreshed.pairs] == [p.key() for p in cold.pairs]
         np.testing.assert_array_equal(refreshed.probabilities, cold.probabilities)
+
+    def test_abandoned_stream_cannot_poison_the_baseline(self, delta_representation):
+        """An abandoned delta stream mutates the baseline index in place but
+        never publishes a new baseline; the next run against the *kept*
+        baseline must notice (index mutation counter) and rebuild instead of
+        trusting the half-mutated index — even when the mutation was a
+        vector-only patch that key comparison cannot see."""
+        domain = _fresh_tiny_domain()
+        matcher = _DistanceMatcher()
+        store = EncodingStore(delta_representation, domain.task, counters=EngineCounters())
+        executor = resolve_delta(store, matcher, baseline=None, k=4, batch_size=13)
+        merge_scored_batches(executor.run())
+        baseline = executor.baseline_out
+        mutations_at_capture = baseline.index.mutations
+
+        # Edit one right row in place (keys unchanged), start an incremental
+        # resolve, consume a single batch, abandon the stream.
+        records_before = {r.record_id: r for r in domain.task.right}
+        edited = mutate_rows(domain, side="right", rows=1, seed=31)[0]
+        abandoned = resolve_delta(store, matcher, baseline=baseline, k=4, batch_size=13)
+        stream = abandoned.run()
+        next(iter(stream))
+        assert abandoned.baseline_out is None, "an abandoned stream publishes nothing"
+        assert baseline.index.mutations != mutations_at_capture, (
+            "the abandoned run patched the index in place"
+        )
+
+        # Revert the edit: the table now matches the baseline snapshot again,
+        # but the index does not — reuse must be refused.
+        domain.task.right.replace(records_before[edited.record_id])
+        assert not baseline.index_usable(
+            delta_representation.encoding_version,
+            None,
+            baseline.diff_side("right", domain.task.right),
+        )
+        warm = merge_scored_batches(
+            resolve_delta(store, matcher, baseline=baseline, k=4, batch_size=13).run()
+        )
+        cold_store = EncodingStore(
+            delta_representation, domain.task, counters=EngineCounters()
+        )
+        cold = merge_scored_batches(resolve_stream(cold_store, matcher, k=4, batch_size=13))
+        assert [p.key() for p in warm.pairs] == [p.key() for p in cold.pairs]
+        np.testing.assert_allclose(warm.probabilities, cold.probabilities, atol=1e-9)
+        assert {p.key() for p in warm.matches()} == {p.key() for p in cold.matches()}
 
     def test_new_matcher_invalidates_scores_not_index(self, delta_representation):
         domain = _fresh_tiny_domain()
@@ -318,7 +607,45 @@ class TestDeltaPlan:
         assert encode.units[1].rows == 6 and "append-only" in encode.units[1].detail
         block = plan.stage("block")
         assert block.units[0].name == "extend right" and block.units[0].rows == 6
-        assert "new rows" in plan.stage("score").units[0].detail
+        assert "new or dirty rows" in plan.stage("score").units[0].detail
+
+    def test_delta_plan_mutation_units(self):
+        """Edits and deletions surface as patch/tombstone units in the graph."""
+        domain = _fresh_tiny_domain()
+        planner = ResolutionPlanner(domain.task, k=4, batch_size=13, shard_rows=16)
+        plan = planner.plan_delta(
+            base_left_rows=len(domain.task.left),
+            base_right_rows=len(domain.task.right) - 5,
+            index_reusable=True,
+            dirty_right_rows=3,
+            deleted_right_rows=2,
+        )
+        assert plan.delta.dirty_right_rows == 3
+        assert plan.delta.deleted_right_rows == 2
+        encode_names = [unit.name for unit in plan.stage("encode").units]
+        assert "right patch" in encode_names and "right tail" in encode_names
+        block_names = [unit.name for unit in plan.stage("block").units]
+        assert block_names[:3] == ["tombstone right", "patch right", "extend right"]
+        text = plan.describe()
+        assert "dirty 3" in text and "deleted 2" in text
+        assert "tombstone right" in text
+
+    def test_delta_plan_pooled_encode_units(self):
+        """With workers > 1, pending rows beyond one shard fan into per-slice
+        encode units."""
+        domain = _fresh_tiny_domain()
+        planner = ResolutionPlanner(domain.task, k=4, batch_size=13, workers=2, shard_rows=8)
+        plan = planner.plan_delta(
+            base_left_rows=len(domain.task.left),
+            base_right_rows=len(domain.task.right) - 20,
+            index_reusable=True,
+        )
+        assert plan.workers == 2
+        names = [unit.name for unit in plan.stage("encode").units]
+        assert names[0] == "left"
+        assert [n for n in names if n.startswith("right delta[")], names
+        fanned = [unit for unit in plan.stage("encode").units if "delta[" in unit.name]
+        assert sum(unit.rows for unit in fanned) == 20
 
     def test_delta_plan_without_baseline_is_cold(self):
         domain = _fresh_tiny_domain()

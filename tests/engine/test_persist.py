@@ -455,21 +455,76 @@ class TestDeltaProbeAndExtend:
         assert counters.chunk_loads == 3  # 20 rows in 8-row chunks
         np.testing.assert_array_equal(np.asarray(prefix.mu), encodings.mu)
 
-    def test_probe_rejects_foreign_model_and_edits(self, tmp_path):
+    def test_probe_rejects_foreign_model(self, tmp_path):
         cache, table, _, fingerprint = self._saved(tmp_path, n=20)
         foreign = dict(
             fingerprint,
             model=dict(fingerprint["model"], weights_crc=fingerprint["model"]["weights_crc"] + 1),
         )
         assert cache.delta("t", "right", 1, foreign, table) is None
-        # An edit inside the second chunk truncates the valid prefix there.
+
+    def test_probe_classifies_edits_row_precisely(self, tmp_path):
+        """An in-place edit dirties exactly the edited row — any position."""
+        cache, _, _, _ = self._saved(tmp_path, n=20)
         edited = _synthetic_table(20)
-        edited._records[10] = Record("r10", ("EDITED", "beta-10"))
+        edited.replace(Record("r10", ("EDITED", "beta-10")))
         delta = cache.delta("t", "right", 1, _synthetic_fingerprint(edited), edited)
-        assert delta is not None and delta.base_rows == self.CHUNK
-        # An edit in the first chunk leaves nothing reusable.
-        edited._records[0] = Record("r0", ("EDITED", "beta-0"))
-        assert cache.delta("t", "right", 1, _synthetic_fingerprint(edited), edited) is None
+        assert delta is not None
+        assert delta.base_rows == 20 and delta.new_rows == 0
+        assert delta.dirty_ranges == ((10, 11),)
+        assert delta.deleted_rows == ()
+        # Only the chunk holding row 10 loses validity.
+        assert [chunk[:2] for chunk in delta.valid_chunks] == [(0, 8), (16, 20)]
+        # An edit in the first chunk is equally recoverable (no prefix rule).
+        edited.replace(Record("r0", ("EDITED", "beta-0")))
+        again = cache.delta("t", "right", 1, _synthetic_fingerprint(edited), edited)
+        assert again is not None and again.dirty_ranges == ((0, 1), (10, 11))
+        assert again.encode_positions() == (0, 10)
+        positions, stored = again.reused_rows()
+        assert 0 not in positions and 10 not in positions and len(positions) == 18
+        assert stored == positions  # nothing deleted: stored == current
+
+    def test_probe_classifies_deletions_and_reorders(self, tmp_path):
+        cache, _, _, _ = self._saved(tmp_path, n=20)
+        shrunk = _synthetic_table(20)
+        shrunk.remove("r5")
+        shrunk.remove("r13")
+        delta = cache.delta("t", "right", 1, _synthetic_fingerprint(shrunk), shrunk)
+        assert delta is not None
+        assert delta.deleted_rows == (5, 13)
+        assert delta.dirty_ranges == () and delta.new_rows == 0
+        assert delta.base_rows == 18 == delta.total_rows
+        # Chunks containing the deleted stored rows are no longer fully valid
+        # (their clean rows are still served through load_reused).
+        assert [chunk[:2] for chunk in delta.valid_chunks] == [(16, 20)]
+        positions, stored = delta.reused_rows()
+        assert len(positions) == 18
+        assert 5 not in stored and 13 not in stored
+        # A reorder degrades to delete + re-add: a fully reversed table keeps
+        # one survivor (the first current row) and rewrites everything else.
+        shuffled = Table("t", ("a", "b"), list(reversed(_synthetic_table(20).records())))
+        reversed_delta = cache.delta("t", "right", 1, _synthetic_fingerprint(shuffled), shuffled)
+        assert reversed_delta is not None
+        assert reversed_delta.base_rows == 1
+        assert len(reversed_delta.deleted_rows) == 19
+        assert reversed_delta.appended_range == (1, 20)
+
+    def test_probe_mixed_edit_delete_append(self, tmp_path):
+        cache, _, _, _ = self._saved(tmp_path, n=20)
+        table = _synthetic_table(20)
+        table.replace(Record("r3", ("EDITED", "beta-3")))
+        table.remove("r11")
+        for i in range(20, 24):
+            table.add(Record(f"r{i}", (f"alpha-{i}", f"beta-{i}")))
+        delta = cache.delta("t", "right", 1, _synthetic_fingerprint(table), table)
+        assert delta is not None
+        assert delta.dirty_ranges == ((3, 4),)
+        assert delta.deleted_rows == (11,)
+        assert delta.appended_range == (19, 23)
+        assert delta.new_rows == 4 and delta.dirty_rows == 1
+        assert not delta.is_append_only
+        # Encode exactly the edited row plus the appended tail.
+        assert delta.encode_positions() == (3, 19, 20, 21, 22)
 
     def test_extend_appends_chunks_and_serves_exact_loads(self, tmp_path):
         cache, table, encodings, _ = self._saved(tmp_path, n=20)
@@ -500,6 +555,76 @@ class TestDeltaProbeAndExtend:
             table.add(Record(f"r{i}", (f"alpha-{i}", f"beta-{i}")))
         again = cache.delta("t", "right", 1, _synthetic_fingerprint(table), table)
         assert again is not None and again.base_rows == 31
+
+    def test_patch_writes_superseding_generations_and_tombstones(self, tmp_path):
+        """Edits supersede chunks (old generation untouched on disk), deletes
+        tombstone manifest rows, appends extend — and the patched entry then
+        serves a full load equal to the mutated table's state."""
+        cache, table, encodings, _ = self._saved(tmp_path, n=20)
+        table.replace(Record("r10", ("EDITED", "beta-10")))
+        table.remove("r2")
+        for i in range(20, 23):
+            table.add(Record(f"r{i}", (f"alpha-{i}", f"beta-{i}")))
+        fingerprint = _synthetic_fingerprint(table)
+        delta = cache.delta("t", "right", 1, fingerprint, table)
+        assert delta is not None and not delta.is_append_only
+
+        # What the store would splice: reused rows + freshly encoded ones.
+        fresh = _synthetic_encodings(23, seed=4)
+        merged = TableEncodings(
+            keys=tuple(table.record_ids()),
+            irs=fresh.irs[:19].copy(), mu=fresh.mu[:19].copy(), sigma=fresh.sigma[:19].copy(),
+            row_index={},
+        )
+        positions, stored = delta.reused_rows()
+        old = np.asarray(encodings.mu)
+        for position, stored_index in zip(positions, stored):
+            merged.mu[position] = old[stored_index]
+            merged.irs[position] = np.asarray(encodings.irs)[stored_index]
+            merged.sigma[position] = np.asarray(encodings.sigma)[stored_index]
+        merged = TableEncodings(
+            keys=tuple(table.record_ids()),
+            irs=np.concatenate([merged.irs, fresh.irs[19:22]]),
+            mu=np.concatenate([merged.mu, fresh.mu[19:22]]),
+            sigma=np.concatenate([merged.sigma, fresh.sigma[19:22]]),
+            row_index={key: row for row, key in enumerate(table.record_ids())},
+        )
+        _, stats = cache.patch("t", "right", 1, fingerprint, table, delta, merged)
+        assert stats["rows_tombstoned"] == 1
+        assert stats["chunks_patched"] == 1  # only the chunk holding row 10
+        assert stats["chunks_appended"] == 1  # rows 20..23
+
+        manifest = json.loads(cache.manifest_path("t", "right", 1).read_text())
+        assert manifest["format"] == 4
+        assert manifest["tombstones"] == [2]
+        by_range = {(chunk[0], chunk[1]): chunk for chunk in manifest["chunks"]}
+        assert by_range[(8, 16)][3] == 1  # superseded generation
+        assert by_range[(0, 8)][3] == 0  # deletion alone does not rewrite
+        assert (20, 23) in by_range
+        # Both generations exist on disk until prune sweeps the stale one.
+        assert cache.chunk_path("t", "right", 1, 8, 16, 0).is_file()
+        assert cache.chunk_path("t", "right", 1, 8, 16, 1).is_file()
+
+        loaded = cache.load("t", "right", 1, fingerprint)
+        assert loaded is not None and len(loaded) == len(table) == 22
+        assert loaded.keys == tuple(table.record_ids())
+        np.testing.assert_array_equal(np.asarray(loaded.mu), merged.mu)
+
+        # Prune sweeps exactly the superseded generation file.
+        removed = cache.prune()
+        assert removed["files"] == 1
+        assert not cache.chunk_path("t", "right", 1, 8, 16, 0).is_file()
+        assert cache.load("t", "right", 1, fingerprint) is not None
+
+    def test_prune_dry_run_reports_without_deleting(self, tmp_path):
+        cache, table, encodings, _ = self._saved(tmp_path, n=20)
+        stray = cache.chunk_path("t", "right", 1, 99, 120)
+        stray.write_bytes(b"leftover of a superseded generation")
+        preview = cache.prune(dry_run=True)
+        assert preview["files"] == 1 and preview["bytes"] > 0
+        assert stray.is_file(), "dry run must not delete"
+        assert cache.prune() == preview
+        assert not stray.is_file()
 
     def test_keys_only_entries_are_opaque_to_delta(self, tmp_path):
         """Entries saved without a table (synthetic benchmarks) serve full
@@ -550,6 +675,84 @@ class TestCacheInspection:
         assert removed["files"] == 1 and not stray.is_file()
         # The referenced chunks still serve.
         assert cache.load("t", "right", 1, _synthetic_fingerprint(table)) is not None
+
+
+class TestV3ManifestMigration:
+    """Format-3 (pre-mutation) manifests are upgraded to v4 on first read."""
+
+    CHUNK = 8
+
+    def _v3_entry(self, tmp_path, n=20):
+        """Write a v4 entry, then rewrite its manifest in the v3 shape."""
+        cache = PersistentEncodingCache(tmp_path / "v3", chunk_rows=self.CHUNK)
+        table = _synthetic_table(n)
+        encodings = _synthetic_encodings(n)
+        fingerprint = _synthetic_fingerprint(table)
+        cache.save("t", "right", 1, fingerprint, encodings, table=table)
+        manifest_path = cache.manifest_path("t", "right", 1)
+        manifest = json.loads(manifest_path.read_text())
+        downgraded = {
+            key: value
+            for key, value in manifest.items()
+            if key not in ("row_crcs", "tombstones")
+        }
+        downgraded["format"] = 3
+        downgraded["chunks"] = [chunk[:3] for chunk in manifest["chunks"]]
+        manifest_path.write_text(json.dumps(downgraded))
+        return cache, table, encodings, fingerprint
+
+    def test_v3_manifest_migrates_on_first_load(self, tmp_path):
+        cache, table, encodings, fingerprint = self._v3_entry(tmp_path)
+        loaded = cache.load("t", "right", 1, fingerprint, table=table)
+        assert loaded is not None
+        manifest = json.loads(cache.manifest_path("t", "right", 1).read_text())
+        assert manifest["format"] == 4
+        assert manifest["tombstones"] == []
+        assert [chunk[3] for chunk in manifest["chunks"]] == [0, 0, 0]
+        # With the table in hand, the migration recovers per-row CRCs, so the
+        # entry is immediately row-precisely delta-probeable.
+        from repro.engine import table_row_crcs
+
+        assert manifest["row_crcs"] == table_row_crcs(table)
+        table.replace(Record("r7", ("EDITED", "beta-7")))
+        delta = cache.delta("t", "right", 1, _synthetic_fingerprint(table), table)
+        assert delta is not None and delta.dirty_ranges == ((7, 8),)
+
+    def test_v3_migration_preserves_arrays_byte_identically(self, tmp_path):
+        """Mirror of the flat->chunked byte-identity test: migration rewrites
+        only the manifest, so every served array is bit-for-bit unchanged."""
+        cache, table, encodings, fingerprint = self._v3_entry(tmp_path)
+        chunk_bytes = {
+            path.name: path.read_bytes()
+            for path in cache.dir_for("t", "right", 1).glob("chunk-*.npz")
+        }
+        migrated = cache.load("t", "right", 1, fingerprint, table=table)
+        reloaded = cache.load("t", "right", 1, fingerprint)
+        for served in (migrated, reloaded):
+            assert served is not None
+            assert served.keys == encodings.keys
+            for name in ("irs", "mu", "sigma"):
+                original = np.ascontiguousarray(getattr(encodings, name))
+                roundtripped = np.ascontiguousarray(np.asarray(getattr(served, name)))
+                assert original.dtype == roundtripped.dtype
+                assert original.shape == roundtripped.shape
+                assert original.tobytes() == roundtripped.tobytes()
+        # The chunk archives themselves were not rewritten at all.
+        for path in cache.dir_for("t", "right", 1).glob("chunk-*.npz"):
+            assert path.read_bytes() == chunk_bytes[path.name]
+
+    def test_v3_probe_without_row_crcs_degrades_to_chunk_granularity(self, tmp_path):
+        """A delta probe hitting a not-yet-migrated v3 manifest still works:
+        edits dirty their whole chunk (safe over-approximation), appends stay
+        row-exact."""
+        cache, table, _, _ = self._v3_entry(tmp_path)
+        table.replace(Record("r10", ("EDITED", "beta-10")))
+        for i in range(20, 23):
+            table.add(Record(f"r{i}", (f"alpha-{i}", f"beta-{i}")))
+        delta = cache.delta("t", "right", 1, _synthetic_fingerprint(table), table)
+        assert delta is not None
+        assert delta.dirty_ranges == ((8, 16),)  # chunk-aligned, not row-exact
+        assert delta.appended_range == (20, 23)
 
 
 class TestFlatLayoutMigration:

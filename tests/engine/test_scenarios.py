@@ -138,6 +138,63 @@ class TestScenarioEquivalence:
         np.testing.assert_allclose(delta.probabilities, cold.probabilities, atol=1e-9)
         assert {p.key() for p in delta.matches()} == {p.key() for p in cold.matches()}
 
+    def test_incremental_scenario_mutated_table(self):
+        """The mixed mutation scenario end to end through ``VAER``.
+
+        Resolve once incrementally (captures the baseline), edit
+        ``REPRO_ENGINE_EDIT_ROWS`` rows in place, delete
+        ``REPRO_ENGINE_DELETE_ROWS`` rows, append a few, resolve
+        incrementally again — CI's fourth engine run raises the knobs — and
+        demand (a) re-encode work equals exactly edits + appends, (b) no
+        deleted row in the candidate stream, and (c) the same match set as a
+        cold full resolve of the mutated task.
+        """
+        from repro.data.generators import append_rows, delete_rows, mutate_rows
+        from repro.engine import ShardedEncodingStore, resolve_stream
+        from repro.eval.timing import EngineCounters, StageTimings
+
+        edits = int(os.environ.get("REPRO_ENGINE_EDIT_ROWS", "6"))
+        deletes = int(os.environ.get("REPRO_ENGINE_DELETE_ROWS", "4"))
+        appends = 8
+        domain = load_domain("software", scale=0.25)
+        config = VAERConfig(
+            vae=VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=2, seed=7),
+            matcher=MatcherConfig(epochs=8, mlp_hidden=(16, 8), seed=9),
+        )
+        cache_dir = os.environ.get("REPRO_CACHE_DIR")
+        model = VAER(config, cache_dir=cache_dir).fit_representation(domain.task)
+        model.fit_matcher(domain.splits.train, domain.splits.validation)
+
+        merge_scored_batches(model.resolve_stream(k=5, batch_size=17, incremental=True))
+        deleted = delete_rows(domain, side="right", rows=deletes)
+        mutate_rows(domain, side="right", rows=edits)
+        appended = append_rows(domain, side="right", rows=appends)
+        gone = {r.record_id for r in deleted} - {r.record_id for r in appended}
+
+        timings = StageTimings()
+        counters = model.store.counters
+        rows_before, tables_before = counters.rows_reencoded, counters.tables_encoded
+        delta = merge_scored_batches(
+            model.resolve_stream(k=5, batch_size=17, incremental=True, stage_timings=timings)
+        )
+        assert counters.tables_encoded == tables_before, "delta must not re-encode tables"
+        assert counters.rows_reencoded - rows_before == edits + appends
+        assert timings.counter("rows_reencoded") == edits + appends
+        assert timings.counter("rows_tombstoned") <= deletes
+        assert 0 < timings.counter("pairs_rescored") <= len(delta)
+        assert all(p.right_id not in gone for p in delta.pairs)
+
+        cold_store = ShardedEncodingStore(
+            model.representation, domain.task, counters=EngineCounters()
+        )
+        cold = merge_scored_batches(
+            resolve_stream(cold_store, model.matcher, blocking=config.blocking,
+                           k=5, batch_size=17, threshold=model.threshold)
+        )
+        assert [p.key() for p in delta.pairs] == [p.key() for p in cold.pairs]
+        np.testing.assert_allclose(delta.probabilities, cold.probabilities, atol=1e-9)
+        assert {p.key() for p in delta.matches()} == {p.key() for p in cold.matches()}
+
     def test_corruption_registry_end_to_end(self):
         """A freshly generated noisy domain (new seed) resolves identically too."""
         domain = load_domain("cosmetics", scale=0.25, seed=123)

@@ -184,7 +184,8 @@ class TestEmptyAndCounters:
         assert set(stats) == {
             "cache_hits", "cache_misses", "encodes_avoided", "pairs_scored",
             "tables_encoded", "disk_hits", "disk_misses", "chunk_loads",
-            "rows_reencoded", "pairs_rescored", "fingerprints_computed",
+            "rows_reencoded", "rows_tombstoned", "chunks_patched",
+            "pairs_rescored", "fingerprints_computed",
         }
         assert stats["cache_misses"] == 1
         assert stats["tables_encoded"] == 1
@@ -212,6 +213,7 @@ class TestEmptyAndCounters:
         assert counters.as_dict() == {
             "cache_hits": 0, "cache_misses": 0, "encodes_avoided": 0, "pairs_scored": 0,
             "tables_encoded": 0, "disk_hits": 0, "disk_misses": 0, "chunk_loads": 0,
-            "rows_reencoded": 0, "pairs_rescored": 0, "fingerprints_computed": 0,
+            "rows_reencoded": 0, "rows_tombstoned": 0, "chunks_patched": 0,
+            "pairs_rescored": 0, "fingerprints_computed": 0,
         }
         assert counters.hit_rate() == 0.0

@@ -84,11 +84,17 @@ class TestCommands:
         assert main(["plan", "--shard-rows", "-1"]) == 2
         assert "--shard-rows" in capsys.readouterr().err
 
-    def test_resolve_rejects_incremental_with_workers(self, capsys):
-        assert main(["resolve", "--incremental", "--workers", "2"]) == 2
-        assert "--incremental" in capsys.readouterr().err
-        assert main(["resolve", "--incremental", "--append-rows", "0"]) == 2
+    def test_resolve_rejects_bad_mutation_arguments(self, capsys):
+        assert main(["resolve", "--incremental", "--append-rows", "-1"]) == 2
         assert "--append-rows" in capsys.readouterr().err
+        assert main(["resolve", "--incremental", "--edit-rows", "-2"]) == 2
+        assert "--edit-rows" in capsys.readouterr().err
+        # --incremental with nothing to mutate has no second pass to run.
+        assert main([
+            "resolve", "--incremental", "--append-rows", "0",
+            "--edit-rows", "0", "--delete-rows", "0",
+        ]) == 2
+        assert "--incremental" in capsys.readouterr().err
 
 
 class TestCacheCommand:
@@ -137,6 +143,25 @@ class TestCacheCommand:
         cache = self._populate(tmp_path / "enc", versions=(1, 2, 3))
         assert len(cache.entries()) == 3
         assert main(["cache", "prune", "--cache-dir", str(tmp_path / "enc")]) == 0
-        assert "pruned 2 stale generation(s)" in capsys.readouterr().out
+        assert "pruned 2 stale entr(ies)" in capsys.readouterr().out
         survivors = cache.describe_entries()
         assert [row["version"] for row in survivors] == [3]
+
+    def test_cache_prune_dry_run_deletes_nothing(self, tmp_path, capsys):
+        cache = self._populate(tmp_path / "enc", versions=(1, 2))
+        assert len(cache.entries()) == 2
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path / "enc"), "--dry-run"]) == 0
+        output = capsys.readouterr().out
+        assert "would prune 1 stale entr(ies)" in output
+        # Nothing was actually removed; a real prune then removes exactly it.
+        assert len(cache.entries()) == 2
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path / "enc")]) == 0
+        assert "pruned 1 stale entr(ies)" in capsys.readouterr().out
+        assert [row["version"] for row in cache.describe_entries()] == [2]
+
+    def test_cache_list_shows_chunks_generations_and_bytes(self, tmp_path, capsys):
+        self._populate(tmp_path / "enc", versions=(1,))
+        assert main(["cache", "list", "--cache-dir", str(tmp_path / "enc")]) == 0
+        header = capsys.readouterr().out.splitlines()[0]
+        for column in ("Chunks", "Generations", "Tombstones", "Bytes"):
+            assert column in header
