@@ -4,22 +4,31 @@ Two curves, emitted as ``BENCH_blocking.json`` so CI can track them:
 
 * **LSH build + query sweep** at 1, 2 and 4 workers over one benchmark
   domain's record vectors: hash tables built from worker-computed partial
-  maps, left-table query shards fanned across the pool.
-* **Warm cache load**: wall clock of a full load from the row-range-chunked
-  layout vs the legacy flat single archive, plus the lazy single-shard load
-  that only touches one chunk — the case the chunked layout exists for.
+  maps, query shards coarsened by the measured cost model and fanned across
+  the persistent pool, with the per-stage breakdown (dispatch, IPC sample,
+  compute, merge) recorded per worker count.
+* **Warm cache load**: best-of-3 wall clock of a full load from the
+  row-range-chunked layout vs the legacy flat single archive, plus the lazy
+  single-shard load that only touches one chunk — the case the chunked
+  layout exists for.
 
-Correctness gates (the benchmark fails on divergence, not on slowness —
-CI runners are too noisy for hard speedup thresholds on small tables):
+Correctness gates always apply (every worker count must produce the
+identical candidate-pair list; chunked, flat and lazy loads must serve
+identical arrays).  *Performance* gates only apply when
+``REPRO_BENCH_REQUIRE_SPEEDUP`` is set — single-core or noisy runners
+cannot meaningfully enforce them:
 
-* every worker count must produce the identical candidate-pair list;
-* chunked and flat loads must serve identical arrays, and the lazy shard
-  load must read exactly one chunk.
+* workers=4 must not be slower than the serial reference pass;
+* the chunked full load must stay within 1.5x of the flat full load.
+
+``REPRO_BENCH_SCALE`` multiplies the tiled row counts (default 1.0) so a
+beefy runner can push the sweep to larger tables.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -33,6 +42,7 @@ from repro.engine import (
     encoding_fingerprint,
     sharded_candidate_pairs,
 )
+from repro.engine.shard import pool_kind_default, shutdown_pools
 from repro.eval.harness import fit_representation
 from repro.eval.timing import EngineCounters, StageTimings
 
@@ -41,13 +51,28 @@ TOP_K = 10
 #: Rows per shard for the sweep — several shards per worker at the tiled
 #: table sizes below, so the fan-out path is genuinely exercised.
 CHUNK_ROWS = 256
+
+
+def _bench_scale() -> float:
+    raw = os.environ.get("REPRO_BENCH_SCALE", "").strip()
+    try:
+        scale = float(raw)
+    except ValueError:
+        return 1.0
+    return scale if scale > 0 else 1.0
+
+
 #: The benchmark domains are deliberately small; blocking at that size is
 #: milliseconds and any pool measurement would just time fork(2).  Tiling
 #: the domain's record vectors (unique keys, deterministic jitter) scales
 #: the workload to production-shaped row counts without touching the
 #: domain generators.
-LEFT_ROWS = 4096
-RIGHT_ROWS = 3072
+LEFT_ROWS = int(4096 * _bench_scale())
+RIGHT_ROWS = int(3072 * _bench_scale())
+
+#: Set (e.g. in the CI multi-core job) to turn the speedup expectations into
+#: hard failures instead of reported numbers.
+REQUIRE_SPEEDUP = bool(os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP", "").strip())
 
 
 def _tile_vectors(vectors: np.ndarray, keys, rows: int, seed: int):
@@ -58,6 +83,17 @@ def _tile_vectors(vectors: np.ndarray, keys, rows: int, seed: int):
     tiled = tiled + rng.normal(scale=0.01, size=tiled.shape)
     tiled_keys = [f"{key}~{repeat}" for repeat in range(repeats) for key in keys][:rows]
     return tiled, tiled_keys
+
+
+def _best_of(runs: int, fn):
+    """(best seconds, last result) of ``runs`` timed calls."""
+    best = float("inf")
+    result = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
 
 
 def test_blocking_scaling(domains, harness_config):
@@ -82,6 +118,7 @@ def test_blocking_scaling(domains, harness_config):
     reference_seconds = time.perf_counter() - start
     reference_keys = [pair.key() for pair in reference]
 
+    shutdown_pools()  # pay the first spawn inside the sweep, visibly
     sweep = {}
     for workers in WORKER_SWEEP:
         timings = StageTimings()
@@ -100,15 +137,23 @@ def test_blocking_scaling(domains, harness_config):
             "build_seconds": timings.seconds("block-build"),
             "query_compute_seconds": timings.seconds("block-query"),
             "query_shards": timings.units("block-query"),
+            "query_tasks": timings.counter("query_tasks"),
+            "dispatch_seconds": timings.seconds("dispatch"),
+            "ipc_sample_seconds": timings.seconds("block-ipc"),
+            "merge_seconds": timings.seconds("merge"),
+            "speedup_vs_serial": (
+                reference_seconds / seconds if seconds > 0 else 0.0
+            ),
         }
+    shutdown_pools()
     baseline = sweep[1]["seconds"]
     for workers, row in sweep.items():
         row["speedup_vs_1"] = baseline / row["seconds"] if row["seconds"] > 0 else 0.0
 
     # ------------------------------------------------------------------
-    # Warm-load comparison: chunked (full + one lazy shard) vs legacy flat.
-    # The entry is tiled to the sweep's row count so it spans many chunks —
-    # the table shape the chunked layout exists for.
+    # Warm-load comparison (best of 3): chunked (full + one lazy shard) vs
+    # legacy flat.  The entry is tiled to the sweep's row count so it spans
+    # many chunks — the table shape the chunked layout exists for.
     # ------------------------------------------------------------------
     import tempfile
 
@@ -130,23 +175,24 @@ def test_blocking_scaling(domains, harness_config):
         flat_cache = PersistentEncodingCache(Path(tmp) / "flat", chunk_rows=CHUNK_ROWS)
         flat_cache.save_flat(domain.task.name, "left", version, fingerprint, big)
 
-        start = time.perf_counter()
-        chunked_full = cache.load(domain.task.name, "left", version, fingerprint)
-        chunked_full_seconds = time.perf_counter() - start
+        chunked_full_seconds, chunked_full = _best_of(
+            3, lambda: cache.load(domain.task.name, "left", version, fingerprint)
+        )
 
         counters = EngineCounters()
-        start = time.perf_counter()
-        one_shard = cache.load_range(
-            domain.task.name, "left", version, fingerprint, 0, CHUNK_ROWS, counters=counters
+        chunked_shard_seconds, one_shard = _best_of(
+            3,
+            lambda: cache.load_range(
+                domain.task.name, "left", version, fingerprint, 0, CHUNK_ROWS, counters=counters
+            ),
         )
-        chunked_shard_seconds = time.perf_counter() - start
-        assert counters.chunk_loads == 1, "a one-shard load must read exactly one chunk"
+        assert counters.chunk_loads == 3, "a one-shard load must read exactly one chunk"
 
         # The legacy reader is private by design (it only exists as the
         # migration path); timing it here is the whole point of the curve.
-        start = time.perf_counter()
-        flat_full = flat_cache._load_flat(domain.task.name, "left", version, fingerprint)
-        flat_full_seconds = time.perf_counter() - start
+        flat_full_seconds, flat_full = _best_of(
+            3, lambda: flat_cache._load_flat(domain.task.name, "left", version, fingerprint)
+        )
 
         assert chunked_full is not None and flat_full is not None and one_shard is not None
         np.testing.assert_array_equal(chunked_full.mu, flat_full.mu)
@@ -154,12 +200,16 @@ def test_blocking_scaling(domains, harness_config):
         total_chunks = len(list(cache.dir_for(domain.task.name, "left", version).glob("chunk-*.npz")))
         assert total_chunks == -(-LEFT_ROWS // CHUNK_ROWS), "entry must span many chunks"
 
+    chunked_vs_flat = (
+        chunked_full_seconds / flat_full_seconds if flat_full_seconds > 0 else 0.0
+    )
     payload = {
         "domain": domain.name,
         "k": TOP_K,
         "shard_rows": CHUNK_ROWS,
         "left_rows": len(query_keys),
         "right_rows": len(index_keys),
+        "pool_kind": pool_kind_default(),
         "candidate_pairs": len(reference_keys),
         "serial_reference_seconds": reference_seconds,
         "workers": {str(workers): row for workers, row in sweep.items()},
@@ -168,6 +218,7 @@ def test_blocking_scaling(domains, harness_config):
             "chunks": total_chunks,
             "flat_full_load_seconds": flat_full_seconds,
             "chunked_full_load_seconds": chunked_full_seconds,
+            "chunked_vs_flat_ratio": chunked_vs_flat,
             "chunked_one_shard_load_seconds": chunked_shard_seconds,
             "one_shard_vs_flat_speedup": (
                 flat_full_seconds / chunked_shard_seconds if chunked_shard_seconds > 0 else 0.0
@@ -176,16 +227,31 @@ def test_blocking_scaling(domains, harness_config):
     }
     Path("BENCH_blocking.json").write_text(json.dumps(payload, indent=2) + "\n")
 
-    print("\n\nBlocking scaling — LSH build + query worker sweep\n")
+    print("\n\nBlocking scaling — LSH build + query worker sweep "
+          f"(pool kind: {payload['pool_kind']})\n")
     print(f"  domain            : {domain.name} (tiled to {len(query_keys)}x{len(index_keys)} rows, "
           f"{len(reference_keys)} candidate pairs)")
     print(f"  serial reference  : {reference_seconds:.3f}s")
     for workers, row in sweep.items():
         print(f"  workers={workers}         : {row['seconds']:.3f}s "
-              f"({row['speedup_vs_1']:.2f}x vs 1 worker; build {row['build_seconds']:.3f}s, "
-              f"query compute {row['query_compute_seconds']:.3f}s over {row['query_shards']} shards)")
-    print("\nWarm cache loads\n")
+              f"({row['speedup_vs_serial']:.2f}x vs serial; build {row['build_seconds']:.3f}s, "
+              f"query compute {row['query_compute_seconds']:.3f}s over {row['query_shards']} shards "
+              f"in {row['query_tasks']} tasks; dispatch {row['dispatch_seconds'] * 1e3:.2f}ms, "
+              f"ipc sample {row['ipc_sample_seconds'] * 1e3:.2f}ms, "
+              f"merge {row['merge_seconds'] * 1e3:.2f}ms)")
+    print("\nWarm cache loads (best of 3)\n")
     print(f"  flat full load    : {flat_full_seconds * 1e3:.2f}ms")
-    print(f"  chunked full load : {chunked_full_seconds * 1e3:.2f}ms ({total_chunks} chunks)")
+    print(f"  chunked full load : {chunked_full_seconds * 1e3:.2f}ms "
+          f"({total_chunks} chunks, {chunked_vs_flat:.2f}x flat)")
     print(f"  one-shard load    : {chunked_shard_seconds * 1e3:.2f}ms "
           f"({payload['cache']['one_shard_vs_flat_speedup']:.1f}x vs flat full)")
+
+    if REQUIRE_SPEEDUP:
+        assert sweep[4]["seconds"] <= reference_seconds, (
+            f"workers=4 ({sweep[4]['seconds']:.3f}s) slower than the serial "
+            f"reference ({reference_seconds:.3f}s) with REPRO_BENCH_REQUIRE_SPEEDUP set"
+        )
+        assert chunked_vs_flat <= 1.5, (
+            f"chunked full load is {chunked_vs_flat:.2f}x the flat load "
+            "(budget: 1.5x) with REPRO_BENCH_REQUIRE_SPEEDUP set"
+        )

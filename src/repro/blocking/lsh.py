@@ -93,6 +93,9 @@ class EuclideanLSHIndex:
         self._dead: Set[int] = set()
         self._key_rows: Optional[Dict[object, int]] = None
         self._mutations: int = 0
+        # Linear-scan fallback working set, keyed by the mutation counter:
+        # (mutations, live row indices, gathered live vectors).
+        self._live_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Build: prepare -> hash_rows (parallelisable) -> install_tables
@@ -380,20 +383,31 @@ class EuclideanLSHIndex:
         if n == 0:
             return []
         assert self._vectors is not None
-        buckets = self._bucket_ids(vectors)
-        results: List[List[Tuple[object, float]]] = []
+        # Bucket keys as native-int tuples: one tolist() converts the whole
+        # id block, and hashing int tuples is measurably cheaper than
+        # hashing np.int64 tuples in this per-row loop.
+        buckets = self._bucket_ids(vectors).tolist()
+        results: List[Optional[List[Tuple[object, float]]]] = [None] * n
+        fallback_rows: List[int] = []
         for row in range(n):
             candidates: set = set()
             for table_index in range(self.num_tables):
-                bucket = tuple(buckets[table_index, row])
+                bucket = tuple(buckets[table_index][row])
                 candidates.update(self._tables[table_index].get(bucket, ()))
             if self._dead:
                 # Tombstone mask: deleted rows never surface as candidates,
                 # so answers equal a rebuild over the live vectors alone.
                 candidates -= self._dead
+            if len(candidates) < k:
+                # Linear-scan fallback; batched below so one blocked
+                # distance computation serves every starved row.
+                fallback_rows.append(row)
+                continue
             excluded = exclude[row] if exclude is not None else None
-            results.append(self._rank(vectors[row : row + 1], candidates, k, excluded))
-        return results
+            results[row] = self._rank(vectors[row : row + 1], candidates, k, excluded)
+        if fallback_rows:
+            self._rank_fallback(vectors, fallback_rows, results, k, exclude)
+        return results  # type: ignore[return-value]
 
     def _rank(
         self, vector: np.ndarray, candidates: set, k: int, exclude: Optional[object]
@@ -417,6 +431,118 @@ class EuclideanLSHIndex:
             if len(results) >= k:
                 break
         return results
+
+    def _live_rows(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Sorted live row indices and their vectors, cached per mutation.
+
+        The linear-scan fallback's working set: rebuilding the live-row
+        gather for every starved query row used to dominate small-index
+        queries.  With no tombstones the vectors are served zero-copy; the
+        cache is keyed by :attr:`mutations`, so any structural change
+        (extend/remove/patch/compact) invalidates it on next use.
+        """
+        assert self._vectors is not None
+        cache = self._live_cache
+        if cache is not None and cache[0] == self._mutations:
+            return cache[1], cache[2]
+        if self._dead:
+            rows = np.asarray(
+                sorted(set(range(len(self._vectors))) - self._dead), dtype=np.intp
+            )
+            base = self._vectors[rows]
+        else:
+            rows = np.arange(len(self._vectors), dtype=np.intp)
+            base = self._vectors
+        self._live_cache = (self._mutations, rows, base)
+        return rows, base
+
+    def _rank_fallback(
+        self,
+        vectors: np.ndarray,
+        fallback_rows: List[int],
+        results: List[Optional[List[Tuple[object, float]]]],
+        k: int,
+        exclude: Optional[Sequence[object]],
+    ) -> None:
+        """Linear-scan ranking for query rows whose buckets yielded < ``k``.
+
+        All starved rows of one batch share a blocked broadcast distance
+        computation against the cached live vectors instead of re-gathering
+        and re-reducing per row.  The arithmetic — subtract, self-``einsum``,
+        ``sqrt``, full ``argsort`` — is element-for-element the one
+        :meth:`_rank` runs, so results are bitwise identical to the per-row
+        path it replaces.
+        """
+        live_rows, base = self._live_rows()
+        if len(live_rows) == 0:
+            for row in fallback_rows:
+                results[row] = []
+            return
+        keys = self._keys
+        # Bound the broadcast temp to ~32 MB of float64 diffs per block.
+        block = max(1, (1 << 22) // max(1, base.shape[0] * base.shape[1]))
+        for start in range(0, len(fallback_rows), block):
+            chunk = fallback_rows[start : start + block]
+            queries = vectors[chunk]
+            diffs = base[None, :, :] - queries[:, None, :]
+            distances_block = np.sqrt(np.einsum("bnd,bnd->bn", diffs, diffs))
+            for position, row in enumerate(chunk):
+                distances = distances_block[position]
+                order = np.argsort(distances)
+                excluded = exclude[row] if exclude is not None else None
+                ranked: List[Tuple[object, float]] = []
+                for candidate in order:
+                    key = keys[live_rows[candidate]]
+                    if excluded is not None and key == excluded:
+                        continue
+                    ranked.append((key, float(distances[candidate])))
+                    if len(ranked) >= k:
+                        break
+                results[row] = ranked
+
+    # ------------------------------------------------------------------
+    # Pickling (worker-pool state transport)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pack bucket tables into numpy triples for efficient transport.
+
+        A built index travels to pool workers through the shared-memory
+        publisher, which hoists large ndarrays into zero-copy segments —
+        but dicts of tuple-keyed Python lists would still be pickled
+        element by element.  Packing each table as ``(bucket keys array,
+        per-bucket counts, concatenated row lists)`` turns the dominant
+        payload into three hoistable arrays; insertion order (and hence
+        query behaviour) round-trips exactly.  Derived caches are dropped
+        and rebuilt lazily on the other side.
+        """
+        state = self.__dict__.copy()
+        state["_key_rows"] = None
+        state["_live_cache"] = None
+        tables = state.pop("_tables")
+        packed = []
+        for table in tables:
+            keys = np.asarray(list(table.keys()), dtype=np.int64).reshape(-1, self.hash_size)
+            counts = np.asarray([len(rows) for rows in table.values()], dtype=np.int64)
+            rows = np.asarray(
+                [row for rows in table.values() for row in rows], dtype=np.int64
+            )
+            packed.append((keys, counts, rows))
+        state["_packed_tables"] = packed
+        return state
+
+    def __setstate__(self, state):
+        packed = state.pop("_packed_tables")
+        self.__dict__.update(state)
+        tables: List[BucketMap] = []
+        for keys, counts, rows in packed:
+            table: BucketMap = {}
+            rows_list = rows.tolist()
+            offset = 0
+            for bucket, count in zip(keys.tolist(), counts.tolist()):
+                table[tuple(bucket)] = rows_list[offset : offset + count]
+                offset += count
+            tables.append(table)
+        self._tables = tables
 
     # ------------------------------------------------------------------
     @property

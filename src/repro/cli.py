@@ -23,8 +23,19 @@ tables without running the whole pytest-benchmark sweep.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
+
+
+def _default_workers() -> int:
+    """Default worker count: ``REPRO_ENGINE_WORKERS`` when set, else 1."""
+    raw = os.environ.get("REPRO_ENGINE_WORKERS", "").strip()
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return value if value > 0 else 1
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -68,8 +79,9 @@ def _build_parser() -> argparse.ArgumentParser:
     resolve.add_argument("--k", type=int, default=10, help="Top-K neighbours per record for blocking.")
     resolve.add_argument("--batch-size", type=int, default=2048, help="Candidate pairs scored per batch.")
     resolve.add_argument(
-        "--workers", type=int, default=1,
-        help="Worker pool size for sharded parallel scoring (1 = single process).",
+        "--workers", type=int, default=_default_workers(),
+        help="Worker pool size for sharded parallel blocking and scoring "
+             "(1 = single process; defaults to REPRO_ENGINE_WORKERS when set).",
     )
     resolve.add_argument(
         "--cache-dir", default=None,
@@ -101,7 +113,10 @@ def _build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--scale", type=float, default=1.0, help="Dataset size multiplier.")
     plan.add_argument("--k", type=int, default=10, help="Top-K neighbours per record for blocking.")
     plan.add_argument("--batch-size", type=int, default=2048, help="Candidate pairs scored per batch.")
-    plan.add_argument("--workers", type=int, default=1, help="Worker pool size the plan schedules for.")
+    plan.add_argument(
+        "--workers", type=int, default=_default_workers(),
+        help="Worker pool size the plan schedules for (defaults to REPRO_ENGINE_WORKERS when set).",
+    )
     plan.add_argument("--shard-rows", type=int, default=2048, help="Rows per row-range shard.")
 
     cache = subparsers.add_parser(
@@ -300,7 +315,7 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     print("\nEngine cache statistics\n")
     print(format_engine_stats())
     if not args.incremental:
-        print("\nPer-stage timings (encode -> block -> score)\n")
+        print("\nPer-stage timings (encode -> block -> score, plus dispatch/IPC/merge for pooled runs)\n")
         print(format_stage_timings(stage_timings))
         print("\nPer-shard timings\n")
         print(format_shard_timings(timings))

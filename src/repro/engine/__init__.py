@@ -11,8 +11,10 @@ planned and executed*:
   warm loads are lazy per shard; legacy flat archives migrate on first read;
 * :class:`ResolutionPlanner` / :class:`ResolutionExecutor` — the plan/execute
   core: a deterministic encode → block → score stage graph over row-range
-  shards, run serially or across the fork-based worker pool with results
-  merged deterministically by ``(batch_index, pair_index)``;
+  shards, run serially or across a *persistent* worker pool (fork-based with
+  shared-memory state publishing, threaded where fork or shared memory is
+  unavailable) with results merged deterministically by
+  ``(batch_index, pair_index)``;
 * :func:`resolve_stream` / :func:`resolve_sharded` — thin front-ends over
   that engine (single-process and pooled); byte-identical to each other;
 * :class:`ShardedEncodingStore` — row-range shard views of the cached tables
@@ -61,10 +63,26 @@ from repro.engine.shard import (
     DEFAULT_SHARD_ROWS,
     ShardBounds,
     ShardedEncodingStore,
+    StateHandle,
+    WorkerPool,
+    acquire_pool,
     iter_sharded_candidate_batches,
+    make_pool,
     merge_scored_batches,
+    pool_kind_default,
+    published_state,
+    release_pool,
     resolve_sharded,
     shard_bounds_for,
+    shutdown_pools,
+)
+from repro.engine.sharedmem import (
+    StatePublication,
+    StateSpec,
+    attach_state,
+    detach_all,
+    publish_state,
+    shared_memory_available,
 )
 from repro.engine.store import EncodingStore, TableEncodings, encode_table_rows
 from repro.engine.stream import (
@@ -96,9 +114,23 @@ __all__ = [
     "ShardedEncodingStore",
     "Stage",
     "StageUnit",
+    "StateHandle",
+    "StatePublication",
+    "StateSpec",
     "TableDelta",
     "TableEncodings",
+    "WorkerPool",
+    "acquire_pool",
+    "attach_state",
     "build_index_sharded",
+    "detach_all",
+    "make_pool",
+    "pool_kind_default",
+    "publish_state",
+    "published_state",
+    "release_pool",
+    "shared_memory_available",
+    "shutdown_pools",
     "diff_rows",
     "encode_table_rows",
     "encoding_fingerprint",

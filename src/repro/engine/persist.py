@@ -81,6 +81,12 @@ memory-mapped straight out of the (uncompressed) ``.npz`` members instead of
 copied into RAM; the mapping degrades silently to an eager read where it
 cannot apply.  Chunk reads are reported through the ``chunk_loads`` counter
 of whatever :class:`~repro.eval.timing.EngineCounters` the caller passes in.
+
+Chunk reads go through a process-wide LRU of :class:`_ChunkHandle` objects
+— one open descriptor, parsed member layout and metadata per archive — so a
+warm load costs one zip-directory parse per chunk *ever*, not three opens
+per read; handles are validated by stat identity and degrade to the plain
+``np.load`` path for archives the raw reader cannot serve.
 """
 
 from __future__ import annotations
@@ -88,9 +94,11 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import zipfile
 import zlib
 from bisect import bisect_left, bisect_right
+from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import islice
 from pathlib import Path
@@ -98,7 +106,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence,
 
 import numpy as np
 
-from repro.nn.serialization import load_metadata, save_state_dict
+from repro.nn.serialization import _META_KEY, load_metadata, save_state_dict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.core.representation import EntityRepresentationModel
@@ -409,49 +417,197 @@ class TableDelta:
 CacheDelta = TableDelta
 
 
-def _mmap_npz_arrays(path: Path, names: Tuple[str, ...], mmap_mode: str) -> Dict[str, np.ndarray]:
-    """Memory-map uncompressed ``.npy`` members straight out of a zip archive.
+#: One member's data layout inside an ``.npz``: (data offset, dtype, shape,
+#: fortran order).  Enough to read or map the array without touching the
+#: zip or npy headers again.
+_MemberLayout = Tuple[int, np.dtype, Tuple[int, ...], bool]
 
-    ``np.load`` silently ignores ``mmap_mode`` for ``.npz`` files, so this
-    locates each member's data offset (local header + npy header) by hand
-    and hands it to :class:`numpy.memmap`.  Raises on anything unexpected —
-    compressed members, object arrays, foreign npy versions — and the caller
-    falls back to an eager read.
+
+def _parse_npz_member(handle, info: zipfile.ZipInfo) -> _MemberLayout:
+    """Locate one uncompressed ``.npy`` member's raw data inside its archive.
+
+    ``np.load`` silently ignores ``mmap_mode`` for ``.npz`` files, so the
+    member's data offset (past the zip local header and the npy header) is
+    found by hand.  Raises on anything unexpected — compressed members,
+    object arrays, foreign npy versions — and the caller degrades to
+    ``np.load``.
     """
     from numpy.lib import format as npy_format
 
-    with zipfile.ZipFile(path) as archive:
-        infos = [(name, archive.getinfo(name + ".npy")) for name in names]
-    arrays: Dict[str, np.ndarray] = {}
-    with open(path, "rb") as handle:
-        for name, info in infos:
-            if info.compress_type != zipfile.ZIP_STORED:
-                raise ValueError("compressed archive member cannot be memory-mapped")
-            handle.seek(info.header_offset)
-            local_header = handle.read(30)
-            if local_header[:4] != b"PK\x03\x04":
-                raise ValueError("malformed local file header")
-            name_length = int.from_bytes(local_header[26:28], "little")
-            extra_length = int.from_bytes(local_header[28:30], "little")
-            handle.seek(info.header_offset + 30 + name_length + extra_length)
-            version = npy_format.read_magic(handle)
-            if version == (1, 0):
-                shape, fortran, dtype = npy_format.read_array_header_1_0(handle)
-            elif version == (2, 0):
-                shape, fortran, dtype = npy_format.read_array_header_2_0(handle)
-            else:
-                raise ValueError(f"unsupported npy format version {version}")
-            if dtype.hasobject:
-                raise ValueError("object arrays cannot be memory-mapped")
-            arrays[name] = np.memmap(
-                path,
+    if info.compress_type != zipfile.ZIP_STORED:
+        raise ValueError("compressed archive member cannot be raw-read")
+    handle.seek(info.header_offset)
+    local_header = handle.read(30)
+    if local_header[:4] != b"PK\x03\x04":
+        raise ValueError("malformed local file header")
+    name_length = int.from_bytes(local_header[26:28], "little")
+    extra_length = int.from_bytes(local_header[28:30], "little")
+    handle.seek(info.header_offset + 30 + name_length + extra_length)
+    version = npy_format.read_magic(handle)
+    if version == (1, 0):
+        shape, fortran, dtype = npy_format.read_array_header_1_0(handle)
+    elif version == (2, 0):
+        shape, fortran, dtype = npy_format.read_array_header_2_0(handle)
+    else:
+        raise ValueError(f"unsupported npy format version {version}")
+    if dtype.hasobject:
+        raise ValueError("object arrays cannot be raw-read")
+    return handle.tell(), dtype, tuple(int(d) for d in shape), bool(fortran)
+
+
+class _ChunkHandle:
+    """One chunk archive held open with its member layout and metadata parsed.
+
+    The warm-load hot path reads every chunk of an entry back to back; the
+    naive path pays three opens and two zip-directory parses per chunk
+    (``load_metadata``, ``zipfile.ZipFile``, then the data read).  A handle
+    pays that once: the archive's file descriptor stays open, member data
+    offsets and the parsed metadata dict are retained, and repeat loads —
+    the chunked full-table warm path, range loads revisiting a chunk, delta
+    reuse — are a seek-and-read per array.  Validity is tied to the stat
+    identity ``(st_mtime_ns, st_size)`` captured at open; writers replace
+    archives atomically (write-then-rename), so a stale handle can only see
+    the complete old file, never a torn one.
+    """
+
+    __slots__ = ("path", "stat_key", "metadata", "members", "_file", "_lock")
+
+    def __init__(self, path: Path) -> None:
+        stat = path.stat()
+        self.path = path
+        self.stat_key = (int(stat.st_mtime_ns), int(stat.st_size))
+        self._lock = threading.Lock()
+        self._file = open(path, "rb")
+        try:
+            with zipfile.ZipFile(self._file) as archive:
+                infos = {info.filename: info for info in archive.infolist()}
+            members: Dict[str, _MemberLayout] = {}
+            for name in _ARRAY_KEYS + (_META_KEY,):
+                info = infos.get(name + ".npy")
+                if info is None:
+                    raise KeyError(f"archive member {name!r} missing")
+                members[name] = _parse_npz_member(self._file, info)
+            self.members = members
+            offset, dtype, shape, _ = members[_META_KEY]
+            raw = self._read_span(offset, dtype.itemsize * _element_count(shape))
+            metadata = json.loads(bytes(raw).decode("utf-8"))
+            if not isinstance(metadata, dict):
+                raise ValueError("chunk metadata is not a mapping")
+            self.metadata = metadata
+        except BaseException:
+            self._file.close()
+            raise
+
+    def _read_span(self, offset: int, nbytes: int) -> bytearray:
+        buffer = bytearray(nbytes)
+        with self._lock:
+            self._file.seek(offset)
+            read = self._file.readinto(buffer)
+        if read != nbytes:
+            raise ValueError("short read from chunk archive")
+        return buffer
+
+    def read_arrays(self) -> Dict[str, np.ndarray]:
+        """Eagerly read the encoding arrays (writable, one copy, no reparse)."""
+        arrays: Dict[str, np.ndarray] = {}
+        for name in _ARRAY_KEYS:
+            offset, dtype, shape, fortran = self.members[name]
+            buffer = self._read_span(offset, dtype.itemsize * _element_count(shape))
+            # frombuffer over a bytearray yields a *writable* array, matching
+            # what np.load hands out, without an extra copy.
+            arrays[name] = np.frombuffer(buffer, dtype=dtype).reshape(
+                shape, order="F" if fortran else "C"
+            )
+        return arrays
+
+    def mmap_arrays(self, mmap_mode: str) -> Dict[str, np.ndarray]:
+        """Memory-map the encoding arrays from the cached member offsets."""
+        return {
+            name: np.memmap(
+                self.path,
                 dtype=dtype,
                 mode=mmap_mode,
-                offset=handle.tell(),
+                offset=offset,
                 shape=shape,
                 order="F" if fortran else "C",
             )
-    return arrays
+            for name, (offset, dtype, shape, fortran) in self.members.items()
+            if name != _META_KEY
+        }
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - close of a dup'd/raced descriptor
+            pass
+
+
+def _element_count(shape: Tuple[int, ...]) -> int:
+    count = 1
+    for dim in shape:
+        count *= int(dim)
+    return count
+
+
+#: Open chunk handles kept per process (LRU).  Sized for a handful of
+#: concurrently-warm entries: a full-table load touches each chunk once in
+#: order, so even 1 would serve it — the slack keeps interleaved range loads
+#: of a few tables warm too.
+CHUNK_HANDLE_CACHE = 64
+
+_handles: "OrderedDict[str, _ChunkHandle]" = OrderedDict()
+_handles_lock = threading.Lock()
+
+
+def _chunk_handle(path: Path) -> Optional[_ChunkHandle]:
+    """The cached handle of ``path``, (re)opened and stat-validated.
+
+    ``None`` when the archive is missing or cannot be raw-read (compressed
+    members, foreign layout) — callers degrade to the ``np.load`` path.
+    """
+    try:
+        stat = path.stat()
+    except OSError:
+        with _handles_lock:
+            stale = _handles.pop(str(path), None)
+        if stale is not None:
+            stale.close()
+        return None
+    stat_key = (int(stat.st_mtime_ns), int(stat.st_size))
+    key = str(path)
+    with _handles_lock:
+        cached = _handles.get(key)
+        if cached is not None:
+            if cached.stat_key == stat_key:
+                _handles.move_to_end(key)
+                return cached
+            del _handles[key]
+            cached.close()
+    try:
+        handle = _ChunkHandle(path)
+    except _LOAD_ERRORS:
+        return None
+    evicted: List[_ChunkHandle] = []
+    with _handles_lock:
+        previous = _handles.pop(key, None)
+        if previous is not None:  # pragma: no cover - concurrent open race
+            evicted.append(previous)
+        _handles[key] = handle
+        while len(_handles) > CHUNK_HANDLE_CACHE:
+            _, old = _handles.popitem(last=False)
+            evicted.append(old)
+    for old in evicted:
+        old.close()
+    return handle
+
+
+def close_chunk_handles() -> None:
+    """Close every cached chunk handle (cache clears, test isolation)."""
+    with _handles_lock:
+        handles = list(_handles.values())
+        _handles.clear()
+    for handle in handles:
+        handle.close()
 
 
 class PersistentEncodingCache:
@@ -533,6 +689,7 @@ class PersistentEncodingCache:
 
     def clear(self) -> int:
         """Delete every entry; returns how many logical entries were removed."""
+        close_chunk_handles()
         removed = 0
         for entry in self.entries():
             removed += 1
@@ -1484,35 +1641,66 @@ class PersistentEncodingCache:
     ) -> Optional[Dict[str, np.ndarray]]:
         """One chunk generation's arrays, validated against its metadata."""
         path = self.chunk_path(task_name, side, encoding_version, start, stop, generation)
+        handle = _chunk_handle(path)
+        if handle is not None:
+            if not self._chunk_metadata_valid(
+                handle.metadata, task_name, side, model, start, stop, row_crc, generation
+            ):
+                return None
+            if self.mmap_mode:
+                try:
+                    return handle.mmap_arrays(self.mmap_mode)
+                except _LOAD_ERRORS:
+                    pass  # degrade to an eager read of the same chunk
+            try:
+                return handle.read_arrays()
+            except _LOAD_ERRORS:
+                return None
+        # Raw-read path unavailable (missing file, compressed or foreign
+        # archive): fall through to the np.load reader.
         if not path.is_file():
             return None
         try:
             metadata = load_metadata(path)
-            if metadata is None:
+            if metadata is None or not self._chunk_metadata_valid(
+                metadata, task_name, side, model, start, stop, row_crc, generation
+            ):
                 return None
-            if metadata.get("format") not in (V3_FORMAT_VERSION, CACHE_FORMAT_VERSION):
-                return None
-            if metadata.get("task") != task_name or metadata.get("side") != side:
-                return None
-            if metadata.get("model") != model:
-                return None
-            if int(metadata.get("row_crc", -1)) != int(row_crc):
-                return None
-            if int(metadata.get("start", -1)) != start or int(metadata.get("stop", -1)) != stop:
-                return None
-            if int(metadata.get("generation", 0)) != int(generation):
-                return None
-            if self.mmap_mode:
-                try:
-                    return _mmap_npz_arrays(path, _ARRAY_KEYS, self.mmap_mode)
-                except _LOAD_ERRORS:
-                    pass  # degrade to an eager read of the same chunk
             with np.load(path, allow_pickle=False) as archive:
                 return {name: archive[name] for name in _ARRAY_KEYS}
         except _LOAD_ERRORS:
             # BadZipFile/struct.error cover truncated archives (killed
             # writer) whose zip header still looks plausible.
             return None
+
+    @staticmethod
+    def _chunk_metadata_valid(
+        metadata: Dict[str, Any],
+        task_name: str,
+        side: str,
+        model: Optional[Dict[str, Any]],
+        start: int,
+        stop: int,
+        row_crc: int,
+        generation: int,
+    ) -> bool:
+        """Whether one chunk's embedded metadata matches what the manifest expects."""
+        try:
+            if metadata.get("format") not in (V3_FORMAT_VERSION, CACHE_FORMAT_VERSION):
+                return False
+            if metadata.get("task") != task_name or metadata.get("side") != side:
+                return False
+            if metadata.get("model") != model:
+                return False
+            if int(metadata.get("row_crc", -1)) != int(row_crc):
+                return False
+            if int(metadata.get("start", -1)) != start or int(metadata.get("stop", -1)) != stop:
+                return False
+            if int(metadata.get("generation", 0)) != int(generation):
+                return False
+        except (TypeError, ValueError):
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Legacy flat layout: one-shot migration read path

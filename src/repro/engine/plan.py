@@ -27,8 +27,9 @@ engine; blocking-only consumers (benchmarks, equivalence tests) can call
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures import BrokenExecutor, FIRST_COMPLETED, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -45,10 +46,13 @@ from repro.data.schema import ERTask
 from repro.engine.shard import (
     DEFAULT_SHARD_ROWS,
     ShardBounds,
-    make_pool,
-    new_pool_token,
+    StateHandle,
+    WorkerPool,
+    acquire_pool,
+    pool_kind_default,
+    published_state,
     query_shard_pairs,
-    release_pool_token,
+    release_pool,
     shard_bounds_for,
     worker_state,
 )
@@ -460,65 +464,158 @@ class ResolutionPlanner:
 
 
 # ----------------------------------------------------------------------
-# Worker tasks (run inside the pool; state arrives by fork, not pickling)
+# Cost-model query sizing
+# ----------------------------------------------------------------------
+#: Target ratio of per-task compute to measured dispatch overhead.  The
+#: fixed per-``shard_rows`` split sends a pool task per planned shard even
+#: when one shard computes for less than a fork round-trip; coarsening until
+#: compute dwarfs dispatch by this factor keeps overhead under ~2%.
+#: Override with ``REPRO_SHARD_COST_RATIO``.
+DEFAULT_SHARD_COST_RATIO = 50.0
+
+
+def _shard_cost_ratio() -> float:
+    raw = os.environ.get("REPRO_SHARD_COST_RATIO", "").strip()
+    if not raw:
+        return DEFAULT_SHARD_COST_RATIO
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_SHARD_COST_RATIO
+    return value if value > 0 else DEFAULT_SHARD_COST_RATIO
+
+
+@dataclass(frozen=True)
+class QueryTaskGroup:
+    """One pool task covering a contiguous run of planned query shards."""
+
+    start: int
+    stop: int
+    units: int  # planned shards this task covers (stage-timing units)
+
+
+def _coarsen_query_bounds(
+    bounds: Sequence[ShardBounds],
+    calibration_rows: int,
+    calibration_seconds: float,
+    dispatch_seconds: float,
+    workers: int,
+) -> List[QueryTaskGroup]:
+    """Group the remaining query shards into cost-model-sized pool tasks.
+
+    The calibration shard (already executed) supplies the measured per-row
+    compute cost; the target task size is the row count whose compute is
+    ``REPRO_SHARD_COST_RATIO`` times the measured dispatch overhead, capped
+    so the pool still gets at least one task per worker.  Groups are runs of
+    *consecutive* shard bounds, consumed in row order — and top-K queries
+    are independent per row — so any grouping reproduces the serial
+    candidate stream pair for pair; only the task count changes.
+    """
+    if not bounds:
+        return []
+    total_rows = sum(b.rows for b in bounds)
+    per_row = calibration_seconds / calibration_rows if calibration_rows > 0 else 0.0
+    if per_row > 0.0 and dispatch_seconds > 0.0:
+        target = _shard_cost_ratio() * dispatch_seconds / per_row
+    else:  # degenerate timer resolution: keep the planned granularity
+        target = float(calibration_rows or 1)
+    cap = max(1.0, total_rows / max(1, workers))
+    rows_per_task = int(max(1.0, min(target, cap)))
+    groups: List[QueryTaskGroup] = []
+    current: List[ShardBounds] = []
+    rows = 0
+    for b in bounds:
+        if current and rows + b.rows > rows_per_task:
+            groups.append(QueryTaskGroup(current[0].start, current[-1].stop, len(current)))
+            current, rows = [], 0
+        current.append(b)
+        rows += b.rows
+    if current:
+        groups.append(QueryTaskGroup(current[0].start, current[-1].stop, len(current)))
+    return groups
+
+
+def _noop_task() -> None:
+    """Calibration probe: measures pure submit/round-trip overhead."""
+    return None
+
+
+def _measure_dispatch(pool: WorkerPool) -> float:
+    """Best-of-two no-op round trip through the pool (dispatch overhead)."""
+    best = float("inf")
+    for _ in range(2):
+        started = time.perf_counter()
+        pool.submit(_noop_task).result()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Worker tasks (state arrives via the shared-memory publisher, or the
+# parent registry for thread pools — the persistent pool predates any
+# stage's state, so nothing is inherited by fork)
 # ----------------------------------------------------------------------
 @dataclass
 class _PlanState:
-    """Everything a pool worker needs, registered under the pool's token."""
+    """Everything a pool worker needs, published under one state handle.
+
+    Deliberately slim — bare arrays rather than richer store objects — so
+    the shared-memory publisher hoists exactly the payloads workers touch
+    and the residual pickle stays small.
+    """
 
     flat: np.ndarray  # record-level query vectors of the left table
     keys: Sequence[object]  # aligned query keys
     search: NearestNeighbourSearch
-    left: Optional[TableEncodings] = None
-    right: Optional[TableEncodings] = None
+    left_irs: Optional[np.ndarray] = None
+    right_irs: Optional[np.ndarray] = None
     matcher: object = None
 
 
-def _hash_task(token: str, start: int, stop: int):
+def _hash_task(handle: StateHandle, start: int, stop: int):
     """Build stage: per-table partial bucket maps of one row range."""
-    (index,) = worker_state(token)
+    index: EuclideanLSHIndex = worker_state(handle)
     started = time.perf_counter()
     partial = index.hash_rows(start, stop)
     return start, partial, time.perf_counter() - started
 
 
-def _query_task(token: str, shard_index: int, start: int, stop: int, k: int, query_chunk: int):
-    """Block stage: top-K candidate pairs of one left-table query shard.
+def _query_task(handle: StateHandle, task_index: int, start: int, stop: int, k: int, query_chunk: int):
+    """Block stage: top-K candidate pairs of one query row range.
 
     Rows are walked through :func:`repro.engine.shard.query_shard_pairs`,
-    the chunk-walk definition every enumerator shares, so the concatenation
-    of shard results in shard order reproduces the serial candidate stream
-    pair for pair.
+    the chunk-walk definition every enumerator shares; results are per-row
+    and rank-ordered, so concatenating task results in row order reproduces
+    the serial candidate stream pair for pair whatever the task sizing.
     """
-    state: _PlanState = worker_state(token)
+    state: _PlanState = worker_state(handle)
     started = time.perf_counter()
     pairs = query_shard_pairs(state.search, state.flat, state.keys, start, stop, k, query_chunk)
-    return shard_index, pairs, time.perf_counter() - started
+    return task_index, pairs, time.perf_counter() - started
 
 
-def _score_task(token: str, batch_index: int, left_rows: np.ndarray, right_rows: np.ndarray):
+def _score_task(handle: StateHandle, batch_index: int, left_rows: np.ndarray, right_rows: np.ndarray):
     """Score stage: gather one batch's IRs from the shared arrays and score."""
-    state: _PlanState = worker_state(token)
+    state: _PlanState = worker_state(handle)
     started = time.perf_counter()
     probabilities = state.matcher.predict_proba(
-        state.left.irs[left_rows], state.right.irs[right_rows]
+        state.left_irs[left_rows], state.right_irs[right_rows]
     )
     return batch_index, probabilities, time.perf_counter() - started
 
 
-def _encode_range_task(token: str, start: int, stop: int):
+def _encode_range_task(handle: StateHandle, start: int, stop: int):
     """Encode stage (delta fan-out): one row range of a pending sub-table.
 
-    State is ``(representation, sub_table)``, inherited by fork; rows are
-    encoded through the same :func:`repro.engine.store.encode_table_rows`
-    the store uses inline, so pooled and serial tail encodes agree row for
-    row (up to matmul batch composition, like every other batch-shape
-    change).
+    State is ``(representation, sub_table)``; rows are encoded through the
+    same :func:`repro.engine.store.encode_table_rows` the store uses
+    inline, so pooled and serial tail encodes agree row for row (up to
+    matmul batch composition, like every other batch-shape change).
     """
     from repro.data.schema import Table
     from repro.engine.store import encode_table_rows
 
-    representation, sub_table = worker_state(token)
+    representation, sub_table = worker_state(handle)
     started = time.perf_counter()
     records = sub_table.records()[start:stop]
     piece = Table(sub_table.name, sub_table.attributes, records)
@@ -537,7 +634,7 @@ def _pooled_tail_encoder(store: EncodingStore, workers: int, shard_rows: int):
     Sub-shard work (or ``workers == 1``) encodes inline — pooling a few
     dozen rows would cost more in forks than it saves.
     """
-    if workers <= 1:
+    if workers <= 1 or pool_kind_default() == "serial":
         yield
         return
 
@@ -550,19 +647,19 @@ def _pooled_tail_encoder(store: EncodingStore, workers: int, shard_rows: int):
         bounds = [
             (start, min(start + shard_rows, n)) for start in range(0, n, shard_rows)
         ]
-        token = new_pool_token()
-        pool, _ = make_pool(
-            min(workers, len(bounds)), token, (store.representation, sub_table)
-        )
+        pool = acquire_pool(workers)
         try:
-            with pool:
+            with published_state(pool, (store.representation, sub_table)) as handle:
                 futures = [
-                    pool.submit(_encode_range_task, token, start, stop)
+                    pool.submit(_encode_range_task, handle, start, stop)
                     for start, stop in bounds
                 ]
                 parts = [future.result()[1] for future in futures]
+        except BrokenExecutor:
+            pool.broken = True
+            return encode_table_rows(store.representation, sub_table)
         finally:
-            release_pool_token(token)
+            release_pool(pool)
         return (
             np.concatenate([part[0] for part in parts]),
             np.concatenate([part[1] for part in parts]),
@@ -586,13 +683,18 @@ def build_index_sharded(
     blocking: Optional[BlockingConfig] = None,
     workers: int = 1,
     shard_rows: int = DEFAULT_SHARD_ROWS,
+    pool: Optional[WorkerPool] = None,
 ) -> EuclideanLSHIndex:
     """Build an LSH index with per-shard hash maps computed in workers.
 
     The projections are fixed once in the parent; each worker hashes one
     row-range shard into partial bucket maps and the parent merges them in
     row order, so bucket membership — and therefore every query answer — is
-    identical to a serial :meth:`EuclideanLSHIndex.build`.
+    identical to a serial :meth:`EuclideanLSHIndex.build`.  Pass ``pool`` to
+    run on a caller-owned persistent pool (the executor shares one pool
+    across build, query and score); otherwise one is acquired and released
+    here.  If the pool dies mid-build the tables are hashed serially and
+    the pool is marked broken for the caller.
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
@@ -605,18 +707,24 @@ def build_index_sharded(
     )
     index.prepare(vectors, keys)
     bounds = shard_bounds_for("right", index.size, shard_rows)
-    if workers == 1 or len(bounds) <= 1:
+    if workers == 1 or len(bounds) <= 1 or (pool is None and pool_kind_default() == "serial"):
         index.install_tables([index.hash_rows(0, index.size)])
         return index
-    token = new_pool_token()
-    pool, _ = make_pool(min(workers, len(bounds)), token, (index,))
+    owned = pool is None
+    if owned:
+        pool = acquire_pool(workers)
     try:
-        with pool:
-            futures = [pool.submit(_hash_task, token, b.start, b.stop) for b in bounds]
-            results = sorted(future.result() for future in futures)
+        try:
+            with published_state(pool, index) as handle:
+                futures = [pool.submit(_hash_task, handle, b.start, b.stop) for b in bounds]
+                results = sorted(future.result() for future in futures)
+            index.install_tables([partial for _, partial, _ in results])
+        except BrokenExecutor:
+            pool.broken = True
+            index.install_tables([index.hash_rows(0, index.size)])
     finally:
-        release_pool_token(token)
-    index.install_tables([partial for _, partial, _ in results])
+        if owned:
+            release_pool(pool)
     return index
 
 
@@ -635,10 +743,13 @@ def sharded_candidate_pairs(
     """Blocking alone, sharded end to end: build in workers, query in workers.
 
     Returns the full candidate-pair list in serial enumeration order —
-    shard results are merged by ascending shard index, each shard's pairs
+    task results are merged by ascending row range, each task's pairs
     ordered by (row, neighbour rank).  With ``workers == 1`` every step runs
     serially in the calling process; any worker count yields the identical
-    pair list.
+    pair list.  The pooled path records the per-stage breakdown —
+    ``dispatch`` (no-op round trip), ``block-ipc`` (calibration transport
+    overhead), ``block-build``/``block-query`` (in-worker compute) and
+    ``merge`` (parent-side concatenation) — plus a ``query_tasks`` counter.
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -650,43 +761,99 @@ def sharded_candidate_pairs(
         query_chunk = query_chunk_for(DEFAULT_BATCH_SIZE, k)
     if query_chunk <= 0:
         raise ValueError("query_chunk must be positive")
-    started = time.perf_counter()
-    index = build_index_sharded(
-        vectors, keys, blocking=blocking, workers=workers, shard_rows=shard_rows
-    )
-    if stage_timings is not None:
-        stage_timings.record("block-build", time.perf_counter() - started)
-    search = NearestNeighbourSearch.from_index(index, blocking)
-    bounds = shard_bounds_for("left", len(query_vectors), shard_rows)
-    chunk = query_chunk
-    started = time.perf_counter()
-    if workers == 1 or len(bounds) <= 1:
+
+    def serial_query(search: NearestNeighbourSearch, bounds) -> List[RecordPair]:
+        started = time.perf_counter()
         pairs: List[RecordPair] = []
         for b in bounds:
             pairs.extend(
-                query_shard_pairs(search, query_vectors, query_keys, b.start, b.stop, k, chunk)
+                query_shard_pairs(
+                    search, query_vectors, query_keys, b.start, b.stop, k, query_chunk
+                )
             )
         if stage_timings is not None:
             stage_timings.record("block-query", time.perf_counter() - started, units=len(bounds))
         return pairs
-    token = new_pool_token()
-    state = _PlanState(flat=query_vectors, keys=query_keys, search=search)
-    pool, _ = make_pool(min(workers, len(bounds)), token, state)
+
+    bounds = shard_bounds_for("left", len(query_vectors), shard_rows)
+    pooled = workers > 1 and len(bounds) > 1 and pool_kind_default() != "serial"
+    pool = acquire_pool(workers) if pooled else None
     try:
-        with pool:
-            futures = [
-                pool.submit(_query_task, token, b.index, b.start, b.stop, k, chunk)
-                for b in bounds
-            ]
-            results = sorted(
-                (future.result() for future in futures), key=lambda item: item[0]
+        started = time.perf_counter()
+        index = build_index_sharded(
+            vectors, keys, blocking=blocking, workers=workers, shard_rows=shard_rows, pool=pool
+        )
+        if stage_timings is not None:
+            stage_timings.record("block-build", time.perf_counter() - started)
+        search = NearestNeighbourSearch.from_index(index, blocking)
+        if pool is None or pool.broken:
+            return serial_query(search, bounds)
+        try:
+            return _pooled_query_fanout(
+                pool, search, query_vectors, query_keys, bounds, k, query_chunk,
+                workers, stage_timings,
             )
+        except BrokenExecutor:
+            pool.broken = True
+            return serial_query(search, bounds)
     finally:
-        release_pool_token(token)
-    if stage_timings is not None:
-        for _, _, seconds in results:
-            stage_timings.record("block-query", seconds)
-    return [pair for _, shard_pairs, _ in results for pair in shard_pairs]
+        if pool is not None:
+            release_pool(pool)
+
+
+def _pooled_query_fanout(
+    pool: WorkerPool,
+    search: NearestNeighbourSearch,
+    flat: np.ndarray,
+    keys: Sequence[object],
+    bounds: Sequence[ShardBounds],
+    k: int,
+    query_chunk: int,
+    workers: int,
+    stage_timings: Optional[StageTimings],
+) -> List[RecordPair]:
+    """Calibrated query fan-out: first shard measures, the rest coarsen.
+
+    The first planned shard runs alone — its round trip supplies the
+    dispatch/compute measurements the cost model sizes the remaining tasks
+    with, and its pairs head the merged result, so calibration costs
+    nothing.  ``block-query`` units count *planned shards covered*, not
+    pool tasks, keeping the stage accounting independent of coarsening.
+    """
+
+    def record(stage: str, seconds: float, units: int = 1) -> None:
+        if stage_timings is not None:
+            stage_timings.record(stage, seconds, units=units)
+
+    state = _PlanState(flat=flat, keys=keys, search=search)
+    with published_state(pool, state) as handle:
+        dispatch = _measure_dispatch(pool)
+        record("dispatch", dispatch)
+        first = bounds[0]
+        started = time.perf_counter()
+        _, first_pairs, first_seconds = pool.submit(
+            _query_task, handle, 0, first.start, first.stop, k, query_chunk
+        ).result()
+        round_trip = time.perf_counter() - started
+        record("block-ipc", max(0.0, round_trip - first_seconds))
+        record("block-query", first_seconds, units=1)
+        groups = _coarsen_query_bounds(bounds[1:], first.rows, first_seconds, dispatch, workers)
+        if stage_timings is not None:
+            stage_timings.record_counter("query_tasks", len(groups) + 1)
+        futures = [
+            pool.submit(_query_task, handle, position + 1, group.start, group.stop, k, query_chunk)
+            for position, group in enumerate(groups)
+        ]
+        merged: List[RecordPair] = list(first_pairs)
+        merge_seconds = 0.0
+        for future, group in zip(futures, groups):
+            _, pairs, seconds = future.result()
+            record("block-query", seconds, units=group.units)
+            started = time.perf_counter()
+            merged.extend(pairs)
+            merge_seconds += time.perf_counter() - started
+        record("merge", merge_seconds)
+    return merged
 
 
 # ----------------------------------------------------------------------
@@ -723,7 +890,7 @@ class ResolutionExecutor:
     def run(self) -> Iterator[ResolutionBatch]:
         """The scored batch stream; validation and version pinning are eager."""
         pinned = pin_store_version(self.store)
-        if self.plan.workers == 1:
+        if self.plan.workers == 1 or pool_kind_default() == "serial":
             return self._run_serial(pinned)
         return self._run_parallel(pinned)
 
@@ -780,80 +947,152 @@ class ResolutionExecutor:
         plan, store, matcher = self.plan, self.store, self.matcher
 
         def generate() -> Iterator[ResolutionBatch]:
-            # Stage 1 — encode.  Warm both sides *before* any pool exists so
-            # forked children inherit the cached arrays instead of
-            # recomputing (or re-reading disk).  The version was pinned
-            # before warming: if a refit lands between the two encodes, the
-            # guard catches it instead of silently pairing a version-N left
-            # table with a version-N+1 right table.
+            # Stage 1 — encode in the parent.  The persistent pool is not
+            # forked per resolve, so workers never inherit these arrays;
+            # each stage publishes what its tasks need through the
+            # shared-memory transport below.  The version was pinned before
+            # warming: if a refit lands between the two encodes, the guard
+            # catches it instead of silently pairing a version-N left table
+            # with a version-N+1 right table.
             started = time.perf_counter()
             left = store.table_encodings("left")
             right = store.table_encodings("right")
             guard_store_version(store, pinned)
             self._record_stage("encode", time.perf_counter() - started, units=2)
 
-            # Stage 2a — build the LSH index, hash maps computed in workers.
-            # The build uses its own short-lived pool rather than the
-            # query/score pool below: fork snapshots worker state at pool
-            # creation, so query workers can only see the *finished* index
-            # if the pool is created after the build completes.  Sharing one
-            # pool would mean shipping the merged hash tables to every task
-            # by pickle — costlier than a second fork.
-            started = time.perf_counter()
-            index = build_index_sharded(
-                right.flat_mu(),
-                right.keys,
-                blocking=plan.blocking,
-                workers=plan.workers,
-                shard_rows=plan.shard_rows,
-            )
-            search = NearestNeighbourSearch.from_index(index, plan.blocking)
-            self._record_stage("block", time.perf_counter() - started, units=len(plan.build_bounds))
-            guard_store_version(store, pinned)
-
-            # Stages 2b+3 — query fan-out and scoring share one pool, so a
-            # worker drains whichever stage has work.
-            token = new_pool_token()
-            state = _PlanState(
-                flat=left.flat_mu(),
-                keys=left.keys,
-                search=search,
-                left=left,
-                right=right,
-                matcher=matcher,
-            )
-            pool, _ = make_pool(plan.workers, token, state)
+            # One pool for the whole resolve: build, query fan-out and
+            # scoring all run on it, and release_pool hands it back to the
+            # cache for the next resolve (delta rounds reuse it for free).
+            pool = acquire_pool(plan.workers)
+            emitted = 0
             try:
-                with pool:
-                    yield from self._pump(pool, token, left, right, pinned)
+                try:
+                    # Stage 2a — build the LSH index, hash maps computed in
+                    # workers; the prepared (unhashed) index is published to
+                    # the pool, the merged tables stay parent-side.
+                    started = time.perf_counter()
+                    index = build_index_sharded(
+                        right.flat_mu(),
+                        right.keys,
+                        blocking=plan.blocking,
+                        workers=plan.workers,
+                        shard_rows=plan.shard_rows,
+                        pool=pool,
+                    )
+                    search = NearestNeighbourSearch.from_index(index, plan.blocking)
+                    self._record_stage(
+                        "block", time.perf_counter() - started, units=len(plan.build_bounds)
+                    )
+                    guard_store_version(store, pinned)
+                    if pool.broken:
+                        raise BrokenExecutor("pool died during index build")
+
+                    # Stages 2b+3 — query fan-out and scoring share the
+                    # pool under one published state, so a worker drains
+                    # whichever stage has work.
+                    state = _PlanState(
+                        flat=left.flat_mu(),
+                        keys=left.keys,
+                        search=search,
+                        left_irs=left.irs,
+                        right_irs=right.irs,
+                        matcher=matcher,
+                    )
+                    with published_state(pool, state) as handle:
+                        for batch in self._pump(pool, handle, left, right, pinned):
+                            emitted = batch.batch_index + 1
+                            yield batch
+                except BrokenExecutor:
+                    # Crash-safe fallback: a dead pool downgrades the rest
+                    # of the run to the serial schedule, resuming after the
+                    # last batch the pooled path already emitted.
+                    pool.broken = True
+                    yield from self._serial_tail(pinned, emitted)
             finally:
-                release_pool_token(token)
+                release_pool(pool)
 
         return generate()
 
-    def _pump(self, pool, token: str, left: TableEncodings, right: TableEncodings, pinned: int) -> Iterator[ResolutionBatch]:
-        """Overlap query shards and score batches with bounded in-flight depth.
+    def _serial_tail(self, pinned: int, skip: int) -> Iterator[ResolutionBatch]:
+        """Serial re-run of the batch stream, skipping ``skip`` leading batches.
+
+        Candidate enumeration and batch packing are deterministic, so batch
+        ``i`` of a serial rerun is exactly the batch the pooled schedule
+        would have emitted as ``i`` — consumers of a crashed pooled run see
+        one contiguous, duplicate-free stream.
+        """
+        plan, store, matcher = self.plan, self.store, self.matcher
+        for batch_index, pairs in iter_candidate_batches(
+            store, blocking=plan.blocking, k=plan.k, batch_size=plan.batch_size
+        ):
+            if batch_index < skip:
+                continue
+            guard_store_version(store, pinned)
+            started = time.perf_counter()
+            left_irs, right_irs = store.gather_pair_irs(pairs)
+            probabilities = matcher.predict_proba(left_irs, right_irs)
+            self._record_stage("score", time.perf_counter() - started)
+            if self.shard_timings is not None:
+                self.shard_timings.record(batch_index, len(pairs), time.perf_counter() - started)
+            yield ResolutionBatch(
+                pairs=pairs,
+                probabilities=probabilities,
+                threshold=self.threshold,
+                batch_index=batch_index,
+            )
+
+    def _pump(self, pool: WorkerPool, handle: StateHandle, left: TableEncodings, right: TableEncodings, pinned: int) -> Iterator[ResolutionBatch]:
+        """Overlap query tasks and score batches with bounded in-flight depth.
+
+        The fan-out is *calibrated*: the first planned query shard runs
+        alone to measure dispatch overhead and per-row compute, and the
+        remaining shards are coarsened into cost-model-sized task groups
+        (see :func:`_coarsen_query_bounds`) — recorded under the
+        ``dispatch``/``block-ipc`` stages plus a ``query_tasks`` counter.
 
         Backpressure counts both unfinished futures *and* finished-but-
         unconsumed results in each stage: when one early unit is slow, later
         completions park until it lands, and without counting them the
         parent would keep submitting and buffer the whole stream — the
         unbounded materialisation this layer exists to avoid.  Emission is
-        strictly ordered: shards are consumed by ascending shard index, and
-        batches are yielded by ascending ``batch_index``.
+        strictly ordered: query tasks are consumed by ascending row range,
+        and batches are yielded by ascending ``batch_index``.
         """
         plan, store = self.plan, self.store
         bounds = plan.query_bounds
+        if not bounds:
+            return
         max_inflight = max(2, plan.workers * 2)
+
+        # Calibration: dispatch overhead and the first shard's compute size
+        # the remaining tasks; its pairs head the stream, so nothing is
+        # thrown away.
+        dispatch = _measure_dispatch(pool)
+        self._record_stage("dispatch", dispatch)
+        guard_store_version(store, pinned)
+        first = bounds[0]
+        started = time.perf_counter()
+        _, first_pairs, first_seconds = pool.submit(
+            _query_task, handle, 0, first.start, first.stop, plan.k, plan.query_chunk
+        ).result()
+        round_trip = time.perf_counter() - started
+        self._record_stage("block-ipc", max(0.0, round_trip - first_seconds))
+        self._record_stage("block", first_seconds, units=1)
+        groups = _coarsen_query_bounds(
+            bounds[1:], first.rows, first_seconds, dispatch, plan.workers
+        )
+        if self.stage_timings is not None:
+            self.stage_timings.record_counter("query_tasks", len(groups) + 1)
 
         query_inflight: Dict[object, int] = {}
         query_done: Dict[int, Tuple[List[RecordPair], float]] = {}
         score_inflight: Dict[object, int] = {}
         score_done: Dict[int, Tuple[np.ndarray, float]] = {}
         pending_pairs: Dict[int, List[RecordPair]] = {}
-        buffer: List[RecordPair] = []
+        buffer: List[RecordPair] = list(first_pairs)
+        merge_seconds = 0.0
         submitted = 0
-        next_shard = 0
+        next_task = 0
         batch_index = 0
         next_emit = 0
 
@@ -887,30 +1126,37 @@ class ResolutionExecutor:
 
         while True:
             # Top up the query fan-out.
-            while submitted < len(bounds) and len(query_inflight) + len(query_done) < max_inflight:
+            while submitted < len(groups) and len(query_inflight) + len(query_done) < max_inflight:
                 guard_store_version(store, pinned)
-                b = bounds[submitted]
+                group = groups[submitted]
                 query_inflight[
-                    pool.submit(_query_task, token, b.index, b.start, b.stop, plan.k, plan.query_chunk)
-                ] = b.index
+                    pool.submit(
+                        _query_task, handle, submitted, group.start, group.stop,
+                        plan.k, plan.query_chunk,
+                    )
+                ] = submitted
                 submitted += 1
             collect(query_inflight, query_done, block=False)
-            # Consume finished shards strictly in shard order.
-            while next_shard in query_done:
-                pairs, seconds = query_done.pop(next_shard)
-                self._record_stage("block", seconds)
+            # Consume finished tasks strictly in row-range order.
+            while next_task in query_done:
+                pairs, seconds = query_done.pop(next_task)
+                self._record_stage("block", seconds, units=groups[next_task].units)
+                started = time.perf_counter()
                 buffer.extend(pairs)
-                next_shard += 1
-            blocking_done = next_shard >= len(bounds)
+                merge_seconds += time.perf_counter() - started
+                next_task += 1
+            blocking_done = next_task >= len(groups)
             # Pack and submit score batches (partial batch only at the end).
             while len(buffer) >= plan.batch_size or (blocking_done and buffer):
+                started = time.perf_counter()
                 head, buffer = buffer[: plan.batch_size], buffer[plan.batch_size :]
                 guard_store_version(store, pinned)
                 left_rows = left.rows([p.left_id for p in head])
                 right_rows = right.rows([p.right_id for p in head])
                 pending_pairs[batch_index] = head
+                merge_seconds += time.perf_counter() - started
                 score_inflight[
-                    pool.submit(_score_task, token, batch_index, left_rows, right_rows)
+                    pool.submit(_score_task, handle, batch_index, left_rows, right_rows)
                 ] = batch_index
                 batch_index += 1
                 while len(score_inflight) + len(score_done) >= max_inflight:
@@ -920,12 +1166,13 @@ class ResolutionExecutor:
             yield from emit_ready()
             if blocking_done and not score_inflight and not score_done and not buffer:
                 break
-            if not blocking_done and next_shard not in query_done:
-                # Progress needs the next shard: park on the query futures.
+            if not blocking_done and next_task not in query_done:
+                # Progress needs the next task: park on the query futures.
                 collect(query_inflight, query_done, block=True)
             elif blocking_done and score_inflight:
                 collect(score_inflight, score_done, block=True)
                 yield from emit_ready()
+        self._record_stage("merge", merge_seconds)
         guard_store_version(store, pinned)
 
 
@@ -1236,44 +1483,81 @@ class DeltaResolutionExecutor:
         """Candidate batches against the delta-updated index.
 
         Serial plans walk :func:`~repro.engine.stream.iter_candidate_batches`
-        (the canonical enumeration); pooled plans fan the left query shards
-        across workers and merge them back in shard order with the same
-        buffer/slice packing — the byte-identity contract either way.
+        (the canonical enumeration); pooled plans run the calibrated query
+        fan-out on the persistent pool — acquired here, so consecutive delta
+        rounds reuse one pool — and merge tasks back in row order with the
+        same buffer/slice packing: the byte-identity contract either way.
+        A pool that dies mid-fan-out downgrades to the serial enumeration,
+        resuming after the last batch already yielded.
         """
         plan, store = self.plan, self.store
-        if plan.workers == 1 or len(plan.query_bounds) <= 1:
+        bounds = plan.query_bounds
+        if plan.workers == 1 or len(bounds) <= 1 or pool_kind_default() == "serial":
             yield from iter_candidate_batches(
                 store, blocking=plan.blocking, k=plan.k,
                 batch_size=plan.batch_size, search=search,
             )
             return
-        bounds = plan.query_bounds
-        token = new_pool_token()
-        state = _PlanState(flat=left.flat_mu(), keys=left.keys, search=search)
-        pool, _ = make_pool(min(plan.workers, len(bounds)), token, state)
-        buffer: List[RecordPair] = []
-        batch_index = 0
+        emitted = 0
+        pool = acquire_pool(plan.workers)
         try:
-            with pool:
-                futures = [
-                    pool.submit(_query_task, token, b.index, b.start, b.stop, plan.k, plan.query_chunk)
-                    for b in bounds
-                ]
-                # Futures consumed in submission order == shard order, so the
-                # merged stream reproduces the serial enumeration pair for pair.
-                for future in futures:
-                    guard_store_version(store, pinned)
-                    _, pairs, seconds = future.result()
-                    self._record_stage("block", seconds)
-                    buffer.extend(pairs)
-                    while len(buffer) >= plan.batch_size:
-                        head, buffer = buffer[: plan.batch_size], buffer[plan.batch_size :]
-                        yield batch_index, head
-                        batch_index += 1
+            try:
+                state = _PlanState(flat=left.flat_mu(), keys=left.keys, search=search)
+                with published_state(pool, state) as handle:
+                    dispatch = _measure_dispatch(pool)
+                    self._record_stage("dispatch", dispatch)
+                    first = bounds[0]
+                    started = time.perf_counter()
+                    _, first_pairs, first_seconds = pool.submit(
+                        _query_task, handle, 0, first.start, first.stop,
+                        plan.k, plan.query_chunk,
+                    ).result()
+                    round_trip = time.perf_counter() - started
+                    self._record_stage("block-ipc", max(0.0, round_trip - first_seconds))
+                    self._record_stage("block", first_seconds, units=1)
+                    groups = _coarsen_query_bounds(
+                        bounds[1:], first.rows, first_seconds, dispatch, plan.workers
+                    )
+                    if self.stage_timings is not None:
+                        self.stage_timings.record_counter("query_tasks", len(groups) + 1)
+                    futures = [
+                        pool.submit(
+                            _query_task, handle, position + 1, group.start, group.stop,
+                            plan.k, plan.query_chunk,
+                        )
+                        for position, group in enumerate(groups)
+                    ]
+                    buffer: List[RecordPair] = list(first_pairs)
+                    batch_index = 0
+                    # Futures consumed in submission order == row order, so
+                    # the merged stream reproduces the serial enumeration
+                    # pair for pair.
+                    for future, group in zip(futures, groups):
+                        guard_store_version(store, pinned)
+                        _, pairs, seconds = future.result()
+                        self._record_stage("block", seconds, units=group.units)
+                        buffer.extend(pairs)
+                        while len(buffer) >= plan.batch_size:
+                            head, buffer = buffer[: plan.batch_size], buffer[plan.batch_size :]
+                            yield batch_index, head
+                            batch_index += 1
+                            emitted = batch_index
+                    if buffer:
+                        yield batch_index, buffer
+                        emitted = batch_index + 1
+                    return
+            except BrokenExecutor:
+                pool.broken = True
         finally:
-            release_pool_token(token)
-        if buffer:
-            yield batch_index, buffer
+            release_pool(pool)
+        # Serial fallback after a dead pool, skipping already-yielded batches.
+        for batch_index, pairs in iter_candidate_batches(
+            store, blocking=plan.blocking, k=plan.k,
+            batch_size=plan.batch_size, search=search,
+        ):
+            if batch_index < emitted:
+                continue
+            yield batch_index, pairs
 
 
 def resolve_delta(

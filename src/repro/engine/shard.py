@@ -10,8 +10,10 @@ This module owns two building blocks the planner-driven engine
   forces an encode; :meth:`ShardedEncodingStore.load_shard` serves a single
   shard lazily from the chunked persistent cache when the table is not in
   memory yet.
-* :func:`make_pool` — the fork-based worker pool (thread fallback) with the
-  token-keyed worker-state registry every parallel stage uses.
+* the persistent worker pool — :func:`acquire_pool`/:func:`release_pool`
+  over a single-slot cache, :func:`make_pool` (instrumented by
+  :data:`POOL_SPAWNS`), and the :func:`publish_worker_state` registry that
+  hands stage state to pool workers (via shared memory for process pools).
 
 :func:`resolve_sharded` — the parallel counterpart of
 :func:`~repro.engine.stream.resolve_stream` — is a thin front-end over the
@@ -23,23 +25,32 @@ across the pool, and results merge back deterministically by
 
 Worker strategy
 ---------------
-On platforms with ``fork`` (Linux), workers are forked processes that inherit
-the cached encoding arrays, the LSH index and the matcher by copy-on-write —
-nothing large is ever pickled; tasks ship only small index ranges and results
-ship only candidate pairs or probability vectors.  Where ``fork`` is
-unavailable the pool falls back to threads (NumPy's BLAS releases the GIL
-during the matmuls that dominate scoring).  Work is deterministic either way:
-workers run the same NumPy ops on the same arrays, so merged results are
-byte-identical to a single-process run over the same store.
+On Linux the pool is fork-based and *persistent*: one pool survives the
+encode → block → score stages of a resolve and is cached across resolves
+(delta rounds reuse it), so pool spawn cost is paid once, not per stage.
+Because the pool can predate any given stage's state, forked workers no
+longer rely on copy-on-write inheritance; instead each stage *publishes* its
+state — encoded arrays, the LSH index, the matcher — into
+``multiprocessing.shared_memory`` segments (:mod:`repro.engine.sharedmem`)
+that workers map as zero-copy NumPy views, attached once per stage and
+memoized.  Tasks still ship only small index ranges; results ship only
+candidate pairs or probability vectors.  Where fork or shared memory is
+unavailable the pool falls back to threads (NumPy's BLAS releases the GIL in
+the kernels that dominate), and ``REPRO_ENGINE_POOL=fork|thread|serial``
+forces the choice.  Work is deterministic on every path: workers run the
+same NumPy ops on the same arrays, so merged results are byte-identical to a
+single-process run over the same store.
 """
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import multiprocessing
 import os
 import sys
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -203,53 +214,234 @@ class ShardedEncodingStore(EncodingStore):
 # ----------------------------------------------------------------------
 # Worker-pool plumbing
 # ----------------------------------------------------------------------
-#: Per-pool worker state, keyed by a token unique to each parallel run so
-#: concurrent runs (and stale fork inheritances) can never cross wires.
-#: Process pools populate it in each forked child via the pool initializer
-#: (the state arrives by copy-on-write, not pickling); thread pools populate
-#: the parent's own copy.  The parent removes its entry when the pool closes.
+#: Pools spawned since import — the observable cost the persistent-pool
+#: cache exists to minimise.  Regression tests pin this: one full pooled
+#: resolve must spawn exactly one pool, and delta rounds must spawn none.
+POOL_SPAWNS = 0
+
+#: Parent-side state registry, keyed by a token unique to each published
+#: stage state so concurrent runs can never cross wires.  Thread pools (and
+#: the publishing parent itself) resolve states here; forked workers of the
+#: persistent pool resolve them via the shared-memory spec carried on the
+#: :class:`StateHandle` instead, because the pool may predate the state.
 _WORKER_STATES: Dict[str, object] = {}
+_PUBLICATIONS: Dict[str, object] = {}
 _POOL_TOKENS = itertools.count()
 
 
-def _init_worker(token: str, state: object) -> None:
-    _WORKER_STATES[token] = state
-
-
-def worker_state(token: str) -> object:
-    """The state registered for a pool token (inside a worker)."""
-    return _WORKER_STATES[token]
-
-
 def new_pool_token() -> str:
-    """A process-unique token for one pool's worker-state registration."""
+    """A process-unique token for one published worker state."""
     return f"{os.getpid()}-{next(_POOL_TOKENS)}"
 
 
 def release_pool_token(token: str) -> None:
-    """Drop a token's state (thread pools share the parent's registry)."""
+    """Drop a token's parent-side state."""
     _WORKER_STATES.pop(token, None)
 
 
-def make_pool(workers: int, token: str, state: object) -> Tuple[Executor, str]:
-    """Process pool via fork on Linux, thread pool otherwise.
+@dataclass(frozen=True)
+class StateHandle:
+    """Small picklable reference to one published stage state.
 
-    Fork is gated on the platform, not just on availability: macOS lists
-    ``fork`` but forking after the parent has touched Accelerate/BLAS (it
-    has — the encodings were just computed) aborts the children, which is
-    why CPython made ``spawn`` the macOS default.
+    Carries the registry token (enough for thread pools, which share the
+    parent's address space) plus, for process pools, the shared-memory
+    :class:`~repro.engine.sharedmem.StateSpec` a worker attaches on first
+    use.
     """
-    if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
-        context = multiprocessing.get_context("fork")
-        executor = ProcessPoolExecutor(
-            max_workers=workers, mp_context=context,
-            initializer=_init_worker, initargs=(token, state),
+
+    token: str
+    spec: Optional[object] = None
+
+
+def worker_state(ref) -> object:
+    """Resolve a :class:`StateHandle` (or bare token) to its state.
+
+    In the publishing process — and in thread-pool workers — the parent
+    registry answers directly.  In a forked pool worker the registry misses
+    (the pool predates the state), so the handle's shared-memory spec is
+    attached instead; the attachment is memoized per process, so only the
+    first task of a stage pays the unpickle.
+    """
+    token = ref if isinstance(ref, str) else ref.token
+    try:
+        return _WORKER_STATES[token]
+    except KeyError:
+        if isinstance(ref, str) or ref.spec is None:
+            raise
+    from repro.engine import sharedmem
+
+    return sharedmem.attach_state(ref.spec)
+
+
+def publish_worker_state(state: object, pool: Optional["WorkerPool"]) -> StateHandle:
+    """Register a stage state and return the handle tasks should carry.
+
+    The state always lands in the parent registry; when ``pool`` is a
+    process pool it is additionally published to shared memory (large
+    arrays hoisted into segments, zero-copy on both sides) so the
+    persistent pool's pre-existing workers can reach it.
+    """
+    token = new_pool_token()
+    _WORKER_STATES[token] = state
+    spec = None
+    if pool is not None and pool.kind == "fork":
+        from repro.engine import sharedmem
+
+        publication = sharedmem.publish_state(token, state)
+        _PUBLICATIONS[token] = publication
+        spec = publication.spec
+    return StateHandle(token=token, spec=spec)
+
+
+def release_worker_state(handle: StateHandle) -> None:
+    """Unregister a published state and unlink its shared-memory segments."""
+    _WORKER_STATES.pop(handle.token, None)
+    publication = _PUBLICATIONS.pop(handle.token, None)
+    if publication is not None:
+        publication.close()
+
+
+@contextmanager
+def published_state(pool: Optional["WorkerPool"], state: object) -> Iterator[StateHandle]:
+    """Publish ``state`` for the duration of a ``with`` block."""
+    handle = publish_worker_state(state, pool)
+    try:
+        yield handle
+    finally:
+        release_worker_state(handle)
+
+
+class WorkerPool:
+    """One persistent executor plus the metadata the cache keys on.
+
+    ``broken`` is set by callers that observed the pool die (a worker
+    segfault raises :class:`concurrent.futures.BrokenExecutor`); a broken
+    pool is never cached and its ``shutdown`` is idempotent, so the failure
+    path is: mark broken → release → the executor is torn down and the next
+    acquire spawns fresh — while the caller falls back to the serial
+    schedule for the remainder of its run.
+    """
+
+    def __init__(self, executor: Executor, kind: str, workers: int) -> None:
+        self.executor = executor
+        self.kind = kind
+        self.workers = workers
+        self.broken = False
+        self._shut_down = False
+
+    def submit(self, fn, /, *args, **kwargs):
+        return self.executor.submit(fn, *args, **kwargs)
+
+    def shutdown(self) -> None:
+        if self._shut_down:
+            return
+        self._shut_down = True
+        # A broken process pool can raise from shutdown; the pool is being
+        # discarded either way.
+        try:
+            self.executor.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # pragma: no cover - depends on how the pool died
+            pass
+
+    def __repr__(self) -> str:
+        return f"WorkerPool(kind={self.kind!r}, workers={self.workers}, broken={self.broken})"
+
+
+def pool_kind_default() -> str:
+    """Which pool transport this process should use: fork, thread or serial.
+
+    ``REPRO_ENGINE_POOL`` overrides (``fork``/``thread``/``serial``).
+    Otherwise fork is chosen on Linux when shared-memory segments work —
+    the persistent pool ships stage state through shared memory, so without
+    segments the process path would have to pickle arrays per task and the
+    threaded path (NumPy releases the GIL in the kernels that dominate) is
+    the better fallback.  Fork stays gated off on macOS: forking after the
+    parent has touched Accelerate/BLAS aborts the children, which is why
+    CPython made ``spawn`` the macOS default.
+    """
+    forced = os.environ.get("REPRO_ENGINE_POOL", "").strip().lower()
+    if forced in ("fork", "thread", "serial"):
+        return forced
+    if forced:
+        raise ValueError(
+            f"REPRO_ENGINE_POOL={forced!r} is not one of 'fork', 'thread', 'serial'"
         )
-        return executor, "fork"
-    executor = ThreadPoolExecutor(
-        max_workers=workers, initializer=_init_worker, initargs=(token, state)
-    )
-    return executor, "thread"
+    from repro.engine.sharedmem import shared_memory_available
+
+    if (
+        sys.platform.startswith("linux")
+        and "fork" in multiprocessing.get_all_start_methods()
+        and shared_memory_available()
+    ):
+        return "fork"
+    return "thread"
+
+
+def make_pool(workers: int, kind: Optional[str] = None) -> WorkerPool:
+    """Spawn a new worker pool (callers normally want :func:`acquire_pool`).
+
+    Workers are stateless at spawn time — stage state arrives later through
+    :func:`publish_worker_state` — which is what makes one pool reusable
+    across encode → block → score and across delta rounds.
+    """
+    global POOL_SPAWNS
+    kind = kind or pool_kind_default()
+    if kind == "serial":
+        raise ValueError("serial schedules do not use a pool")
+    POOL_SPAWNS += 1
+    if kind == "fork":
+        context = multiprocessing.get_context("fork")
+        executor: Executor = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    else:
+        executor = ThreadPoolExecutor(max_workers=workers)
+    return WorkerPool(executor, kind, workers)
+
+
+#: Single-slot pool cache: the released pool of the last parallel run,
+#: handed back verbatim when the next run wants the same shape.  One slot is
+#: deliberate — resolves run one at a time in this engine, and a second
+#: cached pool would only pin idle processes.
+_CACHED_POOL: Optional[WorkerPool] = None
+
+
+def acquire_pool(workers: int, kind: Optional[str] = None) -> WorkerPool:
+    """A pool of the requested shape — cached if compatible, else fresh.
+
+    A cached pool of a different shape (or one marked broken) is shut down
+    *before* the replacement spawns, so forked children never inherit a live
+    executor.
+    """
+    global _CACHED_POOL
+    kind = kind or pool_kind_default()
+    pool, _CACHED_POOL = _CACHED_POOL, None
+    if pool is not None:
+        if pool.kind == kind and pool.workers == workers and not pool.broken:
+            return pool
+        pool.shutdown()
+    return make_pool(workers, kind)
+
+
+def release_pool(pool: WorkerPool) -> None:
+    """Return a pool to the cache (broken pools are shut down instead)."""
+    global _CACHED_POOL
+    if pool.broken:
+        pool.shutdown()
+        return
+    if _CACHED_POOL is None:
+        _CACHED_POOL = pool
+    elif _CACHED_POOL is not pool:
+        pool.shutdown()
+
+
+def shutdown_pools() -> None:
+    """Tear down the cached pool (idempotent; registered atexit)."""
+    global _CACHED_POOL
+    pool, _CACHED_POOL = _CACHED_POOL, None
+    if pool is not None:
+        pool.shutdown()
+
+
+atexit.register(shutdown_pools)
 
 
 # ----------------------------------------------------------------------

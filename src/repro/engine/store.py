@@ -635,11 +635,13 @@ def encode_table_rows(
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """(irs, mu, sigma) of one table-shaped record collection.
 
-    Standalone so pool workers (which inherit the representation by fork)
-    can encode row ranges without constructing a store: the per-value IR
-    transform and row-wise VAE forward make each row's encoding independent
-    of which batch it rides in, which is what lets delta paths and pooled
-    tail encodes splice rows encoded at different times into one table.
+    Standalone so pool workers — which receive the representation through a
+    shared-memory published state (:mod:`repro.engine.sharedmem`), or share
+    it outright on the threaded path — can encode row ranges without
+    constructing a store: the per-value IR transform and row-wise VAE
+    forward make each row's encoding independent of which batch it rides
+    in, which is what lets delta paths and pooled tail encodes splice rows
+    encoded at different times into one table.
     """
     irs = representation.ir_generator.transform_table(table)
     n, arity, _ = irs.shape

@@ -9,7 +9,8 @@ at most ``batch_size`` pairs.  Peak memory is therefore bounded by the cached
 table encodings plus one scoring batch, regardless of how many candidate
 pairs blocking emits.  :mod:`repro.engine.shard` builds on this seam: it
 reuses the exact candidate enumeration and batch packing below but fans the
-per-batch scoring out across a worker pool.
+per-batch scoring out across a persistent worker pool, shipping the stage
+state through shared memory (:mod:`repro.engine.sharedmem`).
 """
 
 from __future__ import annotations
@@ -157,10 +158,17 @@ def iter_candidate_batches(
             store, blocking=blocking, k=k, query_chunk=query_chunk, search=search
         ):
             buffer.extend(candidates)
-            while len(buffer) >= batch_size:
-                head, buffer = buffer[:batch_size], buffer[batch_size:]
-                yield batch_index, head
+            if len(buffer) < batch_size:
+                continue
+            # Walk full batches by offset and compact the tail once per
+            # chunk: re-slicing the remainder per batch copies the whole
+            # buffer every emission (quadratic in the chunk's pair count).
+            offset = 0
+            while len(buffer) - offset >= batch_size:
+                yield batch_index, buffer[offset : offset + batch_size]
                 batch_index += 1
+                offset += batch_size
+            del buffer[:offset]
         if buffer:
             yield batch_index, buffer
 

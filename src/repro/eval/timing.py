@@ -252,10 +252,13 @@ class StageTimings:
 
     The :class:`repro.engine.plan.ResolutionExecutor` reports every timed
     work unit here under its stage name (``encode``, ``block``, ``score``),
-    accumulating seconds and unit counts per stage.  Like
-    :class:`ShardTimings`, the seconds are *worker compute* time: with a
-    pool, the summed figure exceeds the run's wall clock — the gap is the
-    parallel speedup.
+    accumulating seconds and unit counts per stage.  Pooled runs add the
+    parallel-overhead stages — ``dispatch`` (task submission), ``block-ipc``
+    (a result-transfer sample) and ``merge`` (deterministic reassembly) —
+    plus a ``query_tasks`` counter, so a sweep can show where the wall clock
+    went, not just that it moved.  Like :class:`ShardTimings`, the
+    per-stage seconds are *worker compute* time: with a pool, the summed
+    figure exceeds the run's wall clock — the gap is the parallel speedup.
     """
 
     def __init__(self) -> None:

@@ -193,7 +193,12 @@ class TestShardedBlockingEquivalence:
             vectors, keys, vectors, keys, k=3, workers=2, shard_rows=8, stage_timings=timings
         )
         assert timings.seconds("block-build") >= 0.0
+        # Units count *planned* shards covered, however the cost model
+        # groups them into pool tasks.
         assert timings.units("block-query") == 4  # 30 rows in shards of 8
+        assert timings.seconds("dispatch") >= 0.0
+        assert timings.seconds("block-ipc") >= 0.0
+        assert 1 <= timings.counter("query_tasks") <= 4
 
 
 class TestPlannerResolveEquivalence:
@@ -228,8 +233,12 @@ class TestPlannerResolveEquivalence:
         )
         assert [p.key() for p in planned.pairs] == [p.key() for p in streamed.pairs]
         np.testing.assert_array_equal(planned.probabilities, streamed.probabilities)
-        # Every stage of the graph reported compute time.
-        assert set(stage_timings.stages()) == {"encode", "block", "score"}
+        # Every stage of the graph reported compute time, plus the pooled
+        # dispatch/IPC/merge breakdown.
+        assert set(stage_timings.stages()) == {
+            "encode", "block", "score", "dispatch", "block-ipc", "merge",
+        }
+        assert stage_timings.counter("query_tasks") >= 1
         assert shard_timings.total_pairs() == len(planned)
 
     def test_oversized_k_and_batch(self, planned_pipeline):
