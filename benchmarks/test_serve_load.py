@@ -1,0 +1,198 @@
+"""Serving-path load bench: point-query latency and sustained mixed QPS.
+
+Boots the real daemon stack (ServeSession + MatchServer over loopback HTTP,
+queried through MatchClient) and drives mixed traffic — point resolves,
+probe-record queries, and edit/delete/ingest mutations — recording p50/p99
+latency per request type and the sustained throughput of the mix.
+
+The run repeats at two table scales to evidence the acceptance criterion
+that the warm path's per-request cost is independent of table size: a point
+resolve is one atomic snapshot read plus an O(1) per-left-id lookup, so its
+latency must not grow with the table.  The scale ratio is always emitted in
+``BENCH_serve.json``; it only becomes a hard assertion when
+``REPRO_BENCH_REQUIRE_SPEEDUP`` is set (shared CI runners are too noisy to
+gate merges on wall-clock by default).
+
+Knobs: ``REPRO_BENCH_SCALE`` multiplies the request counts (default 1.0).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import VAEConfig
+from repro.core.pipeline import VAER
+from repro.core.representation import EntityRepresentationModel
+from repro.data.generators import load_domain
+from repro.serve import MatchClient, MatchServer, ServeSession, record_payload
+
+DOMAIN = "restaurants"
+SCALES = {"small": 0.2, "large": 0.6}
+K = 4
+BATCH = 256
+REQUIRE_INDEPENDENCE = bool(os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP", "").strip())
+
+
+def _request_scale() -> float:
+    raw = os.environ.get("REPRO_BENCH_SCALE", "").strip()
+    try:
+        return max(0.1, float(raw)) if raw else 1.0
+    except ValueError:
+        return 1.0
+
+
+POINT_REQUESTS = int(120 * _request_scale())
+PROBE_REQUESTS = int(20 * _request_scale())
+MUTATIONS = int(12 * _request_scale())
+
+
+class _DistanceMatcher:
+    """Elementwise matcher: deterministic, batch-composition independent."""
+
+    def predict_proba(self, left_irs, right_irs):
+        diffs = np.asarray(left_irs) - np.asarray(right_irs)
+        distances = np.sqrt((diffs ** 2).sum(axis=(1, 2)))
+        return 1.0 / (1.0 + distances)
+
+
+def _served_model(scale: float):
+    domain = load_domain(DOMAIN, scale=scale)
+    model = VAER()
+    model.representation = EntityRepresentationModel(
+        VAEConfig(ir_dim=12, hidden_dim=16, latent_dim=6, epochs=1, seed=7),
+        ir_method="lsa",
+    ).fit(domain.task)
+    model.task = domain.task
+    model.matcher = _DistanceMatcher()
+    return domain, model
+
+
+def _percentiles(samples):
+    values = np.asarray(samples) * 1e3  # milliseconds
+    return {
+        "requests": len(samples),
+        "p50_ms": float(np.percentile(values, 50)),
+        "p99_ms": float(np.percentile(values, 99)),
+        "mean_ms": float(values.mean()),
+    }
+
+
+def _drive_mixed_traffic(domain, client):
+    """The mixed query/edit/delete phase; returns (per-type latencies, QPS)."""
+    right = domain.task.right
+    left_ids = domain.task.left.record_ids()
+    template = right.records()[0]
+    alive = list(right.record_ids())
+    latencies = {"point": [], "probe": [], "mutate": []}
+
+    # One request of each type to warm connections and code paths.
+    client.resolve([left_ids[0]])
+    client.query([record_payload("warm-probe", template.values)], k=K)
+    client.mutate(ingest=[record_payload("warm-ingest", template.values)])
+
+    schedule = (
+        [("point", i) for i in range(POINT_REQUESTS)]
+        + [("probe", i) for i in range(PROBE_REQUESTS)]
+        + [("mutate", i) for i in range(MUTATIONS)]
+    )
+    # Deterministic interleave: spread the rare types through the common one.
+    schedule.sort(key=lambda entry: hash((entry[0], entry[1] * 7919)) % 100003)
+
+    started = time.perf_counter()
+    for kind, i in schedule:
+        begin = time.perf_counter()
+        if kind == "point":
+            client.resolve([left_ids[i % len(left_ids)]])
+        elif kind == "probe":
+            source = right.records()[i % len(right)]
+            client.query([record_payload(f"probe-{i}", source.values)], k=K)
+        else:
+            step = i % 3
+            if step == 0:
+                target = right[alive[i % len(alive)]]
+                client.mutate(edit=[record_payload(
+                    target.record_id, [f"m{i}-{value}" for value in target.values]
+                )])
+            elif step == 1:
+                victim = alive.pop(i % len(alive))
+                client.mutate(delete=[victim])
+            else:
+                client.mutate(ingest=[record_payload(f"bench-{i}", template.values)])
+        latencies[kind].append(time.perf_counter() - begin)
+    elapsed = time.perf_counter() - started
+    return latencies, len(schedule) / elapsed
+
+
+def test_serve_mixed_load_latency_and_qps():
+    results = {}
+    for label, scale in SCALES.items():
+        domain, model = _served_model(scale)
+        session = ServeSession(model, k=K, batch_size=BATCH).start()
+        server = MatchServer(session).start()
+        try:
+            client = MatchClient(server.url)
+            warm_started = time.perf_counter()
+            health = client.health()
+            assert health["status"] == "ok" and health["pairs"] > 0
+            latencies, qps = _drive_mixed_traffic(domain, client)
+            stats = client.stats()
+            results[label] = {
+                "scale": scale,
+                "left_rows": health["left_rows"],
+                "right_rows": health["right_rows"],
+                "candidate_pairs": health["pairs"],
+                "sustained_qps": qps,
+                "first_request_seconds": time.perf_counter() - warm_started,
+                "mutations_applied": stats["mutations_applied"],
+                "point_query": _percentiles(latencies["point"]),
+                "probe_query": _percentiles(latencies["probe"]),
+                "mutation": _percentiles(latencies["mutate"]),
+            }
+            assert stats["mutations_applied"] == MUTATIONS + 1  # + the warm-up
+            assert stats["generation"] == MUTATIONS + 1
+        finally:
+            server.shutdown()
+
+    ratio = (
+        results["large"]["point_query"]["p50_ms"]
+        / results["small"]["point_query"]["p50_ms"]
+    )
+    payload = {
+        "domain": DOMAIN,
+        "k": K,
+        "batch_size": BATCH,
+        "traffic": {
+            "point_requests": POINT_REQUESTS,
+            "probe_requests": PROBE_REQUESTS,
+            "mutations": MUTATIONS,
+        },
+        "sizes": results,
+        "point_query_p50_scale_ratio": ratio,
+        "table_size_independent": ratio < 3.0,
+    }
+    Path("BENCH_serve.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\n\nServing load — mixed point/probe/mutation traffic\n")
+    for label, row in results.items():
+        print(
+            f"  {label:<6} ({row['left_rows']}x{row['right_rows']} rows, "
+            f"{row['candidate_pairs']} pairs): "
+            f"point p50 {row['point_query']['p50_ms']:.2f}ms "
+            f"p99 {row['point_query']['p99_ms']:.2f}ms; "
+            f"probe p50 {row['probe_query']['p50_ms']:.2f}ms; "
+            f"mutation p50 {row['mutation']['p50_ms']:.2f}ms; "
+            f"{row['sustained_qps']:.0f} req/s sustained"
+        )
+    print(f"  point-query p50 large/small ratio: {ratio:.2f}")
+
+    # The warm path must stay interactive and productive at every size.
+    for row in results.values():
+        assert row["sustained_qps"] > 5
+        assert row["point_query"]["p50_ms"] < 1000
+    if REQUIRE_INDEPENDENCE:
+        assert ratio < 3.0, "point-query latency must not track table size"

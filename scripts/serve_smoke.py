@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""CI smoke test for the serving daemon.
+
+Boots the real ``python -m repro serve`` subprocess, drives mixed traffic
+(point resolves, probe queries, edits, deletes, ingests) over HTTP, then
+rebuilds the same model in-process and replays the identical mutation
+sequence through batch ``VAER.resolve_delta`` drains.  The daemon's final
+pair stream must be byte-identical (through JSON serialisation) to the
+batch oracle's — the acceptance criterion that serving is a transport, not
+a different resolver.
+
+Usage: PYTHONPATH=src python scripts/serve_smoke.py [--domain beer]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cli import _harness_config  # noqa: E402
+from repro.core import VAER  # noqa: E402
+from repro.data.generators import load_domain  # noqa: E402
+from repro.data.schema import Record  # noqa: E402
+from repro.engine import merge_scored_batches  # noqa: E402
+from repro.serve import MatchClient, record_payload  # noqa: E402
+
+SCALE = 0.2
+SEED = 7
+K = 4
+BATCH = 512
+
+
+def boot_daemon(domain: str, cache_dir: str) -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--domain", domain,
+         "--scale", str(SCALE), "--seed", str(SEED), "--k", str(K),
+         "--batch-size", str(BATCH), "--port", "0", "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    deadline = time.monotonic() + 300
+    for line in proc.stdout:
+        print(f"  daemon: {line.rstrip()}")
+        match = re.search(r"serving on (http://\S+)", line)
+        if match:
+            return proc, match.group(1)
+        if time.monotonic() > deadline:
+            break
+    proc.kill()
+    raise SystemExit("daemon never reported its address")
+
+
+def drive_traffic(client: MatchClient, task) -> list:
+    """Mixed traffic; returns the daemon's final pair stream."""
+    left_ids = task.left.record_ids()
+    right_ids = task.right.record_ids()
+    edited = task.right[right_ids[3]]
+    new_values = tuple(f"X-{value}" for value in edited.values)
+
+    assert client.resolve([left_ids[0]])["generation"] == 0
+    report = client.mutate(
+        edit=[record_payload(edited.record_id, new_values)],
+        delete=[right_ids[5]],
+    )
+    assert report["generation"] == 1, report
+    probe = client.query([record_payload("probe-1", edited.values)], k=K)
+    assert probe["results"][0]["candidates"], "probe query returned no candidates"
+    report = client.mutate(ingest=[record_payload("fresh-1", edited.values)])
+    assert report["generation"] == 2, report
+    assert client.resolve([left_ids[0]])["generation"] == 2
+    assert client.stats()["mutations_applied"] == 2
+    return client.resolve()["pairs"]
+
+
+def batch_oracle(domain_name: str) -> list:
+    """The same mutation sequence through batch resolve_delta drains."""
+    domain = load_domain(domain_name, scale=SCALE)
+    config = _harness_config(SEED).vaer_config(ir_method="lsa")
+    model = VAER(config)
+    model.fit_representation(domain.task)
+    model.fit_matcher(domain.splits.train, domain.splits.validation)
+
+    table = domain.task.right
+    right_ids = table.record_ids()
+    edited = table[right_ids[3]]
+    new_values = tuple(f"X-{value}" for value in edited.values)
+
+    list(model.resolve_delta(k=K, batch_size=BATCH))  # cold drain
+    table.replace(Record(edited.record_id, new_values))
+    table.remove(right_ids[5])
+    list(model.resolve_delta(k=K, batch_size=BATCH))
+    table.add(Record("fresh-1", edited.values))
+    merged = merge_scored_batches(list(model.resolve_delta(k=K, batch_size=BATCH)))
+    return [
+        [pair.left_id, pair.right_id, float(probability)]
+        for pair, probability in zip(merged.pairs, merged.probabilities)
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--domain", default="beer")
+    args = parser.parse_args()
+
+    print(f"serve smoke: domain={args.domain} scale={SCALE} k={K}")
+    domain = load_domain(args.domain, scale=SCALE)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        proc, url = boot_daemon(args.domain, cache_dir)
+        try:
+            client = MatchClient(url)
+            health = client.health()
+            assert health["status"] == "ok" and health["pairs"] > 0, health
+            daemon_pairs = drive_traffic(client, domain.task)
+            client.shutdown()
+            code = proc.wait(timeout=120)
+            assert code == 0, f"daemon exited with {code}"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+    print(f"  daemon final stream: {len(daemon_pairs)} pairs")
+    oracle_pairs = batch_oracle(args.domain)
+    print(f"  batch oracle stream: {len(oracle_pairs)} pairs")
+    if json.dumps(daemon_pairs) != json.dumps(oracle_pairs):
+        for i, (got, want) in enumerate(zip(daemon_pairs, oracle_pairs)):
+            if got != want:
+                print(f"  first divergence at pair {i}: daemon={got} oracle={want}")
+                break
+        print("FAIL: daemon stream is not byte-identical to the batch oracle")
+        return 1
+    print("PASS: daemon stream byte-identical to batch resolve_delta oracle")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

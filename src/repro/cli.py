@@ -14,6 +14,7 @@ Usage (after installing the package)::
     python -m repro plan --domain music --workers 4 --shard-rows 1024
     python -m repro cache list --cache-dir .repro-cache
     python -m repro cache prune --cache-dir .repro-cache --dry-run
+    python -m repro serve --domain music --cache-dir .repro-cache --port 8123
 
 Each sub-command drives the same harness functions the benchmark suite uses,
 so the CLI is a convenient way to reproduce a single cell of the paper's
@@ -29,13 +30,33 @@ from typing import Optional, Sequence
 
 
 def _default_workers() -> int:
-    """Default worker count: ``REPRO_ENGINE_WORKERS`` when set, else 1."""
+    """Default worker count: ``REPRO_ENGINE_WORKERS`` when set, else 1.
+
+    Garbage (``abc``), zero and negative values all degrade to 1 — an env
+    knob must never make the CLI unusable.
+    """
     raw = os.environ.get("REPRO_ENGINE_WORKERS", "").strip()
     try:
         value = int(raw)
     except ValueError:
         return 1
     return value if value > 0 else 1
+
+
+def _check_positive(*checks: tuple) -> int:
+    """Shared positive-argument validation for every subcommand.
+
+    ``checks`` are ``(flag, value)`` pairs; the first non-positive one
+    prints the canonical ``error: <flag> must be positive`` line to stderr
+    and returns exit code 2 (argparse's own usage-error convention).
+    Returns 0 when every value is positive, so callers can write
+    ``if code := _check_positive(...): return code``.
+    """
+    for flag, value in checks:
+        if value <= 0:
+            print(f"error: {flag} must be positive", file=sys.stderr)
+            return 2
+    return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -130,6 +151,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="With prune: report what would be removed without deleting anything.",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="Run the warm match daemon: load a domain once, answer point "
+             "queries and mutations over JSON/HTTP at interactive latency.",
+    )
+    add_common(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="Interface to bind.")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks an ephemeral port; the bound port is printed).",
+    )
+    serve.add_argument("--k", type=int, default=10, help="Top-K neighbours per record for blocking.")
+    serve.add_argument("--batch-size", type=int, default=2048, help="Candidate pairs scored per batch.")
+    serve.add_argument(
+        "--workers", type=int, default=_default_workers(),
+        help="Worker pool size for delta refreshes (defaults to REPRO_ENGINE_WORKERS when set).",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="Directory for the persistent encoding cache; warm restarts skip table encoding.",
+    )
+
     return parser
 
 
@@ -214,11 +257,12 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.data.generators import load_domain
     from repro.engine import ResolutionPlanner
 
-    for name, value in (("--k", args.k), ("--batch-size", args.batch_size),
-                        ("--workers", args.workers), ("--shard-rows", args.shard_rows)):
-        if value <= 0:
-            print(f"error: {name} must be positive", file=sys.stderr)
-            return 2
+    code = _check_positive(
+        ("--k", args.k), ("--batch-size", args.batch_size),
+        ("--workers", args.workers), ("--shard-rows", args.shard_rows),
+    )
+    if code:
+        return code
     domain = load_domain(args.domain, scale=args.scale)
     plan = ResolutionPlanner(
         domain.task,
@@ -237,15 +281,11 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     from repro.eval.reporting import format_engine_stats, format_shard_timings, format_stage_timings
     from repro.eval.timing import ShardTimings, StageTimings, reset_engine_counters
 
-    if args.batch_size <= 0:
-        print("error: --batch-size must be positive", file=sys.stderr)
-        return 2
-    if args.k <= 0:
-        print("error: --k must be positive", file=sys.stderr)
-        return 2
-    if args.workers <= 0:
-        print("error: --workers must be positive", file=sys.stderr)
-        return 2
+    code = _check_positive(
+        ("--batch-size", args.batch_size), ("--k", args.k), ("--workers", args.workers),
+    )
+    if code:
+        return code
     if args.append_rows < 0 or args.edit_rows < 0 or args.delete_rows < 0:
         print("error: --append-rows/--edit-rows/--delete-rows must be non-negative", file=sys.stderr)
         return 2
@@ -357,6 +397,48 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core import VAER
+    from repro.data.generators import load_domain
+    from repro.serve import MatchServer, ServeSession
+
+    code = _check_positive(
+        ("--k", args.k), ("--batch-size", args.batch_size), ("--workers", args.workers),
+    )
+    if code:
+        return code
+    if args.port < 0:
+        print("error: --port must be non-negative", file=sys.stderr)
+        return 2
+
+    domain = load_domain(args.domain, scale=args.scale)
+    config = _harness_config(args.seed).vaer_config(ir_method=args.ir)
+    model = VAER(config, cache_dir=args.cache_dir)
+    print(f"loading domain={args.domain} ir={args.ir} scale={args.scale} ...", flush=True)
+    model.fit_representation(domain.task)
+    model.fit_matcher(domain.splits.train, domain.splits.validation)
+
+    session = ServeSession(
+        model, k=args.k, batch_size=args.batch_size, workers=args.workers
+    ).start()
+    server = MatchServer(session, host=args.host, port=args.port)
+    snapshot = session.snapshot
+    print(
+        f"warm: {snapshot.left_rows}x{snapshot.right_rows} rows, "
+        f"{len(snapshot.pairs)} candidate pairs, {snapshot.match_count} matches "
+        f"(threshold {snapshot.threshold:.2f})"
+    )
+    print(f"serving on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.shutdown()
+    print("daemon stopped: queue drained, cache flushed, pool released")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     args = _build_parser().parse_args(argv)
@@ -376,6 +458,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_plan(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 1
 
 

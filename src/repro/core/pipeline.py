@@ -384,6 +384,18 @@ class VAER:
 
         return stream()
 
+    @property
+    def baseline(self) -> Optional[ResolutionBaseline]:
+        """The delta baseline captured by the last fully drained delta run.
+
+        ``None`` until a :meth:`resolve_delta` (or incremental
+        :meth:`resolve_stream`) stream has been drained, and reset whenever
+        the representation or matcher is refit.  Read-only: the serving
+        layer uses it to reach the live LSH index and the row-identity
+        snapshot for ad-hoc point queries between mutations.
+        """
+        return self._baseline
+
     def plan_resolution(
         self,
         k: Optional[int] = None,

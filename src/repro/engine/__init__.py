@@ -38,8 +38,10 @@ from repro.engine.persist import (
     PersistentEncodingCache,
     RowDiff,
     TableDelta,
+    close_chunk_handles,
     diff_rows,
     encoding_fingerprint,
+    invalidate_chunk_handles,
     model_fingerprint,
     record_crc,
     row_range_crc,
@@ -71,6 +73,7 @@ from repro.engine.shard import (
     merge_scored_batches,
     pool_kind_default,
     published_state,
+    release_engine_resources,
     release_pool,
     resolve_sharded,
     shard_bounds_for,
@@ -128,10 +131,13 @@ __all__ = [
     "pool_kind_default",
     "publish_state",
     "published_state",
+    "release_engine_resources",
     "release_pool",
     "shared_memory_available",
     "shutdown_pools",
+    "close_chunk_handles",
     "diff_rows",
+    "invalidate_chunk_handles",
     "encode_table_rows",
     "encoding_fingerprint",
     "guard_store_version",

@@ -610,6 +610,27 @@ def close_chunk_handles() -> None:
         handle.close()
 
 
+def invalidate_chunk_handles(paths: Iterable[object]) -> int:
+    """Eagerly close the cached handles of specific chunk archives.
+
+    Called for chunk files that just became dead — superseded by a newer
+    generation in :meth:`PersistentEncodingCache.patch`, or about to be
+    unlinked by :meth:`PersistentEncodingCache.prune` — so a long-lived
+    process does not pin stale archives (and their file descriptors) in the
+    LRU until eviction.  Returns how many handles were closed.
+    """
+    keys = {str(path) for path in paths}
+    closed: List[_ChunkHandle] = []
+    with _handles_lock:
+        for key in keys:
+            handle = _handles.pop(key, None)
+            if handle is not None:
+                closed.append(handle)
+    for handle in closed:
+        handle.close()
+    return len(closed)
+
+
 class PersistentEncodingCache:
     """Directory-backed, row-range-chunked archive of table encodings.
 
@@ -707,6 +728,7 @@ class PersistentEncodingCache:
             if path.is_file():
                 removed_bytes += path.stat().st_size
                 if not dry_run:
+                    invalidate_chunk_handles([path])
                     path.unlink()
         if not dry_run:
             try:
@@ -815,6 +837,7 @@ class PersistentEncodingCache:
                     removed["files"] += 1
                     removed["bytes"] += entry.stat().st_size
                     if not dry_run:
+                        invalidate_chunk_handles([entry])
                         entry.unlink()
             # Sweep unreferenced chunk archives out of the surviving entry.
             _, _, kept = group[-1]
@@ -832,6 +855,7 @@ class PersistentEncodingCache:
                     removed["files"] += 1
                     removed["bytes"] += chunk.stat().st_size
                     if not dry_run:
+                        invalidate_chunk_handles([chunk])
                         chunk.unlink()
         return removed
 
@@ -1022,11 +1046,15 @@ class PersistentEncodingCache:
         }
         chunks: List[List[int]] = []
         patched = 0
+        superseded: List[Path] = []
         for chunk_start, chunk_stop, chunk_crc, generation in old["chunks"]:
             chunk_start, chunk_stop = int(chunk_start), int(chunk_stop)
             if dirty_stored.isdisjoint(range(chunk_start, chunk_stop)):
                 chunks.append([chunk_start, chunk_stop, int(chunk_crc), int(generation)])
                 continue
+            superseded.append(self.chunk_path(
+                task_name, side, encoding_version, chunk_start, chunk_stop, int(generation)
+            ))
             new_generation = int(generation) + 1
             arrays: Dict[str, np.ndarray] = {
                 name: np.zeros([chunk_stop - chunk_start] + arity_shapes[name])
@@ -1091,6 +1119,10 @@ class PersistentEncodingCache:
             "shapes": shapes,
         }
         path = self._write_manifest(task_name, side, encoding_version, manifest)
+        # The old generations are dead the moment the manifest lands: no
+        # future read resolves to them, so drop their cached handles now
+        # rather than pinning stale archives until LRU eviction.
+        invalidate_chunk_handles(superseded)
         return path, {
             "chunks_patched": patched,
             "rows_tombstoned": len(new_dead),

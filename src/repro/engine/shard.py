@@ -441,7 +441,33 @@ def shutdown_pools() -> None:
         pool.shutdown()
 
 
-atexit.register(shutdown_pools)
+def release_engine_resources() -> None:
+    """Release everything a long-lived process holds between resolve tasks.
+
+    A batch CLI run can lean on the ``atexit`` hook below, but a daemon
+    that stops serving one task (or goes idle) must not keep the persistent
+    fork pool, published shared-memory segments, worker-state registry
+    entries or open chunk-archive handles alive for hours.  Idempotent and
+    safe to call between tasks: the next resolve simply re-acquires a pool
+    and re-opens handles on demand.
+    """
+    shutdown_pools()
+    # Leaked publications: states published but never released (an abandoned
+    # run that errored between publish and release).  Closing unlinks the
+    # shared-memory segments.
+    for token in list(_PUBLICATIONS):
+        publication = _PUBLICATIONS.pop(token, None)
+        if publication is not None:
+            publication.close()
+    _WORKER_STATES.clear()
+    from repro.engine import sharedmem
+    from repro.engine.persist import close_chunk_handles
+
+    sharedmem.detach_all()
+    close_chunk_handles()
+
+
+atexit.register(release_engine_resources)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,95 @@
+"""Minimal stdlib client for the match daemon's JSON-over-HTTP protocol.
+
+Used by the tests, the load benchmark and the CI smoke script; useful as a
+reference implementation for anything else that talks to ``repro serve``.
+Only :mod:`urllib.request` — no dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+
+class ServeClientError(RuntimeError):
+    """A non-2xx response from the daemon, with its decoded error payload."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class MatchClient:
+    """One daemon endpoint, e.g. ``MatchClient("http://127.0.0.1:8123")``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except (ValueError, UnicodeDecodeError):
+                message = exc.reason or ""
+            raise ServeClientError(exc.code, message) from exc
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        return self._request("GET", "/health")
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/stats")
+
+    def resolve(self, left_ids: Optional[Sequence[str]] = None) -> Dict:
+        payload: Dict = {}
+        if left_ids is not None:
+            payload["left_ids"] = list(left_ids)
+        return self._request("POST", "/resolve", payload)
+
+    def query(self, records: Sequence[Dict], k: Optional[int] = None) -> Dict:
+        payload: Dict = {"records": list(records)}
+        if k is not None:
+            payload["k"] = int(k)
+        return self._request("POST", "/query", payload)
+
+    def mutate(
+        self,
+        side: str = "right",
+        ingest: Optional[Sequence[Dict]] = None,
+        edit: Optional[Sequence[Dict]] = None,
+        delete: Optional[Sequence[str]] = None,
+    ) -> Dict:
+        payload: Dict = {"side": side}
+        if ingest:
+            payload["ingest"] = list(ingest)
+        if edit:
+            payload["edit"] = list(edit)
+        if delete:
+            payload["delete"] = list(delete)
+        return self._request("POST", "/mutate", payload)
+
+    def shutdown(self) -> Dict:
+        return self._request("POST", "/shutdown", {})
+
+
+def record_payload(record_id: str, values: Sequence[str], entity_id: Optional[str] = None) -> Dict:
+    """The wire form of one record for ``ingest``/``edit``/``query`` bodies."""
+    payload: Dict = {"record_id": record_id, "values": list(values)}
+    if entity_id is not None:
+        payload["entity_id"] = entity_id
+    return payload

@@ -165,3 +165,72 @@ class TestCacheCommand:
         header = capsys.readouterr().out.splitlines()[0]
         for column in ("Chunks", "Generations", "Tombstones", "Bytes"):
             assert column in header
+
+
+class TestServeParser:
+    def test_serve_arguments(self):
+        args = _build_parser().parse_args(
+            ["serve", "--domain", "music", "--host", "0.0.0.0", "--port", "8123",
+             "--k", "5", "--cache-dir", ".enc"]
+        )
+        assert args.domain == "music" and args.host == "0.0.0.0" and args.port == 8123
+        assert args.k == 5 and args.cache_dir == ".enc"
+
+    def test_serve_defaults(self):
+        args = _build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 0
+        assert args.k == 10 and args.batch_size == 2048 and args.cache_dir is None
+
+
+class TestArgumentValidation:
+    """The centralised positive-argument guard, across every subcommand."""
+
+    @pytest.mark.parametrize("argv, flag", [
+        (["serve", "--k", "0"], "--k"),
+        (["serve", "--batch-size", "-5"], "--batch-size"),
+        (["serve", "--workers", "0"], "--workers"),
+        (["resolve", "--k", "-1"], "--k"),
+        (["resolve", "--batch-size", "0"], "--batch-size"),
+        (["resolve", "--workers", "-2"], "--workers"),
+        (["plan", "--k", "0"], "--k"),
+        (["plan", "--batch-size", "-1"], "--batch-size"),
+    ])
+    def test_non_positive_arguments_exit_2(self, argv, flag, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert f"error: {flag} must be positive" in err
+
+    def test_serve_rejects_negative_port(self, capsys):
+        assert main(["serve", "--port", "-1"]) == 2
+        assert "--port must be non-negative" in capsys.readouterr().err
+
+
+class TestWorkersEnvKnob:
+    """``REPRO_ENGINE_WORKERS`` garbage must degrade to 1, never crash."""
+
+    @pytest.mark.parametrize("raw", ["abc", "0", "-3", "", "  ", "1.5"])
+    def test_garbage_degrades_to_one(self, raw, monkeypatch):
+        from repro.cli import _default_workers
+
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", raw)
+        assert _default_workers() == 1
+
+    def test_valid_value_respected(self, monkeypatch):
+        from repro.cli import _default_workers
+
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", " 4 ")
+        assert _default_workers() == 4
+
+    def test_unset_defaults_to_one(self, monkeypatch):
+        from repro.cli import _default_workers
+
+        monkeypatch.delenv("REPRO_ENGINE_WORKERS", raising=False)
+        assert _default_workers() == 1
+
+    def test_env_knob_feeds_parser_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "3")
+        args = _build_parser().parse_args(["serve"])
+        assert args.workers == 3
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "junk")
+        args = _build_parser().parse_args(["resolve"])
+        assert args.workers == 1
