@@ -1,0 +1,197 @@
+"""Quantized-tier memory benchmark — footprint, recall, and match fidelity.
+
+Resolves every registry domain twice through the delta engine — once with the
+``raw`` float codec, once with the ``int8`` scalar-quantized codec — against
+separate persistent caches, then measures what the quantized tier actually
+buys and what it costs:
+
+* **bytes on disk** — total cache directory size per codec;
+* **warm-load bytes** — resident store bytes after a cold-process warm load
+  (the int8 store stays quantized in memory; floats are rehydrated only for
+  surviving pairs);
+* **peak RSS** — process resident set size at the end of the sweep;
+* **blocking recall vs exact** — fraction of the exact (raw) candidate set
+  the quantized blocking pass recovers;
+* **F1 delta** — end-to-end match-set F1 of the int8 run scored against the
+  raw run's match set as ground truth.
+
+Emits ``BENCH_quant.json`` and fails if compression falls below
+:data:`MIN_COMPRESSION` or recall below :data:`MIN_RECALL` on any domain.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale
+from repro.config import BlockingConfig, VAEConfig
+from repro.core.representation import EntityRepresentationModel
+from repro.data.generators import DOMAIN_NAMES, load_domain
+from repro.engine import (
+    PersistentEncodingCache,
+    ShardedEncodingStore,
+    merge_scored_batches,
+    resolve_delta,
+)
+from repro.eval.timing import EngineCounters
+from repro.serve.session import process_rss_bytes
+
+#: Required on-disk and warm-resident advantage of int8 over raw floats.
+MIN_COMPRESSION = 4.0
+#: Pinned blocking recall of quantized candidates against the exact set.
+MIN_RECALL = 0.95
+#: Pinned bound on the per-domain match-set F1 drop (raw run as truth).
+MAX_F1_DELTA = 0.05
+#: Match threshold for the deterministic distance matcher below.
+MATCH_THRESHOLD = 0.3
+
+
+class _DistanceMatcher:
+    """Deterministic stand-in matcher: probability decays with IR distance,
+    computed elementwise per pair so output is batch-composition independent."""
+
+    def predict_proba(self, left_irs: np.ndarray, right_irs: np.ndarray) -> np.ndarray:
+        diffs = np.asarray(left_irs) - np.asarray(right_irs)
+        distances = np.sqrt((diffs ** 2).sum(axis=(1, 2)))
+        return 1.0 / (1.0 + distances)
+
+
+def _dir_bytes(root: Path) -> int:
+    return sum(path.stat().st_size for path in root.rglob("*") if path.is_file())
+
+
+def _resolve_with_codec(representation, domain, codec, cache_dir):
+    cache = PersistentEncodingCache(cache_dir, chunk_rows=64)
+    store = ShardedEncodingStore(
+        representation, domain.task, counters=EngineCounters(),
+        shard_rows=256, persistent=cache, codec=codec,
+    )
+    executor = resolve_delta(
+        store, _DistanceMatcher(), baseline=None,
+        blocking=BlockingConfig(seed=19), k=8, batch_size=512,
+    )
+    scored = merge_scored_batches(executor.run())
+    return store, scored
+
+
+def _warm_load_bytes(representation, domain, codec, cache_dir) -> int:
+    """Resident store bytes after a fresh store warm-loads the cache."""
+    cache = PersistentEncodingCache(cache_dir, chunk_rows=64)
+    store = ShardedEncodingStore(
+        representation, domain.task, counters=EngineCounters(),
+        shard_rows=256, persistent=cache, codec=codec,
+    )
+    store.table_encodings("left")
+    store.table_encodings("right")
+    assert store.counters.tables_encoded == 0, "warm load must not re-encode"
+    return store.resident_bytes()
+
+
+def _match_set(scored):
+    return {
+        pair for pair, probability in zip(scored.pairs, scored.probabilities)
+        if probability >= MATCH_THRESHOLD
+    }
+
+
+def _f1(predicted, truth) -> float:
+    if not predicted or not truth:
+        return 1.0 if predicted == truth else 0.0
+    tp = len(predicted & truth)
+    precision = tp / len(predicted)
+    recall = tp / len(truth)
+    return 0.0 if tp == 0 else 2 * precision * recall / (precision + recall)
+
+
+def test_quant_memory_footprint(tmp_path):
+    scale = 0.3 * bench_scale()
+    config = VAEConfig(ir_dim=24, hidden_dim=32, latent_dim=12, epochs=2, seed=7)
+
+    per_domain = {}
+    for name in DOMAIN_NAMES:
+        domain = load_domain(name, scale=scale)
+        representation = EntityRepresentationModel(config, ir_method="lsa").fit(domain.task)
+
+        raw_dir = tmp_path / name / "raw"
+        int8_dir = tmp_path / name / "int8"
+        raw_store, raw_scored = _resolve_with_codec(representation, domain, "raw", raw_dir)
+        int8_store, int8_scored = _resolve_with_codec(representation, domain, "int8", int8_dir)
+
+        raw_pairs, int8_pairs = set(raw_scored.pairs), set(int8_scored.pairs)
+        recall = len(raw_pairs & int8_pairs) / max(len(raw_pairs), 1)
+        f1_delta = 1.0 - _f1(_match_set(int8_scored), _match_set(raw_scored))
+
+        raw_disk, int8_disk = _dir_bytes(raw_dir), _dir_bytes(int8_dir)
+        raw_warm = _warm_load_bytes(representation, domain, "raw", raw_dir)
+        int8_warm = _warm_load_bytes(representation, domain, "int8", int8_dir)
+
+        per_domain[name] = {
+            "rows": len(domain.task.left) + len(domain.task.right),
+            "raw_disk_bytes": raw_disk,
+            "int8_disk_bytes": int8_disk,
+            "disk_compression": raw_disk / max(int8_disk, 1),
+            "raw_warm_bytes": raw_warm,
+            "int8_warm_bytes": int8_warm,
+            "warm_compression": raw_warm / max(int8_warm, 1),
+            "raw_resident_bytes": raw_store.resident_bytes(),
+            "int8_resident_bytes": int8_store.resident_bytes(),
+            "candidate_pairs_exact": len(raw_pairs),
+            "candidate_pairs_int8": len(int8_pairs),
+            "blocking_recall_vs_exact": recall,
+            "f1_delta": f1_delta,
+            "int8_bytes_decoded": int8_store.counters.bytes_decoded,
+        }
+
+    total_raw_disk = sum(row["raw_disk_bytes"] for row in per_domain.values())
+    total_int8_disk = sum(row["int8_disk_bytes"] for row in per_domain.values())
+    total_raw_warm = sum(row["raw_warm_bytes"] for row in per_domain.values())
+    total_int8_warm = sum(row["int8_warm_bytes"] for row in per_domain.values())
+    payload = {
+        "scale": scale,
+        "domains": per_domain,
+        "total_raw_disk_bytes": total_raw_disk,
+        "total_int8_disk_bytes": total_int8_disk,
+        "disk_compression": total_raw_disk / max(total_int8_disk, 1),
+        "total_raw_warm_bytes": total_raw_warm,
+        "total_int8_warm_bytes": total_int8_warm,
+        "warm_compression": total_raw_warm / max(total_int8_warm, 1),
+        "min_recall": min(row["blocking_recall_vs_exact"] for row in per_domain.values()),
+        "max_f1_delta": max(row["f1_delta"] for row in per_domain.values()),
+        "peak_rss_bytes": process_rss_bytes(),
+    }
+    Path("BENCH_quant.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\n\nQuantized tier — memory footprint and fidelity (raw vs int8)\n")
+    header = f"  {'domain':<12} {'disk raw':>10} {'disk int8':>10} {'x':>5} {'warm x':>6} {'recall':>7} {'F1 d':>6}"
+    print(header)
+    for name, row in per_domain.items():
+        print(
+            f"  {name:<12} {row['raw_disk_bytes']:>10} {row['int8_disk_bytes']:>10} "
+            f"{row['disk_compression']:>5.1f} {row['warm_compression']:>6.1f} "
+            f"{row['blocking_recall_vs_exact']:>7.3f} {row['f1_delta']:>6.3f}"
+        )
+    print(
+        f"\n  totals: disk {payload['disk_compression']:.1f}x, "
+        f"warm {payload['warm_compression']:.1f}x, "
+        f"min recall {payload['min_recall']:.3f}, "
+        f"max F1 delta {payload['max_f1_delta']:.3f}, "
+        f"peak RSS {payload['peak_rss_bytes']}"
+    )
+
+    assert payload["disk_compression"] >= MIN_COMPRESSION, (
+        f"int8 disk compression {payload['disk_compression']:.2f}x below {MIN_COMPRESSION}x"
+    )
+    assert payload["warm_compression"] >= MIN_COMPRESSION, (
+        f"int8 warm-load compression {payload['warm_compression']:.2f}x below {MIN_COMPRESSION}x"
+    )
+    for name, row in per_domain.items():
+        assert row["blocking_recall_vs_exact"] >= MIN_RECALL, (
+            f"{name}: quantized blocking recall {row['blocking_recall_vs_exact']:.3f} "
+            f"below pinned {MIN_RECALL}"
+        )
+        assert row["f1_delta"] <= MAX_F1_DELTA, (
+            f"{name}: match-set F1 delta {row['f1_delta']:.3f} above pinned {MAX_F1_DELTA}"
+        )

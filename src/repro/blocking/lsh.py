@@ -47,6 +47,46 @@ BucketMap = Dict[Tuple[int, ...], List[int]]
 #: Tombstoned fraction above which :meth:`EuclideanLSHIndex.remove` compacts.
 DEFAULT_COMPACTION_LOAD = 0.3
 
+#: Rows hashed per decode block when the stored vectors are int8 codes —
+#: bounds the transient float materialisation of a build/extend hash pass.
+_HASH_BLOCK_ROWS = 4096
+
+
+def _quant():
+    """:mod:`repro.engine.quant`, imported lazily.
+
+    A module-scope import would initialise the :mod:`repro.engine` package,
+    whose hub imports the planner, which imports this module — a cycle when
+    ``repro.blocking.lsh`` is imported first.  The function-level import is
+    a ``sys.modules`` hit after the first call.
+    """
+    from repro.engine import quant
+
+    return quant
+
+
+def _is_code_array(vectors) -> bool:
+    if isinstance(vectors, np.ndarray):
+        return False
+    return isinstance(vectors, _quant().CodecArray)
+
+
+def _coerce_vectors(vectors):
+    """Vectors as stored/queried: zero-copy for fp32/fp64 and code arrays.
+
+    Historically every entry point forced ``np.asarray(..., dtype=np.float64)``
+    — a silent full-table upcast *copy* for float32 inputs and a full decode
+    for code arrays.  Float inputs now pass through unchanged (only exotic
+    dtypes are upcast) and :class:`repro.engine.quant.CodecArray` inputs stay
+    compressed.
+    """
+    if _is_code_array(vectors):
+        return vectors
+    vectors = np.asarray(vectors)
+    if vectors.dtype not in (np.float32, np.float64):
+        vectors = vectors.astype(np.float64)
+    return vectors
+
 
 class EuclideanLSHIndex:
     """Multi-table p-stable LSH index over dense vectors.
@@ -86,6 +126,7 @@ class EuclideanLSHIndex:
         self.seed = seed
         self.compaction_load = compaction_load
         self._projections: Optional[np.ndarray] = None
+        self._projections32: Optional[np.ndarray] = None
         self._offsets: Optional[np.ndarray] = None
         self._tables: List[BucketMap] = []
         self._vectors: Optional[np.ndarray] = None
@@ -96,6 +137,9 @@ class EuclideanLSHIndex:
         # Linear-scan fallback working set, keyed by the mutation counter:
         # (mutations, live row indices, gathered live vectors).
         self._live_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+        # Asymmetric-ranking working set over code vectors, keyed likewise:
+        # (mutations, per-row ||c*s||^2 norms).
+        self._norms_cache: Optional[Tuple[int, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Build: prepare -> hash_rows (parallelisable) -> install_tables
@@ -106,14 +150,22 @@ class EuclideanLSHIndex:
         After ``prepare`` the index is *not* queryable yet: the hash tables
         are built by feeding :meth:`hash_rows` output (possibly computed in
         parallel over row ranges) to :meth:`install_tables`.
+
+        ``vectors`` may be float64, float32 (hashed through the fp32
+        projection fast path, no upcast copy) or a
+        :class:`repro.engine.quant.CodecArray` — the index then keeps the
+        int8 codes resident, hashes in bounded decode blocks and ranks
+        candidates through the asymmetric distance kernel.
         """
-        vectors = np.asarray(vectors, dtype=np.float64)
+        vectors = _coerce_vectors(vectors)
         if vectors.ndim != 2:
             raise ValueError(f"expected a 2-d array of vectors, got shape {vectors.shape}")
         n, dim = vectors.shape
         rng = np.random.default_rng(self.seed)
         self._projections = rng.standard_normal((self.num_tables, self.hash_size, dim))
+        self._projections32 = None
         self._offsets = rng.uniform(0.0, self.bucket_width, size=(self.num_tables, self.hash_size))
+        self._norms_cache = None
         self._vectors = vectors
         self._keys = list(keys) if keys is not None else list(range(n))
         if len(self._keys) != n:
@@ -139,11 +191,16 @@ class EuclideanLSHIndex:
         partial: List[BucketMap] = [defaultdict(list) for _ in range(self.num_tables)]
         if start >= stop:
             return [dict(table) for table in partial]
-        bucket_ids = self._bucket_ids(self._vectors[start:stop])
-        for table_index in range(self.num_tables):
-            table = partial[table_index]
-            for local, bucket in enumerate(map(tuple, bucket_ids[table_index])):
-                table[bucket].append(start + local)
+        # Code vectors decode block by block, so hashing a cold table never
+        # materialises more than one block of floats at a time.
+        block = _HASH_BLOCK_ROWS if _is_code_array(self._vectors) else stop - start
+        for block_start in range(start, stop, block):
+            block_stop = min(stop, block_start + block)
+            bucket_ids = self._bucket_ids(self._vectors[block_start:block_stop])
+            for table_index in range(self.num_tables):
+                table = partial[table_index]
+                for local, bucket in enumerate(map(tuple, bucket_ids[table_index])):
+                    table[bucket].append(block_start + local)
         return [dict(table) for table in partial]
 
     def install_tables(self, partials: Iterable[List[BucketMap]]) -> "EuclideanLSHIndex":
@@ -185,7 +242,7 @@ class EuclideanLSHIndex:
         identical to a full rebuild.
         """
         self._require_built("extend")
-        vectors = np.asarray(vectors, dtype=np.float64)
+        vectors = _coerce_vectors(vectors)
         if vectors.ndim != 2:
             raise ValueError(f"expected a 2-d array of vectors, got shape {vectors.shape}")
         assert self._vectors is not None
@@ -200,7 +257,12 @@ class EuclideanLSHIndex:
         if len(vectors) == 0:
             return self
         start = len(self._vectors)
-        self._vectors = np.concatenate([self._vectors, vectors])
+        if _is_code_array(self._vectors):
+            # Code-space append: quantized tails drop their codes straight
+            # in, float tails are encoded with the index's fixed params.
+            self._vectors = self._vectors.concat_rows(vectors)
+        else:
+            self._vectors = np.concatenate([self._vectors, np.asarray(vectors)])
         self._keys.extend(keys)
         self._key_rows = None
         self._mutations += 1
@@ -261,7 +323,13 @@ class EuclideanLSHIndex:
         bucket-identical to a from-scratch build over the edited vectors.
         """
         self._require_built("patch")
-        vectors = np.asarray(vectors, dtype=np.float64)
+        if _is_code_array(vectors):
+            # Patches touch few rows: decode them once, re-encoding happens
+            # row-wise against the stored representation below.
+            vectors = vectors.decode()
+        vectors = np.asarray(vectors)
+        if vectors.dtype not in (np.float32, np.float64):
+            vectors = vectors.astype(np.float64)
         if vectors.ndim != 2:
             raise ValueError(f"expected a 2-d array of vectors, got shape {vectors.shape}")
         assert self._vectors is not None
@@ -314,7 +382,11 @@ class EuclideanLSHIndex:
         self._mutations += 1
         alive = [row for row in range(len(self._vectors)) if row not in self._dead]
         renumber = {old: new for new, old in enumerate(alive)}
-        self._vectors = self._vectors[alive]
+        if _is_code_array(self._vectors):
+            # A plain fancy-index would decode; keep the survivors as codes.
+            self._vectors = self._vectors.take_rows(alive)
+        else:
+            self._vectors = self._vectors[alive]
         self._keys = [self._keys[row] for row in alive]
         tables: List[BucketMap] = []
         for table in self._tables:
@@ -329,10 +401,24 @@ class EuclideanLSHIndex:
         self._key_rows = None
         return self
 
-    def _bucket_ids(self, vectors: np.ndarray) -> np.ndarray:
+    def _bucket_ids(self, vectors) -> np.ndarray:
         assert self._projections is not None and self._offsets is not None
+        if _is_code_array(vectors):
+            vectors = vectors.decode()  # callers pass bounded row blocks
+        vectors = np.asarray(vectors)
+        if vectors.dtype == np.float32:
+            # fp32 fast path: project with a (lazily cached) fp32 copy of
+            # the projections instead of upcasting the whole vector block.
+            projections = self._projections32
+            if projections is None:
+                projections = self._projections.astype(np.float32)
+                self._projections32 = projections
+        else:
+            if vectors.dtype != np.float64:
+                vectors = vectors.astype(np.float64)
+            projections = self._projections
         # shape: (num_tables, n, hash_size)
-        projected = np.einsum("thd,nd->tnh", self._projections, vectors)
+        projected = np.einsum("thd,nd->tnh", projections, vectors)
         return np.floor((projected + self._offsets[:, None, :]) / self.bucket_width).astype(np.int64)
 
     def _require_built(self, operation: str) -> None:
@@ -352,7 +438,7 @@ class EuclideanLSHIndex:
         yields an empty result; ``k`` larger than the index size simply
         returns every (non-excluded) vector.
         """
-        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        vector = _coerce_vectors(np.atleast_1d(vector)).reshape(1, -1)
         return self.query_batch(vector, k=k, exclude=[exclude])[0]
 
     def query_batch(
@@ -372,7 +458,11 @@ class EuclideanLSHIndex:
         self._require_built("query_batch")
         if k <= 0:
             raise ValueError("k must be positive")
-        vectors = np.asarray(vectors, dtype=np.float64)
+        if _is_code_array(vectors):
+            vectors = vectors.decode()  # queries are per-row floats anyway
+        vectors = np.asarray(vectors)
+        if vectors.dtype not in (np.float32, np.float64):
+            vectors = vectors.astype(np.float64)
         if vectors.ndim == 1:
             vectors = vectors.reshape(1, -1)
         if vectors.ndim != 2:
@@ -412,15 +502,29 @@ class EuclideanLSHIndex:
     def _rank(
         self, vector: np.ndarray, candidates: set, k: int, exclude: Optional[object]
     ) -> List[Tuple[object, float]]:
-        """Exact-distance re-ranking of one query row's candidate set."""
+        """Exact-distance re-ranking of one query row's candidate set.
+
+        Over code vectors the distances come from the asymmetric kernel —
+        exact w.r.t. the *decoded* table (up to fp32 matmul rounding), so
+        ranking error against the raw index is bounded by the codec's
+        per-dimension quantization epsilon.
+        """
         assert self._vectors is not None
         if len(candidates) < k:
             candidates = set(range(len(self._vectors))) - self._dead
         candidate_list = sorted(candidates)
         if not candidate_list:
             return []
-        diffs = self._vectors[candidate_list] - vector
-        distances = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        if _is_code_array(self._vectors):
+            sub = self._vectors.take_rows(candidate_list)
+            distances = np.sqrt(
+                _quant().asymmetric_sq_distances(
+                    vector[0], sub, table_sq_norms=self._code_norms()[candidate_list]
+                )
+            )
+        else:
+            diffs = self._vectors[candidate_list] - vector
+            distances = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
         order = np.argsort(distances)
         results: List[Tuple[object, float]] = []
         for position in order:
@@ -449,12 +553,29 @@ class EuclideanLSHIndex:
             rows = np.asarray(
                 sorted(set(range(len(self._vectors))) - self._dead), dtype=np.intp
             )
-            base = self._vectors[rows]
+            base = (
+                self._vectors.take_rows(rows)
+                if _is_code_array(self._vectors)
+                else self._vectors[rows]
+            )
         else:
             rows = np.arange(len(self._vectors), dtype=np.intp)
             base = self._vectors
         self._live_cache = (self._mutations, rows, base)
         return rows, base
+
+    def _code_norms(self) -> np.ndarray:
+        """Per-row ``||c*s||^2`` of the stored code vectors, cached per mutation.
+
+        The constant term of the asymmetric distance kernel; amortised
+        across every ranked candidate set of a mutation epoch.
+        """
+        cache = self._norms_cache
+        if cache is not None and cache[0] == self._mutations:
+            return cache[1]
+        norms = _quant().table_sq_norms_of(self._vectors)
+        self._norms_cache = (self._mutations, norms)
+        return norms
 
     def _rank_fallback(
         self,
@@ -479,13 +600,24 @@ class EuclideanLSHIndex:
                 results[row] = []
             return
         keys = self._keys
+        base_is_codes = _is_code_array(base)
+        # Norms of a gathered code sub-table are a gather of the full-table
+        # norms, so the per-mutation cache serves both live-row layouts.
+        code_norms = self._code_norms()[live_rows] if base_is_codes else None
         # Bound the broadcast temp to ~32 MB of float64 diffs per block.
         block = max(1, (1 << 22) // max(1, base.shape[0] * base.shape[1]))
         for start in range(0, len(fallback_rows), block):
             chunk = fallback_rows[start : start + block]
             queries = vectors[chunk]
-            diffs = base[None, :, :] - queries[:, None, :]
-            distances_block = np.sqrt(np.einsum("bnd,bnd->bn", diffs, diffs))
+            if base_is_codes:
+                distances_block = np.sqrt(
+                    _quant().asymmetric_sq_distances(
+                        queries, base, table_sq_norms=code_norms
+                    )
+                )
+            else:
+                diffs = base[None, :, :] - queries[:, None, :]
+                distances_block = np.sqrt(np.einsum("bnd,bnd->bn", diffs, diffs))
             for position, row in enumerate(chunk):
                 distances = distances_block[position]
                 order = np.argsort(distances)
@@ -518,6 +650,8 @@ class EuclideanLSHIndex:
         state = self.__dict__.copy()
         state["_key_rows"] = None
         state["_live_cache"] = None
+        state["_norms_cache"] = None
+        state["_projections32"] = None
         tables = state.pop("_tables")
         packed = []
         for table in tables:
@@ -533,6 +667,9 @@ class EuclideanLSHIndex:
     def __setstate__(self, state):
         packed = state.pop("_packed_tables")
         self.__dict__.update(state)
+        # States packed by older builds predate the derived caches.
+        self.__dict__.setdefault("_projections32", None)
+        self.__dict__.setdefault("_norms_cache", None)
         tables: List[BucketMap] = []
         for keys, counts, rows in packed:
             table: BucketMap = {}

@@ -109,6 +109,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Directory for the persistent encoding cache; repeated runs skip table encoding.",
     )
     resolve.add_argument(
+        "--codec", default=None, choices=["raw", "int8"],
+        help="Encoding storage codec: raw float64 or int8 scalar-quantized codes "
+             "(~8x smaller; matcher still scores rehydrated floats). "
+             "Defaults to REPRO_ENGINE_CODEC when set, else raw.",
+    )
+    resolve.add_argument(
         "--incremental", action="store_true",
         help="Resolve, mutate the right table (append/edit/delete), then re-resolve "
              "through the delta engine (only new and dirty rows are encoded and rescored).",
@@ -171,6 +177,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache-dir", default=None,
         help="Directory for the persistent encoding cache; warm restarts skip table encoding.",
+    )
+    serve.add_argument(
+        "--codec", default=None, choices=["raw", "int8"],
+        help="Encoding storage codec for the resident store (int8 keeps the warm "
+             "daemon's encodings quantized; ~8x smaller RSS for the store).",
     )
 
     return parser
@@ -295,7 +306,7 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     reset_engine_counters()
     domain = load_domain(args.domain, scale=args.scale)
     config = _harness_config(args.seed).vaer_config(ir_method=args.ir)
-    model = VAER(config, cache_dir=args.cache_dir)
+    model = VAER(config, cache_dir=args.cache_dir, codec=args.codec)
     model.fit_representation(domain.task)
     model.fit_matcher(domain.splits.train, domain.splits.validation)
 
@@ -313,7 +324,7 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
 
     print(
         f"domain={args.domain} ir={args.ir} k={args.k} batch_size={args.batch_size} "
-        f"workers={args.workers}"
+        f"workers={args.workers} codec={model.codec}"
     )
     print(f"  candidate pairs scored: {candidates} (in {batches} batches)")
     print(f"  predicted matches:      {matches} (threshold {model.threshold:.2f})")
@@ -374,6 +385,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"{verb} {removed['entries']} stale entr(ies) and unreferenced chunks: "
             f"{removed['files']} file(s), {removed['bytes']} bytes"
         )
+        by_codec = removed.get("bytes_by_codec") or {}
+        for codec in sorted(by_codec):
+            label = "reclaimable" if args.dry_run else "reclaimed"
+            print(f"  {label} from codec={codec}: {by_codec[codec]} bytes")
         return 0
     rows = cache.describe_entries()
     if not rows:
@@ -384,12 +399,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return "?" if value is None else str(value)
 
     print(format_table(
-        ["Task", "Side", "Version", "Layout", "Rows", "Tombstones", "Chunks",
-         "Generations", "Bytes", "Content CRC", "Weights CRC"],
+        ["Task", "Side", "Version", "Layout", "Codec", "Rows", "Tombstones",
+         "Chunks", "Generations", "Bytes", "Decoded", "Content CRC", "Weights CRC"],
         [
             [row["task"], row["side"], _show(row["version"]), row["layout"],
-             _show(row["rows"]), _show(row["tombstones"]), _show(row["chunks"]),
-             _show(row["generations"]), _show(row["bytes"]),
+             _show(row.get("codec")), _show(row["rows"]), _show(row["tombstones"]),
+             _show(row["chunks"]), _show(row["generations"]), _show(row["bytes"]),
+             _show(row.get("decoded_bytes")),
              _show(row["content_crc"]), _show(row["weights_crc"])]
             for row in rows
         ],
@@ -413,8 +429,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     domain = load_domain(args.domain, scale=args.scale)
     config = _harness_config(args.seed).vaer_config(ir_method=args.ir)
-    model = VAER(config, cache_dir=args.cache_dir)
-    print(f"loading domain={args.domain} ir={args.ir} scale={args.scale} ...", flush=True)
+    model = VAER(config, cache_dir=args.cache_dir, codec=args.codec)
+    print(
+        f"loading domain={args.domain} ir={args.ir} scale={args.scale} "
+        f"codec={model.codec} ...", flush=True,
+    )
     model.fit_representation(domain.task)
     model.fit_matcher(domain.splits.train, domain.splits.validation)
 

@@ -66,6 +66,7 @@ from repro.engine import (
     resolve_sharded,
     resolve_stream,
 )
+from repro.engine.quant import resolve_codec_name
 from repro.eval.metrics import PRF, precision_recall_f1
 from repro.eval.timing import ShardTimings, StageTimings
 from repro.exceptions import NotFittedError
@@ -84,6 +85,7 @@ class VAER:
         config: Optional[VAERConfig] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         shard_rows: int = DEFAULT_SHARD_ROWS,
+        codec: Optional[str] = None,
     ) -> None:
         self.config = config or VAERConfig()
         self.representation: Optional[EntityRepresentationModel] = None
@@ -92,6 +94,9 @@ class VAER:
         self.threshold: float = 0.5
         self.cache_dir: Optional[Path] = Path(cache_dir) if cache_dir is not None else None
         self.shard_rows = shard_rows
+        # Resolved eagerly (explicit name or REPRO_ENGINE_CODEC) so an
+        # unknown codec fails at construction, not mid-resolve.
+        self.codec = resolve_codec_name(codec)
         self._store: Optional[EncodingStore] = None
         self._baseline: Optional[ResolutionBaseline] = None
 
@@ -148,7 +153,11 @@ class VAER:
                 PersistentEncodingCache(self.cache_dir) if self.cache_dir is not None else None
             )
             self._store = ShardedEncodingStore(
-                representation, self.task, persistent=persistent, shard_rows=self.shard_rows
+                representation,
+                self.task,
+                persistent=persistent,
+                shard_rows=self.shard_rows,
+                codec=self.codec,
             )
         return self._store
 
@@ -433,6 +442,7 @@ class VAER:
             "threshold": self.threshold,
             "cache_dir": str(self.cache_dir) if self.cache_dir is not None else None,
             "shard_rows": self.shard_rows,
+            "codec": self.codec,
         }
         if self.representation is not None:
             info["vae_parameters"] = self.representation.vae.num_parameters()

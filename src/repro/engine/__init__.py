@@ -47,6 +47,16 @@ from repro.engine.persist import (
     row_range_crc,
     table_row_crcs,
 )
+from repro.engine.quant import (
+    CodecArray,
+    CodecParams,
+    ScalarQuantizer,
+    asymmetric_sq_distances,
+    available_codecs,
+    get_codec,
+    resolve_codec_name,
+    table_sq_norms_of,
+)
 from repro.engine.plan import (
     DeltaBounds,
     DeltaResolutionExecutor,
@@ -102,6 +112,8 @@ __all__ = [
     "DEFAULT_CHUNK_ROWS",
     "DEFAULT_SHARD_ROWS",
     "CacheDelta",
+    "CodecArray",
+    "CodecParams",
     "DeltaBounds",
     "DeltaResolutionExecutor",
     "EncodingStore",
@@ -112,6 +124,7 @@ __all__ = [
     "ResolutionPlan",
     "ResolutionPlanner",
     "RowDiff",
+    "ScalarQuantizer",
     "ScoredPairs",
     "ShardBounds",
     "ShardedEncodingStore",
@@ -124,7 +137,12 @@ __all__ = [
     "TableEncodings",
     "WorkerPool",
     "acquire_pool",
+    "asymmetric_sq_distances",
     "attach_state",
+    "available_codecs",
+    "get_codec",
+    "resolve_codec_name",
+    "table_sq_norms_of",
     "build_index_sharded",
     "detach_all",
     "make_pool",

@@ -106,6 +106,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence,
 
 import numpy as np
 
+from repro.engine.quant import CodecArray, CodecParams
 from repro.nn.serialization import _META_KEY, load_metadata, save_state_dict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -117,16 +118,30 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 PathLike = Union[str, Path]
 
 #: Bump when the on-disk layout changes; mismatching entries are treated as
-#: misses, never as errors.  Version 4 adds the row-identity mutation layer
-#: (per-row CRCs, tombstones, chunk generations); version 3 had per-chunk
-#: content CRCs only and is migrated on first read.
-CACHE_FORMAT_VERSION = 4
+#: misses, never as errors.  Version 5 adds the codec tier (a per-entry and
+#: per-chunk ``codec`` field plus quantization params, so chunk arrays may
+#: hold int8 codes instead of floats); version 4 added the row-identity
+#: mutation layer (per-row CRCs, tombstones, chunk generations); version 3
+#: had per-chunk content CRCs only.  Both older chunked formats are
+#: migrated to the current one on first read.
+CACHE_FORMAT_VERSION = 5
+
+#: Format tag of the pre-codec mutation-layer layout (read for migration).
+V4_FORMAT_VERSION = 4
 
 #: Format tag of the pre-mutation chunked layout (read for migration).
 V3_FORMAT_VERSION = 3
 
 #: Format tag of the legacy flat single-archive layout (read for migration).
 FLAT_FORMAT_VERSION = 1
+
+#: Chunk formats the reader accepts: the codec formats plus the two older
+#: chunked formats whose archives are binary-compatible for the raw codec
+#: (migration rewrites manifests only, never chunk files).
+_READABLE_CHUNK_FORMATS = (V3_FORMAT_VERSION, V4_FORMAT_VERSION, CACHE_FORMAT_VERSION)
+
+#: The identity codec: entries without a codec field decode as plain floats.
+RAW_CODEC = "raw"
 
 #: Default rows per chunk archive.
 DEFAULT_CHUNK_ROWS = 2048
@@ -232,6 +247,51 @@ def _keys_crc(keys: Sequence[object]) -> int:
     for key in keys:
         crc = zlib.crc32(str(key).encode("utf-8"), crc)
     return int(crc)
+
+
+def _encodings_codec(encodings: "TableEncodings") -> Tuple[str, Optional[Dict[str, Any]]]:
+    """Codec name and JSON params of in-memory encodings.
+
+    Encodings whose arrays are :class:`~repro.engine.quant.CodecArray`
+    instances persist as int8 code chunks with their affine params in the
+    manifest; plain ndarrays persist as the ``raw`` codec.  Mixed arrays are
+    a store bug, not a degradable condition.
+    """
+    arrays = {name: getattr(encodings, name) for name in _ARRAY_KEYS}
+    coded = {name for name, array in arrays.items() if isinstance(array, CodecArray)}
+    if not coded:
+        return RAW_CODEC, None
+    if coded != set(_ARRAY_KEYS):
+        raise ValueError(f"mixed raw/coded encoding arrays: only {sorted(coded)} are coded")
+    return "int8", {name: arrays[name].params.to_json() for name in _ARRAY_KEYS}
+
+
+def _stored_rows(array, start: int, stop: int) -> np.ndarray:
+    """Rows ``[start, stop)`` of an encoding array in *stored* form.
+
+    For a :class:`CodecArray` this is the int8 code rows (plain indexing
+    would rehydrate floats — exactly what a chunk write must not do).
+    """
+    if isinstance(array, CodecArray):
+        return array.codes[start:stop]
+    return np.asarray(array[start:stop])
+
+
+def _stored_row(array, position: int) -> np.ndarray:
+    """One row of an encoding array in stored (code or float) form."""
+    if isinstance(array, CodecArray):
+        return array.codes[position]
+    return array[position]
+
+
+def _manifest_codec(manifest: Dict[str, Any]) -> Tuple[str, Optional[Dict[str, Any]]]:
+    """``(name, params)`` of a normalised manifest's codec field."""
+    codec = manifest.get("codec")
+    if not isinstance(codec, dict):
+        return RAW_CODEC, None
+    name = codec.get("name", RAW_CODEC)
+    params = codec.get("params")
+    return str(name), params if isinstance(params, dict) else None
 
 
 def encoding_fingerprint(representation: "EntityRepresentationModel", table: "Table") -> Dict[str, Any]:
@@ -767,6 +827,13 @@ class PersistentEncodingCache:
                 if manifest is not None:
                     fingerprint = manifest.get("fingerprint", {})
                     chunks = manifest["chunks"]
+                    # What the entry would occupy fully rehydrated: the
+                    # float64 size of the stored shapes, codec-independent —
+                    # against on-disk bytes it shows the compression ratio.
+                    decoded_bytes = sum(
+                        8 * _element_count(tuple(int(d) for d in shape))
+                        for shape in manifest["shapes"].values()
+                    )
                     rows.append({
                         "task": task, "side": side, "version": version, "layout": "chunked",
                         "rows": len(manifest["keys"]) - len(manifest["tombstones"]),
@@ -774,6 +841,8 @@ class PersistentEncodingCache:
                         "chunks": len(chunks),
                         "generations": len({int(chunk[3]) for chunk in chunks}) if chunks else 0,
                         "bytes": total_bytes,
+                        "codec": _manifest_codec(manifest)[0],
+                        "decoded_bytes": decoded_bytes,
                         "content_crc": fingerprint.get("content_crc"),
                         "weights_crc": (fingerprint.get("model") or {}).get("weights_crc"),
                     })
@@ -781,7 +850,8 @@ class PersistentEncodingCache:
                     rows.append({
                         "task": task, "side": side, "version": version, "layout": "chunked",
                         "rows": None, "tombstones": None, "chunks": None, "generations": None,
-                        "bytes": total_bytes, "content_crc": None, "weights_crc": None,
+                        "bytes": total_bytes, "codec": None, "decoded_bytes": None,
+                        "content_crc": None, "weights_crc": None,
                     })
             else:
                 task = entry.parent.name
@@ -798,13 +868,14 @@ class PersistentEncodingCache:
                     "rows": len(keys) if isinstance(keys, list) else None,
                     "tombstones": None, "chunks": None, "generations": None,
                     "bytes": entry.stat().st_size,
+                    "codec": RAW_CODEC if metadata else None, "decoded_bytes": None,
                     "content_crc": fingerprint.get("content_crc") if isinstance(fingerprint, dict) else None,
                     "weights_crc": (fingerprint.get("model") or {}).get("weights_crc")
                     if isinstance(fingerprint, dict) else None,
                 })
         return rows
 
-    def prune(self, dry_run: bool = False) -> Dict[str, int]:
+    def prune(self, dry_run: bool = False) -> Dict[str, Any]:
         """Remove stale generations (the ``repro cache prune`` action).
 
         For each ``(task, side)`` only the highest ``-vN`` generation is
@@ -825,17 +896,28 @@ class PersistentEncodingCache:
                 continue
             side, version = parsed
             generations.setdefault((task, side), []).append((version, preference, entry))
-        removed = {"entries": 0, "files": 0, "bytes": 0}
+        removed: Dict[str, Any] = {"entries": 0, "files": 0, "bytes": 0, "bytes_by_codec": {}}
+
+        def _count_codec(codec: str, nbytes: int) -> None:
+            by_codec = removed["bytes_by_codec"]
+            by_codec[codec] = by_codec.get(codec, 0) + int(nbytes)
+
         for group in generations.values():
             group.sort()
             for version, preference, entry in group[:-1]:
                 removed["entries"] += 1
                 if entry.name == MANIFEST_NAME:
+                    stale = self._normalise_manifest(self._read_json(entry))
+                    codec = _manifest_codec(stale)[0] if stale is not None else "unknown"
                     removed["files"] += len(list(entry.parent.glob("*"))) if entry.parent.is_dir() else 0
-                    removed["bytes"] += self._remove_chunk_dir(entry.parent, dry_run=dry_run)
+                    reclaimed = self._remove_chunk_dir(entry.parent, dry_run=dry_run)
+                    removed["bytes"] += reclaimed
+                    _count_codec(codec, reclaimed)
                 else:
+                    size = entry.stat().st_size
                     removed["files"] += 1
-                    removed["bytes"] += entry.stat().st_size
+                    removed["bytes"] += size
+                    _count_codec(RAW_CODEC, size)
                     if not dry_run:
                         invalidate_chunk_handles([entry])
                         entry.unlink()
@@ -852,8 +934,10 @@ class PersistentEncodingCache:
             }
             for chunk in kept.parent.glob("*.npz"):
                 if chunk.name not in referenced:
+                    size = chunk.stat().st_size
                     removed["files"] += 1
-                    removed["bytes"] += chunk.stat().st_size
+                    removed["bytes"] += size
+                    _count_codec(_manifest_codec(manifest)[0], size)
                     if not dry_run:
                         invalidate_chunk_handles([chunk])
                         chunk.unlink()
@@ -884,6 +968,7 @@ class PersistentEncodingCache:
         serve full loads.
         """
         n = len(encodings)
+        codec_name, codec_params = _encodings_codec(encodings)
         bounds = [
             (start, min(start + self.chunk_rows, n))
             for start in range(0, n, self.chunk_rows)
@@ -892,7 +977,10 @@ class PersistentEncodingCache:
             [start, stop, self._range_crc(table, encodings, start, stop), 0]
             for start, stop in bounds
         ]
-        self._write_chunks(task_name, side, encoding_version, fingerprint, encodings, chunks, 0)
+        self._write_chunks(
+            task_name, side, encoding_version, fingerprint, encodings, chunks, 0,
+            codec=codec_name,
+        )
         row_crcs = (
             table_row_crcs(table)
             if table is not None and len(table) == len(encodings)
@@ -910,6 +998,7 @@ class PersistentEncodingCache:
             "chunk_rows": int(self.chunk_rows),
             "chunks": chunks,
             "shapes": {name: list(getattr(encodings, name).shape) for name in _ARRAY_KEYS},
+            "codec": {"name": codec_name, "params": codec_params},
         }
         return self._write_manifest(task_name, side, encoding_version, manifest)
 
@@ -937,6 +1026,16 @@ class PersistentEncodingCache:
         if not delta.is_append_only:
             raise ValueError("extend() only handles append-only deltas; use patch()")
         old = delta.manifest
+        old_codec, _ = _manifest_codec(old)
+        tail_codec, tail_params = _encodings_codec(tail)
+        if tail_codec != old_codec:
+            raise ValueError(
+                f"cannot extend a {old_codec!r}-codec entry with {tail_codec!r} encodings"
+            )
+        if tail_params is not None and tail_params != _manifest_codec(old)[1]:
+            # Quantize-once: appended rows must be encoded with the entry's
+            # fixed params, or old and new chunks would decode inconsistently.
+            raise ValueError("appended encodings use different codec params than the entry")
         stored = len(old["keys"])
         appended = len(tail)
         bounds = [
@@ -951,7 +1050,8 @@ class PersistentEncodingCache:
             for start, stop in bounds
         ]
         self._write_chunks(
-            task_name, side, encoding_version, fingerprint, tail, new_chunks, stored
+            task_name, side, encoding_version, fingerprint, tail, new_chunks, stored,
+            codec=tail_codec,
         )
         old_row_crcs = old.get("row_crcs")
         if old_row_crcs is None and not old["tombstones"]:
@@ -981,6 +1081,7 @@ class PersistentEncodingCache:
             "chunk_rows": int(self.chunk_rows),
             "chunks": [list(chunk) for chunk in old["chunks"]] + new_chunks,
             "shapes": shapes,
+            "codec": dict(old.get("codec") or {"name": RAW_CODEC, "params": None}),
         }
         return self._write_manifest(task_name, side, encoding_version, manifest)
 
@@ -1015,6 +1116,14 @@ class PersistentEncodingCache:
         ``rows_tombstoned``, ``chunks_appended``).
         """
         old = delta.manifest
+        old_codec, old_params = _manifest_codec(old)
+        patch_codec, patch_params = _encodings_codec(encodings)
+        if patch_codec != old_codec:
+            raise ValueError(
+                f"cannot patch a {old_codec!r}-codec entry with {patch_codec!r} encodings"
+            )
+        if patch_params is not None and patch_params != old_params:
+            raise ValueError("patched encodings use different codec params than the entry")
         stored = len(old["keys"])
         tombstones = set(int(t) for t in old["tombstones"])
         new_dead = [int(row) for row in delta.deleted_rows]
@@ -1056,8 +1165,13 @@ class PersistentEncodingCache:
                 task_name, side, encoding_version, chunk_start, chunk_stop, int(generation)
             ))
             new_generation = int(generation) + 1
+            # Zero-fill in the entry's *stored* dtype: float chunks stay
+            # float64, quantized chunks stay int8 codes.
             arrays: Dict[str, np.ndarray] = {
-                name: np.zeros([chunk_stop - chunk_start] + arity_shapes[name])
+                name: np.zeros(
+                    [chunk_stop - chunk_start] + arity_shapes[name],
+                    dtype=np.int8 if patch_codec != RAW_CODEC else np.float64,
+                )
                 for name in _ARRAY_KEYS
             }
             for stored_index in range(chunk_start, chunk_stop):
@@ -1065,11 +1179,14 @@ class PersistentEncodingCache:
                 if position is None:
                     continue  # tombstoned: zero-filled, never read again
                 for name in _ARRAY_KEYS:
-                    arrays[name][stored_index - chunk_start] = getattr(encodings, name)[position]
+                    arrays[name][stored_index - chunk_start] = _stored_row(
+                        getattr(encodings, name), position
+                    )
             new_crc = _crc_of_ints(row_crcs[chunk_start:chunk_stop])
             self._write_chunk_arrays(
                 task_name, side, encoding_version, fingerprint,
                 chunk_start, chunk_stop, new_crc, new_generation, arrays,
+                codec=patch_codec,
             )
             chunks.append([chunk_start, chunk_stop, new_crc, new_generation])
             patched += 1
@@ -1090,12 +1207,13 @@ class PersistentEncodingCache:
             ]
             for start, stop, crc, generation in appended_chunks:
                 arrays = {
-                    name: np.asarray(getattr(encodings, name)[start + shift : stop + shift])
+                    name: _stored_rows(getattr(encodings, name), start + shift, stop + shift)
                     for name in _ARRAY_KEYS
                 }
                 self._write_chunk_arrays(
                     task_name, side, encoding_version, fingerprint,
                     start, stop, crc, generation, arrays,
+                    codec=patch_codec,
                 )
             row_crcs.extend(record_crc(record) for record in records[base:total])
 
@@ -1117,6 +1235,7 @@ class PersistentEncodingCache:
             "chunk_rows": int(self.chunk_rows),
             "chunks": chunks + appended_chunks,
             "shapes": shapes,
+            "codec": dict(old.get("codec") or {"name": RAW_CODEC, "params": None}),
         }
         path = self._write_manifest(task_name, side, encoding_version, manifest)
         # The old generations are dead the moment the manifest lands: no
@@ -1146,17 +1265,18 @@ class PersistentEncodingCache:
         encodings: "TableEncodings",
         chunks: List[List[int]],
         offset: int,
+        codec: str = RAW_CODEC,
     ) -> None:
         """Write chunk archives for ``chunks`` (global row ranges) from
         ``encodings`` indexed locally at ``offset``."""
         for start, stop, crc, generation in chunks:
             arrays = {
-                name: getattr(encodings, name)[start - offset : stop - offset]
+                name: _stored_rows(getattr(encodings, name), start - offset, stop - offset)
                 for name in _ARRAY_KEYS
             }
             self._write_chunk_arrays(
                 task_name, side, encoding_version, fingerprint,
-                start, stop, crc, generation, arrays,
+                start, stop, crc, generation, arrays, codec=codec,
             )
 
     def _write_chunk_arrays(
@@ -1170,6 +1290,7 @@ class PersistentEncodingCache:
         crc: int,
         generation: int,
         arrays: Dict[str, np.ndarray],
+        codec: str = RAW_CODEC,
     ) -> None:
         chunk_dir = self.dir_for(task_name, side, encoding_version)
         chunk_dir.mkdir(parents=True, exist_ok=True)
@@ -1181,7 +1302,9 @@ class PersistentEncodingCache:
         # paths in place, so a reader holding the *other* writer's
         # manifest must be able to reject a foreign chunk instead of
         # mixing encodings.  Deliberately *not* the whole-table CRC —
-        # chunks must stay addressable after an append changes it.
+        # chunks must stay addressable after an append changes it.  The
+        # codec name rides along for the same reason: a reader must never
+        # decode int8 codes as floats or vice versa.
         metadata = {
             "format": CACHE_FORMAT_VERSION,
             "task": task_name,
@@ -1192,6 +1315,7 @@ class PersistentEncodingCache:
             "stop": int(stop),
             "row_crc": int(crc),
             "generation": int(generation),
+            "codec": str(codec),
         }
         # The temp name keeps the .npz suffix (np.savez appends it
         # otherwise) and the pid so parallel writers cannot collide.
@@ -1262,8 +1386,8 @@ class PersistentEncodingCache:
         """
         manifest = self._read_manifest(task_name, side, encoding_version, fingerprint)
         if manifest is not None:
-            if manifest.get("_migrated_from") == V3_FORMAT_VERSION:
-                manifest = self._migrate_v3(task_name, side, encoding_version, manifest, table)
+            if manifest.get("_migrated_from") in (V3_FORMAT_VERSION, V4_FORMAT_VERSION):
+                manifest = self._migrate_manifest(task_name, side, encoding_version, manifest, table)
             live = len(manifest["keys"]) - len(manifest["tombstones"])
             return self._load_rows(manifest, task_name, side, encoding_version, 0, live, counters)
         return self._migrate_flat(task_name, side, encoding_version, fingerprint)
@@ -1488,7 +1612,14 @@ class PersistentEncodingCache:
 
     @staticmethod
     def _normalise_manifest(manifest: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
-        """Structural validation plus in-memory v3 -> v4 normalisation."""
+        """Structural validation plus in-memory v3/v4 -> v5 normalisation.
+
+        Both older chunked formats normalise to the current shape without
+        touching disk: v3 gains empty tombstones, chunk generations and (no)
+        per-row CRCs; v3 and v4 alike gain the implicit ``raw`` codec their
+        float chunks were written under.  The ``_migrated_from`` tag lets
+        :meth:`load` persist the upgrade one-shot.
+        """
         if not isinstance(manifest, dict):
             return None
         fmt = manifest.get("format")
@@ -1501,9 +1632,21 @@ class PersistentEncodingCache:
                 chunks=[list(chunk) + [0] for chunk in chunks if isinstance(chunk, list)],
                 row_crcs=None,
                 tombstones=[],
+                codec={"name": RAW_CODEC, "params": None},
                 _migrated_from=V3_FORMAT_VERSION,
             )
+        elif fmt == V4_FORMAT_VERSION:
+            manifest = dict(
+                manifest,
+                codec={"name": RAW_CODEC, "params": None},
+                _migrated_from=V4_FORMAT_VERSION,
+            )
         elif fmt != CACHE_FORMAT_VERSION:
+            return None
+        codec = manifest.get("codec")
+        if not (isinstance(codec, dict) and isinstance(codec.get("name"), str)):
+            return None
+        if codec["name"] != RAW_CODEC and not isinstance(codec.get("params"), dict):
             return None
         keys = manifest.get("keys")
         chunks = manifest.get("chunks")
@@ -1544,7 +1687,7 @@ class PersistentEncodingCache:
             return None
         return manifest
 
-    def _migrate_v3(
+    def _migrate_manifest(
         self,
         task_name: str,
         side: str,
@@ -1552,17 +1695,19 @@ class PersistentEncodingCache:
         manifest: Dict[str, Any],
         table: Optional["Table"],
     ) -> Dict[str, Any]:
-        """Persist the v4 upgrade of a normalised v3 manifest (one-shot).
+        """Persist the v5 upgrade of a normalised v3/v4 manifest (one-shot).
 
         Chunk archives are untouched — only the manifest is rewritten, so
-        the served arrays are byte-identical before and after migration.
-        The caller has already matched the full fingerprint, so when the
-        table is in hand its per-row CRCs describe the stored content
-        exactly and the migrated entry becomes row-precisely probeable.
+        the served arrays are byte-identical before and after migration
+        (the implicit codec of both older formats is ``raw``).  For a v3
+        entry whose per-row CRCs are missing, the caller has already
+        matched the full fingerprint, so when the table is in hand its
+        per-row CRCs describe the stored content exactly and the migrated
+        entry becomes row-precisely probeable.
         """
         upgraded = {key: value for key, value in manifest.items() if key != "_migrated_from"}
         upgraded["format"] = CACHE_FORMAT_VERSION
-        if table is not None and len(table) == len(manifest["keys"]):
+        if upgraded.get("row_crcs") is None and table is not None and len(table) == len(manifest["keys"]):
             upgraded["row_crcs"] = table_row_crcs(table)
         self._write_manifest(task_name, side, encoding_version, upgraded)
         return upgraded
@@ -1602,13 +1747,38 @@ class PersistentEncodingCache:
         stored_indices: Sequence[int],
         counters: Optional["EngineCounters"],
     ) -> Optional["TableEncodings"]:
-        """Materialise the given stored rows (ascending) as local encodings."""
+        """Materialise the given stored rows (ascending) as local encodings.
+
+        For quantized entries the materialised arrays are
+        :class:`~repro.engine.quant.CodecArray` views over the int8 chunk
+        data (memory-mapped where the cache maps) — floats are rehydrated
+        only when a consumer gathers rows, so a cold table never builds its
+        full float store.
+        """
         from repro.engine.store import TableEncodings
+
+        codec_name, codec_params = _manifest_codec(manifest)
+        on_decode = counters.record_bytes_decoded if counters is not None else None
+
+        def _finalise(name: str, array: np.ndarray):
+            if codec_name == RAW_CODEC:
+                return array
+            if array.dtype != np.int8:
+                raise ValueError(f"{codec_name} chunk holds {array.dtype}, expected int8")
+            params = CodecParams.from_json(codec_params[name])
+            return CodecArray(array, params, on_decode=on_decode)
 
         keys = tuple(manifest["keys"][i] for i in stored_indices)
         if not stored_indices:
             shapes = manifest["shapes"]
-            empty = {name: np.zeros([0] + [int(d) for d in shapes[name][1:]]) for name in _ARRAY_KEYS}
+            dtype = np.int8 if codec_name != RAW_CODEC else np.float64
+            try:
+                empty = {
+                    name: _finalise(name, np.zeros([0] + [int(d) for d in shapes[name][1:]], dtype=dtype))
+                    for name in _ARRAY_KEYS
+                }
+            except _LOAD_ERRORS:
+                return None
             return TableEncodings(keys=keys, row_index={}, **empty)
         lo, hi = stored_indices[0], stored_indices[-1] + 1
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in _ARRAY_KEYS}
@@ -1626,6 +1796,7 @@ class PersistentEncodingCache:
             arrays = self._read_chunk(
                 task_name, side, encoding_version, model,
                 chunk_start, chunk_stop, int(chunk_crc), int(generation),
+                codec=codec_name,
             )
             if arrays is None:
                 return None
@@ -1644,12 +1815,15 @@ class PersistentEncodingCache:
             served += len(local)
         if served != len(stored_indices):
             return None
-        merged = {
-            # A range served by a single chunk stays a zero-copy (possibly
-            # memory-mapped) view; multi-chunk ranges concatenate.
-            name: parts[0] if len(parts) == 1 else np.concatenate(parts)
-            for name, parts in pieces.items()
-        }
+        try:
+            merged = {
+                # A range served by a single chunk stays a zero-copy (possibly
+                # memory-mapped) view; multi-chunk ranges concatenate.
+                name: _finalise(name, parts[0] if len(parts) == 1 else np.concatenate(parts))
+                for name, parts in pieces.items()
+            }
+        except _LOAD_ERRORS:
+            return None
         if merged["irs"].shape[0] != len(keys):
             return None
         return TableEncodings(
@@ -1670,13 +1844,14 @@ class PersistentEncodingCache:
         stop: int,
         row_crc: int,
         generation: int = 0,
+        codec: str = RAW_CODEC,
     ) -> Optional[Dict[str, np.ndarray]]:
         """One chunk generation's arrays, validated against its metadata."""
         path = self.chunk_path(task_name, side, encoding_version, start, stop, generation)
         handle = _chunk_handle(path)
         if handle is not None:
             if not self._chunk_metadata_valid(
-                handle.metadata, task_name, side, model, start, stop, row_crc, generation
+                handle.metadata, task_name, side, model, start, stop, row_crc, generation, codec
             ):
                 return None
             if self.mmap_mode:
@@ -1695,7 +1870,7 @@ class PersistentEncodingCache:
         try:
             metadata = load_metadata(path)
             if metadata is None or not self._chunk_metadata_valid(
-                metadata, task_name, side, model, start, stop, row_crc, generation
+                metadata, task_name, side, model, start, stop, row_crc, generation, codec
             ):
                 return None
             with np.load(path, allow_pickle=False) as archive:
@@ -1715,10 +1890,11 @@ class PersistentEncodingCache:
         stop: int,
         row_crc: int,
         generation: int,
+        codec: str = RAW_CODEC,
     ) -> bool:
         """Whether one chunk's embedded metadata matches what the manifest expects."""
         try:
-            if metadata.get("format") not in (V3_FORMAT_VERSION, CACHE_FORMAT_VERSION):
+            if metadata.get("format") not in _READABLE_CHUNK_FORMATS:
                 return False
             if metadata.get("task") != task_name or metadata.get("side") != side:
                 return False
@@ -1729,6 +1905,9 @@ class PersistentEncodingCache:
             if int(metadata.get("start", -1)) != start or int(metadata.get("stop", -1)) != stop:
                 return False
             if int(metadata.get("generation", 0)) != int(generation):
+                return False
+            # Pre-codec chunks carry no codec tag: they are implicitly raw.
+            if str(metadata.get("codec", RAW_CODEC)) != str(codec):
                 return False
         except (TypeError, ValueError):
             return False
@@ -1798,14 +1977,23 @@ class PersistentEncodingCache:
 
 
 def _slice_encodings(encodings: "TableEncodings", start: int, stop: int) -> "TableEncodings":
-    """Row-range view of in-memory encodings with a local row index."""
+    """Row-range view of in-memory encodings with a local row index.
+
+    Codec-preserving: quantized arrays stay :class:`CodecArray` views over
+    the sliced codes instead of decoding the range.
+    """
     from repro.engine.store import TableEncodings
+
+    def _rows(array):
+        if isinstance(array, CodecArray):
+            return array.row_slice(start, stop)
+        return array[start:stop]
 
     keys = encodings.keys[start:stop]
     return TableEncodings(
         keys=keys,
-        irs=encodings.irs[start:stop],
-        mu=encodings.mu[start:stop],
-        sigma=encodings.sigma[start:stop],
+        irs=_rows(encodings.irs),
+        mu=_rows(encodings.mu),
+        sigma=_rows(encodings.sigma),
         row_index={key: row for row, key in enumerate(keys)},
     )

@@ -43,6 +43,7 @@ from repro.blocking.neighbours import NearestNeighbourSearch
 from repro.config import BlockingConfig
 from repro.data.pairs import RecordPair
 from repro.data.schema import ERTask
+from repro.engine.quant import CodecArray
 from repro.engine.shard import (
     DEFAULT_SHARD_ROWS,
     ShardBounds,
@@ -753,7 +754,12 @@ def sharded_candidate_pairs(
     """
     if k <= 0:
         raise ValueError("k must be positive")
-    query_vectors = np.asarray(query_vectors, dtype=np.float64)
+    if not isinstance(query_vectors, CodecArray):
+        # No forced float64 copy: fp32 queries pass through, code arrays
+        # stay compressed and decode chunk by chunk in query_shard_pairs.
+        query_vectors = np.asarray(query_vectors)
+        if query_vectors.dtype not in (np.float32, np.float64):
+            query_vectors = query_vectors.astype(np.float64)
     query_keys = list(query_keys)
     if query_chunk is None:
         # Mirror the resolve path's chunking at its default batch size, so
@@ -1395,7 +1401,12 @@ class DeltaResolutionExecutor:
                     index.patch(flat[dirty], [str(right.keys[p]) for p in dirty])
                 base, total = right_diff.appended_range
                 if total > base:
-                    index.extend(flat[base:total], [str(key) for key in right.keys[base:total]])
+                    tail = (
+                        flat.row_slice(base, total)  # keep appended rows as codes
+                        if isinstance(flat, CodecArray)
+                        else flat[base:total]
+                    )
+                    index.extend(tail, [str(key) for key in right.keys[base:total]])
                 self._record_stage("block-extend", time.perf_counter() - started)
             else:
                 index = EuclideanLSHIndex(

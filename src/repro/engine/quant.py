@@ -1,0 +1,481 @@
+"""Quantized encoding codecs: int8 codes with lazy, gather-time decoding.
+
+The dense float64 encodings are the memory wall at scale: the persistent
+cache stores 8 bytes per dimension and the LSH working set mirrors that
+resident. This module adds a codec tier in the PQ/IVF tradition —
+candidate generation runs on compressed codes, and floats are rehydrated
+only for the rows a consumer actually gathers (surviving pairs, ranked
+candidates, hashed blocks).
+
+Three pieces:
+
+``Codec``
+    The pluggable protocol: ``fit`` derives per-table parameters once,
+    ``encode``/``decode`` map floats to codes and back. ``raw`` is the
+    identity codec (the default — every pre-existing path is untouched),
+    ``int8`` is per-dimension scale/zero-point scalar quantization, and
+    ``pq`` is a registered stub for a future product-quantization tier.
+
+``CodecArray``
+    A lazy array: int8 codes plus affine parameters that decodes on
+    ``__getitem__``. Fancy-indexing a ``CodecArray`` gathers *codes* and
+    decodes only the gathered rows, so ``TableEncodings`` fields can hold
+    one and the whole gather-then-reduce scoring engine rehydrates
+    surviving pairs without materialising the full float store. Code-
+    preserving structural ops (``take_rows``, ``row_slice``, ``reshape``,
+    ``concat``) exist for the index/persist layers that must keep codes
+    compressed end-to-end.
+
+``asymmetric_sq_distances``
+    Float-query × int8-table squared Euclidean distances via a de-scaled
+    matmul: with ``x_i = c_i * s + o`` and ``q' = q - o``,
+
+        ||q - x_i||^2 = ||q'||^2 - 2 (q' * s) . c_i + sum_j s_j^2 c_ij^2
+
+    so the per-query work is one matvec against the code matrix (cast
+    blockwise to float32, BLAS-friendly) plus a cached per-row norm term.
+
+The quantize-once invariant: parameters are fitted at the first full
+encode of a table and then *fixed*; appended or edited rows are encoded
+with the existing parameters (clipped into range). Quantization error
+therefore enters exactly once, codes from different chunks/generations
+splice consistently, and disk round-trips are byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Codec",
+    "CodecArray",
+    "CodecParams",
+    "RawCodec",
+    "ScalarQuantizer",
+    "ProductQuantizer",
+    "asymmetric_sq_distances",
+    "available_codecs",
+    "get_codec",
+    "resolve_codec_name",
+    "CODEC_ENV_VAR",
+    "DEFAULT_CODEC",
+]
+
+CODEC_ENV_VAR = "REPRO_ENGINE_CODEC"
+DEFAULT_CODEC = "raw"
+
+# int8 code range. Symmetric [-127, 127] (−128 unused) so negation and
+# midpoint arithmetic stay exact.
+_QMIN = -127
+_QMAX = 127
+_QLEVELS = _QMAX - _QMIN  # 254 steps
+
+
+class CodecParams:
+    """Per-array affine quantization parameters.
+
+    ``scale`` and ``offset`` carry the array's trailing shape (everything
+    after the row axis) so ``codes * scale + offset`` broadcasts directly.
+    JSON round-trips exactly: Python float repr is shortest-exact.
+    """
+
+    __slots__ = ("scale", "offset")
+
+    def __init__(self, scale: np.ndarray, offset: np.ndarray) -> None:
+        self.scale = np.asarray(scale, dtype=np.float64)
+        self.offset = np.asarray(offset, dtype=np.float64)
+
+    # -- serialization -------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "shape": [int(d) for d in self.scale.shape],
+            "scale": [float(v) for v in self.scale.reshape(-1)],
+            "offset": [float(v) for v in self.offset.reshape(-1)],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "CodecParams":
+        shape = tuple(int(d) for d in payload["shape"])  # type: ignore[index]
+        scale = np.asarray(payload["scale"], dtype=np.float64).reshape(shape)
+        offset = np.asarray(payload["offset"], dtype=np.float64).reshape(shape)
+        return cls(scale, offset)
+
+    def reshaped(self, trailing_shape: Tuple[int, ...]) -> "CodecParams":
+        return CodecParams(
+            self.scale.reshape(trailing_shape), self.offset.reshape(trailing_shape)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CodecParams):
+            return NotImplemented
+        return (
+            self.scale.shape == other.scale.shape
+            and np.array_equal(self.scale, other.scale)
+            and np.array_equal(self.offset, other.offset)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - parity with __eq__
+        return hash((self.scale.tobytes(), self.offset.tobytes(), self.scale.shape))
+
+
+class CodecArray:
+    """Int8 codes + affine params, decoding lazily on indexed access.
+
+    ``a[idx]`` gathers codes and returns *decoded float64* for exactly the
+    gathered rows — ndarray-compatible read semantics, so gather-based
+    consumers (pair scoring, ranking, hashing a row block) work unchanged
+    while the resident representation stays one byte per dimension.
+
+    Structural operations that must stay compressed use explicit methods:
+    ``take_rows`` / ``row_slice`` (code-preserving gathers), ``reshape``
+    (row-count-preserving, for ``flat_mu``-style views), and ``concat``.
+    ``__setitem__`` re-encodes float rows in place with the fixed params.
+    """
+
+    __slots__ = ("codes", "params", "on_decode")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        params: CodecParams,
+        on_decode=None,
+    ) -> None:
+        codes = np.asarray(codes)
+        if codes.dtype != np.int8:
+            raise TypeError(f"CodecArray codes must be int8, got {codes.dtype}")
+        if params.scale.shape != codes.shape[1:]:
+            params = params.reshaped(codes.shape[1:])
+        self.codes = codes
+        self.params = params
+        self.on_decode = on_decode
+
+    # -- ndarray-compatible surface ------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.codes.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.codes.ndim
+
+    @property
+    def dtype(self) -> np.dtype:
+        # The *logical* dtype: what indexed reads produce.
+        return np.dtype(np.float64)
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self.codes.nbytes + self.params.scale.nbytes + self.params.offset.nbytes
+        )
+
+    def __len__(self) -> int:
+        return int(self.codes.shape[0])
+
+    def _decode(self, codes: np.ndarray) -> np.ndarray:
+        out = codes.astype(np.float64)
+        out *= self.params.scale
+        out += self.params.offset
+        if self.on_decode is not None:
+            self.on_decode(int(out.nbytes))
+        return out
+
+    def __getitem__(self, idx) -> np.ndarray:
+        return self._decode(np.asarray(self.codes[idx]))
+
+    def __setitem__(self, idx, values) -> None:
+        self.codes[idx] = _encode_with(np.asarray(values, dtype=np.float64), self.params)
+
+    def __array__(self, dtype=None) -> np.ndarray:
+        full = self._decode(self.codes)
+        return full if dtype is None else full.astype(dtype)
+
+    def decode(self) -> np.ndarray:
+        """Materialise the full float array (rarely wanted — prefer gathers)."""
+        return self._decode(self.codes)
+
+    # -- code-preserving structure -------------------------------------
+    def take_rows(self, rows) -> "CodecArray":
+        return CodecArray(self.codes[rows], self.params, on_decode=self.on_decode)
+
+    def row_slice(self, start: int, stop: int) -> "CodecArray":
+        return CodecArray(self.codes[start:stop], self.params, on_decode=self.on_decode)
+
+    def reshape(self, *shape) -> "CodecArray":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        if not shape or shape[0] not in (len(self), -1):
+            raise ValueError(
+                f"CodecArray.reshape must preserve the row axis; got {shape}"
+            )
+        codes = self.codes.reshape((len(self),) + tuple(shape[1:]))
+        return CodecArray(
+            codes,
+            CodecParams(
+                self.params.scale.reshape(codes.shape[1:]),
+                self.params.offset.reshape(codes.shape[1:]),
+            ),
+            on_decode=self.on_decode,
+        )
+
+    def encode_rows(self, values: np.ndarray) -> np.ndarray:
+        """Quantize float rows with this array's fixed params (clipped)."""
+        return _encode_with(np.asarray(values, dtype=np.float64), self.params)
+
+    def concat_rows(self, values) -> "CodecArray":
+        """Append rows (floats or a params-compatible CodecArray)."""
+        if isinstance(values, CodecArray):
+            if values.params != self.params:
+                raise ValueError("cannot concat CodecArrays with different params")
+            tail = values.codes
+        else:
+            tail = self.encode_rows(values)
+        return CodecArray(
+            np.concatenate([self.codes, tail], axis=0),
+            self.params,
+            on_decode=self.on_decode,
+        )
+
+    @classmethod
+    def concat(cls, parts: Sequence["CodecArray"]) -> "CodecArray":
+        if not parts:
+            raise ValueError("concat of zero CodecArrays")
+        head = parts[0]
+        for part in parts[1:]:
+            if part.params != head.params:
+                raise ValueError("cannot concat CodecArrays with different params")
+        return cls(
+            np.concatenate([p.codes for p in parts], axis=0),
+            head.params,
+            on_decode=head.on_decode,
+        )
+
+    # -- pickling: drop the counter hook (process-local) ----------------
+    def __getstate__(self):
+        return {"codes": self.codes, "params": self.params}
+
+    def __setstate__(self, state):
+        # Bypass __init__ validation: state comes from a trusted pickle.
+        object.__setattr__(self, "codes", state["codes"])
+        object.__setattr__(self, "params", state["params"])
+        object.__setattr__(self, "on_decode", None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CodecArray(shape={self.codes.shape}, nbytes={self.nbytes})"
+
+
+def _encode_with(values: np.ndarray, params: CodecParams) -> np.ndarray:
+    scaled = (values - params.offset) / params.scale
+    np.rint(scaled, out=scaled)
+    np.clip(scaled, _QMIN, _QMAX, out=scaled)
+    return scaled.astype(np.int8)
+
+
+# ----------------------------------------------------------------------
+# Codec protocol + implementations
+# ----------------------------------------------------------------------
+class Codec:
+    """Pluggable codec protocol.
+
+    ``fit(values)`` derives per-table params from a full float array
+    (quantize-once: call it exactly once per table/array, at the first
+    full encode). ``encode`` wraps floats into the compressed resident
+    form, ``decode`` rehydrates. The ``raw`` codec is the identity on
+    plain ndarrays, so codec-agnostic code can call these unconditionally.
+    """
+
+    name: str = "abstract"
+    is_identity: bool = False
+
+    def fit(self, values: np.ndarray) -> Optional[CodecParams]:
+        raise NotImplementedError
+
+    def encode(self, values: np.ndarray, params: Optional[CodecParams], on_decode=None):
+        raise NotImplementedError
+
+    def decode(self, stored) -> np.ndarray:
+        raise NotImplementedError
+
+
+class RawCodec(Codec):
+    """Identity codec: floats in, the same floats out. The default tier."""
+
+    name = "raw"
+    is_identity = True
+
+    def fit(self, values: np.ndarray) -> Optional[CodecParams]:
+        return None
+
+    def encode(self, values: np.ndarray, params: Optional[CodecParams], on_decode=None):
+        return values
+
+    def decode(self, stored) -> np.ndarray:
+        return np.asarray(stored)
+
+
+class ScalarQuantizer(Codec):
+    """Per-dimension int8 affine quantizer (scale + zero-point midpoint).
+
+    Each trailing dimension gets ``scale = (max - min) / 254`` and
+    ``offset = (max + min) / 2`` (the midpoint maps to code 0), so the
+    worst-case absolute error per dimension is ``scale / 2`` — the
+    epsilon the blocking-recall guarantee is pinned against. Constant
+    (zero-range) dimensions get scale 1 and decode exactly.
+    """
+
+    name = "int8"
+
+    def fit(self, values: np.ndarray) -> CodecParams:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim < 2:
+            raise ValueError("ScalarQuantizer.fit expects a (rows, ...) array")
+        trailing = values.shape[1:]
+        if values.shape[0] == 0:
+            return CodecParams(np.ones(trailing), np.zeros(trailing))
+        vmin = values.min(axis=0)
+        vmax = values.max(axis=0)
+        span = vmax - vmin
+        scale = span / float(_QLEVELS)
+        flat = np.where(scale <= 0.0, 1.0, scale)
+        offset = (vmax + vmin) / 2.0
+        return CodecParams(flat, offset)
+
+    def encode(
+        self, values: np.ndarray, params: Optional[CodecParams], on_decode=None
+    ) -> CodecArray:
+        if params is None:
+            params = self.fit(values)
+        codes = _encode_with(np.asarray(values, dtype=np.float64), params)
+        return CodecArray(codes, params, on_decode=on_decode)
+
+    def decode(self, stored) -> np.ndarray:
+        if isinstance(stored, CodecArray):
+            return stored.decode()
+        return np.asarray(stored)
+
+
+class ProductQuantizer(Codec):
+    """Product-quantization stub: registered so the name resolves, but the
+    tier is not implemented yet. Selecting it raises with a pointer at the
+    int8 tier, which covers the current memory targets."""
+
+    name = "pq"
+
+    def _unavailable(self) -> NotImplementedError:
+        return NotImplementedError(
+            "the 'pq' codec is a stub — use codec='int8' (scalar quantization)"
+        )
+
+    def fit(self, values: np.ndarray) -> CodecParams:
+        raise self._unavailable()
+
+    def encode(self, values, params, on_decode=None):
+        raise self._unavailable()
+
+    def decode(self, stored):
+        raise self._unavailable()
+
+
+_CODECS: Dict[str, Codec] = {
+    RawCodec.name: RawCodec(),
+    ScalarQuantizer.name: ScalarQuantizer(),
+    ProductQuantizer.name: ProductQuantizer(),
+}
+
+
+def available_codecs() -> List[str]:
+    return sorted(_CODECS)
+
+
+def get_codec(name: str) -> Codec:
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown codec {name!r}; available: {', '.join(available_codecs())}"
+        ) from None
+
+
+def resolve_codec_name(name: Optional[str] = None) -> str:
+    """Resolve an explicit codec name, falling back to ``REPRO_ENGINE_CODEC``.
+
+    Unset/empty/garbage environment values resolve to the raw default, the
+    same forgiving posture as ``REPRO_ENGINE_WORKERS``.
+    """
+    if name:
+        get_codec(name)  # validate explicit choices loudly
+        return name
+    env = os.environ.get(CODEC_ENV_VAR, "").strip().lower()
+    if env in _CODECS:
+        return env
+    return DEFAULT_CODEC
+
+
+# ----------------------------------------------------------------------
+# Asymmetric distance kernel
+# ----------------------------------------------------------------------
+_BLOCK_BYTES = 1 << 22  # ~4 MiB of float32 per decode block
+
+
+def asymmetric_sq_distances(
+    query: np.ndarray,
+    table: CodecArray,
+    table_sq_norms: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Squared Euclidean distances from float queries to an int8 table.
+
+    ``query`` is ``(d,)`` or ``(m, d)`` float; ``table`` is an ``(n, d)``
+    :class:`CodecArray`. The kernel never materialises the decoded table:
+    it shifts queries by the offset, folds the per-dimension scale into
+    the query side, and runs a blockwise float32 matmul against the raw
+    codes — the de-scaled-matmul identity
+
+        ||q - (c s + o)||^2 = ||q - o||^2 - 2 ((q - o) s) . c + ||c s||^2.
+
+    ``table_sq_norms`` (the ``||c s||^2`` term) can be precomputed with
+    :func:`table_sq_norms` and cached across queries.
+    """
+    if table.ndim != 2:
+        raise ValueError("asymmetric distances expect a 2-D code table")
+    q = np.asarray(query, dtype=np.float64)
+    squeeze = q.ndim == 1
+    q = np.atleast_2d(q)
+    scale = table.params.scale
+    offset = table.params.offset
+    shifted = q - offset  # (m, d)
+    scaled_q = (shifted * scale).astype(np.float32)  # fold scale into query side
+    if table_sq_norms is None:
+        table_sq_norms = table_sq_norms_of(table)
+    n = len(table)
+    d = max(1, table.codes.shape[1])
+    out = np.empty((q.shape[0], n), dtype=np.float64)
+    block = max(1, _BLOCK_BYTES // (4 * d))
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        codes_f32 = table.codes[start:stop].astype(np.float32)
+        out[:, start:stop] = scaled_q @ codes_f32.T  # BLAS sgemm
+    out *= -2.0
+    out += (shifted * shifted).sum(axis=1)[:, None]
+    out += table_sq_norms[None, :]
+    np.maximum(out, 0.0, out=out)
+    result = out[0] if squeeze else out
+    return result
+
+
+def table_sq_norms_of(table: CodecArray) -> np.ndarray:
+    """Per-row ``||c * s||^2`` for the asymmetric kernel, computed blockwise."""
+    if table.ndim != 2:
+        raise ValueError("table norms expect a 2-D code table")
+    n = len(table)
+    d = max(1, table.codes.shape[1])
+    scale32 = table.params.scale.astype(np.float32)
+    norms = np.empty(n, dtype=np.float64)
+    block = max(1, _BLOCK_BYTES // (4 * d))
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        scaled = table.codes[start:stop].astype(np.float32) * scale32
+        norms[start:stop] = (scaled.astype(np.float64) ** 2).sum(axis=1)
+    return norms

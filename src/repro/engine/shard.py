@@ -59,6 +59,7 @@ import numpy as np
 from repro.blocking.neighbours import NearestNeighbourSearch
 from repro.config import BlockingConfig
 from repro.data.pairs import RecordPair
+from repro.engine.quant import CodecArray
 from repro.engine.store import EncodingStore, TableEncodings
 from repro.engine.stream import (
     ResolutionBatch,
@@ -115,6 +116,9 @@ class ShardedEncodingStore(EncodingStore):
     ----------
     shard_rows:
         Target rows per shard; the last shard of a table may be short.
+    codec:
+        Passed through to :class:`EncodingStore` — with a quantized codec,
+        shard views stay code views (one byte per dimension).
     """
 
     def __init__(
@@ -124,8 +128,11 @@ class ShardedEncodingStore(EncodingStore):
         counters=None,
         persistent=None,
         shard_rows: int = DEFAULT_SHARD_ROWS,
+        codec: Optional[str] = None,
     ) -> None:
-        super().__init__(representation, task, counters=counters, persistent=persistent)
+        super().__init__(
+            representation, task, counters=counters, persistent=persistent, codec=codec
+        )
         if shard_rows <= 0:
             raise ValueError("shard_rows must be positive")
         self.shard_rows = shard_rows
@@ -156,11 +163,19 @@ class ShardedEncodingStore(EncodingStore):
         b = bounds[index]
         full = self.table_encodings(side)
         keys = full.keys[b.start : b.stop]
+
+        def _slice(array):
+            # Keep quantized shards as code views: a plain slice of a
+            # CodecArray would decode the whole shard eagerly.
+            if isinstance(array, CodecArray):
+                return array.row_slice(b.start, b.stop)
+            return array[b.start : b.stop]
+
         return TableEncodings(
             keys=keys,
-            irs=full.irs[b.start : b.stop],
-            mu=full.mu[b.start : b.stop],
-            sigma=full.sigma[b.start : b.stop],
+            irs=_slice(full.irs),
+            mu=_slice(full.mu),
+            sigma=_slice(full.sigma),
             row_index={key: row for row, key in enumerate(keys)},
         )
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.data.pairs import LabeledPair, RecordPair
 from repro.data.schema import ERTask, Table
+from repro.engine.quant import CodecArray, CodecParams, get_codec, resolve_codec_name
 from repro.eval.timing import EngineCounters, engine_counters
 
 if TYPE_CHECKING:  # pragma: no cover - break the engine <-> core import cycle
@@ -40,6 +41,9 @@ if TYPE_CHECKING:  # pragma: no cover - break the engine <-> core import cycle
     from repro.engine.persist import PersistentEncodingCache
 
 SIDES = ("left", "right")
+
+#: The three encoded arrays a :class:`TableEncodings` carries.
+_ARRAY_FIELDS = ("irs", "mu", "sigma")
 
 #: Anything with ``left_id``/``right_id`` attributes addresses a pair.
 PairLike = Union[RecordPair, LabeledPair]
@@ -124,6 +128,17 @@ class EncodingStore:
         When set, in-memory misses probe the disk cache before encoding and
         computed encodings are written back, so repeated runs on the same
         task and representation skip table encoding entirely.
+    codec:
+        Encoding codec name (``"raw"`` or ``"int8"``); ``None`` resolves
+        through ``REPRO_ENGINE_CODEC`` and defaults to ``raw``.  With a
+        quantized codec the resident arrays are
+        :class:`~repro.engine.quant.CodecArray` code views — one byte per
+        dimension — and floats are rehydrated only for gathered rows
+        (surviving pairs, ranked candidates).  Quantization params are
+        fitted once per table at the first full encode and reused for
+        every mutation re-encode, so codes splice consistently across
+        chunks and generations.  The codec rides in the persistent-cache
+        fingerprint, so raw and quantized entries never serve each other.
     """
 
     def __init__(
@@ -132,11 +147,18 @@ class EncodingStore:
         task: ERTask,
         counters: Optional[EngineCounters] = None,
         persistent: Optional["PersistentEncodingCache"] = None,
+        codec: Optional[str] = None,
     ) -> None:
         self.representation = representation
         self.task = task
         self.counters = counters if counters is not None else engine_counters()
         self.persistent = persistent
+        self.codec_name = resolve_codec_name(codec)
+        self._codec = get_codec(self.codec_name)
+        #: Fixed quantization params per side (quantize-once): fitted at the
+        #: first full encode of an entry, adopted from disk on a warm load,
+        #: reused for every delta re-encode.
+        self._codec_params: Dict[str, Dict[str, CodecParams]] = {}
         self._cache: Dict[str, TableEncodings] = {}
         self._cached_version: Optional[int] = None
         #: Memoized table identities: side -> :class:`_SideState`.  A state
@@ -156,6 +178,7 @@ class EncodingStore:
         """Drop all cached encodings (next access recomputes)."""
         self._cache.clear()
         self._fingerprints.clear()
+        self._codec_params.clear()
         self._cached_version = None
 
     def _check_version(self) -> None:
@@ -163,6 +186,7 @@ class EncodingStore:
         if self._cached_version != version:
             self._cache.clear()
             self._fingerprints.clear()
+            self._codec_params.clear()
             self._cached_version = version
 
     def table_fingerprint(self, side: str) -> Dict[str, Any]:
@@ -177,7 +201,7 @@ class EncodingStore:
 
     def _side_state(self, side: str) -> _SideState:
         """Memoized fingerprint *and* per-row CRCs of one side's table."""
-        from repro.engine.persist import encoding_fingerprint, table_row_crcs
+        from repro.engine.persist import table_row_crcs
 
         table = self._table_of(side)
         version = self.representation.encoding_version
@@ -193,12 +217,32 @@ class EncodingStore:
             version=version,
             n_rows=len(table),
             revision=table.revision,
-            fingerprint=encoding_fingerprint(self.representation, table),
+            fingerprint=self._fingerprint_of(table),
             row_crcs=tuple(table_row_crcs(table)),
         )
         self.counters.record_fingerprint()
         self._fingerprints[side] = state
         return state
+
+    def _fingerprint_of(self, table: Table) -> Dict[str, Any]:
+        """The persistent-cache fingerprint, codec-gated when quantized.
+
+        Quantized entries store int8 codes on disk and raw entries store
+        floats — the two are not interchangeable, so a non-raw codec rides
+        inside the ``model`` fingerprint and makes both the exact-load and
+        the row-wise delta probes miss across codecs.  Raw fingerprints
+        carry no codec key at all, keeping them byte-identical to pre-codec
+        output (and pre-codec cache entries warm).
+        """
+        from repro.engine.persist import encoding_fingerprint
+
+        fingerprint = encoding_fingerprint(self.representation, table)
+        if not self._codec.is_identity:
+            fingerprint = dict(
+                fingerprint,
+                model=dict(fingerprint["model"], codec=self.codec_name),
+            )
+        return fingerprint
 
     def _table_of(self, side: str) -> Table:
         if side == "left":
@@ -263,13 +307,15 @@ class EncodingStore:
         irs, mu, sigma = self._encode_rows(table)
         self.counters.record_encode()
         keys = tuple(table.record_ids())
-        return TableEncodings(
+        encodings = TableEncodings(
             keys=keys,
             irs=irs,
             mu=mu,
             sigma=sigma,
             row_index={key: row for row, key in enumerate(keys)},
         )
+        # A from-scratch encode starts a new cache entry, so new params.
+        return self._quantize(side, encodings, fit=True)
 
     def _encode_subtable(self, sub_table: Table) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Encode a record subset, through the pooled hook when installed."""
@@ -291,17 +337,70 @@ class EncodingStore:
         irs, mu, sigma = self._encode_subtable(sub_table)
         self.counters.record_rows_reencoded(len(records))
         keys = tuple(record.record_id for record in records)
-        return TableEncodings(
+        encodings = TableEncodings(
             keys=keys,
             irs=irs,
             mu=mu,
             sigma=sigma,
             row_index={key: row for row, key in enumerate(keys)},
         )
+        # Delta rows splice into an existing entry: quantize with its fixed
+        # params (quantize-once) so codes stay chunk-compatible.
+        return self._quantize(side, encodings, fit=False)
 
     def _compute_range(self, side: str, table: Table, start: int, stop: int) -> TableEncodings:
         """Encode only rows ``[start, stop)`` (the append-only delta path)."""
         return self._compute_records(side, table, range(start, stop))
+
+    def _quantize(self, side: str, encodings: TableEncodings, fit: bool) -> TableEncodings:
+        """Wrap freshly encoded float arrays into the codec's resident form.
+
+        ``fit=True`` derives new params (a from-scratch table encode starts
+        a new entry); ``fit=False`` reuses the side's fixed params so delta
+        rows splice into existing code chunks bit-compatibly.  The ``raw``
+        codec only does the ``bytes_stored`` accounting.
+        """
+        if self._codec.is_identity:
+            self.counters.record_bytes_stored(
+                sum(np.asarray(getattr(encodings, name)).nbytes for name in _ARRAY_FIELDS)
+            )
+            return encodings
+        params_by = self._codec_params.get(side)
+        if fit or params_by is None:
+            params_by = {
+                name: self._codec.fit(np.asarray(getattr(encodings, name)))
+                for name in _ARRAY_FIELDS
+            }
+            self._codec_params[side] = params_by
+        coded: Dict[str, CodecArray] = {}
+        for name in _ARRAY_FIELDS:
+            array = self._codec.encode(
+                np.asarray(getattr(encodings, name)),
+                params_by[name],
+                on_decode=self.counters.record_bytes_decoded,
+            )
+            self.counters.record_bytes_stored(array.codes.nbytes)
+            coded[name] = array
+        return TableEncodings(
+            keys=encodings.keys,
+            irs=coded["irs"],
+            mu=coded["mu"],
+            sigma=coded["sigma"],
+            row_index=encodings.row_index,
+        )
+
+    def _adopt_params(self, side: str, encodings: TableEncodings) -> None:
+        """Fix the side's quantization params to those of ``encodings``.
+
+        Called when a quantized table arrives from outside ``_compute`` —
+        a persistent load or an in-memory refresh base — so subsequent
+        delta re-encodes quantize with the params the existing codes carry.
+        """
+        if self._codec.is_identity or not isinstance(encodings.irs, CodecArray):
+            return
+        self._codec_params[side] = {
+            name: getattr(encodings, name).params for name in _ARRAY_FIELDS
+        }
 
     def _refresh_mutated(self, side: str, cached: TableEncodings) -> Optional[TableEncodings]:
         """Row-identity refresh of an in-memory table whose backing table mutated.
@@ -324,6 +423,7 @@ class EncodingStore:
         if diff is None:
             return None
         assert diff.dirty_new is not None  # memo always carries row CRCs
+        self._adopt_params(side, cached)
         base, total = diff.appended_range
         encode_positions = list(diff.dirty_new) + list(range(base, total))
         fresh = (
@@ -362,7 +462,9 @@ class EncodingStore:
             counters=self.counters,
             table=table,
         )
-        if loaded is None:
+        if loaded is not None:
+            self._adopt_params(side, loaded)
+        else:
             loaded = self._load_persistent_delta(side, table, fingerprint)
         if loaded is None:
             self.counters.record_disk_miss()
@@ -392,6 +494,7 @@ class EncodingStore:
         if reused is None:
             return None
         positions, base = reused
+        self._adopt_params(side, base)
         encode_positions = delta.encode_positions()
         fresh = (
             self._compute_records(side, table, encode_positions)
@@ -616,6 +719,19 @@ class EncodingStore:
         self.counters.record_pairs(n_pairs)
 
     # ------------------------------------------------------------------
+    def resident_bytes(self) -> int:
+        """Bytes held by the resident encodings of all cached sides.
+
+        For the ``raw`` codec this is the float array footprint; for a
+        quantized codec the code footprint (plus the tiny params) — the
+        number the serve daemon's ``/stats`` reports as its working set.
+        """
+        total = 0
+        for encodings in self._cache.values():
+            for name in _ARRAY_FIELDS:
+                total += int(getattr(encodings, name).nbytes)
+        return total
+
     def stats(self) -> Dict[str, int]:
         """Defensive snapshot of the attached counters.
 
@@ -676,15 +792,36 @@ def _splice_encodings(
     n = len(keys)
     reference = fresh if fresh is not None else reused
     out: Dict[str, np.ndarray] = {}
-    for name in ("irs", "mu", "sigma"):
+    for name in _ARRAY_FIELDS:
+        reused_array = getattr(reused, name)
+        fresh_array = getattr(fresh, name) if fresh is not None else None
+        if isinstance(reused_array, CodecArray):
+            # Code-space splice: scatter int8 codes, never decode. Fresh
+            # rows were quantized with the entry's fixed params, so their
+            # codes drop straight in.
+            codes = np.empty((n,) + reused_array.codes.shape[1:], dtype=np.int8)
+            if len(reused_positions):
+                codes[np.asarray(reused_positions, dtype=np.intp)] = reused_array.codes[
+                    np.asarray(reused_rows, dtype=np.intp)
+                ]
+            if fresh_array is not None and len(fresh_positions):
+                codes[np.asarray(fresh_positions, dtype=np.intp)] = (
+                    fresh_array.codes
+                    if isinstance(fresh_array, CodecArray)
+                    else reused_array.encode_rows(fresh_array)
+                )
+            out[name] = CodecArray(
+                codes, reused_array.params, on_decode=reused_array.on_decode
+            )
+            continue
         sample = np.asarray(getattr(reference, name))
         array = np.empty((n,) + sample.shape[1:], dtype=sample.dtype)
         if len(reused_positions):
             array[np.asarray(reused_positions, dtype=np.intp)] = np.asarray(
-                getattr(reused, name)
+                reused_array
             )[np.asarray(reused_rows, dtype=np.intp)]
-        if fresh is not None and len(fresh_positions):
-            array[np.asarray(fresh_positions, dtype=np.intp)] = getattr(fresh, name)
+        if fresh_array is not None and len(fresh_positions):
+            array[np.asarray(fresh_positions, dtype=np.intp)] = fresh_array
         out[name] = array
     return TableEncodings(
         keys=keys,
@@ -705,10 +842,16 @@ def _concat_encodings(prefix: TableEncodings, tail: TableEncodings) -> TableEnco
     if len(tail) == 0:
         return prefix
     keys = tuple(prefix.keys) + tuple(tail.keys)
+
+    def _cat(head, rows):
+        if isinstance(head, CodecArray):
+            return head.concat_rows(rows)  # code-space append, no decode
+        return np.concatenate([np.asarray(head), rows])
+
     return TableEncodings(
         keys=keys,
-        irs=np.concatenate([np.asarray(prefix.irs), tail.irs]),
-        mu=np.concatenate([np.asarray(prefix.mu), tail.mu]),
-        sigma=np.concatenate([np.asarray(prefix.sigma), tail.sigma]),
+        irs=_cat(prefix.irs, tail.irs),
+        mu=_cat(prefix.mu, tail.mu),
+        sigma=_cat(prefix.sigma, tail.sigma),
         row_index={key: row for row, key in enumerate(keys)},
     )

@@ -135,7 +135,7 @@ def format_engine_stats(counters: Optional[EngineCounters] = None) -> str:
         "Cache hits", "Cache misses", "Hit rate", "Encodes avoided", "Pairs scored",
         "Tables encoded", "Disk hits", "Disk misses", "Chunk loads",
         "Rows re-encoded", "Rows tombstoned", "Chunks patched",
-        "Pairs rescored", "Fingerprints",
+        "Pairs rescored", "Fingerprints", "Bytes stored", "Bytes decoded",
     ]
     row = [
         str(counters.cache_hits),
@@ -152,6 +152,8 @@ def format_engine_stats(counters: Optional[EngineCounters] = None) -> str:
         str(counters.chunks_patched),
         str(counters.pairs_rescored),
         str(counters.fingerprints_computed),
+        str(counters.bytes_stored),
+        str(counters.bytes_decoded),
     ]
     return format_table(headers, [row])
 

@@ -85,6 +85,8 @@ class EngineCounters:
     chunks_patched: int = 0
     pairs_rescored: int = 0
     fingerprints_computed: int = 0
+    bytes_stored: int = 0
+    bytes_decoded: int = 0
 
     def record_hit(self, records_served: int = 0) -> None:
         self.cache_hits += 1
@@ -152,6 +154,25 @@ class EngineCounters:
         """One table fingerprint actually computed (rows CRC'd)."""
         self.fingerprints_computed += 1
 
+    def record_bytes_stored(self, count: int) -> None:
+        """``count`` bytes held resident for freshly stored encodings.
+
+        With the ``raw`` codec this is the float array size; with a
+        quantized codec it is the code array size — the ratio between the
+        two is the memory win the codec tier delivers.
+        """
+        self.bytes_stored += int(count)
+
+    def record_bytes_decoded(self, count: int) -> None:
+        """``count`` float bytes rehydrated from quantized codes.
+
+        Counted at gather time (pair scoring, candidate ranking, hashed
+        row blocks), so it measures how much of the float store the run
+        actually materialised — the lazy-decode contract keeps this far
+        below ``rows * dims * 8`` for blocking-dominated workloads.
+        """
+        self.bytes_decoded += int(count)
+
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
@@ -171,6 +192,8 @@ class EngineCounters:
             "chunks_patched": self.chunks_patched,
             "pairs_rescored": self.pairs_rescored,
             "fingerprints_computed": self.fingerprints_computed,
+            "bytes_stored": self.bytes_stored,
+            "bytes_decoded": self.bytes_decoded,
         }
 
     def reset(self) -> None:
@@ -187,6 +210,8 @@ class EngineCounters:
         self.chunks_patched = 0
         self.pairs_rescored = 0
         self.fingerprints_computed = 0
+        self.bytes_stored = 0
+        self.bytes_decoded = 0
 
 
 # ----------------------------------------------------------------------

@@ -53,6 +53,30 @@ from repro.engine.store import encode_table_rows
 from repro.eval.timing import StageTimings
 
 
+def process_rss_bytes() -> Optional[int]:
+    """Resident set size of this process in bytes (stdlib only).
+
+    Reads ``/proc/self/status`` where procfs exists (Linux), falling back
+    to ``resource.getrusage`` (``ru_maxrss`` is the *peak*, in KiB on
+    Linux, bytes on macOS); returns ``None`` where neither works.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii", errors="replace") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+    except Exception:  # pragma: no cover - exotic platforms
+        return None
+
+
 class ServeError(ValueError):
     """A request the session cannot honour (bad payload, unknown record)."""
 
@@ -408,6 +432,12 @@ class ServeSession:
     def stats(self) -> Dict[str, object]:
         """Operational counters for the ``/stats`` endpoint."""
         snapshot = self._snapshot
+        try:
+            store = self.model.store
+            store_codec: Optional[str] = store.codec_name
+            store_resident: Optional[int] = store.resident_bytes()
+        except Exception:  # pragma: no cover - unfitted model edge
+            store_codec, store_resident = None, None
         return {
             "task": self.task.name,
             "generation": None if snapshot is None else snapshot.generation,
@@ -421,6 +451,11 @@ class ServeSession:
             "mutations_applied": self._mutations_applied,
             "uptime_seconds": time.monotonic() - self._started_at,
             "closed": self._closed,
+            # Memory picture: what the resident encodings cost (codes for a
+            # quantized store, floats for raw) and what the process pays.
+            "store_codec": store_codec,
+            "store_resident_bytes": store_resident,
+            "process_rss_bytes": process_rss_bytes(),
         }
 
     # ------------------------------------------------------------------

@@ -595,7 +595,7 @@ class TestDeltaProbeAndExtend:
         assert stats["chunks_appended"] == 1  # rows 20..23
 
         manifest = json.loads(cache.manifest_path("t", "right", 1).read_text())
-        assert manifest["format"] == 4
+        assert manifest["format"] == 5
         assert manifest["tombstones"] == [2]
         by_range = {(chunk[0], chunk[1]): chunk for chunk in manifest["chunks"]}
         assert by_range[(8, 16)][3] == 1  # superseded generation
@@ -663,7 +663,9 @@ class TestCacheInspection:
         assert len(survivors) == 1
         assert survivors[0]["version"] == model.encoding_version
         # Pruning again is a no-op.
-        assert small_chunk_cache.prune() == {"entries": 0, "files": 0, "bytes": 0}
+        assert small_chunk_cache.prune() == {
+            "entries": 0, "files": 0, "bytes": 0, "bytes_by_codec": {},
+        }
 
     def test_prune_sweeps_unreferenced_chunks(self, tmp_path):
         cache = PersistentEncodingCache(tmp_path / "sweep", chunk_rows=8)
@@ -678,12 +680,13 @@ class TestCacheInspection:
 
 
 class TestV3ManifestMigration:
-    """Format-3 (pre-mutation) manifests are upgraded to v4 on first read."""
+    """Format-3 (pre-mutation) manifests are upgraded to the current format
+    on first read."""
 
     CHUNK = 8
 
     def _v3_entry(self, tmp_path, n=20):
-        """Write a v4 entry, then rewrite its manifest in the v3 shape."""
+        """Write a current-format entry, then rewrite its manifest in the v3 shape."""
         cache = PersistentEncodingCache(tmp_path / "v3", chunk_rows=self.CHUNK)
         table = _synthetic_table(n)
         encodings = _synthetic_encodings(n)
@@ -697,6 +700,7 @@ class TestV3ManifestMigration:
             if key not in ("row_crcs", "tombstones")
         }
         downgraded["format"] = 3
+        downgraded.pop("codec", None)
         downgraded["chunks"] = [chunk[:3] for chunk in manifest["chunks"]]
         manifest_path.write_text(json.dumps(downgraded))
         return cache, table, encodings, fingerprint
@@ -706,7 +710,7 @@ class TestV3ManifestMigration:
         loaded = cache.load("t", "right", 1, fingerprint, table=table)
         assert loaded is not None
         manifest = json.loads(cache.manifest_path("t", "right", 1).read_text())
-        assert manifest["format"] == 4
+        assert manifest["format"] == 5
         assert manifest["tombstones"] == []
         assert [chunk[3] for chunk in manifest["chunks"]] == [0, 0, 0]
         # With the table in hand, the migration recovers per-row CRCs, so the
@@ -753,6 +757,87 @@ class TestV3ManifestMigration:
         assert delta is not None
         assert delta.dirty_ranges == ((8, 16),)  # chunk-aligned, not row-exact
         assert delta.appended_range == (20, 23)
+
+
+class TestV4ManifestMigration:
+    """Format-4 (pre-codec) manifests are upgraded to format 5 on first
+    read; the float chunk archives themselves are never rewritten, so the
+    ``raw``-codec migration is byte-identical."""
+
+    CHUNK = 8
+
+    def _v4_entry(self, tmp_path, n=20):
+        """Write a current-format entry, then rewrite its manifest in the v4
+        shape (everything format 5 has, minus the ``codec`` field)."""
+        cache = PersistentEncodingCache(tmp_path / "v4", chunk_rows=self.CHUNK)
+        table = _synthetic_table(n)
+        encodings = _synthetic_encodings(n)
+        fingerprint = _synthetic_fingerprint(table)
+        cache.save("t", "right", 1, fingerprint, encodings, table=table)
+        manifest_path = cache.manifest_path("t", "right", 1)
+        manifest = json.loads(manifest_path.read_text())
+        downgraded = dict(manifest, format=4)
+        downgraded.pop("codec", None)
+        manifest_path.write_text(json.dumps(downgraded))
+        return cache, table, encodings, fingerprint
+
+    def test_v4_manifest_migrates_on_first_load(self, tmp_path):
+        cache, table, encodings, fingerprint = self._v4_entry(tmp_path)
+        loaded = cache.load("t", "right", 1, fingerprint, table=table)
+        assert loaded is not None
+        manifest = json.loads(cache.manifest_path("t", "right", 1).read_text())
+        assert manifest["format"] == 5
+        assert manifest["codec"] == {"name": "raw", "params": None}
+        # v4 already carried row CRCs and tombstones; migration must not
+        # degrade either.
+        from repro.engine import table_row_crcs
+
+        assert manifest["row_crcs"] == table_row_crcs(table)
+        assert manifest["tombstones"] == []
+
+    def test_v4_migration_preserves_arrays_byte_identically(self, tmp_path):
+        """The codec migration rewrites only the manifest: every chunk file
+        on disk and every served array is bit-for-bit unchanged."""
+        cache, table, encodings, fingerprint = self._v4_entry(tmp_path)
+        chunk_bytes = {
+            path.name: path.read_bytes()
+            for path in cache.dir_for("t", "right", 1).glob("chunk-*.npz")
+        }
+        migrated = cache.load("t", "right", 1, fingerprint, table=table)
+        reloaded = cache.load("t", "right", 1, fingerprint)
+        for served in (migrated, reloaded):
+            assert served is not None
+            assert served.keys == encodings.keys
+            for name in ("irs", "mu", "sigma"):
+                original = np.ascontiguousarray(getattr(encodings, name))
+                roundtripped = np.ascontiguousarray(np.asarray(getattr(served, name)))
+                assert original.dtype == roundtripped.dtype
+                assert original.shape == roundtripped.shape
+                assert original.tobytes() == roundtripped.tobytes()
+        for path in cache.dir_for("t", "right", 1).glob("chunk-*.npz"):
+            assert path.read_bytes() == chunk_bytes[path.name]
+
+    def test_v4_entry_stays_row_precisely_delta_probeable(self, tmp_path):
+        """v4 manifests carry row CRCs, so a delta probe against one (before
+        any migrating load) is row-exact — no degradation to chunks."""
+        cache, table, _, _ = self._v4_entry(tmp_path)
+        table.replace(Record("r7", ("EDITED", "beta-7")))
+        for i in range(20, 23):
+            table.add(Record(f"r{i}", (f"alpha-{i}", f"beta-{i}")))
+        delta = cache.delta("t", "right", 1, _synthetic_fingerprint(table), table)
+        assert delta is not None
+        assert delta.dirty_ranges == ((7, 8),)  # row-exact, unlike v3
+        assert delta.appended_range == (20, 23)
+
+    def test_v4_migration_survives_describe_and_prune(self, tmp_path):
+        """Inspection tools treat a not-yet-migrated v4 entry as raw codec."""
+        cache, table, _, fingerprint = self._v4_entry(tmp_path)
+        rows = cache.describe_entries()
+        assert len(rows) == 1 and rows[0]["codec"] == "raw"
+        assert rows[0]["decoded_bytes"] is not None
+        removed = cache.prune(dry_run=True)
+        assert removed["entries"] == 0 and removed["bytes_by_codec"] == {}
+        assert cache.load("t", "right", 1, fingerprint, table=table) is not None
 
 
 class TestFlatLayoutMigration:

@@ -1,0 +1,384 @@
+"""Quantized encoding tier: codecs, code arrays, asymmetric distances.
+
+Three contracts pin the int8 tier:
+
+* **Bounded reconstruction** — per-dimension affine int8 decode is within
+  ``scale / 2`` of the original everywhere (constant dimensions exactly),
+  and every explicit code-space op (slice, gather, splice, concat) commutes
+  with decoding;
+* **Rank fidelity** — the asymmetric float-query x int8-table distance
+  kernel agrees with exact distances against the decoded table to float
+  tolerance, so blocking neighbour order is pinned, not approximated;
+* **Store equivalence** — an int8-codec :class:`EncodingStore` produces the
+  same candidate pairs as a raw store while storing ~8x fewer bytes, and a
+  quantize -> patch -> prune roundtrip re-encodes exactly as many rows as
+  the raw codec does (the delta machinery is codec-blind).
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import BlockingConfig, VAEConfig
+from repro.core.representation import EntityRepresentationModel
+from repro.data.generators.base import DomainSpec, SyntheticDomainGenerator, compose, pick
+from repro.engine import (
+    PersistentEncodingCache,
+    ShardedEncodingStore,
+    merge_scored_batches,
+    resolve_delta,
+)
+from repro.engine.quant import (
+    CODEC_ENV_VAR,
+    CodecArray,
+    CodecParams,
+    ProductQuantizer,
+    ScalarQuantizer,
+    asymmetric_sq_distances,
+    available_codecs,
+    get_codec,
+    resolve_codec_name,
+    table_sq_norms_of,
+)
+from repro.eval.timing import EngineCounters
+
+
+def _random_floats(shape, seed=0, scale=3.0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(scale=scale, size=shape)
+
+
+class TestCodecParams:
+    def test_json_roundtrip(self):
+        params = ScalarQuantizer().fit(_random_floats((10, 2, 4)))
+        clone = CodecParams.from_json(params.to_json())
+        assert clone == params
+        assert clone.scale.shape == (2, 4) and clone.offset.shape == (2, 4)
+
+    def test_reshaped_preserves_values(self):
+        params = ScalarQuantizer().fit(_random_floats((10, 8)))
+        flat = params.reshaped((2, 4))
+        assert flat.scale.shape == (2, 4)
+        np.testing.assert_array_equal(flat.scale.ravel(), params.scale.ravel())
+
+    def test_inequality(self):
+        a = ScalarQuantizer().fit(_random_floats((10, 4), seed=1))
+        b = ScalarQuantizer().fit(_random_floats((10, 4), seed=2))
+        assert a != b and a == a
+
+
+class TestScalarQuantizer:
+    def test_reconstruction_error_bounded_by_half_step(self):
+        values = _random_floats((64, 3, 5), seed=3)
+        array = ScalarQuantizer().encode(values, None)
+        error = np.abs(array.decode() - values)
+        assert np.all(error <= array.params.scale / 2 + 1e-12)
+
+    def test_codes_symmetric_range(self):
+        array = ScalarQuantizer().encode(_random_floats((128, 6), seed=4), None)
+        assert array.codes.dtype == np.int8
+        assert array.codes.min() >= -127 and array.codes.max() <= 127
+
+    def test_constant_dimension_decodes_exactly(self):
+        values = _random_floats((32, 3), seed=5)
+        values[:, 1] = 2.5  # zero-span dimension
+        array = ScalarQuantizer().encode(values, None)
+        np.testing.assert_array_equal(array.decode()[:, 1], values[:, 1])
+
+    def test_encode_with_adopted_params_is_fit_free(self):
+        base = _random_floats((40, 4), seed=6)
+        params = ScalarQuantizer().fit(base)
+        tail = ScalarQuantizer().encode(_random_floats((8, 4), seed=7), params)
+        assert tail.params is params  # adopted, not re-fitted
+
+    def test_extremes_clip_instead_of_wrapping(self):
+        params = ScalarQuantizer().fit(np.array([[0.0], [1.0]]))
+        wild = ScalarQuantizer().encode(np.array([[100.0], [-100.0]]), params)
+        assert wild.codes.max() == 127 and wild.codes.min() == -127
+
+
+class TestCodecArray:
+    def _array(self, n=24, trailing=(2, 3), seed=8):
+        values = _random_floats((n,) + trailing, seed=seed)
+        return values, ScalarQuantizer().encode(values, None)
+
+    def test_ndarray_compatible_reads(self):
+        values, array = self._array()
+        assert array.shape == values.shape and len(array) == len(values)
+        assert array.dtype == np.float64  # logical dtype: consumers see floats
+        np.testing.assert_array_equal(np.asarray(array), array.decode())
+        np.testing.assert_array_equal(array[np.array([3, 1, 3])], array.decode()[[3, 1, 3]])
+
+    def test_nbytes_counts_codes_plus_params(self):
+        _, array = self._array()
+        params_bytes = array.params.scale.nbytes + array.params.offset.nbytes
+        assert array.nbytes == array.codes.nbytes + params_bytes
+        assert array.decode().nbytes == 8 * array.codes.nbytes
+
+    def test_setitem_reencodes_rows(self):
+        values, array = self._array()
+        replacement = _random_floats((2, 3), seed=9)
+        array[4] = replacement
+        assert np.all(np.abs(array[4] - replacement) <= array.params.scale / 2 + 1e-12)
+
+    def test_code_ops_commute_with_decode(self):
+        _, array = self._array()
+        rows = np.array([5, 0, 17, 5])
+        np.testing.assert_array_equal(array.take_rows(rows).decode(), array.decode()[rows])
+        np.testing.assert_array_equal(array.row_slice(4, 11).decode(), array.decode()[4:11])
+        flat = array.reshape(len(array), -1)
+        np.testing.assert_array_equal(flat.decode(), array.decode().reshape(len(array), -1))
+
+    def test_concat_rows_floats_and_codes(self):
+        _, array = self._array()
+        tail_floats = _random_floats((4, 2, 3), seed=10)
+        grown = array.concat_rows(tail_floats)
+        assert len(grown) == len(array) + 4 and grown.params == array.params
+        _, other = self._array(n=6)
+        grown2 = array.concat_rows(CodecArray(other.codes, array.params))
+        np.testing.assert_array_equal(grown2.codes[len(array):], other.codes)
+
+    def test_concat_classmethod(self):
+        _, array = self._array()
+        left, right = array.row_slice(0, 10), array.row_slice(10, len(array))
+        np.testing.assert_array_equal(
+            CodecArray.concat([left, right]).codes, array.codes
+        )
+
+    def test_on_decode_hook_counts_float_bytes(self):
+        seen = []
+        values = _random_floats((16, 4), seed=11)
+        array = ScalarQuantizer().encode(values, None, on_decode=seen.append)
+        _ = array[np.array([0, 1, 2])]
+        assert seen == [3 * 4 * 8]  # 3 rows x 4 dims x float64
+
+    def test_pickle_drops_decode_hook(self):
+        values = _random_floats((8, 4), seed=12)
+        array = ScalarQuantizer().encode(values, None, on_decode=lambda _: None)
+        clone = pickle.loads(pickle.dumps(array))
+        assert clone.on_decode is None
+        np.testing.assert_array_equal(clone.codes, array.codes)
+        np.testing.assert_array_equal(clone.decode(), array.decode())
+
+
+class TestRegistry:
+    def test_available_codecs(self):
+        names = available_codecs()
+        assert "raw" in names and "int8" in names
+
+    def test_get_codec_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            get_codec("float16")
+
+    def test_resolve_explicit_and_default(self):
+        assert resolve_codec_name(None) in available_codecs()
+        assert resolve_codec_name("int8") == "int8"
+        with pytest.raises(ValueError):
+            resolve_codec_name("zstd")
+
+    def test_env_knob_selects_and_forgives(self, monkeypatch):
+        monkeypatch.setenv(CODEC_ENV_VAR, "int8")
+        assert resolve_codec_name(None) == "int8"
+        monkeypatch.setenv(CODEC_ENV_VAR, "not-a-codec")
+        assert resolve_codec_name(None) == "raw"  # env is forgiving, flags are not
+        monkeypatch.delenv(CODEC_ENV_VAR)
+        assert resolve_codec_name(None) == "raw"
+
+    def test_raw_codec_is_identity(self):
+        codec = get_codec("raw")
+        values = _random_floats((4, 2))
+        assert codec.is_identity and codec.encode(values, None) is values
+
+    def test_pq_stub_raises(self):
+        pq = ProductQuantizer()
+        with pytest.raises(NotImplementedError):
+            pq.fit(_random_floats((4, 2)))
+        with pytest.raises(NotImplementedError):
+            pq.encode(_random_floats((4, 2)), None)
+
+
+class TestAsymmetricDistance:
+    def test_matches_exact_distances_on_decoded_table(self):
+        table_values = _random_floats((50, 12), seed=13)
+        table = ScalarQuantizer().encode(table_values, None)
+        queries = _random_floats((7, 12), seed=14)
+        approx = asymmetric_sq_distances(queries, table)
+        exact = ((queries[:, None, :] - table.decode()[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(approx, exact, rtol=1e-4, atol=1e-4)
+
+    def test_single_query_squeezes(self):
+        table = ScalarQuantizer().encode(_random_floats((20, 6), seed=15), None)
+        distances = asymmetric_sq_distances(_random_floats((6,), seed=16), table)
+        assert distances.shape == (20,)
+
+    def test_precomputed_norms_change_nothing(self):
+        table = ScalarQuantizer().encode(_random_floats((30, 8), seed=17), None)
+        query = _random_floats((8,), seed=18)
+        np.testing.assert_allclose(
+            asymmetric_sq_distances(query, table),
+            asymmetric_sq_distances(query, table, table_sq_norms=table_sq_norms_of(table)),
+            rtol=1e-6, atol=1e-6,
+        )
+
+    def test_norms_of_gather_equal_gather_of_norms(self):
+        table = ScalarQuantizer().encode(_random_floats((40, 5), seed=19), None)
+        rows = np.array([7, 3, 22, 3])
+        np.testing.assert_allclose(
+            table_sq_norms_of(table.take_rows(rows)),
+            table_sq_norms_of(table)[rows],
+            rtol=1e-6, atol=1e-6,
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), rows=st.integers(4, 60), dim=st.integers(2, 24))
+    def test_rank_order_pinned_to_exact_within_epsilon(self, seed, rows, dim):
+        """The hypothesis contract: neighbour order under the asymmetric
+        kernel equals the order of exact distances against the decoded
+        table, up to exact ties (distance gap below float tolerance)."""
+        rng = np.random.default_rng(seed)
+        table = ScalarQuantizer().encode(rng.normal(size=(rows, dim)), None)
+        query = rng.normal(size=dim)
+        approx = asymmetric_sq_distances(query, table)
+        exact = ((query[None, :] - table.decode()) ** 2).sum(axis=1)
+        np.testing.assert_allclose(approx, exact, rtol=1e-4, atol=1e-6)
+        approx_order, exact_order = np.argsort(approx), np.argsort(exact)
+        disagree = approx_order != exact_order
+        if np.any(disagree):
+            # Any disagreement must be a tie: the exact distances of the
+            # swapped entries are equal to float tolerance.
+            np.testing.assert_allclose(
+                exact[approx_order[disagree]], exact[exact_order[disagree]],
+                rtol=1e-7, atol=1e-9,
+            )
+
+
+def _quant_entity(rng):
+    pool_a = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+              "iota", "kappa", "lambda", "sigma", "omega", "nu"]
+    pool_b = ["london", "paris", "berlin", "madrid", "rome", "vienna"]
+    return (compose(rng, pool_a, 2, 3), pick(rng, pool_b), f"{rng.uniform(5, 200):.2f}")
+
+
+def _fresh_quant_domain():
+    spec = DomainSpec(
+        name="quanttest",
+        attributes=("name", "city", "price"),
+        entity_factory=_quant_entity,
+        clean=True,
+        numeric_attributes=(False, False, True),
+        left_size=40,
+        right_size=36,
+        overlap_fraction=0.6,
+        train_size=60,
+        valid_size=12,
+        test_size=24,
+        positive_fraction=0.3,
+    )
+    return SyntheticDomainGenerator(spec, seed=91).generate()
+
+
+class _DistanceMatcher:
+    def predict_proba(self, left_irs: np.ndarray, right_irs: np.ndarray) -> np.ndarray:
+        diffs = np.asarray(left_irs) - np.asarray(right_irs)
+        distances = np.sqrt((diffs ** 2).sum(axis=(1, 2)))
+        return 1.0 / (1.0 + distances)
+
+
+@pytest.fixture(scope="module")
+def quant_representation():
+    domain = _fresh_quant_domain()
+    config = VAEConfig(ir_dim=16, hidden_dim=24, latent_dim=8, epochs=3, seed=5)
+    return EntityRepresentationModel(config, ir_method="lsa").fit(domain.task)
+
+
+def _resolve(representation, domain, codec, cache=None, baseline=None, store=None):
+    if store is None:
+        store = ShardedEncodingStore(
+            representation, domain.task, counters=EngineCounters(),
+            shard_rows=16, persistent=cache, codec=codec,
+        )
+    executor = resolve_delta(
+        store, _DistanceMatcher(), baseline=baseline,
+        blocking=BlockingConfig(seed=19), k=4, batch_size=13,
+    )
+    scored = merge_scored_batches(executor.run())
+    return store, executor.baseline_out, scored
+
+
+class TestStoreEquivalence:
+    def test_int8_store_matches_raw_candidates_and_compresses(self, quant_representation):
+        """Candidate sets agree except at the k-th-neighbour boundary (where
+        a sub-epsilon distance perturbation may swap the final slot), and the
+        int8 store is at least 4x smaller resident and stored."""
+        domain = _fresh_quant_domain()
+        raw_store, _, raw_scored = _resolve(quant_representation, domain, "raw")
+        int8_store, _, int8_scored = _resolve(quant_representation, domain, "int8")
+        raw_pairs, int8_pairs = set(raw_scored.pairs), set(int8_scored.pairs)
+        jaccard = len(raw_pairs & int8_pairs) / len(raw_pairs | int8_pairs)
+        assert jaccard >= 0.95, f"blocking recall vs exact collapsed: {jaccard:.3f}"
+        # int8 resident bytes are ~8x smaller than the raw float store.
+        assert raw_store.resident_bytes() >= 4 * int8_store.resident_bytes()
+        assert raw_store.counters.bytes_stored >= 4 * int8_store.counters.bytes_stored
+        assert int8_store.counters.bytes_decoded > 0
+        assert raw_store.counters.bytes_decoded == 0
+
+    def test_match_probabilities_within_quantization_epsilon(self, quant_representation):
+        """Matcher scoring runs on rehydrated floats, so shared pairs score
+        within the quantization epsilon of the exact run — the match set can
+        only differ where a probability sits within epsilon of a threshold."""
+        domain = _fresh_quant_domain()
+        _, _, raw_scored = _resolve(quant_representation, domain, "raw")
+        _, _, int8_scored = _resolve(quant_representation, domain, "int8")
+        raw_by_pair = dict(zip(raw_scored.pairs, raw_scored.probabilities))
+        shared = [p for p in int8_scored.pairs if p in raw_by_pair]
+        assert len(shared) >= 0.95 * len(raw_by_pair)
+        for pair, probability in zip(int8_scored.pairs, int8_scored.probabilities):
+            if pair in raw_by_pair:
+                assert abs(probability - raw_by_pair[pair]) < 0.05
+
+
+class TestQuantizePatchPruneRoundtrip:
+    def _mutate(self, domain):
+        from repro.data.generators import append_rows, delete_rows, mutate_rows
+
+        mutate_rows(domain, side="right", rows=3)
+        delete_rows(domain, side="right", rows=2)
+        append_rows(domain, side="right", rows=5)
+
+    def _roundtrip(self, representation, tmp_path, codec):
+        cache = PersistentEncodingCache(tmp_path / codec, chunk_rows=8)
+        domain = _fresh_quant_domain()
+        store, baseline, _ = _resolve(representation, domain, codec, cache=cache)
+        self._mutate(domain)
+        store, _, scored = _resolve(
+            representation, domain, codec, cache=cache, baseline=baseline, store=store
+        )
+        return cache, store, scored
+
+    def test_reencode_parity_with_raw_and_prune_keeps_serving(
+        self, quant_representation, tmp_path
+    ):
+        raw_cache, raw_store, raw_scored = self._roundtrip(quant_representation, tmp_path, "raw")
+        int8_cache, int8_store, int8_scored = self._roundtrip(quant_representation, tmp_path, "int8")
+        # The delta machinery is codec-blind: identical mutations re-encode
+        # identical row counts and produce the identical candidate set.
+        assert int8_store.counters.rows_reencoded == raw_store.counters.rows_reencoded > 0
+        assert int8_store.counters.rows_tombstoned == raw_store.counters.rows_tombstoned > 0
+        raw_pairs, int8_pairs = set(raw_scored.pairs), set(int8_scored.pairs)
+        jaccard = len(raw_pairs & int8_pairs) / len(raw_pairs | int8_pairs)
+        assert jaccard >= 0.95  # boundary-of-k swaps only
+
+        # Prune sweeps superseded generations; the survivor still serves the
+        # quantized entry and a fresh store warm-loads it without encoding.
+        removed = int8_cache.prune()
+        assert set(removed["bytes_by_codec"]) <= {"int8"}
+        warm = ShardedEncodingStore(
+            quant_representation, int8_store.task, counters=EngineCounters(),
+            shard_rows=16, persistent=int8_cache, codec="int8",
+        )
+        warm.table_encodings("right")
+        assert warm.counters.disk_hits >= 1
+        assert warm.counters.tables_encoded == 0

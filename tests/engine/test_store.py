@@ -186,6 +186,7 @@ class TestEmptyAndCounters:
             "tables_encoded", "disk_hits", "disk_misses", "chunk_loads",
             "rows_reencoded", "rows_tombstoned", "chunks_patched",
             "pairs_rescored", "fingerprints_computed",
+            "bytes_stored", "bytes_decoded",
         }
         assert stats["cache_misses"] == 1
         assert stats["tables_encoded"] == 1
@@ -215,5 +216,6 @@ class TestEmptyAndCounters:
             "tables_encoded": 0, "disk_hits": 0, "disk_misses": 0, "chunk_loads": 0,
             "rows_reencoded": 0, "rows_tombstoned": 0, "chunks_patched": 0,
             "pairs_rescored": 0, "fingerprints_computed": 0,
+            "bytes_stored": 0, "bytes_decoded": 0,
         }
         assert counters.hit_rate() == 0.0
