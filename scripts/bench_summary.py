@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Merge every ``BENCH_*.json`` artifact into one trajectory table.
+
+Each benchmark in ``benchmarks/`` writes its own JSON artifact with a
+bespoke schema; CI uploads them individually.  This script collects all of
+them from one directory, pulls the headline numbers out of each, and emits
+a single summary — a markdown table for humans (stdout or ``--markdown``)
+and a merged JSON document for dashboards (``--json``).
+
+Artifacts that are absent are simply skipped (each CI job produces a
+subset); unknown ``BENCH_*.json`` files fall back to their top-level
+scalars, so a new benchmark shows up here before this script learns its
+schema.
+
+Usage: python scripts/bench_summary.py [--dir .] [--json OUT] [--markdown OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _fmt(value):
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:,.3f}" if abs(value) < 1000 else f"{value:,.0f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _rows_engine(data):
+    yield "scored pairs", data.get("pairs")
+    yield "legacy seconds", data.get("legacy_seconds")
+    yield "batched seconds", data.get("batched_seconds")
+    yield "speedup", data.get("speedup")
+
+
+def _rows_shard(data):
+    cache = data.get("cache", {})
+    yield "candidate pairs", data.get("candidate_pairs")
+    yield "cold resolve seconds", cache.get("cold_seconds")
+    yield "warm resolve seconds", cache.get("warm_seconds")
+    for workers, run in sorted(data.get("workers", {}).items(), key=lambda kv: int(kv[0])):
+        yield f"workers={workers} resolve seconds", run.get("resolve_seconds")
+
+
+def _rows_blocking(data):
+    yield "candidate pairs", data.get("candidate_pairs")
+    yield "serial reference seconds", data.get("serial_reference_seconds")
+    for workers, run in sorted(data.get("workers", {}).items(), key=lambda kv: int(kv[0])):
+        if isinstance(run, dict):
+            yield f"workers={workers} seconds", run.get("resolve_seconds") or run.get("seconds")
+
+
+def _rows_delta(data):
+    yield "cold base seconds", data.get("cold_base_seconds")
+    steps = data.get("steps", [])
+    yield "delta steps", len(steps)
+    if steps:
+        yield "mean delta seconds", sum(s.get("seconds", 0.0) for s in steps) / len(steps)
+    yield "cold grown seconds", data.get("cold_grown", {}).get("seconds")
+
+
+def _rows_mutation(data):
+    yield "cold base seconds", data.get("cold_base_seconds")
+    steps = data.get("steps", [])
+    yield "mutation steps", len(steps)
+    if steps:
+        yield "mean mutation seconds", sum(s.get("seconds", 0.0) for s in steps) / len(steps)
+    yield "cold mutated seconds", data.get("cold_mutated", {}).get("seconds")
+
+
+def _rows_serve(data):
+    for size, run in data.get("sizes", {}).items():
+        yield f"{size} sustained qps", run.get("sustained_qps")
+    yield "point query p50 scale ratio", data.get("point_query_p50_scale_ratio")
+    yield "table-size independent", data.get("table_size_independent")
+
+
+def _rows_quant(data):
+    domains = data.get("domains", {})
+    yield "domains measured", len(domains)
+    ratios = [d.get("disk_compression") for d in domains.values() if d.get("disk_compression")]
+    if ratios:
+        yield "mean disk compression", sum(ratios) / len(ratios)
+    warm = [d.get("warm_compression") for d in domains.values() if d.get("warm_compression")]
+    if warm:
+        yield "mean warm compression", sum(warm) / len(warm)
+
+
+def _rows_distrib(data):
+    domains = data.get("domains", {})
+    yield "identity domains", len(domains)
+    identical = all(
+        run.get("identical")
+        for report in domains.values()
+        for run in report.get("workers", {}).values()
+    )
+    yield "all byte-identical", identical
+    yield "worker-kill run", any(r.get("worker_kill") for r in domains.values())
+    for run in data.get("sweep", {}).get("runs", []):
+        yield (
+            f"workers={run.get('workers')} ({run.get('transport')}) seconds",
+            run.get("wall_seconds"),
+        )
+
+
+def _rows_generic(data):
+    for key, value in data.items():
+        if isinstance(value, (int, float, bool)):
+            yield key.replace("_", " "), value
+
+
+EXTRACTORS = {
+    "BENCH_engine.json": _rows_engine,
+    "BENCH_shard.json": _rows_shard,
+    "BENCH_blocking.json": _rows_blocking,
+    "BENCH_delta.json": _rows_delta,
+    "BENCH_mutation.json": _rows_mutation,
+    "BENCH_serve.json": _rows_serve,
+    "BENCH_quant.json": _rows_quant,
+    "BENCH_distrib.json": _rows_distrib,
+}
+
+
+def summarise(directory: Path) -> dict:
+    artifacts = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            artifacts[path.name] = {"error": str(error), "rows": []}
+            continue
+        extractor = EXTRACTORS.get(path.name, _rows_generic)
+        rows = [
+            {"metric": metric, "value": value}
+            for metric, value in extractor(data)
+            if value is not None
+        ]
+        artifacts[path.name] = {"rows": rows, "raw": data}
+    return {"directory": str(directory), "artifacts": artifacts}
+
+
+def markdown_table(summary: dict) -> str:
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "| artifact | metric | value |",
+        "| --- | --- | --- |",
+    ]
+    for name, artifact in summary["artifacts"].items():
+        if artifact.get("error"):
+            lines.append(f"| {name} | (unreadable) | {artifact['error']} |")
+            continue
+        for row in artifact["rows"]:
+            lines.append(f"| {name} | {row['metric']} | {_fmt(row['value'])} |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=".", help="directory holding BENCH_*.json")
+    parser.add_argument("--json", help="write the merged JSON summary here")
+    parser.add_argument("--markdown", help="write the markdown table here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    directory = Path(args.dir)
+    summary = summarise(directory)
+    if not summary["artifacts"]:
+        print(f"no BENCH_*.json artifacts under {directory}", file=sys.stderr)
+        return 1
+
+    table = markdown_table(summary)
+    if args.markdown:
+        Path(args.markdown).write_text(table)
+        print(f"wrote {args.markdown}")
+    else:
+        print(table, end="")
+    if args.json:
+        slim = {
+            "directory": summary["directory"],
+            "artifacts": {
+                name: {k: v for k, v in artifact.items() if k != "raw"}
+                for name, artifact in summary["artifacts"].items()
+            },
+        }
+        Path(args.json).write_text(json.dumps(slim, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,9 +12,12 @@ Usage (after installing the package)::
     python -m repro resolve --domain music --incremental --append-rows 64
     python -m repro resolve --domain music --incremental --edit-rows 16 --delete-rows 8
     python -m repro plan --domain music --workers 4 --shard-rows 1024
-    python -m repro cache list --cache-dir .repro-cache
+    python -m repro cache list --cache-dir .repro-cache --json
     python -m repro cache prune --cache-dir .repro-cache --dry-run
+    python -m repro cache verify --cache-dir .repro-cache
     python -m repro serve --domain music --cache-dir .repro-cache --port 8123
+    python -m repro resolve --domain music --distributed 4 --queue-dir /shared/queue
+    python -m repro worker --queue-dir /shared/queue
 
 Each sub-command drives the same harness functions the benchmark suite uses,
 so the CLI is a convenient way to reproduce a single cell of the paper's
@@ -41,6 +44,22 @@ def _default_workers() -> int:
     except ValueError:
         return 1
     return value if value > 0 else 1
+
+
+def _codec_arg(value: str) -> str:
+    """Validate ``--codec`` at flag-parse time.
+
+    Runs the engine's own :func:`repro.engine.resolve_codec_name`, so a
+    registered-but-unimplemented tier (the ``pq`` stub) is refused here —
+    with the usable codecs named — instead of surfacing as a
+    ``NotImplementedError`` deep inside the first encode.
+    """
+    from repro.engine import resolve_codec_name
+
+    try:
+        return resolve_codec_name(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _check_positive(*checks: tuple) -> int:
@@ -109,10 +128,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Directory for the persistent encoding cache; repeated runs skip table encoding.",
     )
     resolve.add_argument(
-        "--codec", default=None, choices=["raw", "int8"],
+        "--codec", default=None, type=_codec_arg,
         help="Encoding storage codec: raw float64 or int8 scalar-quantized codes "
              "(~8x smaller; matcher still scores rehydrated floats). "
              "Defaults to REPRO_ENGINE_CODEC when set, else raw.",
+    )
+    resolve.add_argument(
+        "--distributed", type=int, default=0, metavar="N",
+        help="Fan resolution out to N worker subprocesses over a shared work "
+             "queue (requires --queue-dir; the match stream stays "
+             "byte-identical to a serial run).",
+    )
+    resolve.add_argument(
+        "--queue-dir", default=None,
+        help="Shared work-queue directory for --distributed (any filesystem "
+             "every worker can reach).",
     )
     resolve.add_argument(
         "--incremental", action="store_true",
@@ -150,11 +180,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "cache",
         help="Inspect (list) or clean up (prune) a persistent encoding cache directory.",
     )
-    cache.add_argument("action", choices=["list", "prune"], help="What to do with the cache.")
+    cache.add_argument(
+        "action", choices=["list", "prune", "verify"],
+        help="list: one summary row per entry; prune: remove stale generations; "
+             "verify: audit every manifest and chunk fingerprint without "
+             "loading arrays (non-zero exit if anything fails).",
+    )
     cache.add_argument("--cache-dir", required=True, help="Root of the persistent encoding cache.")
     cache.add_argument(
         "--dry-run", action="store_true",
         help="With prune: report what would be removed without deleting anything.",
+    )
+    cache.add_argument(
+        "--json", action="store_true",
+        help="With list/verify: emit machine-readable JSON instead of a table.",
     )
 
     serve = subparsers.add_parser(
@@ -179,9 +218,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Directory for the persistent encoding cache; warm restarts skip table encoding.",
     )
     serve.add_argument(
-        "--codec", default=None, choices=["raw", "int8"],
+        "--codec", default=None, type=_codec_arg,
         help="Encoding storage codec for the resident store (int8 keeps the warm "
              "daemon's encodings quantized; ~8x smaller RSS for the store).",
+    )
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="Run one distributed resolution worker: claim stage units from a "
+             "shared queue, execute them against the shared encoding cache, "
+             "publish content-addressed results.",
+    )
+    transport = worker.add_mutually_exclusive_group(required=True)
+    transport.add_argument(
+        "--queue-dir", default=None,
+        help="File-lease queue directory (shared-filesystem transport).",
+    )
+    transport.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="Coordinator socket-queue address (TCP transport).",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=None,
+        help="Seconds between claim attempts when the queue is empty.",
+    )
+    worker.add_argument(
+        "--heartbeat-interval", type=float, default=None,
+        help="Seconds between lease heartbeats while a unit runs.",
+    )
+    worker.add_argument(
+        "--max-units", type=int, default=None,
+        help="Exit after executing this many units (default: serve forever).",
+    )
+    worker.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="Exit after this many seconds without claimable work "
+             "(default: serve forever).",
     )
 
     return parser
@@ -303,6 +375,12 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     if args.incremental and args.append_rows + args.edit_rows + args.delete_rows == 0:
         print("error: --incremental needs at least one of --append-rows/--edit-rows/--delete-rows", file=sys.stderr)
         return 2
+    if args.distributed < 0:
+        print("error: --distributed must be non-negative", file=sys.stderr)
+        return 2
+    if args.distributed and not args.queue_dir:
+        print("error: --distributed requires --queue-dir", file=sys.stderr)
+        return 2
     reset_engine_counters()
     domain = load_domain(args.domain, scale=args.scale)
     config = _harness_config(args.seed).vaer_config(ir_method=args.ir)
@@ -310,21 +388,58 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     model.fit_representation(domain.task)
     model.fit_matcher(domain.splits.train, domain.splits.validation)
 
+    worker_procs = []
+    if args.distributed:
+        import subprocess
+
+        for _ in range(args.distributed):
+            worker_procs.append(subprocess.Popen([
+                sys.executable, "-m", "repro", "worker",
+                "--queue-dir", args.queue_dir,
+            ]))
+
+    def _stream(shard_timings, stage_timings, incremental):
+        if args.distributed:
+            return model.resolve_distributed(
+                workers=args.distributed, queue_dir=args.queue_dir,
+                k=args.k, batch_size=args.batch_size,
+                shard_timings=shard_timings, stage_timings=stage_timings,
+                incremental=incremental,
+            )
+        return model.resolve_stream(
+            k=args.k, batch_size=args.batch_size, workers=args.workers,
+            shard_timings=shard_timings, stage_timings=stage_timings,
+            incremental=incremental,
+        )
+
+    def _reap_workers():
+        for proc in worker_procs:
+            proc.terminate()
+        for proc in worker_procs:
+            try:
+                proc.wait(timeout=10)
+            except Exception:  # pragma: no cover - stuck worker
+                proc.kill()
+
     timings = ShardTimings()
     stage_timings = StageTimings()
     candidates = matches = batches = 0
-    for batch in model.resolve_stream(
-        k=args.k, batch_size=args.batch_size, workers=args.workers,
-        shard_timings=None if args.incremental else timings,
-        stage_timings=stage_timings, incremental=args.incremental,
-    ):
-        candidates += len(batch)
-        matches += len(batch.matches())
-        batches += 1
+    try:
+        for batch in _stream(
+            shard_timings=None if args.incremental else timings,
+            stage_timings=stage_timings, incremental=args.incremental,
+        ):
+            candidates += len(batch)
+            matches += len(batch.matches())
+            batches += 1
+    except BaseException:
+        _reap_workers()
+        raise
 
     print(
         f"domain={args.domain} ir={args.ir} k={args.k} batch_size={args.batch_size} "
-        f"workers={args.workers} codec={model.codec}"
+        f"workers={args.distributed or args.workers} codec={model.codec}"
+        + (" transport=file-queue" if args.distributed else "")
     )
     print(f"  candidate pairs scored: {candidates} (in {batches} batches)")
     print(f"  predicted matches:      {matches} (threshold {model.threshold:.2f})")
@@ -347,12 +462,15 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
         reset_engine_counters()
         delta_timings = StageTimings()
         candidates = matches = 0
-        for batch in model.resolve_stream(
-            k=args.k, batch_size=args.batch_size, workers=args.workers,
-            stage_timings=delta_timings, incremental=True,
-        ):
-            candidates += len(batch)
-            matches += len(batch.matches())
+        try:
+            for batch in _stream(
+                shard_timings=None, stage_timings=delta_timings, incremental=True,
+            ):
+                candidates += len(batch)
+                matches += len(batch.matches())
+        except BaseException:
+            _reap_workers()
+            raise
         print(f"\nIncremental re-resolve after mutating the right table ({', '.join(mutations)} rows)\n")
         print(f"  candidate pairs:        {candidates}")
         print(f"  predicted matches:      {matches}")
@@ -363,6 +481,7 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
         print("\nDelta-stage timings\n")
         print(format_stage_timings(delta_timings))
 
+    _reap_workers()
     print("\nEngine cache statistics\n")
     print(format_engine_stats())
     if not args.incremental:
@@ -374,10 +493,28 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
     from repro.engine import PersistentEncodingCache
     from repro.eval.reporting import format_table
 
     cache = PersistentEncodingCache(args.cache_dir)
+    if args.action == "verify":
+        reports = cache.verify_entries()
+        if args.json:
+            print(json.dumps(reports, indent=2, default=str))
+        elif not reports:
+            print(f"no cache entries under {args.cache_dir}")
+        else:
+            for report in reports:
+                status = "ok" if report["ok"] else "FAIL"
+                print(
+                    f"{status:4s} {report['task']}/{report['side']}-v{report['version']} "
+                    f"({report['layout']}, {report['chunks_checked']} chunk(s) checked)"
+                )
+                for problem in report["problems"]:
+                    print(f"       {problem}")
+        return 0 if all(report["ok"] for report in reports) else 1
     if args.action == "prune":
         removed = cache.prune(dry_run=args.dry_run)
         verb = "would prune" if args.dry_run else "pruned"
@@ -391,6 +528,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"  {label} from codec={codec}: {by_codec[codec]} bytes")
         return 0
     rows = cache.describe_entries()
+    if args.json:
+        print(json.dumps(rows, indent=2, default=str))
+        return 0
     if not rows:
         print(f"no cache entries under {args.cache_dir}")
         return 0
@@ -458,6 +598,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distrib import run_worker
+    from repro.distrib.worker import DEFAULT_HEARTBEAT_INTERVAL, DEFAULT_POLL_INTERVAL
+
+    if args.poll_interval is not None and args.poll_interval <= 0:
+        print("error: --poll-interval must be positive", file=sys.stderr)
+        return 2
+    if args.heartbeat_interval is not None and args.heartbeat_interval <= 0:
+        print("error: --heartbeat-interval must be positive", file=sys.stderr)
+        return 2
+    try:
+        executed = run_worker(
+            queue_dir=args.queue_dir,
+            connect=args.connect,
+            poll_interval=(
+                args.poll_interval if args.poll_interval is not None else DEFAULT_POLL_INTERVAL
+            ),
+            heartbeat_interval=(
+                args.heartbeat_interval
+                if args.heartbeat_interval is not None
+                else DEFAULT_HEARTBEAT_INTERVAL
+            ),
+            max_units=args.max_units,
+            idle_timeout=args.idle_timeout,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return 0
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"worker exiting: {executed} unit(s) executed")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     args = _build_parser().parse_args(argv)
@@ -479,6 +653,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     return 1
 
 

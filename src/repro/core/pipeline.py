@@ -393,6 +393,98 @@ class VAER:
 
         return stream()
 
+    def resolve_distributed(
+        self,
+        workers: int = 2,
+        queue_dir: Optional[Union[str, Path]] = None,
+        runtime: Optional[object] = None,
+        k: Optional[int] = None,
+        batch_size: int = 2048,
+        shard_timings: Optional[ShardTimings] = None,
+        stage_timings: Optional[StageTimings] = None,
+        incremental: bool = False,
+        lease_timeout: Optional[float] = None,
+        job_id: Optional[str] = None,
+    ) -> Iterator[ResolutionBatch]:
+        """Resolve across worker *processes or hosts* sharing the cache dir.
+
+        The same plan/execute engine as :meth:`resolve_stream` runs, but
+        its stage units — LSH partial-bucket builds, query shards, score
+        batches and (on ``incremental`` runs) tail encode ranges — are
+        dispatched through a :class:`repro.distrib.DistributedRuntime`
+        instead of a local pool: workers claim leased units from the queue,
+        attach published stage state (cache-resident encodings load
+        codec-aware from the shared :class:`PersistentEncodingCache`), and
+        publish content-addressed results the coordinator validates by
+        fingerprint and merges in deterministic ``(batch_index,
+        pair_index)`` order.  The yielded stream is byte-identical to the
+        serial :meth:`resolve_stream` over the same store, whatever the
+        worker count, and survives worker crashes: expired leases re-
+        dispatch, and a fully dead fleet degrades to the coordinator's
+        serial schedule.
+
+        Pass either an existing ``runtime`` (kept open for the caller) or a
+        ``queue_dir`` to build a file-lease runtime for this run; start
+        workers with ``python -m repro worker --queue-dir <dir>``.
+        ``workers == 1`` degenerates to the local serial schedule — real
+        distribution needs at least two planned workers.
+        """
+        from repro.distrib import CacheRef, DistributedRuntime
+
+        self._require_matcher()
+        k = k or self.config.active_learning.top_neighbours
+        own_runtime = runtime is None
+        if own_runtime:
+            if queue_dir is None:
+                raise ValueError("resolve_distributed needs a queue_dir or a runtime")
+            options: Dict[str, object] = {
+                "workers": workers,
+                "cache_dir": self.cache_dir,
+                "stage_timings": stage_timings,
+            }
+            if lease_timeout is not None:
+                options["lease_timeout"] = lease_timeout
+            if job_id is not None:
+                options["job_id"] = job_id
+            runtime = DistributedRuntime.file_queue(queue_dir, **options)
+        elif stage_timings is not None:
+            runtime.coordinator.stage_timings = stage_timings
+        if self.cache_dir is not None:
+            # Warm (and write through) both sides, then register the cached
+            # IR arrays so published score states ship tiny cache references
+            # instead of the arrays themselves.
+            store = self.store
+            version = self._require_representation().encoding_version
+            for side in ("left", "right"):
+                encodings = store.table_encodings(side)
+                runtime.add_cache_ref(
+                    encodings.irs,
+                    CacheRef(
+                        task_name=self.task.name,
+                        side=side,
+                        encoding_version=version,
+                        fingerprint=store.table_fingerprint(side),
+                        array="irs",
+                    ),
+                )
+
+        def stream() -> Iterator[ResolutionBatch]:
+            try:
+                with runtime.activate():
+                    yield from self.resolve_stream(
+                        k=k,
+                        batch_size=batch_size,
+                        workers=runtime.workers,
+                        shard_timings=shard_timings,
+                        stage_timings=stage_timings,
+                        incremental=incremental,
+                    )
+            finally:
+                if own_runtime:
+                    runtime.close()
+
+        return stream()
+
     @property
     def baseline(self) -> Optional[ResolutionBaseline]:
         """The delta baseline captured by the last fully drained delta run.

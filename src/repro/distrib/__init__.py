@@ -1,0 +1,70 @@
+"""Distributed multi-node resolution over the shared encoding cache.
+
+A coordinator/worker execution layer that partitions the plan/execute
+engine's stage units — LSH partial-bucket builds, query shards, score
+batches, delta encode ranges — across N worker processes or hosts that
+share only a cache directory (and, optionally, a TCP connection).  See
+:mod:`repro.distrib.coordinator` for the execution model,
+:mod:`repro.distrib.queue` for the two transports and
+:mod:`repro.distrib.artifacts` for the content-addressed data plane.
+
+Typical use::
+
+    runtime = DistributedRuntime.file_queue("/shared/queue", workers=4)
+    # start workers:  python -m repro worker --queue-dir /shared/queue
+    for batch in model.resolve_distributed(runtime=runtime):
+        ...
+    runtime.close()
+
+or, one-shot through the CLI::
+
+    python -m repro resolve --domain beer --distributed 4 --queue-dir /shared/queue
+"""
+
+from repro.distrib.artifacts import (
+    CacheRef,
+    DistribStateSpec,
+    blob_crc,
+    dump_object,
+    find_blob,
+    load_object,
+    read_blob,
+    write_blob,
+)
+from repro.distrib.coordinator import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_MAX_RETRIES,
+    Coordinator,
+    DistributedPool,
+    DistributedRuntime,
+)
+from repro.distrib.queue import (
+    FileLeaseQueue,
+    SocketQueueClient,
+    SocketWorkQueue,
+    WorkUnit,
+)
+from repro.distrib.worker import Worker, make_queue_client, run_worker
+
+__all__ = [
+    "CacheRef",
+    "Coordinator",
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_MAX_RETRIES",
+    "DistribStateSpec",
+    "DistributedPool",
+    "DistributedRuntime",
+    "FileLeaseQueue",
+    "SocketQueueClient",
+    "SocketWorkQueue",
+    "WorkUnit",
+    "Worker",
+    "blob_crc",
+    "dump_object",
+    "find_blob",
+    "load_object",
+    "make_queue_client",
+    "read_blob",
+    "run_worker",
+    "write_blob",
+]

@@ -56,6 +56,7 @@ from repro.engine.quant import (
     get_codec,
     resolve_codec_name,
     table_sq_norms_of,
+    usable_codecs,
 )
 from repro.engine.plan import (
     DeltaBounds,
@@ -142,6 +143,7 @@ __all__ = [
     "available_codecs",
     "get_codec",
     "resolve_codec_name",
+    "usable_codecs",
     "table_sq_norms_of",
     "build_index_sharded",
     "detach_all",

@@ -875,6 +875,90 @@ class PersistentEncodingCache:
                 })
         return rows
 
+    def verify_entries(self) -> List[Dict[str, Any]]:
+        """Audit manifests and chunk fingerprints (``repro cache verify``).
+
+        Runs the exact validation :meth:`load` performs — structural
+        manifest checks via ``_normalise_manifest``, then each referenced
+        chunk's embedded metadata against the manifest's expectations
+        (task, side, model fingerprint, row range, per-chunk CRC,
+        generation, codec) — but *without* materialising any arrays, so an
+        operator can audit a multi-gigabyte shared cache directory in
+        manifest-and-header time.  Returns one report per logical entry::
+
+            {"task", "side", "version", "layout",
+             "chunks_checked", "ok", "problems": [...]}
+
+        An entry with ``ok == False`` is exactly one that ``load`` would
+        treat as a miss (and a distributed worker would refuse to attach).
+        """
+        reports: List[Dict[str, Any]] = []
+        for entry in self.entries():
+            if entry.name == MANIFEST_NAME:
+                chunk_dir = entry.parent
+                task_dir = chunk_dir.parent.name
+                side, version = self._parse_generation(chunk_dir.name) or (chunk_dir.name, -1)
+                problems: List[str] = []
+                checked = 0
+                manifest = self._normalise_manifest(self._read_json(entry))
+                if manifest is None:
+                    problems.append("manifest unreadable or structurally invalid")
+                else:
+                    task = manifest.get("task", task_dir)
+                    fingerprint = manifest.get("fingerprint")
+                    model = fingerprint.get("model") if isinstance(fingerprint, dict) else None
+                    codec = _manifest_codec(manifest)[0]
+                    if manifest.get("side") not in (None, side):
+                        problems.append(
+                            f"manifest side {manifest.get('side')!r} does not match "
+                            f"directory {side!r}"
+                        )
+                    for start, stop, row_crc, generation in (
+                        tuple(chunk) for chunk in manifest["chunks"]
+                    ):
+                        checked += 1
+                        path = chunk_dir / self.chunk_name(start, stop, generation)
+                        name = path.name
+                        if not path.is_file():
+                            problems.append(f"{name}: missing chunk archive")
+                            continue
+                        try:
+                            metadata = load_metadata(path)
+                        except _LOAD_ERRORS:
+                            metadata = None
+                        if metadata is None:
+                            problems.append(f"{name}: chunk metadata unreadable (torn write?)")
+                        elif not self._chunk_metadata_valid(
+                            metadata, task, side, model, start, stop, row_crc, generation, codec
+                        ):
+                            problems.append(
+                                f"{name}: chunk metadata does not match manifest "
+                                "(fingerprint, row range, CRC, generation or codec)"
+                            )
+                reports.append({
+                    "task": task_dir, "side": side, "version": version, "layout": "chunked",
+                    "chunks_checked": checked, "ok": not problems, "problems": problems,
+                })
+            else:
+                task_dir = entry.parent.name
+                side, version = self._parse_generation(entry.stem) or (entry.stem, -1)
+                problems = []
+                try:
+                    metadata = load_metadata(entry)
+                except _LOAD_ERRORS:
+                    metadata = None
+                if metadata is None:
+                    problems.append("flat archive metadata unreadable")
+                elif metadata.get("format") != FLAT_FORMAT_VERSION:
+                    problems.append(
+                        f"flat archive format {metadata.get('format')!r} is not readable"
+                    )
+                reports.append({
+                    "task": task_dir, "side": side, "version": version, "layout": "flat",
+                    "chunks_checked": 0, "ok": not problems, "problems": problems,
+                })
+        return reports
+
     def prune(self, dry_run: bool = False) -> Dict[str, Any]:
         """Remove stale generations (the ``repro cache prune`` action).
 

@@ -289,6 +289,11 @@ class Codec:
 
     name: str = "abstract"
     is_identity: bool = False
+    #: ``False`` marks a registered-but-unimplemented tier: the name stays
+    #: resolvable for discovery (``available_codecs``), but selecting it —
+    #: via flag or environment — fails at name-resolution time rather than
+    #: deep inside the engine.
+    usable: bool = True
 
     def fit(self, values: np.ndarray) -> Optional[CodecParams]:
         raise NotImplementedError
@@ -363,6 +368,7 @@ class ProductQuantizer(Codec):
     int8 tier, which covers the current memory targets."""
 
     name = "pq"
+    usable = False
 
     def _unavailable(self) -> NotImplementedError:
         return NotImplementedError(
@@ -390,6 +396,11 @@ def available_codecs() -> List[str]:
     return sorted(_CODECS)
 
 
+def usable_codecs() -> List[str]:
+    """Codec names that can actually encode today (stub tiers excluded)."""
+    return sorted(name for name, codec in _CODECS.items() if codec.usable)
+
+
 def get_codec(name: str) -> Codec:
     try:
         return _CODECS[name]
@@ -406,10 +417,15 @@ def resolve_codec_name(name: Optional[str] = None) -> str:
     same forgiving posture as ``REPRO_ENGINE_WORKERS``.
     """
     if name:
-        get_codec(name)  # validate explicit choices loudly
+        codec = get_codec(name)  # validate explicit choices loudly
+        if not codec.usable:
+            raise ValueError(
+                f"codec {name!r} is a registered stub and cannot encode yet; "
+                f"supported codecs: {', '.join(usable_codecs())}"
+            )
         return name
     env = os.environ.get(CODEC_ENV_VAR, "").strip().lower()
-    if env in _CODECS:
+    if env in _CODECS and _CODECS[env].usable:
         return env
     return DEFAULT_CODEC
 

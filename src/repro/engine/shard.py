@@ -275,7 +275,10 @@ def worker_state(ref) -> object:
     registry answers directly.  In a forked pool worker the registry misses
     (the pool predates the state), so the handle's shared-memory spec is
     attached instead; the attachment is memoized per process, so only the
-    first task of a stage pays the unpickle.
+    first task of a stage pays the unpickle.  A spec that carries its own
+    ``attach`` method — the distributed runner's artifact-backed specs —
+    resolves through it instead, so remote worker processes that share
+    nothing but a filesystem can still reach published stage state.
     """
     token = ref if isinstance(ref, str) else ref.token
     try:
@@ -283,6 +286,9 @@ def worker_state(ref) -> object:
     except KeyError:
         if isinstance(ref, str) or ref.spec is None:
             raise
+    attach = getattr(ref.spec, "attach", None)
+    if attach is not None:
+        return attach()
     from repro.engine import sharedmem
 
     return sharedmem.attach_state(ref.spec)
@@ -299,7 +305,14 @@ def publish_worker_state(state: object, pool: Optional["WorkerPool"]) -> StateHa
     token = new_pool_token()
     _WORKER_STATES[token] = state
     spec = None
-    if pool is not None and pool.kind == "fork":
+    publish = getattr(pool, "publish_state", None)
+    if publish is not None:
+        # Pools with their own transport (the distributed runner publishes
+        # state as content-addressed artifacts on the shared directory)
+        # produce the spec themselves; the parent registry entry above
+        # still serves in-process consumers.
+        spec = publish(token, state)
+    elif pool is not None and pool.kind == "fork":
         from repro.engine import sharedmem
 
         publication = sharedmem.publish_state(token, state)
@@ -374,6 +387,13 @@ def pool_kind_default() -> str:
     parent has touched Accelerate/BLAS aborts the children, which is why
     CPython made ``spawn`` the macOS default.
     """
+    if _POOL_OVERRIDE is not None and not _POOL_OVERRIDE.broken:
+        # An installed override (the distributed runner) claims every pooled
+        # stage for the duration of its ``pool_override`` block, including
+        # on hosts where the env would otherwise force the serial schedule.
+        # A broken override falls through: the rest of the run degrades to
+        # whatever local transport this host would normally use.
+        return _POOL_OVERRIDE.kind
     forced = os.environ.get("REPRO_ENGINE_POOL", "").strip().lower()
     if forced in ("fork", "thread", "serial"):
         return forced
@@ -418,15 +438,45 @@ def make_pool(workers: int, kind: Optional[str] = None) -> WorkerPool:
 #: cached pool would only pin idle processes.
 _CACHED_POOL: Optional[WorkerPool] = None
 
+#: When set, :func:`acquire_pool` hands out this pool instead of a local
+#: one — the hook the distributed runner uses to route every pooled stage
+#: (build, query, score, tail encode) of the existing executors through its
+#: coordinator/queue transport without touching their control flow.
+_POOL_OVERRIDE: Optional[WorkerPool] = None
+
+
+@contextmanager
+def pool_override(pool: WorkerPool) -> Iterator[WorkerPool]:
+    """Route :func:`acquire_pool` to ``pool`` for the duration of the block.
+
+    Overrides do not nest (the engine runs one resolve at a time), and the
+    override is never cached, shut down or replaced by
+    :func:`release_pool`/:func:`shutdown_pools` — its owner manages its
+    lifetime.  A pool marked broken inside the block stops being handed
+    out, so the executors' serial-tail fallback degrades exactly as it
+    does for a crashed local pool.
+    """
+    global _POOL_OVERRIDE
+    if _POOL_OVERRIDE is not None:
+        raise RuntimeError("a pool override is already active")
+    _POOL_OVERRIDE = pool
+    try:
+        yield pool
+    finally:
+        _POOL_OVERRIDE = None
+
 
 def acquire_pool(workers: int, kind: Optional[str] = None) -> WorkerPool:
     """A pool of the requested shape — cached if compatible, else fresh.
 
     A cached pool of a different shape (or one marked broken) is shut down
     *before* the replacement spawns, so forked children never inherit a live
-    executor.
+    executor.  With an active (unbroken) :func:`pool_override` that pool is
+    returned verbatim, whatever shape was requested.
     """
     global _CACHED_POOL
+    if _POOL_OVERRIDE is not None and not _POOL_OVERRIDE.broken:
+        return _POOL_OVERRIDE
     kind = kind or pool_kind_default()
     pool, _CACHED_POOL = _CACHED_POOL, None
     if pool is not None:
@@ -439,6 +489,10 @@ def acquire_pool(workers: int, kind: Optional[str] = None) -> WorkerPool:
 def release_pool(pool: WorkerPool) -> None:
     """Return a pool to the cache (broken pools are shut down instead)."""
     global _CACHED_POOL
+    if pool is _POOL_OVERRIDE:
+        # Override pools are owned by whoever installed them; the engine
+        # neither caches nor tears them down (broken or not).
+        return
     if pool.broken:
         pool.shutdown()
         return

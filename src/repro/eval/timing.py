@@ -271,6 +271,12 @@ class ShardTimings:
 #: Stage names of the planner's resolve graph, in dependency order.
 RESOLUTION_STAGES = ("encode", "block", "score")
 
+#: Overhead stages the distributed coordinator adds on top of the
+#: resolution stages: ``dispatch`` (state publication + unit submission),
+#: ``lease`` (enqueue → first observed worker lease) and ``merge`` (result
+#: transfer, validation and deterministic reassembly).
+DISTRIB_STAGES = ("dispatch", "lease", "merge")
+
 
 class StageTimings:
     """Per-stage compute-time sink for planner-driven resolution.

@@ -278,6 +278,7 @@ class ServeSession:
         k: Optional[int] = None,
         batch_size: int = 2048,
         workers: int = 1,
+        runtime=None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -292,6 +293,14 @@ class ServeSession:
             raise ValueError("k must be positive")
         self.batch_size = int(batch_size)
         self.workers = int(workers)
+        #: Optional :class:`repro.distrib.DistributedRuntime` — when set,
+        #: every refresh (the cold resolve and each mutation's delta
+        #: resolve) fans its stage units out to the runtime's remote
+        #: workers instead of a local pool.  The session does not own the
+        #: runtime; the caller closes it.
+        self.runtime = runtime
+        if runtime is not None:
+            self.workers = max(self.workers, int(runtime.workers))
         self._snapshot: Optional[Snapshot] = None
         self._generation = -1
         self._index_lock = _ReadWriteLock()
@@ -569,10 +578,17 @@ class ServeSession:
         snapshot pointer swap is the linearisation point for readers.
         """
         stage = StageTimings()
-        batches = list(self.model.resolve_delta(
-            k=self.k, batch_size=self.batch_size,
-            stage_timings=stage, workers=self.workers,
-        ))
+        if self.runtime is not None:
+            with self.runtime.activate():
+                batches = list(self.model.resolve_delta(
+                    k=self.k, batch_size=self.batch_size,
+                    stage_timings=stage, workers=self.workers,
+                ))
+        else:
+            batches = list(self.model.resolve_delta(
+                k=self.k, batch_size=self.batch_size,
+                stage_timings=stage, workers=self.workers,
+            ))
         merged = merge_scored_batches(batches)
         pairs: List[Tuple[str, str, float]] = []
         by_left: Dict[str, List[Tuple[str, float]]] = {}

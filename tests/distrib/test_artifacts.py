@@ -1,0 +1,115 @@
+"""Content-addressed blobs and state artifacts: the distributed data plane.
+
+The crash-safety story of the whole distributed layer reduces to one
+invariant: a blob that reads back is exactly the bytes that were written,
+and anything else — torn write, bit flip, wrong length — reads as *absent*.
+These tests pin that invariant plus the state-shipping helpers built on it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distrib.artifacts import (
+    CacheRef,
+    DistribStateSpec,
+    blob_crc,
+    blob_name,
+    dump_object,
+    find_blob,
+    load_object,
+    read_blob,
+    strip_cache_refs,
+    write_blob,
+)
+
+
+class _State:
+    """A minimal picklable stand-in for the executors' plan state."""
+
+    def __init__(self, irs=None, note="hello"):
+        self.irs = irs
+        self.note = note
+
+
+class TestBlobs:
+    def test_roundtrip(self, tmp_path):
+        payload = b"the quick brown fox"
+        path = write_blob(tmp_path, "unit-a", payload)
+        assert path.name == blob_name("unit-a", blob_crc(payload))
+        assert read_blob(path) == payload
+        assert find_blob(tmp_path, "unit-a") == path
+
+    def test_duplicate_write_is_idempotent(self, tmp_path):
+        first = write_blob(tmp_path, "unit-a", b"same bytes")
+        second = write_blob(tmp_path, "unit-a", b"same bytes")
+        assert first == second
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_torn_blob_reads_as_missing(self, tmp_path):
+        path = write_blob(tmp_path, "unit-a", b"x" * 256)
+        path.write_bytes(path.read_bytes()[:100])  # truncate: killed writer
+        assert read_blob(path) is None
+
+    def test_corrupt_blob_reads_as_missing(self, tmp_path):
+        path = write_blob(tmp_path, "unit-a", b"y" * 64)
+        data = bytearray(path.read_bytes())
+        data[10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert read_blob(path) is None
+
+    def test_find_blob_never_prefix_matches_other_units(self, tmp_path):
+        write_blob(tmp_path, "unit-1", b"one")
+        write_blob(tmp_path, "unit-10", b"ten")
+        found = read_blob(find_blob(tmp_path, "unit-1"))
+        assert found == b"one"
+
+    def test_find_blob_missing(self, tmp_path):
+        assert find_blob(tmp_path, "unit-zzz") is None
+
+    def test_object_roundtrip(self):
+        value = {"pairs": [1, 2, 3], "name": "beer"}
+        assert load_object(dump_object(value)) == value
+
+
+class TestStateShipping:
+    def test_spec_attach_roundtrips_state(self, tmp_path):
+        state = _State(irs=[1.0, 2.0], note="shipped")
+        path = write_blob(tmp_path, "state", dump_object(state))
+        spec = DistribStateSpec(path=str(path))
+        attached = spec.attach()
+        assert attached.irs == [1.0, 2.0]
+        assert attached.note == "shipped"
+
+    def test_strip_cache_refs_substitutes_by_identity(self, tmp_path):
+        big = [9.0] * 8
+        state = _State(irs=big)
+        ref = CacheRef(
+            task_name="t", side="left", encoding_version=1, fingerprint={}, array="irs"
+        )
+        stripped, refs = strip_cache_refs(state, [(big, ref)])
+        assert stripped is not state  # original untouched
+        assert state.irs is big
+        assert stripped.irs is None
+        assert refs == (("irs", ref),)
+
+    def test_strip_cache_refs_no_match_returns_unchanged(self):
+        state = _State(irs=[1.0])
+        other = [2.0]
+        ref = CacheRef(
+            task_name="t", side="left", encoding_version=1, fingerprint={}, array="irs"
+        )
+        stripped, refs = strip_cache_refs(state, [(other, ref)])
+        assert stripped is state
+        assert refs == ()
+
+    def test_cache_ref_miss_raises(self, tmp_path):
+        from repro.engine import PersistentEncodingCache
+
+        ref = CacheRef(
+            task_name="nope", side="left", encoding_version=1,
+            fingerprint={"content_crc": 1}, array="irs",
+        )
+        cache = PersistentEncodingCache(tmp_path / "cache")
+        with pytest.raises(RuntimeError):
+            ref.resolve(cache)

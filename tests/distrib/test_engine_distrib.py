@@ -1,0 +1,187 @@
+"""Distributed resolution vs. the serial stream: the byte-identity gate.
+
+The distributed runner's whole contract is that fanning stage units out to
+N workers changes wall-clock, not output: same candidate pairs, same order,
+same probability bytes as ``resolve_stream``.  These tests run real
+:class:`repro.distrib.Worker` loops (in threads — the same claim/execute
+code a remote process runs) against the file-lease queue, including a
+worker that abandons its first unit mid-run to force the lease-expiry
+recovery path.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import VAEConfig
+from repro.core.pipeline import VAER
+from repro.core.representation import EntityRepresentationModel
+from repro.data.generators import load_domain
+from repro.distrib import DistributedRuntime, FileLeaseQueue, Worker
+from repro.eval.timing import StageTimings
+
+
+class DistanceMatcher:
+    """Elementwise deterministic matcher (see tests/engine/test_delta.py):
+    probabilities are independent of batch composition, so identity checks
+    can demand exact float equality."""
+
+    def predict_proba(self, left_irs, right_irs):
+        diffs = np.asarray(left_irs) - np.asarray(right_irs)
+        distances = np.sqrt((diffs ** 2).sum(axis=(1, 2)))
+        return 1.0 / (1.0 + distances)
+
+
+class AbandonOnceWorker(Worker):
+    """Claims its first unit and walks away — the crashed-worker shape."""
+
+    def __init__(self, queue, **kwargs):
+        super().__init__(queue, **kwargs)
+        self.abandoned = False
+
+    def execute(self, unit):
+        if not self.abandoned:
+            self.abandoned = True
+            return  # lease never heartbeats again; coordinator re-dispatches
+        super().execute(unit)
+
+
+def _build_model(cache_dir=None):
+    domain = load_domain("beer", scale=0.3)
+    model = VAER(cache_dir=cache_dir)
+    model.representation = EntityRepresentationModel(
+        VAEConfig(ir_dim=12, hidden_dim=16, latent_dim=6, epochs=1, seed=7),
+        ir_method="lsa",
+    ).fit(domain.task)
+    model.task = domain.task
+    model.matcher = DistanceMatcher()
+    return model
+
+
+def _start_workers(queue_dir, count, worker_cls=Worker):
+    stop = threading.Event()
+    workers, threads = [], []
+    for _ in range(count):
+        worker = worker_cls(FileLeaseQueue(queue_dir), poll_interval=0.01)
+        thread = threading.Thread(target=worker.run, args=(stop,), daemon=True)
+        thread.start()
+        workers.append(worker)
+        threads.append(thread)
+
+    def _stop():
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+
+    return workers, _stop
+
+
+def _assert_identical(serial, distributed):
+    assert [b.batch_index for b in serial] == [b.batch_index for b in distributed]
+    for left, right in zip(serial, distributed):
+        assert [p.key() for p in left.pairs] == [p.key() for p in right.pairs]
+        np.testing.assert_array_equal(left.probabilities, right.probabilities)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_distributed_matches_serial_stream(tmp_path, workers):
+    model = _build_model(cache_dir=str(tmp_path / "cache"))
+    serial = list(model.resolve_stream(k=5, batch_size=64))
+    _, stop = _start_workers(tmp_path / "queue", workers)
+    try:
+        stage = StageTimings()
+        distributed = list(model.resolve_distributed(
+            workers=workers, queue_dir=tmp_path / "queue",
+            k=5, batch_size=64, stage_timings=stage,
+        ))
+    finally:
+        stop()
+    _assert_identical(serial, distributed)
+    assert stage.counter("units_dispatched") > 0
+    assert stage.seconds("dispatch") >= 0.0
+    assert "merge" in stage.stages()
+
+
+def test_distributed_survives_abandoned_unit(tmp_path):
+    """Worker killed mid-unit: lease expiry -> re-dispatch -> identical output."""
+    model = _build_model()
+    serial = list(model.resolve_stream(k=5, batch_size=64))
+    workers, stop = _start_workers(
+        tmp_path / "queue", 1, worker_cls=AbandonOnceWorker
+    )
+    healthy, stop_healthy = _start_workers(tmp_path / "queue", 1)
+    try:
+        stage = StageTimings()
+        distributed = list(model.resolve_distributed(
+            workers=2, queue_dir=tmp_path / "queue",
+            k=5, batch_size=64, stage_timings=stage, lease_timeout=0.5,
+        ))
+    finally:
+        stop()
+        stop_healthy()
+    assert workers[0].abandoned
+    _assert_identical(serial, distributed)
+    assert stage.counter("units_redispatched") >= 1
+
+
+def test_distributed_without_workers_falls_back_serially(tmp_path):
+    """Zero live workers: claim_timeout breaks the pool and the executors'
+    serial-tail fallback still produces the exact stream."""
+    model = _build_model()
+    serial = list(model.resolve_stream(k=5, batch_size=64))
+    runtime = DistributedRuntime.file_queue(
+        tmp_path / "queue", workers=2, claim_timeout=0.3
+    )
+    with runtime:
+        distributed = list(model.resolve_distributed(
+            runtime=runtime, k=5, batch_size=64,
+        ))
+    _assert_identical(serial, distributed)
+
+
+def test_workers_one_degenerates_to_local_serial(tmp_path):
+    model = _build_model()
+    serial = list(model.resolve_stream(k=5, batch_size=64))
+    distributed = list(model.resolve_distributed(
+        workers=1, queue_dir=tmp_path / "queue", k=5, batch_size=64,
+    ))
+    _assert_identical(serial, distributed)
+    units_dir = tmp_path / "queue" / "units"
+    assert not units_dir.is_dir() or not list(units_dir.iterdir())
+
+
+def test_resolve_distributed_requires_a_transport():
+    model = _build_model()
+    with pytest.raises(ValueError):
+        list(model.resolve_distributed(workers=2))
+
+
+def test_serve_session_refreshes_through_runtime(tmp_path):
+    """ServeSession with a distributed runtime: the cold resolve fans out to
+    remote workers and the snapshot matches a local session's exactly."""
+    from repro.serve import ServeSession
+
+    local = ServeSession(_build_model(), k=4, batch_size=32).start()
+    try:
+        reference = local.snapshot
+    finally:
+        local.close()
+
+    _, stop = _start_workers(tmp_path / "queue", 2)
+    runtime = DistributedRuntime.file_queue(tmp_path / "queue", workers=2)
+    try:
+        session = ServeSession(
+            _build_model(), k=4, batch_size=32, runtime=runtime
+        ).start()
+        try:
+            snapshot = session.snapshot
+            assert snapshot.pairs == reference.pairs
+            assert snapshot.match_count == reference.match_count
+        finally:
+            session.close()
+    finally:
+        runtime.close()
+        stop()
