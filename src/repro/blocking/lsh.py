@@ -17,7 +17,10 @@ maps back in row order.  :meth:`build` composes the three for the serial
 case, so a sharded build produces hash tables with the identical bucket
 membership.  Queries hash array-at-a-time: :meth:`query_batch` computes the
 bucket ids of a whole block of query vectors in one projection pass and only
-the candidate re-ranking remains per row.
+the candidate re-ranking remains per row.  Quantized tables additionally
+declare a query-time policy through their codec params (rank-cut expansion
+and low-margin multiprobe — see :meth:`_query_policy`) so approximate codes
+trade a wider exact-scored shortlist for recall instead of losing it.
 
 The index is additionally *mutable in place* — the incremental-blocking
 layer of delta resolution: :meth:`extend` appends rows into the existing
@@ -401,7 +404,12 @@ class EuclideanLSHIndex:
         self._key_rows = None
         return self
 
-    def _bucket_ids(self, vectors) -> np.ndarray:
+    def _scaled_projections(self, vectors) -> np.ndarray:
+        """Projections shifted and scaled to bucket units (floor = bucket id).
+
+        The fractional part is each coordinate's position inside its
+        bucket — the margin signal query-time multiprobe perturbs.
+        """
         assert self._projections is not None and self._offsets is not None
         if _is_code_array(vectors):
             vectors = vectors.decode()  # callers pass bounded row blocks
@@ -419,7 +427,52 @@ class EuclideanLSHIndex:
             projections = self._projections
         # shape: (num_tables, n, hash_size)
         projected = np.einsum("thd,nd->tnh", projections, vectors)
-        return np.floor((projected + self._offsets[:, None, :]) / self.bucket_width).astype(np.int64)
+        return (projected + self._offsets[:, None, :]) / self.bucket_width
+
+    def _bucket_ids(self, vectors) -> np.ndarray:
+        return np.floor(self._scaled_projections(vectors)).astype(np.int64)
+
+    def _query_policy(self) -> Tuple[int, int]:
+        """Per-query (rank-cut multiplier, extra probed buckets per table).
+
+        Declared by the stored table's codec params: a quantized table
+        ranks an expanded approximate shortlist and probes neighbouring
+        low-margin buckets so decode error cannot silently shrink recall.
+        Raw float tables (and codecs that rank exactly enough, like int8)
+        use ``(1, 0)`` — behaviour identical to an unexpanded query.
+        """
+        if _is_code_array(self._vectors):
+            params = self._vectors.params
+            return (
+                max(1, int(getattr(params, "rank_expansion", 1))),
+                max(0, int(getattr(params, "extra_probes", 0))),
+            )
+        return 1, 0
+
+    @staticmethod
+    def _probe_ids(scaled: np.ndarray, base: np.ndarray, probes: int) -> List[np.ndarray]:
+        """Multiprobe bucket ids: perturb the lowest-margin coordinates.
+
+        For each (table, query) the hash coordinates closest to a bucket
+        boundary are the likeliest to have flipped under quantization
+        noise; probe ``probes`` of them, each stepped one bucket toward
+        its nearest boundary.  Deterministic (stable argsort on margins).
+        """
+        frac = scaled - base
+        margins = np.minimum(frac, 1.0 - frac)
+        direction = np.where(frac < 0.5, -1, 1)
+        order = np.argsort(margins, axis=-1, kind="stable")
+        tables_index = np.arange(scaled.shape[0])[:, None]
+        rows_index = np.arange(scaled.shape[1])[None, :]
+        out: List[np.ndarray] = []
+        for position in range(min(probes, scaled.shape[2])):
+            coordinate = order[:, :, position]
+            perturbed = base.copy()
+            perturbed[tables_index, rows_index, coordinate] += direction[
+                tables_index, rows_index, coordinate
+            ]
+            out.append(perturbed)
+        return out
 
     def _require_built(self, operation: str) -> None:
         if self._vectors is None or not self._tables:
@@ -454,6 +507,12 @@ class EuclideanLSHIndex:
         re-ranking remain per row.  ``exclude`` optionally supplies one key
         per query row to drop from that row's results (the per-row
         counterpart of :meth:`query`'s ``exclude``).
+
+        Over quantized tables the stored codec's query policy applies
+        (see :meth:`_query_policy`): results may carry up to
+        ``rank_expansion * k`` entries per query — the approximate-distance
+        shortlist downstream exact scoring prunes — and each hash table is
+        probed at its ``extra_probes`` lowest-margin neighbour buckets.
         """
         self._require_built("query_batch")
         if k <= 0:
@@ -473,30 +532,40 @@ class EuclideanLSHIndex:
         if n == 0:
             return []
         assert self._vectors is not None
+        expansion, probes = self._query_policy()
+        k_effective = k * expansion
+        scaled = self._scaled_projections(vectors)
+        id_blocks = [np.floor(scaled).astype(np.int64)]
+        if probes:
+            id_blocks.extend(self._probe_ids(scaled, id_blocks[0], probes))
         # Bucket keys as native-int tuples: one tolist() converts the whole
         # id block, and hashing int tuples is measurably cheaper than
         # hashing np.int64 tuples in this per-row loop.
-        buckets = self._bucket_ids(vectors).tolist()
+        bucket_blocks = [ids.tolist() for ids in id_blocks]
         results: List[Optional[List[Tuple[object, float]]]] = [None] * n
         fallback_rows: List[int] = []
         for row in range(n):
             candidates: set = set()
             for table_index in range(self.num_tables):
-                bucket = tuple(buckets[table_index][row])
-                candidates.update(self._tables[table_index].get(bucket, ()))
+                table = self._tables[table_index]
+                for buckets in bucket_blocks:
+                    bucket = tuple(buckets[table_index][row])
+                    candidates.update(table.get(bucket, ()))
             if self._dead:
                 # Tombstone mask: deleted rows never surface as candidates,
                 # so answers equal a rebuild over the live vectors alone.
                 candidates -= self._dead
-            if len(candidates) < k:
+            if len(candidates) < k_effective:
                 # Linear-scan fallback; batched below so one blocked
                 # distance computation serves every starved row.
                 fallback_rows.append(row)
                 continue
             excluded = exclude[row] if exclude is not None else None
-            results[row] = self._rank(vectors[row : row + 1], candidates, k, excluded)
+            results[row] = self._rank(
+                vectors[row : row + 1], candidates, k_effective, excluded
+            )
         if fallback_rows:
-            self._rank_fallback(vectors, fallback_rows, results, k, exclude)
+            self._rank_fallback(vectors, fallback_rows, results, k_effective, exclude)
         return results  # type: ignore[return-value]
 
     def _rank(

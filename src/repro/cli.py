@@ -49,10 +49,10 @@ def _default_workers() -> int:
 def _codec_arg(value: str) -> str:
     """Validate ``--codec`` at flag-parse time.
 
-    Runs the engine's own :func:`repro.engine.resolve_codec_name`, so a
-    registered-but-unimplemented tier (the ``pq`` stub) is refused here —
-    with the usable codecs named — instead of surfacing as a
-    ``NotImplementedError`` deep inside the first encode.
+    Runs the engine's own :func:`repro.engine.resolve_codec_name`, so an
+    unknown or unusable codec name is refused here — with the usable
+    codecs named — instead of surfacing as an error deep inside the
+    first encode.
     """
     from repro.engine import resolve_codec_name
 
@@ -129,9 +129,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     resolve.add_argument(
         "--codec", default=None, type=_codec_arg,
-        help="Encoding storage codec: raw float64 or int8 scalar-quantized codes "
-             "(~8x smaller; matcher still scores rehydrated floats). "
-             "Defaults to REPRO_ENGINE_CODEC when set, else raw.",
+        help="Encoding storage codec. raw: float64, exact. int8: per-dimension "
+             "affine scalar quantization (~8x smaller, near-exact blocking). "
+             "pq: trained product quantization (~16-32x smaller codes; blocking "
+             "ranks an ADC lookup-table shortlist, matcher still scores "
+             "rehydrated floats). Defaults to REPRO_ENGINE_CODEC when set, "
+             "else raw.",
     )
     resolve.add_argument(
         "--distributed", type=int, default=0, metavar="N",
@@ -219,8 +222,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--codec", default=None, type=_codec_arg,
-        help="Encoding storage codec for the resident store (int8 keeps the warm "
-             "daemon's encodings quantized; ~8x smaller RSS for the store).",
+        help="Encoding storage codec for the resident store. int8 keeps the warm "
+             "daemon's encodings quantized (~8x smaller RSS); pq stores trained "
+             "product-quantization codes (~16-32x smaller, point queries rank "
+             "via ADC lookup tables); raw keeps float64.",
     )
 
     worker = subparsers.add_parser(
@@ -538,14 +543,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     def _show(value) -> str:
         return "?" if value is None else str(value)
 
+    def _ratio(value) -> str:
+        return "?" if value is None else f"{value:.1f}x"
+
     print(format_table(
         ["Task", "Side", "Version", "Layout", "Codec", "Rows", "Tombstones",
-         "Chunks", "Generations", "Bytes", "Decoded", "Content CRC", "Weights CRC"],
+         "Chunks", "Generations", "Bytes", "Decoded", "Ratio",
+         "Content CRC", "Weights CRC"],
         [
             [row["task"], row["side"], _show(row["version"]), row["layout"],
              _show(row.get("codec")), _show(row["rows"]), _show(row["tombstones"]),
              _show(row["chunks"]), _show(row["generations"]), _show(row["bytes"]),
              _show(row.get("decoded_bytes")),
+             _ratio(row.get("compression_ratio")),
              _show(row["content_crc"]), _show(row["weights_crc"])]
             for row in rows
         ],

@@ -50,10 +50,13 @@ from repro.engine.persist import (
 from repro.engine.quant import (
     CodecArray,
     CodecParams,
+    PQParams,
+    ProductQuantizer,
     ScalarQuantizer,
     asymmetric_sq_distances,
     available_codecs,
     get_codec,
+    params_from_json,
     resolve_codec_name,
     table_sq_norms_of,
     usable_codecs,
@@ -118,7 +121,9 @@ __all__ = [
     "DeltaBounds",
     "DeltaResolutionExecutor",
     "EncodingStore",
+    "PQParams",
     "PersistentEncodingCache",
+    "ProductQuantizer",
     "ResolutionBaseline",
     "ResolutionBatch",
     "ResolutionExecutor",
@@ -142,6 +147,7 @@ __all__ = [
     "attach_state",
     "available_codecs",
     "get_codec",
+    "params_from_json",
     "resolve_codec_name",
     "usable_codecs",
     "table_sq_norms_of",

@@ -106,7 +106,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence,
 
 import numpy as np
 
-from repro.engine.quant import CodecArray, CodecParams
+from repro.engine.quant import CodecArray, params_from_json
 from repro.nn.serialization import _META_KEY, load_metadata, save_state_dict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -253,9 +253,10 @@ def _encodings_codec(encodings: "TableEncodings") -> Tuple[str, Optional[Dict[st
     """Codec name and JSON params of in-memory encodings.
 
     Encodings whose arrays are :class:`~repro.engine.quant.CodecArray`
-    instances persist as int8 code chunks with their affine params in the
-    manifest; plain ndarrays persist as the ``raw`` codec.  Mixed arrays are
-    a store bug, not a degradable condition.
+    instances persist as code chunks (int8 affine codes or uint8 PQ codes)
+    with their params — affine scale/offset or PQ codebooks — in the
+    manifest; plain ndarrays persist as the ``raw`` codec.  Mixed arrays
+    are a store bug, not a degradable condition.
     """
     arrays = {name: getattr(encodings, name) for name in _ARRAY_KEYS}
     coded = {name for name, array in arrays.items() if isinstance(array, CodecArray)}
@@ -263,7 +264,10 @@ def _encodings_codec(encodings: "TableEncodings") -> Tuple[str, Optional[Dict[st
         return RAW_CODEC, None
     if coded != set(_ARRAY_KEYS):
         raise ValueError(f"mixed raw/coded encoding arrays: only {sorted(coded)} are coded")
-    return "int8", {name: arrays[name].params.to_json() for name in _ARRAY_KEYS}
+    names = {arrays[name].params.codec_name for name in _ARRAY_KEYS}
+    if len(names) != 1:
+        raise ValueError(f"mixed codecs across encoding arrays: {sorted(names)}")
+    return names.pop(), {name: arrays[name].params.to_json() for name in _ARRAY_KEYS}
 
 
 def _stored_rows(array, start: int, stop: int) -> np.ndarray:
@@ -843,6 +847,12 @@ class PersistentEncodingCache:
                         "bytes": total_bytes,
                         "codec": _manifest_codec(manifest)[0],
                         "decoded_bytes": decoded_bytes,
+                        # Compression vs raw float64: decoded size over the
+                        # stored chunk bytes (~1.0 for raw entries — npz
+                        # framing only; >1 for coded entries).
+                        "compression_ratio": (
+                            round(decoded_bytes / total_bytes, 2) if total_bytes else None
+                        ),
                         "content_crc": fingerprint.get("content_crc"),
                         "weights_crc": (fingerprint.get("model") or {}).get("weights_crc"),
                     })
@@ -851,6 +861,7 @@ class PersistentEncodingCache:
                         "task": task, "side": side, "version": version, "layout": "chunked",
                         "rows": None, "tombstones": None, "chunks": None, "generations": None,
                         "bytes": total_bytes, "codec": None, "decoded_bytes": None,
+                        "compression_ratio": None,
                         "content_crc": None, "weights_crc": None,
                     })
             else:
@@ -869,6 +880,7 @@ class PersistentEncodingCache:
                     "tombstones": None, "chunks": None, "generations": None,
                     "bytes": entry.stat().st_size,
                     "codec": RAW_CODEC if metadata else None, "decoded_bytes": None,
+                    "compression_ratio": None,
                     "content_crc": fingerprint.get("content_crc") if isinstance(fingerprint, dict) else None,
                     "weights_crc": (fingerprint.get("model") or {}).get("weights_crc")
                     if isinstance(fingerprint, dict) else None,
@@ -1237,6 +1249,19 @@ class PersistentEncodingCache:
         arity_shapes = {
             name: [int(d) for d in old["shapes"][name][1:]] for name in _ARRAY_KEYS
         }
+        # Zero-fill templates in the entry's *stored* form: float chunks
+        # stay float64 with the logical trailing shape, coded chunks keep
+        # their code dtype and code trailing (for PQ that is ``(m,)``, not
+        # the manifest's logical shape).
+        stored_templates = {}
+        for name in _ARRAY_KEYS:
+            array = getattr(encodings, name)
+            if isinstance(array, CodecArray):
+                stored_templates[name] = (list(array.codes.shape[1:]), array.codes.dtype)
+            else:
+                stored_templates[name] = (
+                    [int(d) for d in old["shapes"][name][1:]], np.dtype(np.float64)
+                )
         chunks: List[List[int]] = []
         patched = 0
         superseded: List[Path] = []
@@ -1249,12 +1274,10 @@ class PersistentEncodingCache:
                 task_name, side, encoding_version, chunk_start, chunk_stop, int(generation)
             ))
             new_generation = int(generation) + 1
-            # Zero-fill in the entry's *stored* dtype: float chunks stay
-            # float64, quantized chunks stay int8 codes.
             arrays: Dict[str, np.ndarray] = {
                 name: np.zeros(
-                    [chunk_stop - chunk_start] + arity_shapes[name],
-                    dtype=np.int8 if patch_codec != RAW_CODEC else np.float64,
+                    [chunk_stop - chunk_start] + stored_templates[name][0],
+                    dtype=stored_templates[name][1],
                 )
                 for name in _ARRAY_KEYS
             }
@@ -1847,19 +1870,27 @@ class PersistentEncodingCache:
         def _finalise(name: str, array: np.ndarray):
             if codec_name == RAW_CODEC:
                 return array
-            if array.dtype != np.int8:
-                raise ValueError(f"{codec_name} chunk holds {array.dtype}, expected int8")
-            params = CodecParams.from_json(codec_params[name])
+            params = params_from_json(codec_name, codec_params[name])
+            if array.dtype != params.code_dtype:
+                raise ValueError(
+                    f"{codec_name} chunk holds {array.dtype}, expected {params.code_dtype}"
+                )
             return CodecArray(array, params, on_decode=on_decode)
+
+        def _empty_stored(name: str) -> np.ndarray:
+            # The stored (code) trailing shape, which for PQ differs from
+            # the manifest's logical shapes — ask the params.
+            if codec_name == RAW_CODEC:
+                trailing = [int(d) for d in manifest["shapes"][name][1:]]
+                return np.zeros([0] + trailing, dtype=np.float64)
+            params = params_from_json(codec_name, codec_params[name])
+            return np.zeros((0,) + params.code_trailing, dtype=params.code_dtype)
 
         keys = tuple(manifest["keys"][i] for i in stored_indices)
         if not stored_indices:
-            shapes = manifest["shapes"]
-            dtype = np.int8 if codec_name != RAW_CODEC else np.float64
             try:
                 empty = {
-                    name: _finalise(name, np.zeros([0] + [int(d) for d in shapes[name][1:]], dtype=dtype))
-                    for name in _ARRAY_KEYS
+                    name: _finalise(name, _empty_stored(name)) for name in _ARRAY_KEYS
                 }
             except _LOAD_ERRORS:
                 return None

@@ -1,4 +1,4 @@
-"""Quantized encoding codecs: int8 codes with lazy, gather-time decoding.
+"""Quantized encoding codecs: int8/PQ codes with lazy, gather-time decoding.
 
 The dense float64 encodings are the memory wall at scale: the persistent
 cache stores 8 bytes per dimension and the LSH working set mirrors that
@@ -14,38 +14,49 @@ Three pieces:
     ``encode``/``decode`` map floats to codes and back. ``raw`` is the
     identity codec (the default — every pre-existing path is untouched),
     ``int8`` is per-dimension scale/zero-point scalar quantization, and
-    ``pq`` is a registered stub for a future product-quantization tier.
+    ``pq`` is trained product quantization: each row is split into ``m``
+    subvectors and every subvector is replaced by the index of its
+    nearest centroid in a per-subspace k-means codebook (up to 256
+    entries, so one uint8 per subspace — roughly ``8 * dsub`` bytes of
+    float compressed into one).
 
 ``CodecArray``
-    A lazy array: int8 codes plus affine parameters that decodes on
+    A lazy array: compact codes plus codec parameters that decode on
     ``__getitem__``. Fancy-indexing a ``CodecArray`` gathers *codes* and
     decodes only the gathered rows, so ``TableEncodings`` fields can hold
     one and the whole gather-then-reduce scoring engine rehydrates
     surviving pairs without materialising the full float store. Code-
     preserving structural ops (``take_rows``, ``row_slice``, ``reshape``,
     ``concat``) exist for the index/persist layers that must keep codes
-    compressed end-to-end.
+    compressed end-to-end. ``shape`` is the *logical* float shape — for
+    PQ the stored code shape ``(rows, m)`` is decoupled from it.
 
 ``asymmetric_sq_distances``
-    Float-query × int8-table squared Euclidean distances via a de-scaled
-    matmul: with ``x_i = c_i * s + o`` and ``q' = q - o``,
-
-        ||q - x_i||^2 = ||q'||^2 - 2 (q' * s) . c_i + sum_j s_j^2 c_ij^2
-
-    so the per-query work is one matvec against the code matrix (cast
-    blockwise to float32, BLAS-friendly) plus a cached per-row norm term.
+    Float-query × code-table squared Euclidean distances without
+    decoding the table. For ``int8`` the kernel folds the per-dimension
+    scale into the query and runs a blockwise float32 matmul against the
+    raw codes (the de-scaled-matmul identity). For ``pq`` it is a
+    classic ADC (asymmetric distance computation) kernel: per query
+    block it builds an ``m × 256`` lookup table of partial squared
+    distances (one BLAS sgemm per subspace), then accumulates table
+    distances by indexing the LUT with the stored codes — per-row cost
+    ``m`` byte gathers and adds, independent of the float dimension.
 
 The quantize-once invariant: parameters are fitted at the first full
 encode of a table and then *fixed*; appended or edited rows are encoded
-with the existing parameters (clipped into range). Quantization error
-therefore enters exactly once, codes from different chunks/generations
-splice consistently, and disk round-trips are byte-identical.
+with the existing parameters (int8 clips into range, PQ assigns to the
+fixed codebooks). Quantization error therefore enters exactly once,
+codes from different chunks/generations splice consistently, and disk
+round-trips are byte-identical.
 """
 
 from __future__ import annotations
 
+import base64
+import math
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -53,12 +64,15 @@ __all__ = [
     "Codec",
     "CodecArray",
     "CodecParams",
+    "PQParams",
     "RawCodec",
     "ScalarQuantizer",
     "ProductQuantizer",
     "asymmetric_sq_distances",
+    "table_sq_norms_of",
     "available_codecs",
     "get_codec",
+    "params_from_json",
     "resolve_codec_name",
     "CODEC_ENV_VAR",
     "DEFAULT_CODEC",
@@ -75,7 +89,7 @@ _QLEVELS = _QMAX - _QMIN  # 254 steps
 
 
 class CodecParams:
-    """Per-array affine quantization parameters.
+    """Per-array affine quantization parameters (the ``int8`` codec).
 
     ``scale`` and ``offset`` carry the array's trailing shape (everything
     after the row axis) so ``codes * scale + offset`` broadcasts directly.
@@ -84,9 +98,44 @@ class CodecParams:
 
     __slots__ = ("scale", "offset")
 
+    #: Name of the codec these params drive (persisted per cache entry).
+    codec_name = "int8"
+    #: Storage dtype of the codes this codec emits.
+    code_dtype = np.dtype(np.int8)
+    #: Blocking rank-cut multiplier over this codec's tables (see
+    #: :class:`PQParams` — affine int8 ranks accurately enough at 1).
+    rank_expansion = 1
+    #: Extra low-margin LSH buckets probed per hash table at query time.
+    extra_probes = 0
+
     def __init__(self, scale: np.ndarray, offset: np.ndarray) -> None:
         self.scale = np.asarray(scale, dtype=np.float64)
         self.offset = np.asarray(offset, dtype=np.float64)
+
+    # -- geometry ------------------------------------------------------
+    @property
+    def logical_trailing(self) -> Tuple[int, ...]:
+        """Trailing shape of the decoded float array."""
+        return tuple(self.scale.shape)
+
+    @property
+    def code_trailing(self) -> Tuple[int, ...]:
+        """Trailing shape of the stored code array (== logical for int8)."""
+        return tuple(self.scale.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.scale.nbytes + self.offset.nbytes)
+
+    # -- code mapping --------------------------------------------------
+    def decode_codes(self, codes: np.ndarray) -> np.ndarray:
+        out = codes.astype(np.float64)
+        out *= self.scale
+        out += self.offset
+        return out
+
+    def encode_values(self, values: np.ndarray) -> np.ndarray:
+        return _encode_with(np.asarray(values, dtype=np.float64), self)
 
     # -- serialization -------------------------------------------------
     def to_json(self) -> Dict[str, object]:
@@ -121,13 +170,206 @@ class CodecParams:
         return hash((self.scale.tobytes(), self.offset.tobytes(), self.scale.shape))
 
 
+def _b64_f16(array: np.ndarray) -> str:
+    """Exact, deterministic wire form of an f16-representable float array.
+
+    Codebook centroids are rounded to float16 at construction (see
+    :class:`PQParams`), so the half-precision wire form loses nothing and
+    halves the manifest payload relative to float32.
+    """
+    return base64.b64encode(np.ascontiguousarray(array, dtype="<f2").tobytes()).decode("ascii")
+
+
+def _f16_b64(data: str, shape: Tuple[int, ...]) -> np.ndarray:
+    array = np.frombuffer(base64.b64decode(data.encode("ascii")), dtype="<f2")
+    return array.reshape(shape).astype(np.float32)
+
+
+class PQParams:
+    """Trained product-quantization parameters (the ``pq`` codec).
+
+    A row's flattened ``d`` float dimensions are partitioned into ``m``
+    contiguous subspaces (``splits`` holds the ``m + 1`` boundaries) and
+    each subspace ``j`` carries a float32 codebook of up to 256 centroids;
+    a stored code row is the ``(m,)`` uint8 vector of per-subspace
+    centroid indices. ``trailing`` is the *logical* trailing shape the
+    decoded floats are returned in — decoupled from the ``(m,)`` code
+    shape, which is what lets ``CodecArray.reshape`` (``flat_mu``-style
+    views) swap the logical view without touching codes.
+
+    Codebooks are float32 in memory but rounded to float16-representable
+    values at construction: quantization noise dwarfs the half-precision
+    rounding, the base64 f16 JSON wire form round-trips bit-exactly (so
+    warm-loaded params encode byte-identically to the cold fit) and the
+    manifest payload halves relative to float32 centroids.
+    """
+
+    __slots__ = ("codebooks", "splits", "trailing")
+
+    codec_name = "pq"
+    code_dtype = np.dtype(np.uint8)
+    #: Blocking rank-cut multiplier: over PQ tables the LSH index ranks an
+    #: expanded ADC shortlist (``rank_expansion * k`` per query) so the
+    #: true top-``k`` survives approximate-distance rank flips — the
+    #: classic shortlist-then-exact-score pattern; the matcher rehydrates
+    #: only surviving pairs either way.
+    rank_expansion = 2
+    #: Query-time multiprobe: per hash table, also probe this many
+    #: neighbouring buckets across the query's lowest-margin hyperplane
+    #: boundaries, compensating bucket flips induced by decode error.
+    extra_probes = 1
+
+    def __init__(
+        self,
+        codebooks: Sequence[np.ndarray],
+        splits: Sequence[int],
+        trailing: Sequence[int],
+    ) -> None:
+        self.codebooks = tuple(
+            np.ascontiguousarray(cb, dtype=np.float32)
+            .astype(np.float16)
+            .astype(np.float32)
+            for cb in codebooks
+        )
+        self.splits = tuple(int(s) for s in splits)
+        self.trailing = tuple(int(t) for t in trailing)
+        if len(self.splits) != len(self.codebooks) + 1:
+            raise ValueError("PQParams splits must carry m + 1 boundaries")
+        d = self.splits[-1] if self.splits else 0
+        if int(np.prod(self.trailing, dtype=np.int64)) != d:
+            raise ValueError(
+                f"PQ logical trailing {self.trailing} does not flatten to d={d}"
+            )
+        for j, cb in enumerate(self.codebooks):
+            if cb.ndim != 2 or cb.shape[1] != self.splits[j + 1] - self.splits[j]:
+                raise ValueError(f"PQ codebook {j} has shape {cb.shape}")
+            if not 1 <= cb.shape[0] <= 256:
+                raise ValueError(f"PQ codebook {j} holds {cb.shape[0]} entries")
+
+    # -- geometry ------------------------------------------------------
+    @property
+    def m(self) -> int:
+        return len(self.codebooks)
+
+    @property
+    def d(self) -> int:
+        return self.splits[-1] if self.splits else 0
+
+    @property
+    def logical_trailing(self) -> Tuple[int, ...]:
+        return self.trailing
+
+    @property
+    def code_trailing(self) -> Tuple[int, ...]:
+        return (self.m,)
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(cb.nbytes for cb in self.codebooks))
+
+    # -- code mapping --------------------------------------------------
+    def decode_codes(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes)
+        single = codes.ndim == 1
+        rows = codes.reshape(-1, self.m) if not single else codes.reshape(1, self.m)
+        out = np.empty((rows.shape[0], self.d), dtype=np.float64)
+        for j, cb in enumerate(self.codebooks):
+            out[:, self.splits[j]:self.splits[j + 1]] = cb[rows[:, j]]
+        shaped = out.reshape((rows.shape[0],) + self.trailing)
+        return shaped[0] if single else shaped
+
+    def encode_values(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        single = values.shape == self.trailing
+        flat = values.reshape(1, self.d) if single else values.reshape(-1, self.d)
+        codes = np.empty((flat.shape[0], self.m), dtype=np.uint8)
+        for j, cb in enumerate(self.codebooks):
+            sub = flat[:, self.splits[j]:self.splits[j + 1]].astype(np.float32)
+            codes[:, j] = _pq_assign(sub, cb)[0]
+        return codes[0] if single else codes
+
+    # -- serialization -------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "trailing": [int(t) for t in self.trailing],
+            "splits": [int(s) for s in self.splits],
+            "ksub": [int(cb.shape[0]) for cb in self.codebooks],
+            "codebooks": [_b64_f16(cb) for cb in self.codebooks],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "PQParams":
+        splits = [int(s) for s in payload["splits"]]  # type: ignore[index]
+        ksub = [int(k) for k in payload["ksub"]]  # type: ignore[index]
+        blobs = payload["codebooks"]  # type: ignore[index]
+        codebooks = [
+            _f16_b64(blob, (ksub[j], splits[j + 1] - splits[j]))
+            for j, blob in enumerate(blobs)
+        ]
+        return cls(codebooks, splits, tuple(int(t) for t in payload["trailing"]))  # type: ignore[arg-type]
+
+    def reshaped(self, trailing_shape: Tuple[int, ...]) -> "PQParams":
+        trailing = _resolve_trailing(trailing_shape, self.d)
+        return PQParams(self.codebooks, self.splits, trailing)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PQParams):
+            return NotImplemented
+        return (
+            self.splits == other.splits
+            and self.trailing == other.trailing
+            and len(self.codebooks) == len(other.codebooks)
+            and all(
+                a.shape == b.shape and np.array_equal(a, b)
+                for a, b in zip(self.codebooks, other.codebooks)
+            )
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - parity with __eq__
+        return hash(
+            (self.splits, self.trailing, tuple(cb.tobytes() for cb in self.codebooks))
+        )
+
+
+AnyParams = Union[CodecParams, PQParams]
+
+
+def params_from_json(codec_name: str, payload: Dict[str, object]) -> AnyParams:
+    """Rebuild codec params from their manifest JSON by codec name."""
+    if codec_name == CodecParams.codec_name:
+        return CodecParams.from_json(payload)
+    if codec_name == PQParams.codec_name:
+        return PQParams.from_json(payload)
+    raise ValueError(f"no parameterised codec named {codec_name!r}")
+
+
+def _resolve_trailing(shape: Tuple[int, ...], total: int) -> Tuple[int, ...]:
+    """Resolve a single ``-1`` in a trailing shape against ``total`` dims."""
+    shape = tuple(int(t) for t in shape)
+    negatives = [i for i, t in enumerate(shape) if t < 0]
+    if not negatives:
+        if int(np.prod(shape, dtype=np.int64)) != total:
+            raise ValueError(f"trailing shape {shape} does not flatten to {total}")
+        return shape
+    if len(negatives) > 1:
+        raise ValueError("at most one trailing dimension may be -1")
+    known = int(np.prod([t for t in shape if t >= 0], dtype=np.int64))
+    if known == 0 or total % known:
+        raise ValueError(f"trailing shape {shape} does not flatten to {total}")
+    resolved = list(shape)
+    resolved[negatives[0]] = total // known
+    return tuple(resolved)
+
+
 class CodecArray:
-    """Int8 codes + affine params, decoding lazily on indexed access.
+    """Compact codes + codec params, decoding lazily on indexed access.
 
     ``a[idx]`` gathers codes and returns *decoded float64* for exactly the
     gathered rows — ndarray-compatible read semantics, so gather-based
     consumers (pair scoring, ranking, hashing a row block) work unchanged
-    while the resident representation stays one byte per dimension.
+    while the resident representation stays one byte per dimension (int8)
+    or one byte per subspace (pq). ``shape`` is the logical float shape;
+    for PQ the stored ``codes`` are ``(rows, m)`` uint8.
 
     Structural operations that must stay compressed use explicit methods:
     ``take_rows`` / ``row_slice`` (code-preserving gathers), ``reshape``
@@ -140,14 +382,23 @@ class CodecArray:
     def __init__(
         self,
         codes: np.ndarray,
-        params: CodecParams,
+        params: AnyParams,
         on_decode=None,
     ) -> None:
         codes = np.asarray(codes)
-        if codes.dtype != np.int8:
-            raise TypeError(f"CodecArray codes must be int8, got {codes.dtype}")
-        if params.scale.shape != codes.shape[1:]:
-            params = params.reshaped(codes.shape[1:])
+        if codes.dtype != params.code_dtype:
+            raise TypeError(
+                f"CodecArray codes must be {params.code_dtype} for the "
+                f"{params.codec_name!r} codec, got {codes.dtype}"
+            )
+        if isinstance(params, CodecParams):
+            if params.scale.shape != codes.shape[1:]:
+                params = params.reshaped(codes.shape[1:])
+        else:
+            if codes.ndim != 2 or codes.shape[1:] != params.code_trailing:
+                raise ValueError(
+                    f"PQ codes must be (rows, {params.m}); got {codes.shape}"
+                )
         self.codes = codes
         self.params = params
         self.on_decode = on_decode
@@ -155,11 +406,11 @@ class CodecArray:
     # -- ndarray-compatible surface ------------------------------------
     @property
     def shape(self) -> Tuple[int, ...]:
-        return self.codes.shape
+        return (len(self),) + self.params.logical_trailing
 
     @property
     def ndim(self) -> int:
-        return self.codes.ndim
+        return len(self.shape)
 
     @property
     def dtype(self) -> np.dtype:
@@ -168,26 +419,34 @@ class CodecArray:
 
     @property
     def nbytes(self) -> int:
-        return int(
-            self.codes.nbytes + self.params.scale.nbytes + self.params.offset.nbytes
-        )
+        return int(self.codes.nbytes + self.params.nbytes)
 
     def __len__(self) -> int:
         return int(self.codes.shape[0])
 
     def _decode(self, codes: np.ndarray) -> np.ndarray:
-        out = codes.astype(np.float64)
-        out *= self.params.scale
-        out += self.params.offset
+        out = self.params.decode_codes(codes)
         if self.on_decode is not None:
             self.on_decode(int(out.nbytes))
         return out
 
     def __getitem__(self, idx) -> np.ndarray:
-        return self._decode(np.asarray(self.codes[idx]))
+        if isinstance(self.params, CodecParams):
+            # Code space == logical space: any ndarray index works directly.
+            return self._decode(np.asarray(self.codes[idx]))
+        # PQ: the leading index selects rows in code space; any trailing
+        # index applies to the decoded logical rows.
+        rows, rest = (idx[0], idx[1:]) if isinstance(idx, tuple) else (idx, ())
+        decoded = self._decode(np.asarray(self.codes[rows]))
+        if rest:
+            scalar_row = isinstance(rows, (int, np.integer))
+            decoded = decoded[rest if scalar_row else (slice(None),) + rest]
+        return decoded
 
     def __setitem__(self, idx, values) -> None:
-        self.codes[idx] = _encode_with(np.asarray(values, dtype=np.float64), self.params)
+        if isinstance(idx, tuple) and isinstance(self.params, PQParams):
+            raise TypeError("PQ CodecArray only supports whole-row assignment")
+        self.codes[idx] = self.params.encode_values(values)
 
     def __array__(self, dtype=None) -> np.ndarray:
         full = self._decode(self.codes)
@@ -211,6 +470,13 @@ class CodecArray:
             raise ValueError(
                 f"CodecArray.reshape must preserve the row axis; got {shape}"
             )
+        if isinstance(self.params, PQParams):
+            # Codes never move: only the logical trailing view changes.
+            return CodecArray(
+                self.codes,
+                self.params.reshaped(tuple(shape[1:])),
+                on_decode=self.on_decode,
+            )
         codes = self.codes.reshape((len(self),) + tuple(shape[1:]))
         return CodecArray(
             codes,
@@ -222,8 +488,8 @@ class CodecArray:
         )
 
     def encode_rows(self, values: np.ndarray) -> np.ndarray:
-        """Quantize float rows with this array's fixed params (clipped)."""
-        return _encode_with(np.asarray(values, dtype=np.float64), self.params)
+        """Quantize float rows with this array's fixed params."""
+        return self.params.encode_values(np.asarray(values, dtype=np.float64))
 
     def concat_rows(self, values) -> "CodecArray":
         """Append rows (floats or a params-compatible CodecArray)."""
@@ -264,7 +530,7 @@ class CodecArray:
         object.__setattr__(self, "on_decode", None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"CodecArray(shape={self.codes.shape}, nbytes={self.nbytes})"
+        return f"CodecArray(shape={self.shape}, nbytes={self.nbytes})"
 
 
 def _encode_with(values: np.ndarray, params: CodecParams) -> np.ndarray:
@@ -295,10 +561,10 @@ class Codec:
     #: deep inside the engine.
     usable: bool = True
 
-    def fit(self, values: np.ndarray) -> Optional[CodecParams]:
+    def fit(self, values: np.ndarray) -> Optional[AnyParams]:
         raise NotImplementedError
 
-    def encode(self, values: np.ndarray, params: Optional[CodecParams], on_decode=None):
+    def encode(self, values: np.ndarray, params: Optional[AnyParams], on_decode=None):
         raise NotImplementedError
 
     def decode(self, stored) -> np.ndarray:
@@ -362,27 +628,214 @@ class ScalarQuantizer(Codec):
         return np.asarray(stored)
 
 
+# -- PQ training knobs --------------------------------------------------
+#: Override the subspace count ``m`` (default: one subspace per
+#: ``_PQ_DSUB`` flattened dimensions, clamped to ``d``).
+PQ_M_ENV_VAR = "REPRO_PQ_M"
+#: Target subvector width when ``m`` is derived (4 floats -> 1 byte = 32x
+#: on the code payload; accuracy-leaning vs the classic 8).
+_PQ_DSUB = 4
+#: Hard cap on codebook entries (uint8 codes).
+_PQ_KSUB_MAX = 256
+#: Codebook floor — blocking recall needs this much resolution per
+#: subspace regardless of table size (tables with fewer distinct rows
+#: take the exact-decode guard instead, so small tables stay cheap).
+_PQ_KSUB_MIN = 64
+#: Centroid budget grows with the table: ~one centroid per this many rows;
+#: f16 codebooks amortise against code bytes from a few hundred rows up.
+_PQ_ROWS_PER_CENTROID = 8
+#: Lloyd iterations (assignments converge long before this on our tables).
+_PQ_ITERS = 15
+#: Distortion-adaptive refinement target: a fitted subspace whose mean
+#: squared quantization error exceeds this fraction of its total variance
+#: is split in half and refit (recursively, down to single dimensions) —
+#: rate allocation by distortion, so hard tables spend extra code bytes
+#: where easy tables spend none.
+_PQ_DISTORTION_TARGET = 0.02
+#: Training subsample cap: k-means cost stays bounded on huge tables.
+_PQ_TRAIN_CAP = 1 << 16
+#: Deterministic training seed (fresh generator per fit: refits agree).
+_PQ_SEED = 0x5EED
+
+
+def _pq_assign(sub: np.ndarray, codebook: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Nearest-centroid assignment by exact blockwise broadcast-diff.
+
+    The difference of bit-equal float32 values is exactly ``0.0``, so a
+    subvector that *is* a codebook entry always assigns to it with
+    distance exactly zero — the property the low-variance exact-decode
+    guard relies on (a matmul-based expansion would round).
+    Returns ``(indices, squared distances)``.
+    """
+    n = sub.shape[0]
+    ksub, dsub = codebook.shape
+    indices = np.empty(n, dtype=np.intp)
+    dists = np.empty(n, dtype=np.float32)
+    block = max(1, _BLOCK_BYTES // (4 * max(1, ksub * max(1, dsub))))
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        diff = sub[start:stop, None, :] - codebook[None, :, :]
+        sq = np.einsum("ikd,ikd->ik", diff, diff)
+        indices[start:stop] = sq.argmin(axis=1)
+        dists[start:stop] = sq[np.arange(stop - start), indices[start:stop]]
+    return indices, dists
+
+
+def _pq_kmeans(
+    sub: np.ndarray, unique_rows: np.ndarray, ksub: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Seeded Lloyd k-means over one float32 subspace; float32 centroids.
+
+    Deterministic end to end: seeded init from distinct rows, stable
+    argmin assignment, and empty clusters reseeded to the points farthest
+    from their current centroid (largest distance first, lowest row index
+    on ties). Means accumulate in float64 and round once to float32.
+    """
+    train = sub
+    if train.shape[0] > _PQ_TRAIN_CAP:
+        picked = np.sort(rng.choice(train.shape[0], _PQ_TRAIN_CAP, replace=False))
+        train = train[picked]
+    init = rng.choice(unique_rows.shape[0], ksub, replace=False)
+    centers = unique_rows[np.sort(init)].astype(np.float64)
+    x = train.astype(np.float64)
+    for _ in range(_PQ_ITERS):
+        assign, dist = _pq_assign(train, centers.astype(np.float32))
+        counts = np.bincount(assign, minlength=ksub)
+        sums = np.zeros((ksub, x.shape[1]), dtype=np.float64)
+        for dim in range(x.shape[1]):
+            sums[:, dim] = np.bincount(assign, weights=x[:, dim], minlength=ksub)
+        filled = counts > 0
+        centers[filled] = sums[filled] / counts[filled, None]
+        empties = np.flatnonzero(~filled)
+        if empties.size:
+            far = np.argsort(-dist.astype(np.float64), kind="stable")
+            for empty, point in zip(empties, far[: empties.size]):
+                centers[empty] = x[point]
+    return centers.astype(np.float32)
+
+
 class ProductQuantizer(Codec):
-    """Product-quantization stub: registered so the name resolves, but the
-    tier is not implemented yet. Selecting it raises with a pointer at the
-    int8 tier, which covers the current memory targets."""
+    """Trained product quantization: per-subspace k-means codebooks.
+
+    ``fit`` flattens the trailing dims to ``d`` float dimensions, splits
+    them into ``m`` contiguous subspaces (``REPRO_PQ_M`` overrides the
+    ``d / 4`` default) and trains one codebook per subspace with seeded,
+    deterministic Lloyd k-means. The codebook budget scales with the
+    table — ``min(256, max(64, rows / 8))`` centroids — floored high
+    enough for blocking-grade fidelity; tables smaller than the floor
+    fall into the exact-decode guard, so the budget never degenerates.
+    Subspaces whose fitted distortion misses ``_PQ_DISTORTION_TARGET``
+    are split in half and refit (see :meth:`_fit_subspace`), so code
+    bytes concentrate on the tables that actually need them.
+
+    The exact-decode guard: a subspace with at most ``ksub`` distinct
+    (float32) subvectors skips k-means and uses the distinct rows
+    themselves as the codebook, so empty, constant and low-variance
+    subspaces decode exactly (at float32 precision) instead of producing
+    degenerate centroids.
+    """
 
     name = "pq"
-    usable = False
+    usable = True
 
-    def _unavailable(self) -> NotImplementedError:
-        return NotImplementedError(
-            "the 'pq' codec is a stub — use codec='int8' (scalar quantization)"
+    def __init__(self, m: Optional[int] = None, seed: int = _PQ_SEED) -> None:
+        self.m = m
+        self.seed = int(seed)
+
+    def _subspaces(self, d: int) -> List[int]:
+        """Split boundaries: ``m + 1`` monotone offsets covering ``d``."""
+        m = self.m
+        if m is None:
+            env = os.environ.get(PQ_M_ENV_VAR, "").strip()
+            if env:
+                try:
+                    m = int(env)
+                except ValueError:
+                    m = None
+        if m is None or m <= 0:
+            m = math.ceil(d / _PQ_DSUB)
+        m = max(1, min(int(m), d)) if d else 0
+        sizes = [len(part) for part in np.array_split(np.arange(d), m)] if m else []
+        return [0] + list(np.cumsum(sizes, dtype=int))
+
+    def _fit_subspace(
+        self,
+        sub: np.ndarray,
+        ksub: int,
+        rng: np.random.Generator,
+        codebooks: List[np.ndarray],
+        widths: List[int],
+    ) -> None:
+        """Fit one subspace, splitting and recursing when distortion misses.
+
+        Appends the fitted codebook(s) and their widths in dimension order.
+        A subspace whose mean squared k-means error stays above
+        ``_PQ_DISTORTION_TARGET`` of its total variance is halved and each
+        half refit — recursive rate allocation that stops at single
+        dimensions (where a 256-entry codebook is plain scalar k-means).
+        """
+        unique_rows = np.unique(sub, axis=0)
+        if unique_rows.shape[0] <= ksub:
+            # Exact-decode guard: the data *is* the codebook.
+            codebooks.append(unique_rows)
+            widths.append(sub.shape[1])
+            return
+        codebook = _pq_kmeans(sub, unique_rows, ksub, rng)
+        if sub.shape[1] >= 2:
+            _, dists = _pq_assign(sub, codebook)
+            variance = float(sub.var(axis=0, dtype=np.float64).sum())
+            if variance > 0.0 and float(dists.mean(dtype=np.float64)) > (
+                _PQ_DISTORTION_TARGET * variance
+            ):
+                half = sub.shape[1] // 2
+                self._fit_subspace(
+                    np.ascontiguousarray(sub[:, :half]), ksub, rng, codebooks, widths
+                )
+                self._fit_subspace(
+                    np.ascontiguousarray(sub[:, half:]), ksub, rng, codebooks, widths
+                )
+                return
+        codebooks.append(codebook)
+        widths.append(sub.shape[1])
+
+    def fit(self, values: np.ndarray) -> PQParams:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim < 2:
+            raise ValueError("ProductQuantizer.fit expects a (rows, ...) array")
+        trailing = values.shape[1:]
+        n = values.shape[0]
+        d = int(np.prod(trailing, dtype=np.int64))
+        flat = values.reshape(n, d).astype(np.float32)
+        splits = self._subspaces(d)
+        ksub = min(
+            _PQ_KSUB_MAX, max(_PQ_KSUB_MIN, n // _PQ_ROWS_PER_CENTROID)
         )
+        rng = np.random.default_rng(self.seed)
+        codebooks: List[np.ndarray] = []
+        widths: List[int] = []
+        for j in range(len(splits) - 1):
+            lo, hi = splits[j], splits[j + 1]
+            if n == 0:
+                codebooks.append(np.zeros((1, hi - lo), dtype=np.float32))
+                widths.append(hi - lo)
+                continue
+            self._fit_subspace(
+                np.ascontiguousarray(flat[:, lo:hi]), ksub, rng, codebooks, widths
+            )
+        return PQParams(codebooks, [0] + list(np.cumsum(widths, dtype=int)), trailing)
 
-    def fit(self, values: np.ndarray) -> CodecParams:
-        raise self._unavailable()
+    def encode(
+        self, values: np.ndarray, params: Optional[PQParams], on_decode=None
+    ) -> CodecArray:
+        if params is None:
+            params = self.fit(values)
+        codes = params.encode_values(np.asarray(values, dtype=np.float64))
+        return CodecArray(codes, params, on_decode=on_decode)
 
-    def encode(self, values, params, on_decode=None):
-        raise self._unavailable()
-
-    def decode(self, stored):
-        raise self._unavailable()
+    def decode(self, stored) -> np.ndarray:
+        if isinstance(stored, CodecArray):
+            return stored.decode()
+        return np.asarray(stored)
 
 
 _CODECS: Dict[str, Codec] = {
@@ -410,11 +863,19 @@ def get_codec(name: str) -> Codec:
         ) from None
 
 
+#: Environment codec values already warned about (one-shot per process).
+_WARNED_ENV_CODECS: set = set()
+
+
 def resolve_codec_name(name: Optional[str] = None) -> str:
     """Resolve an explicit codec name, falling back to ``REPRO_ENGINE_CODEC``.
 
-    Unset/empty/garbage environment values resolve to the raw default, the
-    same forgiving posture as ``REPRO_ENGINE_WORKERS``.
+    Explicit names are validated loudly. An unset/empty environment value
+    resolves to the raw default; an unknown or unusable environment value
+    also degrades to ``raw`` (the forgiving posture of
+    ``REPRO_ENGINE_WORKERS``) but emits a one-shot :class:`RuntimeWarning`
+    naming the ignored value and the usable codecs, so a typo'd
+    ``REPRO_ENGINE_CODEC=pq8`` no longer silently runs uncompressed.
     """
     if name:
         codec = get_codec(name)  # validate explicit choices loudly
@@ -427,11 +888,20 @@ def resolve_codec_name(name: Optional[str] = None) -> str:
     env = os.environ.get(CODEC_ENV_VAR, "").strip().lower()
     if env in _CODECS and _CODECS[env].usable:
         return env
+    if env and env not in _WARNED_ENV_CODECS:
+        _WARNED_ENV_CODECS.add(env)
+        warnings.warn(
+            f"ignoring {CODEC_ENV_VAR}={env!r}: not a usable codec "
+            f"(usable: {', '.join(usable_codecs())}); falling back to "
+            f"{DEFAULT_CODEC!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return DEFAULT_CODEC
 
 
 # ----------------------------------------------------------------------
-# Asymmetric distance kernel
+# Asymmetric distance kernels
 # ----------------------------------------------------------------------
 _BLOCK_BYTES = 1 << 22  # ~4 MiB of float32 per decode block
 
@@ -441,24 +911,35 @@ def asymmetric_sq_distances(
     table: CodecArray,
     table_sq_norms: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Squared Euclidean distances from float queries to an int8 table.
+    """Squared Euclidean distances from float queries to a code table.
 
     ``query`` is ``(d,)`` or ``(m, d)`` float; ``table`` is an ``(n, d)``
-    :class:`CodecArray`. The kernel never materialises the decoded table:
-    it shifts queries by the offset, folds the per-dimension scale into
-    the query side, and runs a blockwise float32 matmul against the raw
-    codes — the de-scaled-matmul identity
+    :class:`CodecArray`. The kernel never materialises the decoded table.
+
+    For ``int8`` it shifts queries by the offset, folds the per-dimension
+    scale into the query side, and runs a blockwise float32 matmul
+    against the raw codes — the de-scaled-matmul identity
 
         ||q - (c s + o)||^2 = ||q - o||^2 - 2 ((q - o) s) . c + ||c s||^2.
 
     ``table_sq_norms`` (the ``||c s||^2`` term) can be precomputed with
-    :func:`table_sq_norms` and cached across queries.
+    :func:`table_sq_norms_of` and cached across queries.
+
+    For ``pq`` it is the ADC kernel: per query block it builds an
+    ``m × 256`` lookup table of partial squared distances (one float32
+    sgemm per subspace, the same blockwise BLAS-friendly shape as the
+    int8 path) and accumulates ``out[q, i] = Σ_j lut[q, j, code[i, j]]``
+    by code indexing. The LUT already carries the full distance, so the
+    norm-cache term is zero for PQ tables and the argument is ignored.
     """
     if table.ndim != 2:
         raise ValueError("asymmetric distances expect a 2-D code table")
     q = np.asarray(query, dtype=np.float64)
     squeeze = q.ndim == 1
     q = np.atleast_2d(q)
+    if isinstance(table.params, PQParams):
+        out = _pq_adc_sq_distances(q, table)
+        return out[0] if squeeze else out
     scale = table.params.scale
     offset = table.params.offset
     shifted = q - offset  # (m, d)
@@ -481,11 +962,49 @@ def asymmetric_sq_distances(
     return result
 
 
+def _pq_adc_sq_distances(q: np.ndarray, table: CodecArray) -> np.ndarray:
+    """ADC: per-query LUT build (BLAS) + blockwise code-indexed accumulate."""
+    params = table.params
+    nq = q.shape[0]
+    if q.shape[1] != params.d:
+        raise ValueError(
+            f"query dimension {q.shape[1]} does not match PQ table d={params.d}"
+        )
+    # One (nq, m, 256) float32 LUT per call: lut[q, j, c] is the exact
+    # squared distance between query subvector j and centroid c.
+    luts = np.zeros((nq, params.m, _PQ_KSUB_MAX), dtype=np.float32)
+    for j, cb in enumerate(params.codebooks):
+        qj = q[:, params.splits[j]:params.splits[j + 1]].astype(np.float32)
+        cross = qj @ cb.T  # BLAS sgemm: (nq, ksub_j)
+        luts[:, j, : cb.shape[0]] = (
+            (qj * qj).sum(axis=1)[:, None] - 2.0 * cross + (cb * cb).sum(axis=1)[None, :]
+        )
+    n = len(table)
+    codes = table.codes
+    out = np.empty((nq, n), dtype=np.float64)
+    block = max(1, _BLOCK_BYTES // (4 * max(1, nq)))
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        acc = np.zeros((nq, stop - start), dtype=np.float32)
+        for j in range(params.m):
+            acc += luts[:, j, codes[start:stop, j]]
+        out[:, start:stop] = acc
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
 def table_sq_norms_of(table: CodecArray) -> np.ndarray:
-    """Per-row ``||c * s||^2`` for the asymmetric kernel, computed blockwise."""
+    """Per-row norm term for the asymmetric kernel, computed blockwise.
+
+    For int8 this is ``||c * s||^2`` (cached across queries by the LSH
+    index). PQ lookup tables already carry the complete distance, so PQ
+    tables report zeros — the norm-cache machinery stays codec-agnostic.
+    """
     if table.ndim != 2:
         raise ValueError("table norms expect a 2-D code table")
     n = len(table)
+    if isinstance(table.params, PQParams):
+        return np.zeros(n, dtype=np.float64)
     d = max(1, table.codes.shape[1])
     scale32 = table.params.scale.astype(np.float32)
     norms = np.empty(n, dtype=np.float64)

@@ -799,7 +799,9 @@ def _splice_encodings(
             # Code-space splice: scatter int8 codes, never decode. Fresh
             # rows were quantized with the entry's fixed params, so their
             # codes drop straight in.
-            codes = np.empty((n,) + reused_array.codes.shape[1:], dtype=np.int8)
+            codes = np.empty(
+                (n,) + reused_array.codes.shape[1:], dtype=reused_array.codes.dtype
+            )
             if len(reused_positions):
                 codes[np.asarray(reused_positions, dtype=np.intp)] = reused_array.codes[
                     np.asarray(reused_rows, dtype=np.intp)

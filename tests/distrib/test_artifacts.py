@@ -8,6 +8,9 @@ These tests pin that invariant plus the state-shipping helpers built on it.
 
 from __future__ import annotations
 
+import pickle
+
+import numpy as np
 import pytest
 
 from repro.distrib.artifacts import (
@@ -113,3 +116,43 @@ class TestStateShipping:
         cache = PersistentEncodingCache(tmp_path / "cache")
         with pytest.raises(RuntimeError):
             ref.resolve(cache)
+
+    def test_cache_ref_ships_pq_codes_not_floats(
+        self, tmp_path, tiny_domain, tiny_representation
+    ):
+        """A PQ cache entry travels the data plane as codes: the resolved
+        array is a :class:`CodecArray` whose uint8 codes and f16-wire
+        codebooks round-trip exactly, and nothing on the ship path — encode,
+        save, resolve, pickle — rehydrates floats (``bytes_decoded`` stays
+        zero until a consumer actually gathers)."""
+        from repro.engine import CodecArray, EncodingStore, PersistentEncodingCache
+        from repro.eval.timing import EngineCounters
+
+        counters = EngineCounters()
+        cache = PersistentEncodingCache(tmp_path / "cache", chunk_rows=16)
+        store = EncodingStore(
+            tiny_representation, tiny_domain.task,
+            counters=counters, persistent=cache, codec="pq",
+        )
+        encodings = store.table_encodings("left")
+        ref = CacheRef(
+            task_name=tiny_domain.task.name,
+            side="left",
+            encoding_version=tiny_representation.encoding_version,
+            fingerprint=store.table_fingerprint("left"),
+            array="mu",
+        )
+        # A fresh handle on the same directory — what a remote worker attaches.
+        resolved = ref.resolve(PersistentEncodingCache(tmp_path / "cache", chunk_rows=16))
+        assert isinstance(resolved, CodecArray)
+        assert resolved.codes.dtype == np.uint8
+        assert np.array_equal(resolved.codes, encodings.mu.codes)
+        assert resolved.params == encodings.mu.params  # codebooks roundtrip bit-exact
+        wire = pickle.dumps(resolved)
+        assert counters.bytes_decoded == 0  # codes end-to-end, never floats
+        clone = pickle.loads(wire)
+        assert np.array_equal(clone.codes, resolved.codes)
+        assert clone.params == resolved.params
+        decoded = encodings.mu.decode()
+        assert len(wire) < decoded.nbytes  # the ship payload beats raw floats
+        np.testing.assert_array_equal(clone.decode(), decoded)

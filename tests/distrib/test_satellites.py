@@ -1,8 +1,9 @@
 """Satellite regressions riding the distributed-resolution PR.
 
-* the ``pq`` codec stub must be refused at name-resolution (and CLI
-  flag-parse) time with the usable codecs named, instead of surfacing as a
-  ``NotImplementedError`` deep inside the first encode;
+* the ``pq`` codec must resolve end to end — name resolution, the
+  environment knob and CLI flag parsing all accept it now that the trained
+  product quantizer replaced the stub (unknown codecs still fail fast with
+  the catalogue named);
 * ``cache verify`` must audit a shared cache directory — manifest structure
   plus per-chunk fingerprints — without loading arrays, and ``cache list
   --json`` must emit machine-readable rows.
@@ -27,36 +28,31 @@ from repro.engine.quant import CODEC_ENV_VAR
 from repro.eval.timing import EngineCounters
 
 
-class TestPqStubErgonomics:
+class TestPqCodecErgonomics:
     def test_pq_stays_registered_for_discovery(self):
         assert "pq" in available_codecs()
         assert get_codec("pq").name == "pq"
 
-    def test_pq_is_not_usable(self):
-        assert "pq" not in usable_codecs()
-        assert set(usable_codecs()) == {"raw", "int8"}
+    def test_pq_is_usable(self):
+        assert set(usable_codecs()) == {"raw", "int8", "pq"}
 
-    def test_resolving_pq_fails_fast_naming_usable_codecs(self):
-        with pytest.raises(ValueError) as excinfo:
-            resolve_codec_name("pq")
-        message = str(excinfo.value)
-        assert "int8" in message and "raw" in message
-        assert "stub" in message
+    def test_resolving_pq_resolves(self):
+        assert resolve_codec_name("pq") == "pq"
 
     def test_unknown_codec_still_fails_with_catalogue(self):
         with pytest.raises(ValueError, match="available"):
             resolve_codec_name("zstd")
 
-    def test_pq_env_value_degrades_to_default(self, monkeypatch):
+    def test_pq_env_value_selects_pq(self, monkeypatch):
         monkeypatch.setenv(CODEC_ENV_VAR, "pq")
-        assert resolve_codec_name() == "raw"
+        assert resolve_codec_name() == "pq"
 
-    def test_cli_rejects_pq_at_flag_parse_time(self, capsys):
+    def test_cli_rejects_unknown_codec_at_flag_parse_time(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
-            main(["resolve", "--codec", "pq"])
+            main(["resolve", "--codec", "zstd"])
         assert excinfo.value.code == 2
         err = capsys.readouterr().err
-        assert "int8" in err and "raw" in err
+        assert "int8" in err and "raw" in err and "pq" in err
 
 
 class TestCacheVerify:

@@ -13,10 +13,26 @@ Three contracts pin the int8 tier:
   same candidate pairs as a raw store while storing ~8x fewer bytes, and a
   quantize -> patch -> prune roundtrip re-encodes exactly as many rows as
   the raw codec does (the delta machinery is codec-blind).
+
+And four more pin the trained ``pq`` tier:
+
+* **Deterministic training** — seeded k-means refits to identical
+  codebooks, the f16 wire form round-trips params bit-exactly, and the
+  exact-decode guard makes low-cardinality subspaces decode exactly;
+* **ADC fidelity** — the lookup-table kernel equals exact distances
+  against the decoded table (the approximation lives in the codebooks,
+  never in the kernel);
+* **Store equivalence under expansion** — a pq store's candidates *cover*
+  the raw candidates (``rank_expansion`` makes the pq shortlist a
+  superset, so recall — not symmetric difference — is the contract);
+* **Quantize-once warm path** — a warm load serves byte-identical codes
+  and re-resolves to the identical match stream without re-encoding.
 """
 
+import json
 import os
 import pickle
+import warnings
 
 import numpy as np
 import pytest
@@ -35,13 +51,16 @@ from repro.engine.quant import (
     CODEC_ENV_VAR,
     CodecArray,
     CodecParams,
+    PQParams,
     ProductQuantizer,
     ScalarQuantizer,
     asymmetric_sq_distances,
     available_codecs,
     get_codec,
+    params_from_json,
     resolve_codec_name,
     table_sq_norms_of,
+    usable_codecs,
 )
 from repro.eval.timing import EngineCounters
 
@@ -192,12 +211,107 @@ class TestRegistry:
         values = _random_floats((4, 2))
         assert codec.is_identity and codec.encode(values, None) is values
 
-    def test_pq_stub_raises(self):
-        pq = ProductQuantizer()
-        with pytest.raises(NotImplementedError):
-            pq.fit(_random_floats((4, 2)))
-        with pytest.raises(NotImplementedError):
-            pq.encode(_random_floats((4, 2)), None)
+    def test_pq_codec_is_usable(self):
+        assert usable_codecs() == ["int8", "pq", "raw"]
+        pq = get_codec("pq")
+        assert pq.usable and pq.name == "pq"
+        assert resolve_codec_name("pq") == "pq"
+
+    def test_env_typo_warns_once_then_stays_quiet(self, monkeypatch):
+        monkeypatch.setenv(CODEC_ENV_VAR, "pq8-typo")
+        with pytest.warns(RuntimeWarning, match="pq8-typo"):
+            assert resolve_codec_name(None) == "raw"
+        with warnings.catch_warnings():
+            # One-shot: the same ignored value never warns again.
+            warnings.simplefilter("error")
+            assert resolve_codec_name(None) == "raw"
+
+
+def _clustered_floats(n=400, d=8, centers=12, noise=0.01, seed=23, scale=3.0):
+    """Clusterable data: what PQ codebooks are actually good at."""
+    rng = np.random.default_rng(seed)
+    mus = rng.normal(scale=scale, size=(centers, d))
+    return mus[rng.integers(0, centers, size=n)] + rng.normal(scale=noise, size=(n, d))
+
+
+class TestProductQuantizer:
+    def test_codes_are_uint8_and_reconstruction_tracks_clusters(self):
+        values = _clustered_floats()
+        array = ProductQuantizer().encode(values, None)
+        assert array.codes.dtype == np.uint8
+        assert array.codes.shape == (len(values), array.params.m)
+        # Error is bounded by cluster noise + f16 centroid rounding, both
+        # orders of magnitude below the cluster scale.
+        assert float(np.abs(array.decode() - values).mean()) < 0.05
+
+    def test_exact_decode_guard_on_low_cardinality_tables(self):
+        rng = np.random.default_rng(24)
+        base = rng.normal(scale=2.0, size=(6, 8)).astype(np.float16).astype(np.float64)
+        values = base[rng.integers(0, 6, size=50)]
+        array = ProductQuantizer().encode(values, None)
+        # Few distinct subvectors: the data is the codebook, decode is exact
+        # (f16-representable inputs survive the f16 codebook rounding).
+        np.testing.assert_array_equal(array.decode(), values)
+
+    def test_refit_is_deterministic(self):
+        values = _clustered_floats(seed=25)
+        quantizer = ProductQuantizer()
+        first, second = quantizer.fit(values), quantizer.fit(values)
+        assert first == second
+        np.testing.assert_array_equal(
+            first.encode_values(values), second.encode_values(values)
+        )
+
+    def test_params_json_roundtrip_is_bit_exact(self):
+        params = ProductQuantizer().fit(_clustered_floats(seed=26))
+        payload = json.loads(json.dumps(params.to_json()))
+        clone = PQParams.from_json(payload)
+        assert clone == params  # f16 wire: bit-exact, not approximate
+        assert params_from_json("pq", payload) == params
+        values = _clustered_floats(n=40, seed=27)
+        np.testing.assert_array_equal(
+            clone.encode_values(values), params.encode_values(values)
+        )
+
+    def test_distortion_refinement_splits_hard_subspaces_only(self):
+        rng = np.random.default_rng(28)
+        # Unclusterable white noise: one 4-wide subspace cannot hit the
+        # distortion target, so the fit splits it and spends more bytes.
+        hard = rng.normal(size=(2000, 4))
+        assert ProductQuantizer(m=1).fit(hard).m >= 2
+        # Tightly clustered data of the same shape fits in one subspace.
+        easy = _clustered_floats(n=2000, d=4, centers=100, noise=0.005, seed=29)
+        assert ProductQuantizer(m=1).fit(easy).m == 1
+
+    def test_code_shape_decoupled_from_logical_shape(self):
+        values = _clustered_floats(n=50, d=8, seed=30).reshape(50, 2, 4)
+        array = ProductQuantizer().encode(values, None)
+        assert array.shape == (50, 2, 4)
+        flat = array.reshape(50, -1)
+        assert flat.shape == (50, 8)
+        assert flat.codes is array.codes  # a view change, codes never move
+        np.testing.assert_array_equal(flat.decode(), array.decode().reshape(50, 8))
+
+    def test_code_ops_commute_with_decode(self):
+        array = ProductQuantizer().encode(_clustered_floats(n=40, seed=31), None)
+        rows = np.array([7, 0, 33, 7])
+        np.testing.assert_array_equal(array.take_rows(rows).decode(), array.decode()[rows])
+        np.testing.assert_array_equal(array.row_slice(5, 21).decode(), array.decode()[5:21])
+        grown = array.concat_rows(_clustered_floats(n=8, seed=32))
+        assert len(grown) == 48 and grown.params is array.params
+
+    def test_m_override_via_constructor_and_env(self, monkeypatch):
+        values = _clustered_floats(n=100, d=8, seed=33)
+        assert ProductQuantizer(m=2).fit(values).m == 2
+        monkeypatch.setenv("REPRO_PQ_M", "4")
+        assert ProductQuantizer().fit(values).m == 4
+
+    def test_query_policy_attributes(self):
+        # The LSH index reads these off the table params: int8 ranks
+        # accurately enough to keep the exact cut, PQ asks for an expanded
+        # ADC shortlist plus one extra bucket probe per table.
+        assert (CodecParams.rank_expansion, CodecParams.extra_probes) == (1, 0)
+        assert (PQParams.rank_expansion, PQParams.extra_probes) == (2, 1)
 
 
 class TestAsymmetricDistance:
@@ -229,6 +343,31 @@ class TestAsymmetricDistance:
         np.testing.assert_allclose(
             table_sq_norms_of(table.take_rows(rows)),
             table_sq_norms_of(table)[rows],
+            rtol=1e-6, atol=1e-6,
+        )
+
+    def test_pq_adc_matches_exact_distances_on_decoded_table(self):
+        """The ADC LUT kernel is exact against the *decoded* table — all
+        approximation lives in the codebooks, none in the kernel."""
+        rng = np.random.default_rng(34)
+        table = ProductQuantizer().encode(rng.normal(scale=2.0, size=(80, 12)), None)
+        queries = rng.normal(scale=2.0, size=(5, 12))
+        approx = asymmetric_sq_distances(queries, table)
+        exact = ((queries[:, None, :] - table.decode()[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(approx, exact, rtol=1e-4, atol=1e-3)
+
+    def test_pq_single_query_squeezes_and_norm_cache_is_inert(self):
+        rng = np.random.default_rng(35)
+        table = ProductQuantizer().encode(rng.normal(size=(30, 8)), None)
+        query = rng.normal(size=8)
+        distances = asymmetric_sq_distances(query, table)
+        assert distances.shape == (30,)
+        # PQ LUTs carry the whole distance; the codec-agnostic norm cache
+        # contributes zeros and changes nothing.
+        np.testing.assert_array_equal(table_sq_norms_of(table), np.zeros(30))
+        np.testing.assert_allclose(
+            distances,
+            asymmetric_sq_distances(query, table, table_sq_norms=table_sq_norms_of(table)),
             rtol=1e-6, atol=1e-6,
         )
 
@@ -339,6 +478,53 @@ class TestStoreEquivalence:
             if pair in raw_by_pair:
                 assert abs(probability - raw_by_pair[pair]) < 0.05
 
+    def test_pq_store_covers_raw_candidates_and_compresses(self, quant_representation):
+        """PQ blocking ranks an *expanded* ADC shortlist (rank_expansion),
+        so the contract is coverage: the raw candidate set survives inside
+        the pq set, and shared pairs score within decode epsilon."""
+        domain = _fresh_quant_domain()
+        raw_store, _, raw_scored = _resolve(quant_representation, domain, "raw")
+        pq_store, _, pq_scored = _resolve(quant_representation, domain, "pq")
+        raw_pairs, pq_pairs = set(raw_scored.pairs), set(pq_scored.pairs)
+        recall = len(raw_pairs & pq_pairs) / len(raw_pairs)
+        assert recall >= 0.95, f"pq shortlist lost raw candidates: {recall:.3f}"
+        assert pq_store.resident_bytes() < raw_store.resident_bytes()
+        assert pq_store.counters.bytes_stored < raw_store.counters.bytes_stored
+        assert pq_store.counters.bytes_decoded > 0
+        raw_by_pair = dict(zip(raw_scored.pairs, raw_scored.probabilities))
+        for pair, probability in zip(pq_scored.pairs, pq_scored.probabilities):
+            if pair in raw_by_pair:
+                assert abs(probability - raw_by_pair[pair]) < 0.05
+
+    def test_pq_cold_warm_byte_identical(self, quant_representation, tmp_path):
+        """The quantize-once warm path: a fresh store serves the *same
+        bytes* from disk — codes equal, params equal, no re-encode — and
+        re-resolves to the identical match stream. (This is the fast
+        ``-k pq`` equivalence pass CI runs on every push.)"""
+        cache = PersistentEncodingCache(tmp_path / "pq", chunk_rows=8)
+        domain = _fresh_quant_domain()
+        cold_store, _, cold_scored = _resolve(
+            quant_representation, domain, "pq", cache=cache
+        )
+        cold_mu = cold_store.table_encodings("right").mu
+        warm_store = ShardedEncodingStore(
+            quant_representation, domain.task, counters=EngineCounters(),
+            shard_rows=16, persistent=cache, codec="pq",
+        )
+        warm_mu = warm_store.table_encodings("right").mu
+        assert warm_store.counters.disk_hits >= 1
+        assert warm_store.counters.tables_encoded == 0
+        assert np.array_equal(warm_mu.codes, cold_mu.codes)
+        assert warm_mu.params == cold_mu.params
+        _, _, warm_scored = _resolve(
+            quant_representation, domain, "pq", cache=cache, store=warm_store
+        )
+        assert warm_store.counters.tables_encoded == 0
+        assert list(warm_scored.pairs) == list(cold_scored.pairs)
+        np.testing.assert_array_equal(
+            np.asarray(warm_scored.probabilities), np.asarray(cold_scored.probabilities)
+        )
+
 
 class TestQuantizePatchPruneRoundtrip:
     def _mutate(self, domain):
@@ -378,6 +564,33 @@ class TestQuantizePatchPruneRoundtrip:
         warm = ShardedEncodingStore(
             quant_representation, int8_store.task, counters=EngineCounters(),
             shard_rows=16, persistent=int8_cache, codec="int8",
+        )
+        warm.table_encodings("right")
+        assert warm.counters.disk_hits >= 1
+        assert warm.counters.tables_encoded == 0
+
+    def test_pq_reencode_parity_and_prune_keeps_serving(
+        self, quant_representation, tmp_path
+    ):
+        """Same contract for the pq tier: the delta machinery re-encodes
+        exactly the dirty rows (in code space, against the fixed
+        codebooks), raw candidates stay covered, and a pruned cache still
+        warm-serves the quantized entry."""
+        raw_cache, raw_store, raw_scored = self._roundtrip(quant_representation, tmp_path, "raw")
+        pq_cache, pq_store, pq_scored = self._roundtrip(quant_representation, tmp_path, "pq")
+        assert pq_store.counters.rows_reencoded == raw_store.counters.rows_reencoded > 0
+        assert pq_store.counters.rows_tombstoned == raw_store.counters.rows_tombstoned > 0
+        raw_pairs, pq_pairs = set(raw_scored.pairs), set(pq_scored.pairs)
+        # Appended rows encode against codebooks fitted before they
+        # existed, so their decode error is the codec's worst case — the
+        # expanded shortlist is what keeps raw candidates covered anyway.
+        assert len(raw_pairs & pq_pairs) / len(raw_pairs) >= 0.9
+
+        removed = pq_cache.prune()
+        assert set(removed["bytes_by_codec"]) <= {"pq"}
+        warm = ShardedEncodingStore(
+            quant_representation, pq_store.task, counters=EngineCounters(),
+            shard_rows=16, persistent=pq_cache, codec="pq",
         )
         warm.table_encodings("right")
         assert warm.counters.disk_hits >= 1
